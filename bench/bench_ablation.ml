@@ -1,0 +1,172 @@
+(* Ablations of design choices the paper makes implicitly:
+
+   tbl-order — the MQP "assumes some ordering on the atomic events"
+   (§4.1) but never says which.  Under skewed event popularity the
+   choice matters: if frequent events get *small* codes they head most
+   complex-event prefixes and most incoming sets, multiplying root
+   hits and sub-table descents; giving frequent events *large* codes
+   (rare-first order) makes prefixes head with their most selective
+   member.
+
+   tbl-weak — the weak/strong rule (§5.1): "we disallow where clauses
+   composed solely of a weak atomic condition ... otherwise we would
+   have to raise one alert for each document".  We measure the alert
+   volume with and without the rule. *)
+
+open Harness
+module Aes = Xy_core.Aes
+module Event_set = Xy_events.Event_set
+module Atomic = Xy_events.Atomic
+module Registry = Xy_events.Registry
+module Chain = Xy_alerters.Chain
+module Loader = Xy_warehouse.Loader
+module Store = Xy_warehouse.Store
+module Prng = Xy_util.Prng
+module Web = Xy_crawler.Synthetic_web
+
+(* ------------------------------------------------------------------ *)
+
+let tbl_order scale =
+  section "tbl-order — ablation: atomic-event code ordering under skew";
+  note
+    "events drawn Zipf(1.0): 'there may be thousands of complex events that \
+     will involve the url of Amazon's whereas only very few will be \
+     concerned with John Doe's home page' (SS4.2).  frequent-first gives hot \
+     events small codes; rare-first gives them large codes.";
+  let card_a = 100_000 and b = 3 and s = 30 in
+  let card_c = match scale with Quick -> 50_000 | Default | Paper -> 300_000 in
+  let doc_count = 300 in
+  let prng = Prng.create ~seed:101 in
+  (* Draw everything in *rank* space (rank 0 = most popular). *)
+  let draw_distinct_ranks count =
+    let seen = Hashtbl.create (2 * count) in
+    let budget = ref (50 * count) in
+    while Hashtbl.length seen < count && !budget > 0 do
+      decr budget;
+      Hashtbl.replace seen (Prng.zipf prng ~n:card_a ~alpha:1.0) ()
+    done;
+    (* top up uniformly on collision exhaustion *)
+    while Hashtbl.length seen < count do
+      Hashtbl.replace seen (Prng.int prng card_a) ()
+    done;
+    List.of_seq (Hashtbl.to_seq_keys seen)
+  in
+  let complex_ranks = Array.init card_c (fun _ -> draw_distinct_ranks b) in
+  let doc_ranks = Array.init doc_count (fun _ -> draw_distinct_ranks s) in
+  let orderings =
+    [
+      ("frequent-first (rank = code)", fun rank -> rank);
+      ("rare-first (reversed)", fun rank -> card_a - 1 - rank);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, code_of_rank) ->
+        let aes = Aes.create () in
+        Array.iteri
+          (fun id ranks ->
+            Aes.add aes ~id (Event_set.of_list (List.map code_of_rank ranks)))
+          complex_ranks;
+        let docs =
+          Array.map
+            (fun ranks -> Event_set.of_list (List.map code_of_rank ranks))
+            doc_ranks
+        in
+        let matches = ref 0 in
+        let per_doc =
+          time_per_unit ~units:doc_count (fun () ->
+              matches := 0;
+              Array.iter
+                (fun events ->
+                  matches := !matches + List.length (Aes.match_set aes events))
+                docs)
+        in
+        (* probe accounting over exactly one pass *)
+        Aes.reset_probes aes;
+        Array.iter (fun events -> ignore (Aes.match_set aes events)) docs;
+        let probes_per_doc =
+          float_of_int (Aes.probes aes) /. float_of_int doc_count
+        in
+        [
+          label;
+          Printf.sprintf "%.1f" (microseconds per_doc);
+          Printf.sprintf "%.1f" probes_per_doc;
+          string_of_int !matches;
+        ])
+      orderings
+  in
+  print_table
+    ~title:(Printf.sprintf "Card(C)=%d, Zipf-skewed events" card_c)
+    ~header:[ "code assignment"; "us/doc"; "probes/doc"; "matches (sanity)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let tbl_weak scale =
+  section "tbl-weak — ablation: the weak/strong event rule";
+  note
+    "SS5.1: every fetched page raises one of new/updated/unchanged, so \
+     without the rule every page would alert the processor; with it, only \
+     pages raising a strong event do.";
+  let pages = match scale with Quick -> 300 | Default | Paper -> 1_000 in
+  let web = Web.generate ~seed:7 ~sites:10 ~pages_per_site:(pages / 10) () in
+  let clock = Xy_util.Clock.create () in
+  let store = Store.create () in
+  let loader = Loader.create ~store ~clock () in
+  let registry = Registry.create () in
+  let chain = Chain.create registry in
+  (* A realistic mix: status interest (weak), URL watchers on 2 of 10
+     sites, a content word. *)
+  ignore (Registry.register registry (Atomic.Doc_status Atomic.New));
+  ignore (Registry.register registry (Atomic.Doc_status Atomic.Updated));
+  ignore (Registry.register registry (Atomic.Doc_status Atomic.Unchanged));
+  ignore (Registry.register registry (Atomic.Url_extends "http://site0.example.org/"));
+  ignore (Registry.register registry (Atomic.Url_extends "http://site1.example.org/"));
+  ignore
+    (Registry.register registry
+       (Atomic.Element
+          { change = None; tag = "product"; word = Some (Atomic.Anywhere, "camera") }));
+  let fetched = ref 0 and with_rule = ref 0 and without_rule = ref 0 in
+  let ingest url =
+    match Web.fetch web ~url with
+    | None -> ()
+    | Some content ->
+        let kind =
+          match Web.kind_of web ~url with
+          | Some Web.Xml_page -> Loader.Xml
+          | Some Web.Html_page -> Loader.Html
+          | None -> Loader.Auto
+        in
+        (match Loader.load loader ~url ~content ~kind with
+        | result ->
+            incr fetched;
+            (* with the rule: the chain decides *)
+            (match Chain.process chain ~result ~content with
+            | Some _ -> incr with_rule
+            | None -> ());
+            (* without the rule every page raises its status event:
+               count every fetch as an alert *)
+            incr without_rule
+        | exception Loader.Rejected _ -> ())
+  in
+  (* Two passes: first sight (all new), then refetch after evolution
+     (mix of updated/unchanged). *)
+  List.iter ingest (Web.urls web);
+  ignore (Web.evolve web ~elapsed:(3. *. 86400.));
+  List.iter ingest (Web.urls web);
+  let ratio =
+    float_of_int !without_rule /. float_of_int (max 1 !with_rule)
+  in
+  print_table ~title:"alerts reaching the Monitoring Query Processor"
+    ~header:
+      [ "fetches"; "alerts with rule"; "alerts without rule"; "amplification" ]
+    [
+      [
+        string_of_int !fetched;
+        string_of_int !with_rule;
+        string_of_int !without_rule;
+        Printf.sprintf "%.1fx" ratio;
+      ];
+    ]
+
+let all = [ ("tbl-order", tbl_order); ("tbl-weak", tbl_weak) ]

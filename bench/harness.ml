@@ -1,0 +1,109 @@
+(* Shared benchmark plumbing: wall-clock timing, adaptive repetition,
+   table rendering, and the scale (quick / default / paper) knob. *)
+
+type scale = Quick | Default | Paper
+
+let scale_name = function Quick -> "quick" | Default -> "default" | Paper -> "paper"
+
+(* [time_per_unit ~min_time f units] runs [f] (which processes [units]
+   work items) repeatedly until [min_time] seconds elapsed, and
+   returns the average seconds per unit. *)
+let time_per_unit ?(min_time = 0.1) ~units f =
+  (* Warm up and settle the GC, then take the best of three timed
+     passes — the minimum is the standard estimator for
+     micro-benchmarks, immune to one-off GC or scheduler hiccups. *)
+  f ();
+  Gc.major ();
+  let one_pass () =
+    let start = Unix.gettimeofday () in
+    let rec go repetitions =
+      f ();
+      let elapsed = Unix.gettimeofday () -. start in
+      if elapsed < min_time then go (repetitions + 1) else (repetitions, elapsed)
+    in
+    let repetitions, elapsed = go 1 in
+    elapsed /. float_of_int (repetitions * units)
+  in
+  let a = one_pass () in
+  let b = one_pass () in
+  let c = one_pass () in
+  Float.min a (Float.min b c)
+
+(* [time_once f] runs [f] once and returns (result, seconds). *)
+let time_once f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let microseconds seconds = seconds *. 1e6
+
+(* Optional CSV dump: when [csv_dir] is set (--csv), every table is
+   also written to <dir>/<slug>.csv so the series can be re-plotted
+   with any tool. *)
+let csv_dir : string option ref = ref None
+
+let slug_of title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+      | _ -> '-')
+    title
+
+let write_csv ~title ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (slug_of title ^ ".csv") in
+      let oc = open_out path in
+      let quote cell =
+        if String.exists (fun c -> c = ',' || c = '"') cell then
+          "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+        else cell
+      in
+      List.iter
+        (fun row -> output_string oc (String.concat "," (List.map quote row) ^ "\n"))
+        (header :: rows);
+      close_out oc
+
+(* Table rendering: fixed-width columns, header + rows. *)
+let print_table ~title ~header rows =
+  write_csv ~title ~header rows;
+  Printf.printf "\n## %s\n\n" title;
+  let all = header :: rows in
+  let columns = List.length header in
+  let widths =
+    List.init columns (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          0 all)
+  in
+  let print_row row =
+    List.iteri
+      (fun i cell -> Printf.printf "%-*s  " (List.nth widths i) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  flush stdout
+
+let section title =
+  Printf.printf "\n==========================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==========================================================\n%!"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+(* Approximate live heap words attributable to building a structure. *)
+let live_words_of build =
+  Gc.compact ();
+  let before = (Gc.stat ()).Gc.live_words in
+  let structure = build () in
+  Gc.compact ();
+  let after = (Gc.stat ()).Gc.live_words in
+  (structure, max 0 (after - before))
+
+let megabytes words = float_of_int (words * Sys.word_size / 8) /. 1e6

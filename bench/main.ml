@@ -1,0 +1,81 @@
+(* Benchmark harness entry point.
+
+   Reproduces every figure and table of the paper's evaluation (see
+   DESIGN.md SS5 and EXPERIMENTS.md):
+
+     fig5          Figure 5 (time per doc vs Card(S))
+     fig6          Figure 6 (time per doc vs log k)
+     tbl-b         arity independence
+     tbl-thr       MQP throughput
+     tbl-mem       MQP memory
+     tbl-algo      AES vs baselines
+     tbl-dist      distributed MQP
+     tbl-aes-stats structure shape
+     tbl-url       URL alerter, hash vs trie
+     tbl-xml       XML alerter Size x Depth
+     tbl-rep       reporter throughput
+     tbl-e2e       end-to-end pipeline rate
+     tbl-e2e-mqp   MQP share of the pipeline
+
+   Usage:
+     dune exec bench/main.exe                  (default scale, all)
+     dune exec bench/main.exe -- --quick       (CI scale)
+     dune exec bench/main.exe -- --paper       (paper scale: 10^6 events)
+     dune exec bench/main.exe -- --only fig5 --only tbl-url
+     dune exec bench/main.exe -- --bechamel    (OLS kernel micro-benches) *)
+
+let experiments : (string * (Harness.scale -> unit)) list =
+  Bench_mqp.all @ Bench_alerters.all @ Bench_reporter.all @ Bench_e2e.all
+  @ Bench_ablation.all
+
+let () =
+  let scale = ref Harness.Default in
+  let only = ref [] in
+  let bechamel = ref false in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse = function
+    | "--quick" :: rest ->
+        scale := Harness.Quick;
+        parse rest
+    | "--paper" :: rest ->
+        scale := Harness.Paper;
+        parse rest
+    | "--bechamel" :: rest ->
+        bechamel := true;
+        parse rest
+    | "--only" :: id :: rest ->
+        only := id :: !only;
+        parse rest
+    | "--csv" :: dir :: rest ->
+        Harness.csv_dir := Some dir;
+        parse rest
+    | "--list" :: _ ->
+        List.iter (fun (id, _) -> print_endline id) experiments;
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        exit 2
+    | [] -> ()
+  in
+  parse args;
+  Printf.printf "Xyleme monitoring benchmarks (scale: %s)\n"
+    (Harness.scale_name !scale);
+  Printf.printf
+    "reproducing: Nguyen, Abiteboul, Cobena, Preda — Monitoring XML Data on \
+     the Web (SIGMOD 2001)\n%!";
+  let selected =
+    match !only with
+    | [] -> experiments
+    | ids ->
+        List.iter
+          (fun id ->
+            if not (List.mem_assoc id experiments) then begin
+              Printf.eprintf "unknown experiment %s (use --list)\n" id;
+              exit 2
+            end)
+          ids;
+        List.filter (fun (id, _) -> List.mem id ids) experiments
+  in
+  List.iter (fun (_, run) -> run !scale) selected;
+  if !bechamel then Bench_bechamel.run ();
+  print_newline ()

@@ -1,0 +1,195 @@
+(* xyleme — command-line driver for the monitoring system.
+
+     xyleme check <subscription-file>     validate a subscription
+     xyleme query -q <query> <doc.xml>    run a query against a document
+     xyleme diff <old.xml> <new.xml>      XID delta between two versions
+     xyleme simulate [...]                run the synthetic-web monitor *)
+
+open Cmdliner
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+let check_cmd =
+  let run path =
+    let text = read_file path in
+    match Xy_sublang.S_parser.parse text with
+    | exception Xy_sublang.S_parser.Error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" path line message;
+        exit 1
+    | ast -> (
+        match Xy_sublang.S_compile.validate ast with
+        | exception Xy_sublang.S_compile.Rejected reason ->
+            Printf.eprintf "%s: rejected: %s\n" path reason;
+            exit 1
+        | compiled ->
+            Printf.printf "subscription %s: OK\n" ast.Xy_sublang.S_ast.name;
+            List.iteri
+              (fun i cm ->
+                Printf.printf
+                  "  monitoring query %d (%s): %d complex event(s)\n" (i + 1)
+                  cm.Xy_sublang.S_compile.cm_name
+                  (List.length cm.Xy_sublang.S_compile.cm_disjuncts);
+                List.iter
+                  (fun disjunct ->
+                    Printf.printf "    complex event:\n";
+                    List.iter
+                      (fun c ->
+                        Printf.printf "      - %s%s\n"
+                          (Xy_events.Atomic.to_string c)
+                          (if Xy_events.Atomic.is_weak c then "  (weak)" else ""))
+                      disjunct)
+                  cm.Xy_sublang.S_compile.cm_disjuncts)
+              compiled;
+            List.iter
+              (fun c ->
+                Printf.printf "  continuous query %s (%s)\n" c.Xy_sublang.S_ast.c_name
+                  (match c.Xy_sublang.S_ast.c_when with
+                  | Xy_sublang.S_ast.T_frequency f ->
+                      Xy_sublang.S_ast.frequency_to_string f
+                  | Xy_sublang.S_ast.T_notification { tag; _ } -> "on " ^ tag))
+              ast.Xy_sublang.S_ast.continuous)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and validate a subscription file")
+    Term.(const run $ path)
+
+(* ------------------------------------------------------------------ *)
+(* query *)
+
+let query_cmd =
+  let run query_text doc_path =
+    let doc = Xy_xml.Parser.parse (read_file doc_path) in
+    match Xy_query.Parser.parse query_text with
+    | exception Xy_query.Parser.Error { line; message } ->
+        Printf.eprintf "query:%d: %s\n" line message;
+        exit 1
+    | query ->
+        let nodes =
+          Xy_query.Eval.eval query (Xy_query.Eval.env doc.Xy_xml.Types.root)
+        in
+        List.iter
+          (fun node ->
+            match node with
+            | Xy_xml.Types.Element e ->
+                print_endline (Xy_xml.Printer.element_to_string ~indent:2 e)
+            | Xy_xml.Types.Text s -> print_endline s
+            | Xy_xml.Types.Cdata s -> print_endline s
+            | Xy_xml.Types.Comment _ | Xy_xml.Types.Pi _ -> ())
+          nodes
+  in
+  let query =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"select/from/where query text")
+  in
+  let doc = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate a query against an XML document")
+    Term.(const run $ query $ doc)
+
+(* ------------------------------------------------------------------ *)
+(* diff *)
+
+let diff_cmd =
+  let run old_path new_path =
+    let old_doc = Xy_xml.Parser.parse (read_file old_path) in
+    let new_doc = Xy_xml.Parser.parse (read_file new_path) in
+    let gen = Xy_xml.Xid.gen () in
+    let old_tree = Xy_xml.Xid.label gen old_doc.Xy_xml.Types.root in
+    let delta, _ = Xy_diff.Diff.diff ~gen old_tree new_doc.Xy_xml.Types.root in
+    let name = Filename.remove_extension (Filename.basename old_path) in
+    print_endline
+      (Xy_xml.Printer.element_to_string ~indent:2
+         (Xy_diff.Delta.to_xml ~name delta))
+  in
+  let old_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.xml") in
+  let new_path = Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.xml") in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Print the XID delta document between two versions")
+    Term.(const run $ old_path $ new_path)
+
+(* ------------------------------------------------------------------ *)
+(* validate *)
+
+let validate_cmd =
+  let run doc_path =
+    let doc = Xy_xml.Parser.parse (read_file doc_path) in
+    let declarations = Xy_xml.Dtd.declarations_of_doc doc in
+    if
+      declarations.Xy_xml.Dtd.elements = []
+      && declarations.Xy_xml.Dtd.attributes = []
+    then Printf.printf "%s: no DTD declarations (trivially valid)\n" doc_path
+    else begin
+      match Xy_xml.Dtd.validate declarations doc.Xy_xml.Types.root with
+      | [] ->
+          Printf.printf "%s: valid against its internal DTD subset (%d element declarations)\n"
+            doc_path
+            (List.length declarations.Xy_xml.Dtd.elements)
+      | violations ->
+          List.iter
+            (fun v ->
+              Printf.printf "%s: %s\n" doc_path (Xy_xml.Dtd.violation_to_string v))
+            violations;
+          exit 1
+    end
+  in
+  let doc = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check a document against its internal DTD subset")
+    Term.(const run $ doc)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let run sites days subscriptions seed verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info)
+    end;
+    let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
+    let sink, delivered = Xy_reporter.Sink.counting () in
+    let xyleme = Xy_system.Xyleme.create ~seed ~sink ~web () in
+    let accepted = ref 0 in
+    for i = 0 to subscriptions - 1 do
+      let text =
+        Printf.sprintf
+          {|subscription S%d
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://site%d.example.org/" and modified self
+report when count > 5 atmost daily|}
+          i (i mod sites)
+      in
+      match Xy_system.Xyleme.subscribe xyleme ~owner:(Printf.sprintf "u%d" i) ~text with
+      | Ok _ -> incr accepted
+      | Error _ -> ()
+    done;
+    Xy_system.Xyleme.run xyleme ~days ~step:(6. *. 3600.) ~fetch_limit:500;
+    let stats = Xy_system.Xyleme.stats xyleme in
+    Printf.printf "simulated %.0f days over %d sites, %d subscriptions:\n" days
+      sites !accepted;
+    Printf.printf "  fetched %d, stored %d, alerts %d, notifications %d, reports %d (%d deliveries)\n"
+      stats.Xy_system.Xyleme.documents_fetched
+      stats.Xy_system.Xyleme.documents_stored stats.Xy_system.Xyleme.alerts_sent
+      stats.Xy_system.Xyleme.notifications stats.Xy_system.Xyleme.reports
+      !delivered
+  in
+  let sites = Arg.(value & opt int 8 & info [ "sites" ] ~docv:"N") in
+  let days = Arg.(value & opt float 14. & info [ "days" ] ~docv:"D") in
+  let subscriptions = Arg.(value & opt int 100 & info [ "subscriptions" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log pipeline events") in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run the monitor over a synthetic web")
+    Term.(const run $ sites $ days $ subscriptions $ seed $ verbose)
+
+let () =
+  let doc = "Xyleme change monitoring (SIGMOD 2001 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "xyleme" ~doc)
+          [ check_cmd; query_cmd; diff_cmd; validate_cmd; simulate_cmd ]))

@@ -1,0 +1,52 @@
+(* Change visualization: the XID diff and the "change editor in the
+   spirit of MS-Word" the paper mentions in §5.2.
+
+   We take two versions of a product catalog, compute the XID delta,
+   and print (1) the delta document the versioning system stores,
+   (2) the line summary, and (3) the merged view with
+   change="inserted|updated|deleted" annotations.
+
+   Run with:  dune exec examples/change_editor.exe *)
+
+module Xid = Xy_xml.Xid
+module Parser = Xy_xml.Parser
+module Printer = Xy_xml.Printer
+module Diff = Xy_diff.Diff
+module Delta = Xy_diff.Delta
+module Editor = Xy_diff.Editor
+
+let version1 =
+  {|<catalog>
+  <product><name>tv-55</name><price>499</price><desc>a big television</desc></product>
+  <product><name>radio-1</name><price>29</price><desc>portable radio</desc></product>
+  <product><name>walkman</name><price>49</price><desc>tape player</desc></product>
+</catalog>|}
+
+let version2 =
+  {|<catalog>
+  <product><name>tv-55</name><price>449</price><desc>a big television</desc></product>
+  <product><name>radio-1</name><price>29</price><desc>portable radio</desc></product>
+  <product><name>dx-100</name><price>349</price><desc>a compact digital camera</desc></product>
+</catalog>|}
+
+let () =
+  let gen = Xid.gen () in
+  let old_tree = Xid.label gen (Parser.parse_element version1) in
+  let delta, _new_tree = Diff.diff ~gen old_tree (Parser.parse_element version2) in
+
+  print_endline "=== delta document (what the warehouse stores) ===";
+  print_endline
+    (Printer.element_to_string ~indent:2 (Delta.to_xml ~name:"catalog" delta));
+
+  print_endline "\n=== summary ===";
+  print_endline (Editor.summary_text ~old:old_tree delta);
+
+  print_endline "\n=== merged view (change-annotated) ===";
+  print_endline
+    (Printer.element_to_string ~indent:2 (Editor.merged_view ~old:old_tree delta));
+
+  (* The delta is invertible: reconstruct version 1 from version 2. *)
+  let new_tree = Xy_diff.Apply.apply old_tree delta in
+  let back = Xy_diff.Apply.apply new_tree (Delta.invert delta) in
+  Printf.printf "\nround-trip through invert: %s\n"
+    (if Xid.equal back old_tree then "exact" else "MISMATCH")

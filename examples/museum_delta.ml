@@ -1,0 +1,84 @@
+(* Continuous delta queries: the paper's §5.2 "AmsterdamPaintings"
+   example.  A continuous query is evaluated twice a week over the
+   warehouse's culture domain; with [delta], the first notification
+   carries the full answer and later ones only the XID-based delta
+   documents (<inserted>, <deleted>, <updated>).
+
+   Run with:  dune exec examples/museum_delta.exe *)
+
+module Xyleme = Xy_system.Xyleme
+module Sink = Xy_reporter.Sink
+module Loader = Xy_warehouse.Loader
+module Printer = Xy_xml.Printer
+module Clock = Xy_util.Clock
+
+let museum_url = "http://museums.example.org/rijksmuseum.xml"
+
+let museum_page titles =
+  Printf.sprintf
+    "<culture><museum><address>Amsterdam</address>%s</museum></culture>"
+    (String.concat ""
+       (List.map
+          (fun title -> Printf.sprintf "<painting><title>%s</title></painting>" title)
+          titles))
+
+let subscription =
+  {|subscription Museums
+continuous delta AmsterdamPaintings
+select p/title
+from culture/museum m, m/painting p
+where m/address contains "Amsterdam"
+try biweekly
+report when immediate
+archive monthly|}
+
+let () =
+  let sink, deliveries = Sink.memory () in
+  let xyleme = Xyleme.create ~sink () in
+
+  (* Warehouse the museum page before subscribing. *)
+  ignore
+    (Xyleme.ingest xyleme ~url:museum_url
+       ~content:(museum_page [ "Nightwatch"; "Milkmaid" ])
+       ~kind:Loader.Xml);
+
+  (match Xyleme.subscribe xyleme ~owner:"curator@example.org" ~text:subscription with
+  | Ok name -> Printf.printf "subscribed: %s\n%!" name
+  | Error e -> failwith (Xy_submgr.Manager.error_to_string e));
+
+  let week = 7. *. Clock.day in
+  let print_deliveries label =
+    Printf.printf "=== %s\n" label;
+    List.iteri
+      (fun i d ->
+        Printf.printf "report %d:\n%s\n" (i + 1)
+          (Printer.element_to_string ~indent:2 d.Sink.report))
+      (List.rev !deliveries)
+  in
+
+  (* Half a week: first evaluation -> full answer. *)
+  Xyleme.advance xyleme ~seconds:(week /. 2.);
+  print_deliveries "after the first biweekly evaluation (full answer)";
+
+  (* The museum hangs a new painting; the next evaluation sends only
+     the delta. *)
+  ignore
+    (Xyleme.ingest xyleme ~url:museum_url
+       ~content:(museum_page [ "Nightwatch"; "Milkmaid"; "The Syndics" ])
+       ~kind:Loader.Xml);
+  Xyleme.advance xyleme ~seconds:(week /. 2.);
+  print_deliveries "after a painting was added (delta document)";
+
+  (* A painting leaves on loan: deletion delta. *)
+  ignore
+    (Xyleme.ingest xyleme ~url:museum_url
+       ~content:(museum_page [ "Nightwatch"; "The Syndics" ])
+       ~kind:Loader.Xml);
+  Xyleme.advance xyleme ~seconds:(week /. 2.);
+  print_deliveries "after a painting left (deletion delta)";
+
+  (* A quiet half-week: no notification at all. *)
+  let before = List.length !deliveries in
+  Xyleme.advance xyleme ~seconds:(week /. 2.);
+  Printf.printf "quiet period: %d new report(s) (expected 0)\n"
+    (List.length !deliveries - before)

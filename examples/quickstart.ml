@@ -1,0 +1,73 @@
+(* Quickstart: the paper's §2.2 "MyXyleme" subscription, end to end.
+
+   We build a Xyleme instance, register the subscription (in the
+   paper's concrete syntax), push a few fetched documents through the
+   pipeline by hand, and print the XML report that reaches the
+   subscriber's mailbox.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Xyleme = Xy_system.Xyleme
+module Sink = Xy_reporter.Sink
+module Loader = Xy_warehouse.Loader
+module Printer = Xy_xml.Printer
+
+let subscription =
+  {|subscription MyXyleme
+
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends ``http://inria.fr/Xy/''
+  and modified self
+
+monitoring
+select X
+from self//Member X
+where URL = ``http://inria.fr/Xy/members.xml''
+  and new X
+
+refresh ``http://inria.fr/Xy/members.xml'' weekly
+
+report
+when notifications.count > 2
+|}
+
+let () =
+  (* Deliveries land in memory so we can print them. *)
+  let sink, deliveries = Sink.memory () in
+  let xyleme = Xyleme.create ~sink () in
+
+  (match Xyleme.subscribe xyleme ~owner:"benjamin@inria.fr" ~text:subscription with
+  | Ok name -> Printf.printf "subscribed: %s\n%!" name
+  | Error e -> failwith (Xy_submgr.Manager.error_to_string e));
+
+  let ingest url content =
+    ignore (Xyleme.ingest xyleme ~url ~content ~kind:Loader.Xml)
+  in
+
+  (* Day 0: the crawler discovers the site. *)
+  ingest "http://inria.fr/Xy/index.html" "<page>Welcome to Xyleme</page>";
+  ingest "http://inria.fr/Xy/members.xml"
+    "<team><Member><name>jouglet</name><fn>jeremie</fn></Member></team>";
+
+  (* Later: both pages change; members.xml gains two new members. *)
+  Xyleme.advance xyleme ~seconds:Xy_util.Clock.day;
+  ingest "http://inria.fr/Xy/index.html" "<page>Welcome to Xyleme 2.0</page>";
+  ingest "http://inria.fr/Xy/members.xml"
+    "<team><Member><name>jouglet</name><fn>jeremie</fn></Member>\
+     <Member><name>nguyen</name><fn>benjamin</fn></Member>\
+     <Member><name>preda</name><fn>mihai</fn></Member></team>";
+
+  (* The report condition (count > 2) is now satisfied: one report. *)
+  (match !deliveries with
+  | [] -> print_endline "no report (unexpected)"
+  | d :: _ ->
+      Printf.printf "report for %s, delivered to %s:\n%s\n" d.Sink.subscription
+        d.Sink.recipient
+        (Printer.element_to_string ~indent:2 d.Sink.report));
+
+  let stats = Xyleme.stats xyleme in
+  Printf.printf
+    "\nstats: %d docs stored, %d alerts, %d notifications, %d report(s)\n"
+    stats.Xyleme.documents_stored stats.Xyleme.alerts_sent
+    stats.Xyleme.notifications stats.Xyleme.reports

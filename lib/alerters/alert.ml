@@ -1,0 +1,41 @@
+module T = Xy_xml.Types
+
+type t = {
+  url : string;
+  events : Xy_events.Event_set.t;
+  payload : T.element;
+}
+
+let payload_string t = Xy_xml.Printer.element_to_string t.payload
+
+let build ~meta ~status ~matched events =
+  let open Xy_warehouse in
+  let attrs =
+    [
+      ("url", meta.Meta.url);
+      ("status", Xy_events.Atomic.status_to_string status);
+      ("docid", string_of_int meta.Meta.docid);
+      ("version", string_of_int meta.Meta.version);
+    ]
+    @ (match meta.Meta.domain with
+      | Some domain -> [ ("domain", domain) ]
+      | None -> [])
+    @
+    match meta.Meta.dtd with Some dtd -> [ ("dtd", dtd) ] | None -> []
+  in
+  let matched_elements =
+    List.map
+      (fun (code, elements) ->
+        T.el "matched"
+          ~attrs:[ ("code", string_of_int code) ]
+          (List.map (fun e -> T.Element e) elements))
+      matched
+  in
+  {
+    url = meta.Meta.url;
+    events;
+    payload = T.element "doc" ~attrs matched_elements;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "alert %s %a" t.url Xy_events.Event_set.pp t.events

@@ -1,0 +1,30 @@
+(** Alerts: the unit of communication from the alerters to the
+    Monitoring Query Processor.
+
+    "An alert is sent to the Monitoring Query Processor that consists
+    of the set of atomic events detected together with the requested
+    data" (§3); the data rides along as an XML payload the processor
+    never interprets. *)
+
+type t = {
+  url : string;
+  events : Xy_events.Event_set.t;
+  payload : Xy_xml.Types.element;
+      (** [<doc url=... status=...> <matched code=...>...</matched>* </doc>] *)
+}
+
+(** [payload t] renders the payload as the opaque string the
+    processor forwards. *)
+val payload_string : t -> string
+
+(** [build ~meta ~status ~matched events] assembles the payload
+    document.  [matched] carries, per element-condition code, the
+    elements that raised it. *)
+val build :
+  meta:Xy_warehouse.Meta.t ->
+  status:Xy_events.Atomic.status ->
+  matched:(int * Xy_xml.Types.element list) list ->
+  Xy_events.Event_set.t ->
+  t
+
+val pp : Format.formatter -> t -> unit

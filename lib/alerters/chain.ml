@@ -1,0 +1,74 @@
+module Atomic = Xy_events.Atomic
+module Registry = Xy_events.Registry
+module Event_set = Xy_events.Event_set
+module Loader = Xy_warehouse.Loader
+
+type t = {
+  registry : Registry.t;
+  url : Url_alerter.t;
+  xml : Xml_alerter.t;
+  html : Html_alerter.t;
+}
+
+let create ?extends_impl registry =
+  {
+    registry;
+    url = Url_alerter.create ?extends_impl registry;
+    xml = Xml_alerter.create registry;
+    html = Html_alerter.create registry;
+  }
+
+let url_alerter t = t.url
+let xml_alerter t = t.xml
+let html_alerter t = t.html
+
+let status_of_loader = function
+  | Loader.New -> Atomic.New
+  | Loader.Unchanged -> Atomic.Unchanged
+  | Loader.Updated -> Atomic.Updated
+
+let has_strong t codes =
+  List.exists
+    (fun code ->
+      match Registry.condition t.registry code with
+      | Some condition -> not (Atomic.is_weak condition)
+      | None -> false)
+    codes
+
+let assemble t ~meta ~status ~url_codes ~content_codes ~matched =
+  let codes = List.sort_uniq compare (List.rev_append url_codes content_codes) in
+  if codes = [] || not (has_strong t codes) then None
+  else
+    Some (Alert.build ~meta ~status ~matched (Event_set.of_list codes))
+
+let process t ~result ~content =
+  let meta = result.Loader.meta in
+  let status = status_of_loader result.Loader.status in
+  let url_codes = Url_alerter.detect t.url ~meta ~status in
+  let content_codes, matched =
+    match result.Loader.doc with
+    | Some _ ->
+        let detection = Xml_alerter.detect t.xml ~result in
+        (detection.Xml_alerter.codes, detection.Xml_alerter.data)
+    | None ->
+        (* HTML: lenient DOM parse, then the same current-content
+           detection as XML (tags, contains, strict contains), plus
+           the lightweight keyword pass. *)
+        let dom_codes =
+          Xml_alerter.detect_tree t.xml (Xy_xml.Html.parse content)
+        in
+        (List.rev_append (Html_alerter.detect t.html ~content) dom_codes, [])
+  in
+  assemble t ~meta ~status ~url_codes ~content_codes ~matched
+
+let process_deleted t ~meta ~tree =
+  let status = Atomic.Deleted in
+  let url_codes = Url_alerter.detect t.url ~meta ~status in
+  let content_codes, matched =
+    match tree with
+    | Some tree ->
+        let detection = Xml_alerter.detect_deleted t.xml ~tree in
+        (detection.Xml_alerter.codes, detection.Xml_alerter.data)
+    | None -> ([], [])
+  in
+  assemble t ~meta ~status ~url_codes ~content_codes ~matched

@@ -1,0 +1,31 @@
+(** The alerter chain (paper §6.1).
+
+    "We collect all the atomic events of interest on a given document
+    before sending them to the Monitoring Query Processor": the URL
+    alerter runs first on the metadata, then the XML or HTML alerter
+    on the content, and a single alert carrying the union is produced.
+
+    The weak/strong rule (§5.1) is enforced here: a document raises an
+    alert only if at least one *strong* event was detected — otherwise
+    every fetched page would raise [new]/[updated]/[unchanged] and
+    flood the processor. *)
+
+type t
+
+val create :
+  ?extends_impl:Url_alerter.extends_impl -> Xy_events.Registry.t -> t
+
+val url_alerter : t -> Url_alerter.t
+val xml_alerter : t -> Xml_alerter.t
+val html_alerter : t -> Html_alerter.t
+
+(** [process t ~result ~content] runs the chain on one loaded page.
+    [None] when no strong event of interest was raised. *)
+val process :
+  t -> result:Xy_warehouse.Loader.result -> content:string -> Alert.t option
+
+(** [process_deleted t ~meta ~tree] handles a page that disappeared:
+    [deleted self] plus element deletions from its last stored
+    version. *)
+val process_deleted :
+  t -> meta:Xy_warehouse.Meta.t -> tree:Xy_xml.Xid.tree option -> Alert.t option

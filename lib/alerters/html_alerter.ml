@@ -1,0 +1,78 @@
+module Atomic = Xy_events.Atomic
+module Registry = Xy_events.Registry
+
+type t = {
+  words : (string, int list ref) Hashtbl.t;
+  mutable count : int;
+}
+
+let handles = function Atomic.Doc_contains _ -> true | _ -> false
+
+let index t code = function
+  | Atomic.Doc_contains word -> (
+      let word = String.lowercase_ascii word in
+      match Hashtbl.find_opt t.words word with
+      | Some codes -> codes := code :: !codes
+      | None -> Hashtbl.replace t.words word (ref [ code ]))
+  | _ -> ()
+
+let unindex t code = function
+  | Atomic.Doc_contains word -> (
+      let word = String.lowercase_ascii word in
+      match Hashtbl.find_opt t.words word with
+      | None -> ()
+      | Some codes ->
+          codes := List.filter (fun c -> c <> code) !codes;
+          if !codes = [] then Hashtbl.remove t.words word)
+  | _ -> ()
+
+let create registry =
+  let t = { words = Hashtbl.create 256; count = 0 } in
+  Registry.iter
+    (fun code condition ->
+      if handles condition then begin
+        index t code condition;
+        t.count <- t.count + 1
+      end)
+    registry;
+  Registry.on_change registry (fun change ->
+      match change with
+      | `Added (code, condition) when handles condition ->
+          index t code condition;
+          t.count <- t.count + 1
+      | `Removed (code, condition) when handles condition ->
+          unindex t code condition;
+          t.count <- t.count - 1
+      | `Added _ | `Removed _ -> ());
+  t
+
+(* Remove <...> markup so tag names and attributes don't register as
+   page words. *)
+let strip_markup content =
+  let buf = Buffer.create (String.length content) in
+  let in_tag = ref false in
+  String.iter
+    (fun c ->
+      if c = '<' then in_tag := true
+      else if c = '>' then begin
+        in_tag := false;
+        Buffer.add_char buf ' '
+      end
+      else if not !in_tag then Buffer.add_char buf c)
+    content;
+  Buffer.contents buf
+
+let detect t ~content =
+  if Hashtbl.length t.words = 0 then []
+  else begin
+    let acc = ref [] in
+    List.iter
+      (fun word ->
+        match Hashtbl.find_opt t.words word with
+        | Some codes -> acc := List.rev_append !codes !acc
+        | None -> ())
+      (Xy_query.Eval.words_of (strip_markup content));
+    List.sort_uniq compare !acc
+  end
+
+let condition_count t = t.count

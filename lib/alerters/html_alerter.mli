@@ -1,0 +1,18 @@
+(** The HTML Alerter.
+
+    HTML pages are not warehoused — Xyleme keeps their signature only —
+    so the only content condition available is [self contains word],
+    checked against the page text at fetch time.  (The paper notes the
+    HTML alerter was not yet implemented; the behaviour here follows
+    the design in §3/§6.) *)
+
+type t
+
+val create : Xy_events.Registry.t -> t
+
+(** [detect t ~content] returns the sorted codes of [self contains]
+    conditions whose word occurs in the page text (tag markup
+    stripped). *)
+val detect : t -> content:string -> int list
+
+val condition_count : t -> int

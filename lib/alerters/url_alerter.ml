@@ -1,0 +1,363 @@
+module Atomic = Xy_events.Atomic
+module Registry = Xy_events.Registry
+module Meta = Xy_warehouse.Meta
+
+type extends_impl = Hash_prefixes | Trie
+
+(* Multi-map string -> codes. *)
+module Smap = struct
+  type t = (string, int list ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 256
+
+  let add (t : t) key code =
+    match Hashtbl.find_opt t key with
+    | Some codes -> codes := code :: !codes
+    | None -> Hashtbl.replace t key (ref [ code ])
+
+  let remove (t : t) key code =
+    match Hashtbl.find_opt t key with
+    | None -> ()
+    | Some codes ->
+        codes := List.filter (fun c -> c <> code) !codes;
+        if !codes = [] then Hashtbl.remove t key
+
+  let find (t : t) key =
+    match Hashtbl.find_opt t key with Some codes -> !codes | None -> []
+
+  let memory_words (t : t) =
+    Hashtbl.fold
+      (fun key codes acc ->
+        acc + 4 + (String.length key / 8) + 2 + (3 * List.length !codes))
+      t 0
+end
+
+(* Hash table over *prefix patterns*, probed with a rolling hash: one
+   FNV-1a step per URL character gives the hash of every prefix
+   without allocating substrings — "the dominating cost is the look-up
+   in the million-records hash table" (§6.2). *)
+module Prefix_hash = struct
+  type t = {
+    table : (int, (string * int list ref) list ref) Hashtbl.t;
+    mutable patterns : int;
+    mutable min_len : int;  (* bounds on registered pattern lengths,
+                               to skip probes that cannot match *)
+    mutable max_len : int;
+  }
+
+  let create () =
+    { table = Hashtbl.create 1024; patterns = 0; min_len = max_int; max_len = 0 }
+
+  let fnv_offset = 0xcbf29ce484222325L
+  let fnv_prime = 0x100000001b3L
+
+  let step h c =
+    Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) fnv_prime
+
+  (* Unboxed key for the table: int64 hash folded to an immediate. *)
+  let key h = Int64.to_int h land max_int
+
+  let hash_string s =
+    let h = ref fnv_offset in
+    String.iter (fun c -> h := step !h c) s;
+    !h
+
+  let add t pattern code =
+    let h = key (hash_string pattern) in
+    (match Hashtbl.find_opt t.table h with
+    | None -> Hashtbl.replace t.table h (ref [ (pattern, ref [ code ]) ])
+    | Some bucket -> (
+        match List.assoc_opt pattern !bucket with
+        | Some codes -> codes := code :: !codes
+        | None -> bucket := (pattern, ref [ code ]) :: !bucket));
+    t.patterns <- t.patterns + 1;
+    t.min_len <- min t.min_len (String.length pattern);
+    t.max_len <- max t.max_len (String.length pattern)
+
+  let remove t pattern code =
+    let h = key (hash_string pattern) in
+    match Hashtbl.find_opt t.table h with
+    | None -> ()
+    | Some bucket -> (
+        match List.assoc_opt pattern !bucket with
+        | None -> ()
+        | Some codes ->
+            codes := List.filter (fun c -> c <> code) !codes;
+            if !codes = [] then begin
+              bucket := List.filter (fun (p, _) -> p <> pattern) !bucket;
+              if !bucket = [] then Hashtbl.remove t.table h
+            end;
+            t.patterns <- t.patterns - 1)
+
+  (* [pattern] has the same hash as [String.sub url 0 len]; confirm the
+     match without allocating. *)
+  let prefix_equal pattern url len =
+    String.length pattern = len
+    &&
+    let rec go i = i >= len || (pattern.[i] = url.[i] && go (i + 1)) in
+    go 0
+
+  let match_prefixes t url acc =
+    if t.patterns = 0 then acc
+    else begin
+      let acc = ref acc in
+      let h = ref fnv_offset in
+      let last = min (String.length url) t.max_len - 1 in
+      for i = 0 to last do
+        h := step !h url.[i];
+        if i + 1 >= t.min_len then
+          match Hashtbl.find_opt t.table (key !h) with
+          | None -> ()
+          | Some bucket ->
+              List.iter
+                (fun (pattern, codes) ->
+                  if prefix_equal pattern url (i + 1) then
+                    acc := List.rev_append !codes !acc)
+                !bucket
+      done;
+      !acc
+    end
+
+  let memory_words t =
+    Hashtbl.fold
+      (fun _ bucket acc ->
+        List.fold_left
+          (fun acc (pattern, codes) ->
+            acc + 6 + (String.length pattern / 8) + 2 + (3 * List.length !codes))
+          (acc + 3) !bucket)
+      t.table 0
+end
+
+(* Byte trie over pattern characters; a node's [codes] are the
+   patterns ending exactly there. *)
+module Trie_impl = struct
+  type node = {
+    mutable codes : int list;
+    children : (char, node) Hashtbl.t;
+  }
+
+  type t = node
+
+  let create () = { codes = []; children = Hashtbl.create 8 }
+
+  let add t pattern code =
+    let rec go node i =
+      if i = String.length pattern then node.codes <- code :: node.codes
+      else
+        let c = pattern.[i] in
+        let child =
+          match Hashtbl.find_opt node.children c with
+          | Some child -> child
+          | None ->
+              let child = { codes = []; children = Hashtbl.create 4 } in
+              Hashtbl.replace node.children c child;
+              child
+        in
+        go child (i + 1)
+    in
+    go t 0
+
+  let remove t pattern code =
+    (* Returns true when the child became empty. *)
+    let rec go node i =
+      if i = String.length pattern then begin
+        node.codes <- List.filter (fun c -> c <> code) node.codes;
+        node.codes = [] && Hashtbl.length node.children = 0
+      end
+      else
+        match Hashtbl.find_opt node.children pattern.[i] with
+        | None -> false
+        | Some child ->
+            if go child (i + 1) then Hashtbl.remove node.children pattern.[i];
+            node.codes = [] && Hashtbl.length node.children = 0
+    in
+    ignore (go t 0)
+
+  (* All patterns that are prefixes of [url]. *)
+  let match_prefixes t url acc =
+    let rec go node i acc =
+      let acc = List.rev_append node.codes acc in
+      if i >= String.length url then acc
+      else
+        match Hashtbl.find_opt node.children url.[i] with
+        | None -> acc
+        | Some child -> go child (i + 1) acc
+    in
+    go t 0 acc
+
+  let rec memory_words node =
+    4
+    + (2 * Hashtbl.length node.children)
+    + (3 * List.length node.codes)
+    + Hashtbl.fold (fun _ child acc -> acc + memory_words child) node.children 0
+end
+
+type date_condition = {
+  dc_code : int;
+  field : [ `Accessed | `Updated ];
+  comparator : Atomic.comparator;
+  date : float;
+}
+
+type t = {
+  extends_impl : extends_impl;
+  exact : Smap.t;
+  extends_hash : Prefix_hash.t;
+  extends_trie : Trie_impl.t;
+  filenames : Smap.t;
+  dtds : Smap.t;
+  domains : Smap.t;
+  docids : (int, int list ref) Hashtbl.t;
+  dtdids : (int, int list ref) Hashtbl.t;
+  statuses : (Atomic.status, int list ref) Hashtbl.t;
+  mutable dates : date_condition list;
+  mutable count : int;
+}
+
+let int_add table key code =
+  match Hashtbl.find_opt table key with
+  | Some codes -> codes := code :: !codes
+  | None -> Hashtbl.replace table key (ref [ code ])
+
+let int_remove table key code =
+  match Hashtbl.find_opt table key with
+  | None -> ()
+  | Some codes ->
+      codes := List.filter (fun c -> c <> code) !codes;
+      if !codes = [] then Hashtbl.remove table key
+
+let int_find table key =
+  match Hashtbl.find_opt table key with Some codes -> !codes | None -> []
+
+let index t code condition =
+  match condition with
+  | Atomic.Url_equals url -> Smap.add t.exact url code
+  | Atomic.Url_extends prefix -> (
+      match t.extends_impl with
+      | Hash_prefixes -> Prefix_hash.add t.extends_hash prefix code
+      | Trie -> Trie_impl.add t.extends_trie prefix code)
+  | Atomic.Filename_equals name -> Smap.add t.filenames name code
+  | Atomic.Dtd_equals dtd -> Smap.add t.dtds dtd code
+  | Atomic.Domain_equals domain -> Smap.add t.domains domain code
+  | Atomic.Docid_equals id -> int_add t.docids id code
+  | Atomic.Dtdid_equals id -> int_add t.dtdids id code
+  | Atomic.Doc_status status -> int_add t.statuses status code
+  | Atomic.Last_accessed (comparator, date) ->
+      t.dates <-
+        { dc_code = code; field = `Accessed; comparator; date } :: t.dates
+  | Atomic.Last_updated (comparator, date) ->
+      t.dates <-
+        { dc_code = code; field = `Updated; comparator; date } :: t.dates
+  | Atomic.Doc_contains _ | Atomic.Has_tag _ | Atomic.Element _ -> ()
+
+let unindex t code condition =
+  match condition with
+  | Atomic.Url_equals url -> Smap.remove t.exact url code
+  | Atomic.Url_extends prefix -> (
+      match t.extends_impl with
+      | Hash_prefixes -> Prefix_hash.remove t.extends_hash prefix code
+      | Trie -> Trie_impl.remove t.extends_trie prefix code)
+  | Atomic.Filename_equals name -> Smap.remove t.filenames name code
+  | Atomic.Dtd_equals dtd -> Smap.remove t.dtds dtd code
+  | Atomic.Domain_equals domain -> Smap.remove t.domains domain code
+  | Atomic.Docid_equals id -> int_remove t.docids id code
+  | Atomic.Dtdid_equals id -> int_remove t.dtdids id code
+  | Atomic.Doc_status status -> int_remove t.statuses status code
+  | Atomic.Last_accessed _ | Atomic.Last_updated _ ->
+      t.dates <- List.filter (fun dc -> dc.dc_code <> code) t.dates
+  | Atomic.Doc_contains _ | Atomic.Has_tag _ | Atomic.Element _ -> ()
+
+let handles condition = Atomic.alerter condition = Atomic.Url_kind
+
+let create ?(extends_impl = Hash_prefixes) registry =
+  let t =
+    {
+      extends_impl;
+      exact = Smap.create ();
+      extends_hash = Prefix_hash.create ();
+      extends_trie = Trie_impl.create ();
+      filenames = Smap.create ();
+      dtds = Smap.create ();
+      domains = Smap.create ();
+      docids = Hashtbl.create 256;
+      dtdids = Hashtbl.create 64;
+      statuses = Hashtbl.create 8;
+      dates = [];
+      count = 0;
+    }
+  in
+  Registry.iter
+    (fun code condition ->
+      if handles condition then begin
+        index t code condition;
+        t.count <- t.count + 1
+      end)
+    registry;
+  Registry.on_change registry (fun change ->
+      match change with
+      | `Added (code, condition) when handles condition ->
+          index t code condition;
+          t.count <- t.count + 1
+      | `Removed (code, condition) when handles condition ->
+          unindex t code condition;
+          t.count <- t.count - 1
+      | `Added _ | `Removed _ -> ());
+  t
+
+let match_extends t url acc =
+  match t.extends_impl with
+  | Trie -> Trie_impl.match_prefixes t.extends_trie url acc
+  | Hash_prefixes -> Prefix_hash.match_prefixes t.extends_hash url acc
+
+let detect t ~meta ~status =
+  let url = meta.Meta.url in
+  let acc = Smap.find t.exact url in
+  let acc = match_extends t url acc in
+  let acc = List.rev_append (Smap.find t.filenames (Meta.filename url)) acc in
+  let acc =
+    match meta.Meta.dtd with
+    | Some dtd -> List.rev_append (Smap.find t.dtds dtd) acc
+    | None -> acc
+  in
+  let acc =
+    match meta.Meta.domain with
+    | Some domain -> List.rev_append (Smap.find t.domains domain) acc
+    | None -> acc
+  in
+  let acc = List.rev_append (int_find t.docids meta.Meta.docid) acc in
+  let acc =
+    match meta.Meta.dtdid with
+    | Some id -> List.rev_append (int_find t.dtdids id) acc
+    | None -> acc
+  in
+  let acc = List.rev_append (int_find t.statuses status) acc in
+  let acc =
+    List.fold_left
+      (fun acc dc ->
+        let value =
+          match dc.field with
+          | `Accessed -> meta.Meta.last_accessed
+          | `Updated -> meta.Meta.last_updated
+        in
+        let holds =
+          match dc.comparator with
+          | Atomic.Before -> value < dc.date
+          | Atomic.After -> value > dc.date
+        in
+        if holds then dc.dc_code :: acc else acc)
+      acc t.dates
+  in
+  List.sort_uniq compare acc
+
+let condition_count t = t.count
+
+let approx_memory_words t =
+  Smap.memory_words t.exact
+  + Prefix_hash.memory_words t.extends_hash
+  + Trie_impl.memory_words t.extends_trie
+  + Smap.memory_words t.filenames
+  + Smap.memory_words t.dtds
+  + Smap.memory_words t.domains
+  + (4 * Hashtbl.length t.docids)
+  + (4 * Hashtbl.length t.dtdids)
+  + (6 * List.length t.dates)

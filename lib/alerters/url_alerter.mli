@@ -1,0 +1,41 @@
+(** The URL Alerter (paper §6.2).
+
+    Detects the metadata conditions — URL patterns, DOCID/DTDID/DTD,
+    semantic domain, access/update dates, document status — for each
+    fetched page, producing the *sorted* sequence of atomic-event
+    codes the Monitoring Query Processor expects.
+
+    The dominant cost is URL-pattern detection; two structures are
+    provided for [URL extends string]:
+
+    - {!Hash_prefixes}: one hash-table entry per registered pattern;
+      lookup probes every prefix of the fetched URL ("the dominating
+      cost is the look-up in the million-records hash table");
+    - {!Trie}: a dictionary over pattern bytes; lookup walks the URL
+      once ("this improved the speed by about 30 percent.  But in
+      terms of memory size, the overhead was too high").
+
+    The [tbl-url] bench reproduces that comparison. *)
+
+type extends_impl = Hash_prefixes | Trie
+
+type t
+
+(** [create ?extends_impl registry] builds the alerter and wires it to
+    the registry: conditions already registered are indexed, and the
+    alerter follows later registrations/retirements dynamically. *)
+val create : ?extends_impl:extends_impl -> Xy_events.Registry.t -> t
+
+(** [detect t ~meta ~status] returns the sorted codes of all URL-kind
+    atomic events raised by this fetch.  [meta] carries the
+    *post-load* metadata; [status] the change status of the fetch. *)
+val detect :
+  t -> meta:Xy_warehouse.Meta.t -> status:Xy_events.Atomic.status -> int list
+
+(** [condition_count t] is the number of conditions currently
+    indexed. *)
+val condition_count : t -> int
+
+(** [approx_memory_words t] estimates the index footprint, for the
+    hash-vs-trie experiment. *)
+val approx_memory_words : t -> int

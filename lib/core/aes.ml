@@ -1,0 +1,158 @@
+(* Each table tracks the range of its keys: because the incoming event
+   set is sorted, the suffix scan inside a sub-table can stop at the
+   table's maximum key and skip events below its minimum — this prunes
+   most of the quadratic suffix-scanning the published Notif procedure
+   performs (see the tbl-probes experiment).  Bounds are not shrunk on
+   removal (they stay conservative upper bounds, which is correct). *)
+type cell = { mutable marks : int list; mutable sub : table option }
+
+and table = {
+  cells : (int, cell) Hashtbl.t;
+  mutable min_key : int;
+  mutable max_key : int;
+}
+
+type t = {
+  root : table;
+  registered : (int, Xy_events.Event_set.t) Hashtbl.t;  (** id -> events *)
+  mutable probe_count : int;
+}
+
+let name = "aes"
+
+let new_table capacity =
+  { cells = Hashtbl.create capacity; min_key = max_int; max_key = min_int }
+
+let create () =
+  { root = new_table 1024; registered = Hashtbl.create 1024; probe_count = 0 }
+
+let get_cell table code =
+  if code < table.min_key then table.min_key <- code;
+  if code > table.max_key then table.max_key <- code;
+  match Hashtbl.find_opt table.cells code with
+  | Some cell -> cell
+  | None ->
+      let cell = { marks = []; sub = None } in
+      Hashtbl.replace table.cells code cell;
+      cell
+
+let add t ~id events =
+  let arity = Array.length events in
+  if arity = 0 then invalid_arg "Aes.add: empty complex event";
+  if Hashtbl.mem t.registered id then invalid_arg "Aes.add: duplicate id";
+  Hashtbl.replace t.registered id events;
+  let rec insert table i =
+    let cell = get_cell table events.(i) in
+    if i = arity - 1 then cell.marks <- id :: cell.marks
+    else begin
+      let sub =
+        match cell.sub with
+        | Some sub -> sub
+        | None ->
+            let sub = new_table 4 in
+            cell.sub <- Some sub;
+            sub
+      in
+      insert sub (i + 1)
+    end
+  in
+  insert t.root 0
+
+let remove t ~id =
+  match Hashtbl.find_opt t.registered id with
+  | None -> raise Not_found
+  | Some events ->
+      Hashtbl.remove t.registered id;
+      let arity = Array.length events in
+      (* Returns true when the cell for events.(i) became empty and was
+         removed, letting the parent prune. *)
+      let rec delete table i =
+        let cell = Hashtbl.find table.cells events.(i) in
+        if i = arity - 1 then
+          cell.marks <- List.filter (fun m -> m <> id) cell.marks
+        else begin
+          match cell.sub with
+          | None -> assert false
+          | Some sub ->
+              if delete sub (i + 1) && Hashtbl.length sub.cells = 0 then
+                cell.sub <- None
+        end;
+        if cell.marks = [] && cell.sub = None then begin
+          Hashtbl.remove table.cells events.(i);
+          true
+        end
+        else false
+      in
+      ignore (delete t.root 0)
+
+let events t ~id =
+  match Hashtbl.find_opt t.registered id with
+  | Some events -> events
+  | None -> raise Not_found
+
+(* The recursive Notif function of §4.2, accumulating marks; the
+   sorted order of [s] lets the scan stop once past the table's key
+   range. *)
+let match_set t s =
+  let n = Array.length s in
+  let acc = ref [] in
+  let probes = ref 0 in
+  let rec notif table i =
+    if i < n then begin
+      let code = Array.unsafe_get s i in
+      if code <= table.max_key then begin
+        if code >= table.min_key then begin
+          incr probes;
+          match Hashtbl.find_opt table.cells code with
+          | None -> ()
+          | Some cell ->
+              List.iter (fun mark -> acc := mark :: !acc) cell.marks;
+              (match cell.sub with
+              | Some sub when i + 1 < n -> notif sub (i + 1)
+              | Some _ | None -> ())
+        end;
+        notif table (i + 1)
+      end
+      (* code > max_key: every later event is larger still — stop *)
+    end
+  in
+  notif t.root 0;
+  t.probe_count <- t.probe_count + !probes;
+  List.sort_uniq compare !acc
+
+let probes t = t.probe_count
+let reset_probes t = t.probe_count <- 0
+
+let complex_count t = Hashtbl.length t.registered
+
+type stats = { tables : int; cells : int; marks : int; max_depth : int }
+
+let stats t =
+  let tables = ref 0 and cells = ref 0 and marks = ref 0 and max_depth = ref 0 in
+  let rec walk depth table =
+    incr tables;
+    if depth > !max_depth then max_depth := depth;
+    Hashtbl.iter
+      (fun _ (cell : cell) ->
+        incr cells;
+        marks := !marks + List.length cell.marks;
+        match cell.sub with Some sub -> walk (depth + 1) sub | None -> ())
+      table.cells
+  in
+  walk 1 t.root;
+  { tables = !tables; cells = !cells; marks = !marks; max_depth = !max_depth }
+
+let approx_memory_words t =
+  let s = stats t in
+  (* Rough model: a hashtable costs ~(2 * buckets + 4) words, a bucket
+     chain entry ~5 words, a cell record 3 words, a mark cons cell 3
+     words, plus the registered-events table (id, array of arity). *)
+  let table_words = s.tables * 10 in
+  let entry_words = s.cells * (5 + 3) in
+  let mark_words = s.marks * 3 in
+  let registered_words =
+    Hashtbl.fold
+      (fun _ events acc -> acc + 8 + Array.length events)
+      t.registered 0
+  in
+  table_words + entry_words + mark_words + registered_words

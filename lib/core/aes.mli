@@ -1,0 +1,42 @@
+(** The "Atomic Event Sets" algorithm (paper §4.2).
+
+    The structure is a tree of hash tables over atomic-event codes.
+    The entry table [H] covers all first (smallest) events of complex
+    events; a sub-table [H_{a1,...,ai}] covers the complex events whose
+    event set starts with the prefix [a1 < ... < ai].  A *mark* on a
+    cell records a complex event whose set is exactly the path from
+    the root to that cell.  "This data structure is similar to the
+    data-mining hash-tree" — finding all complex events supported by a
+    document's event set is itemset-support counting.
+
+    Matching an ordered set [a_i ... a_n] against a table [T]:
+
+    {v
+    Notif(T, a_i...a_n):
+      for j in i..n:
+        (a) if T[a_j] is marked, emit its marks
+        (b) if T[a_j] points to a sub-table T',
+            Notif(T', a_{j+1}...a_n)
+    v}
+
+    Experimental behaviour (reproduced by [bench/main.exe]): linear in
+    [Card(S)] (Figure 5), linear in [log k] (Figure 6), independent of
+    the complex-event arity [b] for [b ≪ Card(S)]. *)
+
+include Matcher.S
+
+(** Structure statistics, for the memory experiment. *)
+type stats = { tables : int; cells : int; marks : int; max_depth : int }
+
+val stats : t -> stats
+
+(** Probe accounting: {!match_set} counts every cell lookup it
+    performs.  The paper's complexity analysis ("experimentation shows
+    that the algorithm runs in O(s · log k)") can then be validated by
+    counting work instead of timing it. *)
+
+(** [probes t] is the cumulative number of table lookups performed by
+    [match_set] since creation (or the last {!reset_probes}). *)
+val probes : t -> int
+
+val reset_probes : t -> unit

@@ -1,0 +1,11 @@
+(** Baseline matcher: inverted-index counting.
+
+    Classic publish/subscribe counting algorithm: a full inverted
+    index maps every atomic event to the complex events containing
+    it; matching a set [S] bumps one counter per (event, complex
+    event) posting and reports the complex events whose counter
+    reaches their arity.  Work per document is
+    [Σ_{a ∈ S} k_a ≈ Card(S) · k] — linear in [k] where the paper's
+    algorithm is logarithmic (Figure 6). *)
+
+include Matcher.S

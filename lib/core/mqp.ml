@@ -1,0 +1,82 @@
+type alert = { url : string; events : Xy_events.Event_set.t; payload : string }
+type notification = { complex_id : int; url : string; payload : string }
+type algorithm = Use_aes | Use_naive | Use_counting
+
+type packed = Packed : (module Matcher.S with type t = 'a) * 'a -> packed
+
+type t = {
+  matcher : packed;
+  mutable listeners : (notification -> unit) list;
+  mutable batch_listeners : (alert -> int list -> unit) list;
+  mutable alerts_processed : int;
+  mutable notifications_emitted : int;
+}
+
+let pack (type a) (module M : Matcher.S with type t = a) =
+  Packed ((module M), M.create ())
+
+let create ?(algorithm = Use_aes) () =
+  let matcher =
+    match algorithm with
+    | Use_aes -> pack (module Aes)
+    | Use_naive -> pack (module Naive)
+    | Use_counting -> pack (module Counting)
+  in
+  {
+    matcher;
+    listeners = [];
+    batch_listeners = [];
+    alerts_processed = 0;
+    notifications_emitted = 0;
+  }
+
+let algorithm_name t =
+  let (Packed ((module M), _)) = t.matcher in
+  M.name
+
+let subscribe t ~id events =
+  let (Packed ((module M), m)) = t.matcher in
+  M.add m ~id events
+
+let unsubscribe t ~id =
+  let (Packed ((module M), m)) = t.matcher in
+  M.remove m ~id
+
+let process t alert =
+  let (Packed ((module M), m)) = t.matcher in
+  let matched = M.match_set m alert.events in
+  t.alerts_processed <- t.alerts_processed + 1;
+  if t.listeners <> [] then
+    List.iter
+      (fun complex_id ->
+        let notification = { complex_id; url = alert.url; payload = alert.payload } in
+        List.iter (fun listener -> listener notification) t.listeners)
+      matched;
+  t.notifications_emitted <- t.notifications_emitted + List.length matched;
+  if matched <> [] then
+    List.iter (fun listener -> listener alert matched) t.batch_listeners;
+  matched
+
+let on_notify t listener = t.listeners <- listener :: t.listeners
+let on_batch t listener = t.batch_listeners <- listener :: t.batch_listeners
+
+let complex_count t =
+  let (Packed ((module M), m)) = t.matcher in
+  M.complex_count m
+
+let approx_memory_words t =
+  let (Packed ((module M), m)) = t.matcher in
+  M.approx_memory_words m
+
+type stats = {
+  alerts_processed : int;
+  notifications_emitted : int;
+  complex_events : int;
+}
+
+let stats (t : t) =
+  {
+    alerts_processed = t.alerts_processed;
+    notifications_emitted = t.notifications_emitted;
+    complex_events = complex_count t;
+  }

@@ -1,0 +1,67 @@
+(** The Monitoring Query Processor (paper §4).
+
+    Receives, for each fetched document, the *alert* built by the
+    alerters — the ordered set of atomic events detected plus opaque
+    XML payload — and emits one *notification* per complex event
+    included in the alert's event set.  "All the complex events are
+    detected on a document simultaneously and thus are sent to the
+    Reporter/Trigger Engine in one batch."
+
+    The processor "has no semantic knowledge of the data associated to
+    the atomic or complex events it handles": payloads flow through
+    untouched. *)
+
+type alert = {
+  url : string;
+  events : Xy_events.Event_set.t;
+  payload : string;  (** opaque XML, alerter → reporter *)
+}
+
+type notification = {
+  complex_id : int;
+  url : string;
+  payload : string;
+}
+
+type algorithm = Use_aes | Use_naive | Use_counting
+
+type t
+
+(** [create ~algorithm ()] — defaults to the paper's {!Aes}. *)
+val create : ?algorithm:algorithm -> unit -> t
+
+val algorithm_name : t -> string
+
+(** [subscribe t ~id events] registers a complex event (a conjunction
+    of atomic-event codes).  Dynamic: allowed while processing. *)
+val subscribe : t -> id:int -> Xy_events.Event_set.t -> unit
+
+val unsubscribe : t -> id:int -> unit
+
+(** [process t alert] matches the alert and returns the batch of
+    matched complex-event ids (sorted); listeners installed with
+    {!on_notify} receive one notification per match. *)
+val process : t -> alert -> int list
+
+(** [on_notify t f] installs a notification listener (the Reporter
+    and the Trigger Engine). *)
+val on_notify : t -> (notification -> unit) -> unit
+
+(** [on_batch t f] installs a batch listener: [f alert matched] is
+    called once per processed alert with the full (sorted) match list
+    — "all the complex events are detected on a document
+    simultaneously and thus are sent ... in one batch".  Used by the
+    Subscription Manager to deduplicate disjunctive monitoring
+    queries within a document. *)
+val on_batch : t -> (alert -> int list -> unit) -> unit
+
+val complex_count : t -> int
+val approx_memory_words : t -> int
+
+type stats = {
+  alerts_processed : int;
+  notifications_emitted : int;
+  complex_events : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,60 @@
+type t = {
+  by_first : (int, int list ref) Hashtbl.t;  (** smallest event -> ids *)
+  registered : (int, Xy_events.Event_set.t) Hashtbl.t;
+}
+
+let name = "naive"
+
+let create () = { by_first = Hashtbl.create 1024; registered = Hashtbl.create 1024 }
+
+let add t ~id events =
+  if Array.length events = 0 then invalid_arg "Naive.add: empty complex event";
+  if Hashtbl.mem t.registered id then invalid_arg "Naive.add: duplicate id";
+  Hashtbl.replace t.registered id events;
+  let first = events.(0) in
+  match Hashtbl.find_opt t.by_first first with
+  | Some ids -> ids := id :: !ids
+  | None -> Hashtbl.replace t.by_first first (ref [ id ])
+
+let remove t ~id =
+  match Hashtbl.find_opt t.registered id with
+  | None -> raise Not_found
+  | Some events ->
+      Hashtbl.remove t.registered id;
+      let first = events.(0) in
+      (match Hashtbl.find_opt t.by_first first with
+      | None -> assert false
+      | Some ids ->
+          ids := List.filter (fun i -> i <> id) !ids;
+          if !ids = [] then Hashtbl.remove t.by_first first)
+
+let events t ~id =
+  match Hashtbl.find_opt t.registered id with
+  | Some events -> events
+  | None -> raise Not_found
+
+let match_set t s =
+  let acc = ref [] in
+  Array.iter
+    (fun code ->
+      match Hashtbl.find_opt t.by_first code with
+      | None -> ()
+      | Some ids ->
+          List.iter
+            (fun id ->
+              let events = Hashtbl.find t.registered id in
+              if Xy_util.Sorted_ints.subset events s then acc := id :: !acc)
+            !ids)
+    s;
+  List.sort_uniq compare !acc
+
+let complex_count t = Hashtbl.length t.registered
+
+let approx_memory_words t =
+  let index_words =
+    Hashtbl.fold (fun _ ids acc -> acc + 2 + (3 * List.length !ids)) t.by_first 0
+  in
+  let registered_words =
+    Hashtbl.fold (fun _ events acc -> acc + 8 + Array.length events) t.registered 0
+  in
+  index_words + registered_words

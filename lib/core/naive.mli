@@ -1,0 +1,11 @@
+(** Baseline matcher: subset test per candidate.
+
+    For each atomic event [a] of the incoming set [S], every complex
+    event whose *smallest* event is [a] is a candidate and is tested
+    for inclusion in [S] by merge.  Cost grows with [k] (the number of
+    complex events per atomic event): with Card(C) complex events over
+    Card(A) atomic events the candidate lists have average length
+    Card(C)/Card(A), each costing O(b + Card(S)) to verify — the
+    dependence the paper's algorithm avoids. *)
+
+include Matcher.S

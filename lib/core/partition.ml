@@ -1,0 +1,48 @@
+type axis = By_documents | By_subscriptions
+
+type t = { axis : axis; instances : Mqp.t array }
+
+let create ?algorithm axis ~partitions =
+  if partitions <= 0 then invalid_arg "Partition.create: partitions <= 0";
+  { axis; instances = Array.init partitions (fun _ -> Mqp.create ?algorithm ()) }
+
+let axis t = t.axis
+let partitions t = Array.length t.instances
+
+let subscribe t ~id events =
+  match t.axis with
+  | By_documents ->
+      Array.iter (fun mqp -> Mqp.subscribe mqp ~id events) t.instances
+  | By_subscriptions ->
+      let slot = id mod Array.length t.instances in
+      Mqp.subscribe t.instances.(slot) ~id events
+
+let unsubscribe t ~id =
+  match t.axis with
+  | By_documents -> Array.iter (fun mqp -> Mqp.unsubscribe mqp ~id) t.instances
+  | By_subscriptions ->
+      Mqp.unsubscribe t.instances.(id mod Array.length t.instances) ~id
+
+let doc_slot t (alert : Mqp.alert) =
+  Int64.to_int
+    (Int64.rem
+       (Int64.logand (Xy_util.Hashing.fnv1a64 alert.url) Int64.max_int)
+       (Int64.of_int (Array.length t.instances)))
+
+let route t alert =
+  match t.axis with
+  | By_documents -> [ doc_slot t alert ]
+  | By_subscriptions -> List.init (Array.length t.instances) Fun.id
+
+let process t alert =
+  match t.axis with
+  | By_documents -> Mqp.process t.instances.(doc_slot t alert) alert
+  | By_subscriptions ->
+      let all =
+        Array.fold_left
+          (fun acc mqp -> List.rev_append (Mqp.process mqp alert) acc)
+          [] t.instances
+      in
+      List.sort_uniq compare all
+
+let memory_per_partition t = Array.map Mqp.approx_memory_words t.instances

@@ -1,0 +1,41 @@
+(** Distributed Monitoring Query Processing (paper §4.2).
+
+    "One can use distribution along two directions:
+    1. Processing speed: split the flow of documents into several
+       partitions and assign a Monitoring Query Processor to each
+       block.
+    2. Memory: split the subscriptions into several partitions and
+       assign a Monitoring Query Processor to each block."
+
+    Both axes are simulated in-process: each partition is an
+    independent {!Mqp.t}, and the router below reproduces the data
+    placement each axis implies. *)
+
+type axis =
+  | By_documents
+      (** every partition holds all subscriptions; each alert is routed
+          to exactly one partition (hash of the URL) *)
+  | By_subscriptions
+      (** subscriptions are spread over partitions; each alert is sent
+          to all partitions and the matches are merged *)
+
+type t
+
+val create : ?algorithm:Mqp.algorithm -> axis -> partitions:int -> t
+val axis : t -> axis
+val partitions : t -> int
+
+val subscribe : t -> id:int -> Xy_events.Event_set.t -> unit
+val unsubscribe : t -> id:int -> unit
+
+(** [process t alert] routes per the axis and returns the merged
+    sorted match list. *)
+val process : t -> Mqp.alert -> int list
+
+(** [route t alert] is the list of partition indexes the alert visits
+    (1 for [By_documents], all for [By_subscriptions]). *)
+val route : t -> Mqp.alert -> int list
+
+(** [memory_per_partition t] is the approximate footprint of each
+    partition, in words — the quantity axis 2 is meant to shrink. *)
+val memory_per_partition : t -> int array

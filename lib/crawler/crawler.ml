@@ -1,0 +1,29 @@
+type fetch = {
+  url : string;
+  content : string option;
+  kind : Synthetic_web.kind option;
+}
+
+type t = {
+  web : Synthetic_web.t;
+  queue : Fetch_queue.t;
+  mutable fetches : int;
+}
+
+let create ~web ~queue = { web; queue; fetches = 0 }
+
+let discover t =
+  List.iter (fun url -> Fetch_queue.add t.queue ~url) (Synthetic_web.urls t.web)
+
+let step t ~limit =
+  let due = Fetch_queue.pop_due t.queue ~limit in
+  List.map
+    (fun url ->
+      t.fetches <- t.fetches + 1;
+      let content = Synthetic_web.fetch t.web ~url in
+      if content = None then Fetch_queue.forget t.queue ~url;
+      { url; content; kind = Synthetic_web.kind_of t.web ~url })
+    due
+
+let conclude t ~url ~changed = Fetch_queue.mark_fetched t.queue ~url ~changed
+let fetches t = t.fetches

@@ -1,0 +1,30 @@
+(** The crawler: drains the fetch queue against the (synthetic) web.
+
+    "Currently, one Xyleme crawler is able to fetch about 4 million
+    pages per day, that is approximately 50 per second" — the crawl
+    rate here is bounded by the per-step [limit] the caller passes,
+    letting benches reproduce that regime. *)
+
+type fetch = {
+  url : string;
+  content : string option;  (** [None]: the page disappeared *)
+  kind : Synthetic_web.kind option;
+}
+
+type t
+
+val create : web:Synthetic_web.t -> queue:Fetch_queue.t -> t
+
+(** [discover t] adds every currently known web URL to the queue
+    (bootstrap; newly born pages are discovered by later calls). *)
+val discover : t -> unit
+
+(** [step t ~limit] fetches up to [limit] due pages.  The caller must
+    report each outcome back with {!conclude} after loading, so the
+    queue adapts the refresh period. *)
+val step : t -> limit:int -> fetch list
+
+(** [conclude t ~url ~changed] finishes one fetch. *)
+val conclude : t -> url:string -> changed:bool -> unit
+
+val fetches : t -> int

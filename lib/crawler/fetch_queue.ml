@@ -1,0 +1,104 @@
+module Schedule = Xy_trigger.Schedule
+
+type entry = {
+  mutable refresh_period : float;
+  mutable ceiling : float;  (** subscription boost: period <= ceiling *)
+  mutable live : bool;
+  mutable queued : bool;  (** present in the heap *)
+}
+
+type t = {
+  clock : Xy_util.Clock.t;
+  initial_period : float;
+  min_period : float;
+  max_period : float;
+  entries : (string, entry) Hashtbl.t;
+  schedule : string Schedule.t;
+}
+
+let create ?(initial_period = 86400.) ?(min_period = 3600.)
+    ?(max_period = 4. *. 7. *. 86400.) ~clock () =
+  {
+    clock;
+    initial_period;
+    min_period;
+    max_period;
+    entries = Hashtbl.create 1024;
+    schedule = Schedule.create ();
+  }
+
+let add t ~url =
+  if not (Hashtbl.mem t.entries url) then begin
+    Hashtbl.replace t.entries url
+      {
+        refresh_period = t.initial_period;
+        ceiling = t.max_period;
+        live = true;
+        queued = true;
+      };
+    (* first fetch due immediately *)
+    Schedule.add t.schedule ~at:(Xy_util.Clock.now t.clock) url
+  end
+
+let forget t ~url =
+  match Hashtbl.find_opt t.entries url with
+  | Some entry -> entry.live <- false
+  | None -> ()
+
+let clamp t entry =
+  entry.refresh_period <-
+    Float.min entry.ceiling
+      (Float.max t.min_period (Float.min t.max_period entry.refresh_period))
+
+let boost t ~url ~period =
+  add t ~url;
+  let entry = Hashtbl.find t.entries url in
+  entry.ceiling <- Float.max t.min_period period;
+  clamp t entry
+
+let pop_due t ~limit =
+  let now = Xy_util.Clock.now t.clock in
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      match Schedule.peek_time t.schedule with
+      | Some at when at <= now -> (
+          match Schedule.pop_next t.schedule with
+          | None -> List.rev acc
+          | Some (_, url) -> (
+              match Hashtbl.find_opt t.entries url with
+              | Some entry when entry.live ->
+                  entry.queued <- false;
+                  go (url :: acc) (n - 1)
+              | Some entry ->
+                  (* dead entry drained from the heap *)
+                  entry.queued <- false;
+                  Hashtbl.remove t.entries url;
+                  go acc n
+              | None -> go acc n))
+      | Some _ | None -> List.rev acc
+  in
+  go [] limit
+
+let mark_fetched t ~url ~changed =
+  match Hashtbl.find_opt t.entries url with
+  | None -> ()
+  | Some entry ->
+      if entry.live && not entry.queued then begin
+        entry.refresh_period <-
+          (if changed then entry.refresh_period *. 0.5
+           else entry.refresh_period *. 1.5);
+        clamp t entry;
+        entry.queued <- true;
+        Schedule.add t.schedule
+          ~at:(Xy_util.Clock.now t.clock +. entry.refresh_period)
+          url
+      end
+
+let next_deadline t = Schedule.peek_time t.schedule
+
+let period t ~url =
+  Option.map (fun e -> e.refresh_period) (Hashtbl.find_opt t.entries url)
+
+let known_count t =
+  Hashtbl.fold (fun _ e acc -> if e.live then acc + 1 else acc) t.entries 0

@@ -1,0 +1,52 @@
+(** Acquisition & refresh scheduling (paper §2.1, citing [19]).
+
+    "Its task is to decide when to (re)read an XML or HTML document.
+    This decision is based on criteria such as the importance of a
+    document, its estimated change rate or subscriptions involving
+    this particular document."
+
+    Each known URL carries a refresh period, adapted multiplicatively:
+    a fetch that found a change shortens the period, an unchanged
+    fetch lengthens it.  Subscription refresh statements put a ceiling
+    on the period ("such pages will be read more often"). *)
+
+type t
+
+(** [create ~clock ()] — new URLs start with [initial_period]
+    (default one day), bounded by [min_period]/[max_period]
+    (defaults: one hour / four weeks). *)
+val create :
+  ?initial_period:float ->
+  ?min_period:float ->
+  ?max_period:float ->
+  clock:Xy_util.Clock.t ->
+  unit ->
+  t
+
+(** [add t ~url] registers a URL for crawling (first fetch due
+    immediately).  Idempotent. *)
+val add : t -> url:string -> unit
+
+(** [forget t ~url] drops a URL (page gone). *)
+val forget : t -> url:string -> unit
+
+(** [boost t ~url ~period] applies a subscription refresh statement:
+    the URL's refresh period will never exceed [period]. *)
+val boost : t -> url:string -> period:float -> unit
+
+(** [pop_due t ~limit] returns up to [limit] URLs whose fetch deadline
+    passed, earliest first.  The caller must conclude each with
+    {!mark_fetched} to reschedule. *)
+val pop_due : t -> limit:int -> string list
+
+(** [mark_fetched t ~url ~changed] adapts the period (shorter when
+    the fetch found a change) and schedules the next fetch. *)
+val mark_fetched : t -> url:string -> changed:bool -> unit
+
+(** [next_deadline t] is the earliest pending fetch time. *)
+val next_deadline : t -> float option
+
+(** [period t ~url] is the current refresh period (tests). *)
+val period : t -> url:string -> float option
+
+val known_count : t -> int

@@ -1,0 +1,299 @@
+module T = Xy_xml.Types
+module Prng = Xy_util.Prng
+
+type kind = Xml_page | Html_page
+
+type page = {
+  url : string;
+  kind : kind;
+  mutable content : string;
+  change_rate : float;
+}
+
+type t = {
+  prng : Prng.t;
+  pages : (string, page) Hashtbl.t;
+  mutable order : string list;  (** urls in creation order *)
+  mutable next_page_id : int;
+  word_pool : string array;
+  mutable sites : (string * [ `Catalog | `Members | `Museum | `News ]) array;
+}
+
+let product_words =
+  [|
+    "camera"; "television"; "radio"; "laptop"; "phone"; "speaker"; "electronic";
+    "digital"; "wireless"; "portable"; "compact"; "professional"; "battery";
+    "screen"; "hifi"; "stereo"; "lens"; "tripod"; "charger"; "cable";
+  |]
+
+let site_kinds = [| `Catalog; `Members; `Museum; `News |]
+
+let host t i =
+  ignore t;
+  Printf.sprintf "http://site%d.example.org" i
+
+let pick_words t n =
+  String.concat " " (List.init n (fun _ -> Prng.pick t.prng t.word_pool))
+
+let catalog_product t ~name ~words =
+  T.el "product"
+    [
+      T.el "name" [ T.text name ];
+      T.el "price" [ T.text (string_of_int (10 + Prng.int t.prng 990)) ];
+      T.el "desc" [ T.text words ];
+    ]
+
+let gen_catalog t ~site =
+  let products =
+    List.init
+      (2 + Prng.int t.prng 6)
+      (fun i ->
+        catalog_product t
+          ~name:(Printf.sprintf "item%d" i)
+          ~words:(pick_words t 4))
+  in
+  let doc =
+    T.doc
+      ~doctype:
+        {
+          T.root_name = "catalog";
+          system_id = Some (Printf.sprintf "%s/dtd/catalog.dtd" site);
+          public_id = None;
+          internal_subset = None;
+        }
+      (T.element "catalog" products)
+  in
+  Xy_xml.Printer.doc_to_string doc
+
+let gen_members t =
+  let members =
+    List.init
+      (2 + Prng.int t.prng 5)
+      (fun _ ->
+        T.el "Member"
+          [
+            T.el "name" [ T.text (Prng.word t.prng) ];
+            T.el "fn" [ T.text (Prng.word t.prng) ];
+          ])
+  in
+  Xy_xml.Printer.doc_to_string (T.doc (T.element "team" members))
+
+let gen_museum t =
+  let paintings =
+    List.init
+      (1 + Prng.int t.prng 4)
+      (fun _ -> T.el "painting" [ T.el "title" [ T.text (pick_words t 2) ] ])
+  in
+  let museum =
+    T.el "museum"
+      (T.el "address" [ T.text (Prng.pick t.prng [| "Amsterdam"; "Paris"; "Rome" |]) ]
+      :: paintings)
+  in
+  Xy_xml.Printer.doc_to_string (T.doc (T.element "culture" [ museum ]))
+
+let gen_html t =
+  Printf.sprintf "<html><head><title>%s</title></head><body><p>%s</p></body></html>"
+    (Prng.word t.prng) (pick_words t 12)
+
+let gen_content t ~site_kind ~site =
+  match site_kind with
+  | `Catalog -> (gen_catalog t ~site, Xml_page)
+  | `Members -> (gen_members t, Xml_page)
+  | `Museum -> (gen_museum t, Xml_page)
+  | `News -> (gen_html t, Html_page)
+
+let add_page t ~site ~site_kind =
+  let id = t.next_page_id in
+  t.next_page_id <- id + 1;
+  let content, kind = gen_content t ~site_kind ~site in
+  let extension = match kind with Xml_page -> "xml" | Html_page -> "html" in
+  let url = Printf.sprintf "%s/page%d.%s" site id extension in
+  (* Zipf-ish rate skew: a few pages change many times a day, the
+     bulk almost never. *)
+  let rate = 5. /. float_of_int (1 + Prng.int t.prng 50) in
+  let page = { url; kind; content; change_rate = rate } in
+  Hashtbl.replace t.pages url page;
+  t.order <- url :: t.order;
+  page
+
+let generate ?(seed = 1) ~sites ~pages_per_site () =
+  let t =
+    {
+      prng = Prng.create ~seed;
+      pages = Hashtbl.create (sites * pages_per_site);
+      order = [];
+      next_page_id = 0;
+      word_pool = product_words;
+      sites = [||];
+    }
+  in
+  t.sites <-
+    Array.init sites (fun i ->
+        (host t i, site_kinds.(i mod Array.length site_kinds)));
+  Array.iter
+    (fun (site, site_kind) ->
+      for _ = 1 to pages_per_site do
+        ignore (add_page t ~site ~site_kind)
+      done)
+    t.sites;
+  t
+
+let urls t = List.rev t.order
+let page_count t = Hashtbl.length t.pages
+
+let fetch t ~url =
+  Option.map (fun p -> p.content) (Hashtbl.find_opt t.pages url)
+
+let kind_of t ~url = Option.map (fun p -> p.kind) (Hashtbl.find_opt t.pages url)
+
+(* One content mutation.  XML pages get a structural edit; HTML pages
+   get new text. *)
+let mutate_page t page =
+  match page.kind with
+  | Html_page -> page.content <- gen_html t
+  | Xml_page -> (
+      match Xy_xml.Parser.parse page.content with
+      | exception Xy_xml.Parser.Error _ -> ()
+      | doc ->
+          let root = doc.T.root in
+          let children = root.T.children in
+          let element_children = T.children_elements root in
+          let choice = Prng.int t.prng 3 in
+          let new_children =
+            if choice = 0 || element_children = [] then
+              (* insert an element matching the page vocabulary *)
+              let fresh =
+                match element_children with
+                | first :: _ -> (
+                    match first.T.tag with
+                    | "product" ->
+                        catalog_product t
+                          ~name:(Prng.word t.prng)
+                          ~words:(pick_words t 4)
+                    | "Member" ->
+                        T.el "Member" [ T.el "name" [ T.text (Prng.word t.prng) ] ]
+                    | tag -> T.el tag [ T.text (pick_words t 2) ])
+                | [] -> T.el "entry" [ T.text (pick_words t 2) ]
+              in
+              children @ [ fresh ]
+            else if choice = 1 && List.length element_children > 1 then
+              (* delete one element child *)
+              let victim = Prng.int t.prng (List.length element_children) in
+              let rec drop i = function
+                | [] -> []
+                | T.Element _ :: rest when i = victim -> drop (i + 1) rest
+                | (T.Element _ as e) :: rest -> e :: drop (i + 1) rest
+                | node :: rest -> node :: drop i rest
+              in
+              (* index only element children *)
+              let rec drop_nth i = function
+                | [] -> []
+                | T.Element e :: rest ->
+                    if i = victim then rest
+                    else T.Element e :: drop_nth (i + 1) rest
+                | node :: rest -> node :: drop_nth i rest
+              in
+              ignore drop;
+              drop_nth 0 children
+            else
+              (* update: rewrite the text of one element, deeply *)
+              let victim = Prng.int t.prng (max 1 (List.length element_children)) in
+              let rec rewrite i = function
+                | [] -> []
+                | T.Element e :: rest when i = victim ->
+                    let rec retext (e : T.element) =
+                      match e.T.children with
+                      | [] -> { e with T.children = [ T.text (pick_words t 2) ] }
+                      | _ ->
+                          let children =
+                            List.map
+                              (fun node ->
+                                match node with
+                                | T.Text _ -> T.text (pick_words t 3)
+                                | T.Element sub -> T.Element (retext sub)
+                                | other -> other)
+                              e.T.children
+                          in
+                          { e with T.children }
+                    in
+                    T.Element (retext e) :: rest
+                | T.Element e :: rest -> T.Element e :: rewrite (i + 1) rest
+                | node :: rest -> node :: rewrite i rest
+              in
+              rewrite 0 children
+          in
+          let doc = { doc with T.root = { root with T.children = new_children } } in
+          page.content <- Xy_xml.Printer.doc_to_string doc)
+
+let mutate t ~url =
+  match Hashtbl.find_opt t.pages url with
+  | Some page -> mutate_page t page
+  | None -> ()
+
+let remove t ~url =
+  Hashtbl.remove t.pages url;
+  t.order <- List.filter (fun u -> u <> url) t.order
+
+let evolve t ~elapsed =
+  let days = elapsed /. 86400. in
+  let changed = ref 0 in
+  (* Collect first: mutation does not change the key set, but page
+     birth/death below does. *)
+  Hashtbl.iter
+    (fun _ page ->
+      let p_change = 1. -. exp (-.page.change_rate *. days) in
+      if Prng.float t.prng 1. < p_change then begin
+        mutate_page t page;
+        incr changed
+      end)
+    t.pages;
+  (* Page birth and death: a small per-site rate. *)
+  if Array.length t.sites > 0 then begin
+    let site_count = float_of_int (Array.length t.sites) in
+    if Prng.float t.prng 1. < Float.min 0.9 (days *. 0.05 *. site_count) then begin
+      let site, site_kind = Prng.pick t.prng t.sites in
+      ignore (add_page t ~site ~site_kind)
+    end;
+    if
+      Hashtbl.length t.pages > 2
+      && Prng.float t.prng 1. < Float.min 0.9 (days *. 0.02 *. site_count)
+    then begin
+      let urls = Array.of_list t.order in
+      let victim = Prng.pick t.prng urls in
+      Hashtbl.remove t.pages victim;
+      t.order <- List.filter (fun u -> u <> victim) t.order
+    end
+  end;
+  !changed
+
+let add_catalog_product t ~url ~name ~words =
+  match Hashtbl.find_opt t.pages url with
+  | None -> ()
+  | Some page -> (
+      match Xy_xml.Parser.parse page.content with
+      | exception Xy_xml.Parser.Error _ -> ()
+      | doc ->
+          let root = doc.T.root in
+          let product = catalog_product t ~name ~words in
+          (* keep deterministic content: overwrite the random price *)
+          let product =
+            match product with
+            | T.Element e ->
+                T.Element
+                  {
+                    e with
+                    T.children =
+                      List.map
+                        (fun node ->
+                          match node with
+                          | T.Element ({ T.tag = "desc"; _ } as d) ->
+                              T.Element { d with T.children = [ T.text words ] }
+                          | other -> other)
+                        e.T.children;
+                  }
+            | other -> other
+          in
+          let doc =
+            { doc with T.root = { root with T.children = root.T.children @ [ product ] } }
+          in
+          page.content <- Xy_xml.Printer.doc_to_string doc)

@@ -1,0 +1,50 @@
+(** A synthetic web.
+
+    The paper's system crawls the real web; this module generates a
+    deterministic substitute: sites hosting XML catalogs (with shared
+    DTDs), member lists, museum pages and HTML pages, all of which
+    *evolve* over virtual time — elements are inserted, updated and
+    deleted, pages appear and disappear — exercising exactly the code
+    paths the live crawl would (fetch → signature → diff → events). *)
+
+type kind = Xml_page | Html_page
+
+type page = {
+  url : string;
+  kind : kind;
+  mutable content : string;
+  change_rate : float;  (** expected content changes per (virtual) day *)
+}
+
+type t
+
+(** [generate ~seed ~sites ~pages_per_site ()] builds the web.  Page
+    change rates follow a Zipf-like skew: a few hot pages change
+    often, most rarely. *)
+val generate : ?seed:int -> sites:int -> pages_per_site:int -> unit -> t
+
+val urls : t -> string list
+val page_count : t -> int
+
+(** [fetch t ~url] is the current content, or [None] if the page
+    disappeared. *)
+val fetch : t -> url:string -> string option
+
+val kind_of : t -> url:string -> kind option
+
+(** [evolve t ~elapsed] advances the web by [elapsed] virtual seconds:
+    each page mutates with probability [1 - exp (-rate * days)];
+    occasionally pages are created or deleted.  Returns the number of
+    pages that changed. *)
+val evolve : t -> elapsed:float -> int
+
+(** [mutate t ~url] forces one content mutation (tests). *)
+val mutate : t -> url:string -> unit
+
+(** [remove t ~url] deletes a page. *)
+val remove : t -> url:string -> unit
+
+(** [add_catalog_product t ~url ~name ~words] appends a product
+    element to a catalog page (tests drive precise element-level
+    changes with it). *)
+val add_catalog_product : t -> url:string -> name:string -> words:string -> unit

@@ -1,0 +1,125 @@
+module Xid = Xy_xml.Xid
+
+(* A "#text" pseudo-tree (produced by Diff for data-node operations)
+   stands for a bare data child. *)
+let child_of_tree (tree : Xid.tree) =
+  match tree with
+  | { Xid.tag = "#text"; children = [ Xid.Data (xid, s) ]; _ } -> Xid.Data (xid, s)
+  | _ -> Xid.Node tree
+
+let xid_of_child = function
+  | Xid.Node t -> t.Xid.xid
+  | Xid.Data (xid, _) -> xid
+
+let insert_at list position child =
+  let rec go i = function
+    | rest when i = position -> child :: rest
+    | [] -> failwith "Apply: insert position out of range"
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  go 0 list
+
+let apply tree delta =
+  (* Root replacement: a Delete of the root under virtual parent 0
+     must be accompanied by an Insert under parent 0. *)
+  let root_insert =
+    List.find_map
+      (function
+        | Delta.Insert { parent = 0; tree = t; _ } -> Some t
+        | Delta.Insert _ | Delta.Delete _ | Delta.Update_text _
+        | Delta.Update_attrs _ ->
+            None)
+      delta
+  in
+  match root_insert with
+  | Some new_root ->
+      (match
+         List.find_map
+           (function
+             | Delta.Delete { parent = 0; tree = t; _ } -> Some t.Xid.xid
+             | _ -> None)
+           delta
+       with
+      | Some xid when xid = tree.Xid.xid -> new_root
+      | Some _ | None -> failwith "Apply: root insert without matching root delete")
+  | None ->
+      let text_updates = Hashtbl.create 8 in
+      let attr_updates = Hashtbl.create 8 in
+      let deletions = Hashtbl.create 8 in
+      let insertions = Hashtbl.create 8 in
+      List.iter
+        (fun op ->
+          match op with
+          | Delta.Update_text { xid; new_text; _ } ->
+              Hashtbl.replace text_updates xid new_text
+          | Delta.Update_attrs { xid; new_attrs; _ } ->
+              Hashtbl.replace attr_updates xid new_attrs
+          | Delta.Delete { tree = t; _ } -> Hashtbl.replace deletions t.Xid.xid ()
+          | Delta.Insert { parent; position; tree = t } ->
+              let existing =
+                Option.value ~default:[] (Hashtbl.find_opt insertions parent)
+              in
+              Hashtbl.replace insertions parent ((position, t) :: existing))
+        delta;
+      let applied_inserts = ref 0 in
+      let applied_deletes = ref 0 in
+      let applied_texts = ref 0 in
+      let applied_attrs = ref 0 in
+      let rec go (t : Xid.tree) : Xid.tree =
+        let attrs =
+          match Hashtbl.find_opt attr_updates t.Xid.xid with
+          | Some new_attrs ->
+              incr applied_attrs;
+              new_attrs
+          | None -> t.Xid.attrs
+        in
+        (* 1. Recurse / rewrite surviving children. *)
+        let children =
+          List.filter_map
+            (fun child ->
+              if Hashtbl.mem deletions (xid_of_child child) then begin
+                incr applied_deletes;
+                None
+              end
+              else
+                match child with
+                | Xid.Node sub -> Some (Xid.Node (go sub))
+                | Xid.Data (xid, s) -> (
+                    match Hashtbl.find_opt text_updates xid with
+                    | Some new_text ->
+                        incr applied_texts;
+                        Some (Xid.Data (xid, new_text))
+                    | None -> Some (Xid.Data (xid, s))))
+            t.Xid.children
+        in
+        (* 2. Insert new children at their final positions, ascending. *)
+        let children =
+          match Hashtbl.find_opt insertions t.Xid.xid with
+          | None -> children
+          | Some pending ->
+              let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pending in
+              List.fold_left
+                (fun acc (position, tree) ->
+                  incr applied_inserts;
+                  insert_at acc position (child_of_tree tree))
+                children sorted
+        in
+        { t with Xid.attrs; children }
+      in
+      let result = go tree in
+      let count_ops f = List.length (List.filter f delta) in
+      let expected_inserts = count_ops (function Delta.Insert _ -> true | _ -> false) in
+      let expected_deletes = count_ops (function Delta.Delete _ -> true | _ -> false) in
+      let expected_texts =
+        count_ops (function Delta.Update_text _ -> true | _ -> false)
+      in
+      let expected_attrs =
+        count_ops (function Delta.Update_attrs _ -> true | _ -> false)
+      in
+      if
+        !applied_inserts <> expected_inserts
+        || !applied_deletes <> expected_deletes
+        || !applied_texts <> expected_texts
+        || !applied_attrs <> expected_attrs
+      then failwith "Apply: delta references nodes missing from the tree";
+      result

@@ -1,0 +1,9 @@
+(** Delta application: reconstruct a version from the other one.
+
+    [apply tree delta] plays [delta] forward on [tree] (the old
+    version) and returns the new version's labelled tree;
+    [apply new_tree (Delta.invert delta)] reconstructs the old one.
+    Raises [Failure] when the delta does not fit the tree (unknown
+    XIDs), which is how version-chain corruption is surfaced. *)
+
+val apply : Xy_xml.Xid.tree -> Delta.t -> Xy_xml.Xid.tree

@@ -1,0 +1,109 @@
+module Xid = Xy_xml.Xid
+module T = Xy_xml.Types
+
+type op =
+  | Insert of { parent : Xid.xid; position : int; tree : Xid.tree }
+  | Delete of { parent : Xid.xid; position : int; tree : Xid.tree }
+  | Update_text of {
+      xid : Xid.xid;
+      parent : Xid.xid;
+      old_text : string;
+      new_text : string;
+    }
+  | Update_attrs of {
+      xid : Xid.xid;
+      old_attrs : T.attribute list;
+      new_attrs : T.attribute list;
+    }
+
+type t = op list
+
+let is_empty delta = delta = []
+
+let invert_op = function
+  | Insert { parent; position; tree } -> Delete { parent; position; tree }
+  | Delete { parent; position; tree } -> Insert { parent; position; tree }
+  | Update_text { xid; parent; old_text; new_text } ->
+      Update_text { xid; parent; old_text = new_text; new_text = old_text }
+  | Update_attrs { xid; old_attrs; new_attrs } ->
+      Update_attrs { xid; old_attrs = new_attrs; new_attrs = old_attrs }
+
+let invert delta = List.map invert_op delta
+
+let attrs_to_string attrs =
+  String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) attrs)
+
+let to_xml ~name delta =
+  let ops =
+    List.map
+      (fun op ->
+        match op with
+        | Insert { parent; position; tree } ->
+            T.el "inserted"
+              ~attrs:
+                [
+                  ("ID", string_of_int tree.Xid.xid);
+                  ("parent", string_of_int parent);
+                  ("position", string_of_int position);
+                ]
+              [ T.Element (Xid.strip tree) ]
+        | Delete { parent; position; tree } ->
+            T.el "deleted"
+              ~attrs:
+                [
+                  ("ID", string_of_int tree.Xid.xid);
+                  ("parent", string_of_int parent);
+                  ("position", string_of_int position);
+                ]
+              []
+        | Update_text { parent; old_text = _; new_text; _ } ->
+            T.el "updated"
+              ~attrs:[ ("ID", string_of_int parent) ]
+              [ T.text new_text ]
+        | Update_attrs { xid; new_attrs; _ } ->
+            T.el "updated"
+              ~attrs:[ ("ID", string_of_int xid); ("note", "attributes") ]
+              [ T.text (attrs_to_string new_attrs) ])
+      delta
+  in
+  T.element (name ^ "-delta") ops
+
+type summary = {
+  inserted : Xid.tree list;
+  deleted : Xid.tree list;
+  updated_xids : Xid.xid list;
+}
+
+let summary delta =
+  let inserted = ref [] and deleted = ref [] and updated = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert { parent; tree; _ } ->
+          inserted := tree :: !inserted;
+          updated := parent :: !updated
+      | Delete { parent; tree; _ } ->
+          deleted := tree :: !deleted;
+          updated := parent :: !updated
+      | Update_text { parent; _ } -> updated := parent :: !updated
+      | Update_attrs { xid; _ } -> updated := xid :: !updated)
+    delta;
+  {
+    inserted = List.rev !inserted;
+    deleted = List.rev !deleted;
+    updated_xids = List.sort_uniq compare !updated;
+  }
+
+let pp_op ppf = function
+  | Insert { parent; position; tree } ->
+      Format.fprintf ppf "insert #%d under #%d at %d" tree.Xid.xid parent position
+  | Delete { parent; position; tree } ->
+      Format.fprintf ppf "delete #%d under #%d at %d" tree.Xid.xid parent position
+  | Update_text { xid; old_text; new_text; _ } ->
+      Format.fprintf ppf "text #%d: %S -> %S" xid old_text new_text
+  | Update_attrs { xid; old_attrs; new_attrs } ->
+      Format.fprintf ppf "attrs #%d: %s -> %s" xid (attrs_to_string old_attrs)
+        (attrs_to_string new_attrs)
+
+let pp ppf delta =
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_op) delta

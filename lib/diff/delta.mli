@@ -1,0 +1,52 @@
+(** XID-based deltas between document versions.
+
+    "Deltas based on XIDs provide a compact naming of the elements of
+    the documents that is the basis of the versioning mechanism of the
+    system.  In particular, the new version of a document can be
+    constructed based on an old version and the delta" (paper §5.2,
+    citing the XyDiff work [17]). *)
+
+type op =
+  | Insert of { parent : Xy_xml.Xid.xid; position : int; tree : Xy_xml.Xid.tree }
+      (** a new subtree; [position] is its index in the parent's final
+          (new-version) child list *)
+  | Delete of { parent : Xy_xml.Xid.xid; position : int; tree : Xy_xml.Xid.tree }
+      (** a removed subtree; [position] is its index in the parent's
+          old-version child list (kept to make deltas invertible) *)
+  | Update_text of {
+      xid : Xy_xml.Xid.xid;  (** the data node *)
+      parent : Xy_xml.Xid.xid;  (** its element *)
+      old_text : string;
+      new_text : string;
+    }
+  | Update_attrs of {
+      xid : Xy_xml.Xid.xid;
+      old_attrs : Xy_xml.Types.attribute list;
+      new_attrs : Xy_xml.Types.attribute list;
+    }
+
+type t = op list
+
+val is_empty : t -> bool
+
+(** [invert delta] swaps the roles of old and new version. *)
+val invert : t -> t
+
+(** [to_xml ~name delta] renders the delta document the paper shows
+    ([<AmsterdamPaintings-delta>...]): [<inserted ID= parent=
+    position=>], [<deleted .../>], [<updated .../>] children. *)
+val to_xml : name:string -> t -> Xy_xml.Types.element
+
+(** Change summary used by the XML alerter: for each change pattern,
+    the affected elements (as XID trees, in the relevant version). *)
+type summary = {
+  inserted : Xy_xml.Xid.tree list;  (** roots of inserted subtrees *)
+  deleted : Xy_xml.Xid.tree list;  (** roots of deleted subtrees *)
+  updated_xids : Xy_xml.Xid.xid list;
+      (** matched elements whose own text or attributes changed, or
+          with an insertion/deletion directly below them *)
+}
+
+val summary : t -> summary
+
+val pp : Format.formatter -> t -> unit

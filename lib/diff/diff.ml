@@ -1,0 +1,239 @@
+module Xid = Xy_xml.Xid
+module T = Xy_xml.Types
+module H = Xy_util.Hashing
+
+(* Structural signatures.  Text and CDATA hash alike; comments and
+   processing instructions are invisible (Xid.label drops them). *)
+
+let hash_string s = H.fnv1a64 s
+let data_marker = H.fnv1a64 "#data"
+
+let rec hash_old (t : Xid.tree) =
+  let h = ref (hash_string t.Xid.tag) in
+  List.iter
+    (fun (k, v) -> h := H.combine !h (H.combine (hash_string k) (hash_string v)))
+    (List.sort compare t.Xid.attrs);
+  List.iter
+    (fun child ->
+      match child with
+      | Xid.Node sub -> h := H.combine !h (hash_old sub)
+      | Xid.Data (_, s) -> h := H.combine !h (H.combine data_marker (hash_string s)))
+    t.Xid.children;
+  !h
+
+let rec hash_new (e : T.element) =
+  let h = ref (hash_string e.T.tag) in
+  List.iter
+    (fun (k, v) -> h := H.combine !h (H.combine (hash_string k) (hash_string v)))
+    (List.sort compare e.T.attrs);
+  List.iter
+    (fun node ->
+      match node with
+      | T.Element sub -> h := H.combine !h (hash_new sub)
+      | T.Text s | T.Cdata s ->
+          h := H.combine !h (H.combine data_marker (hash_string s))
+      | T.Comment _ | T.Pi _ -> ())
+    e.T.children;
+  !h
+
+(* Child items on each side, with their signatures. *)
+type old_item = { o_child : Xid.child; o_key : int64; o_pos : int }
+type new_item = { n_node : T.node; n_key : int64; n_pos : int }
+
+let old_items (t : Xid.tree) =
+  List.mapi
+    (fun i child ->
+      let key =
+        match child with
+        | Xid.Node sub -> hash_old sub
+        | Xid.Data (_, s) -> H.combine data_marker (hash_string s)
+      in
+      { o_child = child; o_key = key; o_pos = i })
+    t.Xid.children
+
+let new_items (e : T.element) =
+  let significant =
+    List.filter
+      (function T.Element _ | T.Text _ | T.Cdata _ -> true | T.Comment _ | T.Pi _ -> false)
+      e.T.children
+  in
+  List.mapi
+    (fun i node ->
+      let key =
+        match node with
+        | T.Element sub -> hash_new sub
+        | T.Text s | T.Cdata s -> H.combine data_marker (hash_string s)
+        | T.Comment _ | T.Pi _ -> assert false
+      in
+      { n_node = node; n_key = key; n_pos = i })
+    significant
+
+(* Longest common subsequence over signature keys; returns matched
+   index pairs (old_index, new_index), increasing in both. *)
+let lcs_pairs (old_keys : int64 array) (new_keys : int64 array) =
+  let n = Array.length old_keys and m = Array.length new_keys in
+  let table = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      table.(i).(j) <-
+        (if old_keys.(i) = new_keys.(j) then 1 + table.(i + 1).(j + 1)
+         else max table.(i + 1).(j) table.(i).(j + 1))
+    done
+  done;
+  let rec walk i j acc =
+    if i >= n || j >= m then List.rev acc
+    else if old_keys.(i) = new_keys.(j) then walk (i + 1) (j + 1) ((i, j) :: acc)
+    else if table.(i + 1).(j) >= table.(i).(j + 1) then walk (i + 1) j acc
+    else walk i (j + 1) acc
+  in
+  walk 0 0 []
+
+(* Label a brand-new subtree with fresh XIDs (post-order, like
+   Xid.label). *)
+let label_new gen e = Xid.label gen e
+
+let tag_of_new = function
+  | T.Element e -> Some e.T.tag
+  | T.Text _ | T.Cdata _ | T.Comment _ | T.Pi _ -> None
+
+let diff ~gen (old_root : Xid.tree) (new_root : T.element) =
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  (* Diff two matched elements (same tag).  Returns the new labelled
+     tree for the element (same xid). *)
+  let rec diff_elem (old_tree : Xid.tree) (new_elem : T.element) : Xid.tree =
+    if List.sort compare old_tree.Xid.attrs <> List.sort compare new_elem.T.attrs
+    then
+      emit
+        (Delta.Update_attrs
+           {
+             xid = old_tree.Xid.xid;
+             old_attrs = old_tree.Xid.attrs;
+             new_attrs = new_elem.T.attrs;
+           });
+    let olds = old_items old_tree and news = new_items new_elem in
+    let old_keys = Array.of_list (List.map (fun i -> i.o_key) olds) in
+    let new_keys = Array.of_list (List.map (fun i -> i.n_key) news) in
+    let anchors = lcs_pairs old_keys new_keys in
+    let old_arr = Array.of_list olds and new_arr = Array.of_list news in
+    (* Process the gaps between anchors.  [new_children] accumulates
+       the new labelled child list in reverse. *)
+    let new_children = ref [] in
+    let push child = new_children := child :: !new_children in
+    let handle_gap old_lo old_hi new_lo new_hi =
+      (* Pair items of the same kind/tag, monotonically: old items
+         skipped while searching for a pair are deleted, so that
+         matched pairs keep their relative order on both sides — a
+         reordering therefore shows up as delete + insert, which is
+         what the XID delta model can express (no move operation). *)
+      let old_gap = ref [] in
+      for i = old_hi - 1 downto old_lo do
+        old_gap := old_arr.(i) :: !old_gap
+      done;
+      let delete_old (o : old_item) =
+        let tree =
+          match o.o_child with
+          | Xid.Node sub -> sub
+          | Xid.Data (xid, s) ->
+              { Xid.xid; tag = "#text"; attrs = []; children = [ Xid.Data (xid, s) ] }
+        in
+        emit (Delta.Delete { parent = old_tree.Xid.xid; position = o.o_pos; tree })
+      in
+      let take_matching_old (n : new_item) =
+        let pairable (o : old_item) =
+          match o.o_child, n.n_node with
+          | Xid.Node sub, T.Element e -> sub.Xid.tag = e.T.tag
+          | Xid.Data _, (T.Text _ | T.Cdata _) -> true
+          | Xid.Node _, (T.Text _ | T.Cdata _) | Xid.Data _, T.Element _ ->
+              false
+          | _, (T.Comment _ | T.Pi _) -> false
+        in
+        if List.exists pairable !old_gap then begin
+          let rec consume = function
+            | [] -> assert false
+            | o :: rest ->
+                if pairable o then begin
+                  old_gap := rest;
+                  Some o
+                end
+                else begin
+                  delete_old o;
+                  consume rest
+                end
+          in
+          consume !old_gap
+        end
+        else None
+      in
+      for j = new_lo to new_hi - 1 do
+        let n = new_arr.(j) in
+        match take_matching_old n with
+        | Some o -> begin
+            match o.o_child, n.n_node with
+            | Xid.Node old_sub, T.Element new_sub ->
+                push (Xid.Node (diff_elem old_sub new_sub))
+            | Xid.Data (xid, old_text), (T.Text new_text | T.Cdata new_text) ->
+                if old_text <> new_text then
+                  emit
+                    (Delta.Update_text
+                       {
+                         xid;
+                         parent = old_tree.Xid.xid;
+                         old_text;
+                         new_text;
+                       });
+                push (Xid.Data (xid, new_text))
+            | _ -> assert false
+          end
+        | None ->
+            (* Pure insertion. *)
+            let labelled =
+              match n.n_node with
+              | T.Element e -> Xid.Node (label_new gen e)
+              | T.Text s | T.Cdata s -> Xid.Data (Xid.fresh gen, s)
+              | T.Comment _ | T.Pi _ -> assert false
+            in
+            let tree =
+              match labelled with
+              | Xid.Node sub -> sub
+              | Xid.Data (xid, s) ->
+                  (* Wrap data in a pseudo-tree for the op payload. *)
+                  { Xid.xid; tag = "#text"; attrs = []; children = [ Xid.Data (xid, s) ] }
+            in
+            ignore tag_of_new;
+            emit
+              (Delta.Insert
+                 { parent = old_tree.Xid.xid; position = n.n_pos; tree });
+            push labelled
+      done;
+      (* Whatever is left of the old gap was deleted. *)
+      List.iter delete_old !old_gap
+    in
+    let rec over_anchors prev_old prev_new = function
+      | [] -> handle_gap prev_old (Array.length old_arr) prev_new (Array.length new_arr)
+      | (oi, nj) :: rest ->
+          handle_gap prev_old oi prev_new nj;
+          (* Anchor: identical subtree, reuse the old labelled child. *)
+          push old_arr.(oi).o_child;
+          over_anchors (oi + 1) (nj + 1) rest
+    in
+    over_anchors 0 0 anchors;
+    {
+      Xid.xid = old_tree.Xid.xid;
+      tag = old_tree.Xid.tag;
+      attrs = new_elem.T.attrs;
+      children = List.rev !new_children;
+    }
+  in
+  let new_tree =
+    if old_root.Xid.tag = new_root.T.tag then diff_elem old_root new_root
+    else begin
+      (* Root replacement: delete the whole old tree, insert the new
+         one, under the virtual parent 0. *)
+      let labelled = label_new gen new_root in
+      emit (Delta.Delete { parent = 0; position = 0; tree = old_root });
+      emit (Delta.Insert { parent = 0; position = 0; tree = labelled });
+      labelled
+    end
+  in
+  (List.rev !ops, new_tree)

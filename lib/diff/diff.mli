@@ -1,0 +1,21 @@
+(** Tree diff between a stored version and a freshly fetched one.
+
+    [diff ~gen old_tree new_element] matches the new document against
+    the old XID-labelled tree and returns the delta together with the
+    new version's labelled tree, in which every matched node keeps its
+    old XID and every inserted node receives a fresh one from [gen]
+    (the document lineage's generator).
+
+    Matching is the XyDiff-style heuristic: identical subtrees are
+    anchored first (longest-common-subsequence over subtree
+    signatures, per level), then same-tag elements between anchors are
+    paired in order and diffed recursively; whatever remains is
+    reported inserted or deleted.  The diff is not guaranteed minimal
+    — the paper's change detection only needs a *sound* delta (apply
+    reconstructs the new version exactly). *)
+
+val diff :
+  gen:Xy_xml.Xid.gen ->
+  Xy_xml.Xid.tree ->
+  Xy_xml.Types.element ->
+  Delta.t * Xy_xml.Xid.tree

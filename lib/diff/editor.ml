@@ -1,0 +1,122 @@
+module Xid = Xy_xml.Xid
+module T = Xy_xml.Types
+
+let change_attr value attrs = ("change", value) :: List.remove_assoc "change" attrs
+
+let strip_annotated mark (tree : Xid.tree) : T.node =
+  if tree.Xid.tag = "#text" then
+    (* the pseudo-tree Diff uses for bare data nodes *)
+    T.el "deleted-text"
+      ~attrs:[ ("change", mark) ]
+      (List.filter_map
+         (fun child ->
+           match child with
+           | Xid.Data (_, s) -> Some (T.Text s)
+           | Xid.Node _ -> None)
+         tree.Xid.children)
+  else
+    T.Element
+      {
+        T.tag = tree.Xid.tag;
+        attrs = change_attr mark tree.Xid.attrs;
+        children =
+          List.map
+            (fun child ->
+              match child with
+              | Xid.Node sub -> (Xid.strip sub : T.element) |> fun e -> T.Element e
+              | Xid.Data (_, s) -> T.Text s)
+            tree.Xid.children;
+      }
+
+let merged_view ~old delta =
+  let new_tree = Apply.apply old delta in
+  (* Index the operations. *)
+  let inserted_roots = Hashtbl.create 8 in
+  let updated = Hashtbl.create 8 in
+  let deleted_by_parent : (Xid.xid, (int * Xid.tree) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Delta.Insert { tree; parent; _ } ->
+          Hashtbl.replace inserted_roots tree.Xid.xid ();
+          Hashtbl.replace updated parent ()
+      | Delta.Delete { parent; position; tree } ->
+          Hashtbl.replace updated parent ();
+          let existing =
+            Option.value ~default:(ref []) (Hashtbl.find_opt deleted_by_parent parent)
+          in
+          existing := (position, tree) :: !existing;
+          Hashtbl.replace deleted_by_parent parent existing
+      | Delta.Update_text { parent; _ } -> Hashtbl.replace updated parent ()
+      | Delta.Update_attrs { xid; _ } -> Hashtbl.replace updated xid ())
+    delta;
+  let rec render (tree : Xid.tree) ~inside_insert : T.element =
+    let inserted_here = Hashtbl.mem inserted_roots tree.Xid.xid in
+    let mark =
+      if inserted_here && not inside_insert then Some "inserted"
+      else if (not inside_insert) && Hashtbl.mem updated tree.Xid.xid then
+        Some "updated"
+      else None
+    in
+    let attrs =
+      match mark with
+      | Some value -> change_attr value tree.Xid.attrs
+      | None -> tree.Xid.attrs
+    in
+    let children =
+      List.map
+        (fun child ->
+          match child with
+          | Xid.Node sub ->
+              T.Element (render sub ~inside_insert:(inside_insert || inserted_here))
+          | Xid.Data (xid, s) ->
+              if Hashtbl.mem inserted_roots xid && not inside_insert then
+                T.el "inserted-text" ~attrs:[ ("change", "inserted") ] [ T.text s ]
+              else T.Text s)
+        tree.Xid.children
+    in
+    (* Re-insert the deleted subtrees of this element, approximately at
+       their old position among the current children. *)
+    let children =
+      match Hashtbl.find_opt deleted_by_parent tree.Xid.xid with
+      | None -> children
+      | Some dels ->
+          let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !dels in
+          List.fold_left
+            (fun acc (position, deleted_tree) ->
+              let node = strip_annotated "deleted" deleted_tree in
+              let rec insert_at i = function
+                | rest when i = position -> node :: rest
+                | [] -> [ node ]
+                | x :: rest -> x :: insert_at (i + 1) rest
+              in
+              insert_at 0 acc)
+            children sorted
+    in
+    { T.tag = tree.Xid.tag; attrs; children }
+  in
+  render new_tree ~inside_insert:false
+
+let summary_text ~old delta =
+  let tag_of xid =
+    match Xid.find old xid with
+    | Some tree -> Printf.sprintf "<%s>#%d" tree.Xid.tag xid
+    | None -> Printf.sprintf "#%d" xid
+  in
+  let line op =
+    match op with
+    | Delta.Insert { parent; position; tree } ->
+        Printf.sprintf "+ inserted <%s> under %s at position %d" tree.Xid.tag
+          (tag_of parent) position
+    | Delta.Delete { parent; tree; _ } ->
+        Printf.sprintf "- deleted <%s> from %s" tree.Xid.tag (tag_of parent)
+    | Delta.Update_text { parent; old_text; new_text; _ } ->
+        Printf.sprintf "~ text in %s: %S -> %S" (tag_of parent) old_text new_text
+    | Delta.Update_attrs { xid; old_attrs; new_attrs } ->
+        Printf.sprintf "~ attributes of %s: %s -> %s" (tag_of xid)
+          (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) old_attrs))
+          (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) new_attrs))
+  in
+  String.concat "\n" (List.map line delta)

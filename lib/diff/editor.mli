@@ -1,0 +1,25 @@
+(** Change visualization.
+
+    The paper ships "a practical change editor for the visualization
+    of changes in XML documents or query results in the spirit of
+    change editors as found, for instance, in MS-Word" (§5.2).  This
+    module produces the data behind such an editor: a *merged view* of
+    two versions — the new version annotated with what changed, with
+    deleted content re-inserted and marked. *)
+
+(** [merged_view ~old delta] returns the new version in which:
+    - every inserted element carries [change="inserted"];
+    - every element whose text or attributes changed, or that directly
+      gained/lost children, carries [change="updated"];
+    - deleted subtrees are re-inserted at (approximately) their old
+      position with [change="deleted"]; a deleted text node becomes a
+      [<deleted-text>] element carrying the text.
+
+    Raises [Failure] if [delta] does not fit [old] (same contract as
+    {!Apply.apply}). *)
+val merged_view : old:Xy_xml.Xid.tree -> Delta.t -> Xy_xml.Types.element
+
+(** [summary_text ~old delta] renders a compact, line-oriented
+    description of the delta (one line per operation), for terminal
+    display. *)
+val summary_text : old:Xy_xml.Xid.tree -> Delta.t -> string

@@ -1,0 +1,82 @@
+type status = New | Unchanged | Updated | Deleted
+type scope = Anywhere | Strict
+type comparator = Before | After
+
+type element_condition = {
+  change : status option;
+  tag : string;
+  word : (scope * string) option;
+}
+
+type t =
+  | Url_equals of string
+  | Url_extends of string
+  | Filename_equals of string
+  | Docid_equals of int
+  | Dtdid_equals of int
+  | Dtd_equals of string
+  | Domain_equals of string
+  | Last_accessed of comparator * float
+  | Last_updated of comparator * float
+  | Doc_status of status
+  | Doc_contains of string
+  | Has_tag of string
+  | Element of element_condition
+
+let is_weak = function
+  | Doc_status (New | Updated | Unchanged) -> true
+  | Doc_status Deleted -> false
+  | Url_equals _ | Url_extends _ | Filename_equals _ | Docid_equals _
+  | Dtdid_equals _ | Dtd_equals _ | Domain_equals _ | Last_accessed _
+  | Last_updated _ | Doc_contains _ | Has_tag _ | Element _ ->
+      false
+
+type alerter_kind = Url_kind | Xml_kind | Html_kind
+
+let alerter = function
+  | Url_equals _ | Url_extends _ | Filename_equals _ | Docid_equals _
+  | Dtdid_equals _ | Dtd_equals _ | Domain_equals _ | Last_accessed _
+  | Last_updated _ | Doc_status _ ->
+      Url_kind
+  | Doc_contains _ -> Html_kind
+  | Has_tag _ | Element _ -> Xml_kind
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let status_to_string = function
+  | New -> "new"
+  | Unchanged -> "unchanged"
+  | Updated -> "updated"
+  | Deleted -> "deleted"
+
+let comparator_to_string = function Before -> "<" | After -> ">"
+
+let to_string = function
+  | Url_equals s -> Printf.sprintf "URL = %S" s
+  | Url_extends s -> Printf.sprintf "URL extends %S" s
+  | Filename_equals s -> Printf.sprintf "filename = %S" s
+  | Docid_equals i -> Printf.sprintf "DOCID = %d" i
+  | Dtdid_equals i -> Printf.sprintf "DTDID = %d" i
+  | Dtd_equals s -> Printf.sprintf "DTD = %S" s
+  | Domain_equals s -> Printf.sprintf "domain = %S" s
+  | Last_accessed (c, t) ->
+      Printf.sprintf "LastAccessed %s %g" (comparator_to_string c) t
+  | Last_updated (c, t) ->
+      Printf.sprintf "LastUpdate %s %g" (comparator_to_string c) t
+  | Doc_status s -> Printf.sprintf "%s self" (status_to_string s)
+  | Doc_contains w -> Printf.sprintf "self contains %S" w
+  | Has_tag t -> Printf.sprintf "self\\\\%s" t
+  | Element { change; tag; word } ->
+      let change_part =
+        match change with None -> "" | Some s -> status_to_string s ^ " "
+      in
+      let word_part =
+        match word with
+        | None -> ""
+        | Some (Anywhere, w) -> Printf.sprintf " contains %S" w
+        | Some (Strict, w) -> Printf.sprintf " strict contains %S" w
+      in
+      Printf.sprintf "%sself\\\\%s%s" change_part tag word_part
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,61 @@
+(** Atomic events.
+
+    "The whole monitoring is based upon the detection of atomic
+    events" (§3).  An atomic event corresponds to one atomic condition
+    of a monitoring query's [where] clause (§5.1); each distinct
+    condition registered in the system is assigned one integer code by
+    the Subscription Manager and detected by the alerter responsible
+    for its kind. *)
+
+(** Document change status (the paper's change patterns). *)
+type status = New | Unchanged | Updated | Deleted
+
+(** Scope of a [contains] condition: anywhere in the element's
+    subtree, or directly in the element's own text ([strict]). *)
+type scope = Anywhere | Strict
+
+type comparator = Before | After
+
+(** An element-level condition:
+    [(change) self\\tag ((strict) contains word)].  At least one of
+    [change] and [word] is present — a bare tag test is expressed with
+    [Has_tag]. *)
+type element_condition = {
+  change : status option;
+  tag : string;
+  word : (scope * string) option;
+}
+
+type t =
+  (* URL-alerter conditions (metadata, §5.1 / §6.2) *)
+  | Url_equals of string
+  | Url_extends of string  (** prefix pattern, ["http://x/" ^ "*"] *)
+  | Filename_equals of string  (** tail of the URL, e.g. [index.html] *)
+  | Docid_equals of int
+  | Dtdid_equals of int
+  | Dtd_equals of string
+  | Domain_equals of string  (** semantic domain, e.g. ["biology"] *)
+  | Last_accessed of comparator * float
+  | Last_updated of comparator * float
+  | Doc_status of status  (** [new self], [updated self], ... — weak *)
+  (* XML / HTML alerter conditions (content) *)
+  | Doc_contains of string  (** [self contains word] *)
+  | Has_tag of string  (** document contains an element with this tag *)
+  | Element of element_condition
+
+(** Weak events are the document statuses [new], [updated] and
+    [unchanged]: "it is likely that each document we read will raise
+    one atomic event in new, unchanged, updated", so a where clause
+    made only of weak conditions is disallowed (§5.1). *)
+val is_weak : t -> bool
+
+(** The alerter responsible for detecting a condition. *)
+type alerter_kind = Url_kind | Xml_kind | Html_kind
+
+val alerter : t -> alerter_kind
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val status_to_string : status -> string

@@ -1,0 +1,82 @@
+module Xid = Xy_xml.Xid
+module T = Xy_xml.Types
+
+type t = {
+  name : string;
+  keep : int;
+  gen : Xid.gen;
+  mutable current_tree : Xid.tree option;
+  mutable current_version : int;
+  (* deltas leading *to* each version, newest first: (v, delta) *)
+  mutable history : (int * Xy_diff.Delta.t) list;
+}
+
+let create ?(keep = 10) ~name () =
+  { name; keep; gen = Xid.gen (); current_tree = None; current_version = 0; history = [] }
+
+type outcome =
+  | First of T.element
+  | Changed of T.element
+  | Unchanged
+
+let truncate keep list =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go keep list
+
+let record t answer =
+  match t.current_tree with
+  | None ->
+      t.current_tree <- Some (Xid.label t.gen answer);
+      t.current_version <- 1;
+      First answer
+  | Some old_tree ->
+      let delta, new_tree = Xy_diff.Diff.diff ~gen:t.gen old_tree answer in
+      if Xy_diff.Delta.is_empty delta then Unchanged
+      else begin
+        t.current_tree <- Some new_tree;
+        t.current_version <- t.current_version + 1;
+        t.history <- truncate t.keep ((t.current_version, delta) :: t.history);
+        Changed (Xy_diff.Delta.to_xml ~name:t.name delta)
+      end
+
+let version t = t.current_version
+let current t = Option.map Xid.strip t.current_tree
+
+(* Unwind the delta chain from the current tree back to [version]. *)
+let tree_at t ~version =
+  match t.current_tree with
+  | None -> None
+  | Some current_tree ->
+      if version > t.current_version || version < 1 then None
+      else begin
+        let rec unwind tree past = function
+          | _ when past = version -> Some tree
+          | [] -> None
+          | (v, delta) :: rest ->
+              if v <> past then None
+              else (
+                match Xy_diff.Apply.apply tree (Xy_diff.Delta.invert delta) with
+                | exception Failure _ -> None
+                | previous -> unwind previous (past - 1) rest)
+        in
+        unwind current_tree t.current_version t.history
+      end
+
+let reconstruct t ~version = Option.map Xid.strip (tree_at t ~version)
+
+let delta_between t ~from_version =
+  if from_version = t.current_version then
+    Some (Xy_diff.Delta.to_xml ~name:t.name [])
+  else
+    match tree_at t ~version:from_version, current t with
+    | Some past_tree, Some current_answer ->
+        (* Recompute a direct delta past -> current.  A fresh
+           generator labels only the *new* nodes; matched nodes keep
+           the XIDs of the past tree, which are the lineage's. *)
+        let delta, _ = Xy_diff.Diff.diff ~gen:t.gen past_tree current_answer in
+        Some (Xy_diff.Delta.to_xml ~name:t.name delta)
+    | _, _ -> None

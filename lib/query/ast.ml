@@ -1,0 +1,77 @@
+type operand =
+  | O_path of string option * Xy_xml.Path.t
+  | O_const of string
+
+type binding = { var : string; base : string option; path : Xy_xml.Path.t }
+
+type condition =
+  | C_contains of operand * string
+  | C_eq of operand * operand
+  | C_neq of operand * operand
+
+type select = S_operand of operand | S_construct of construct
+
+and construct =
+  | K_element of string * (string * operand) list * construct list
+  | K_text of string
+  | K_operand of operand
+
+type t = {
+  name : string option;
+  distinct : bool;
+  select : select;
+  from : binding list;
+  where : condition list;
+}
+
+let pp_operand ppf = function
+  | O_path (None, path) -> Xy_xml.Path.pp ppf path
+  | O_path (Some var, []) -> Format.pp_print_string ppf var
+  | O_path (Some var, path) ->
+      Format.fprintf ppf "%s/%a" var Xy_xml.Path.pp path
+  | O_const s -> Format.fprintf ppf "%S" s
+
+let pp_condition ppf = function
+  | C_contains (op, word) -> Format.fprintf ppf "%a contains %S" pp_operand op word
+  | C_eq (a, b) -> Format.fprintf ppf "%a = %a" pp_operand a pp_operand b
+  | C_neq (a, b) -> Format.fprintf ppf "%a != %a" pp_operand a pp_operand b
+
+let rec pp_construct ppf = function
+  | K_element (tag, attrs, children) ->
+      Format.fprintf ppf "<%s" tag;
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_operand v) attrs;
+      if children = [] then Format.fprintf ppf "/>"
+      else begin
+        Format.fprintf ppf ">";
+        List.iter (pp_construct ppf) children;
+        Format.fprintf ppf "</%s>" tag
+      end
+  | K_text s -> Format.pp_print_string ppf s
+  | K_operand op -> Format.fprintf ppf "{%a}" pp_operand op
+
+let pp_select ppf = function
+  | S_operand op -> pp_operand ppf op
+  | S_construct k -> pp_construct ppf k
+
+let pp ppf q =
+  Format.fprintf ppf "@[<v>select %s%a@,"
+    (if q.distinct then "distinct " else "")
+    pp_select q.select;
+  if q.from <> [] then begin
+    Format.fprintf ppf "from ";
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf b ->
+        match b.base with
+        | None -> Format.fprintf ppf "%a %s" Xy_xml.Path.pp b.path b.var
+        | Some base -> Format.fprintf ppf "%s/%a %s" base Xy_xml.Path.pp b.path b.var)
+      ppf q.from;
+    Format.fprintf ppf "@,"
+  end;
+  if q.where <> [] then begin
+    Format.fprintf ppf "where ";
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "@, and ")
+      pp_condition ppf q.where
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+(** Abstract syntax of the Xyleme-style query language.
+
+    The paper predates standard XML query languages ("our own XML
+    query language in the absence of a standard for the moment") and
+    uses select/from/where queries over tree paths, e.g.:
+
+    {v
+    select p/title
+    from   culture/museum m, m/painting p
+    where  m/address contains "Amsterdam"
+    v}
+
+    Queries are evaluated against a context element — an abstract
+    domain view, a warehouse document, or a notification stream. *)
+
+(** An operand: either a path (rooted at the context or at a bound
+    variable) or a string constant. *)
+type operand =
+  | O_path of string option * Xy_xml.Path.t
+      (** [Some v] roots the path at variable [v]; [None] at the
+          query context *)
+  | O_const of string
+
+(** One variable binding of the [from] clause: [path var], where the
+    path may itself start from a previously bound variable. *)
+type binding = { var : string; base : string option; path : Xy_xml.Path.t }
+
+type condition =
+  | C_contains of operand * string  (** word containment in text *)
+  | C_eq of operand * operand
+  | C_neq of operand * operand
+
+(** The [select] clause: either project an operand, or construct an
+    XML template with embedded operands. *)
+type select =
+  | S_operand of operand
+  | S_construct of construct
+
+and construct =
+  | K_element of string * (string * operand) list * construct list
+  | K_text of string
+  | K_operand of operand
+
+type t = {
+  name : string option;  (** e.g. [continuous delta AmsterdamPaintings] *)
+  distinct : bool;
+      (** [select distinct ...] deduplicates the result — the paper's
+          report queries "may, for instance, remove duplicates URL's of
+          pages that have been found updated several times" *)
+  select : select;
+  from : binding list;
+  where : condition list;  (** conjunction *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Query evaluation over document trees.
+
+    Conjunctive select/from/where semantics: the [from] clause binds
+    variables by nested iteration over path selections; bindings that
+    satisfy every [where] condition contribute one instantiation of
+    the [select] clause to the result.
+
+    [contains] uses word semantics (case-insensitive whole-word match
+    over the element's full text), consistent with the alerters'
+    WordTable treatment of [self\\tag contains word]. *)
+
+(** Evaluation environment. *)
+type env = {
+  context : Xy_xml.Types.element;  (** the query root ([self]) *)
+  strings : (string * string) list;
+      (** pseudo-variable bindings, e.g. [("URL", ...)]; consulted for
+          a variable with no element binding *)
+}
+
+val env : ?strings:(string * string) list -> Xy_xml.Types.element -> env
+
+exception Unbound_variable of string
+
+(** [eval query env] returns the result nodes, one batch per
+    satisfying binding of the [from] clause (duplicates preserved —
+    the paper's report queries deduplicate explicitly). *)
+val eval : Ast.t -> env -> Xy_xml.Types.node list
+
+(** [eval_wrapped ~name query env] wraps the results in a [<name>]
+    element, the shape continuous-query notifications carry. *)
+val eval_wrapped : name:string -> Ast.t -> env -> Xy_xml.Types.element
+
+(** [word_contains ~word text] is the word-matching predicate used by
+    [contains] (shared with the alerters). *)
+val word_contains : word:string -> string -> bool
+
+(** [words_of text] tokenizes [text] into lowercase words, the
+    tokenization {!word_contains} matches against — the alerters index
+    document words with it. *)
+val words_of : string -> string list

@@ -1,0 +1,222 @@
+type token =
+  | Ident of string
+  | Quoted of string
+  | Number of int
+  | Lt
+  | Gt
+  | Lt_slash
+  | Slash_gt
+  | Slash
+  | Double_slash
+  | Star
+  | Comma
+  | Dot
+  | Eq
+  | Neq
+  | Le
+  | Ge
+  | Lparen
+  | Rparen
+  | Backslash2
+  | Eof
+
+exception Error of { line : int; message : string }
+
+type t = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable lookahead : token option;
+}
+
+let create input = { input; pos = 0; line = 1; lookahead = None }
+let line t = t.line
+
+let error t message = raise (Error { line = t.line; message })
+
+let at_end t = t.pos >= String.length t.input
+let cur t = if at_end t then '\000' else t.input.[t.pos]
+
+let cur2 t =
+  if t.pos + 1 >= String.length t.input then '\000' else t.input.[t.pos + 1]
+
+let advance t =
+  if cur t = '\n' then t.line <- t.line + 1;
+  t.pos <- t.pos + 1
+
+let rec skip_blanks t =
+  if at_end t then ()
+  else
+    match cur t with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance t;
+        skip_blanks t
+    | '%' ->
+        (* line comment, as in the paper's subscription examples *)
+        while (not (at_end t)) && cur t <> '\n' do
+          advance t
+        done;
+        skip_blanks t
+    | _ -> ()
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '-' || c = ':'
+
+let read_ident t =
+  let start = t.pos in
+  while (not (at_end t)) && is_ident_char (cur t) do
+    advance t
+  done;
+  String.sub t.input start (t.pos - start)
+
+let read_number t =
+  let start = t.pos in
+  while (not (at_end t)) && cur t >= '0' && cur t <= '9' do
+    advance t
+  done;
+  int_of_string (String.sub t.input start (t.pos - start))
+
+(* Quoted strings: "...", '...', and the paper's typographic
+   ``...''. *)
+let read_quoted t =
+  let quote = cur t in
+  if quote = '`' && cur2 t = '`' then begin
+    advance t;
+    advance t;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if at_end t then error t "unterminated ``...'' string"
+      else if cur t = '\'' && cur2 t = '\'' then begin
+        advance t;
+        advance t
+      end
+      else begin
+        Buffer.add_char buf (cur t);
+        advance t;
+        go ()
+      end
+    in
+    go ();
+    Buffer.contents buf
+  end
+  else begin
+    advance t;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if at_end t then error t "unterminated string"
+      else if cur t = quote then advance t
+      else begin
+        Buffer.add_char buf (cur t);
+        advance t;
+        go ()
+      end
+    in
+    go ();
+    Buffer.contents buf
+  end
+
+let lex t =
+  skip_blanks t;
+  if at_end t then Eof
+  else
+    match cur t with
+    | '"' | '\'' -> Quoted (read_quoted t)
+    | '`' when cur2 t = '`' -> Quoted (read_quoted t)
+    | c when is_ident_start c -> Ident (read_ident t)
+    | c when c >= '0' && c <= '9' -> Number (read_number t)
+    | '<' ->
+        advance t;
+        if cur t = '/' then begin
+          advance t;
+          Lt_slash
+        end
+        else if cur t = '=' then begin
+          advance t;
+          Le
+        end
+        else Lt
+    | '>' ->
+        advance t;
+        if cur t = '=' then begin
+          advance t;
+          Ge
+        end
+        else Gt
+    | '/' ->
+        advance t;
+        if cur t = '/' then begin
+          advance t;
+          Double_slash
+        end
+        else if cur t = '>' then begin
+          advance t;
+          Slash_gt
+        end
+        else Slash
+    | '*' ->
+        advance t;
+        Star
+    | ',' ->
+        advance t;
+        Comma
+    | '(' ->
+        advance t;
+        Lparen
+    | ')' ->
+        advance t;
+        Rparen
+    | '.' ->
+        advance t;
+        Dot
+    | '=' ->
+        advance t;
+        Eq
+    | '!' when cur2 t = '=' ->
+        advance t;
+        advance t;
+        Neq
+    | '\\' when cur2 t = '\\' ->
+        advance t;
+        advance t;
+        Backslash2
+    | c -> error t (Printf.sprintf "unexpected character %C" c)
+
+let next t =
+  match t.lookahead with
+  | Some token ->
+      t.lookahead <- None;
+      token
+  | None -> lex t
+
+let peek t =
+  match t.lookahead with
+  | Some token -> token
+  | None ->
+      let token = lex t in
+      t.lookahead <- Some token;
+      token
+
+let token_to_string = function
+  | Ident s -> s
+  | Quoted s -> Printf.sprintf "%S" s
+  | Number n -> string_of_int n
+  | Lt -> "<"
+  | Gt -> ">"
+  | Lt_slash -> "</"
+  | Slash_gt -> "/>"
+  | Slash -> "/"
+  | Double_slash -> "//"
+  | Star -> "*"
+  | Comma -> ","
+  | Dot -> "."
+  | Eq -> "="
+  | Neq -> "!="
+  | Le -> "<="
+  | Ge -> ">="
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Backslash2 -> "\\\\"
+  | Eof -> "<eof>"

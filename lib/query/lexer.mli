@@ -1,0 +1,45 @@
+(** Token stream shared by the query parser and the subscription
+    language parser ([xy_sublang]).
+
+    Keywords are not distinguished from identifiers here — both
+    parsers decide keyword-ness in context.  [%] starts a line
+    comment, as in the paper's examples. *)
+
+type token =
+  | Ident of string
+  | Quoted of string  (** "..." or '...' or the paper's ``...'' style *)
+  | Number of int
+  | Lt  (** [<] *)
+  | Gt  (** [>] *)
+  | Lt_slash  (** [</] *)
+  | Slash_gt  (** [/>] *)
+  | Slash
+  | Double_slash
+  | Star
+  | Comma
+  | Dot
+  | Eq
+  | Neq
+  | Le
+  | Ge
+  | Lparen
+  | Rparen
+  | Backslash2  (** [\\], the element-condition separator *)
+  | Eof
+
+exception Error of { line : int; message : string }
+
+type t
+
+val create : string -> t
+
+(** [next t] consumes and returns the next token. *)
+val next : t -> token
+
+(** [peek t] returns the next token without consuming it. *)
+val peek : t -> token
+
+(** [line t] is the current 1-based line. *)
+val line : t -> int
+
+val token_to_string : token -> string

@@ -1,0 +1,229 @@
+exception Error of { line : int; message : string }
+
+let fail lexer message = raise (Error { line = Lexer.line lexer; message })
+
+let expect lexer token =
+  let got = Lexer.next lexer in
+  if got <> token then
+    fail lexer
+      (Printf.sprintf "expected %s, found %s" (Lexer.token_to_string token)
+         (Lexer.token_to_string got))
+
+let expect_ident lexer =
+  match Lexer.next lexer with
+  | Lexer.Ident s -> s
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected an identifier, found %s"
+           (Lexer.token_to_string other))
+
+(* A path suffix: ('/' | '//') (ident | '*') ... *)
+let rec parse_path_steps lexer acc =
+  match Lexer.peek lexer with
+  | Lexer.Slash | Lexer.Double_slash ->
+      let axis =
+        match Lexer.next lexer with
+        | Lexer.Slash -> Xy_xml.Path.Child
+        | Lexer.Double_slash -> Xy_xml.Path.Descendant
+        | _ -> assert false
+      in
+      let tag =
+        match Lexer.next lexer with
+        | Lexer.Ident s -> Some s
+        | Lexer.Star -> None
+        | other ->
+            fail lexer
+              (Printf.sprintf "expected a step name, found %s"
+                 (Lexer.token_to_string other))
+      in
+      parse_path_steps lexer ({ Xy_xml.Path.axis; tag } :: acc)
+  | _ -> List.rev acc
+
+(* A path reference starting with an identifier already consumed.
+   Resolution: "self" roots at the context; a bound variable roots at
+   that variable; anything else is the first step of a context
+   path. *)
+let path_ref_of lexer ~bound first =
+  let steps = parse_path_steps lexer [] in
+  if first = "self" then (None, steps)
+  else if List.mem first bound then (Some first, steps)
+  else (None, { Xy_xml.Path.axis = Xy_xml.Path.Child; tag = Some first } :: steps)
+
+(* Special case: a leading '//' means a descendant path from the
+   context. *)
+let parse_operand lexer ~bound =
+  match Lexer.next lexer with
+  | Lexer.Quoted s -> Ast.O_const s
+  | Lexer.Number n -> Ast.O_const (string_of_int n)
+  | Lexer.Double_slash ->
+      let tag =
+        match Lexer.next lexer with
+        | Lexer.Ident s -> Some s
+        | Lexer.Star -> None
+        | other ->
+            fail lexer
+              (Printf.sprintf "expected a step name, found %s"
+                 (Lexer.token_to_string other))
+      in
+      let steps =
+        parse_path_steps lexer [ { Xy_xml.Path.axis = Xy_xml.Path.Descendant; tag } ]
+      in
+      Ast.O_path (None, steps)
+  | Lexer.Ident first ->
+      let base, steps = path_ref_of lexer ~bound first in
+      Ast.O_path (base, steps)
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected an operand, found %s"
+           (Lexer.token_to_string other))
+
+let rec parse_construct lexer ~bound =
+  (* '<' already consumed *)
+  let tag = expect_ident lexer in
+  let rec attrs acc =
+    match Lexer.peek lexer with
+    | Lexer.Ident name ->
+        ignore (Lexer.next lexer);
+        expect lexer Lexer.Eq;
+        let value = parse_operand lexer ~bound in
+        attrs ((name, value) :: acc)
+    | _ -> List.rev acc
+  in
+  let attrs = attrs [] in
+  match Lexer.next lexer with
+  | Lexer.Slash_gt -> Ast.K_element (tag, attrs, [])
+  | Lexer.Gt ->
+      let rec children acc =
+        match Lexer.peek lexer with
+        | Lexer.Lt_slash ->
+            ignore (Lexer.next lexer);
+            let closing = expect_ident lexer in
+            if closing <> tag then
+              fail lexer
+                (Printf.sprintf "construct <%s> closed by </%s>" tag closing);
+            expect lexer Lexer.Gt;
+            List.rev acc
+        | Lexer.Lt ->
+            ignore (Lexer.next lexer);
+            children (parse_construct lexer ~bound :: acc)
+        | Lexer.Quoted s ->
+            ignore (Lexer.next lexer);
+            children (Ast.K_text s :: acc)
+        | Lexer.Eof -> fail lexer (Printf.sprintf "unterminated construct <%s>" tag)
+        | _ -> children (Ast.K_operand (parse_operand lexer ~bound) :: acc)
+      in
+      Ast.K_element (tag, attrs, children [])
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected '>' or '/>', found %s"
+           (Lexer.token_to_string other))
+
+let parse_select lexer ~bound =
+  match Lexer.peek lexer with
+  | Lexer.Lt ->
+      ignore (Lexer.next lexer);
+      Ast.S_construct (parse_construct lexer ~bound)
+  | _ -> Ast.S_operand (parse_operand lexer ~bound)
+
+let parse_from lexer ~bound =
+  let rec bindings bound acc =
+    let first = expect_ident lexer in
+    let base, steps = path_ref_of lexer ~bound first in
+    let var = expect_ident lexer in
+    let binding = { Ast.var; base; path = steps } in
+    let bound = var :: bound in
+    match Lexer.peek lexer with
+    | Lexer.Comma ->
+        ignore (Lexer.next lexer);
+        bindings bound (binding :: acc)
+    | _ -> (List.rev (binding :: acc), bound)
+  in
+  bindings bound []
+
+let parse_condition lexer ~bound =
+  let left = parse_operand lexer ~bound in
+  match Lexer.next lexer with
+  | Lexer.Ident "contains" -> (
+      match Lexer.next lexer with
+      | Lexer.Quoted word -> Ast.C_contains (left, word)
+      | Lexer.Ident word -> Ast.C_contains (left, word)
+      | other ->
+          fail lexer
+            (Printf.sprintf "expected a word after 'contains', found %s"
+               (Lexer.token_to_string other)))
+  | Lexer.Eq -> Ast.C_eq (left, parse_operand lexer ~bound)
+  | Lexer.Neq -> Ast.C_neq (left, parse_operand lexer ~bound)
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected a comparison, found %s"
+           (Lexer.token_to_string other))
+
+(* The select clause may reference variables bound *later* by the from
+   clause ("select X from self//Member X"), so an unbound head segment
+   is re-resolved once the from clause is known. *)
+let resolve_operand ~bound = function
+  | Ast.O_path (None, { Xy_xml.Path.axis = Xy_xml.Path.Child; tag = Some head } :: rest)
+    when List.mem head bound ->
+      Ast.O_path (Some head, rest)
+  | other -> other
+
+let rec resolve_construct ~bound = function
+  | Ast.K_element (tag, attrs, children) ->
+      Ast.K_element
+        ( tag,
+          List.map (fun (k, v) -> (k, resolve_operand ~bound v)) attrs,
+          List.map (resolve_construct ~bound) children )
+  | Ast.K_text _ as t -> t
+  | Ast.K_operand op -> Ast.K_operand (resolve_operand ~bound op)
+
+let resolve_select ~bound = function
+  | Ast.S_operand op -> Ast.S_operand (resolve_operand ~bound op)
+  | Ast.S_construct k -> Ast.S_construct (resolve_construct ~bound k)
+
+let parse_body lexer ~bound =
+  let name = None in
+  expect lexer (Lexer.Ident "select");
+  let distinct =
+    match Lexer.peek lexer with
+    | Lexer.Ident "distinct" ->
+        ignore (Lexer.next lexer);
+        true
+    | _ -> false
+  in
+  let select = parse_select lexer ~bound in
+  let from, bound =
+    match Lexer.peek lexer with
+    | Lexer.Ident "from" ->
+        ignore (Lexer.next lexer);
+        parse_from lexer ~bound
+    | _ -> ([], bound)
+  in
+  let select = resolve_select ~bound select in
+  let where =
+    match Lexer.peek lexer with
+    | Lexer.Ident "where" ->
+        ignore (Lexer.next lexer);
+        let rec conditions acc =
+          let c = parse_condition lexer ~bound in
+          match Lexer.peek lexer with
+          | Lexer.Ident "and" ->
+              ignore (Lexer.next lexer);
+              conditions (c :: acc)
+          | _ -> List.rev (c :: acc)
+        in
+        conditions []
+    | _ -> []
+  in
+  { Ast.name; distinct; select; from; where }
+
+let parse s =
+  let lexer = Lexer.create s in
+  try
+    let q = parse_body lexer ~bound:[] in
+    (match Lexer.peek lexer with
+    | Lexer.Eof -> ()
+    | other ->
+        fail lexer
+          (Printf.sprintf "trailing input: %s" (Lexer.token_to_string other)));
+    q
+  with Lexer.Error { line; message } -> raise (Error { line; message })

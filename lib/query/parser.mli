@@ -1,0 +1,29 @@
+(** Parser for the query language.
+
+    [parse s] parses a complete query.  [parse_body lexer ~bound]
+    parses a query starting at the current position of [lexer] and
+    stops cleanly at the first token that cannot extend the query —
+    the subscription-language parser uses this to embed queries inside
+    subscriptions.  [bound] pre-binds pseudo-variables (e.g. [URL],
+    bound by the monitoring context). *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Ast.t
+
+val parse_body : Lexer.t -> bound:string list -> Ast.t
+
+(** Clause-level entry points, used by the subscription-language
+    parser to embed query fragments with its own [where] syntax. *)
+
+(** [parse_select lexer ~bound] parses the expression after the
+    [select] keyword (keyword already consumed). *)
+val parse_select : Lexer.t -> bound:string list -> Ast.select
+
+(** [parse_from lexer ~bound] parses the bindings after the [from]
+    keyword; returns them with the extended bound-variable list. *)
+val parse_from : Lexer.t -> bound:string list -> Ast.binding list * string list
+
+(** [resolve_select ~bound select] re-resolves head segments of paths
+    against variables bound after the select clause was read. *)
+val resolve_select : bound:string list -> Ast.select -> Ast.select

@@ -1,0 +1,28 @@
+module Xid = Xy_xml.Xid
+
+type t = {
+  name : string;
+  gen : Xid.gen;
+  mutable previous : Xid.tree option;
+}
+
+let create ~name = { name; gen = Xid.gen (); previous = None }
+
+type outcome =
+  | First of Xy_xml.Types.element
+  | Changed of Xy_xml.Types.element
+  | Unchanged
+
+let update t result =
+  match t.previous with
+  | None ->
+      let labelled = Xid.label t.gen result in
+      t.previous <- Some labelled;
+      First result
+  | Some old_tree ->
+      let delta, new_tree = Xy_diff.Diff.diff ~gen:t.gen old_tree result in
+      t.previous <- Some new_tree;
+      if Xy_diff.Delta.is_empty delta then Unchanged
+      else Changed (Xy_diff.Delta.to_xml ~name:t.name delta)
+
+let current t = Option.map Xid.strip t.previous

@@ -1,0 +1,25 @@
+(** Deltas of continuous-query results.
+
+    "The use of the keyword [delta] specifies that we are interested
+    by changes to the result and not by the result per se" (§5.2).
+    The tracker versions the wrapped query result with XIDs; the first
+    evaluation returns the full answer, later ones only the delta
+    document ([<Name-delta>] with [<inserted>]/[<deleted>]/
+    [<updated>] children), or nothing if the answer is unchanged. *)
+
+type t
+
+val create : name:string -> t
+
+type outcome =
+  | First of Xy_xml.Types.element  (** the initial full answer *)
+  | Changed of Xy_xml.Types.element  (** the [<Name-delta>] document *)
+  | Unchanged
+
+(** [update t result] feeds the latest evaluation (the wrapped
+    [<Name>...</Name>] element) and classifies the change. *)
+val update : t -> Xy_xml.Types.element -> outcome
+
+(** [current t] is the latest full answer, if any evaluation
+    happened. *)
+val current : t -> Xy_xml.Types.element option

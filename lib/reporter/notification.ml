@@ -1,0 +1,13 @@
+type source = Monitoring | Continuous
+
+type t = {
+  source : source;
+  tag : string;
+  body : Xy_xml.Types.node list;
+  at : float;
+}
+
+let to_xml t =
+  match t.body with
+  | [] -> [ Xy_xml.Types.el t.tag [] ]
+  | body -> body

@@ -1,0 +1,214 @@
+module S = Xy_sublang.S_ast
+module T = Xy_xml.Types
+
+type subscription_state = {
+  mutable spec : S.report;
+  mutable recipients : string list;
+  mutable buffer : Notification.t list;  (** newest first *)
+  mutable buffered : int;
+  mutable tag_counts : (string * int) list;
+  mutable last_report_at : float option;
+  mutable periodic_deadline : float option;
+      (** next time a frequency disjunct fires *)
+  mutable pending_rate_limited : bool;
+      (** the when-condition fired but atmost-frequency held it back *)
+  mutable archive : (float * T.element) list;  (** (sent_at, report) *)
+}
+
+type t = {
+  clock : Xy_util.Clock.t;
+  sink : Sink.t;
+  subscriptions : (string, subscription_state) Hashtbl.t;
+  mutable notifications_received : int;
+  mutable reports_sent : int;
+  mutable dropped_by_atmost : int;
+}
+
+let create ~clock ~sink =
+  {
+    clock;
+    sink;
+    subscriptions = Hashtbl.create 64;
+    notifications_received = 0;
+    reports_sent = 0;
+    dropped_by_atmost = 0;
+  }
+
+let shortest_frequency spec =
+  List.fold_left
+    (fun acc disjunct ->
+      match disjunct with
+      | S.R_frequency f -> (
+          let s = S.seconds f in
+          match acc with Some best -> Some (min best s) | None -> Some s)
+      | S.R_count _ | S.R_count_query _ | S.R_immediate -> acc)
+    None spec.S.r_when
+
+let register t ~subscription ~recipient spec =
+  match Hashtbl.find_opt t.subscriptions subscription with
+  | Some state ->
+      state.spec <- spec;
+      if not (List.mem recipient state.recipients) then
+        state.recipients <- recipient :: state.recipients;
+      state.periodic_deadline <-
+        Option.map
+          (fun s -> Xy_util.Clock.now t.clock +. s)
+          (shortest_frequency spec)
+  | None ->
+      Hashtbl.replace t.subscriptions subscription
+        {
+          spec;
+          recipients = [ recipient ];
+          buffer = [];
+          buffered = 0;
+          tag_counts = [];
+          last_report_at = None;
+          periodic_deadline =
+            Option.map
+              (fun s -> Xy_util.Clock.now t.clock +. s)
+              (shortest_frequency spec);
+          pending_rate_limited = false;
+          archive = [];
+        }
+
+let add_recipient t ~subscription ~recipient =
+  match Hashtbl.find_opt t.subscriptions subscription with
+  | Some state ->
+      if not (List.mem recipient state.recipients) then
+        state.recipients <- recipient :: state.recipients
+  | None -> invalid_arg "Reporter.add_recipient: unknown subscription"
+
+let remove_recipient t ~subscription ~recipient =
+  match Hashtbl.find_opt t.subscriptions subscription with
+  | Some state ->
+      state.recipients <- List.filter (fun r -> r <> recipient) state.recipients
+  | None -> ()
+
+let unregister t ~subscription = Hashtbl.remove t.subscriptions subscription
+
+let tag_count state tag =
+  match List.assoc_opt tag state.tag_counts with Some n -> n | None -> 0
+
+let bump_tag state tag =
+  let n = tag_count state tag in
+  state.tag_counts <- (tag, n + 1) :: List.remove_assoc tag state.tag_counts
+
+(* The when disjunction, ignoring frequency disjuncts (those fire from
+   tick). *)
+let count_condition_holds state =
+  List.exists
+    (fun disjunct ->
+      match disjunct with
+      | S.R_count n -> state.buffered > n
+      | S.R_count_query (tag, n) -> tag_count state tag > n
+      | S.R_immediate -> state.buffered > 0
+      | S.R_frequency _ -> false)
+    state.spec.S.r_when
+
+let rate_allows state ~now =
+  match state.spec.S.r_atmost, state.last_report_at with
+  | Some (S.At_frequency f), Some last -> now -. last >= S.seconds f
+  | Some (S.At_frequency _), None -> true
+  | Some (S.At_count _), _ | None, _ -> true
+
+(* Build and send the report; empties the buffer. *)
+let fire t subscription state =
+  let now = Xy_util.Clock.now t.clock in
+  let notifications = List.rev state.buffer in
+  let body = List.concat_map Notification.to_xml notifications in
+  let notifications_doc = T.element "Notifications" body in
+  let report_body =
+    match state.spec.S.r_query with
+    | None -> body
+    | Some query -> Xy_query.Eval.eval query (Xy_query.Eval.env notifications_doc)
+  in
+  let report = T.element "Report" report_body in
+  state.buffer <- [];
+  state.buffered <- 0;
+  state.tag_counts <- [];
+  state.last_report_at <- Some now;
+  state.pending_rate_limited <- false;
+  (* Archive before delivery so even undeliverable reports are kept. *)
+  (match state.spec.S.r_archive with
+  | Some _ -> state.archive <- (now, report) :: state.archive
+  | None -> ());
+  List.iter
+    (fun recipient ->
+      t.sink.Sink.deliver { Sink.recipient; subscription; report; at = now })
+    state.recipients;
+  t.reports_sent <- t.reports_sent + 1
+
+let maybe_fire t subscription state =
+  let now = Xy_util.Clock.now t.clock in
+  if count_condition_holds state then begin
+    if rate_allows state ~now then fire t subscription state
+    else state.pending_rate_limited <- true
+  end
+
+let notify t ~subscription notification =
+  match Hashtbl.find_opt t.subscriptions subscription with
+  | None -> ()
+  | Some state ->
+      t.notifications_received <- t.notifications_received + 1;
+      let capped =
+        match state.spec.S.r_atmost with
+        | Some (S.At_count n) -> state.buffered >= n
+        | Some (S.At_frequency _) | None -> false
+      in
+      if capped then t.dropped_by_atmost <- t.dropped_by_atmost + 1
+      else begin
+        state.buffer <- notification :: state.buffer;
+        state.buffered <- state.buffered + 1;
+        bump_tag state notification.Notification.tag
+      end;
+      maybe_fire t subscription state
+
+let gc_archive t state =
+  match state.spec.S.r_archive with
+  | None -> state.archive <- []
+  | Some f ->
+      let horizon = Xy_util.Clock.now t.clock -. S.seconds f in
+      state.archive <- List.filter (fun (at, _) -> at >= horizon) state.archive
+
+let tick t =
+  let now = Xy_util.Clock.now t.clock in
+  Hashtbl.iter
+    (fun subscription state ->
+      (* Periodic disjuncts. *)
+      (match state.periodic_deadline with
+      | Some deadline when now >= deadline ->
+          (* Catch up missed periods without emitting a burst. *)
+          let period = Option.get (shortest_frequency state.spec) in
+          let rec advance d = if d <= now then advance (d +. period) else d in
+          state.periodic_deadline <- Some (advance deadline);
+          if state.buffered > 0 && rate_allows state ~now then
+            fire t subscription state
+      | Some _ | None -> ());
+      (* A count condition held back by atmost-frequency. *)
+      if state.pending_rate_limited && rate_allows state ~now && state.buffered > 0
+      then fire t subscription state;
+      gc_archive t state)
+    t.subscriptions
+
+let buffered_count t ~subscription =
+  match Hashtbl.find_opt t.subscriptions subscription with
+  | Some state -> state.buffered
+  | None -> 0
+
+let archived t ~subscription =
+  match Hashtbl.find_opt t.subscriptions subscription with
+  | Some state -> List.rev_map snd state.archive
+  | None -> []
+
+type stats = {
+  notifications_received : int;
+  reports_sent : int;
+  dropped_by_atmost : int;
+}
+
+let stats (t : t) =
+  {
+    notifications_received = t.notifications_received;
+    reports_sent = t.reports_sent;
+    dropped_by_atmost = t.dropped_by_atmost;
+  }

@@ -1,0 +1,57 @@
+(** The (Xyleme) Reporter (paper §3, §5.3).
+
+    "The Reporter stores the notifications it receives.  When a report
+    condition is satisfied, it sends these notifications as an XML
+    document.  The Xyleme Reporter post-processes this report,
+    basically by applying an XML query to it."
+
+    Per registered subscription the reporter keeps the notification
+    buffer, evaluates the [when] disjunction (count, count(tag),
+    frequencies, immediate), enforces [atmost] (buffer cap or report
+    rate cap), applies the report query and delivers the [<Report>]
+    to every recipient.  "The generation of a report for a
+    subscription empties the global buffer of notification answers."
+    Reports are archived per the [archive] clause and garbage
+    collected when they expire. *)
+
+type t
+
+val create : clock:Xy_util.Clock.t -> sink:Sink.t -> t
+
+(** [register t ~subscription ~recipient spec] starts buffering for a
+    subscription.  Re-registering replaces the spec but keeps the
+    buffer. *)
+val register :
+  t -> subscription:string -> recipient:string -> Xy_sublang.S_ast.report -> unit
+
+(** [add_recipient t ~subscription ~recipient] subscribes another
+    recipient (virtual subscriptions). *)
+val add_recipient : t -> subscription:string -> recipient:string -> unit
+
+(** [remove_recipient t ~subscription ~recipient] detaches one
+    recipient (virtual unsubscription); no-op when unknown. *)
+val remove_recipient : t -> subscription:string -> recipient:string -> unit
+
+(** [unregister t ~subscription] drops the buffer, spec and archive. *)
+val unregister : t -> subscription:string -> unit
+
+(** [notify t ~subscription notification] buffers a notification and
+    fires the report if the condition now holds. *)
+val notify : t -> subscription:string -> Notification.t -> unit
+
+(** [tick t] evaluates time-based report conditions (periodic [when]
+    disjuncts, [atmost] rate release) and garbage-collects expired
+    archives.  Call it whenever the virtual clock advanced. *)
+val tick : t -> unit
+
+(** [buffered_count t ~subscription] is the current buffer size
+    ([0] for unknown subscriptions). *)
+val buffered_count : t -> subscription:string -> int
+
+(** [archived t ~subscription] returns the reports retained by the
+    [archive] clause, oldest first. *)
+val archived : t -> subscription:string -> Xy_xml.Types.element list
+
+type stats = { notifications_received : int; reports_sent : int; dropped_by_atmost : int }
+
+val stats : t -> stats

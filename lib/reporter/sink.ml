@@ -1,0 +1,64 @@
+type delivery = {
+  recipient : string;
+  subscription : string;
+  report : Xy_xml.Types.element;
+  at : float;
+}
+
+type t = { deliver : delivery -> unit }
+
+let memory () =
+  let deliveries = ref [] in
+  ({ deliver = (fun d -> deliveries := d :: !deliveries) }, deliveries)
+
+let null () = { deliver = (fun _ -> ()) }
+
+let counting () =
+  let count = ref 0 in
+  ({ deliver = (fun _ -> incr count) }, count)
+
+let simulated_smtp ~per_mail_seconds ~clock =
+  let count = ref 0 in
+  ( {
+      deliver =
+        (fun _ ->
+          incr count;
+          Xy_util.Clock.advance clock per_mail_seconds);
+    },
+    count )
+
+let tee a b = { deliver = (fun d -> a.deliver d; b.deliver d) }
+
+let directory ~root () =
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let ensure_dir path = if not (Sys.file_exists path) then Sys.mkdir path 0o755 in
+  let write path content =
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc
+  in
+  let deliver d =
+    ensure_dir root;
+    let dir = Filename.concat root d.subscription in
+    ensure_dir dir;
+    let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt counters d.subscription) in
+    Hashtbl.replace counters d.subscription seq;
+    write
+      (Filename.concat dir (Printf.sprintf "%d.xml" seq))
+      (Xy_xml.Printer.element_to_string ~indent:2 d.report);
+    let entries =
+      List.init seq (fun i ->
+          Xy_xml.Types.el "report"
+            ~attrs:[ ("href", Printf.sprintf "%d.xml" (i + 1)) ]
+            [])
+    in
+    let index =
+      Xy_xml.Types.element "reports"
+        ~attrs:[ ("subscription", d.subscription) ]
+        entries
+    in
+    write
+      (Filename.concat dir "index.xml")
+      (Xy_xml.Printer.element_to_string ~indent:2 index)
+  in
+  { deliver }

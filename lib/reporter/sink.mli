@@ -1,0 +1,43 @@
+(** Report delivery.
+
+    The paper's reporter emails reports (bounded by the sendmail
+    daemon — "the Reporter supports hundreds of thousands of emails
+    per day on a single PC") and plans web publication for very large
+    reports.  Sinks abstract the delivery channel; the simulated SMTP
+    sink models a per-mail latency so the [tbl-rep] bench can
+    reproduce the sendmail bottleneck shape. *)
+
+type delivery = {
+  recipient : string;
+  subscription : string;
+  report : Xy_xml.Types.element;
+  at : float;  (** virtual delivery time *)
+}
+
+type t = { deliver : delivery -> unit }
+
+(** [memory ()] collects deliveries in order. *)
+val memory : unit -> t * delivery list ref
+
+(** [null ()] drops deliveries (throughput benches). *)
+val null : unit -> t
+
+(** [counting ()] counts deliveries without retaining them. *)
+val counting : unit -> t * int ref
+
+(** [simulated_smtp ~per_mail_seconds ~clock] advances the virtual
+    clock by [per_mail_seconds] per delivery — the sendmail model —
+    and counts deliveries. *)
+val simulated_smtp :
+  per_mail_seconds:float -> clock:Xy_util.Clock.t -> t * int ref
+
+(** [tee a b] delivers to both. *)
+val tee : t -> t -> t
+
+(** [directory ~root ()] publishes reports on the "web": each delivery
+    is written to [root/<subscription>/<seq>.xml] and
+    [root/<subscription>/index.xml] lists the published reports —
+    "we are considering the support of an access to reports via web
+    publication which seems more appropriate for very large reports"
+    (§3).  Directories are created as needed. *)
+val directory : root:string -> unit -> t

@@ -1,0 +1,155 @@
+type frequency = Hourly | Daily | Biweekly | Weekly | Monthly
+
+let seconds = function
+  | Hourly -> 3600.
+  | Daily -> 86400.
+  | Biweekly -> 7. *. 86400. /. 2.
+  | Weekly -> 7. *. 86400.
+  | Monthly -> 30. *. 86400.
+
+type condition =
+  | A_url_extends of string
+  | A_url_equals of string
+  | A_filename of string
+  | A_docid of int
+  | A_dtdid of int
+  | A_dtd of string
+  | A_domain of string
+  | A_last_accessed of Xy_events.Atomic.comparator * float
+  | A_last_updated of Xy_events.Atomic.comparator * float
+  | A_self_contains of string
+  | A_self_status of Xy_events.Atomic.status
+  | A_element of {
+      change : Xy_events.Atomic.status option;
+      target : [ `Tag of string | `Var of string ];
+      word : (Xy_events.Atomic.scope * string) option;
+    }
+
+type monitoring = {
+  m_name : string;
+  m_select : Xy_query.Ast.select option;
+  m_from : Xy_query.Ast.binding list;
+  m_where : condition list list;
+}
+
+type trigger_spec =
+  | T_frequency of frequency
+  | T_notification of { subscription : string option; tag : string }
+
+type continuous = {
+  c_name : string;
+  c_delta : bool;
+  c_query : Xy_query.Ast.t;
+  c_when : trigger_spec;
+}
+
+type report_disjunct =
+  | R_count of int
+  | R_count_query of string * int
+  | R_frequency of frequency
+  | R_immediate
+
+type atmost = At_count of int | At_frequency of frequency
+
+type report = {
+  r_query : Xy_query.Ast.t option;
+  r_when : report_disjunct list;
+  r_atmost : atmost option;
+  r_archive : frequency option;
+}
+
+type refresh = { r_url : string; r_freq : frequency }
+
+type t = {
+  name : string;
+  monitoring : monitoring list;
+  continuous : continuous list;
+  report : report option;
+  refresh : refresh list;
+  virtuals : (string * string) list;
+}
+
+let frequency_to_string = function
+  | Hourly -> "hourly"
+  | Daily -> "daily"
+  | Biweekly -> "biweekly"
+  | Weekly -> "weekly"
+  | Monthly -> "monthly"
+
+let status_to_string = Xy_events.Atomic.status_to_string
+
+let pp_condition ppf = function
+  | A_url_extends s -> Format.fprintf ppf "URL extends %S" s
+  | A_url_equals s -> Format.fprintf ppf "URL = %S" s
+  | A_filename s -> Format.fprintf ppf "filename = %S" s
+  | A_docid n -> Format.fprintf ppf "DOCID = %d" n
+  | A_dtdid n -> Format.fprintf ppf "DTDID = %d" n
+  | A_dtd s -> Format.fprintf ppf "DTD = %S" s
+  | A_domain s -> Format.fprintf ppf "domain = %S" s
+  | A_last_accessed (c, d) ->
+      Format.fprintf ppf "LastAccessed %s %g"
+        (match c with Xy_events.Atomic.Before -> "<" | Xy_events.Atomic.After -> ">")
+        d
+  | A_last_updated (c, d) ->
+      Format.fprintf ppf "LastUpdate %s %g"
+        (match c with Xy_events.Atomic.Before -> "<" | Xy_events.Atomic.After -> ">")
+        d
+  | A_self_contains w -> Format.fprintf ppf "self contains %S" w
+  | A_self_status s -> Format.fprintf ppf "%s self" (status_to_string s)
+  | A_element { change; target; word } ->
+      (match change with
+      | Some s -> Format.fprintf ppf "%s " (status_to_string s)
+      | None -> ());
+      (match target with
+      | `Tag tag -> Format.fprintf ppf "self\\\\%s" tag
+      | `Var v -> Format.pp_print_string ppf v);
+      (match word with
+      | Some (Xy_events.Atomic.Anywhere, w) -> Format.fprintf ppf " contains %S" w
+      | Some (Xy_events.Atomic.Strict, w) ->
+          Format.fprintf ppf " strict contains %S" w
+      | None -> ())
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>subscription %s@," t.name;
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "monitoring  %% %s@," m.m_name;
+      Format.fprintf ppf "  where @[<hv>%a@]@,"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ or ")
+           (fun ppf conjunction ->
+             Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ and ")
+               pp_condition ppf conjunction))
+        m.m_where)
+    t.monitoring;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "continuous %s%s (%s)@,"
+        (if c.c_delta then "delta " else "")
+        c.c_name
+        (match c.c_when with
+        | T_frequency f -> frequency_to_string f
+        | T_notification { subscription; tag } ->
+            (match subscription with Some s -> s ^ "." | None -> "") ^ tag))
+    t.continuous;
+  List.iter
+    (fun r -> Format.fprintf ppf "refresh %S %s@," r.r_url (frequency_to_string r.r_freq))
+    t.refresh;
+  List.iter
+    (fun (s, q) -> Format.fprintf ppf "virtual %s.%s@," s q)
+    t.virtuals;
+  (match t.report with
+  | Some report ->
+      Format.fprintf ppf "report when %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " or ")
+           (fun ppf d ->
+             match d with
+             | R_count n -> Format.fprintf ppf "count > %d" n
+             | R_count_query (q, n) -> Format.fprintf ppf "count(%s) > %d" q n
+             | R_frequency f -> Format.pp_print_string ppf (frequency_to_string f)
+             | R_immediate -> Format.pp_print_string ppf "immediate"))
+        report.r_when
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,109 @@
+(** Abstract syntax of the subscription language (paper §5).
+
+    A subscription bundles monitoring queries (filters over the
+    document stream), continuous queries (periodic or
+    notification-triggered warehouse queries), a report specification
+    and refresh statements:
+
+    {v
+    subscription MyXyleme
+    monitoring
+      select <UpdatedPage url=URL/>
+      where URL extends ``http://inria.fr/Xy/'' and modified self
+    monitoring
+      select X
+      from self//Member X
+      where URL = ``http://inria.fr/Xy/members.xml'' and new X
+    continuous ReferenceXyleme
+      select ...
+      try biweekly
+    refresh ``http://inria.fr/Xy/members.xml'' weekly
+    report
+      select ...
+      when notifications.count > 100
+    v} *)
+
+type frequency = Hourly | Daily | Biweekly | Weekly | Monthly
+
+(** [seconds f] is the period of a frequency in (virtual) seconds;
+    [biweekly] is twice a week. *)
+val seconds : frequency -> float
+
+(** Atomic conditions of a monitoring query's [where] clause. *)
+type condition =
+  | A_url_extends of string
+  | A_url_equals of string
+  | A_filename of string
+  | A_docid of int
+  | A_dtdid of int
+  | A_dtd of string
+  | A_domain of string
+  | A_last_accessed of Xy_events.Atomic.comparator * float
+  | A_last_updated of Xy_events.Atomic.comparator * float
+  | A_self_contains of string
+  | A_self_status of Xy_events.Atomic.status
+      (** [new self], [modified self], ... *)
+  | A_element of {
+      change : Xy_events.Atomic.status option;
+      target : [ `Tag of string | `Var of string ];
+          (** [self\\product ...] or [new X] for a from-variable [X] *)
+      word : (Xy_events.Atomic.scope * string) option;
+    }
+
+type monitoring = {
+  m_name : string;
+      (** the notification tag: the root tag of the select construct,
+          or ["Notification"] — continuous queries trigger on it *)
+  m_select : Xy_query.Ast.select option;
+  m_from : Xy_query.Ast.binding list;
+  m_where : condition list list;
+      (** disjunctive normal form: a disjunction of conjunctions.  The
+          original paper supports a single conjunction; disjunctions
+          are the extension sketched in its conclusion ("complex
+          events that would include disjunctions of atomic
+          conditions").  Each disjunct must contain a strong
+          condition. *)
+}
+
+(** When to (re-)evaluate a continuous query. *)
+type trigger_spec =
+  | T_frequency of frequency
+  | T_notification of { subscription : string option; tag : string }
+      (** [when XylemeCompetitors.ChangeInMyProducts] *)
+
+type continuous = {
+  c_name : string;
+  c_delta : bool;  (** [continuous delta Name ...] *)
+  c_query : Xy_query.Ast.t;
+  c_when : trigger_spec;
+}
+
+type report_disjunct =
+  | R_count of int  (** [count > n] / [notifications.count > n] *)
+  | R_count_query of string * int  (** [count(UpdatedPage) > n] *)
+  | R_frequency of frequency
+  | R_immediate
+
+type atmost = At_count of int | At_frequency of frequency
+
+type report = {
+  r_query : Xy_query.Ast.t option;
+  r_when : report_disjunct list;  (** disjunction; compulsory *)
+  r_atmost : atmost option;
+  r_archive : frequency option;
+}
+
+type refresh = { r_url : string; r_freq : frequency }
+
+type t = {
+  name : string;
+  monitoring : monitoring list;
+  continuous : continuous list;
+  report : report option;
+  refresh : refresh list;
+  virtuals : (string * string) list;
+      (** [(subscription, query-name)] pairs of shared queries *)
+}
+
+val frequency_to_string : frequency -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+module Atomic = Xy_events.Atomic
+
+exception Rejected of string
+
+type policy = {
+  max_conditions : int;
+  max_disjuncts : int;
+  max_monitoring : int;
+  max_continuous : int;
+  min_prefix_length : int;
+  stopwords : string list;
+  min_period : float;
+}
+
+let default_policy =
+  {
+    max_conditions = 8;
+    max_disjuncts = 4;
+    max_monitoring = 16;
+    max_continuous = 8;
+    min_prefix_length = 8;
+    stopwords =
+      [ "the"; "a"; "an"; "of"; "and"; "or"; "to"; "in"; "is"; "it"; "for" ];
+    min_period = 3600.;
+  }
+
+let reject fmt = Printf.ksprintf (fun s -> raise (Rejected s)) fmt
+
+type monitoring = {
+  cm_name : string;
+  cm_disjuncts : Atomic.t list list;
+  cm_select : Xy_query.Ast.select option;
+  cm_from : Xy_query.Ast.binding list;
+}
+
+let check_word policy word =
+  if List.mem (String.lowercase_ascii word) policy.stopwords then
+    reject "contains %S: word too common to monitor" word;
+  if String.trim word = "" then reject "contains: empty word"
+
+let var_tag m var =
+  match List.find_opt (fun b -> b.Xy_query.Ast.var = var) m.S_ast.m_from with
+  | None -> reject "condition on %s: variable not bound in the from clause" var
+  | Some binding -> (
+      match List.rev binding.Xy_query.Ast.path with
+      | { Xy_xml.Path.tag = Some tag; _ } :: _ -> tag
+      | { Xy_xml.Path.tag = None; _ } :: _ ->
+          reject "condition on %s: variable bound to a wildcard step" var
+      | [] -> reject "condition on %s: variable bound to self" var)
+
+let compile_condition policy m condition =
+  match condition with
+  | S_ast.A_url_extends prefix ->
+      if String.length prefix < policy.min_prefix_length then
+        reject "URL extends %S: pattern too short (cost control)" prefix;
+      Atomic.Url_extends prefix
+  | S_ast.A_url_equals url -> Atomic.Url_equals url
+  | S_ast.A_filename name -> Atomic.Filename_equals name
+  | S_ast.A_docid id -> Atomic.Docid_equals id
+  | S_ast.A_dtdid id -> Atomic.Dtdid_equals id
+  | S_ast.A_dtd dtd -> Atomic.Dtd_equals dtd
+  | S_ast.A_domain domain -> Atomic.Domain_equals domain
+  | S_ast.A_last_accessed (c, d) -> Atomic.Last_accessed (c, d)
+  | S_ast.A_last_updated (c, d) -> Atomic.Last_updated (c, d)
+  | S_ast.A_self_contains word ->
+      check_word policy word;
+      Atomic.Doc_contains word
+  | S_ast.A_self_status status -> Atomic.Doc_status status
+  | S_ast.A_element { change; target; word } ->
+      Option.iter (fun (_, w) -> check_word policy w) word;
+      let tag = match target with `Tag tag -> tag | `Var v -> var_tag m v in
+      if change = None && word = None then Atomic.Has_tag tag
+      else Atomic.Element { Atomic.change; tag; word }
+
+let compile_disjunct policy m conjunction =
+  if conjunction = [] then reject "monitoring query with an empty conjunction";
+  if List.length conjunction > policy.max_conditions then
+    reject "monitoring query with more than %d conditions" policy.max_conditions;
+  let conditions = List.map (compile_condition policy m) conjunction in
+  if List.for_all Atomic.is_weak conditions then
+    reject
+      "monitoring query with only weak conditions (new/updated/unchanged self): \
+       add at least one strong condition";
+  List.sort_uniq Atomic.compare conditions
+
+let compile_monitoring ?(policy = default_policy) m =
+  if m.S_ast.m_where = [] then reject "monitoring query with an empty where clause";
+  if List.length m.S_ast.m_where > policy.max_disjuncts then
+    reject "monitoring query with more than %d disjuncts" policy.max_disjuncts;
+  {
+    cm_name = m.S_ast.m_name;
+    cm_disjuncts = List.map (compile_disjunct policy m) m.S_ast.m_where;
+    cm_select = m.S_ast.m_select;
+    cm_from = m.S_ast.m_from;
+  }
+
+let validate ?(policy = default_policy) (s : S_ast.t) =
+  if List.length s.S_ast.monitoring > policy.max_monitoring then
+    reject "more than %d monitoring queries" policy.max_monitoring;
+  if List.length s.S_ast.continuous > policy.max_continuous then
+    reject "more than %d continuous queries" policy.max_continuous;
+  List.iter
+    (fun c ->
+      match c.S_ast.c_when with
+      | S_ast.T_frequency f ->
+          if S_ast.seconds f < policy.min_period then
+            reject "continuous query %s: period below %.0fs (cost control)"
+              c.S_ast.c_name policy.min_period
+      | S_ast.T_notification _ -> ())
+    s.S_ast.continuous;
+  (match s.S_ast.report with
+  | Some { S_ast.r_when = []; _ } -> reject "report without a when condition"
+  | Some _ | None -> ());
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.S_ast.c_name then
+        reject "duplicate continuous query name %s" c.S_ast.c_name;
+      Hashtbl.replace seen c.S_ast.c_name ())
+    s.S_ast.continuous;
+  List.map (compile_monitoring ~policy) s.S_ast.monitoring

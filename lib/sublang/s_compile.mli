@@ -1,0 +1,48 @@
+(** Compilation of subscriptions to atomic-event conjunctions.
+
+    Each monitoring query's [where] clause becomes one *complex event*
+    — a conjunction of {!Xy_events.Atomic.t} conditions — which the
+    Subscription Manager registers with the event registry and the
+    Monitoring Query Processor.
+
+    Compilation also enforces the controls of §5.4: "we only allow the
+    condition extend URL, and not the matching of an arbitrary
+    pattern.  Similarly, one would like to prevent the use of contains
+    conditions on too common a word such as 'the' or ... to trigger a
+    continuous query with too frequent an event", plus the weak-event
+    rule of §5.1 ("we disallow where clauses composed solely of a weak
+    atomic condition"). *)
+
+exception Rejected of string
+
+type policy = {
+  max_conditions : int;  (** per disjunct of a monitoring query *)
+  max_disjuncts : int;  (** disjuncts per monitoring query *)
+  max_monitoring : int;  (** monitoring queries per subscription *)
+  max_continuous : int;  (** continuous queries per subscription *)
+  min_prefix_length : int;  (** [URL extends] pattern length floor *)
+  stopwords : string list;  (** words [contains] may not monitor *)
+  min_period : float;  (** shortest allowed continuous-query period, s *)
+}
+
+val default_policy : policy
+
+(** A compiled monitoring query: one complex event per disjunct of
+    the (DNF) where clause — a document matching several disjuncts
+    yields a single notification (the Subscription Manager
+    deduplicates within the per-document batch). *)
+type monitoring = {
+  cm_name : string;  (** notification tag *)
+  cm_disjuncts : Xy_events.Atomic.t list list;  (** the complex events *)
+  cm_select : Xy_query.Ast.select option;
+  cm_from : Xy_query.Ast.binding list;
+}
+
+(** [compile_monitoring ~policy m] — raises {!Rejected} on policy or
+    well-formedness violations. *)
+val compile_monitoring : ?policy:policy -> S_ast.monitoring -> monitoring
+
+(** [validate ~policy subscription] checks subscription-level rules
+    (section counts, continuous-query frequencies, report presence
+    rules) and returns the compiled monitoring queries. *)
+val validate : ?policy:policy -> S_ast.t -> monitoring list

@@ -1,0 +1,374 @@
+module L = Xy_query.Lexer
+module Q = Xy_query.Parser
+module Atomic = Xy_events.Atomic
+
+exception Error of { line : int; message : string }
+
+let fail lexer message = raise (Error { line = L.line lexer; message })
+
+let expect lexer token =
+  let got = L.next lexer in
+  if got <> token then
+    fail lexer
+      (Printf.sprintf "expected %s, found %s" (L.token_to_string token)
+         (L.token_to_string got))
+
+let expect_ident lexer =
+  match L.next lexer with
+  | L.Ident s -> s
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected an identifier, found %s" (L.token_to_string other))
+
+let expect_quoted lexer =
+  match L.next lexer with
+  | L.Quoted s -> s
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected a string, found %s" (L.token_to_string other))
+
+let expect_number lexer =
+  match L.next lexer with
+  | L.Number n -> n
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected a number, found %s" (L.token_to_string other))
+
+let frequency_of_ident lexer = function
+  | "hourly" -> S_ast.Hourly
+  | "daily" -> S_ast.Daily
+  | "biweekly" -> S_ast.Biweekly
+  | "weekly" -> S_ast.Weekly
+  | "monthly" -> S_ast.Monthly
+  | other -> fail lexer (Printf.sprintf "unknown frequency %S" other)
+
+let is_frequency = function
+  | "hourly" | "daily" | "biweekly" | "weekly" | "monthly" -> true
+  | _ -> false
+
+let status_of_ident = function
+  | "new" -> Some Atomic.New
+  | "updated" | "modified" -> Some Atomic.Updated
+  | "unchanged" -> Some Atomic.Unchanged
+  | "deleted" -> Some Atomic.Deleted
+  | _ -> None
+
+(* The word of a contains condition: quoted or bare. *)
+let contains_word lexer =
+  match L.next lexer with
+  | L.Quoted w -> w
+  | L.Ident w -> w
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected a word after 'contains', found %s"
+           (L.token_to_string other))
+
+(* Optional "(strict) contains word" suffix of an element condition. *)
+let opt_contains lexer =
+  match L.peek lexer with
+  | L.Ident "contains" ->
+      ignore (L.next lexer);
+      Some (Atomic.Anywhere, contains_word lexer)
+  | L.Ident "strict" ->
+      ignore (L.next lexer);
+      expect lexer (L.Ident "contains");
+      Some (Atomic.Strict, contains_word lexer)
+  | _ -> None
+
+(* An element condition after "self": "\\tag ((strict) contains w)". *)
+let element_after_self lexer ~change =
+  expect lexer L.Backslash2;
+  let tag = expect_ident lexer in
+  let word = opt_contains lexer in
+  S_ast.A_element { change; target = `Tag tag; word }
+
+let parse_condition lexer ~vars =
+  match L.next lexer with
+  | L.Ident "URL" -> (
+      match L.next lexer with
+      | L.Eq -> S_ast.A_url_equals (expect_quoted lexer)
+      | L.Ident "extends" -> S_ast.A_url_extends (expect_quoted lexer)
+      | other ->
+          fail lexer
+            (Printf.sprintf "expected '=' or 'extends' after URL, found %s"
+               (L.token_to_string other)))
+  | L.Ident "filename" ->
+      expect lexer L.Eq;
+      S_ast.A_filename (expect_quoted lexer)
+  | L.Ident "DOCID" ->
+      expect lexer L.Eq;
+      S_ast.A_docid (expect_number lexer)
+  | L.Ident "DTDID" ->
+      expect lexer L.Eq;
+      S_ast.A_dtdid (expect_number lexer)
+  | L.Ident "DTD" ->
+      expect lexer L.Eq;
+      S_ast.A_dtd (expect_quoted lexer)
+  | L.Ident "domain" ->
+      expect lexer L.Eq;
+      S_ast.A_domain (expect_quoted lexer)
+  | L.Ident (("LastAccessed" | "LastUpdate" | "LastUpdated") as field) -> (
+      let comparator =
+        match L.next lexer with
+        | L.Lt -> Atomic.Before
+        | L.Gt -> Atomic.After
+        | other ->
+            fail lexer
+              (Printf.sprintf "expected '<' or '>' after %s, found %s" field
+                 (L.token_to_string other))
+      in
+      let date = float_of_int (expect_number lexer) in
+      match field with
+      | "LastAccessed" -> S_ast.A_last_accessed (comparator, date)
+      | _ -> S_ast.A_last_updated (comparator, date))
+  | L.Ident "self" -> (
+      match L.peek lexer with
+      | L.Ident "contains" ->
+          ignore (L.next lexer);
+          S_ast.A_self_contains (contains_word lexer)
+      | L.Backslash2 -> element_after_self lexer ~change:None
+      | other ->
+          fail lexer
+            (Printf.sprintf "expected 'contains' or '\\\\tag' after self, found %s"
+               (L.token_to_string other)))
+  | L.Ident word when status_of_ident word <> None -> (
+      let change = status_of_ident word in
+      match L.next lexer with
+      | L.Ident "self" -> (
+          match L.peek lexer with
+          | L.Backslash2 -> element_after_self lexer ~change
+          | _ -> (
+              match change with
+              | Some status -> S_ast.A_self_status status
+              | None -> assert false))
+      | L.Ident var when List.mem var vars ->
+          S_ast.A_element { change; target = `Var var; word = opt_contains lexer }
+      | other ->
+          fail lexer
+            (Printf.sprintf "expected 'self' or a variable after '%s', found %s"
+               word (L.token_to_string other)))
+  | L.Ident var when List.mem var vars ->
+      S_ast.A_element
+        { change = None; target = `Var var; word = opt_contains lexer }
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected an atomic condition, found %s"
+           (L.token_to_string other))
+
+(* DNF: conjunctions chained by 'and', disjuncts chained by 'or' (the
+   disjunction support sketched in the paper's conclusion). *)
+let parse_conditions lexer ~vars =
+  let rec conjunction acc =
+    let c = parse_condition lexer ~vars in
+    match L.peek lexer with
+    | L.Ident "and" ->
+        ignore (L.next lexer);
+        conjunction (c :: acc)
+    | _ -> List.rev (c :: acc)
+  in
+  let rec disjunction acc =
+    let conj = conjunction [] in
+    match L.peek lexer with
+    | L.Ident "or" ->
+        ignore (L.next lexer);
+        disjunction (conj :: acc)
+    | _ -> List.rev (conj :: acc)
+  in
+  disjunction []
+
+(* Pseudo-variables available in monitoring select clauses. *)
+let monitoring_pseudo_vars = [ "URL"; "DOCID"; "DTD"; "domain"; "status" ]
+
+let wrap_query f lexer =
+  try f lexer
+  with Q.Error { line; message } -> raise (Error { line; message })
+
+let parse_monitoring lexer =
+  let select, from, vars =
+    match L.peek lexer with
+    | L.Ident "select" ->
+        ignore (L.next lexer);
+        let select =
+          wrap_query (Q.parse_select ~bound:monitoring_pseudo_vars) lexer
+        in
+        let from, bound =
+          match L.peek lexer with
+          | L.Ident "from" ->
+              ignore (L.next lexer);
+              wrap_query (Q.parse_from ~bound:monitoring_pseudo_vars) lexer
+          | _ -> ([], monitoring_pseudo_vars)
+        in
+        let select = Q.resolve_select ~bound select in
+        (Some select, from, List.filter (fun v -> not (List.mem v monitoring_pseudo_vars)) bound)
+    | _ -> (None, [], [])
+  in
+  expect lexer (L.Ident "where");
+  let where = parse_conditions lexer ~vars in
+  let m_name =
+    match select with
+    | Some (Xy_query.Ast.S_construct (Xy_query.Ast.K_element (tag, _, _))) -> tag
+    | Some
+        (Xy_query.Ast.S_construct (Xy_query.Ast.K_text _ | Xy_query.Ast.K_operand _))
+    | Some (Xy_query.Ast.S_operand _)
+    | None ->
+        "Notification"
+  in
+  { S_ast.m_name; m_select = select; m_from = from; m_where = where }
+
+let parse_trigger lexer =
+  match L.next lexer with
+  | L.Ident f when is_frequency f -> S_ast.T_frequency (frequency_of_ident lexer f)
+  | L.Ident name -> (
+      match L.peek lexer with
+      | L.Dot ->
+          ignore (L.next lexer);
+          let tag = expect_ident lexer in
+          S_ast.T_notification { subscription = Some name; tag }
+      | _ -> S_ast.T_notification { subscription = None; tag = name })
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected a frequency or notification name, found %s"
+           (L.token_to_string other))
+
+let parse_continuous lexer =
+  let c_delta =
+    match L.peek lexer with
+    | L.Ident "delta" ->
+        ignore (L.next lexer);
+        true
+    | _ -> false
+  in
+  let c_name = expect_ident lexer in
+  let c_query = wrap_query (Q.parse_body ~bound:[]) lexer in
+  let c_when =
+    match L.next lexer with
+    | L.Ident ("try" | "when") -> parse_trigger lexer
+    | other ->
+        fail lexer
+          (Printf.sprintf "expected 'try' or 'when' after continuous query, found %s"
+             (L.token_to_string other))
+  in
+  { S_ast.c_name; c_delta; c_query; c_when }
+
+let parse_report_disjunct lexer =
+  match L.next lexer with
+  | L.Ident "immediate" -> S_ast.R_immediate
+  | L.Ident f when is_frequency f -> S_ast.R_frequency (frequency_of_ident lexer f)
+  | L.Ident "count" -> (
+      match L.peek lexer with
+      | L.Lparen ->
+          ignore (L.next lexer);
+          let name = expect_ident lexer in
+          expect lexer L.Rparen;
+          expect lexer L.Gt;
+          S_ast.R_count_query (name, expect_number lexer)
+      | _ ->
+          expect lexer L.Gt;
+          S_ast.R_count (expect_number lexer))
+  | L.Ident "notifications" ->
+      expect lexer L.Dot;
+      expect lexer (L.Ident "count");
+      expect lexer L.Gt;
+      S_ast.R_count (expect_number lexer)
+  | other ->
+      fail lexer
+        (Printf.sprintf "expected a report condition, found %s"
+           (L.token_to_string other))
+
+let parse_report lexer =
+  (* The report query is a standard query over the notification
+     stream (the notifications document is its context); it ends
+     naturally at the 'when' keyword. *)
+  let r_query =
+    match L.peek lexer with
+    | L.Ident "select" -> Some (wrap_query (Q.parse_body ~bound:[]) lexer)
+    | _ -> None
+  in
+  expect lexer (L.Ident "when");
+  let rec disjuncts acc =
+    let d = parse_report_disjunct lexer in
+    match L.peek lexer with
+    | L.Ident "or" ->
+        ignore (L.next lexer);
+        disjuncts (d :: acc)
+    | _ -> List.rev (d :: acc)
+  in
+  let r_when = disjuncts [] in
+  let r_atmost =
+    match L.peek lexer with
+    | L.Ident "atmost" -> (
+        ignore (L.next lexer);
+        match L.next lexer with
+        | L.Number n -> Some (S_ast.At_count n)
+        | L.Ident f when is_frequency f ->
+            Some (S_ast.At_frequency (frequency_of_ident lexer f))
+        | other ->
+            fail lexer
+              (Printf.sprintf "expected a count or frequency after atmost, found %s"
+                 (L.token_to_string other)))
+    | _ -> None
+  in
+  let r_archive =
+    match L.peek lexer with
+    | L.Ident "archive" ->
+        ignore (L.next lexer);
+        Some (frequency_of_ident lexer (expect_ident lexer))
+    | _ -> None
+  in
+  { S_ast.r_query; r_when; r_atmost; r_archive }
+
+let parse_refresh lexer =
+  let r_url = expect_quoted lexer in
+  let r_freq = frequency_of_ident lexer (expect_ident lexer) in
+  { S_ast.r_url; r_freq }
+
+let parse_virtual lexer =
+  let subscription = expect_ident lexer in
+  expect lexer L.Dot;
+  let query = expect_ident lexer in
+  (subscription, query)
+
+let parse input =
+  let lexer = L.create input in
+  try
+    expect lexer (L.Ident "subscription");
+    let name = expect_ident lexer in
+    let monitoring = ref [] in
+    let continuous = ref [] in
+    let report = ref None in
+    let refresh = ref [] in
+    let virtuals = ref [] in
+    let rec sections () =
+      match L.next lexer with
+      | L.Eof -> ()
+      | L.Ident "monitoring" ->
+          monitoring := parse_monitoring lexer :: !monitoring;
+          sections ()
+      | L.Ident "continuous" ->
+          continuous := parse_continuous lexer :: !continuous;
+          sections ()
+      | L.Ident "report" ->
+          if !report <> None then fail lexer "duplicate report section";
+          report := Some (parse_report lexer);
+          sections ()
+      | L.Ident "refresh" ->
+          refresh := parse_refresh lexer :: !refresh;
+          sections ()
+      | L.Ident "virtual" ->
+          virtuals := parse_virtual lexer :: !virtuals;
+          sections ()
+      | other ->
+          fail lexer
+            (Printf.sprintf "expected a subscription section, found %s"
+               (L.token_to_string other))
+    in
+    sections ();
+    {
+      S_ast.name;
+      monitoring = List.rev !monitoring;
+      continuous = List.rev !continuous;
+      report = !report;
+      refresh = List.rev !refresh;
+      virtuals = List.rev !virtuals;
+    }
+  with L.Error { line; message } -> raise (Error { line; message })

@@ -1,0 +1,9 @@
+(** Parser for the subscription language.
+
+    Accepts the paper's concrete syntax, including [``...''] quoting,
+    [%] line comments, [modified] as a synonym of [updated], and both
+    [try] and [when] to introduce a continuous query's schedule. *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> S_ast.t

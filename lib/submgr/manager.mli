@@ -1,0 +1,73 @@
+(** The Subscription Manager (paper §3).
+
+    "The Subscription Manager receives the user requests and manages
+    the other modules of the subscription system ... It chooses the
+    internal codes of atomic events and (dynamically) warns the
+    Alerters of the creation of new events, their codes and semantic.
+    It controls in a similar manner the Monitoring Query Processor for
+    managing complex events, the Trigger Engine for continuous queries
+    and the Reporter(s) for reports."
+
+    The manager is the only writer of the event registry and of the
+    processor's complex-event table; it also owns the durable log
+    (the MySQL stand-in) used for recovery. *)
+
+type t
+
+type error =
+  | Parse_error of string
+  | Rejected of string  (** policy violation (§5.4) *)
+  | Duplicate of string
+  | Unknown of string
+
+val error_to_string : error -> string
+
+val create :
+  ?policy:Xy_sublang.S_compile.policy ->
+  ?persist:Persist.t ->
+  clock:Xy_util.Clock.t ->
+  registry:Xy_events.Registry.t ->
+  mqp:Xy_core.Mqp.t ->
+  trigger:Xy_trigger.Trigger_engine.t ->
+  reporter:Xy_reporter.Reporter.t ->
+  run_query:(Xy_query.Ast.t -> Xy_xml.Types.node list) ->
+  unit ->
+  t
+
+(** [subscribe t ~owner ~text] parses, validates and installs a
+    subscription; returns its name.  The subscription is persisted
+    (when a log is attached) only after successful installation. *)
+val subscribe : t -> owner:string -> text:string -> (string, error) result
+
+(** [unsubscribe t ~name] tears a subscription down: complex events
+    are removed from the processor, atomic events released (alerters
+    are warned through the registry), triggers cancelled, the report
+    buffer dropped, and the deletion persisted. *)
+val unsubscribe : t -> name:string -> (unit, error) result
+
+(** [update t ~name ~owner ~text] modifies an existing subscription
+    ("the insertion of new subscriptions and the deletion or
+    modification of existing ones", §3): the new text is validated
+    first — on any error the old subscription stays installed — then
+    the old one is torn down and the new one installed.  The new text
+    must declare the same subscription name. *)
+val update : t -> name:string -> owner:string -> text:string -> (unit, error) result
+
+(** [recover t path] replays a persisted log (use on an empty
+    manager).  Returns the number of subscriptions restored; entries
+    that no longer validate are skipped. *)
+val recover : t -> string -> int
+
+val subscription_names : t -> string list
+val subscription_count : t -> int
+
+(** [refresh_statements t] aggregates the refresh clauses of all live
+    subscriptions: [(url, period_seconds)], for the crawler.  "In our
+    current implementation, subscriptions influence the refreshing of
+    pages only by adding importance to the pages they explicitly
+    mention." *)
+val refresh_statements : t -> (string * float) list
+
+(** [complex_event_count t] is the number of live complex events
+    (Card(C) from this manager). *)
+val complex_event_count : t -> int

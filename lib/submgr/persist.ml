@@ -1,0 +1,100 @@
+type t = { channel : out_channel }
+
+(* Record framing:
+     R <kind> <name_len> <owner_len> <text_len> <checksum>\n
+     <name bytes><owner bytes><text bytes>\n
+   The checksum covers the three payload fields. *)
+
+let open_log path =
+  { channel = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
+
+let checksum name owner text =
+  Xy_util.Hashing.signature (name ^ "\x00" ^ owner ^ "\x00" ^ text)
+
+let append t ~kind ~name ~owner ~text =
+  Printf.fprintf t.channel "R %c %d %d %d %s\n%s%s%s\n" kind
+    (String.length name) (String.length owner) (String.length text)
+    (checksum name owner text) name owner text;
+  flush t.channel
+
+let append_insert t ~name ~owner ~text = append t ~kind:'I' ~name ~owner ~text
+let append_delete t ~name = append t ~kind:'D' ~name ~owner:"" ~text:""
+let close t = close_out t.channel
+
+type record =
+  | Insert of { name : string; owner : string; text : string }
+  | Delete of string
+
+let read_all path =
+  match open_in_bin path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let records = ref [] in
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | header -> (
+            match String.split_on_char ' ' header with
+            | [ "R"; kind; name_len; owner_len; text_len; crc ] -> (
+                let name_len = int_of_string name_len in
+                let owner_len = int_of_string owner_len in
+                let text_len = int_of_string text_len in
+                let payload_len = name_len + owner_len + text_len in
+                let payload = really_input_string ic (payload_len + 1) in
+                if String.length payload < payload_len + 1 then ()
+                else begin
+                  let name = String.sub payload 0 name_len in
+                  let owner = String.sub payload name_len owner_len in
+                  let text = String.sub payload (name_len + owner_len) text_len in
+                  if checksum name owner text <> crc then
+                    (* corrupted record: stop replay here *)
+                    ()
+                  else begin
+                    (match kind with
+                    | "I" -> records := Insert { name; owner; text } :: !records
+                    | "D" -> records := Delete name :: !records
+                    | _ -> ());
+                    go ()
+                  end
+                end)
+            | _ -> (* torn header: stop *) ())
+      in
+      (try go () with End_of_file | Invalid_argument _ | Failure _ -> ());
+      close_in ic;
+      List.rev !records
+
+let replay path =
+  let records = read_all path in
+  (* Drop inserts cancelled by a later delete (and the deletes
+     themselves). *)
+  let rec survives name = function
+    | [] -> true
+    | Delete n :: _ when n = name -> false
+    | Insert { name = n; _ } :: rest when n = name ->
+        (* re-inserted later: this earlier copy is superseded *)
+        ignore rest;
+        false
+    | _ :: rest -> survives name rest
+  in
+  let rec filter = function
+    | [] -> []
+    | Insert { name; _ } :: rest when not (survives name rest) -> filter rest
+    | (Insert _ as record) :: rest -> record :: filter rest
+    | Delete _ :: rest -> filter rest
+  in
+  filter records
+
+let compact path =
+  let all = read_all path in
+  let surviving = replay path in
+  let temp = path ^ ".compact" in
+  let log = open_log temp in
+  List.iter
+    (fun record ->
+      match record with
+      | Insert { name; owner; text } -> append_insert log ~name ~owner ~text
+      | Delete _ -> ())
+    surviving;
+  close log;
+  Sys.rename temp path;
+  List.length all - List.length surviving

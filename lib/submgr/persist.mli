@@ -1,0 +1,33 @@
+(** Durable subscription storage.
+
+    The paper's Subscription Manager keeps subscriptions in a MySQL
+    database "for recovery"; this module provides the same contract
+    with an append-only, checksummed log: every accepted subscription
+    (as source text) and every deletion is appended, and recovery
+    replays the log.  A truncated or corrupted tail (torn write at
+    crash) is detected by checksum and ignored. *)
+
+type t
+
+(** [open_log path] opens (or creates) the log for appending. *)
+val open_log : string -> t
+
+val append_insert : t -> name:string -> owner:string -> text:string -> unit
+val append_delete : t -> name:string -> unit
+val close : t -> unit
+
+type record = Insert of { name : string; owner : string; text : string } | Delete of string
+
+(** [replay path] reads the log and returns the surviving records in
+    order (an [Insert] cancelled by a later [Delete] is dropped).
+    Returns [[]] for a missing file. *)
+val replay : string -> record list
+
+(** [read_all path] returns every raw record, including superseded
+    ones (for inspection/tests). *)
+val read_all : string -> record list
+
+(** [compact path] rewrites the log keeping only the surviving
+    records (atomically: writes a temp file, then renames).  Returns
+    the number of records dropped.  The log must not be open. *)
+val compact : string -> int

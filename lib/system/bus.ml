@@ -1,0 +1,69 @@
+type 'a t = {
+  queue : 'a Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Bus.create: capacity <= 0";
+  {
+    queue = Queue.create ();
+    capacity;
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    closed = false;
+  }
+
+let push t message =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Bus.push: closed"
+    end
+    else if Queue.length t.queue >= t.capacity then begin
+      Condition.wait t.not_full t.mutex;
+      wait ()
+    end
+  in
+  wait ();
+  Queue.push message t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mutex
+
+let pop t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if not (Queue.is_empty t.queue) then begin
+      let message = Queue.pop t.queue in
+      Condition.signal t.not_full;
+      Mutex.unlock t.mutex;
+      Some message
+    end
+    else if t.closed then begin
+      Mutex.unlock t.mutex;
+      None
+    end
+    else begin
+      Condition.wait t.not_empty t.mutex;
+      wait ()
+    end
+  in
+  wait ()
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n

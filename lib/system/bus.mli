@@ -1,0 +1,29 @@
+(** Inter-module message queues.
+
+    The paper's modules run on a cluster and communicate through Corba
+    (§2.1); here the same dataflow decoupling is provided by bounded
+    blocking queues safe across OCaml domains, so the pipeline stages
+    of {!Distributed} can run on separate cores with the same
+    producer/consumer contract a remote transport would give. *)
+
+type 'a t
+
+(** [create ~capacity ()] — producers block when [capacity] messages
+    are in flight (backpressure, default 1024). *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** [push t message] blocks while the queue is full.  Raises
+    [Invalid_argument] if the queue is closed. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop t] blocks until a message is available; [None] once the
+    queue is closed *and* drained. *)
+val pop : 'a t -> 'a option
+
+(** [close t] signals end-of-stream: producers may no longer push,
+    consumers drain the remaining messages then receive [None].
+    Idempotent. *)
+val close : 'a t -> unit
+
+(** [length t] is the current number of queued messages. *)
+val length : 'a t -> int

@@ -1,0 +1,81 @@
+module Mqp = Xy_core.Mqp
+
+type axis = Split_documents | Split_subscriptions
+
+type result = {
+  notifications : (string * int) list;
+  alerts_processed : int;
+  wall_seconds : float;
+}
+
+let run ?algorithm ~axis ~partitions ~subscriptions ~alerts () =
+  if partitions <= 0 then invalid_arg "Distributed.run: partitions <= 0";
+  (* Build the per-partition processors (outside the timed region —
+     structure construction is deployment, not steady state). *)
+  let mqps =
+    Array.init partitions (fun slot ->
+        let mqp = Mqp.create ?algorithm () in
+        List.iter
+          (fun (id, events) ->
+            match axis with
+            | Split_documents -> Mqp.subscribe mqp ~id events
+            | Split_subscriptions ->
+                if id mod partitions = slot then Mqp.subscribe mqp ~id events)
+          subscriptions;
+        mqp)
+  in
+  let inboxes : Mqp.alert Bus.t array =
+    Array.init partitions (fun _ -> Bus.create ~capacity:256 ())
+  in
+  let outbox : (string * int) Bus.t = Bus.create ~capacity:1024 () in
+  let processed = Array.make partitions 0 in
+  let start = Unix.gettimeofday () in
+  (* Processor domains. *)
+  let workers =
+    Array.init partitions (fun slot ->
+        Domain.spawn (fun () ->
+            let mqp = mqps.(slot) in
+            let rec loop () =
+              match Bus.pop inboxes.(slot) with
+              | None -> ()
+              | Some alert ->
+                  processed.(slot) <- processed.(slot) + 1;
+                  List.iter
+                    (fun id -> Bus.push outbox (alert.Mqp.url, id))
+                    (Mqp.process mqp alert);
+                  loop ()
+            in
+            loop ()))
+  in
+  (* Collector domain. *)
+  let collector =
+    Domain.spawn (fun () ->
+        let rec loop acc =
+          match Bus.pop outbox with
+          | None -> acc
+          | Some notification -> loop (notification :: acc)
+        in
+        loop [])
+  in
+  (* Feeder: route per the axis. *)
+  let route (alert : Mqp.alert) =
+    match axis with
+    | Split_documents ->
+        let slot =
+          Int64.to_int
+            (Int64.rem
+               (Int64.logand (Xy_util.Hashing.fnv1a64 alert.Mqp.url) Int64.max_int)
+               (Int64.of_int partitions))
+        in
+        Bus.push inboxes.(slot) alert
+    | Split_subscriptions ->
+        Array.iter (fun inbox -> Bus.push inbox alert) inboxes
+  in
+  List.iter route alerts;
+  Array.iter Bus.close inboxes;
+  Array.iter Domain.join workers;
+  Bus.close outbox;
+  let notifications = Domain.join collector in
+  let wall_seconds = Unix.gettimeofday () -. start in
+  let alerts_processed = Array.fold_left ( + ) 0 processed in
+  { notifications; alerts_processed; wall_seconds }

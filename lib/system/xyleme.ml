@@ -1,0 +1,267 @@
+let log_src = Logs.Src.create "xyleme" ~doc:"Xyleme monitoring pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module T = Xy_xml.Types
+module Loader = Xy_warehouse.Loader
+module Store = Xy_warehouse.Store
+module Chain = Xy_alerters.Chain
+module Alert = Xy_alerters.Alert
+module Mqp = Xy_core.Mqp
+module Manager = Xy_submgr.Manager
+
+type t = {
+  clock : Xy_util.Clock.t;
+  registry : Xy_events.Registry.t;
+  mqp : Mqp.t;
+  reporter : Xy_reporter.Reporter.t;
+  trigger : Xy_trigger.Trigger_engine.t;
+  store : Store.t;
+  domains : Xy_warehouse.Domains.t;
+  loader : Loader.t;
+  chain : Chain.t;
+  web : Xy_crawler.Synthetic_web.t;
+  queue : Xy_crawler.Fetch_queue.t;
+  crawler : Xy_crawler.Crawler.t;
+  mutable manager : Manager.t option;  (** set right after creation *)
+  mutable alerts_sent : int;
+}
+
+let default_domains () =
+  let domains = Xy_warehouse.Domains.create () in
+  Xy_warehouse.Domains.register_keyword domains ~keyword:"museum" ~domain:"culture";
+  Xy_warehouse.Domains.register_keyword domains ~keyword:"painting" ~domain:"culture";
+  Xy_warehouse.Domains.register_keyword domains ~keyword:"catalog" ~domain:"commerce";
+  Xy_warehouse.Domains.register_keyword domains ~keyword:"product" ~domain:"commerce";
+  Xy_warehouse.Domains.register_keyword domains ~keyword:"team" ~domain:"people";
+  Xy_warehouse.Domains.register_keyword domains ~keyword:"Member" ~domain:"people";
+  domains
+
+let warehouse_view t =
+  let by_domain : (string, T.node list ref) Hashtbl.t = Hashtbl.create 8 in
+  let push domain nodes =
+    match Hashtbl.find_opt by_domain domain with
+    | Some existing -> existing := !existing @ nodes
+    | None -> Hashtbl.replace by_domain domain (ref nodes)
+  in
+  Store.iter
+    (fun entry ->
+      match entry.Store.tree with
+      | None -> ()
+      | Some tree ->
+          let root = Xy_xml.Xid.strip tree in
+          let domain =
+            Option.value ~default:"unclassified"
+              entry.Store.meta.Xy_warehouse.Meta.domain
+          in
+          (* Splice when the document root already carries the domain
+             name, so that [culture/museum] resolves. *)
+          if root.T.tag = domain then push domain root.T.children
+          else push domain [ T.Element root ])
+    t.store;
+  let children =
+    Hashtbl.fold
+      (fun domain nodes acc -> (domain, T.el domain !nodes) :: acc)
+      by_domain []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  T.element "warehouse" children
+
+let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web () =
+  let clock = Xy_util.Clock.create () in
+  let registry = Xy_events.Registry.create () in
+  let mqp = Mqp.create ?algorithm () in
+  let sink = match sink with Some s -> s | None -> Xy_reporter.Sink.null () in
+  let reporter = Xy_reporter.Reporter.create ~clock ~sink in
+  let trigger = Xy_trigger.Trigger_engine.create ~clock in
+  let store = Store.create () in
+  let domains = default_domains () in
+  let loader = Loader.create ~domains ~store ~clock () in
+  let chain = Chain.create registry in
+  let web =
+    match web with
+    | Some w -> w
+    | None -> Xy_crawler.Synthetic_web.generate ~seed ~sites:4 ~pages_per_site:5 ()
+  in
+  let queue = Xy_crawler.Fetch_queue.create ~clock () in
+  let crawler = Xy_crawler.Crawler.create ~web ~queue in
+  let t =
+    {
+      clock;
+      registry;
+      mqp;
+      reporter;
+      trigger;
+      store;
+      domains;
+      loader;
+      chain;
+      web;
+      queue;
+      crawler;
+      manager = None;
+      alerts_sent = 0;
+    }
+  in
+  let persist = Option.map Xy_submgr.Persist.open_log persist_path in
+  let run_query query =
+    Xy_query.Eval.eval query (Xy_query.Eval.env (warehouse_view t))
+  in
+  let manager =
+    Manager.create ?policy ?persist ~clock ~registry ~mqp ~trigger ~reporter
+      ~run_query ()
+  in
+  t.manager <- Some manager;
+  t
+
+let clock t = t.clock
+let registry t = t.registry
+let mqp t = t.mqp
+let reporter t = t.reporter
+let trigger t = t.trigger
+let manager t = Option.get t.manager
+let store t = t.store
+let loader t = t.loader
+let domains t = t.domains
+let chain t = t.chain
+let web t = t.web
+let queue t = t.queue
+
+let apply_refresh_statements t =
+  List.iter
+    (fun (url, period) -> Xy_crawler.Fetch_queue.boost t.queue ~url ~period)
+    (Manager.refresh_statements (manager t))
+
+let subscribe t ~owner ~text =
+  let result = Manager.subscribe (manager t) ~owner ~text in
+  (match result with
+  | Ok name ->
+      Log.info (fun m -> m "subscribed %s (owner %s)" name owner);
+      apply_refresh_statements t
+  | Error e ->
+      Log.warn (fun m -> m "subscription rejected: %s" (Manager.error_to_string e)));
+  result
+
+let unsubscribe t ~name = Manager.unsubscribe (manager t) ~name
+
+let update t ~name ~owner ~text =
+  let result = Manager.update (manager t) ~name ~owner ~text in
+  (match result with Ok () -> apply_refresh_statements t | Error _ -> ());
+  result
+
+let recover t path = Manager.recover (manager t) path
+
+type ingest_outcome = {
+  status : Loader.status;
+  alerted : bool;
+  matched : int list;
+}
+
+let ingest t ~url ~content ~kind =
+  let result = Loader.load t.loader ~url ~content ~kind in
+  match Chain.process t.chain ~result ~content with
+  | None -> { status = result.Loader.status; alerted = false; matched = [] }
+  | Some alert ->
+      t.alerts_sent <- t.alerts_sent + 1;
+      let matched =
+        Mqp.process t.mqp
+          {
+            Mqp.url = alert.Alert.url;
+            events = alert.Alert.events;
+            payload = Alert.payload_string alert;
+          }
+      in
+      if matched <> [] then
+        Log.debug (fun m ->
+            m "%s matched %d complex event(s)" url (List.length matched));
+      { status = result.Loader.status; alerted = true; matched }
+
+let ingest_missing t ~url =
+  let tree =
+    Option.bind (Store.find t.store url) (fun entry -> entry.Store.tree)
+  in
+  match Loader.delete t.loader ~url with
+  | None -> ()
+  | Some meta -> (
+      match Chain.process_deleted t.chain ~meta ~tree with
+      | None -> ()
+      | Some alert ->
+          t.alerts_sent <- t.alerts_sent + 1;
+          ignore
+            (Mqp.process t.mqp
+               {
+                 Mqp.url = alert.Alert.url;
+                 events = alert.Alert.events;
+                 payload = Alert.payload_string alert;
+               }))
+
+let discover t = Xy_crawler.Crawler.discover t.crawler
+
+let crawl_step t ~limit =
+  let fetches = Xy_crawler.Crawler.step t.crawler ~limit in
+  List.iter
+    (fun fetch ->
+      let url = fetch.Xy_crawler.Crawler.url in
+      match fetch.Xy_crawler.Crawler.content with
+      | None -> ingest_missing t ~url
+      | Some content ->
+          let kind =
+            match fetch.Xy_crawler.Crawler.kind with
+            | Some Xy_crawler.Synthetic_web.Xml_page -> Loader.Xml
+            | Some Xy_crawler.Synthetic_web.Html_page -> Loader.Html
+            | None -> Loader.Auto
+          in
+          let outcome =
+            match ingest t ~url ~content ~kind with
+            | outcome -> Some outcome
+            | exception Loader.Rejected _ -> None
+          in
+          let changed =
+            match outcome with
+            | Some { status = Loader.Unchanged; _ } -> false
+            | Some _ | None -> true
+          in
+          Xy_crawler.Crawler.conclude t.crawler ~url ~changed)
+    fetches;
+  List.length fetches
+
+let advance t ~seconds =
+  Xy_util.Clock.advance t.clock seconds;
+  ignore (Xy_crawler.Synthetic_web.evolve t.web ~elapsed:seconds);
+  (* newly born pages become crawlable *)
+  discover t;
+  Xy_trigger.Trigger_engine.tick t.trigger;
+  Xy_reporter.Reporter.tick t.reporter
+
+let run t ~days ~step ~fetch_limit =
+  discover t;
+  let total = days *. 86400. in
+  let steps = int_of_float (ceil (total /. step)) in
+  for _ = 1 to steps do
+    advance t ~seconds:step;
+    ignore (crawl_step t ~limit:fetch_limit)
+  done
+
+type stats = {
+  documents_fetched : int;
+  documents_stored : int;
+  alerts_sent : int;
+  notifications : int;
+  reports : int;
+  complex_events : int;
+  atomic_events : int;
+}
+
+let stats t =
+  let mqp_stats = Mqp.stats t.mqp in
+  let reporter_stats = Xy_reporter.Reporter.stats t.reporter in
+  {
+    documents_fetched = Xy_crawler.Crawler.fetches t.crawler;
+    documents_stored = Store.document_count t.store;
+    alerts_sent = t.alerts_sent;
+    notifications = mqp_stats.Mqp.notifications_emitted;
+    reports = reporter_stats.Xy_reporter.Reporter.reports_sent;
+    complex_events = mqp_stats.Mqp.complex_events;
+    atomic_events = Xy_events.Registry.cardinal t.registry;
+  }

@@ -1,0 +1,109 @@
+(** The assembled monitoring system (paper Figure 3).
+
+    Wires crawler → loader → alerters → Monitoring Query Processor →
+    {Reporter, Trigger Engine}, under one virtual clock, with the
+    Subscription Manager controlling all of it.  This is the facade a
+    downstream user programs against; the examples and the end-to-end
+    benches are built on it. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?algorithm:Xy_core.Mqp.algorithm ->
+  ?policy:Xy_sublang.S_compile.policy ->
+  ?persist_path:string ->
+  ?sink:Xy_reporter.Sink.t ->
+  ?web:Xy_crawler.Synthetic_web.t ->
+  unit ->
+  t
+
+(** {2 Component access} *)
+
+val clock : t -> Xy_util.Clock.t
+val registry : t -> Xy_events.Registry.t
+val mqp : t -> Xy_core.Mqp.t
+val reporter : t -> Xy_reporter.Reporter.t
+val trigger : t -> Xy_trigger.Trigger_engine.t
+val manager : t -> Xy_submgr.Manager.t
+val store : t -> Xy_warehouse.Store.t
+val loader : t -> Xy_warehouse.Loader.t
+val domains : t -> Xy_warehouse.Domains.t
+val chain : t -> Xy_alerters.Chain.t
+val web : t -> Xy_crawler.Synthetic_web.t
+val queue : t -> Xy_crawler.Fetch_queue.t
+
+(** {2 Subscriptions} *)
+
+val subscribe :
+  t -> owner:string -> text:string -> (string, Xy_submgr.Manager.error) result
+
+val unsubscribe : t -> name:string -> (unit, Xy_submgr.Manager.error) result
+
+(** [update t ~name ~owner ~text] replaces an installed subscription;
+    the old one survives any validation failure. *)
+val update :
+  t -> name:string -> owner:string -> text:string -> (unit, Xy_submgr.Manager.error) result
+
+(** [recover t path] replays a persisted subscription log. *)
+val recover : t -> string -> int
+
+(** {2 Document flow} *)
+
+type ingest_outcome = {
+  status : Xy_warehouse.Loader.status;
+  alerted : bool;  (** an alert reached the processor *)
+  matched : int list;  (** complex events detected *)
+}
+
+(** [ingest t ~url ~content ~kind] pushes one fetched page through
+    loader → alerters → processor. *)
+val ingest :
+  t ->
+  url:string ->
+  content:string ->
+  kind:Xy_warehouse.Loader.content_kind ->
+  ingest_outcome
+
+(** [ingest_missing t ~url] handles a page that disappeared. *)
+val ingest_missing : t -> url:string -> unit
+
+(** {2 The crawl loop} *)
+
+(** [discover t] seeds the fetch queue with the synthetic web's
+    current URLs. *)
+val discover : t -> unit
+
+(** [crawl_step t ~limit] fetches and ingests up to [limit] due pages;
+    returns the number fetched. *)
+val crawl_step : t -> limit:int -> int
+
+(** [advance t ~seconds] moves virtual time: the web evolves, the
+    trigger engine runs due continuous queries, the reporter evaluates
+    periodic report conditions. *)
+val advance : t -> seconds:float -> unit
+
+(** [run t ~days ~step ~fetch_limit] alternates [advance] and
+    [crawl_step] for [days] of virtual time. *)
+val run : t -> days:float -> step:float -> fetch_limit:int -> unit
+
+(** {2 Warehouse view} *)
+
+(** [warehouse_view t] is the integrated view continuous queries run
+    over: a [<warehouse>] element with one child per semantic domain
+    (documents whose root tag equals the domain name are spliced, so
+    the paper's [culture/museum] paths resolve), plus
+    [<unclassified>]. *)
+val warehouse_view : t -> Xy_xml.Types.element
+
+type stats = {
+  documents_fetched : int;
+  documents_stored : int;
+  alerts_sent : int;
+  notifications : int;
+  reports : int;
+  complex_events : int;
+  atomic_events : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,65 @@
+(* Binary min-heap on deadlines.  Ties break arbitrarily; insertion
+   order is not significant for the engine. *)
+type 'a t = { mutable heap : (float * 'a) array; mutable size : int }
+
+let create () = { heap = [||]; size = 0 }
+let is_empty t = t.size = 0
+let size t = t.size
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst t.heap.(i) < fst t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && fst t.heap.(left) < fst t.heap.(!smallest) then
+    smallest := left;
+  if right < t.size && fst t.heap.(right) < fst t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~at task =
+  if t.size = Array.length t.heap then begin
+    let capacity = max 16 (2 * Array.length t.heap) in
+    let heap = Array.make capacity (at, task) in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end;
+  t.heap.(t.size) <- (at, task);
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_time t = if t.size = 0 then None else Some (fst t.heap.(0))
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  top
+
+let pop_next t = if t.size = 0 then None else Some (pop t)
+
+let pop_due t ~now =
+  let rec go acc =
+    match peek_time t with
+    | Some at when at <= now -> go (pop t :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []

@@ -1,0 +1,20 @@
+(** A priority queue of timed tasks over virtual time. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+(** [add t ~at task] schedules [task] for time [at]. *)
+val add : 'a t -> at:float -> 'a -> unit
+
+(** [peek_time t] is the earliest deadline, if any. *)
+val peek_time : 'a t -> float option
+
+(** [pop_due t ~now] removes and returns every task with deadline
+    [<= now], earliest first. *)
+val pop_due : 'a t -> now:float -> (float * 'a) list
+
+(** [pop_next t] removes and returns the earliest task, if any. *)
+val pop_next : 'a t -> (float * 'a) option

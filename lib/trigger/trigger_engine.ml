@@ -1,0 +1,91 @@
+type periodic = { p_id : string; period : float; action : unit -> unit }
+
+type t = {
+  clock : Xy_util.Clock.t;
+  schedule : periodic Schedule.t;
+  cancelled : (string, unit) Hashtbl.t;
+  periodic_ids : (string, unit) Hashtbl.t;
+  notification_triggers :
+    (string * string, (string * (unit -> unit)) list ref) Hashtbl.t;
+      (** (subscription, tag) -> [(id, action)] *)
+  mutable periodic_runs : int;
+  mutable notification_runs : int;
+}
+
+let create ~clock =
+  {
+    clock;
+    schedule = Schedule.create ();
+    cancelled = Hashtbl.create 16;
+    periodic_ids = Hashtbl.create 16;
+    notification_triggers = Hashtbl.create 64;
+    periodic_runs = 0;
+    notification_runs = 0;
+  }
+
+let schedule_periodic t ~id ~period action =
+  if period <= 0. then invalid_arg "Trigger_engine: non-positive period";
+  if Hashtbl.mem t.periodic_ids id then
+    invalid_arg "Trigger_engine: duplicate trigger id";
+  Hashtbl.replace t.periodic_ids id ();
+  Schedule.add t.schedule
+    ~at:(Xy_util.Clock.now t.clock +. period)
+    { p_id = id; period; action }
+
+let on_notification t ~id ~subscription ~tag action =
+  let key = (subscription, tag) in
+  match Hashtbl.find_opt t.notification_triggers key with
+  | Some actions -> actions := (id, action) :: !actions
+  | None -> Hashtbl.replace t.notification_triggers key (ref [ (id, action) ])
+
+let cancel t ~id =
+  if Hashtbl.mem t.periodic_ids id then begin
+    Hashtbl.remove t.periodic_ids id;
+    (* lazy deletion: the heap entry is skipped when popped *)
+    Hashtbl.replace t.cancelled id ()
+  end;
+  Hashtbl.iter
+    (fun _ actions ->
+      actions := List.filter (fun (aid, _) -> aid <> id) !actions)
+    t.notification_triggers
+
+let notify t ~subscription ~tag =
+  match Hashtbl.find_opt t.notification_triggers (subscription, tag) with
+  | None -> ()
+  | Some actions ->
+      List.iter
+        (fun (_, action) ->
+          t.notification_runs <- t.notification_runs + 1;
+          action ())
+        (List.rev !actions)
+
+let tick t =
+  let now = Xy_util.Clock.now t.clock in
+  (* Loop until nothing is due: a long clock advance re-arms entries
+     that are themselves already due, giving one run per elapsed
+     period. *)
+  let rec drain () =
+    match Schedule.pop_due t.schedule ~now with
+    | [] -> ()
+    | due ->
+        List.iter
+          (fun (deadline, periodic) ->
+            if Hashtbl.mem t.cancelled periodic.p_id then
+              Hashtbl.remove t.cancelled periodic.p_id
+            else begin
+              t.periodic_runs <- t.periodic_runs + 1;
+              periodic.action ();
+              (* Re-arm from the *deadline*, not from now. *)
+              Schedule.add t.schedule ~at:(deadline +. periodic.period) periodic
+            end)
+          due;
+        drain ()
+  in
+  drain ()
+
+let next_deadline t = Schedule.peek_time t.schedule
+
+type stats = { periodic_runs : int; notification_runs : int }
+
+let stats (t : t) =
+  { periodic_runs = t.periodic_runs; notification_runs = t.notification_runs }

@@ -1,0 +1,46 @@
+(** The Trigger Engine (paper §3).
+
+    "The Trigger Engine can trigger an external action either upon
+    receiving a notification, or at a given date.  In our setting, it
+    is in charge of evaluating the continuous queries either when a
+    particular notification is detected or regularly (e.g.,
+    biweekly)."
+
+    Actions are opaque callbacks; the subscription manager installs
+    the continuous-query evaluations.  Periodic actions self-renew
+    with their period; notification actions run every time the
+    (subscription, tag) notification arrives. *)
+
+type t
+
+val create : clock:Xy_util.Clock.t -> t
+
+(** [schedule_periodic t ~id ~period action] — the first run happens
+    one period from now.  Raises [Invalid_argument] on a duplicate id
+    or non-positive period. *)
+val schedule_periodic : t -> id:string -> period:float -> (unit -> unit) -> unit
+
+(** [on_notification t ~id ~subscription ~tag action] installs a
+    notification trigger. *)
+val on_notification :
+  t -> id:string -> subscription:string -> tag:string -> (unit -> unit) -> unit
+
+(** [cancel t ~id] removes a trigger of either kind (no-op when
+    unknown). *)
+val cancel : t -> id:string -> unit
+
+(** [notify t ~subscription ~tag] fires matching notification
+    triggers immediately. *)
+val notify : t -> subscription:string -> tag:string -> unit
+
+(** [tick t] runs every periodic action whose deadline passed
+    (catching up multiple periods one at a time, so a long clock jump
+    evaluates a weekly query once per elapsed week). *)
+val tick : t -> unit
+
+(** [next_deadline t] is the earliest pending periodic deadline. *)
+val next_deadline : t -> float option
+
+type stats = { periodic_runs : int; notification_runs : int }
+
+val stats : t -> stats

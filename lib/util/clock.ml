@@ -1,0 +1,25 @@
+type t = { mutable now : float }
+
+let create () = { now = 0. }
+let now clock = clock.now
+
+let advance clock seconds =
+  if seconds < 0. then invalid_arg "Clock.advance: negative increment";
+  clock.now <- clock.now +. seconds
+
+let set clock time =
+  if time < clock.now then invalid_arg "Clock.set: time in the past";
+  clock.now <- time
+
+let second = 1.
+let minute = 60.
+let hour = 3600.
+let day = 86400.
+let week = 7. *. day
+
+let pp ppf time =
+  let t = int_of_float time in
+  let days = t / 86400 in
+  let rem = t mod 86400 in
+  Format.fprintf ppf "%dd %02d:%02d:%02d" days (rem / 3600) (rem mod 3600 / 60)
+    (rem mod 60)

@@ -1,0 +1,16 @@
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let signature s = Printf.sprintf "%016Lx" (fnv1a64 s)
+
+let combine h1 h2 =
+  Int64.mul (Int64.logxor h1 (Int64.add h2 0x9e3779b97f4a7c15L)) fnv_prime

@@ -1,0 +1,15 @@
+(** Content signatures.
+
+    For HTML pages Xyleme keeps only "their signature" and detects
+    whether a page changed by comparing signatures (paper §1).  We use
+    64-bit FNV-1a, which is stable across runs (unlike [Hashtbl.hash]
+    seeded variants) so signatures can be persisted. *)
+
+(** [fnv1a64 s] is the 64-bit FNV-1a hash of [s]. *)
+val fnv1a64 : string -> int64
+
+(** [signature s] renders the hash as 16 lowercase hex digits. *)
+val signature : string -> string
+
+(** [combine h1 h2] mixes two hashes (for incremental signatures). *)
+val combine : int64 -> int64 -> int64

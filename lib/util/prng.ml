@@ -1,0 +1,84 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5bd1e995 |]
+let int t bound = Random.State.int t bound
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Floyd's algorithm: O(count) expected draws, no O(bound) allocation,
+   which matters when drawing 30 events from a universe of a million. *)
+let distinct_sorted t ~bound ~count =
+  if count > bound then invalid_arg "Prng.distinct_sorted: count > bound";
+  let seen = Hashtbl.create (2 * count) in
+  for j = bound - count to bound - 1 do
+    let candidate = int t (j + 1) in
+    if Hashtbl.mem seen candidate then Hashtbl.replace seen j ()
+    else Hashtbl.replace seen candidate ()
+  done;
+  let result = Array.make count 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun key () ->
+      result.(!i) <- key;
+      incr i)
+    seen;
+  Array.sort compare result;
+  result
+
+(* Inverse-CDF over precomputed partial sums; tables are memoised per
+   (n, alpha) so repeated draws from the same distribution are
+   O(log n). *)
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 7
+
+let zipf_table n alpha =
+  match Hashtbl.find_opt zipf_tables (n, alpha) with
+  | Some cumulative -> cumulative
+  | None ->
+      let cumulative = Array.make n 0. in
+      let total = ref 0. in
+      for rank = 0 to n - 1 do
+        total := !total +. (1. /. Float.pow (float_of_int (rank + 1)) alpha);
+        cumulative.(rank) <- !total
+      done;
+      Array.iteri (fun i c -> cumulative.(i) <- c /. !total) cumulative;
+      Hashtbl.replace zipf_tables (n, alpha) cumulative;
+      cumulative
+
+let zipf t ~n ~alpha =
+  if n <= 0 then invalid_arg "Prng.zipf: n <= 0";
+  let cumulative = zipf_table n alpha in
+  let u = Random.State.float t 1. in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cumulative.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  search 0 (n - 1)
+
+let exponential t ~mean =
+  let u = Random.State.float t 1. in
+  -.mean *. log (1. -. u)
+
+let word t =
+  let len = 3 + int t 8 in
+  String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))
+
+let words t n = String.concat " " (List.init n (fun _ -> word t))

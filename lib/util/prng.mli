@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random generation for workloads and tests.
+
+    Every generator takes an explicit state so that experiments are
+    reproducible from a seed, as the paper's benchmarks require
+    ("atomic events are randomly drawn in the set [0..Card(A)-1]"). *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int t bound] is uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** [pick t arr] is a uniformly chosen element of [arr].
+    Raises [Invalid_argument] on an empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [pick_list t l] is a uniformly chosen element of [l]. *)
+val pick_list : t -> 'a list -> 'a
+
+(** [shuffle t arr] shuffles [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [distinct_sorted t ~bound ~count] draws [count] distinct integers
+    uniformly from [0, bound) and returns them sorted increasingly.
+    Raises [Invalid_argument] if [count > bound]. *)
+val distinct_sorted : t -> bound:int -> count:int -> int array
+
+(** [zipf t ~n ~alpha] draws from a Zipf distribution over ranks
+    [0, n): rank r has probability proportional to [1 / (r+1)^alpha].
+    Used to model the paper's observation that "there may be thousands
+    of complex events that will involve the url of Amazon's whereas
+    only very few will be concerned with John Doe's home page". *)
+val zipf : t -> n:int -> alpha:float -> int
+
+(** [exponential t ~mean] draws from an exponential distribution;
+    used to model document change inter-arrival times. *)
+val exponential : t -> mean:float -> float
+
+(** [word t] is a random lowercase word of length 3-10; [words t n]
+    concatenates [n] of them with spaces. *)
+val word : t -> string
+
+val words : t -> int -> string

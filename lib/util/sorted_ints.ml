@@ -1,0 +1,105 @@
+type t = int array
+
+let dedup_sorted a =
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    let keep = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!keep - 1) then begin
+        a.(!keep) <- a.(i);
+        incr keep
+      end
+    done;
+    if !keep = n then a else Array.sub a 0 !keep
+  end
+
+let of_array a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  dedup_sorted a
+
+let of_list l = of_array (Array.of_list l)
+let to_list = Array.to_list
+let is_empty t = Array.length t = 0
+let cardinal = Array.length
+
+let check t =
+  for i = 1 to Array.length t - 1 do
+    if t.(i - 1) >= t.(i) then
+      invalid_arg "Sorted_ints.check: not strictly increasing"
+  done
+
+let mem t x =
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if t.(mid) = x then true
+      else if t.(mid) < x then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length t)
+
+let subset a b =
+  let na = Array.length a and nb = Array.length b in
+  let rec go i j =
+    if i >= na then true
+    else if j >= nb then false
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) > b.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let merge_with ~keep_left_only ~keep_both ~keep_right_only a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = ref [] in
+  let push x = out := x :: !out in
+  let rec go i j =
+    if i >= na then begin
+      if keep_right_only then
+        for k = j to nb - 1 do
+          push b.(k)
+        done
+    end
+    else if j >= nb then begin
+      if keep_left_only then
+        for k = i to na - 1 do
+          push a.(k)
+        done
+    end
+    else if a.(i) = b.(j) then begin
+      if keep_both then push a.(i);
+      go (i + 1) (j + 1)
+    end
+    else if a.(i) < b.(j) then begin
+      if keep_left_only then push a.(i);
+      go (i + 1) j
+    end
+    else begin
+      if keep_right_only then push b.(j);
+      go i (j + 1)
+    end
+  in
+  go 0 0;
+  let result = Array.of_list (List.rev !out) in
+  result
+
+let union a b =
+  merge_with ~keep_left_only:true ~keep_both:true ~keep_right_only:true a b
+
+let inter a b =
+  merge_with ~keep_left_only:false ~keep_both:true ~keep_right_only:false a b
+
+let diff a b =
+  merge_with ~keep_left_only:true ~keep_both:false ~keep_right_only:false a b
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_seq t)

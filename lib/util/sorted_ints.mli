@@ -1,0 +1,33 @@
+(** Ordered sets of integers represented as strictly increasing arrays.
+
+    The Monitoring Query Processor works on *ordered* sets of atomic
+    event codes (the paper assumes "some ordering on the atomic
+    events"); this module provides the set algebra used throughout. *)
+
+type t = int array
+
+(** [of_list l] sorts and deduplicates. *)
+val of_list : int list -> t
+
+(** [of_array a] sorts and deduplicates a copy of [a]. *)
+val of_array : int array -> t
+
+val to_list : t -> int list
+val is_empty : t -> bool
+val cardinal : t -> int
+
+(** [check t] raises [Invalid_argument] unless [t] is strictly
+    increasing. *)
+val check : t -> unit
+
+(** [mem t x] is binary search. *)
+val mem : t -> int -> bool
+
+(** [subset a b] tests [a ⊆ b] by linear merge. *)
+val subset : t -> t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type t = {
+  by_dtd : (string, string) Hashtbl.t;
+  by_keyword : (string, string) Hashtbl.t;
+}
+
+let create () = { by_dtd = Hashtbl.create 64; by_keyword = Hashtbl.create 64 }
+let register_dtd t ~dtd ~domain = Hashtbl.replace t.by_dtd dtd domain
+
+let register_keyword t ~keyword ~domain =
+  Hashtbl.replace t.by_keyword (String.lowercase_ascii keyword) domain
+
+let url_segments url =
+  String.split_on_char '/' url
+  |> List.concat_map (String.split_on_char '.')
+  |> List.filter (fun s -> s <> "")
+
+let classify t ~url ~dtd ~tags =
+  let by_dtd = Option.bind dtd (Hashtbl.find_opt t.by_dtd) in
+  match by_dtd with
+  | Some domain -> Some domain
+  | None -> (
+      let lookup s = Hashtbl.find_opt t.by_keyword (String.lowercase_ascii s) in
+      match List.find_map lookup tags with
+      | Some domain -> Some domain
+      | None -> List.find_map lookup (url_segments url))
+
+let domains t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter (fun _ d -> Hashtbl.replace seen d ()) t.by_dtd;
+  Hashtbl.iter (fun _ d -> Hashtbl.replace seen d ()) t.by_keyword;
+  List.sort compare (List.of_seq (Hashtbl.to_seq_keys seen))

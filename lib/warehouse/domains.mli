@@ -1,0 +1,27 @@
+(** Semantic-domain classification.
+
+    "The main role of the semantic module is to classify all the XML
+    resources into semantic domains" (§2.1); classification drives
+    both data distribution and the [domain = string] conditions of the
+    subscription language.  Classification is by DTD first ("automatic
+    semantic classification of all DTDs"), with a tag-vocabulary
+    keyword fallback for undeclared documents. *)
+
+type t
+
+val create : unit -> t
+
+(** [register_dtd t ~dtd ~domain] maps a DTD identifier to a domain. *)
+val register_dtd : t -> dtd:string -> domain:string -> unit
+
+(** [register_keyword t ~keyword ~domain] maps a tag or URL keyword to
+    a domain (fallback classification). *)
+val register_keyword : t -> keyword:string -> domain:string -> unit
+
+(** [classify t ~url ~dtd ~tags] picks a domain: the DTD mapping wins;
+    otherwise the first tag (then URL segment) with a keyword
+    mapping. *)
+val classify : t -> url:string -> dtd:string option -> tags:string list -> string option
+
+(** [domains t] lists the known domains. *)
+val domains : t -> string list

@@ -1,0 +1,140 @@
+type status = New | Unchanged | Updated
+
+type result = {
+  meta : Meta.t;
+  status : status;
+  doc : Xy_xml.Types.doc option;
+  tree : Xy_xml.Xid.tree option;
+  delta : Xy_diff.Delta.t;
+}
+
+type t = { store : Store.t; domains : Domains.t; clock : Xy_util.Clock.t }
+
+let create ?domains ~store ~clock () =
+  let domains = match domains with Some d -> d | None -> Domains.create () in
+  { store; domains; clock }
+
+let store t = t.store
+let domains t = t.domains
+
+type content_kind = Xml | Html | Auto
+
+exception Rejected of string
+
+let looks_like_xml content =
+  let content = String.trim content in
+  String.length content > 0
+  && content.[0] = '<'
+  && not
+       (String.length content >= 5
+       && String.lowercase_ascii (String.sub content 0 5) = "<html")
+
+let parse_xml ~strict content =
+  match Xy_xml.Parser.parse content with
+  | doc -> Some doc
+  | exception Xy_xml.Parser.Error { line; column; message } ->
+      if strict then
+        raise
+          (Rejected (Printf.sprintf "line %d, column %d: %s" line column message))
+      else None
+
+let load t ~url ~content ~kind =
+  let now = Xy_util.Clock.now t.clock in
+  let doc =
+    match kind with
+    | Xml -> parse_xml ~strict:true content
+    | Html -> None
+    | Auto -> if looks_like_xml content then parse_xml ~strict:false content else None
+  in
+  let signature = Xy_util.Hashing.signature content in
+  let docid = Store.allocate_docid t.store ~url in
+  let previous = Store.find t.store url in
+  let dtd = Option.map (fun d -> Xy_xml.Dtd.identifier (Xy_xml.Dtd.of_doc d)) doc in
+  let dtdid = Option.map (fun d -> Store.allocate_dtdid t.store ~dtd:d) dtd in
+  let tags =
+    match doc with Some d -> Xy_xml.Types.tags d.Xy_xml.Types.root | None -> []
+  in
+  let domain = Domains.classify t.domains ~url ~dtd ~tags in
+  let meta_kind =
+    match doc with Some _ -> Meta.Xml_doc | None -> Meta.Html_doc
+  in
+  match previous with
+  | None ->
+      (* First sight of this page. *)
+      let tree =
+        match doc with
+        | Some d ->
+            Some (Xy_xml.Xid.label (Store.gen t.store ~url) d.Xy_xml.Types.root)
+        | None -> None
+      in
+      let meta =
+        {
+          Meta.url;
+          docid;
+          kind = meta_kind;
+          domain;
+          dtd;
+          dtdid;
+          signature;
+          last_accessed = now;
+          last_updated = now;
+          version = 1;
+        }
+      in
+      Store.put t.store { Store.meta; tree } ~delta:[];
+      { meta; status = New; doc; tree; delta = [] }
+  | Some old_entry ->
+      let old_meta = old_entry.Store.meta in
+      if old_meta.Meta.signature = signature then begin
+        (* Same content: refresh the access date only. *)
+        let meta = { old_meta with Meta.last_accessed = now } in
+        Store.put t.store { Store.meta; tree = old_entry.Store.tree } ~delta:[];
+        { meta; status = Unchanged; doc; tree = old_entry.Store.tree; delta = [] }
+      end
+      else begin
+        let delta, tree =
+          match doc, old_entry.Store.tree with
+          | Some d, Some old_tree ->
+              let delta, new_tree =
+                Xy_diff.Diff.diff ~gen:(Store.gen t.store ~url) old_tree
+                  d.Xy_xml.Types.root
+              in
+              (delta, Some new_tree)
+          | Some d, None ->
+              (* Was HTML (or unparsed), now XML: start a lineage. *)
+              ( [],
+                Some (Xy_xml.Xid.label (Store.gen t.store ~url) d.Xy_xml.Types.root)
+              )
+          | None, _ -> ([], None)
+        in
+        let meta =
+          {
+            old_meta with
+            Meta.kind = meta_kind;
+            domain;
+            dtd;
+            dtdid;
+            signature;
+            last_accessed = now;
+            last_updated = now;
+            version = old_meta.Meta.version + 1;
+          }
+        in
+        Store.put t.store { Store.meta; tree } ~delta;
+        { meta; status = Updated; doc; tree; delta }
+      end
+
+let validate result =
+  match result.doc with
+  | None -> []
+  | Some doc ->
+      Xy_xml.Dtd.validate
+        (Xy_xml.Dtd.declarations_of_doc doc)
+        doc.Xy_xml.Types.root
+
+let delete t ~url =
+  match Store.find t.store url with
+  | None -> None
+  | Some entry ->
+      Store.remove t.store ~url;
+      Some entry.Store.meta

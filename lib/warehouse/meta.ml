@@ -1,0 +1,24 @@
+type kind = Xml_doc | Html_doc
+
+type t = {
+  url : string;
+  docid : int;
+  kind : kind;
+  domain : string option;
+  dtd : string option;
+  dtdid : int option;
+  signature : string;
+  last_accessed : float;
+  last_updated : float;
+  version : int;
+}
+
+let filename url =
+  match String.rindex_opt url '/' with
+  | None -> url
+  | Some i -> String.sub url (i + 1) (String.length url - i - 1)
+
+let pp ppf t =
+  Format.fprintf ppf "%s (docid=%d, v%d, %s%s)" t.url t.docid t.version
+    (match t.kind with Xml_doc -> "xml" | Html_doc -> "html")
+    (match t.domain with None -> "" | Some d -> ", domain=" ^ d)

@@ -1,0 +1,26 @@
+(** Per-document metadata.
+
+    This is the information the URL manager gathers about a page and
+    that URL-alerter conditions test: URL, DOCID, DTDID, semantic
+    domain, signature, access/update dates (§5.1). *)
+
+type kind = Xml_doc | Html_doc
+
+type t = {
+  url : string;
+  docid : int;  (** internal identifier, stable across versions *)
+  kind : kind;
+  domain : string option;  (** semantic domain, e.g. ["biology"] *)
+  dtd : string option;  (** DTD identifier (system id or fingerprint) *)
+  dtdid : int option;  (** internal DTD code *)
+  signature : string;  (** content hash — change detection for HTML *)
+  last_accessed : float;  (** when the page was last fetched *)
+  last_updated : float;  (** when a content change was last detected *)
+  version : int;  (** 1 for the first stored version *)
+}
+
+(** [filename url] is the tail of the URL, e.g.
+    [filename "http://x/a/index.html" = "index.html"]. *)
+val filename : string -> string
+
+val pp : Format.formatter -> t -> unit

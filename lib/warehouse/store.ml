@@ -1,0 +1,139 @@
+type entry = { meta : Meta.t; tree : Xy_xml.Xid.tree option }
+
+type record = {
+  mutable entry : entry;
+  gen : Xy_xml.Xid.gen;
+  (* Deltas leading *to* each version: (v, delta from v-1 to v),
+     newest first. *)
+  mutable history : (int * Xy_diff.Delta.t) list;
+}
+
+type t = {
+  keep_versions : int;
+  by_url : (string, record) Hashtbl.t;
+  by_docid : (int, string) Hashtbl.t;
+  docids : (string, int) Hashtbl.t;
+  dtdids : (string, int) Hashtbl.t;
+  mutable next_docid : int;
+  mutable next_dtdid : int;
+}
+
+let create ?(keep_versions = 10) () =
+  {
+    keep_versions;
+    by_url = Hashtbl.create 1024;
+    by_docid = Hashtbl.create 1024;
+    docids = Hashtbl.create 1024;
+    dtdids = Hashtbl.create 64;
+    next_docid = 1;
+    next_dtdid = 1;
+  }
+
+let find t url =
+  Option.map (fun r -> r.entry) (Hashtbl.find_opt t.by_url url)
+
+let find_by_docid t docid =
+  Option.bind (Hashtbl.find_opt t.by_docid docid) (find t)
+
+let mem t url = Hashtbl.mem t.by_url url
+let document_count t = Hashtbl.length t.by_url
+
+let record t url =
+  match Hashtbl.find_opt t.by_url url with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          entry =
+            {
+              meta =
+                {
+                  Meta.url;
+                  docid = 0;
+                  kind = Meta.Html_doc;
+                  domain = None;
+                  dtd = None;
+                  dtdid = None;
+                  signature = "";
+                  last_accessed = 0.;
+                  last_updated = 0.;
+                  version = 0;
+                };
+              tree = None;
+            };
+          gen = Xy_xml.Xid.gen ();
+          history = [];
+        }
+      in
+      Hashtbl.replace t.by_url url r;
+      r
+
+let gen t ~url = (record t url).gen
+
+let put t entry ~delta =
+  let url = entry.meta.Meta.url in
+  let r = record t url in
+  r.entry <- entry;
+  Hashtbl.replace t.by_docid entry.meta.Meta.docid url;
+  if not (Xy_diff.Delta.is_empty delta) || entry.meta.Meta.version = 1 then begin
+    r.history <- (entry.meta.Meta.version, delta) :: r.history;
+    let rec truncate n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: truncate (n - 1) rest
+    in
+    r.history <- truncate t.keep_versions r.history
+  end
+
+let remove t ~url =
+  match Hashtbl.find_opt t.by_url url with
+  | None -> ()
+  | Some r ->
+      Hashtbl.remove t.by_docid r.entry.meta.Meta.docid;
+      Hashtbl.remove t.by_url url
+
+let allocate_docid t ~url =
+  match Hashtbl.find_opt t.docids url with
+  | Some id -> id
+  | None ->
+      let id = t.next_docid in
+      t.next_docid <- id + 1;
+      Hashtbl.replace t.docids url id;
+      id
+
+let allocate_dtdid t ~dtd =
+  match Hashtbl.find_opt t.dtdids dtd with
+  | Some id -> id
+  | None ->
+      let id = t.next_dtdid in
+      t.next_dtdid <- id + 1;
+      Hashtbl.replace t.dtdids dtd id;
+      id
+
+let reconstruct t ~url ~version =
+  match Hashtbl.find_opt t.by_url url with
+  | None -> None
+  | Some r -> (
+      match r.entry.tree with
+      | None -> None
+      | Some current ->
+          let current_version = r.entry.meta.Meta.version in
+          if version > current_version || version < 1 then None
+          else begin
+            (* Unwind deltas newest-first until we reach [version]. *)
+            let rec unwind tree past = function
+              | _ when past = version -> Some tree
+              | [] -> None
+              | (v, delta) :: rest ->
+                  if v <> past then None
+                  else
+                    (match
+                       Xy_diff.Apply.apply tree (Xy_diff.Delta.invert delta)
+                     with
+                    | exception Failure _ -> None
+                    | previous -> unwind previous (past - 1) rest)
+            in
+            Option.map Xy_xml.Xid.strip (unwind current current_version r.history)
+          end)
+
+let iter f t = Hashtbl.iter (fun _ r -> f r.entry) t.by_url

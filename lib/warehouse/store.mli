@@ -1,0 +1,53 @@
+(** The versioned document repository.
+
+    Stands in for Natix (the paper's tree repository): stores the
+    current XID-labelled tree of each warehoused XML document plus a
+    bounded chain of deltas, so that old versions can be reconstructed
+    ("the new version of a document can be constructed based on an old
+    version and the delta" — we store the chain backwards for the
+    archive).  HTML pages are not warehoused; only their signature is
+    kept, in the metadata. *)
+
+type entry = {
+  meta : Meta.t;
+  tree : Xy_xml.Xid.tree option;  (** current version; [None] for HTML *)
+}
+
+type t
+
+(** [create ~keep_versions ()] — [keep_versions] bounds the delta
+    chain per document (default 10). *)
+val create : ?keep_versions:int -> unit -> t
+
+val find : t -> string -> entry option
+val find_by_docid : t -> int -> entry option
+val mem : t -> string -> bool
+val document_count : t -> int
+
+(** [gen t ~url] is the XID generator of the document's lineage
+    (creating it on first use) — the Loader labels new versions with
+    it. *)
+val gen : t -> url:string -> Xy_xml.Xid.gen
+
+(** [put t entry ~delta] stores a new current version; [delta] is the
+    change from the previous version (empty for first insertion). *)
+val put : t -> entry -> delta:Xy_diff.Delta.t -> unit
+
+(** [remove t ~url] drops a document (page disappeared). *)
+val remove : t -> url:string -> unit
+
+(** [allocate_docid t ~url] returns the stable DOCID for [url],
+    allocating on first sight. *)
+val allocate_docid : t -> url:string -> int
+
+(** [allocate_dtdid t ~dtd] returns the stable DTDID for a DTD
+    identifier. *)
+val allocate_dtdid : t -> dtd:string -> int
+
+(** [reconstruct t ~url ~version] rebuilds an archived version by
+    unwinding deltas from the current tree.  [None] if the version
+    fell off the retained window or the document is unknown/HTML. *)
+val reconstruct : t -> url:string -> version:int -> Xy_xml.Types.element option
+
+(** [iter f t] iterates over current entries. *)
+val iter : (entry -> unit) -> t -> unit

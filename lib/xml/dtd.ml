@@ -1,0 +1,300 @@
+type t = { name : string; system_id : string option; fingerprint : string }
+
+let of_doc (d : Types.doc) =
+  let tags = Types.tags d.Types.root in
+  let fingerprint =
+    Xy_util.Hashing.signature (String.concat "|" (List.sort compare tags))
+  in
+  match d.Types.doctype with
+  | Some dt ->
+      { name = dt.Types.root_name; system_id = dt.Types.system_id; fingerprint }
+  | None -> { name = d.Types.root.Types.tag; system_id = None; fingerprint }
+
+let identifier dtd =
+  match dtd.system_id with
+  | Some sys -> sys
+  | None -> "inferred:" ^ dtd.fingerprint
+
+let equal a b = identifier a = identifier b
+
+let pp ppf dtd =
+  Format.fprintf ppf "%s (%s)" dtd.name (identifier dtd)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+type content_model =
+  | Empty
+  | Any
+  | Pcdata
+  | Children of string list
+  | Mixed of string list
+
+type element_decl = { decl_name : string; model : content_model }
+type attribute_default = Required | Implied | Fixed of string | Default of string
+
+type attribute_decl = {
+  attr_element : string;
+  attr_name : string;
+  attr_type : string;
+  attr_default : attribute_default;
+}
+
+type declarations = {
+  elements : element_decl list;
+  attributes : attribute_decl list;
+}
+
+(* Tokenize a declaration body into names, parens and punctuation-free
+   words; cardinality markers (?, *, +), connectors (, |) and grouping
+   become separators — the loose model only needs the names. *)
+let names_of body =
+  let buf = Buffer.create 16 in
+  let names = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      names := Buffer.contents buf :: !names;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' | '.' | '#' ->
+          Buffer.add_char buf c
+      | _ -> flush ())
+    body;
+  flush ();
+  List.rev !names
+
+let parse_element_decl body =
+  (* body = "name model" *)
+  match names_of body with
+  | [] -> None
+  | decl_name :: model_names ->
+      let model =
+        let trimmed = String.trim body in
+        let after =
+          String.trim
+            (String.sub trimmed (String.length decl_name)
+               (String.length trimmed - String.length decl_name))
+        in
+        if after = "EMPTY" then Empty
+        else if after = "ANY" then Any
+        else
+          let content_names =
+            List.filter (fun n -> n <> "EMPTY" && n <> "ANY") model_names
+          in
+          if content_names = [ "#PCDATA" ] then Pcdata
+          else if List.mem "#PCDATA" content_names then
+            Mixed (List.filter (fun n -> n <> "#PCDATA") content_names)
+          else Children content_names
+      in
+      Some { decl_name; model }
+
+(* ATTLIST body: element (attr type default)*.  The default is
+   #REQUIRED, #IMPLIED, #FIXED "v" or "v". *)
+let parse_attlist_decl body =
+  let body = String.trim body in
+  match names_of body with
+  | [] -> []
+  | element :: _ ->
+      (* Scan token-wise over the raw body, tracking quoted values. *)
+      let tokens = ref [] in
+      let buf = Buffer.create 16 in
+      let in_quote = ref None in
+      let flush () =
+        if Buffer.length buf > 0 then begin
+          tokens := Buffer.contents buf :: !tokens;
+          Buffer.clear buf
+        end
+      in
+      String.iter
+        (fun c ->
+          match !in_quote with
+          | Some quote ->
+              if c = quote then begin
+                tokens := ("\"" ^ Buffer.contents buf) :: !tokens;
+                Buffer.clear buf;
+                in_quote := None
+              end
+              else Buffer.add_char buf c
+          | None -> (
+              match c with
+              | '"' | '\'' ->
+                  flush ();
+                  in_quote := Some c
+              | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '|' | ',' -> flush ()
+              | c -> Buffer.add_char buf c))
+        body;
+      flush ();
+      let tokens = List.rev !tokens in
+      (* drop the element name, then read (name, type..., default) *)
+      let rec attrs acc = function
+        | [] -> List.rev acc
+        | attr_name :: rest -> (
+            (* the type is one token (or an enumeration already split:
+               treat consecutive non-default tokens before the default
+               marker as the type) *)
+            let rec split_type type_tokens = function
+              | ("#REQUIRED" | "#IMPLIED" | "#FIXED") :: _ as rest ->
+                  (List.rev type_tokens, rest)
+              | token :: rest when String.length token > 0 && token.[0] = '"' ->
+                  (List.rev type_tokens, token :: rest)
+              | token :: rest -> split_type (token :: type_tokens) rest
+              | [] -> (List.rev type_tokens, [])
+            in
+            match split_type [] rest with
+            | [], _ -> List.rev acc
+            | type_tokens, rest -> (
+                let attr_type = String.concat "|" type_tokens in
+                let mk attr_default =
+                  { attr_element = element; attr_name; attr_type; attr_default }
+                in
+                match rest with
+                | "#REQUIRED" :: rest -> attrs (mk Required :: acc) rest
+                | "#IMPLIED" :: rest -> attrs (mk Implied :: acc) rest
+                | "#FIXED" :: value :: rest when value.[0] = '"' ->
+                    attrs
+                      (mk (Fixed (String.sub value 1 (String.length value - 1)))
+                      :: acc)
+                      rest
+                | value :: rest when String.length value > 0 && value.[0] = '"' ->
+                    attrs
+                      (mk (Default (String.sub value 1 (String.length value - 1)))
+                      :: acc)
+                      rest
+                | rest -> attrs (mk Implied :: acc) rest))
+      in
+      (match tokens with [] -> [] | _ :: rest -> attrs [] rest)
+
+let parse_declarations subset =
+  let elements = ref [] and attributes = ref [] in
+  let len = String.length subset in
+  let rec scan i =
+    if i >= len then ()
+    else
+      match String.index_from_opt subset i '<' with
+      | None -> ()
+      | Some start -> (
+          match String.index_from_opt subset start '>' with
+          | None -> ()
+          | Some stop ->
+              let decl = String.sub subset start (stop - start + 1) in
+              let body_of prefix =
+                if
+                  String.length decl > String.length prefix + 1
+                  && String.sub decl 0 (String.length prefix) = prefix
+                then
+                  Some
+                    (String.sub decl (String.length prefix)
+                       (String.length decl - String.length prefix - 1))
+                else None
+              in
+              (match body_of "<!ELEMENT" with
+              | Some body -> (
+                  match parse_element_decl body with
+                  | Some d -> elements := d :: !elements
+                  | None -> ())
+              | None -> (
+                  match body_of "<!ATTLIST" with
+                  | Some body ->
+                      attributes := List.rev_append (parse_attlist_decl body) !attributes
+                  | None -> ()));
+              scan (stop + 1))
+  in
+  scan 0;
+  { elements = List.rev !elements; attributes = List.rev !attributes }
+
+let declarations_of_doc (d : Types.doc) =
+  match d.Types.doctype with
+  | Some { Types.internal_subset = Some subset; _ } -> parse_declarations subset
+  | Some { Types.internal_subset = None; _ } | None ->
+      { elements = []; attributes = [] }
+
+type violation =
+  | Undeclared_element of string
+  | Unexpected_child of { parent : string; child : string }
+  | Unexpected_text of string
+  | Undeclared_attribute of { element : string; attribute : string }
+  | Missing_required_attribute of { element : string; attribute : string }
+
+let violation_to_string = function
+  | Undeclared_element e -> Printf.sprintf "undeclared element <%s>" e
+  | Unexpected_child { parent; child } ->
+      Printf.sprintf "<%s> not allowed inside <%s>" child parent
+  | Unexpected_text parent -> Printf.sprintf "text not allowed inside <%s>" parent
+  | Undeclared_attribute { element; attribute } ->
+      Printf.sprintf "undeclared attribute %s on <%s>" attribute element
+  | Missing_required_attribute { element; attribute } ->
+      Printf.sprintf "missing required attribute %s on <%s>" attribute element
+
+let validate declarations root =
+  if declarations.elements = [] && declarations.attributes = [] then []
+  else begin
+    let model_of name =
+      Option.map
+        (fun d -> d.model)
+        (List.find_opt (fun d -> d.decl_name = name) declarations.elements)
+    in
+    let attrs_of element =
+      List.filter (fun a -> a.attr_element = element) declarations.attributes
+    in
+    let violations = ref [] in
+    let report v = violations := v :: !violations in
+    let rec check (e : Types.element) =
+      (match model_of e.Types.tag with
+      | None ->
+          if declarations.elements <> [] then
+            report (Undeclared_element e.Types.tag)
+      | Some model ->
+          List.iter
+            (fun node ->
+              match node, model with
+              | Types.Element child, (Children allowed | Mixed allowed) ->
+                  if not (List.mem child.Types.tag allowed) then
+                    report
+                      (Unexpected_child
+                         { parent = e.Types.tag; child = child.Types.tag })
+              | Types.Element child, (Empty | Pcdata) ->
+                  report
+                    (Unexpected_child
+                       { parent = e.Types.tag; child = child.Types.tag })
+              | Types.Element _, Any -> ()
+              | (Types.Text s | Types.Cdata s), (Children _ | Empty) ->
+                  if String.trim s <> "" then report (Unexpected_text e.Types.tag)
+              | (Types.Text _ | Types.Cdata _), (Pcdata | Mixed _ | Any) -> ()
+              | (Types.Comment _ | Types.Pi _), _ -> ())
+            e.Types.children);
+      (* attributes *)
+      let declared = attrs_of e.Types.tag in
+      if declarations.attributes <> [] then begin
+        List.iter
+          (fun (attribute, _) ->
+            if
+              declared <> []
+              && not (List.exists (fun a -> a.attr_name = attribute) declared)
+            then
+              report (Undeclared_attribute { element = e.Types.tag; attribute }))
+          e.Types.attrs;
+        List.iter
+          (fun a ->
+            match a.attr_default with
+            | Required ->
+                if Types.attr e a.attr_name = None then
+                  report
+                    (Missing_required_attribute
+                       { element = e.Types.tag; attribute = a.attr_name })
+            | Implied | Fixed _ | Default _ -> ())
+          declared
+      end;
+      List.iter
+        (fun node ->
+          match node with
+          | Types.Element child -> check child
+          | Types.Text _ | Types.Cdata _ | Types.Comment _ | Types.Pi _ -> ())
+        e.Types.children
+    in
+    check root;
+    List.rev !violations
+  end

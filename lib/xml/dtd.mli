@@ -1,0 +1,85 @@
+(** DTD identification and structural fingerprints.
+
+    Xyleme classifies XML resources by DTD ("Data distribution is
+    based on an automatic semantic classification of all DTDs") and
+    the subscription language can filter on [DTD = string] and
+    [DTDID = integer].  Documents without a declared DTD get an
+    inferred structural fingerprint so they can still be clustered. *)
+
+type t = {
+  name : string;  (** root element name from the DOCTYPE, or inferred *)
+  system_id : string option;  (** the external identifier, e.g. a URL *)
+  fingerprint : string;  (** stable hash of the element-name structure *)
+}
+
+(** [of_doc doc] extracts the declared DTD if present, otherwise
+    infers one from the root tag and the set of tags used. *)
+val of_doc : Types.doc -> t
+
+(** [identifier dtd] is what [DTD = string] conditions match against:
+    the system id when declared, otherwise ["inferred:<fingerprint>"]. *)
+val identifier : t -> string
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {2 Declarations}
+
+    When a document carries an internal subset, its [<!ELEMENT>] and
+    [<!ATTLIST>] declarations are parsed into a structural model that
+    the warehouse can use for loose validation and for more precise
+    DTD fingerprints. *)
+
+(** Content model of an element declaration. *)
+type content_model =
+  | Empty  (** [EMPTY] *)
+  | Any  (** [ANY] *)
+  | Pcdata  (** [(#PCDATA)] *)
+  | Children of string list
+      (** element names mentioned in the model (sequencing and
+          cardinality are not enforced — this is a loose model) *)
+  | Mixed of string list  (** [(#PCDATA | a | b)*] *)
+
+type element_decl = { decl_name : string; model : content_model }
+
+type attribute_default = Required | Implied | Fixed of string | Default of string
+
+type attribute_decl = {
+  attr_element : string;
+  attr_name : string;
+  attr_type : string;  (** CDATA, ID, IDREF, NMTOKEN, enumeration, ... *)
+  attr_default : attribute_default;
+}
+
+type declarations = {
+  elements : element_decl list;
+  attributes : attribute_decl list;
+}
+
+(** [parse_declarations subset] extracts the [<!ELEMENT>] and
+    [<!ATTLIST>] declarations of an internal subset.  Unparseable
+    declarations are skipped (the warehouse is lenient about DTDs it
+    merely classifies by). *)
+val parse_declarations : string -> declarations
+
+(** [declarations_of_doc doc] is [parse_declarations] applied to the
+    document's internal subset ([{elements=[];attributes=[]}] when
+    absent). *)
+val declarations_of_doc : Types.doc -> declarations
+
+(** A validation finding: where the document strays from the declared
+    structure. *)
+type violation =
+  | Undeclared_element of string
+  | Unexpected_child of { parent : string; child : string }
+  | Unexpected_text of string  (** text inside a non-mixed element *)
+  | Undeclared_attribute of { element : string; attribute : string }
+  | Missing_required_attribute of { element : string; attribute : string }
+
+(** [validate declarations root] checks the tree loosely against the
+    declarations: element names declared, children allowed by the
+    parent's model, attributes declared and required ones present.
+    Documents with no declarations validate trivially. *)
+val validate : declarations -> Types.element -> violation list
+
+val violation_to_string : violation -> string

@@ -1,0 +1,310 @@
+(* A forgiving tag-soup parser.  One pass, no failure path: anything
+   that does not look like markup is text. *)
+
+let void_elements =
+  [
+    "area"; "base"; "br"; "col"; "embed"; "hr"; "img"; "input"; "link";
+    "meta"; "param"; "source"; "track"; "wbr";
+  ]
+
+(* opening <tag> implicitly closes an open element whose tag is in the
+   listed set (a simplified version of the HTML5 algorithm) *)
+let auto_closes tag =
+  match tag with
+  | "p" -> [ "p" ]
+  | "li" -> [ "li" ]
+  | "dt" | "dd" -> [ "dt"; "dd" ]
+  | "tr" -> [ "tr"; "td"; "th" ]
+  | "td" | "th" -> [ "td"; "th" ]
+  | "option" -> [ "option" ]
+  | "thead" | "tbody" | "tfoot" -> [ "tr"; "td"; "th" ]
+  | _ -> []
+
+let raw_text_elements = [ "script"; "style" ]
+
+type frame = {
+  tag : string;
+  attrs : Types.attribute list;
+  mutable children_rev : Types.node list;
+}
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = ':'
+
+let resolve_entity name =
+  match String.lowercase_ascii name with
+  | "lt" -> Some "<"
+  | "gt" -> Some ">"
+  | "amp" -> Some "&"
+  | "quot" -> Some "\""
+  | "apos" -> Some "'"
+  | "nbsp" -> Some " "
+  | _ -> None
+
+let parse input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let root = { tag = "#root"; attrs = []; children_rev = [] } in
+  let stack = ref [ root ] in
+  let top () = match !stack with f :: _ -> f | [] -> root in
+  let add_node node = (top ()).children_rev <- node :: (top ()).children_rev in
+  let close_frame () =
+    match !stack with
+    | frame :: (parent :: _ as rest) ->
+        stack := rest;
+        parent.children_rev <-
+          Types.Element
+            {
+              Types.tag = frame.tag;
+              attrs = frame.attrs;
+              children = List.rev frame.children_rev;
+            }
+          :: parent.children_rev
+    | _ -> ()
+  in
+  let text_buf = Buffer.create 128 in
+  let flush_text () =
+    if Buffer.length text_buf > 0 then begin
+      add_node (Types.Text (Buffer.contents text_buf));
+      Buffer.clear text_buf
+    end
+  in
+  let peek i = if !pos + i < len then input.[!pos + i] else '\000' in
+  let read_name () =
+    let start = !pos in
+    while !pos < len && is_name_char input.[!pos] do
+      incr pos
+    done;
+    String.lowercase_ascii (String.sub input start (!pos - start))
+  in
+  let skip_spaces () =
+    while !pos < len && is_space input.[!pos] do
+      incr pos
+    done
+  in
+  let read_attributes () =
+    let attrs = ref [] in
+    let rec go () =
+      skip_spaces ();
+      if !pos >= len then ()
+      else
+        match input.[!pos] with
+        | '>' | '/' -> ()
+        | c when is_name_char c ->
+            let name = read_name () in
+            skip_spaces ();
+            let value =
+              if !pos < len && input.[!pos] = '=' then begin
+                incr pos;
+                skip_spaces ();
+                if !pos < len && (input.[!pos] = '"' || input.[!pos] = '\'') then begin
+                  let quote = input.[!pos] in
+                  incr pos;
+                  let start = !pos in
+                  while !pos < len && input.[!pos] <> quote do
+                    incr pos
+                  done;
+                  let v = String.sub input start (!pos - start) in
+                  if !pos < len then incr pos;
+                  v
+                end
+                else begin
+                  let start = !pos in
+                  while
+                    !pos < len
+                    && (not (is_space input.[!pos]))
+                    && input.[!pos] <> '>'
+                  do
+                    incr pos
+                  done;
+                  String.sub input start (!pos - start)
+                end
+              end
+              else ""
+            in
+            attrs := (name, value) :: !attrs;
+            go ()
+        | _ ->
+            (* junk inside a tag: skip one char *)
+            incr pos;
+            go ()
+    in
+    go ();
+    List.rev !attrs
+  in
+  let skip_to_gt () =
+    while !pos < len && input.[!pos] <> '>' do
+      incr pos
+    done;
+    if !pos < len then incr pos
+  in
+  (* raw-text element: consume until the matching close tag *)
+  let read_raw_text tag =
+    let close = "</" ^ tag in
+    let close_len = String.length close in
+    let start = !pos in
+    let rec find i =
+      if i + close_len > len then len
+      else if String.lowercase_ascii (String.sub input i close_len) = close then i
+      else find (i + 1)
+    in
+    let stop = find !pos in
+    let raw = String.sub input start (stop - start) in
+    pos := stop;
+    if !pos < len then begin
+      pos := !pos + close_len;
+      skip_to_gt ()
+    end;
+    raw
+  in
+  let open_tag tag attrs =
+    (* auto-close phase *)
+    let closers = auto_closes tag in
+    (match !stack with
+    | { tag = t; _ } :: _ :: _ when List.mem t closers -> close_frame ()
+    | _ -> ());
+    if List.mem tag void_elements then
+      add_node (Types.el tag ~attrs [])
+    else if List.mem tag raw_text_elements then begin
+      let raw = read_raw_text tag in
+      add_node
+        (Types.el tag ~attrs (if raw = "" then [] else [ Types.Text raw ]))
+    end
+    else stack := { tag; attrs; children_rev = [] } :: !stack
+  in
+  let close_tag tag =
+    (* pop until a frame with this tag; ignore if absent *)
+    let rec in_stack = function
+      | [] | [ _ ] -> false
+      | frame :: rest -> frame.tag = tag || in_stack rest
+    in
+    if in_stack !stack then begin
+      let rec pop () =
+        match !stack with
+        | { tag = t; _ } :: _ :: _ ->
+            close_frame ();
+            if t <> tag then pop ()
+        | _ -> ()
+      in
+      pop ()
+    end
+  in
+  while !pos < len do
+    match input.[!pos] with
+    | '<' ->
+        if peek 1 = '!' then begin
+          flush_text ();
+          if peek 2 = '-' && peek 3 = '-' then begin
+            (* comment *)
+            pos := !pos + 4;
+            let rec find () =
+              if !pos + 2 >= len then pos := len
+              else if
+                input.[!pos] = '-' && peek 1 = '-' && peek 2 = '>'
+              then pos := !pos + 3
+              else begin
+                incr pos;
+                find ()
+              end
+            in
+            find ()
+          end
+          else skip_to_gt () (* doctype, cdata-ish *)
+        end
+        else if peek 1 = '?' then begin
+          flush_text ();
+          skip_to_gt ()
+        end
+        else if peek 1 = '/' then begin
+          flush_text ();
+          pos := !pos + 2;
+          let tag = read_name () in
+          skip_to_gt ();
+          if tag <> "" then close_tag tag
+        end
+        else if is_name_char (peek 1) then begin
+          flush_text ();
+          incr pos;
+          let tag = read_name () in
+          let attrs = read_attributes () in
+          skip_spaces ();
+          let self_closing = !pos < len && input.[!pos] = '/' in
+          skip_to_gt ();
+          if self_closing && not (List.mem tag raw_text_elements) then
+            add_node (Types.el tag ~attrs [])
+          else open_tag tag attrs
+        end
+        else begin
+          (* lone '<' is text *)
+          Buffer.add_char text_buf '<';
+          incr pos
+        end
+    | '&' ->
+        (* try an entity *)
+        let start = !pos in
+        incr pos;
+        let name_start = !pos in
+        while !pos < len && is_name_char input.[!pos] && !pos - name_start < 12 do
+          incr pos
+        done;
+        let name = String.sub input name_start (!pos - name_start) in
+        if !pos < len && input.[!pos] = ';' then begin
+          incr pos;
+          match resolve_entity name with
+          | Some replacement -> Buffer.add_string text_buf replacement
+          | None ->
+              (* numeric? *)
+              if String.length name > 0 && name.[0] = '#' then
+                Buffer.add_string text_buf
+                  (String.sub input start (!pos - start))
+              else Buffer.add_string text_buf (String.sub input start (!pos - start))
+        end
+        else Buffer.add_string text_buf (String.sub input start (!pos - start))
+    | c ->
+        Buffer.add_char text_buf c;
+        incr pos
+  done;
+  flush_text ();
+  (* close everything *)
+  while List.length !stack > 1 do
+    close_frame ()
+  done;
+  let children = List.rev root.children_rev in
+  match children with
+  | [ Types.Element ({ Types.tag = "html"; _ } as html) ] -> html
+  | _ ->
+      (* drop whitespace-only top-level text before wrapping *)
+      let significant =
+        List.filter
+          (fun node ->
+            match node with
+            | Types.Text s -> not (String.for_all is_space s)
+            | _ -> true)
+          children
+      in
+      (match significant with
+      | [ Types.Element ({ Types.tag = "html"; _ } as html) ] -> html
+      | _ -> Types.element "html" children)
+
+let text input =
+  let root = parse input in
+  let buf = Buffer.create 256 in
+  let rec go (e : Types.element) =
+    if not (List.mem e.Types.tag raw_text_elements) then
+      List.iter
+        (fun node ->
+          match node with
+          | Types.Text s | Types.Cdata s ->
+              if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+              Buffer.add_string buf s
+          | Types.Element child -> go child
+          | Types.Comment _ | Types.Pi _ -> ())
+        e.Types.children
+  in
+  go root;
+  Buffer.contents buf

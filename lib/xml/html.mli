@@ -1,0 +1,26 @@
+(** Lenient HTML parsing.
+
+    HTML pages are not warehoused by Xyleme — but the alerters still
+    have to look inside them ("For HTML documents, the story is a bit
+    different but similar", §6).  This parser accepts real-world tag
+    soup and produces the same {!Types.element} tree XML uses, so the
+    word/tag detection machinery can run on HTML too:
+
+    - tag and attribute names are case-folded to lowercase;
+    - void elements ([<br>], [<img>], ...) never take children;
+    - [<p>], [<li>], [<td>], [<tr>], [<option>], ... auto-close;
+    - unquoted and valueless attributes are accepted;
+    - unknown entities pass through literally;
+    - mismatched end tags are recovered from, never fatal;
+    - [<script>] and [<style>] contents are treated as raw text.
+
+    [parse] is total: any input yields a tree. *)
+
+(** [parse input] parses tag soup into an element tree.  If the
+    top-level content is not a single [<html>] element, it is wrapped
+    in one. *)
+val parse : string -> Types.element
+
+(** [text input] extracts the visible text (script/style excluded) —
+    what keyword conditions match against. *)
+val text : string -> string

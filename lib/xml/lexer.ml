@@ -1,0 +1,321 @@
+type token =
+  | Start_tag of Types.name * Types.attribute list * bool
+  | End_tag of Types.name
+  | Chars of string
+  | Cdata_section of string
+  | Comment_token of string
+  | Pi_token of string * string
+  | Doctype_token of Types.doctype
+  | Xml_decl
+  | Eof
+
+exception Error of { line : int; column : int; message : string }
+
+type t = { input : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+let create input = { input; pos = 0; line = 1; bol = 0 }
+let position lexer = (lexer.line, lexer.pos - lexer.bol + 1)
+
+let error lexer message =
+  let line, column = position lexer in
+  raise (Error { line; column; message })
+
+let at_end lexer = lexer.pos >= String.length lexer.input
+
+let peek lexer =
+  if at_end lexer then '\000' else String.unsafe_get lexer.input lexer.pos
+
+let peek2 lexer =
+  if lexer.pos + 1 >= String.length lexer.input then '\000'
+  else String.unsafe_get lexer.input (lexer.pos + 1)
+
+let advance lexer =
+  if not (at_end lexer) then begin
+    if String.unsafe_get lexer.input lexer.pos = '\n' then begin
+      lexer.line <- lexer.line + 1;
+      lexer.bol <- lexer.pos + 1
+    end;
+    lexer.pos <- lexer.pos + 1
+  end
+
+let expect lexer c =
+  if peek lexer <> c then
+    error lexer (Printf.sprintf "expected %C, found %C" c (peek lexer));
+  advance lexer
+
+let expect_string lexer s =
+  String.iter (fun c -> expect lexer c) s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let skip_spaces lexer =
+  while (not (at_end lexer)) && is_space (peek lexer) do
+    advance lexer
+  done
+
+let read_name lexer =
+  if not (is_name_start (peek lexer)) then error lexer "expected a name";
+  let start = lexer.pos in
+  while (not (at_end lexer)) && is_name_char (peek lexer) do
+    advance lexer
+  done;
+  String.sub lexer.input start (lexer.pos - start)
+
+(* Entity and character references inside character data and attribute
+   values.  Unknown named entities are an error: the warehouse rejects
+   documents it cannot interpret. *)
+let read_reference lexer =
+  expect lexer '&';
+  if peek lexer = '#' then begin
+    advance lexer;
+    let hex = peek lexer = 'x' in
+    if hex then advance lexer;
+    let start = lexer.pos in
+    while
+      (not (at_end lexer))
+      &&
+      let c = peek lexer in
+      (c >= '0' && c <= '9')
+      || (hex && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')))
+    do
+      advance lexer
+    done;
+    let digits = String.sub lexer.input start (lexer.pos - start) in
+    expect lexer ';';
+    if digits = "" then error lexer "empty character reference";
+    let code =
+      try int_of_string ((if hex then "0x" else "") ^ digits)
+      with Failure _ -> error lexer "invalid character reference"
+    in
+    (* UTF-8 encode the code point. *)
+    let buf = Buffer.create 4 in
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end;
+    Buffer.contents buf
+  end
+  else begin
+    let name = read_name lexer in
+    expect lexer ';';
+    match name with
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "amp" -> "&"
+    | "apos" -> "'"
+    | "quot" -> "\""
+    | other -> error lexer (Printf.sprintf "unknown entity &%s;" other)
+  end
+
+let read_attribute_value lexer =
+  let quote = peek lexer in
+  if quote <> '"' && quote <> '\'' then error lexer "expected quoted value";
+  advance lexer;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end lexer then error lexer "unterminated attribute value";
+    let c = peek lexer in
+    if c = quote then advance lexer
+    else if c = '&' then begin
+      Buffer.add_string buf (read_reference lexer);
+      go ()
+    end
+    else if c = '<' then error lexer "'<' in attribute value"
+    else begin
+      Buffer.add_char buf c;
+      advance lexer;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let read_attributes lexer =
+  let rec go acc =
+    skip_spaces lexer;
+    let c = peek lexer in
+    if c = '>' || c = '/' || c = '?' || at_end lexer then List.rev acc
+    else begin
+      let name = read_name lexer in
+      skip_spaces lexer;
+      expect lexer '=';
+      skip_spaces lexer;
+      let value = read_attribute_value lexer in
+      go ((name, value) :: acc)
+    end
+  in
+  go []
+
+let read_until lexer terminator context =
+  let tlen = String.length terminator in
+  let start = lexer.pos in
+  let rec find () =
+    if lexer.pos + tlen > String.length lexer.input then
+      error lexer ("unterminated " ^ context)
+    else if String.sub lexer.input lexer.pos tlen = terminator then begin
+      let content = String.sub lexer.input start (lexer.pos - start) in
+      for _ = 1 to tlen do
+        advance lexer
+      done;
+      content
+    end
+    else begin
+      advance lexer;
+      find ()
+    end
+  in
+  find ()
+
+let read_doctype lexer =
+  (* already consumed "<!DOCTYPE" *)
+  skip_spaces lexer;
+  let root_name = read_name lexer in
+  skip_spaces lexer;
+  let system_id = ref None and public_id = ref None in
+  let read_quoted () =
+    let quote = peek lexer in
+    if quote <> '"' && quote <> '\'' then error lexer "expected quoted id";
+    advance lexer;
+    let start = lexer.pos in
+    while (not (at_end lexer)) && peek lexer <> quote do
+      advance lexer
+    done;
+    let s = String.sub lexer.input start (lexer.pos - start) in
+    expect lexer quote;
+    s
+  in
+  (if peek lexer = 'S' then begin
+     expect_string lexer "SYSTEM";
+     skip_spaces lexer;
+     system_id := Some (read_quoted ())
+   end
+   else if peek lexer = 'P' then begin
+     expect_string lexer "PUBLIC";
+     skip_spaces lexer;
+     public_id := Some (read_quoted ());
+     skip_spaces lexer;
+     if peek lexer = '"' || peek lexer = '\'' then
+       system_id := Some (read_quoted ())
+   end);
+  skip_spaces lexer;
+  (* Capture the internal subset if present. *)
+  let internal_subset = ref None in
+  if peek lexer = '[' then begin
+    let start = lexer.pos + 1 in
+    let depth = ref 0 in
+    let rec skip () =
+      if at_end lexer then error lexer "unterminated DOCTYPE internal subset"
+      else begin
+        (match peek lexer with
+        | '[' -> incr depth
+        | ']' -> decr depth
+        | _ -> ());
+        advance lexer;
+        if !depth > 0 then skip ()
+      end
+    in
+    skip ();
+    internal_subset := Some (String.sub lexer.input start (lexer.pos - 1 - start));
+    skip_spaces lexer
+  end;
+  expect lexer '>';
+  Types.
+    {
+      root_name;
+      system_id = !system_id;
+      public_id = !public_id;
+      internal_subset = !internal_subset;
+    }
+
+let read_chars lexer =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    if at_end lexer then ()
+    else
+      let c = peek lexer in
+      if c = '<' then ()
+      else if c = '&' then begin
+        Buffer.add_string buf (read_reference lexer);
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        advance lexer;
+        go ()
+      end
+  in
+  go ();
+  Buffer.contents buf
+
+let next lexer =
+  if at_end lexer then Eof
+  else if peek lexer <> '<' then Chars (read_chars lexer)
+  else if peek2 lexer = '/' then begin
+    advance lexer;
+    advance lexer;
+    let name = read_name lexer in
+    skip_spaces lexer;
+    expect lexer '>';
+    End_tag name
+  end
+  else if peek2 lexer = '!' then begin
+    advance lexer;
+    advance lexer;
+    if peek lexer = '-' then begin
+      expect_string lexer "--";
+      Comment_token (read_until lexer "-->" "comment")
+    end
+    else if peek lexer = '[' then begin
+      expect_string lexer "[CDATA[";
+      Cdata_section (read_until lexer "]]>" "CDATA section")
+    end
+    else begin
+      expect_string lexer "DOCTYPE";
+      Doctype_token (read_doctype lexer)
+    end
+  end
+  else if peek2 lexer = '?' then begin
+    advance lexer;
+    advance lexer;
+    let target = read_name lexer in
+    skip_spaces lexer;
+    let content = read_until lexer "?>" "processing instruction" in
+    if String.lowercase_ascii target = "xml" then Xml_decl
+    else Pi_token (target, content)
+  end
+  else begin
+    advance lexer;
+    let name = read_name lexer in
+    let attrs = read_attributes lexer in
+    skip_spaces lexer;
+    if peek lexer = '/' then begin
+      advance lexer;
+      expect lexer '>';
+      Start_tag (name, attrs, true)
+    end
+    else begin
+      expect lexer '>';
+      Start_tag (name, attrs, false)
+    end
+  end

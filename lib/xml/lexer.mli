@@ -1,0 +1,31 @@
+(** Tokenizer for the XML 1.0 subset the warehouse ingests.
+
+    Supports elements, attributes (single- or double-quoted), character
+    data, CDATA sections, comments, processing instructions, the XML
+    declaration, DOCTYPE with SYSTEM/PUBLIC identifiers, the five
+    predefined entities and numeric character references. *)
+
+type token =
+  | Start_tag of Types.name * Types.attribute list * bool
+      (** name, attributes, self-closing *)
+  | End_tag of Types.name
+  | Chars of string  (** character data, entities resolved *)
+  | Cdata_section of string
+  | Comment_token of string
+  | Pi_token of string * string
+  | Doctype_token of Types.doctype
+  | Xml_decl
+  | Eof
+
+exception Error of { line : int; column : int; message : string }
+
+type t
+
+val create : string -> t
+
+(** [next lexer] returns the next token.  Raises {!Error} on malformed
+    input. *)
+val next : t -> token
+
+(** [position lexer] is the current (line, column), 1-based. *)
+val position : t -> int * int

@@ -1,0 +1,66 @@
+exception Error of { line : int; column : int; message : string }
+
+let fail lexer message =
+  let line, column = Lexer.position lexer in
+  raise (Error { line; column; message })
+
+(* Children are accumulated in reverse; whitespace-only text between
+   elements is kept (the diff layer decides about significance). *)
+let rec parse_children lexer tag acc =
+  match Lexer.next lexer with
+  | Lexer.Eof -> fail lexer (Printf.sprintf "unexpected end of input in <%s>" tag)
+  | Lexer.End_tag name ->
+      if name <> tag then
+        fail lexer (Printf.sprintf "mismatched tag: <%s> closed by </%s>" tag name);
+      List.rev acc
+  | Lexer.Start_tag (name, attrs, self_closing) ->
+      let children = if self_closing then [] else parse_children lexer name [] in
+      parse_children lexer tag
+        (Types.Element { Types.tag = name; attrs; children } :: acc)
+  | Lexer.Chars s -> parse_children lexer tag (Types.Text s :: acc)
+  | Lexer.Cdata_section s -> parse_children lexer tag (Types.Cdata s :: acc)
+  | Lexer.Comment_token s -> parse_children lexer tag (Types.Comment s :: acc)
+  | Lexer.Pi_token (target, content) ->
+      parse_children lexer tag (Types.Pi (target, content) :: acc)
+  | Lexer.Doctype_token _ -> fail lexer "DOCTYPE inside element content"
+  | Lexer.Xml_decl -> fail lexer "XML declaration inside element content"
+
+let is_blank s = String.for_all (function ' ' | '\t' | '\n' | '\r' -> true | _ -> false) s
+
+let parse input =
+  try
+    let lexer = Lexer.create input in
+    let doctype = ref None in
+    let rec prologue () =
+      match Lexer.next lexer with
+      | Lexer.Xml_decl | Lexer.Comment_token _ | Lexer.Pi_token _ -> prologue ()
+      | Lexer.Chars s when is_blank s -> prologue ()
+      | Lexer.Chars _ -> fail lexer "character data before root element"
+      | Lexer.Doctype_token dt ->
+          if !doctype <> None then fail lexer "multiple DOCTYPE declarations";
+          doctype := Some dt;
+          prologue ()
+      | Lexer.Start_tag (name, attrs, self_closing) ->
+          let children =
+            if self_closing then [] else parse_children lexer name []
+          in
+          { Types.tag = name; attrs; children }
+      | Lexer.End_tag _ -> fail lexer "end tag before root element"
+      | Lexer.Cdata_section _ -> fail lexer "CDATA before root element"
+      | Lexer.Eof -> fail lexer "empty document"
+    in
+    let root = prologue () in
+    let rec epilogue () =
+      match Lexer.next lexer with
+      | Lexer.Eof -> ()
+      | Lexer.Comment_token _ | Lexer.Pi_token _ -> epilogue ()
+      | Lexer.Chars s when is_blank s -> epilogue ()
+      | Lexer.Chars _ | Lexer.Start_tag _ | Lexer.End_tag _
+      | Lexer.Cdata_section _ | Lexer.Doctype_token _ | Lexer.Xml_decl ->
+          fail lexer "content after root element"
+    in
+    epilogue ();
+    { Types.doctype = !doctype; root }
+  with Lexer.Error { line; column; message } -> raise (Error { line; column; message })
+
+let parse_element input = (parse input).Types.root

@@ -1,0 +1,12 @@
+(** Well-formedness parser: token stream to document tree. *)
+
+exception Error of { line : int; column : int; message : string }
+
+(** [parse input] parses a complete XML document.  Raises {!Error} on
+    malformed input (mismatched tags, trailing content, missing
+    root). *)
+val parse : string -> Types.doc
+
+(** [parse_element input] parses a single element (fragment parsing,
+    used by tests and the report pipeline). *)
+val parse_element : string -> Types.element

@@ -1,0 +1,30 @@
+(** Tree path expressions.
+
+    The query language ([xy_query]) and the [from] clauses of the
+    subscription language navigate documents with simple paths:
+    [a/b] (child step), [a//b] (descendant step), [*] (any tag).
+    This is the navigation core shared by both. *)
+
+type axis = Child | Descendant
+
+type step = { axis : axis; tag : Types.name option (* None = any *) }
+
+type t = step list
+
+(** [parse s] parses e.g. ["culture/museum"], ["self//Member"],
+    ["catalog//product/*"].  A leading [self] (or empty string) means
+    the context node itself.  Raises [Invalid_argument] on syntax
+    errors. *)
+val parse : string -> t
+
+(** [select path element] returns all elements reached from context
+    [element] by [path], in document order (with duplicates removed,
+    preserving first occurrence). *)
+val select : t -> Types.element -> Types.element list
+
+(** [matches path element ~node] is [true] when [node] is in
+    [select path element] (physical identity). *)
+val matches : t -> Types.element -> node:Types.element -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type item = Tag of Types.name | Data of string
+
+let iter f root =
+  let rec go level e =
+    List.iter
+      (fun node ->
+        match node with
+        | Types.Element child -> go (level + 1) child
+        | Types.Text s | Types.Cdata s -> f ~level:(level + 1) (Data s)
+        | Types.Comment _ | Types.Pi _ -> ())
+      e.Types.children;
+    f ~level (Tag e.Types.tag)
+  in
+  go 0 root
+
+let to_list root =
+  let items = ref [] in
+  iter (fun ~level item -> items := (level, item) :: !items) root;
+  List.rev !items

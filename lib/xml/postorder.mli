@@ -1,0 +1,15 @@
+(** Post-order document streams.
+
+    The XML alerter's [contains] detection (paper §6.3) "relies on the
+    postfix traversal of the DOM tree": for each node [n] it processes
+    the pair (level, content) where content is the tag for element
+    nodes and the data for data nodes, children before parents. *)
+
+type item = Tag of Types.name | Data of string
+
+(** [iter f element] calls [f ~level item] for every element and data
+    node in post order.  The root has level 0. *)
+val iter : (level:int -> item -> unit) -> Types.element -> unit
+
+(** [to_list element] materialises the stream (testing helper). *)
+val to_list : Types.element -> (int * item) list

@@ -1,0 +1,117 @@
+let escape_generic ~quotes s =
+  let needs_escape = function
+    | '&' | '<' | '>' -> true
+    | '"' | '\'' -> quotes
+    | _ -> false
+  in
+  if String.exists needs_escape s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '"' when quotes -> Buffer.add_string buf "&quot;"
+        | '\'' when quotes -> Buffer.add_string buf "&apos;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+  else s
+
+let escape_text = escape_generic ~quotes:false
+let escape_attr = escape_generic ~quotes:true
+
+let has_text_child e =
+  List.exists
+    (function Types.Text _ | Types.Cdata _ -> true | _ -> false)
+    e.Types.children
+
+let element_to_string ?indent root =
+  let buf = Buffer.create 256 in
+  let pad level =
+    match indent with
+    | None -> ()
+    | Some n ->
+        if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (level * n) ' ')
+  in
+  let add_attrs attrs =
+    List.iter
+      (fun (name, value) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf name;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_attr value);
+        Buffer.add_char buf '"')
+      attrs
+  in
+  let rec go level ~pretty e =
+    if pretty then pad level;
+    Buffer.add_char buf '<';
+    Buffer.add_string buf e.Types.tag;
+    add_attrs e.Types.attrs;
+    if e.Types.children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      let mixed = has_text_child e in
+      let child_pretty = pretty && not mixed in
+      List.iter
+        (fun node ->
+          match node with
+          | Types.Element child -> go (level + 1) ~pretty:child_pretty child
+          | Types.Text s -> Buffer.add_string buf (escape_text s)
+          | Types.Cdata s ->
+              Buffer.add_string buf "<![CDATA[";
+              Buffer.add_string buf s;
+              Buffer.add_string buf "]]>"
+          | Types.Comment s ->
+              if child_pretty then pad (level + 1);
+              Buffer.add_string buf "<!--";
+              Buffer.add_string buf s;
+              Buffer.add_string buf "-->"
+          | Types.Pi (target, content) ->
+              if child_pretty then pad (level + 1);
+              Buffer.add_string buf "<?";
+              Buffer.add_string buf target;
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf content;
+              Buffer.add_string buf "?>")
+        e.Types.children;
+      if child_pretty then pad level;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.Types.tag;
+      Buffer.add_char buf '>'
+    end
+  in
+  go 0 ~pretty:(indent <> None) root;
+  Buffer.contents buf
+
+let doc_to_string ?indent d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "<?xml version=\"1.0\"?>";
+  if indent <> None then Buffer.add_char buf '\n';
+  (match d.Types.doctype with
+  | None -> ()
+  | Some dt ->
+      Buffer.add_string buf "<!DOCTYPE ";
+      Buffer.add_string buf dt.Types.root_name;
+      (match dt.Types.public_id, dt.Types.system_id with
+      | Some pub, Some sys ->
+          Buffer.add_string buf (Printf.sprintf " PUBLIC \"%s\" \"%s\"" pub sys)
+      | Some pub, None -> Buffer.add_string buf (Printf.sprintf " PUBLIC \"%s\"" pub)
+      | None, Some sys -> Buffer.add_string buf (Printf.sprintf " SYSTEM \"%s\"" sys)
+      | None, None -> ());
+      (match dt.Types.internal_subset with
+      | Some subset ->
+          Buffer.add_string buf " [";
+          Buffer.add_string buf subset;
+          Buffer.add_char buf ']'
+      | None -> ());
+      Buffer.add_char buf '>';
+      if indent <> None then Buffer.add_char buf '\n');
+  Buffer.add_string buf (element_to_string ?indent d.Types.root);
+  Buffer.contents buf
+
+let pp_element ppf e = Format.pp_print_string ppf (element_to_string ~indent:2 e)

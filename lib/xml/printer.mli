@@ -1,0 +1,19 @@
+(** Serialization back to XML text. *)
+
+(** [escape_text s] escapes [&], [<] and [>]. *)
+val escape_text : string -> string
+
+(** [escape_attr s] additionally escapes double quotes. *)
+val escape_attr : string -> string
+
+(** [element_to_string ?indent e] serializes an element.  With
+    [indent] (default [None]) the output is pretty-printed using that
+    many spaces per level; text nodes suppress pretty-printing of
+    their parent to preserve mixed content. *)
+val element_to_string : ?indent:int -> Types.element -> string
+
+(** [doc_to_string ?indent d] includes the XML declaration and the
+    DOCTYPE, if any. *)
+val doc_to_string : ?indent:int -> Types.doc -> string
+
+val pp_element : Format.formatter -> Types.element -> unit

@@ -1,0 +1,73 @@
+(** XML document trees.
+
+    The warehouse stores tree data ("the repository ... is tailored for
+    storing tree-data, e.g., XML pages"); this is the in-memory form
+    every other subsystem works on. *)
+
+type name = string
+
+type attribute = name * string
+
+type node =
+  | Element of element
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of string * string  (** target, content *)
+
+and element = { tag : name; attrs : attribute list; children : node list }
+
+type doctype = {
+  root_name : name;
+  system_id : string option;
+  public_id : string option;
+  internal_subset : string option;
+      (** the raw text between [\[] and [\]] of the DOCTYPE, when
+          present; {!Dtd} parses the declarations out of it *)
+}
+
+type doc = { doctype : doctype option; root : element }
+
+(** [element ?attrs tag children] is a convenience constructor. *)
+val element : ?attrs:attribute list -> name -> node list -> element
+
+(** [el ?attrs tag children] is [Element (element ?attrs tag children)]. *)
+val el : ?attrs:attribute list -> name -> node list -> node
+
+(** [text s] is [Text s]. *)
+val text : string -> node
+
+(** [doc ?doctype root] is a document. *)
+val doc : ?doctype:doctype -> element -> doc
+
+(** [attr element name] is the value of attribute [name], if any. *)
+val attr : element -> name -> string option
+
+(** [children_elements element] is the element children, in order. *)
+val children_elements : element -> element list
+
+(** [text_content element] concatenates all text (and CDATA) in the
+    subtree, in document order, separated where elements intervene. *)
+val text_content : element -> string
+
+(** [direct_text element] concatenates only the text nodes that are
+    direct children of [element] (the paper's [strict contains]
+    scope). *)
+val direct_text : element -> string
+
+(** [equal_element a b] is structural equality ignoring comments and
+    processing instructions. *)
+val equal_element : element -> element -> bool
+
+(** [size element] is the number of nodes in the subtree. *)
+val size : element -> int
+
+(** [depth element] is the maximum nesting depth (root = 1). *)
+val depth : element -> int
+
+(** [iter_elements f element] applies [f] to every element of the
+    subtree in document order, [element] included. *)
+val iter_elements : (element -> unit) -> element -> unit
+
+(** [tags element] is the set of distinct tags in the subtree. *)
+val tags : element -> string list

@@ -1,0 +1,78 @@
+type xid = int
+
+type tree = { xid : xid; tag : Types.name; attrs : Types.attribute list; children : child list }
+and child = Node of tree | Data of xid * string
+
+type gen = { mutable next : int }
+
+let gen () = { next = 1 }
+
+let fresh g =
+  let id = g.next in
+  g.next <- g.next + 1;
+  id
+
+let rec label g (e : Types.element) =
+  let children =
+    List.filter_map
+      (fun node ->
+        match node with
+        | Types.Element child -> Some (Node (label g child))
+        | Types.Text s | Types.Cdata s -> Some (Data (fresh g, s))
+        | Types.Comment _ | Types.Pi _ -> None)
+      e.Types.children
+  in
+  (* parent labelled after children: post-order *)
+  { xid = fresh g; tag = e.Types.tag; attrs = e.Types.attrs; children }
+
+let rec strip t =
+  let children =
+    List.map
+      (function
+        | Node child -> Types.Element (strip child)
+        | Data (_, s) -> Types.Text s)
+      t.children
+  in
+  { Types.tag = t.tag; attrs = t.attrs; children }
+
+let rec find t id =
+  if t.xid = id then Some t
+  else
+    List.find_map
+      (function Node child -> find child id | Data _ -> None)
+      t.children
+
+let rec max_xid t =
+  List.fold_left
+    (fun acc child ->
+      match child with
+      | Node sub -> max acc (max_xid sub)
+      | Data (id, _) -> max acc id)
+    t.xid t.children
+
+let rec size t =
+  1
+  + List.fold_left
+      (fun acc child ->
+        match child with Node sub -> acc + size sub | Data _ -> acc + 1)
+      0 t.children
+
+let rec equal a b =
+  a.xid = b.xid && a.tag = b.tag && a.attrs = b.attrs
+  && List.length a.children = List.length b.children
+  && List.for_all2
+       (fun ca cb ->
+         match ca, cb with
+         | Node na, Node nb -> equal na nb
+         | Data (ia, sa), Data (ib, sb) -> ia = ib && sa = sb
+         | Node _, Data _ | Data _, Node _ -> false)
+       a.children b.children
+
+let rec pp ppf t =
+  Format.fprintf ppf "@[<hv 2><%s #%d>" t.tag t.xid;
+  List.iter
+    (function
+      | Node child -> Format.fprintf ppf "@ %a" pp child
+      | Data (id, s) -> Format.fprintf ppf "@ %S#%d" s id)
+    t.children;
+  Format.fprintf ppf "@]"

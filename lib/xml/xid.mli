@@ -1,0 +1,44 @@
+(** XID-labelled trees.
+
+    The paper's versioning mechanism rests on persistent element
+    identifiers ("Deltas based on XIDs provide a compact naming of the
+    elements of the documents").  A labelled tree attaches an integer
+    XID to every element and data node; the diff layer preserves XIDs
+    of matched nodes across versions so that deltas can reference
+    them. *)
+
+type xid = int
+
+type tree = { xid : xid; tag : Types.name; attrs : Types.attribute list; children : child list }
+
+and child = Node of tree | Data of xid * string
+
+(** Monotonic XID generator; one per document lineage. *)
+type gen
+
+val gen : unit -> gen
+
+(** [fresh gen] allocates the next XID. *)
+val fresh : gen -> xid
+
+(** [label gen element] labels every element and text node of
+    [element] with fresh XIDs (post-order, so a parent's XID is larger
+    than its descendants', matching the paper's naming scheme).
+    Comments and processing instructions are dropped: they are not
+    versioned. *)
+val label : gen -> Types.element -> tree
+
+(** [strip tree] forgets the labels. *)
+val strip : tree -> Types.element
+
+(** [find tree xid] is the subtree labelled [xid], if any. *)
+val find : tree -> xid -> tree option
+
+(** [max_xid tree] is the largest XID in the tree. *)
+val max_xid : tree -> xid
+
+(** [size tree] counts element and data nodes. *)
+val size : tree -> int
+
+val equal : tree -> tree -> bool
+val pp : Format.formatter -> tree -> unit

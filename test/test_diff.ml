@@ -1,0 +1,420 @@
+(* Tests for xy_diff: delta soundness (apply . diff = identity on the
+   new version), invertibility, XID preservation, change summaries and
+   the paper's delta-document rendering. *)
+
+module T = Xy_xml.Types
+module Xid = Xy_xml.Xid
+module Printer = Xy_xml.Printer
+module Parser = Xy_xml.Parser
+module Delta = Xy_diff.Delta
+module Diff = Xy_diff.Diff
+module Apply = Xy_diff.Apply
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let parse = Parser.parse_element
+
+let element = Alcotest.testable Printer.pp_element T.equal_element
+
+(* Diff two documents given as strings; returns delta, old tree, new
+   tree and the generator. *)
+let diff_strings old_s new_s =
+  let gen = Xid.gen () in
+  let old_tree = Xid.label gen (parse old_s) in
+  let delta, new_tree = Diff.diff ~gen old_tree (parse new_s) in
+  (delta, old_tree, new_tree, gen)
+
+let check_sound old_s new_s =
+  let delta, old_tree, new_tree, _ = diff_strings old_s new_s in
+  (* The returned new tree strips to the new document. *)
+  Alcotest.check element "new tree content" (parse new_s) (Xid.strip new_tree);
+  (* Applying the delta to the old tree gives the new tree exactly
+     (same XIDs). *)
+  let patched = Apply.apply old_tree delta in
+  checkb "apply reconstructs new version" true (Xid.equal patched new_tree);
+  (* Inverse direction. *)
+  let unpatched = Apply.apply new_tree (Delta.invert delta) in
+  checkb "inverse reconstructs old version" true (Xid.equal unpatched old_tree);
+  delta
+
+let test_identical_documents () =
+  let delta = check_sound "<a><b>x</b><c/></a>" "<a><b>x</b><c/></a>" in
+  checkb "empty delta" true (Delta.is_empty delta)
+
+let test_text_update () =
+  let delta = check_sound "<a><b>old</b></a>" "<a><b>new</b></a>" in
+  match delta with
+  | [ Delta.Update_text { old_text; new_text; _ } ] ->
+      checks "old" "old" old_text;
+      checks "new" "new" new_text
+  | _ -> Alcotest.fail "expected a single text update"
+
+let test_attr_update () =
+  let delta =
+    check_sound {|<a><b price="10"/></a>|} {|<a><b price="12"/></a>|}
+  in
+  match delta with
+  | [ Delta.Update_attrs { old_attrs; new_attrs; _ } ] ->
+      Alcotest.(check (list (pair string string))) "old" [ ("price", "10") ] old_attrs;
+      Alcotest.(check (list (pair string string))) "new" [ ("price", "12") ] new_attrs
+  | _ -> Alcotest.fail "expected a single attribute update"
+
+let test_insert_element () =
+  let delta =
+    check_sound "<catalog><product>tv</product></catalog>"
+      "<catalog><product>tv</product><product>camera</product></catalog>"
+  in
+  match delta with
+  | [ Delta.Insert { position; tree; _ } ] ->
+      checki "at end" 1 position;
+      checks "inserted tag" "product" tree.Xid.tag
+  | _ -> Alcotest.fail "expected a single insert"
+
+let test_insert_at_front () =
+  let delta =
+    check_sound "<l><i>b</i></l>" "<l><i>a</i><i>b</i></l>"
+  in
+  match delta with
+  | [ Delta.Insert { position; _ } ] -> checki "front" 0 position
+  | _ -> Alcotest.fail "expected a single insert"
+
+let test_delete_element () =
+  let delta =
+    check_sound "<catalog><product>tv</product><product>cam</product></catalog>"
+      "<catalog><product>tv</product></catalog>"
+  in
+  match delta with
+  | [ Delta.Delete { position; tree; _ } ] ->
+      checki "old position" 1 position;
+      checks "deleted tag" "product" tree.Xid.tag
+  | _ -> Alcotest.fail "expected a single delete"
+
+let test_xids_preserved_on_match () =
+  let delta, old_tree, new_tree, _ =
+    diff_strings "<a><keep>1</keep><change>x</change></a>"
+      "<a><keep>1</keep><change>y</change></a>"
+  in
+  ignore delta;
+  (* The <keep> element keeps its xid. *)
+  let find_child tree tag =
+    List.find_map
+      (function
+        | Xid.Node t when t.Xid.tag = tag -> Some t
+        | Xid.Node _ | Xid.Data _ -> None)
+      tree.Xid.children
+  in
+  let old_keep = Option.get (find_child old_tree "keep") in
+  let new_keep = Option.get (find_child new_tree "keep") in
+  checki "keep xid stable" old_keep.Xid.xid new_keep.Xid.xid;
+  let old_change = Option.get (find_child old_tree "change") in
+  let new_change = Option.get (find_child new_tree "change") in
+  checki "matched element xid stable" old_change.Xid.xid new_change.Xid.xid
+
+let test_fresh_xids_on_insert () =
+  let _, old_tree, new_tree, _ =
+    diff_strings "<a><b/></a>" "<a><b/><c/></a>"
+  in
+  let max_old = Xid.max_xid old_tree in
+  let rec inserted_xid tree =
+    if tree.Xid.tag = "c" then Some tree.Xid.xid
+    else
+      List.find_map
+        (function Xid.Node t -> inserted_xid t | Xid.Data _ -> None)
+        tree.Xid.children
+  in
+  match inserted_xid new_tree with
+  | Some xid -> checkb "fresh xid" true (xid > max_old)
+  | None -> Alcotest.fail "inserted element not found"
+
+let test_root_replacement () =
+  let delta, old_tree, new_tree, _ = diff_strings "<a><x/></a>" "<b><y/></b>" in
+  checki "two ops" 2 (List.length delta);
+  let patched = Apply.apply old_tree delta in
+  checkb "root replaced" true (Xid.equal patched new_tree);
+  let unpatched = Apply.apply new_tree (Delta.invert delta) in
+  checkb "root restored" true (Xid.equal unpatched old_tree)
+
+let test_mixed_edits () =
+  ignore
+    (check_sound
+       {|<site><page id="1">hello</page><page id="2">world</page><nav><a>x</a></nav></site>|}
+       {|<site><page id="1">hello!</page><nav><a>x</a><a>y</a></nav><footer/></site>|})
+
+let test_moved_subtree_is_delete_insert () =
+  (* Moves are reported as delete + insert (the diff is sound, not
+     move-aware). *)
+  let delta =
+    check_sound "<l><a>1</a><b>2</b></l>" "<l><b>2</b><a>1</a></l>"
+  in
+  checkb "nonempty" false (Delta.is_empty delta)
+
+let test_deep_nesting () =
+  ignore
+    (check_sound "<a><b><c><d>deep</d></c></b></a>"
+       "<a><b><c><d>deeper</d><e/></c></b></a>")
+
+let test_repeated_identical_children () =
+  ignore
+    (check_sound "<l><i>x</i><i>x</i><i>x</i></l>"
+       "<l><i>x</i><i>x</i></l>");
+  ignore
+    (check_sound "<l><i>x</i><i>x</i></l>"
+       "<l><i>x</i><i>x</i><i>x</i><i>x</i></l>")
+
+(* ------------------------------------------------------------------ *)
+(* Summary (feeds the XML alerter's change patterns) *)
+
+let test_summary_inserted () =
+  let delta, _, _, _ =
+    diff_strings "<catalog><product>tv</product></catalog>"
+      "<catalog><product>tv</product><product>camera</product></catalog>"
+  in
+  let s = Delta.summary delta in
+  checki "one inserted" 1 (List.length s.Delta.inserted);
+  checks "product" "product" (List.hd s.Delta.inserted).Xid.tag;
+  checki "no deleted" 0 (List.length s.Delta.deleted)
+
+let test_summary_updated_parents () =
+  let delta, old_tree, _, _ =
+    diff_strings "<a><b>x</b></a>" "<a><b>y</b></a>"
+  in
+  let s = Delta.summary delta in
+  (* The parent of the changed text is the <b> element. *)
+  let b_xid =
+    List.find_map
+      (function
+        | Xid.Node t when t.Xid.tag = "b" -> Some t.Xid.xid
+        | Xid.Node _ | Xid.Data _ -> None)
+      old_tree.Xid.children
+    |> Option.get
+  in
+  Alcotest.(check (list int)) "updated xids" [ b_xid ] s.Delta.updated_xids
+
+(* ------------------------------------------------------------------ *)
+(* Delta document rendering (paper §5.2 example) *)
+
+let test_delta_to_xml () =
+  let delta, _, _, _ =
+    diff_strings
+      "<AmsterdamPaintings><title>Nightwatch</title></AmsterdamPaintings>"
+      "<AmsterdamPaintings><title>Nightwatch</title><title>Milkmaid</title></AmsterdamPaintings>"
+  in
+  let xml = Delta.to_xml ~name:"AmsterdamPaintings" delta in
+  checks "delta root" "AmsterdamPaintings-delta" xml.T.tag;
+  match T.children_elements xml with
+  | [ inserted ] ->
+      checks "inserted op" "inserted" inserted.T.tag;
+      checkb "has ID" true (T.attr inserted "ID" <> None);
+      checkb "has parent" true (T.attr inserted "parent" <> None);
+      Alcotest.(check (option string)) "position" (Some "1")
+        (T.attr inserted "position");
+      (match T.children_elements inserted with
+      | [ title ] ->
+          checks "payload" "title" title.T.tag;
+          checks "text" "Milkmaid" (T.text_content title)
+      | _ -> Alcotest.fail "expected the inserted subtree")
+  | _ -> Alcotest.fail "expected one operation element"
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: random edits on random trees *)
+
+let rng = QCheck.Gen.int_range 0 1000
+
+let gen_doc : T.element QCheck.Gen.t =
+  let open QCheck.Gen in
+  let rec tree depth =
+    oneofl [ "a"; "b"; "item"; "product"; "name" ] >>= fun tag ->
+    (if depth = 0 then return []
+     else
+       list_size (0 -- 3)
+         (frequency
+            [
+              (2, tree (depth - 1) >|= fun e -> T.Element e);
+              (2, rng >|= fun n -> T.Text (string_of_int n));
+            ]))
+    >|= fun children -> T.element tag children
+  in
+  tree 3
+
+(* A random edit: textual mutation somewhere in the tree. *)
+let rec mutate rand (e : T.element) : T.element =
+  let open QCheck.Gen in
+  let choice = generate1 ~rand (int_bound 5) in
+  let mutate_children children =
+    match choice with
+    | 0 -> T.el "extra" [ T.text "inserted" ] :: children
+    | 1 -> (match children with _ :: rest -> rest | [] -> [ T.text "grown" ])
+    | 2 ->
+        List.map
+          (function
+            | T.Text s -> T.Text (s ^ "'")
+            | other -> other)
+          children
+    | _ ->
+        (* Recurse into the first element child, if any. *)
+        let rec go = function
+          | [] -> [ T.el "leaf" [] ]
+          | T.Element sub :: rest -> T.Element (mutate rand sub) :: rest
+          | other :: rest -> other :: go rest
+        in
+        go children
+  in
+  { e with T.children = mutate_children e.T.children }
+
+let test_random_edit_soundness () =
+  let rand = Random.State.make [| 2025 |] in
+  for _ = 1 to 200 do
+    let original = QCheck.Gen.generate1 ~rand gen_doc in
+    let edited = ref original in
+    let edits = 1 + Random.State.int rand 4 in
+    for _ = 1 to edits do
+      edited := mutate rand !edited
+    done;
+    let gen = Xid.gen () in
+    let old_tree = Xid.label gen original in
+    let delta, new_tree = Diff.diff ~gen old_tree !edited in
+    if not (T.equal_element (Xid.strip new_tree) !edited) then
+      Alcotest.failf "new tree mismatch:@.%s@.vs@.%s"
+        (Printer.element_to_string (Xid.strip new_tree))
+        (Printer.element_to_string !edited);
+    let patched = Apply.apply old_tree delta in
+    if not (Xid.equal patched new_tree) then
+      Alcotest.failf "apply mismatch on:@.%s@.->@.%s@.delta:@.%s"
+        (Printer.element_to_string original)
+        (Printer.element_to_string !edited)
+        (Format.asprintf "%a" Delta.pp delta);
+    let unpatched = Apply.apply new_tree (Delta.invert delta) in
+    if not (Xid.equal unpatched old_tree) then
+      Alcotest.failf "invert mismatch on:@.%s@.->@.%s"
+        (Printer.element_to_string original)
+        (Printer.element_to_string !edited)
+  done
+
+let test_diff_between_unrelated_docs () =
+  (* Diffing arbitrary pairs must still be sound. *)
+  let rand = Random.State.make [| 77 |] in
+  for _ = 1 to 200 do
+    let doc_a = QCheck.Gen.generate1 ~rand gen_doc in
+    let doc_b = QCheck.Gen.generate1 ~rand gen_doc in
+    let gen = Xid.gen () in
+    let old_tree = Xid.label gen doc_a in
+    let delta, new_tree = Diff.diff ~gen old_tree doc_b in
+    checkb "strips to target" true (T.equal_element (Xid.strip new_tree) doc_b);
+    checkb "apply sound" true (Xid.equal (Apply.apply old_tree delta) new_tree)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Change editor *)
+
+let test_editor_merged_view () =
+  let gen = Xid.gen () in
+  let old_tree = Xid.label gen (parse {|<doc><keep>a</keep><gone>b</gone><mod>x</mod></doc>|}) in
+  let delta, _ =
+    Xy_diff.Diff.diff ~gen old_tree
+      (parse {|<doc><keep>a</keep><mod>y</mod><fresh>new</fresh></doc>|})
+  in
+  let view = Xy_diff.Editor.merged_view ~old:old_tree delta in
+  let find tag =
+    List.find_opt (fun e -> e.T.tag = tag) (T.children_elements view)
+  in
+  (* kept element: unmarked *)
+  (match find "keep" with
+  | Some e -> Alcotest.(check (option string)) "keep unmarked" None (T.attr e "change")
+  | None -> Alcotest.fail "keep missing");
+  (* deleted element re-inserted with the mark *)
+  (match find "gone" with
+  | Some e ->
+      Alcotest.(check (option string)) "deleted mark" (Some "deleted")
+        (T.attr e "change");
+      checks "content preserved" "b" (T.text_content e)
+  | None -> Alcotest.fail "deleted element missing from merged view");
+  (* updated element marked *)
+  (match find "mod" with
+  | Some e ->
+      Alcotest.(check (option string)) "updated mark" (Some "updated")
+        (T.attr e "change");
+      checks "new text shown" "y" (T.text_content e)
+  | None -> Alcotest.fail "mod missing");
+  (* inserted element marked *)
+  match find "fresh" with
+  | Some e ->
+      Alcotest.(check (option string)) "inserted mark" (Some "inserted")
+        (T.attr e "change")
+  | None -> Alcotest.fail "fresh missing"
+
+let test_editor_nested_insert_marked_once () =
+  let gen = Xid.gen () in
+  let old_tree = Xid.label gen (parse "<a><b/></a>") in
+  let delta, _ =
+    Xy_diff.Diff.diff ~gen old_tree (parse "<a><b/><c><d>deep</d></c></a>")
+  in
+  let view = Xy_diff.Editor.merged_view ~old:old_tree delta in
+  let c = List.find (fun e -> e.T.tag = "c") (T.children_elements view) in
+  Alcotest.(check (option string)) "root of insert marked" (Some "inserted")
+    (T.attr c "change");
+  match T.children_elements c with
+  | [ d ] ->
+      Alcotest.(check (option string)) "descendants unmarked" None
+        (T.attr d "change")
+  | _ -> Alcotest.fail "nested structure"
+
+let test_editor_summary_text () =
+  let gen = Xid.gen () in
+  let old_tree = Xid.label gen (parse "<a><b>x</b></a>") in
+  let delta, _ = Xy_diff.Diff.diff ~gen old_tree (parse "<a><b>y</b><c/></a>") in
+  let text = Xy_diff.Editor.summary_text ~old:old_tree delta in
+  checkb "mentions text change" true
+    (Xy_query.Eval.word_contains ~word:"text" text);
+  checkb "mentions insert" true (Xy_query.Eval.word_contains ~word:"inserted" text)
+
+let test_apply_rejects_foreign_delta () =
+  let delta, _, _, _ = diff_strings "<a><b>x</b></a>" "<a><b>y</b></a>" in
+  let gen = Xid.gen () in
+  let unrelated = Xid.label gen (parse "<z><w/></z>") in
+  match Apply.apply unrelated delta with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Apply to reject a foreign delta"
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "diff"
+    [
+      ( "basic edits",
+        [
+          tc "identical documents" test_identical_documents;
+          tc "text update" test_text_update;
+          tc "attribute update" test_attr_update;
+          tc "insert element" test_insert_element;
+          tc "insert at front" test_insert_at_front;
+          tc "delete element" test_delete_element;
+          tc "mixed edits" test_mixed_edits;
+          tc "move = delete+insert" test_moved_subtree_is_delete_insert;
+          tc "deep nesting" test_deep_nesting;
+          tc "repeated identical children" test_repeated_identical_children;
+          tc "root replacement" test_root_replacement;
+        ] );
+      ( "xids",
+        [
+          tc "preserved on match" test_xids_preserved_on_match;
+          tc "fresh on insert" test_fresh_xids_on_insert;
+        ] );
+      ( "summary",
+        [
+          tc "inserted elements" test_summary_inserted;
+          tc "updated parents" test_summary_updated_parents;
+        ] );
+      ("delta document", [ tc "paper rendering" test_delta_to_xml ]);
+      ( "editor",
+        [
+          tc "merged view marks" test_editor_merged_view;
+          tc "nested insert marked once" test_editor_nested_insert_marked_once;
+          tc "summary text" test_editor_summary_text;
+        ] );
+      ( "properties",
+        [
+          tc "random edits sound" test_random_edit_soundness;
+          tc "unrelated documents sound" test_diff_between_unrelated_docs;
+          tc "foreign delta rejected" test_apply_rejects_foreign_delta;
+        ] );
+    ]

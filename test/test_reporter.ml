@@ -1,0 +1,342 @@
+(* Tests for xy_reporter: report conditions (count, count(tag),
+   frequency, immediate, disjunction), atmost caps, archive GC, report
+   queries and delivery. *)
+
+module Reporter = Xy_reporter.Reporter
+module Notification = Xy_reporter.Notification
+module Sink = Xy_reporter.Sink
+module S = Xy_sublang.S_ast
+module Clock = Xy_util.Clock
+module T = Xy_xml.Types
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let spec ?query ?atmost ?archive when_ =
+  { S.r_query = query; r_when = when_; r_atmost = atmost; r_archive = archive }
+
+let notification ?(tag = "UpdatedPage") ?(body = []) clock =
+  {
+    Notification.source = Notification.Monitoring;
+    tag;
+    body;
+    at = Clock.now clock;
+  }
+
+let setup report_spec =
+  let clock = Clock.create () in
+  let sink, deliveries = Sink.memory () in
+  let reporter = Reporter.create ~clock ~sink in
+  Reporter.register reporter ~subscription:"S" ~recipient:"user@example.org"
+    report_spec;
+  (clock, reporter, deliveries)
+
+let test_count_condition () =
+  let clock, reporter, deliveries = setup (spec [ S.R_count 3 ]) in
+  for _ = 1 to 3 do
+    Reporter.notify reporter ~subscription:"S" (notification clock)
+  done;
+  checki "not yet (> is strict)" 0 (List.length !deliveries);
+  checki "buffered" 3 (Reporter.buffered_count reporter ~subscription:"S");
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "fired at 4" 1 (List.length !deliveries);
+  checki "buffer emptied" 0 (Reporter.buffered_count reporter ~subscription:"S")
+
+let test_count_query_condition () =
+  let clock, reporter, deliveries =
+    setup (spec [ S.R_count_query ("UpdatedPage", 1) ])
+  in
+  Reporter.notify reporter ~subscription:"S" (notification ~tag:"Member" clock);
+  Reporter.notify reporter ~subscription:"S" (notification ~tag:"Member" clock);
+  Reporter.notify reporter ~subscription:"S" (notification ~tag:"UpdatedPage" clock);
+  checki "other tags don't count" 0 (List.length !deliveries);
+  Reporter.notify reporter ~subscription:"S" (notification ~tag:"UpdatedPage" clock);
+  checki "fires on second UpdatedPage" 1 (List.length !deliveries)
+
+let test_immediate () =
+  let clock, reporter, deliveries = setup (spec [ S.R_immediate ]) in
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "immediate" 1 (List.length !deliveries);
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "again" 2 (List.length !deliveries)
+
+let test_periodic_condition () =
+  let clock, reporter, deliveries = setup (spec [ S.R_frequency S.Daily ]) in
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  Reporter.tick reporter;
+  checki "buffered, not due" 0 (List.length !deliveries);
+  Clock.advance clock Clock.day;
+  Reporter.tick reporter;
+  checki "daily report" 1 (List.length !deliveries);
+  (* Nothing new: the next period produces no report. *)
+  Clock.advance clock Clock.day;
+  Reporter.tick reporter;
+  checki "no empty report" 1 (List.length !deliveries)
+
+let test_disjunction () =
+  let clock, reporter, deliveries =
+    setup (spec [ S.R_count 100; S.R_frequency S.Weekly; S.R_immediate ])
+  in
+  (* immediate wins on the first arrival *)
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "immediate disjunct" 1 (List.length !deliveries)
+
+let test_report_shape () =
+  let clock, reporter, deliveries = setup (spec [ S.R_immediate ]) in
+  let body = [ T.el "UpdatedPage" ~attrs:[ ("url", "http://a/") ] [] ] in
+  Reporter.notify reporter ~subscription:"S" (notification ~body clock);
+  match !deliveries with
+  | [ d ] ->
+      checks "recipient" "user@example.org" d.Sink.recipient;
+      checks "subscription" "S" d.Sink.subscription;
+      checks "report root" "Report" d.Sink.report.T.tag;
+      (match T.children_elements d.Sink.report with
+      | [ e ] -> checks "notification body" "UpdatedPage" e.T.tag
+      | _ -> Alcotest.fail "report content")
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_empty_body_renders_tag () =
+  let clock, reporter, deliveries = setup (spec [ S.R_immediate ]) in
+  Reporter.notify reporter ~subscription:"S"
+    (notification ~tag:"ChangeInMyProducts" ~body:[] clock);
+  match !deliveries with
+  | [ d ] -> (
+      match T.children_elements d.Sink.report with
+      | [ e ] -> checks "tag element" "ChangeInMyProducts" e.T.tag
+      | _ -> Alcotest.fail "content")
+  | _ -> Alcotest.fail "delivery"
+
+let test_report_query_applied () =
+  (* Deduplicate UpdatedPage urls via a report query. *)
+  let query = Xy_query.Parser.parse "select //title" in
+  let clock, reporter, deliveries =
+    setup (spec ~query [ S.R_count 1 ])
+  in
+  let body tag title =
+    [ T.el tag [ T.el "title" [ T.text title ] ] ]
+  in
+  Reporter.notify reporter ~subscription:"S"
+    (notification ~body:(body "Doc" "one") clock);
+  Reporter.notify reporter ~subscription:"S"
+    (notification ~body:(body "Doc" "two") clock);
+  match !deliveries with
+  | [ d ] ->
+      let titles = T.children_elements d.Sink.report in
+      checki "two titles" 2 (List.length titles);
+      checkb "only titles" true (List.for_all (fun e -> e.T.tag = "title") titles)
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_atmost_count_caps_buffer () =
+  let clock, reporter, deliveries =
+    setup (spec ~atmost:(S.At_count 2) [ S.R_count 10 ])
+  in
+  for _ = 1 to 8 do
+    Reporter.notify reporter ~subscription:"S" (notification clock)
+  done;
+  checki "buffer capped at 2" 2 (Reporter.buffered_count reporter ~subscription:"S");
+  checki "no report (count never exceeds cap)" 0 (List.length !deliveries);
+  let stats = Reporter.stats reporter in
+  checki "dropped counted" 6 stats.Reporter.dropped_by_atmost
+
+let test_atmost_frequency_rate_limits () =
+  let clock, reporter, deliveries =
+    setup (spec ~atmost:(S.At_frequency S.Daily) [ S.R_immediate ])
+  in
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "first immediate" 1 (List.length !deliveries);
+  Clock.advance clock 3600.;
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "held back within a day" 1 (List.length !deliveries);
+  checki "still buffered" 1 (Reporter.buffered_count reporter ~subscription:"S");
+  Clock.advance clock Clock.day;
+  Reporter.tick reporter;
+  checki "released after a day" 2 (List.length !deliveries)
+
+let test_archive_retention_and_gc () =
+  let clock, reporter, _ =
+    setup (spec ~archive:S.Weekly [ S.R_immediate ])
+  in
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  Clock.advance clock (3. *. Clock.day);
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "two archived" 2 (List.length (Reporter.archived reporter ~subscription:"S"));
+  Clock.advance clock (5. *. Clock.day);
+  Reporter.tick reporter;
+  (* first report is now 8 days old: expired; second is 5 days old *)
+  checki "gc expired" 1 (List.length (Reporter.archived reporter ~subscription:"S"))
+
+let test_no_archive_clause_keeps_nothing () =
+  let clock, reporter, _ = setup (spec [ S.R_immediate ]) in
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  Reporter.tick reporter;
+  checki "no archive" 0 (List.length (Reporter.archived reporter ~subscription:"S"))
+
+let test_multiple_recipients () =
+  let clock, reporter, deliveries = setup (spec [ S.R_immediate ]) in
+  Reporter.add_recipient reporter ~subscription:"S" ~recipient:"second@example.org";
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "both recipients" 2 (List.length !deliveries);
+  Reporter.remove_recipient reporter ~subscription:"S"
+    ~recipient:"second@example.org";
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "one after removal" 3 (List.length !deliveries)
+
+let test_unknown_subscription_ignored () =
+  let clock, reporter, deliveries = setup (spec [ S.R_immediate ]) in
+  Reporter.notify reporter ~subscription:"nope" (notification clock);
+  checki "ignored" 0 (List.length !deliveries)
+
+let test_unregister () =
+  let clock, reporter, deliveries = setup (spec [ S.R_immediate ]) in
+  Reporter.unregister reporter ~subscription:"S";
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "gone" 0 (List.length !deliveries)
+
+let test_sinks () =
+  let clock = Clock.create () in
+  let counting, count = Sink.counting () in
+  let memory, deliveries = Sink.memory () in
+  let sink = Sink.tee counting memory in
+  let reporter = Reporter.create ~clock ~sink in
+  Reporter.register reporter ~subscription:"S" ~recipient:"r" (spec [ S.R_immediate ]);
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  checki "tee: counting" 1 !count;
+  checki "tee: memory" 1 (List.length !deliveries);
+  (* simulated smtp advances the virtual clock *)
+  let clock2 = Clock.create () in
+  let smtp, sent = Sink.simulated_smtp ~per_mail_seconds:0.5 ~clock:clock2 in
+  let reporter2 = Reporter.create ~clock:clock2 ~sink:smtp in
+  Reporter.register reporter2 ~subscription:"S" ~recipient:"r" (spec [ S.R_immediate ]);
+  for _ = 1 to 10 do
+    Reporter.notify reporter2 ~subscription:"S" (notification clock2)
+  done;
+  checki "mails" 10 !sent;
+  checkb "clock advanced" true (Clock.now clock2 = 5.0)
+
+let test_count_semantics_model () =
+  (* Model-based test of the count-driven conditions (no clock):
+     random specs and notification streams against a tiny reference
+     implementation of buffer / count / count(tag) / atmost-count. *)
+  let prng = Xy_util.Prng.create ~seed:77 in
+  for _round = 1 to 200 do
+    let threshold = 1 + Xy_util.Prng.int prng 5 in
+    let use_tag_count = Xy_util.Prng.bool prng in
+    let cap =
+      if Xy_util.Prng.bool prng then Some (1 + Xy_util.Prng.int prng 6) else None
+    in
+    let when_ =
+      if use_tag_count then [ S.R_count_query ("A", threshold) ]
+      else [ S.R_count threshold ]
+    in
+    let spec =
+      {
+        S.r_query = None;
+        r_when = when_;
+        r_atmost = Option.map (fun n -> S.At_count n) cap;
+        r_archive = None;
+      }
+    in
+    let clock = Clock.create () in
+    let sink, count = Sink.counting () in
+    let reporter = Reporter.create ~clock ~sink in
+    Reporter.register reporter ~subscription:"S" ~recipient:"r" spec;
+    (* reference state *)
+    let buffer = ref 0 and tag_a = ref 0 and reports = ref 0 in
+    for _op = 1 to 40 do
+      let tag = if Xy_util.Prng.bool prng then "A" else "B" in
+      Reporter.notify reporter ~subscription:"S" (notification ~tag clock);
+      (* model: atmost cap drops, else buffer *)
+      let capped = match cap with Some n -> !buffer >= n | None -> false in
+      if not capped then begin
+        incr buffer;
+        if tag = "A" then incr tag_a
+      end;
+      let fires =
+        if use_tag_count then !tag_a > threshold else !buffer > threshold
+      in
+      if fires then begin
+        incr reports;
+        buffer := 0;
+        tag_a := 0
+      end;
+      Alcotest.(check int)
+        (Printf.sprintf "reports (threshold=%d cap=%s tag=%b)" threshold
+           (match cap with Some n -> string_of_int n | None -> "-")
+           use_tag_count)
+        !reports !count;
+      Alcotest.(check int) "buffer" !buffer
+        (Reporter.buffered_count reporter ~subscription:"S")
+    done
+  done
+
+let test_directory_sink () =
+  let root = Filename.temp_file "xyleme_reports" "" in
+  Sys.remove root;
+  let clock = Clock.create () in
+  let sink = Sink.directory ~root () in
+  let reporter = Reporter.create ~clock ~sink in
+  Reporter.register reporter ~subscription:"S" ~recipient:"r" (spec [ S.R_immediate ]);
+  Reporter.notify reporter ~subscription:"S"
+    (notification ~body:[ T.el "UpdatedPage" ~attrs:[ ("url", "u") ] [] ] clock);
+  Reporter.notify reporter ~subscription:"S" (notification clock);
+  let dir = Filename.concat root "S" in
+  checkb "report 1 published" true (Sys.file_exists (Filename.concat dir "1.xml"));
+  checkb "report 2 published" true (Sys.file_exists (Filename.concat dir "2.xml"));
+  (* Published reports are valid XML with the expected shape. *)
+  let report1 =
+    Xy_xml.Parser.parse_element
+      (In_channel.with_open_bin (Filename.concat dir "1.xml") In_channel.input_all)
+  in
+  checks "root" "Report" report1.T.tag;
+  let index =
+    Xy_xml.Parser.parse_element
+      (In_channel.with_open_bin (Filename.concat dir "index.xml") In_channel.input_all)
+  in
+  checks "index root" "reports" index.T.tag;
+  checki "two entries" 2 (List.length (T.children_elements index));
+  (* cleanup *)
+  Sys.remove (Filename.concat dir "1.xml");
+  Sys.remove (Filename.concat dir "2.xml");
+  Sys.remove (Filename.concat dir "index.xml");
+  Sys.rmdir dir;
+  Sys.rmdir root
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "reporter"
+    [
+      ( "conditions",
+        [
+          tc "count" test_count_condition;
+          tc "count(tag)" test_count_query_condition;
+          tc "immediate" test_immediate;
+          tc "periodic" test_periodic_condition;
+          tc "disjunction" test_disjunction;
+          tc "count semantics (model-based)" test_count_semantics_model;
+        ] );
+      ( "reports",
+        [
+          tc "shape" test_report_shape;
+          tc "empty body renders tag" test_empty_body_renders_tag;
+          tc "report query applied" test_report_query_applied;
+        ] );
+      ( "atmost",
+        [
+          tc "count caps buffer" test_atmost_count_caps_buffer;
+          tc "frequency rate limits" test_atmost_frequency_rate_limits;
+        ] );
+      ( "archive",
+        [
+          tc "retention and gc" test_archive_retention_and_gc;
+          tc "no clause" test_no_archive_clause_keeps_nothing;
+        ] );
+      ( "delivery",
+        [
+          tc "multiple recipients" test_multiple_recipients;
+          tc "unknown subscription" test_unknown_subscription_ignored;
+          tc "unregister" test_unregister;
+          tc "sinks" test_sinks;
+          tc "directory sink (web publication)" test_directory_sink;
+        ] );
+    ]

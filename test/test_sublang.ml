@@ -1,0 +1,480 @@
+(* Tests for xy_sublang: parsing the paper's subscriptions verbatim,
+   and compiling monitoring queries to atomic-event conjunctions with
+   the §5.4 cost controls. *)
+
+module S = Xy_sublang.S_ast
+module P = Xy_sublang.S_parser
+module C = Xy_sublang.S_compile
+module Atomic = Xy_events.Atomic
+module QAst = Xy_query.Ast
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* The paper's §2.2 example, verbatim (with its typographic quoting). *)
+let my_xyleme =
+  {|subscription MyXyleme
+
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends ``http://inria.fr/Xy/''
+  and modified self
+
+monitoring
+select X
+from self//Member X
+where URL = ``http://inria.fr/Xy/members.xml''
+  and new X
+
+continuous ReferenceXyleme
+% a query Q that computes, e.g., the list of
+% sites that reference Xyleme
+select site
+from self//ReferencingSite site
+try biweekly
+
+refresh ``http://inria.fr/Xy/members.xml'' weekly
+
+report
+select UpdatedPage
+when notifications.count > 100
+|}
+
+let test_parse_my_xyleme () =
+  let s = P.parse my_xyleme in
+  checks "name" "MyXyleme" s.S.name;
+  checki "two monitoring queries" 2 (List.length s.S.monitoring);
+  checki "one continuous" 1 (List.length s.S.continuous);
+  checki "one refresh" 1 (List.length s.S.refresh);
+  checkb "has report" true (s.S.report <> None);
+  (* First monitoring query *)
+  (match s.S.monitoring with
+  | [ m1; m2 ] ->
+      checks "named by construct tag" "UpdatedPage" m1.S.m_name;
+      (match m1.S.m_where with
+      | [ [ S.A_url_extends prefix; S.A_self_status Atomic.Updated ] ] ->
+          checks "prefix" "http://inria.fr/Xy/" prefix
+      | _ -> Alcotest.fail "m1 where clause");
+      (* Second monitoring query: select X / new X *)
+      checks "operand select is unnamed" "Notification" m2.S.m_name;
+      (match m2.S.m_from with
+      | [ { QAst.var = "X"; base = None; path } ] ->
+          checks "path" "//Member" (Xy_xml.Path.to_string path)
+      | _ -> Alcotest.fail "m2 from clause");
+      (match m2.S.m_where with
+      | [ [ S.A_url_equals url;
+            S.A_element { change = Some Atomic.New; target = `Var "X"; word = None } ] ]
+        ->
+          checks "url" "http://inria.fr/Xy/members.xml" url
+      | _ -> Alcotest.fail "m2 where clause")
+  | _ -> Alcotest.fail "monitoring queries");
+  (* Continuous *)
+  (match s.S.continuous with
+  | [ c ] ->
+      checks "name" "ReferenceXyleme" c.S.c_name;
+      checkb "not delta" false c.S.c_delta;
+      checkb "biweekly" true (c.S.c_when = S.T_frequency S.Biweekly)
+  | _ -> Alcotest.fail "continuous");
+  (* Refresh *)
+  (match s.S.refresh with
+  | [ r ] ->
+      checks "url" "http://inria.fr/Xy/members.xml" r.S.r_url;
+      checkb "weekly" true (r.S.r_freq = S.Weekly)
+  | _ -> Alcotest.fail "refresh");
+  (* Report *)
+  match s.S.report with
+  | Some report ->
+      checkb "count condition" true (report.S.r_when = [ S.R_count 100 ]);
+      checkb "has report query" true (report.S.r_query <> None)
+  | None -> Alcotest.fail "report"
+
+let test_parse_amsterdam () =
+  let s =
+    P.parse
+      {|subscription Museums
+continuous delta AmsterdamPaintings
+select p/title
+from culture/museum m, m/painting p
+where m/address contains "Amsterdam"
+when biweekly
+report when immediate|}
+  in
+  match s.S.continuous with
+  | [ c ] ->
+      checks "name" "AmsterdamPaintings" c.S.c_name;
+      checkb "delta" true c.S.c_delta;
+      checki "two bindings" 2 (List.length c.S.c_query.QAst.from);
+      checkb "biweekly" true (c.S.c_when = S.T_frequency S.Biweekly)
+  | _ -> Alcotest.fail "continuous"
+
+let test_parse_competitors () =
+  let s =
+    P.parse
+      {|subscription XylemeCompetitors
+monitoring
+select <ChangeInMyProducts/>
+where URL = ``www.xyleme.com/products.xml''
+  and modified self
+continuous MyCompetitors
+select c from self//competitor c
+when XylemeCompetitors.ChangeInMyProducts
+report when immediate|}
+  in
+  (match s.S.monitoring with
+  | [ m ] -> checks "notification tag" "ChangeInMyProducts" m.S.m_name
+  | _ -> Alcotest.fail "monitoring");
+  match s.S.continuous with
+  | [ c ] ->
+      checkb "notification trigger" true
+        (c.S.c_when
+        = S.T_notification
+            { subscription = Some "XylemeCompetitors"; tag = "ChangeInMyProducts" })
+  | _ -> Alcotest.fail "continuous"
+
+let test_parse_virtual () =
+  let s =
+    P.parse {|subscription MyVirtualXyleme
+virtual MyXyleme.Member|}
+  in
+  checkb "virtual" true (s.S.virtuals = [ ("MyXyleme", "Member") ]);
+  checki "nothing else" 0 (List.length s.S.monitoring)
+
+let test_parse_element_conditions () =
+  let s =
+    P.parse
+      {|subscription Catalog
+monitoring
+where updated self\\Product contains "camera"
+  and DTD = "http://www.amazon.com/dtd/catalog.dtd"
+monitoring
+where new self\\Product
+monitoring
+where self\\Product strict contains "sale"
+report when count > 5|}
+  in
+  match s.S.monitoring with
+  | [ m1; m2; m3 ] ->
+      (match m1.S.m_where with
+      | [ [ S.A_element { change = Some Atomic.Updated; target = `Tag "Product"; word = Some (Atomic.Anywhere, "camera") };
+            S.A_dtd "http://www.amazon.com/dtd/catalog.dtd" ] ] ->
+          ()
+      | _ -> Alcotest.fail "m1");
+      (match m2.S.m_where with
+      | [ [ S.A_element { change = Some Atomic.New; target = `Tag "Product"; word = None } ] ] ->
+          ()
+      | _ -> Alcotest.fail "m2");
+      (match m3.S.m_where with
+      | [ [ S.A_element { change = None; target = `Tag "Product"; word = Some (Atomic.Strict, "sale") } ] ] ->
+          ()
+      | _ -> Alcotest.fail "m3")
+  | _ -> Alcotest.fail "three monitoring queries"
+
+let test_parse_report_variants () =
+  let s =
+    P.parse
+      {|subscription R
+monitoring
+where URL extends "http://long-enough.example.org/"
+report
+when count(UpdatedPage) > 10 or weekly or immediate
+atmost 500
+archive monthly|}
+  in
+  match s.S.report with
+  | Some report ->
+      checkb "disjunction" true
+        (report.S.r_when
+        = [ S.R_count_query ("UpdatedPage", 10); S.R_frequency S.Weekly; S.R_immediate ]);
+      checkb "atmost" true (report.S.r_atmost = Some (S.At_count 500));
+      checkb "archive" true (report.S.r_archive = Some S.Monthly)
+  | None -> Alcotest.fail "report"
+
+let test_parse_atmost_frequency () =
+  let s =
+    P.parse
+      {|subscription R
+monitoring
+where URL extends "http://long-enough.example.org/"
+report when immediate atmost weekly|}
+  in
+  match s.S.report with
+  | Some { S.r_atmost = Some (S.At_frequency S.Weekly); _ } -> ()
+  | _ -> Alcotest.fail "atmost weekly"
+
+let test_parse_date_conditions () =
+  let s =
+    P.parse
+      {|subscription D
+monitoring
+where LastUpdate > 1000 and LastAccessed < 500 and URL extends "http://somewhere.org/"
+report when immediate|}
+  in
+  match (List.hd s.S.monitoring).S.m_where with
+  | [ [ S.A_last_updated (Atomic.After, 1000.); S.A_last_accessed (Atomic.Before, 500.); _ ] ] ->
+      ()
+  | _ -> Alcotest.fail "date conditions"
+
+let test_parse_disjunction () =
+  let s =
+    P.parse
+      {|subscription D
+monitoring
+where new self\\product or updated self\\price and DTD = "http://d/c.dtd"
+report when immediate|}
+  in
+  match (List.hd s.S.monitoring).S.m_where with
+  | [
+      [ S.A_element { change = Some Atomic.New; target = `Tag "product"; _ } ];
+      [ S.A_element { change = Some Atomic.Updated; target = `Tag "price"; _ };
+        S.A_dtd "http://d/c.dtd" ];
+    ] ->
+      ()
+  | _ -> Alcotest.fail "expected two disjuncts (and binds tighter than or)"
+
+let test_compile_disjunction () =
+  let s =
+    P.parse
+      {|subscription D
+monitoring
+where new self\\product and URL extends "http://shop.example.org/"
+   or deleted self\\product and URL extends "http://shop.example.org/"
+report when immediate|}
+  in
+  let c = C.compile_monitoring (List.hd s.S.monitoring) in
+  checki "two complex events" 2 (List.length c.C.cm_disjuncts)
+
+let test_compile_disjunct_weak_rule_per_disjunct () =
+  (* Every disjunct must contain a strong condition — a weak-only
+     disjunct would fire on every fetched page. *)
+  let s =
+    P.parse
+      {|subscription D
+monitoring
+where new self\\product or modified self
+report when immediate|}
+  in
+  match C.compile_monitoring (List.hd s.S.monitoring) with
+  | exception C.Rejected _ -> ()
+  | _ -> Alcotest.fail "weak-only disjunct must be rejected"
+
+let test_compile_too_many_disjuncts () =
+  let s =
+    P.parse
+      {|subscription D
+monitoring
+where deleted self or deleted self\\a or deleted self\\b or deleted self\\c or deleted self\\d
+report when immediate|}
+  in
+  match C.compile_monitoring (List.hd s.S.monitoring) with
+  | exception C.Rejected _ -> ()
+  | _ -> Alcotest.fail "more than max_disjuncts must be rejected"
+
+let test_parse_errors () =
+  let fails input =
+    match P.parse input with
+    | exception P.Error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error on: " ^ input)
+  in
+  fails "monitoring where new self";
+  fails "subscription";
+  fails "subscription S bogus";
+  fails "subscription S monitoring select X where new X";
+  (* X not bound *)
+  fails "subscription S report";
+  fails "subscription S continuous C select x when";
+  fails "subscription S refresh weekly"
+
+(* ------------------------------------------------------------------ *)
+(* Compilation *)
+
+let compile_where where_clause =
+  let s =
+    P.parse (Printf.sprintf "subscription T\nmonitoring\nwhere %s\nreport when immediate" where_clause)
+  in
+  C.compile_monitoring (List.hd s.S.monitoring)
+
+let test_compile_paper_examples () =
+  let c1 = compile_where {|new self and URL extends "http://www.xyleme.com/"|} in
+  checkb "new self + url" true
+    (c1.C.cm_disjuncts
+    = [ List.sort_uniq Atomic.compare
+          [ Atomic.Doc_status Atomic.New; Atomic.Url_extends "http://www.xyleme.com/" ] ]);
+  let c2 =
+    compile_where
+      {|new self\\Product and URL extends "http://www.amazon.com/catalog/"|}
+  in
+  checkb "new product" true
+    (List.mem
+       (Atomic.Element { Atomic.change = Some Atomic.New; tag = "Product"; word = None })
+       (List.concat c2.C.cm_disjuncts));
+  let c3 =
+    compile_where
+      {|updated self\\Product contains "camera" and DTD = "http://www.amazon.com/dtd/catalog.dtd"|}
+  in
+  checkb "updated product contains camera" true
+    (List.mem
+       (Atomic.Element
+          {
+            Atomic.change = Some Atomic.Updated;
+            tag = "Product";
+            word = Some (Atomic.Anywhere, "camera");
+          })
+       (List.concat c3.C.cm_disjuncts))
+
+let test_compile_var_resolution () =
+  let s =
+    P.parse
+      {|subscription V
+monitoring
+select X
+from self//Member X
+where URL = "http://inria.fr/Xy/members.xml" and new X
+report when immediate|}
+  in
+  let c = C.compile_monitoring (List.hd s.S.monitoring) in
+  checkb "var compiled to tag" true
+    (List.mem
+       (Atomic.Element { Atomic.change = Some Atomic.New; tag = "Member"; word = None })
+       (List.concat c.C.cm_disjuncts))
+
+let test_compile_bare_tag_is_has_tag () =
+  let s =
+    P.parse
+      {|subscription V
+monitoring
+where self\\price and URL extends "http://somewhere.org/"
+report when immediate|}
+  in
+  let c = C.compile_monitoring (List.hd s.S.monitoring) in
+  checkb "bare tag" true (List.mem (Atomic.Has_tag "price") (List.concat c.C.cm_disjuncts))
+
+let test_compile_rejects_weak_only () =
+  (match compile_where "new self" with
+  | exception C.Rejected _ -> ()
+  | _ -> Alcotest.fail "weak-only must be rejected");
+  match compile_where "new self and updated self" with
+  | exception C.Rejected _ -> ()
+  | _ -> Alcotest.fail "multiple weak must be rejected"
+
+let test_compile_deleted_self_is_strong () =
+  match compile_where "deleted self" with
+  | c -> checkb "deleted ok" true (c.C.cm_disjuncts = [ [ Atomic.Doc_status Atomic.Deleted ] ])
+  | exception C.Rejected _ -> Alcotest.fail "deleted self is strong"
+
+let test_compile_rejects_stopwords () =
+  match compile_where {|self contains "the"|} with
+  | exception C.Rejected _ -> ()
+  | _ -> Alcotest.fail "stopword must be rejected"
+
+let test_compile_rejects_short_prefix () =
+  match compile_where {|URL extends "http:"|} with
+  | exception C.Rejected _ -> ()
+  | _ -> Alcotest.fail "short prefix must be rejected"
+
+let test_compile_rejects_unbound_var_tag () =
+  (* wildcard-bound variable cannot provide a tag *)
+  let s =
+    P.parse
+      {|subscription V
+monitoring
+select X
+from self//* X
+where URL = "http://x/" and new X
+report when immediate|}
+  in
+  match C.compile_monitoring (List.hd s.S.monitoring) with
+  | exception C.Rejected _ -> ()
+  | _ -> Alcotest.fail "wildcard variable must be rejected"
+
+let test_validate_frequency_floor () =
+  let s =
+    P.parse
+      {|subscription F
+continuous C select x when hourly
+report when immediate|}
+  in
+  let policy = { C.default_policy with C.min_period = 7200. } in
+  (match C.validate ~policy s with
+  | exception C.Rejected _ -> ()
+  | _ -> Alcotest.fail "hourly below floor must be rejected");
+  match C.validate ~policy:{ policy with C.min_period = 60. } s with
+  | _ -> ()
+
+let test_validate_counts () =
+  let many_monitoring =
+    "subscription M\n"
+    ^ String.concat "\n"
+        (List.init 20 (fun i ->
+             Printf.sprintf "monitoring\nwhere URL extends \"http://site%d.example.org/\"" i))
+    ^ "\nreport when immediate"
+  in
+  match C.validate (P.parse many_monitoring) with
+  | exception C.Rejected _ -> ()
+  | _ -> Alcotest.fail "too many monitoring queries must be rejected"
+
+let qcheck_parser_total =
+  (* Fuzz: the subscription parser must be total — parse or S_parser.Error,
+     nothing else. *)
+  QCheck.Test.make ~name:"subscription parser total on token soup" ~count:1000
+    QCheck.(
+      make
+        Gen.(
+          map
+            (fun parts -> "subscription S\n" ^ String.concat " " parts)
+            (list_size (0 -- 25)
+               (oneofl
+                  [ "monitoring"; "continuous"; "report"; "refresh"; "virtual";
+                    "select"; "from"; "where"; "when"; "try"; "and"; "or";
+                    "new"; "self"; "URL"; "extends"; "contains"; "\\\\"; "tag";
+                    "\"str\""; "42"; "weekly"; "immediate"; "count"; ">"; "(";
+                    ")"; "."; "X"; "atmost"; "archive"; "delta"; "<T/>"; "=" ]))))
+    (fun input ->
+      match Xy_sublang.S_parser.parse input with
+      | _ -> true
+      | exception Xy_sublang.S_parser.Error _ -> true)
+
+let test_frequency_seconds () =
+  checkb "biweekly = half a week" true (S.seconds S.Biweekly = 7. *. 86400. /. 2.);
+  checkb "ordering" true
+    (S.seconds S.Hourly < S.seconds S.Daily
+    && S.seconds S.Daily < S.seconds S.Biweekly
+    && S.seconds S.Biweekly < S.seconds S.Weekly
+    && S.seconds S.Weekly < S.seconds S.Monthly)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "sublang"
+    [
+      ( "parser",
+        [
+          tc "paper MyXyleme" test_parse_my_xyleme;
+          tc "paper AmsterdamPaintings" test_parse_amsterdam;
+          tc "paper XylemeCompetitors" test_parse_competitors;
+          tc "virtual subscription" test_parse_virtual;
+          tc "element conditions" test_parse_element_conditions;
+          tc "report variants" test_parse_report_variants;
+          tc "atmost frequency" test_parse_atmost_frequency;
+          tc "date conditions" test_parse_date_conditions;
+          tc "disjunction" test_parse_disjunction;
+          tc "errors" test_parse_errors;
+        ] );
+      ( "compile",
+        [
+          tc "paper where-clause examples" test_compile_paper_examples;
+          tc "variable resolution" test_compile_var_resolution;
+          tc "bare tag" test_compile_bare_tag_is_has_tag;
+          tc "weak-only rejected" test_compile_rejects_weak_only;
+          tc "deleted self is strong" test_compile_deleted_self_is_strong;
+          tc "stopwords rejected" test_compile_rejects_stopwords;
+          tc "short prefix rejected" test_compile_rejects_short_prefix;
+          tc "wildcard variable rejected" test_compile_rejects_unbound_var_tag;
+          tc "frequency floor" test_validate_frequency_floor;
+          tc "section count limits" test_validate_counts;
+          tc "frequency seconds" test_frequency_seconds;
+          tc "disjunction compiles to several events" test_compile_disjunction;
+          tc "weak rule per disjunct" test_compile_disjunct_weak_rule_per_disjunct;
+          tc "too many disjuncts" test_compile_too_many_disjuncts;
+          QCheck_alcotest.to_alcotest qcheck_parser_total;
+        ] );
+    ]

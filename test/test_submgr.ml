@@ -1,0 +1,532 @@
+(* Tests for xy_submgr: WAL persistence/recovery and the subscription
+   manager's lifecycle (register codes, complex events, triggers,
+   reports, virtuals, teardown). *)
+
+module Persist = Xy_submgr.Persist
+module Manager = Xy_submgr.Manager
+module Registry = Xy_events.Registry
+module Mqp = Xy_core.Mqp
+module Event_set = Xy_events.Event_set
+module Atomic = Xy_events.Atomic
+module Trigger = Xy_trigger.Trigger_engine
+module Reporter = Xy_reporter.Reporter
+module Sink = Xy_reporter.Sink
+module Clock = Xy_util.Clock
+module T = Xy_xml.Types
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let temp_path () = Filename.temp_file "xyleme" ".log"
+
+(* ------------------------------------------------------------------ *)
+(* Persist *)
+
+let test_persist_roundtrip () =
+  let path = temp_path () in
+  let log = Persist.open_log path in
+  Persist.append_insert log ~name:"A" ~owner:"alice" ~text:"subscription A\n...";
+  Persist.append_insert log ~name:"B" ~owner:"bob" ~text:"text with\nnewlines % and comments";
+  Persist.append_delete log ~name:"A";
+  Persist.close log;
+  (match Persist.replay path with
+  | [ Persist.Insert { name = "B"; owner = "bob"; text } ] ->
+      checks "text preserved" "text with\nnewlines % and comments" text
+  | _ -> Alcotest.fail "replay");
+  checki "read_all keeps everything" 3 (List.length (Persist.read_all path));
+  Sys.remove path
+
+let test_persist_reinsert_supersedes () =
+  let path = temp_path () in
+  let log = Persist.open_log path in
+  Persist.append_insert log ~name:"A" ~owner:"alice" ~text:"v1";
+  Persist.append_delete log ~name:"A";
+  Persist.append_insert log ~name:"A" ~owner:"alice" ~text:"v2";
+  Persist.close log;
+  (match Persist.replay path with
+  | [ Persist.Insert { name = "A"; text = "v2"; _ } ] -> ()
+  | _ -> Alcotest.fail "latest insert must survive");
+  Sys.remove path
+
+let test_persist_missing_file () =
+  checkb "missing file" true (Persist.replay "/nonexistent/xyleme.log" = [])
+
+let test_persist_torn_tail_ignored () =
+  let path = temp_path () in
+  let log = Persist.open_log path in
+  Persist.append_insert log ~name:"A" ~owner:"alice" ~text:"good";
+  Persist.close log;
+  (* Simulate a torn write: append garbage. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "R I 5 3 10 deadbeef\ntrunc";
+  close_out oc;
+  (match Persist.replay path with
+  | [ Persist.Insert { name = "A"; _ } ] -> ()
+  | _ -> Alcotest.fail "torn tail must be ignored");
+  Sys.remove path
+
+let test_persist_compact () =
+  let path = temp_path () in
+  let log = Persist.open_log path in
+  Persist.append_insert log ~name:"A" ~owner:"a" ~text:"v1";
+  Persist.append_insert log ~name:"B" ~owner:"b" ~text:"keep";
+  Persist.append_delete log ~name:"A";
+  Persist.append_insert log ~name:"A" ~owner:"a" ~text:"v2";
+  Persist.close log;
+  let size_before = (Unix.stat path).Unix.st_size in
+  let dropped = Persist.compact path in
+  checki "dropped superseded records" 2 dropped;
+  checkb "smaller" true ((Unix.stat path).Unix.st_size < size_before);
+  (* Survivors unchanged, order preserved. *)
+  (match Persist.replay path with
+  | [ Persist.Insert { name = "B"; text = "keep"; _ };
+      Persist.Insert { name = "A"; text = "v2"; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "compacted replay");
+  (* Compacting twice is a no-op. *)
+  checki "idempotent" 0 (Persist.compact path);
+  (* The compacted log remains appendable. *)
+  let log = Persist.open_log path in
+  Persist.append_insert log ~name:"C" ~owner:"c" ~text:"new";
+  Persist.close log;
+  checki "three after append" 3 (List.length (Persist.replay path));
+  Sys.remove path
+
+let test_persist_truncation_fuzz () =
+  (* Crash injection: whatever byte the log is cut at, replay must
+     never raise and must recover a prefix of the intact records. *)
+  let path = temp_path () in
+  let log = Persist.open_log path in
+  let full =
+    List.init 10 (fun i ->
+        let name = Printf.sprintf "S%d" i in
+        let text = Printf.sprintf "subscription S%d\n%% body %s" i (String.make i 'x') in
+        Persist.append_insert log ~name ~owner:"o" ~text;
+        Persist.Insert { name; owner = "o"; text })
+  in
+  Persist.close log;
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  let total = String.length content in
+  let is_prefix shorter longer =
+    let rec go = function
+      | [], _ -> true
+      | x :: xs, y :: ys -> x = y && go (xs, ys)
+      | _ :: _, [] -> false
+    in
+    go (shorter, longer)
+  in
+  let prng = Xy_util.Prng.create ~seed:55 in
+  for _ = 1 to 100 do
+    let cut = Xy_util.Prng.int prng (total + 1) in
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (String.sub content 0 cut));
+    let recovered = Persist.read_all path in
+    checkb "prefix of intact records" true (is_prefix recovered full)
+  done;
+  Sys.remove path
+
+let test_persist_corrupted_record_stops_replay () =
+  let path = temp_path () in
+  let log = Persist.open_log path in
+  Persist.append_insert log ~name:"A" ~owner:"o" ~text:"first";
+  Persist.append_insert log ~name:"B" ~owner:"o" ~text:"second";
+  Persist.close log;
+  (* Flip a byte inside the second record's payload. *)
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  let index = String.rindex content 's' in
+  let corrupted = Bytes.of_string content in
+  Bytes.set corrupted index 'X';
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc corrupted);
+  (match Persist.replay path with
+  | [ Persist.Insert { name = "A"; _ } ] -> ()
+  | records ->
+      Alcotest.failf "expected only the intact record, got %d" (List.length records));
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Manager *)
+
+type env = {
+  clock : Clock.t;
+  registry : Registry.t;
+  mqp : Mqp.t;
+  trigger : Trigger.t;
+  reporter : Reporter.t;
+  deliveries : Sink.delivery list ref;
+  manager : Manager.t;
+  mutable queries_run : int;
+}
+
+let make_env ?persist () =
+  let clock = Clock.create () in
+  let registry = Registry.create () in
+  let mqp = Mqp.create () in
+  let trigger = Trigger.create ~clock in
+  let sink, deliveries = Sink.memory () in
+  let reporter = Reporter.create ~clock ~sink in
+  let env_ref = ref None in
+  let run_query _q =
+    (match !env_ref with Some e -> e.queries_run <- e.queries_run + 1 | None -> ());
+    [ T.el "site" ~attrs:[ ("url", "http://www.yahoo.com") ] [] ]
+  in
+  let manager =
+    Manager.create ?persist ~clock ~registry ~mqp ~trigger ~reporter ~run_query ()
+  in
+  let env =
+    { clock; registry; mqp; trigger; reporter; deliveries; manager; queries_run = 0 }
+  in
+  env_ref := Some env;
+  env
+
+let simple_subscription =
+  {|subscription Simple
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://inria.fr/Xy/" and modified self
+report when immediate|}
+
+let test_subscribe_registers_events () =
+  let env = make_env () in
+  (match Manager.subscribe env.manager ~owner:"alice" ~text:simple_subscription with
+  | Ok name -> checks "name" "Simple" name
+  | Error e -> Alcotest.fail (Manager.error_to_string e));
+  checki "two atomic events" 2 (Registry.cardinal env.registry);
+  checki "one complex event" 1 (Mqp.complex_count env.mqp);
+  checki "one subscription" 1 (Manager.subscription_count env.manager)
+
+let test_subscribe_duplicate () =
+  let env = make_env () in
+  ignore (Manager.subscribe env.manager ~owner:"a" ~text:simple_subscription);
+  match Manager.subscribe env.manager ~owner:"b" ~text:simple_subscription with
+  | Error (Manager.Duplicate "Simple") -> ()
+  | _ -> Alcotest.fail "expected Duplicate"
+
+let test_subscribe_parse_error () =
+  let env = make_env () in
+  match Manager.subscribe env.manager ~owner:"a" ~text:"not a subscription" with
+  | Error (Manager.Parse_error _) -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_subscribe_policy_rejection () =
+  let env = make_env () in
+  match
+    Manager.subscribe env.manager ~owner:"a"
+      ~text:
+        {|subscription W
+monitoring
+where new self
+report when immediate|}
+  with
+  | Error (Manager.Rejected _) -> ()
+  | _ -> Alcotest.fail "expected Rejected (weak-only)"
+
+(* Drive an alert through the processor and check the report. *)
+let fire_alert env ~url ~events ~payload =
+  ignore (Mqp.process env.mqp { Mqp.url; events; payload })
+
+let test_notification_to_report () =
+  let env = make_env () in
+  ignore (Manager.subscribe env.manager ~owner:"alice" ~text:simple_subscription);
+  (* Find the codes the manager registered. *)
+  let codes = ref [] in
+  Registry.iter (fun code _ -> codes := code :: !codes) env.registry;
+  let events = Event_set.of_list !codes in
+  fire_alert env ~url:"http://inria.fr/Xy/index.html" ~events
+    ~payload:{|<doc url="http://inria.fr/Xy/index.html" status="updated"/>|};
+  match !(env.deliveries) with
+  | [ d ] -> (
+      checks "recipient is owner" "alice" d.Sink.recipient;
+      checks "subscription" "Simple" d.Sink.subscription;
+      match T.children_elements d.Sink.report with
+      | [ page ] ->
+          checks "select materialized" "UpdatedPage" page.T.tag;
+          Alcotest.(check (option string)) "url attribute"
+            (Some "http://inria.fr/Xy/index.html")
+            (T.attr page "url")
+      | _ -> Alcotest.fail "report body")
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_select_variable_materialization () =
+  let env = make_env () in
+  let text =
+    {|subscription Members
+monitoring
+select X
+from self//Member X
+where URL = "http://inria.fr/Xy/members.xml" and new X
+report when immediate|}
+  in
+  (match Manager.subscribe env.manager ~owner:"a" ~text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Manager.error_to_string e));
+  let codes = ref [] in
+  Registry.iter (fun code _ -> codes := code :: !codes) env.registry;
+  (* Identify the element-condition code to attach payload data. *)
+  let member_code =
+    List.find
+      (fun code ->
+        match Registry.condition env.registry code with
+        | Some (Atomic.Element _) -> true
+        | _ -> false)
+      !codes
+  in
+  let payload =
+    Printf.sprintf
+      {|<doc url="u" status="updated"><matched code="%d"><Member><name>nguyen</name></Member></matched></doc>|}
+      member_code
+  in
+  fire_alert env ~url:"http://inria.fr/Xy/members.xml"
+    ~events:(Event_set.of_list !codes) ~payload;
+  match !(env.deliveries) with
+  | [ d ] -> (
+      match T.children_elements d.Sink.report with
+      | [ member ] ->
+          checks "member element" "Member" member.T.tag;
+          checkb "content" true
+            (Xy_query.Eval.word_contains ~word:"nguyen" (T.text_content member))
+      | _ -> Alcotest.fail "expected the matched Member")
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_continuous_periodic () =
+  let env = make_env () in
+  let text =
+    {|subscription Ref
+continuous ReferenceXyleme
+select //site
+try biweekly
+report when immediate|}
+  in
+  (match Manager.subscribe env.manager ~owner:"a" ~text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Manager.error_to_string e));
+  Clock.advance env.clock (7. *. 86400.);
+  Trigger.tick env.trigger;
+  checki "ran twice in a week (biweekly)" 2 env.queries_run;
+  checki "two reports" 2 (List.length !(env.deliveries));
+  match !(env.deliveries) with
+  | d :: _ -> (
+      match T.children_elements d.Sink.report with
+      | [ wrapper ] ->
+          checks "wrapped in query name" "ReferenceXyleme" wrapper.T.tag
+      | _ -> Alcotest.fail "wrapper")
+  | [] -> Alcotest.fail "no delivery"
+
+let test_continuous_on_notification () =
+  let env = make_env () in
+  let text =
+    {|subscription XylemeCompetitors
+monitoring
+select <ChangeInMyProducts/>
+where URL = "http://www.xyleme.com/products.xml" and modified self
+continuous MyCompetitors
+select //site
+when XylemeCompetitors.ChangeInMyProducts
+report when immediate|}
+  in
+  (match Manager.subscribe env.manager ~owner:"a" ~text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Manager.error_to_string e));
+  checki "not run yet" 0 env.queries_run;
+  let codes = ref [] in
+  Registry.iter (fun code _ -> codes := code :: !codes) env.registry;
+  fire_alert env ~url:"http://www.xyleme.com/products.xml"
+    ~events:(Event_set.of_list !codes)
+    ~payload:{|<doc url="http://www.xyleme.com/products.xml" status="updated"/>|};
+  checki "query triggered by notification" 1 env.queries_run
+
+let test_unsubscribe_teardown () =
+  let env = make_env () in
+  ignore (Manager.subscribe env.manager ~owner:"a" ~text:simple_subscription);
+  (match Manager.unsubscribe env.manager ~name:"Simple" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Manager.error_to_string e));
+  checki "codes released" 0 (Registry.cardinal env.registry);
+  checki "complex events removed" 0 (Mqp.complex_count env.mqp);
+  checki "subscription gone" 0 (Manager.subscription_count env.manager);
+  match Manager.unsubscribe env.manager ~name:"Simple" with
+  | Error (Manager.Unknown _) -> ()
+  | _ -> Alcotest.fail "expected Unknown"
+
+let test_shared_conditions_survive_other_unsubscribe () =
+  let env = make_env () in
+  let sub name =
+    Printf.sprintf
+      {|subscription %s
+monitoring
+where URL extends "http://inria.fr/Xy/" and modified self
+report when immediate|}
+      name
+  in
+  ignore (Manager.subscribe env.manager ~owner:"a" ~text:(sub "S1"));
+  ignore (Manager.subscribe env.manager ~owner:"b" ~text:(sub "S2"));
+  checki "conditions shared" 2 (Registry.cardinal env.registry);
+  ignore (Manager.unsubscribe env.manager ~name:"S1");
+  checki "still referenced by S2" 2 (Registry.cardinal env.registry);
+  ignore (Manager.unsubscribe env.manager ~name:"S2");
+  checki "released" 0 (Registry.cardinal env.registry)
+
+let test_virtual_subscription () =
+  let env = make_env () in
+  ignore (Manager.subscribe env.manager ~owner:"alice" ~text:simple_subscription);
+  (match
+     Manager.subscribe env.manager ~owner:"bob"
+       ~text:{|subscription MyVirtual
+virtual Simple.UpdatedPage|}
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Manager.error_to_string e));
+  let codes = ref [] in
+  Registry.iter (fun code _ -> codes := code :: !codes) env.registry;
+  fire_alert env ~url:"http://inria.fr/Xy/x" ~events:(Event_set.of_list !codes)
+    ~payload:{|<doc url="u" status="updated"/>|};
+  let recipients = List.map (fun d -> d.Sink.recipient) !(env.deliveries) in
+  checkb "both got the report" true
+    (List.mem "alice" recipients && List.mem "bob" recipients)
+
+let test_virtual_requires_target () =
+  let env = make_env () in
+  match
+    Manager.subscribe env.manager ~owner:"bob"
+      ~text:{|subscription V
+virtual Nothing.X|}
+  with
+  | Error (Manager.Unknown "Nothing") -> ()
+  | _ -> Alcotest.fail "expected Unknown target"
+
+let test_refresh_statements () =
+  let env = make_env () in
+  ignore
+    (Manager.subscribe env.manager ~owner:"a"
+       ~text:
+         {|subscription R
+monitoring
+where URL extends "http://inria.fr/Xy/"
+refresh "http://inria.fr/Xy/members.xml" weekly
+report when immediate|});
+  match Manager.refresh_statements env.manager with
+  | [ (url, period) ] ->
+      checks "url" "http://inria.fr/Xy/members.xml" url;
+      checkb "weekly" true (period = 7. *. 86400.)
+  | _ -> Alcotest.fail "refresh statements"
+
+let test_update_subscription () =
+  let env = make_env () in
+  ignore (Manager.subscribe env.manager ~owner:"alice" ~text:simple_subscription);
+  checki "two conditions" 2 (Registry.cardinal env.registry);
+  (* Replace with a different where clause. *)
+  let new_text =
+    {|subscription Simple
+monitoring
+where URL extends "http://other.example.org/" and new self
+report when immediate|}
+  in
+  (match Manager.update env.manager ~name:"Simple" ~owner:"alice" ~text:new_text with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Manager.error_to_string e));
+  checki "still one subscription" 1 (Manager.subscription_count env.manager);
+  checki "old conditions released, new registered" 2 (Registry.cardinal env.registry);
+  checkb "new condition present" true
+    (Registry.find env.registry (Atomic.Url_extends "http://other.example.org/")
+    <> None);
+  checkb "old condition gone" true
+    (Registry.find env.registry (Atomic.Url_extends "http://inria.fr/Xy/") = None)
+
+let test_update_rejects_bad_replacement () =
+  let env = make_env () in
+  ignore (Manager.subscribe env.manager ~owner:"alice" ~text:simple_subscription);
+  (* Invalid replacement: the old subscription must survive. *)
+  (match
+     Manager.update env.manager ~name:"Simple" ~owner:"alice"
+       ~text:"subscription Simple\nmonitoring\nwhere new self\nreport when immediate"
+   with
+  | Error (Manager.Rejected _) -> ()
+  | _ -> Alcotest.fail "weak-only replacement must be rejected");
+  checki "old still installed" 1 (Manager.subscription_count env.manager);
+  checkb "old condition intact" true
+    (Registry.find env.registry (Atomic.Url_extends "http://inria.fr/Xy/") <> None);
+  (* Wrong name in the replacement text. *)
+  (match
+     Manager.update env.manager ~name:"Simple" ~owner:"alice"
+       ~text:
+         "subscription Other\nmonitoring\nwhere deleted self\nreport when immediate"
+   with
+  | Error (Manager.Parse_error _) -> ()
+  | _ -> Alcotest.fail "name mismatch must be rejected");
+  (* Unknown subscription. *)
+  match
+    Manager.update env.manager ~name:"Nope" ~owner:"a" ~text:simple_subscription
+  with
+  | Error (Manager.Unknown _) -> ()
+  | _ -> Alcotest.fail "unknown must be rejected"
+
+let test_recovery () =
+  let path = temp_path () in
+  let log = Persist.open_log path in
+  let env = make_env ~persist:log () in
+  ignore (Manager.subscribe env.manager ~owner:"alice" ~text:simple_subscription);
+  ignore
+    (Manager.subscribe env.manager ~owner:"bob"
+       ~text:
+         {|subscription Second
+monitoring
+where URL extends "http://other.example.org/"
+report when immediate|});
+  ignore (Manager.unsubscribe env.manager ~name:"Second");
+  Persist.close log;
+  (* Fresh system, replay. *)
+  let env2 = make_env () in
+  let restored = Manager.recover env2.manager path in
+  checki "one restored" 1 restored;
+  checkb "Simple back" true
+    (Manager.subscription_names env2.manager = [ "Simple" ]);
+  checki "complex events restored" 1 (Mqp.complex_count env2.mqp);
+  (* The restored subscription is functional. *)
+  let codes = ref [] in
+  Registry.iter (fun code _ -> codes := code :: !codes) env2.registry;
+  fire_alert env2 ~url:"http://inria.fr/Xy/i" ~events:(Event_set.of_list !codes)
+    ~payload:{|<doc url="u" status="updated"/>|};
+  checki "report delivered after recovery" 1 (List.length !(env2.deliveries));
+  Sys.remove path
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "submgr"
+    [
+      ( "persist",
+        [
+          tc "roundtrip" test_persist_roundtrip;
+          tc "reinsert supersedes" test_persist_reinsert_supersedes;
+          tc "missing file" test_persist_missing_file;
+          tc "torn tail" test_persist_torn_tail_ignored;
+          tc "compact" test_persist_compact;
+          tc "truncation fuzz" test_persist_truncation_fuzz;
+          tc "corrupted record" test_persist_corrupted_record_stops_replay;
+        ] );
+      ( "lifecycle",
+        [
+          tc "subscribe registers events" test_subscribe_registers_events;
+          tc "duplicate rejected" test_subscribe_duplicate;
+          tc "parse error" test_subscribe_parse_error;
+          tc "policy rejection" test_subscribe_policy_rejection;
+          tc "unsubscribe teardown" test_unsubscribe_teardown;
+          tc "shared conditions refcounted" test_shared_conditions_survive_other_unsubscribe;
+          tc "update" test_update_subscription;
+          tc "update rejects bad replacement" test_update_rejects_bad_replacement;
+        ] );
+      ( "dispatch",
+        [
+          tc "notification to report" test_notification_to_report;
+          tc "select variable materialization" test_select_variable_materialization;
+          tc "continuous periodic" test_continuous_periodic;
+          tc "continuous on notification" test_continuous_on_notification;
+        ] );
+      ( "virtual",
+        [
+          tc "shared reports" test_virtual_subscription;
+          tc "target must exist" test_virtual_requires_target;
+        ] );
+      ("refresh", [ tc "statements" test_refresh_statements ]);
+      ("recovery", [ tc "replay" test_recovery ]);
+    ]

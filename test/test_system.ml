@@ -1,0 +1,605 @@
+(* End-to-end tests for xy_system: the paper's example subscriptions
+   running against a controlled synthetic web, producing the report
+   shapes §2.2 shows. *)
+
+module Xyleme = Xy_system.Xyleme
+module Web = Xy_crawler.Synthetic_web
+module Sink = Xy_reporter.Sink
+module Loader = Xy_warehouse.Loader
+module Clock = Xy_util.Clock
+module T = Xy_xml.Types
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let make ?web () =
+  let sink, deliveries = Sink.memory () in
+  let t = Xyleme.create ~seed:42 ~sink ?web () in
+  (t, deliveries)
+
+let subscribe_exn t ~owner ~text =
+  match Xyleme.subscribe t ~owner ~text with
+  | Ok name -> name
+  | Error e -> Alcotest.fail (Xy_submgr.Manager.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+
+let test_ingest_updated_page_report () =
+  let t, deliveries = make () in
+  ignore
+    (subscribe_exn t ~owner:"alice"
+       ~text:
+         {|subscription MyXyleme
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://inria.fr/Xy/" and modified self
+report when immediate|});
+  (* First fetch: status new — the monitoring query wants modified. *)
+  let o1 =
+    Xyleme.ingest t ~url:"http://inria.fr/Xy/index.html" ~content:"<page>v1</page>"
+      ~kind:Loader.Xml
+  in
+  checkb "first fetch raises url event but no match" true (o1.Xyleme.matched = []);
+  checki "no report yet" 0 (List.length !deliveries);
+  (* Second fetch with a change: modified self fires. *)
+  let o2 =
+    Xyleme.ingest t ~url:"http://inria.fr/Xy/index.html" ~content:"<page>v2</page>"
+      ~kind:Loader.Xml
+  in
+  checkb "matched" true (o2.Xyleme.matched <> []);
+  match !deliveries with
+  | [ d ] -> (
+      checks "report" "Report" d.Sink.report.T.tag;
+      match T.children_elements d.Sink.report with
+      | [ page ] ->
+          checks "UpdatedPage" "UpdatedPage" page.T.tag;
+          Alcotest.(check (option string)) "url"
+            (Some "http://inria.fr/Xy/index.html")
+            (T.attr page "url")
+      | _ -> Alcotest.fail "body")
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_new_member_element_report () =
+  let t, deliveries = make () in
+  ignore
+    (subscribe_exn t ~owner:"alice"
+       ~text:
+         {|subscription Members
+monitoring
+select X
+from self//Member X
+where URL = "http://inria.fr/Xy/members.xml" and new X
+report when immediate|});
+  let url = "http://inria.fr/Xy/members.xml" in
+  ignore
+    (Xyleme.ingest t ~url
+       ~content:"<team><Member><name>jouglet</name></Member></team>"
+       ~kind:Loader.Xml);
+  checki "initial load: no new-element event" 0 (List.length !deliveries);
+  ignore
+    (Xyleme.ingest t ~url
+       ~content:
+         "<team><Member><name>jouglet</name></Member><Member><name>nguyen</name></Member></team>"
+       ~kind:Loader.Xml);
+  match !deliveries with
+  | [ d ] -> (
+      match T.children_elements d.Sink.report with
+      | [ member ] ->
+          checks "member" "Member" member.T.tag;
+          checkb "the new one" true
+            (Xy_query.Eval.word_contains ~word:"nguyen" (T.text_content member))
+      | _ -> Alcotest.fail "expected exactly the new member")
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_catalog_watch_with_word () =
+  let t, deliveries = make () in
+  ignore
+    (subscribe_exn t ~owner:"shopper"
+       ~text:
+         {|subscription Cameras
+monitoring
+where new self\\product contains "camera"
+  and URL extends "http://shop.example.org/catalog/"
+report when immediate|});
+  let url = "http://shop.example.org/catalog/cat.xml" in
+  ignore
+    (Xyleme.ingest t ~url
+       ~content:"<catalog><product><desc>a tv</desc></product></catalog>"
+       ~kind:Loader.Xml);
+  ignore
+    (Xyleme.ingest t ~url
+       ~content:
+         "<catalog><product><desc>a tv</desc></product><product><desc>a camera</desc></product></catalog>"
+       ~kind:Loader.Xml);
+  checki "camera product reported" 1 (List.length !deliveries);
+  ignore
+    (Xyleme.ingest t ~url
+       ~content:
+         "<catalog><product><desc>a tv</desc></product><product><desc>a camera</desc></product><product><desc>a radio</desc></product></catalog>"
+       ~kind:Loader.Xml);
+  checki "radio product not reported" 1 (List.length !deliveries)
+
+let test_continuous_query_over_warehouse () =
+  let t, deliveries = make () in
+  (* Warehouse the museum page first. *)
+  ignore
+    (Xyleme.ingest t ~url:"http://museums.example.org/ams.xml"
+       ~content:
+         {|<culture><museum><address>Amsterdam</address><painting><title>Nightwatch</title></painting></museum></culture>|}
+       ~kind:Loader.Xml);
+  ignore
+    (subscribe_exn t ~owner:"curator"
+       ~text:
+         {|subscription Museums
+continuous AmsterdamPaintings
+select p/title
+from culture/museum m, m/painting p
+where m/address contains "Amsterdam"
+try weekly
+report when immediate|});
+  Xyleme.advance t ~seconds:(7. *. 86400. +. 1.);
+  match !deliveries with
+  | d :: _ -> (
+      match T.children_elements d.Sink.report with
+      | [ wrapper ] ->
+          checks "wrapper" "AmsterdamPaintings" wrapper.T.tag;
+          (match T.children_elements wrapper with
+          | [ title ] -> checks "title" "Nightwatch" (T.text_content title)
+          | _ -> Alcotest.fail "titles")
+      | _ -> Alcotest.fail "report body")
+  | [] -> Alcotest.fail "expected a delivery"
+
+let test_continuous_delta () =
+  let t, deliveries = make () in
+  let url = "http://museums.example.org/ams.xml" in
+  let content titles =
+    Printf.sprintf
+      "<culture><museum><address>Amsterdam</address>%s</museum></culture>"
+      (String.concat ""
+         (List.map
+            (fun t -> Printf.sprintf "<painting><title>%s</title></painting>" t)
+            titles))
+  in
+  ignore (Xyleme.ingest t ~url ~content:(content [ "A" ]) ~kind:Loader.Xml);
+  ignore
+    (subscribe_exn t ~owner:"curator"
+       ~text:
+         {|subscription Museums
+continuous delta AmsterdamPaintings
+select p/title
+from culture/museum m, m/painting p
+where m/address contains "Amsterdam"
+try weekly
+report when immediate|});
+  (* First evaluation: full answer. *)
+  Xyleme.advance t ~seconds:(7. *. 86400. +. 1.);
+  checki "first report" 1 (List.length !deliveries);
+  (* No change: no notification at all. *)
+  Xyleme.advance t ~seconds:(7. *. 86400.);
+  checki "unchanged: no report" 1 (List.length !deliveries);
+  (* Add a painting: delta document. *)
+  ignore (Xyleme.ingest t ~url ~content:(content [ "A"; "B" ]) ~kind:Loader.Xml);
+  Xyleme.advance t ~seconds:(7. *. 86400.);
+  (match !deliveries with
+  | d :: _ -> (
+      match T.children_elements d.Sink.report with
+      | [ delta ] ->
+          checks "delta doc" "AmsterdamPaintings-delta" delta.T.tag;
+          checkb "has inserted op" true
+            (List.exists
+               (fun e -> e.T.tag = "inserted")
+               (T.children_elements delta))
+      | _ -> Alcotest.fail "delta body")
+  | [] -> Alcotest.fail "expected a delta report");
+  (* first full answer + one delta; the unchanged week produced nothing *)
+  checki "two deliveries total" 2 (List.length !deliveries)
+
+let test_notification_triggered_continuous () =
+  let t, deliveries = make () in
+  ignore
+    (Xyleme.ingest t ~url:"http://www.xyleme.com/competitors.xml"
+       ~content:"<competitors><site url=\"http://niagara.example\"/></competitors>"
+       ~kind:Loader.Xml);
+  ignore
+    (subscribe_exn t ~owner:"ceo"
+       ~text:
+         {|subscription XylemeCompetitors
+monitoring
+select <ChangeInMyProducts/>
+where URL = "http://www.xyleme.com/products.xml" and modified self
+continuous MyCompetitors
+select //site
+when XylemeCompetitors.ChangeInMyProducts
+report when immediate|});
+  ignore
+    (Xyleme.ingest t ~url:"http://www.xyleme.com/products.xml"
+       ~content:"<products><p>one</p></products>" ~kind:Loader.Xml);
+  checki "initial load: nothing" 0 (List.length !deliveries);
+  ignore
+    (Xyleme.ingest t ~url:"http://www.xyleme.com/products.xml"
+       ~content:"<products><p>two</p></products>" ~kind:Loader.Xml);
+  (* modified self fires -> ChangeInMyProducts notification (report 1)
+     -> triggers MyCompetitors evaluation (report 2, immediate) *)
+  checki "monitoring + continuous reports" 2 (List.length !deliveries);
+  let tags =
+    List.concat_map
+      (fun d -> List.map (fun e -> e.T.tag) (T.children_elements d.Sink.report))
+      !deliveries
+  in
+  checkb "has ChangeInMyProducts" true (List.mem "ChangeInMyProducts" tags);
+  checkb "has MyCompetitors" true (List.mem "MyCompetitors" tags)
+
+let test_disjunctive_monitoring () =
+  (* A monitoring query with two disjuncts: matching either fires one
+     notification; matching both in the same document still fires only
+     one (batch deduplication). *)
+  let t, deliveries = make () in
+  ignore
+    (subscribe_exn t ~owner:"alice"
+       ~text:
+         {|subscription Either
+monitoring
+select <CatalogChange url=URL/>
+where new self\\product and URL extends "http://shop.example.org/"
+   or deleted self\\product and URL extends "http://shop.example.org/"
+report when immediate|});
+  let url = "http://shop.example.org/cat.xml" in
+  ignore
+    (Xyleme.ingest t ~url ~content:"<c><product>a</product></c>" ~kind:Loader.Xml);
+  checki "initial load: nothing" 0 (List.length !deliveries);
+  (* Insertion only -> first disjunct. *)
+  ignore
+    (Xyleme.ingest t ~url
+       ~content:"<c><product>a</product><product>b</product></c>" ~kind:Loader.Xml);
+  checki "insert fires" 1 (List.length !deliveries);
+  (* Deletion only -> second disjunct. *)
+  ignore
+    (Xyleme.ingest t ~url ~content:"<c><product>b</product></c>" ~kind:Loader.Xml);
+  checki "delete fires" 2 (List.length !deliveries);
+  (* Insert AND delete in one fetch (under different parents so the
+     diff cannot pair them): both disjuncts match, but the monitoring
+     query notifies once. *)
+  ignore
+    (Xyleme.ingest t ~url
+       ~content:"<c><old><product>b</product></old><new/></c>" ~kind:Loader.Xml);
+  ignore !deliveries;
+  let before = List.length !deliveries in
+  ignore
+    (Xyleme.ingest t ~url
+       ~content:"<c><old/><new><product>n</product></new></c>" ~kind:Loader.Xml);
+  checki "both disjuncts, single notification" (before + 1)
+    (List.length !deliveries);
+  match !deliveries with
+  | d :: _ ->
+      checki "one notification in the report" 1
+        (List.length (T.children_elements d.Sink.report))
+  | [] -> Alcotest.fail "delivery"
+
+let test_deleted_page_event () =
+  let t, deliveries = make () in
+  ignore
+    (subscribe_exn t ~owner:"alice"
+       ~text:
+         {|subscription Deletions
+monitoring
+where deleted self and URL extends "http://inria.fr/Xy/"
+report when immediate|});
+  ignore
+    (Xyleme.ingest t ~url:"http://inria.fr/Xy/tmp.xml" ~content:"<d/>"
+       ~kind:Loader.Xml);
+  checki "nothing yet" 0 (List.length !deliveries);
+  Xyleme.ingest_missing t ~url:"http://inria.fr/Xy/tmp.xml";
+  checki "deletion reported" 1 (List.length !deliveries)
+
+let test_batch_report_count () =
+  let t, deliveries = make () in
+  ignore
+    (subscribe_exn t ~owner:"alice"
+       ~text:
+         {|subscription Batched
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://inria.fr/Xy/" and modified self
+report when count > 2|});
+  let url i = Printf.sprintf "http://inria.fr/Xy/p%d.xml" i in
+  for i = 1 to 3 do
+    ignore (Xyleme.ingest t ~url:(url i) ~content:"<p>v1</p>" ~kind:Loader.Xml)
+  done;
+  for i = 1 to 2 do
+    ignore (Xyleme.ingest t ~url:(url i) ~content:"<p>v2</p>" ~kind:Loader.Xml)
+  done;
+  checki "no report at 2 (strict >)" 0 (List.length !deliveries);
+  ignore (Xyleme.ingest t ~url:(url 3) ~content:"<p>v2</p>" ~kind:Loader.Xml);
+  checki "report at 3" 1 (List.length !deliveries);
+  match !deliveries with
+  | [ d ] ->
+      checki "all three notifications" 3
+        (List.length (T.children_elements d.Sink.report))
+  | _ -> Alcotest.fail "delivery"
+
+let test_crawl_loop_end_to_end () =
+  (* Run the full pipeline on the synthetic web for a simulated week:
+     things must flow without errors and changes must be reported. *)
+  let web = Web.generate ~seed:3 ~sites:4 ~pages_per_site:5 () in
+  let t, deliveries = make ~web () in
+  (* Pick a catalog page and watch its products. *)
+  let catalog_url =
+    List.find
+      (fun url -> Web.kind_of web ~url = Some Web.Xml_page)
+      (Web.urls web)
+  in
+  ignore
+    (subscribe_exn t ~owner:"watcher"
+       ~text:
+         (Printf.sprintf
+            {|subscription Watch
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "%s" and modified self
+report when immediate
+refresh "%s" daily|}
+            (String.sub catalog_url 0 24)
+            catalog_url));
+  Xyleme.run t ~days:7. ~step:(6. *. 3600.) ~fetch_limit:100;
+  let stats = Xyleme.stats t in
+  checkb "documents fetched" true (stats.Xyleme.documents_fetched > 0);
+  checkb "documents stored" true (stats.Xyleme.documents_stored > 0);
+  (* The watched page is mutated by evolve sooner or later; with seed 3
+     over a week it changes. *)
+  checkb "reports delivered" true (List.length !deliveries > 0)
+
+let test_unsubscribe_stops_reports () =
+  let t, deliveries = make () in
+  let name =
+    subscribe_exn t ~owner:"alice"
+      ~text:
+        {|subscription Stop
+monitoring
+where modified self and URL extends "http://inria.fr/Xy/"
+report when immediate|}
+  in
+  let url = "http://inria.fr/Xy/x.xml" in
+  ignore (Xyleme.ingest t ~url ~content:"<a>1</a>" ~kind:Loader.Xml);
+  ignore (Xyleme.ingest t ~url ~content:"<a>2</a>" ~kind:Loader.Xml);
+  checki "one report" 1 (List.length !deliveries);
+  (match Xyleme.unsubscribe t ~name with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Xy_submgr.Manager.error_to_string e));
+  ignore (Xyleme.ingest t ~url ~content:"<a>3</a>" ~kind:Loader.Xml);
+  checki "no more reports" 1 (List.length !deliveries);
+  checki "registry emptied" 0 (Xy_events.Registry.cardinal (Xyleme.registry t))
+
+let test_update_subscription_system () =
+  let t, deliveries = make () in
+  ignore
+    (subscribe_exn t ~owner:"alice"
+       ~text:
+         {|subscription Watch
+monitoring
+where modified self and URL extends "http://one.example.org/"
+report when immediate|});
+  (match
+     Xyleme.update t ~name:"Watch" ~owner:"alice"
+       ~text:
+         {|subscription Watch
+monitoring
+where modified self and URL extends "http://two.example.org/"
+report when immediate|}
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Xy_submgr.Manager.error_to_string e));
+  (* Old pattern no longer fires; new one does. *)
+  let fetch url v =
+    ignore
+      (Xyleme.ingest t ~url
+         ~content:(Printf.sprintf "<p>%d</p>" v)
+         ~kind:Loader.Xml)
+  in
+  fetch "http://one.example.org/a.xml" 1;
+  fetch "http://one.example.org/a.xml" 2;
+  checki "old pattern silent" 0 (List.length !deliveries);
+  fetch "http://two.example.org/b.xml" 1;
+  fetch "http://two.example.org/b.xml" 2;
+  checki "new pattern fires" 1 (List.length !deliveries)
+
+let test_warehouse_view_shape () =
+  let t, _ = make () in
+  ignore
+    (Xyleme.ingest t ~url:"http://m/ams.xml"
+       ~content:"<culture><museum><address>Amsterdam</address></museum></culture>"
+       ~kind:Loader.Xml);
+  ignore
+    (Xyleme.ingest t ~url:"http://s/cat.xml"
+       ~content:"<catalog><product/></catalog>" ~kind:Loader.Xml);
+  let view = Xyleme.warehouse_view t in
+  checks "root" "warehouse" view.T.tag;
+  let domains = List.map (fun e -> e.T.tag) (T.children_elements view) in
+  checkb "culture domain" true (List.mem "culture" domains);
+  checkb "commerce domain" true (List.mem "commerce" domains);
+  (* culture/museum resolves (root tag spliced) *)
+  let path = Xy_xml.Path.parse "culture/museum" in
+  checki "culture/museum" 1 (List.length (Xy_xml.Path.select path view))
+
+let test_persistence_roundtrip () =
+  let path = Filename.temp_file "xyleme_system" ".log" in
+  Sys.remove path;
+  let sink, _ = Sink.memory () in
+  let t = Xyleme.create ~seed:1 ~sink ~persist_path:path () in
+  ignore
+    (subscribe_exn t ~owner:"alice"
+       ~text:
+         {|subscription Persisted
+monitoring
+where modified self and URL extends "http://inria.fr/Xy/"
+report when immediate|});
+  (* New system recovers from the log. *)
+  let sink2, deliveries2 = Sink.memory () in
+  let t2 = Xyleme.create ~seed:1 ~sink:sink2 () in
+  checki "recovered" 1 (Xyleme.recover t2 path);
+  let url = "http://inria.fr/Xy/p.xml" in
+  ignore (Xyleme.ingest t2 ~url ~content:"<a>1</a>" ~kind:Loader.Xml);
+  ignore (Xyleme.ingest t2 ~url ~content:"<a>2</a>" ~kind:Loader.Xml);
+  checki "functional after recovery" 1 (List.length !deliveries2);
+  Sys.remove path
+
+let test_stats_consistency () =
+  let t, _ = make () in
+  ignore
+    (subscribe_exn t ~owner:"a"
+       ~text:
+         {|subscription S
+monitoring
+where modified self and URL extends "http://inria.fr/Xy/"
+report when immediate|});
+  let url = "http://inria.fr/Xy/x.xml" in
+  ignore (Xyleme.ingest t ~url ~content:"<a>1</a>" ~kind:Loader.Xml);
+  ignore (Xyleme.ingest t ~url ~content:"<a>2</a>" ~kind:Loader.Xml);
+  let stats = Xyleme.stats t in
+  checki "stored" 1 stats.Xyleme.documents_stored;
+  checki "complex events" 1 stats.Xyleme.complex_events;
+  checki "atomic events" 2 stats.Xyleme.atomic_events;
+  checkb "alerts sent" true (stats.Xyleme.alerts_sent >= 1);
+  checki "notifications" 1 stats.Xyleme.notifications;
+  checki "reports" 1 stats.Xyleme.reports
+
+(* ------------------------------------------------------------------ *)
+(* Bus and the distributed pipeline *)
+
+module Bus = Xy_system.Bus
+module Distributed = Xy_system.Distributed
+module Mqp = Xy_core.Mqp
+module Workload = Xy_core.Workload
+
+let test_bus_fifo () =
+  let bus = Bus.create () in
+  List.iter (Bus.push bus) [ 1; 2; 3 ];
+  checki "length" 3 (Bus.length bus);
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ]
+    (List.filter_map (fun () -> Bus.pop bus) [ (); (); () ]);
+  Bus.close bus;
+  checkb "drained then none" true (Bus.pop bus = None)
+
+let test_bus_close_semantics () =
+  let bus = Bus.create () in
+  Bus.push bus "x";
+  Bus.close bus;
+  Bus.close bus;
+  (* idempotent *)
+  checkb "drain after close" true (Bus.pop bus = Some "x");
+  checkb "then end of stream" true (Bus.pop bus = None);
+  match Bus.push bus "y" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "push after close must fail"
+
+let test_bus_cross_domain () =
+  let bus = Bus.create ~capacity:8 () in
+  let n = 1000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Bus.push bus i
+        done;
+        Bus.close bus)
+  in
+  let rec consume acc =
+    match Bus.pop bus with None -> List.rev acc | Some x -> consume (x :: acc)
+  in
+  let received = consume [] in
+  Domain.join producer;
+  checki "all messages" n (List.length received);
+  Alcotest.(check (list int)) "in order" (List.init n (fun i -> i + 1)) received
+
+let distributed_reference subscriptions alerts =
+  let mqp = Mqp.create () in
+  List.iter (fun (id, events) -> Mqp.subscribe mqp ~id events) subscriptions;
+  List.concat_map
+    (fun (alert : Mqp.alert) ->
+      List.map (fun id -> (alert.Mqp.url, id)) (Mqp.process mqp alert))
+    alerts
+
+let make_distributed_workload () =
+  let workload = { Workload.card_a = 300; card_c = 400; b = 3; s = 20 } in
+  let subscriptions =
+    Array.to_list
+      (Array.mapi (fun id events -> (id, events)) (Workload.complex_events workload ~seed:8))
+  in
+  let alerts =
+    Array.to_list
+      (Array.mapi
+         (fun i events ->
+           { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = "" })
+         (Workload.document_sets workload ~seed:9 ~count:200))
+  in
+  (subscriptions, alerts)
+
+let test_distributed_matches_sequential () =
+  let subscriptions, alerts = make_distributed_workload () in
+  let expected = List.sort compare (distributed_reference subscriptions alerts) in
+  List.iter
+    (fun axis ->
+      List.iter
+        (fun partitions ->
+          let result =
+            Distributed.run ~axis ~partitions ~subscriptions ~alerts ()
+          in
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "p=%d" partitions)
+            expected
+            (List.sort compare result.Distributed.notifications))
+        [ 1; 2; 4 ])
+    [ Distributed.Split_documents; Distributed.Split_subscriptions ]
+
+let test_distributed_alert_accounting () =
+  let subscriptions, alerts = make_distributed_workload () in
+  let docs_result =
+    Distributed.run ~axis:Distributed.Split_documents ~partitions:4
+      ~subscriptions ~alerts ()
+  in
+  checki "documents axis: each alert visits one partition"
+    (List.length alerts) docs_result.Distributed.alerts_processed;
+  let subs_result =
+    Distributed.run ~axis:Distributed.Split_subscriptions ~partitions:4
+      ~subscriptions ~alerts ()
+  in
+  checki "subscriptions axis: each alert visits all partitions"
+    (4 * List.length alerts)
+    subs_result.Distributed.alerts_processed
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "system"
+    [
+      ( "paper scenarios",
+        [
+          tc "updated page report" test_ingest_updated_page_report;
+          tc "new member element" test_new_member_element_report;
+          tc "catalog watch with word" test_catalog_watch_with_word;
+          tc "continuous over warehouse" test_continuous_query_over_warehouse;
+          tc "continuous delta" test_continuous_delta;
+          tc "notification-triggered continuous" test_notification_triggered_continuous;
+          tc "disjunctive monitoring" test_disjunctive_monitoring;
+          tc "deleted page" test_deleted_page_event;
+          tc "batched report" test_batch_report_count;
+        ] );
+      ( "pipeline",
+        [
+          tc "crawl loop end to end" test_crawl_loop_end_to_end;
+          tc "unsubscribe stops reports" test_unsubscribe_stops_reports;
+          tc "update replaces subscription" test_update_subscription_system;
+          tc "warehouse view" test_warehouse_view_shape;
+          tc "persistence roundtrip" test_persistence_roundtrip;
+          tc "stats" test_stats_consistency;
+        ] );
+      ( "bus",
+        [
+          tc "fifo" test_bus_fifo;
+          tc "close semantics" test_bus_close_semantics;
+          tc "cross-domain" test_bus_cross_domain;
+        ] );
+      ( "distributed",
+        [
+          tc "matches sequential" test_distributed_matches_sequential;
+          tc "alert accounting" test_distributed_alert_accounting;
+        ] );
+    ]

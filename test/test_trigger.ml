@@ -1,0 +1,212 @@
+(* Tests for xy_trigger: the schedule heap and the trigger engine's
+   periodic / notification semantics over virtual time. *)
+
+module Schedule = Xy_trigger.Schedule
+module Engine = Xy_trigger.Trigger_engine
+module Clock = Xy_util.Clock
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule *)
+
+let test_schedule_ordering () =
+  let s = Schedule.create () in
+  List.iter (fun (at, v) -> Schedule.add s ~at v)
+    [ (5., "e"); (1., "a"); (3., "c"); (2., "b"); (4., "d") ];
+  let due = Schedule.pop_due s ~now:3.5 in
+  Alcotest.(check (list string)) "earliest first" [ "a"; "b"; "c" ]
+    (List.map snd due);
+  checki "rest pending" 2 (Schedule.size s)
+
+let test_schedule_pop_next () =
+  let s = Schedule.create () in
+  Schedule.add s ~at:2. "b";
+  Schedule.add s ~at:1. "a";
+  (match Schedule.pop_next s with
+  | Some (at, "a") -> checkb "time" true (at = 1.)
+  | _ -> Alcotest.fail "expected a");
+  (match Schedule.pop_next s with
+  | Some (_, "b") -> ()
+  | _ -> Alcotest.fail "expected b");
+  checkb "drained" true (Schedule.pop_next s = None)
+
+let test_schedule_peek () =
+  let s = Schedule.create () in
+  checkb "empty peek" true (Schedule.peek_time s = None);
+  Schedule.add s ~at:7. ();
+  checkb "peek" true (Schedule.peek_time s = Some 7.);
+  checkb "peek does not pop" true (Schedule.size s = 1)
+
+let test_schedule_random_heap_property () =
+  let prng = Xy_util.Prng.create ~seed:5 in
+  let s = Schedule.create () in
+  let times = List.init 500 (fun _ -> Xy_util.Prng.float prng 1000.) in
+  List.iter (fun at -> Schedule.add s ~at at) times;
+  let popped = ref [] in
+  let rec drain () =
+    match Schedule.pop_next s with
+    | Some (at, _) ->
+        popped := at :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let popped = List.rev !popped in
+  checkb "sorted output" true (popped = List.sort compare times)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: periodic *)
+
+let test_periodic_runs_each_period () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  let runs = ref 0 in
+  Engine.schedule_periodic engine ~id:"q" ~period:10. (fun () -> incr runs);
+  Engine.tick engine;
+  checki "not due yet" 0 !runs;
+  Clock.advance clock 10.;
+  Engine.tick engine;
+  checki "first run" 1 !runs;
+  Clock.advance clock 9.;
+  Engine.tick engine;
+  checki "still one" 1 !runs;
+  Clock.advance clock 1.;
+  Engine.tick engine;
+  checki "second run" 2 !runs
+
+let test_periodic_catches_up () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  let runs = ref 0 in
+  Engine.schedule_periodic engine ~id:"q" ~period:7. (fun () -> incr runs);
+  Clock.advance clock 70.;
+  Engine.tick engine;
+  checki "one run per elapsed period" 10 !runs
+
+let test_periodic_duplicate_id_rejected () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  Engine.schedule_periodic engine ~id:"q" ~period:1. (fun () -> ());
+  match Engine.schedule_periodic engine ~id:"q" ~period:1. (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate id accepted"
+
+let test_periodic_bad_period () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  match Engine.schedule_periodic engine ~id:"q" ~period:0. (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "zero period accepted"
+
+let test_cancel_periodic () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  let runs = ref 0 in
+  Engine.schedule_periodic engine ~id:"q" ~period:5. (fun () -> incr runs);
+  Clock.advance clock 5.;
+  Engine.tick engine;
+  checki "ran once" 1 !runs;
+  Engine.cancel engine ~id:"q";
+  Clock.advance clock 50.;
+  Engine.tick engine;
+  checki "cancelled" 1 !runs
+
+let test_cancel_then_reschedule () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  let runs_old = ref 0 and runs_new = ref 0 in
+  Engine.schedule_periodic engine ~id:"q" ~period:5. (fun () -> incr runs_old);
+  Engine.cancel engine ~id:"q";
+  Engine.schedule_periodic engine ~id:"q" ~period:5. (fun () -> incr runs_new);
+  Clock.advance clock 5.;
+  Engine.tick engine;
+  checki "old dead" 0 !runs_old;
+  checki "new alive" 1 !runs_new
+
+let test_next_deadline () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  checkb "none" true (Engine.next_deadline engine = None);
+  Engine.schedule_periodic engine ~id:"a" ~period:30. (fun () -> ());
+  Engine.schedule_periodic engine ~id:"b" ~period:10. (fun () -> ());
+  checkb "earliest" true (Engine.next_deadline engine = Some 10.)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: notifications *)
+
+let test_notification_trigger () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  let runs = ref 0 in
+  Engine.on_notification engine ~id:"t" ~subscription:"XylemeCompetitors"
+    ~tag:"ChangeInMyProducts" (fun () -> incr runs);
+  Engine.notify engine ~subscription:"XylemeCompetitors" ~tag:"ChangeInMyProducts";
+  checki "fired" 1 !runs;
+  Engine.notify engine ~subscription:"XylemeCompetitors" ~tag:"Other";
+  Engine.notify engine ~subscription:"OtherSub" ~tag:"ChangeInMyProducts";
+  checki "selective" 1 !runs;
+  Engine.notify engine ~subscription:"XylemeCompetitors" ~tag:"ChangeInMyProducts";
+  checki "fires each time" 2 !runs
+
+let test_notification_multiple_listeners () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  let a = ref 0 and b = ref 0 in
+  Engine.on_notification engine ~id:"a" ~subscription:"s" ~tag:"T" (fun () -> incr a);
+  Engine.on_notification engine ~id:"b" ~subscription:"s" ~tag:"T" (fun () -> incr b);
+  Engine.notify engine ~subscription:"s" ~tag:"T";
+  checki "both" 2 (!a + !b)
+
+let test_cancel_notification_trigger () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  let runs = ref 0 in
+  Engine.on_notification engine ~id:"t" ~subscription:"s" ~tag:"T" (fun () ->
+      incr runs);
+  Engine.cancel engine ~id:"t";
+  Engine.notify engine ~subscription:"s" ~tag:"T";
+  checki "cancelled" 0 !runs
+
+let test_stats () =
+  let clock = Clock.create () in
+  let engine = Engine.create ~clock in
+  Engine.schedule_periodic engine ~id:"p" ~period:1. (fun () -> ());
+  Engine.on_notification engine ~id:"n" ~subscription:"s" ~tag:"T" (fun () -> ());
+  Clock.advance clock 3.;
+  Engine.tick engine;
+  Engine.notify engine ~subscription:"s" ~tag:"T";
+  let stats = Engine.stats engine in
+  checki "periodic" 3 stats.Engine.periodic_runs;
+  checki "notification" 1 stats.Engine.notification_runs
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "trigger"
+    [
+      ( "schedule",
+        [
+          tc "ordering" test_schedule_ordering;
+          tc "pop_next" test_schedule_pop_next;
+          tc "peek" test_schedule_peek;
+          tc "heap property (random)" test_schedule_random_heap_property;
+        ] );
+      ( "periodic",
+        [
+          tc "runs each period" test_periodic_runs_each_period;
+          tc "catches up" test_periodic_catches_up;
+          tc "duplicate id" test_periodic_duplicate_id_rejected;
+          tc "bad period" test_periodic_bad_period;
+          tc "cancel" test_cancel_periodic;
+          tc "cancel then reschedule" test_cancel_then_reschedule;
+          tc "next deadline" test_next_deadline;
+        ] );
+      ( "notifications",
+        [
+          tc "selective firing" test_notification_trigger;
+          tc "multiple listeners" test_notification_multiple_listeners;
+          tc "cancel" test_cancel_notification_trigger;
+          tc "stats" test_stats;
+        ] );
+    ]

@@ -1,0 +1,290 @@
+(* Tests for xy_warehouse: metadata, domain classification, versioned
+   store and the loading pipeline. *)
+
+module Meta = Xy_warehouse.Meta
+module Domains = Xy_warehouse.Domains
+module Store = Xy_warehouse.Store
+module Loader = Xy_warehouse.Loader
+module Clock = Xy_util.Clock
+module T = Xy_xml.Types
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let check_so = Alcotest.(check (option string))
+
+let fresh () =
+  let clock = Clock.create () in
+  let store = Store.create () in
+  let domains = Domains.create () in
+  let loader = Loader.create ~domains ~store ~clock () in
+  (clock, store, domains, loader)
+
+(* ------------------------------------------------------------------ *)
+(* Meta *)
+
+let test_filename () =
+  checks "tail" "index.html" (Meta.filename "http://x.org/a/index.html");
+  checks "no slash" "plain" (Meta.filename "plain");
+  checks "trailing slash" "" (Meta.filename "http://x.org/dir/")
+
+(* ------------------------------------------------------------------ *)
+(* Domains *)
+
+let test_domains_by_dtd () =
+  let d = Domains.create () in
+  Domains.register_dtd d ~dtd:"http://biology.org/bio.dtd" ~domain:"biology";
+  check_so "dtd wins" (Some "biology")
+    (Domains.classify d ~url:"http://any/" ~dtd:(Some "http://biology.org/bio.dtd")
+       ~tags:[]);
+  check_so "unknown dtd" None
+    (Domains.classify d ~url:"http://any/" ~dtd:(Some "http://other/") ~tags:[])
+
+let test_domains_by_keyword () =
+  let d = Domains.create () in
+  Domains.register_keyword d ~keyword:"painting" ~domain:"culture";
+  Domains.register_keyword d ~keyword:"catalog" ~domain:"commerce";
+  check_so "tag keyword" (Some "culture")
+    (Domains.classify d ~url:"http://x/" ~dtd:None ~tags:[ "museum"; "painting" ]);
+  check_so "url keyword" (Some "commerce")
+    (Domains.classify d ~url:"http://shop.com/catalog/items.xml" ~dtd:None ~tags:[])
+
+let test_domains_priority () =
+  let d = Domains.create () in
+  Domains.register_dtd d ~dtd:"D" ~domain:"from-dtd";
+  Domains.register_keyword d ~keyword:"t" ~domain:"from-tag";
+  check_so "dtd beats keyword" (Some "from-dtd")
+    (Domains.classify d ~url:"u" ~dtd:(Some "D") ~tags:[ "t" ])
+
+let test_domains_listing () =
+  let d = Domains.create () in
+  Domains.register_dtd d ~dtd:"a" ~domain:"x";
+  Domains.register_keyword d ~keyword:"b" ~domain:"y";
+  Alcotest.(check (list string)) "domains" [ "x"; "y" ] (Domains.domains d)
+
+(* ------------------------------------------------------------------ *)
+(* Loader: first sight *)
+
+let test_load_new_xml () =
+  let clock, store, _, loader = fresh () in
+  Clock.advance clock 100.;
+  let r =
+    Loader.load loader ~url:"http://a/cat.xml"
+      ~content:"<catalog><product>tv</product></catalog>" ~kind:Loader.Xml
+  in
+  checkb "new" true (r.Loader.status = Loader.New);
+  checki "version 1" 1 r.Loader.meta.Meta.version;
+  checkb "xml kind" true (r.Loader.meta.Meta.kind = Meta.Xml_doc);
+  checkb "tree stored" true (r.Loader.tree <> None);
+  checkb "accessed now" true (r.Loader.meta.Meta.last_accessed = 100.);
+  checki "store size" 1 (Store.document_count store)
+
+let test_load_unchanged () =
+  let clock, _, _, loader = fresh () in
+  let content = "<a>same</a>" in
+  ignore (Loader.load loader ~url:"u" ~content ~kind:Loader.Xml);
+  Clock.advance clock 50.;
+  let r = Loader.load loader ~url:"u" ~content ~kind:Loader.Xml in
+  checkb "unchanged" true (r.Loader.status = Loader.Unchanged);
+  checki "version stays" 1 r.Loader.meta.Meta.version;
+  checkb "delta empty" true (r.Loader.delta = []);
+  checkb "access refreshed" true (r.Loader.meta.Meta.last_accessed = 50.);
+  checkb "update date kept" true (r.Loader.meta.Meta.last_updated = 0.)
+
+let test_load_updated_with_delta () =
+  let clock, _, _, loader = fresh () in
+  ignore
+    (Loader.load loader ~url:"u" ~content:"<c><p>tv</p></c>" ~kind:Loader.Xml);
+  Clock.advance clock 10.;
+  let r =
+    Loader.load loader ~url:"u" ~content:"<c><p>tv</p><p>cam</p></c>"
+      ~kind:Loader.Xml
+  in
+  checkb "updated" true (r.Loader.status = Loader.Updated);
+  checki "version bumped" 2 r.Loader.meta.Meta.version;
+  checkb "delta nonempty" false (r.Loader.delta = []);
+  checkb "update date" true (r.Loader.meta.Meta.last_updated = 10.)
+
+let test_load_html () =
+  let _, _, _, loader = fresh () in
+  let r =
+    Loader.load loader ~url:"http://h/p.html"
+      ~content:"<html><body>Hello</body></html>" ~kind:Loader.Html
+  in
+  checkb "html kind" true (r.Loader.meta.Meta.kind = Meta.Html_doc);
+  checkb "no tree" true (r.Loader.tree = None);
+  checkb "no doc" true (r.Loader.doc = None)
+
+let test_load_html_change_by_signature () =
+  let _, _, _, loader = fresh () in
+  ignore (Loader.load loader ~url:"u" ~content:"<html>v1</html>" ~kind:Loader.Html);
+  let r = Loader.load loader ~url:"u" ~content:"<html>v2</html>" ~kind:Loader.Html in
+  checkb "signature change detected" true (r.Loader.status = Loader.Updated);
+  checkb "still no tree" true (r.Loader.tree = None)
+
+let test_load_auto_detection () =
+  let _, _, _, loader = fresh () in
+  let xml = Loader.load loader ~url:"a" ~content:"<doc><x/></doc>" ~kind:Loader.Auto in
+  checkb "xml detected" true (xml.Loader.doc <> None);
+  let html =
+    Loader.load loader ~url:"b" ~content:"<HTML><body>x</body></HTML>"
+      ~kind:Loader.Auto
+  in
+  checkb "html detected" true (html.Loader.doc = None);
+  let broken =
+    Loader.load loader ~url:"c" ~content:"<a><b></a>" ~kind:Loader.Auto
+  in
+  checkb "malformed falls back to html" true (broken.Loader.doc = None)
+
+let test_load_rejects_bad_xml () =
+  let _, _, _, loader = fresh () in
+  match Loader.load loader ~url:"u" ~content:"<a><b></a>" ~kind:Loader.Xml with
+  | exception Loader.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected Rejected"
+
+let test_load_classifies_domain () =
+  let _, _, domains, loader = fresh () in
+  Domains.register_keyword domains ~keyword:"painting" ~domain:"culture";
+  let r =
+    Loader.load loader ~url:"http://m/x.xml"
+      ~content:"<museum><painting/></museum>" ~kind:Loader.Xml
+  in
+  check_so "classified" (Some "culture") r.Loader.meta.Meta.domain
+
+let test_docids_stable_dtdids_shared () =
+  let _, store, _, loader = fresh () in
+  let r1 =
+    Loader.load loader ~url:"a"
+      ~content:"<!DOCTYPE c SYSTEM \"http://d/c.dtd\"><c>1</c>" ~kind:Loader.Xml
+  in
+  let r2 =
+    Loader.load loader ~url:"b"
+      ~content:"<!DOCTYPE c SYSTEM \"http://d/c.dtd\"><c>2</c>" ~kind:Loader.Xml
+  in
+  let r1bis =
+    Loader.load loader ~url:"a"
+      ~content:"<!DOCTYPE c SYSTEM \"http://d/c.dtd\"><c>3</c>" ~kind:Loader.Xml
+  in
+  checkb "distinct docids" true (r1.Loader.meta.Meta.docid <> r2.Loader.meta.Meta.docid);
+  checki "docid stable" r1.Loader.meta.Meta.docid r1bis.Loader.meta.Meta.docid;
+  Alcotest.(check (option int)) "same dtdid" r1.Loader.meta.Meta.dtdid
+    r2.Loader.meta.Meta.dtdid;
+  checkb "find by docid" true
+    (Store.find_by_docid store r1.Loader.meta.Meta.docid <> None)
+
+let test_loader_validate () =
+  let _, _, _, loader = fresh () in
+  let conforming =
+    Loader.load loader ~url:"a"
+      ~content:
+        {|<!DOCTYPE r [ <!ELEMENT r (x*)> <!ELEMENT x (#PCDATA)> ]><r><x>1</x></r>|}
+      ~kind:Loader.Xml
+  in
+  Alcotest.(check int) "conforming" 0 (List.length (Loader.validate conforming));
+  let violating =
+    Loader.load loader ~url:"b"
+      ~content:{|<!DOCTYPE r [ <!ELEMENT r (x*)> ]><r><y/></r>|}
+      ~kind:Loader.Xml
+  in
+  checkb "violations reported" true (Loader.validate violating <> []);
+  let html = Loader.load loader ~url:"c" ~content:"<html>x</html>" ~kind:Loader.Html in
+  Alcotest.(check int) "html trivially empty" 0 (List.length (Loader.validate html))
+
+let test_delete () =
+  let _, store, _, loader = fresh () in
+  ignore (Loader.load loader ~url:"u" ~content:"<a/>" ~kind:Loader.Xml);
+  (match Loader.delete loader ~url:"u" with
+  | Some meta -> checks "meta returned" "u" meta.Meta.url
+  | None -> Alcotest.fail "expected meta");
+  checkb "gone" false (Store.mem store "u");
+  checkb "double delete" true (Loader.delete loader ~url:"u" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Version reconstruction *)
+
+let test_reconstruct_versions () =
+  let _, store, _, loader = fresh () in
+  let versions =
+    [
+      "<c><p>v1</p></c>";
+      "<c><p>v1</p><p>v2</p></c>";
+      "<c><p>v2</p><q attr=\"z\">v3</q></c>";
+    ]
+  in
+  List.iter
+    (fun content -> ignore (Loader.load loader ~url:"u" ~content ~kind:Loader.Xml))
+    versions;
+  List.iteri
+    (fun i expected ->
+      match Store.reconstruct store ~url:"u" ~version:(i + 1) with
+      | Some e ->
+          Alcotest.check
+            (Alcotest.testable Xy_xml.Printer.pp_element T.equal_element)
+            (Printf.sprintf "version %d" (i + 1))
+            (Xy_xml.Parser.parse_element expected)
+            e
+      | None -> Alcotest.failf "version %d not reconstructible" (i + 1))
+    versions;
+  checkb "version 0 invalid" true (Store.reconstruct store ~url:"u" ~version:0 = None);
+  checkb "future version invalid" true
+    (Store.reconstruct store ~url:"u" ~version:9 = None);
+  checkb "unknown url" true (Store.reconstruct store ~url:"zz" ~version:1 = None)
+
+let test_reconstruct_window_bounded () =
+  let _, store, _, loader = fresh () in
+  let store2 = Store.create ~keep_versions:2 () in
+  ignore store2;
+  (* default window is 10; create more versions than that *)
+  for i = 1 to 15 do
+    ignore
+      (Loader.load loader ~url:"u"
+         ~content:(Printf.sprintf "<c><p>v%d</p></c>" i)
+         ~kind:Loader.Xml)
+  done;
+  checkb "old version dropped" true (Store.reconstruct store ~url:"u" ~version:2 = None);
+  checkb "recent version kept" true
+    (Store.reconstruct store ~url:"u" ~version:14 <> None)
+
+let test_unchanged_fetch_keeps_history () =
+  let _, store, _, loader = fresh () in
+  ignore (Loader.load loader ~url:"u" ~content:"<c>1</c>" ~kind:Loader.Xml);
+  ignore (Loader.load loader ~url:"u" ~content:"<c>2</c>" ~kind:Loader.Xml);
+  (* Re-fetch identical content several times. *)
+  for _ = 1 to 5 do
+    ignore (Loader.load loader ~url:"u" ~content:"<c>2</c>" ~kind:Loader.Xml)
+  done;
+  checkb "v1 still reachable" true (Store.reconstruct store ~url:"u" ~version:1 <> None)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "warehouse"
+    [
+      ("meta", [ tc "filename" test_filename ]);
+      ( "domains",
+        [
+          tc "by dtd" test_domains_by_dtd;
+          tc "by keyword" test_domains_by_keyword;
+          tc "dtd priority" test_domains_priority;
+          tc "listing" test_domains_listing;
+        ] );
+      ( "loader",
+        [
+          tc "new xml" test_load_new_xml;
+          tc "unchanged" test_load_unchanged;
+          tc "updated with delta" test_load_updated_with_delta;
+          tc "html" test_load_html;
+          tc "html signature change" test_load_html_change_by_signature;
+          tc "auto kind detection" test_load_auto_detection;
+          tc "bad xml rejected" test_load_rejects_bad_xml;
+          tc "domain classification" test_load_classifies_domain;
+          tc "docids and dtdids" test_docids_stable_dtdids_shared;
+          tc "dtd validation" test_loader_validate;
+          tc "delete" test_delete;
+        ] );
+      ( "versions",
+        [
+          tc "reconstruct chain" test_reconstruct_versions;
+          tc "window bounded" test_reconstruct_window_bounded;
+          tc "unchanged keeps history" test_unchanged_fetch_keeps_history;
+        ] );
+    ]
