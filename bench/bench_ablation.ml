@@ -169,4 +169,56 @@ let tbl_weak scale =
       ];
     ]
 
-let all = [ ("tbl-order", tbl_order); ("tbl-weak", tbl_weak) ]
+(* ------------------------------------------------------------------ *)
+
+let tbl_sortint scale =
+  section "tbl-sortint — ablation: monomorphic sort in Sorted_ints.of_array";
+  note
+    "every event set is built through Sorted_ints.of_array; Array.sort with \
+     polymorphic compare pays the generic-compare dispatch per comparison, \
+     Int.compare specialises to an unboxed integer comparison.";
+  let reps = match scale with Quick -> 20_000 | Default | Paper -> 100_000 in
+  let prng = Prng.create ~seed:77 in
+  let sizes = [ 3; 10; 30; 100 ] in
+  let rows =
+    List.map
+      (fun size ->
+        let inputs =
+          Array.init 64 (fun _ -> Array.init size (fun _ -> Prng.int prng 100_000))
+        in
+        (* direct call sites: passing the comparator as an argument
+           would defeat the monomorphisation being measured *)
+        let poly =
+          time_per_unit ~units:(reps * 64) (fun () ->
+              for _ = 1 to reps do
+                Array.iter
+                  (fun input ->
+                    let a = Array.copy input in
+                    Array.sort compare a)
+                  inputs
+              done)
+        in
+        let mono =
+          time_per_unit ~units:(reps * 64) (fun () ->
+              for _ = 1 to reps do
+                Array.iter
+                  (fun input ->
+                    let a = Array.copy input in
+                    Array.sort Int.compare a)
+                  inputs
+              done)
+        in
+        [
+          string_of_int size;
+          Printf.sprintf "%.0f" (poly *. 1e9);
+          Printf.sprintf "%.0f" (mono *. 1e9);
+          Printf.sprintf "%.1fx" (poly /. mono);
+        ])
+      sizes
+  in
+  print_table ~title:"time per sort (ns)"
+    ~header:[ "array size"; "polymorphic compare"; "Int.compare"; "speedup" ]
+    rows
+
+let all =
+  [ ("tbl-order", tbl_order); ("tbl-weak", tbl_weak); ("tbl-sortint", tbl_sortint) ]

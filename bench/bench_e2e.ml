@@ -29,7 +29,7 @@ let tbl_e2e scale =
   in
   let web = Web.generate ~seed:5 ~sites ~pages_per_site:6 () in
   let sink, _ = Sink.counting () in
-  let xyleme = Xyleme.create ~seed:9 ~sink ~web () in
+  let xyleme = Xyleme.create ~seed:9 ~sink ~web ~obs:Xy_obs.Obs.default () in
   let accepted = ref 0 in
   for i = 0 to subscriptions - 1 do
     let site = i mod sites in

@@ -26,7 +26,7 @@ let tbl_rep scale =
   (* 1. Raw notification intake: batched reports (count > 100) into a
      null sink — measures buffering + condition evaluation. *)
   let clock = Clock.create () in
-  let reporter = Reporter.create ~clock ~sink:(Sink.null ()) in
+  let reporter = Reporter.create ~clock ~sink:(Sink.null ()) () in
   for i = 0 to subscriptions - 1 do
     Reporter.register reporter
       ~subscription:(Printf.sprintf "S%d" i)
@@ -51,7 +51,7 @@ let tbl_rep scale =
      virtual clock advances per mail, giving the mails/day bound. *)
   let clock2 = Clock.create () in
   let smtp, sent = Sink.simulated_smtp ~per_mail_seconds:0.25 ~clock:clock2 in
-  let reporter2 = Reporter.create ~clock:clock2 ~sink:smtp in
+  let reporter2 = Reporter.create ~clock:clock2 ~sink:smtp () in
   Reporter.register reporter2 ~subscription:"S" ~recipient:"r"
     (spec [ S.R_immediate ]);
   let mails = match scale with Quick -> 2_000 | Default | Paper -> 20_000 in

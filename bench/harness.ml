@@ -97,6 +97,22 @@ let section title =
 
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
 
+(* Per-stage metrics emission: with --obs every experiment is followed
+   by the snapshot accumulated in the default xy_obs registry (then
+   reset), so a timing regression is attributable to a pipeline
+   stage. *)
+let obs_enabled = ref false
+
+let emit_snapshot ~label =
+  if !obs_enabled then begin
+    let snapshot = Xy_obs.Obs.snapshot Xy_obs.Obs.default in
+    if snapshot.Xy_obs.Obs.Snapshot.entries <> [] then begin
+      Printf.printf "\n### %s: stage metrics\n\n%!" label;
+      Format.printf "%a@." Xy_obs.Obs.Snapshot.pp snapshot
+    end;
+    Xy_obs.Obs.reset Xy_obs.Obs.default
+  end
+
 (* Approximate live heap words attributable to building a structure. *)
 let live_words_of build =
   Gc.compact ();

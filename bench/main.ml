@@ -22,7 +22,8 @@
      dune exec bench/main.exe -- --quick       (CI scale)
      dune exec bench/main.exe -- --paper       (paper scale: 10^6 events)
      dune exec bench/main.exe -- --only fig5 --only tbl-url
-     dune exec bench/main.exe -- --bechamel    (OLS kernel micro-benches) *)
+     dune exec bench/main.exe -- --bechamel    (OLS kernel micro-benches)
+     dune exec bench/main.exe -- --obs         (per-stage metrics snapshots) *)
 
 let experiments : (string * (Harness.scale -> unit)) list =
   Bench_mqp.all @ Bench_alerters.all @ Bench_reporter.all @ Bench_e2e.all
@@ -42,6 +43,9 @@ let () =
         parse rest
     | "--bechamel" :: rest ->
         bechamel := true;
+        parse rest
+    | "--obs" :: rest ->
+        Harness.obs_enabled := true;
         parse rest
     | "--only" :: id :: rest ->
         only := id :: !only;
@@ -76,6 +80,12 @@ let () =
           ids;
         List.filter (fun (id, _) -> List.mem id ids) experiments
   in
-  List.iter (fun (_, run) -> run !scale) selected;
+  Xy_obs.Obs.set_timer Unix.gettimeofday;
+  Xy_obs.Obs.reset Xy_obs.Obs.default;
+  List.iter
+    (fun (id, run) ->
+      run !scale;
+      Harness.emit_snapshot ~label:id)
+    selected;
   if !bechamel then Bench_bechamel.run ();
   print_newline ()

@@ -143,53 +143,93 @@ let validate_cmd =
     Term.(const run $ doc)
 
 (* ------------------------------------------------------------------ *)
-(* simulate *)
+(* simulate / stats *)
 
-let simulate_cmd =
-  let run sites days subscriptions seed verbose =
-    if verbose then begin
-      Logs.set_reporter (Logs.format_reporter ());
-      Logs.set_level (Some Logs.Info)
-    end;
-    let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
-    let sink, delivered = Xy_reporter.Sink.counting () in
-    let xyleme = Xy_system.Xyleme.create ~seed ~sink ~web () in
-    let accepted = ref 0 in
-    for i = 0 to subscriptions - 1 do
-      let text =
-        Printf.sprintf
-          {|subscription S%d
+(* One end-to-end run over the synthetic web; shared by [simulate]
+   (headline numbers, optional snapshot) and [stats] (snapshot only). *)
+let run_simulation ~sites ~days ~subscriptions ~seed =
+  let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
+  let sink, delivered = Xy_reporter.Sink.counting () in
+  let xyleme = Xy_system.Xyleme.create ~seed ~sink ~web () in
+  let accepted = ref 0 in
+  for i = 0 to subscriptions - 1 do
+    let text =
+      Printf.sprintf
+        {|subscription S%d
 monitoring
 select <UpdatedPage url=URL/>
 where URL extends "http://site%d.example.org/" and modified self
 report when count > 5 atmost daily|}
-          i (i mod sites)
-      in
-      match Xy_system.Xyleme.subscribe xyleme ~owner:(Printf.sprintf "u%d" i) ~text with
-      | Ok _ -> incr accepted
-      | Error _ -> ()
-    done;
-    Xy_system.Xyleme.run xyleme ~days ~step:(6. *. 3600.) ~fetch_limit:500;
+        i (i mod sites)
+    in
+    match Xy_system.Xyleme.subscribe xyleme ~owner:(Printf.sprintf "u%d" i) ~text with
+    | Ok _ -> incr accepted
+    | Error _ -> ()
+  done;
+  Xy_system.Xyleme.run xyleme ~days ~step:(6. *. 3600.) ~fetch_limit:500;
+  (xyleme, !accepted, !delivered)
+
+let print_snapshot ~xml xyleme =
+  let snapshot = Xy_obs.Obs.snapshot (Xy_system.Xyleme.obs xyleme) in
+  if xml then print_string (Xy_obs.Obs.Snapshot.to_xml_string snapshot)
+  else Format.printf "%a@." Xy_obs.Obs.Snapshot.pp snapshot
+
+let sites_arg = Arg.(value & opt int 8 & info [ "sites" ] ~docv:"N")
+let days_arg = Arg.(value & opt float 14. & info [ "days" ] ~docv:"D")
+
+let subscriptions_arg =
+  Arg.(value & opt int 100 & info [ "subscriptions" ] ~docv:"N")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
+
+let simulate_cmd =
+  let run sites days subscriptions seed verbose stats_flag =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info)
+    end;
+    let xyleme, accepted, delivered =
+      run_simulation ~sites ~days ~subscriptions ~seed
+    in
     let stats = Xy_system.Xyleme.stats xyleme in
     Printf.printf "simulated %.0f days over %d sites, %d subscriptions:\n" days
-      sites !accepted;
+      sites accepted;
     Printf.printf "  fetched %d, stored %d, alerts %d, notifications %d, reports %d (%d deliveries)\n"
       stats.Xy_system.Xyleme.documents_fetched
       stats.Xy_system.Xyleme.documents_stored stats.Xy_system.Xyleme.alerts_sent
       stats.Xy_system.Xyleme.notifications stats.Xy_system.Xyleme.reports
-      !delivered
+      delivered;
+    if stats_flag then print_snapshot ~xml:false xyleme
   in
-  let sites = Arg.(value & opt int 8 & info [ "sites" ] ~docv:"N") in
-  let days = Arg.(value & opt float 14. & info [ "days" ] ~docv:"D") in
-  let subscriptions = Arg.(value & opt int 100 & info [ "subscriptions" ] ~docv:"N") in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log pipeline events") in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the per-stage metrics snapshot after the run")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the monitor over a synthetic web")
-    Term.(const run $ sites $ days $ subscriptions $ seed $ verbose)
+    Term.(
+      const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg $ verbose
+      $ stats_flag)
+
+let stats_cmd =
+  let run sites days subscriptions seed xml =
+    let xyleme, _, _ = run_simulation ~sites ~days ~subscriptions ~seed in
+    print_snapshot ~xml xyleme
+  in
+  let xml =
+    Arg.(value & flag & info [ "xml" ] ~doc:"Emit the snapshot as XML")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the monitor over a synthetic web and print the per-stage \
+          metrics snapshot (counters, gauges, latency histograms)")
+    Term.(const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg $ xml)
 
 let () =
   let doc = "Xyleme change monitoring (SIGMOD 2001 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "xyleme" ~doc)
-          [ check_cmd; query_cmd; diff_cmd; validate_cmd; simulate_cmd ]))
+          [ check_cmd; query_cmd; diff_cmd; validate_cmd; simulate_cmd; stats_cmd ]))

@@ -2,20 +2,43 @@ module Atomic = Xy_events.Atomic
 module Registry = Xy_events.Registry
 module Event_set = Xy_events.Event_set
 module Loader = Xy_warehouse.Loader
+module Obs = Xy_obs.Obs
+
+type metrics = {
+  m_docs : Obs.Counter.t;
+  m_alerts : Obs.Counter.t;
+  m_suppressed : Obs.Counter.t;
+  m_deleted : Obs.Counter.t;
+  m_detect_latency : Obs.Histogram.t;
+  m_events_per_doc : Obs.Histogram.t;
+}
 
 type t = {
   registry : Registry.t;
   url : Url_alerter.t;
   xml : Xml_alerter.t;
   html : Html_alerter.t;
+  metrics : metrics;
 }
 
-let create ?extends_impl registry =
+let stage = "alerters"
+
+let create ?extends_impl ?(obs = Obs.default) registry =
   {
     registry;
     url = Url_alerter.create ?extends_impl registry;
     xml = Xml_alerter.create registry;
     html = Html_alerter.create registry;
+    metrics =
+      {
+        m_docs = Obs.counter obs ~stage "docs";
+        m_alerts = Obs.counter obs ~stage "alerts";
+        m_suppressed = Obs.counter obs ~stage "suppressed_weak";
+        m_deleted = Obs.counter obs ~stage "deleted_docs";
+        m_detect_latency = Obs.histogram obs ~stage "detect_latency";
+        m_events_per_doc =
+          Obs.histogram ~buckets:Obs.size_buckets obs ~stage "events_per_doc";
+      };
   }
 
 let url_alerter t = t.url
@@ -37,38 +60,49 @@ let has_strong t codes =
 
 let assemble t ~meta ~status ~url_codes ~content_codes ~matched =
   let codes = List.sort_uniq compare (List.rev_append url_codes content_codes) in
-  if codes = [] || not (has_strong t codes) then None
-  else
+  Obs.Histogram.observe t.metrics.m_events_per_doc
+    (float_of_int (List.length codes));
+  if codes = [] || not (has_strong t codes) then begin
+    Obs.Counter.incr t.metrics.m_suppressed;
+    None
+  end
+  else begin
+    Obs.Counter.incr t.metrics.m_alerts;
     Some (Alert.build ~meta ~status ~matched (Event_set.of_list codes))
+  end
 
 let process t ~result ~content =
-  let meta = result.Loader.meta in
-  let status = status_of_loader result.Loader.status in
-  let url_codes = Url_alerter.detect t.url ~meta ~status in
-  let content_codes, matched =
-    match result.Loader.doc with
-    | Some _ ->
-        let detection = Xml_alerter.detect t.xml ~result in
-        (detection.Xml_alerter.codes, detection.Xml_alerter.data)
-    | None ->
-        (* HTML: lenient DOM parse, then the same current-content
-           detection as XML (tags, contains, strict contains), plus
-           the lightweight keyword pass. *)
-        let dom_codes =
-          Xml_alerter.detect_tree t.xml (Xy_xml.Html.parse content)
-        in
-        (List.rev_append (Html_alerter.detect t.html ~content) dom_codes, [])
-  in
-  assemble t ~meta ~status ~url_codes ~content_codes ~matched
+  Obs.Counter.incr t.metrics.m_docs;
+  Obs.Histogram.time t.metrics.m_detect_latency (fun () ->
+      let meta = result.Loader.meta in
+      let status = status_of_loader result.Loader.status in
+      let url_codes = Url_alerter.detect t.url ~meta ~status in
+      let content_codes, matched =
+        match result.Loader.doc with
+        | Some _ ->
+            let detection = Xml_alerter.detect t.xml ~result in
+            (detection.Xml_alerter.codes, detection.Xml_alerter.data)
+        | None ->
+            (* HTML: lenient DOM parse, then the same current-content
+               detection as XML (tags, contains, strict contains), plus
+               the lightweight keyword pass. *)
+            let dom_codes =
+              Xml_alerter.detect_tree t.xml (Xy_xml.Html.parse content)
+            in
+            (List.rev_append (Html_alerter.detect t.html ~content) dom_codes, [])
+      in
+      assemble t ~meta ~status ~url_codes ~content_codes ~matched)
 
 let process_deleted t ~meta ~tree =
-  let status = Atomic.Deleted in
-  let url_codes = Url_alerter.detect t.url ~meta ~status in
-  let content_codes, matched =
-    match tree with
-    | Some tree ->
-        let detection = Xml_alerter.detect_deleted t.xml ~tree in
-        (detection.Xml_alerter.codes, detection.Xml_alerter.data)
-    | None -> ([], [])
-  in
-  assemble t ~meta ~status ~url_codes ~content_codes ~matched
+  Obs.Counter.incr t.metrics.m_deleted;
+  Obs.Histogram.time t.metrics.m_detect_latency (fun () ->
+      let status = Atomic.Deleted in
+      let url_codes = Url_alerter.detect t.url ~meta ~status in
+      let content_codes, matched =
+        match tree with
+        | Some tree ->
+            let detection = Xml_alerter.detect_deleted t.xml ~tree in
+            (detection.Xml_alerter.codes, detection.Xml_alerter.data)
+        | None -> ([], [])
+      in
+      assemble t ~meta ~status ~url_codes ~content_codes ~matched)

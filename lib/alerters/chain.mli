@@ -12,8 +12,15 @@
 
 type t
 
+(** Detection metrics (docs, alerts, weak-rule suppressions,
+    events-per-doc and detect-latency histograms) are registered
+    under the [alerters] stage of [obs] (default
+    {!Xy_obs.Obs.default}). *)
 val create :
-  ?extends_impl:Url_alerter.extends_impl -> Xy_events.Registry.t -> t
+  ?extends_impl:Url_alerter.extends_impl ->
+  ?obs:Xy_obs.Obs.t ->
+  Xy_events.Registry.t ->
+  t
 
 val url_alerter : t -> Url_alerter.t
 val xml_alerter : t -> Xml_alerter.t

@@ -1,8 +1,19 @@
+module Obs = Xy_obs.Obs
+
 type alert = { url : string; events : Xy_events.Event_set.t; payload : string }
 type notification = { complex_id : int; url : string; payload : string }
 type algorithm = Use_aes | Use_naive | Use_counting
 
 type packed = Packed : (module Matcher.S with type t = 'a) * 'a -> packed
+
+type metrics = {
+  m_alerts : Obs.Counter.t;
+  m_notifications : Obs.Counter.t;
+  m_match_latency : Obs.Histogram.t;
+  m_batch_size : Obs.Histogram.t;
+  m_events_per_alert : Obs.Histogram.t;
+  m_complex : Obs.Gauge.t;
+}
 
 type t = {
   matcher : packed;
@@ -10,12 +21,15 @@ type t = {
   mutable batch_listeners : (alert -> int list -> unit) list;
   mutable alerts_processed : int;
   mutable notifications_emitted : int;
+  metrics : metrics;
 }
 
 let pack (type a) (module M : Matcher.S with type t = a) =
   Packed ((module M), M.create ())
 
-let create ?(algorithm = Use_aes) () =
+let stage = "mqp"
+
+let create ?(algorithm = Use_aes) ?(obs = Obs.default) () =
   let matcher =
     match algorithm with
     | Use_aes -> pack (module Aes)
@@ -28,6 +42,17 @@ let create ?(algorithm = Use_aes) () =
     batch_listeners = [];
     alerts_processed = 0;
     notifications_emitted = 0;
+    metrics =
+      {
+        m_alerts = Obs.counter obs ~stage "alerts";
+        m_notifications = Obs.counter obs ~stage "notifications";
+        m_match_latency = Obs.histogram obs ~stage "match_latency";
+        m_batch_size =
+          Obs.histogram ~buckets:Obs.size_buckets obs ~stage "batch_size";
+        m_events_per_alert =
+          Obs.histogram ~buckets:Obs.size_buckets obs ~stage "events_per_alert";
+        m_complex = Obs.gauge obs ~stage "complex_events";
+      };
   }
 
 let algorithm_name t =
@@ -36,15 +61,26 @@ let algorithm_name t =
 
 let subscribe t ~id events =
   let (Packed ((module M), m)) = t.matcher in
-  M.add m ~id events
+  M.add m ~id events;
+  Obs.Gauge.set_int t.metrics.m_complex (M.complex_count m)
 
 let unsubscribe t ~id =
   let (Packed ((module M), m)) = t.matcher in
-  M.remove m ~id
+  M.remove m ~id;
+  Obs.Gauge.set_int t.metrics.m_complex (M.complex_count m)
 
 let process t alert =
   let (Packed ((module M), m)) = t.matcher in
-  let matched = M.match_set m alert.events in
+  let matched =
+    Obs.Histogram.time t.metrics.m_match_latency (fun () ->
+        M.match_set m alert.events)
+  in
+  Obs.Counter.incr t.metrics.m_alerts;
+  Obs.Histogram.observe t.metrics.m_events_per_alert
+    (float_of_int (Xy_events.Event_set.cardinal alert.events));
+  Obs.Histogram.observe t.metrics.m_batch_size
+    (float_of_int (List.length matched));
+  Obs.Counter.add t.metrics.m_notifications (List.length matched);
   t.alerts_processed <- t.alerts_processed + 1;
   if t.listeners <> [] then
     List.iter

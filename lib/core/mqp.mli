@@ -27,8 +27,11 @@ type algorithm = Use_aes | Use_naive | Use_counting
 
 type t
 
-(** [create ~algorithm ()] — defaults to the paper's {!Aes}. *)
-val create : ?algorithm:algorithm -> unit -> t
+(** [create ~algorithm ()] — defaults to the paper's {!Aes}.
+    Processor metrics (match-latency histogram, batch sizes, alert
+    and notification counters) are registered under the [mqp] stage
+    of [obs] (default {!Xy_obs.Obs.default}). *)
+val create : ?algorithm:algorithm -> ?obs:Xy_obs.Obs.t -> unit -> t
 
 val algorithm_name : t -> string
 

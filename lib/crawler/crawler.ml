@@ -1,16 +1,42 @@
+module Obs = Xy_obs.Obs
+
 type fetch = {
   url : string;
   content : string option;
   kind : Synthetic_web.kind option;
 }
 
+type metrics = {
+  fetched : Obs.Counter.t;
+  missing : Obs.Counter.t;
+  changed : Obs.Counter.t;
+  unchanged : Obs.Counter.t;
+  fetch_latency : Obs.Histogram.t;
+}
+
 type t = {
   web : Synthetic_web.t;
   queue : Fetch_queue.t;
   mutable fetches : int;
+  metrics : metrics;
 }
 
-let create ~web ~queue = { web; queue; fetches = 0 }
+let stage = "crawler"
+
+let create ?(obs = Obs.default) ~web ~queue () =
+  {
+    web;
+    queue;
+    fetches = 0;
+    metrics =
+      {
+        fetched = Obs.counter obs ~stage "fetches";
+        missing = Obs.counter obs ~stage "missing";
+        changed = Obs.counter obs ~stage "changed";
+        unchanged = Obs.counter obs ~stage "unchanged";
+        fetch_latency = Obs.histogram obs ~stage "fetch_latency";
+      };
+  }
 
 let discover t =
   List.iter (fun url -> Fetch_queue.add t.queue ~url) (Synthetic_web.urls t.web)
@@ -20,10 +46,21 @@ let step t ~limit =
   List.map
     (fun url ->
       t.fetches <- t.fetches + 1;
-      let content = Synthetic_web.fetch t.web ~url in
-      if content = None then Fetch_queue.forget t.queue ~url;
+      Obs.Counter.incr t.metrics.fetched;
+      let content =
+        Obs.Histogram.time t.metrics.fetch_latency (fun () ->
+            Synthetic_web.fetch t.web ~url)
+      in
+      if content = None then begin
+        Obs.Counter.incr t.metrics.missing;
+        Fetch_queue.forget t.queue ~url
+      end;
       { url; content; kind = Synthetic_web.kind_of t.web ~url })
     due
 
-let conclude t ~url ~changed = Fetch_queue.mark_fetched t.queue ~url ~changed
+let conclude t ~url ~changed =
+  Obs.Counter.incr
+    (if changed then t.metrics.changed else t.metrics.unchanged);
+  Fetch_queue.mark_fetched t.queue ~url ~changed
+
 let fetches t = t.fetches

@@ -13,7 +13,10 @@ type fetch = {
 
 type t
 
-val create : web:Synthetic_web.t -> queue:Fetch_queue.t -> t
+(** [create ~web ~queue ()] — fetch metrics are registered under the
+    [crawler] stage of [obs] (default {!Xy_obs.Obs.default}). *)
+val create :
+  ?obs:Xy_obs.Obs.t -> web:Synthetic_web.t -> queue:Fetch_queue.t -> unit -> t
 
 (** [discover t] adds every currently known web URL to the queue
     (bootstrap; newly born pages are discovered by later calls). *)

@@ -1,10 +1,19 @@
 module Schedule = Xy_trigger.Schedule
+module Obs = Xy_obs.Obs
 
 type entry = {
   mutable refresh_period : float;
   mutable ceiling : float;  (** subscription boost: period <= ceiling *)
   mutable live : bool;
-  mutable queued : bool;  (** present in the heap *)
+  mutable queued : bool;  (** a heap entry at [deadline] is pending *)
+  mutable deadline : float;  (** authoritative next fetch time *)
+}
+
+type metrics = {
+  depth : Obs.Gauge.t;
+  boosts : Obs.Counter.t;
+  resurrected : Obs.Counter.t;
+  served : Obs.Counter.t;
 }
 
 type t = {
@@ -14,10 +23,13 @@ type t = {
   max_period : float;
   entries : (string, entry) Hashtbl.t;
   schedule : string Schedule.t;
+  metrics : metrics;
 }
 
+let stage = "crawler"
+
 let create ?(initial_period = 86400.) ?(min_period = 3600.)
-    ?(max_period = 4. *. 7. *. 86400.) ~clock () =
+    ?(max_period = 4. *. 7. *. 86400.) ?(obs = Obs.default) ~clock () =
   {
     clock;
     initial_period;
@@ -25,19 +37,32 @@ let create ?(initial_period = 86400.) ?(min_period = 3600.)
     max_period;
     entries = Hashtbl.create 1024;
     schedule = Schedule.create ();
+    metrics =
+      {
+        depth = Obs.gauge obs ~stage "due_queue_depth";
+        boosts = Obs.counter obs ~stage "boosts";
+        resurrected = Obs.counter obs ~stage "boost_resurrected";
+        served = Obs.counter obs ~stage "due_served";
+      };
   }
+
+let update_depth t =
+  Obs.Gauge.set_int t.metrics.depth (Schedule.size t.schedule)
 
 let add t ~url =
   if not (Hashtbl.mem t.entries url) then begin
+    let now = Xy_util.Clock.now t.clock in
     Hashtbl.replace t.entries url
       {
         refresh_period = t.initial_period;
         ceiling = t.max_period;
         live = true;
         queued = true;
+        deadline = now;
       };
     (* first fetch due immediately *)
-    Schedule.add t.schedule ~at:(Xy_util.Clock.now t.clock) url
+    Schedule.add t.schedule ~at:now url;
+    update_depth t
   end
 
 let forget t ~url =
@@ -53,8 +78,31 @@ let clamp t entry =
 let boost t ~url ~period =
   add t ~url;
   let entry = Hashtbl.find t.entries url in
+  if not entry.live then begin
+    (* resurrect a forgotten URL: a subscription re-demands it *)
+    entry.live <- true;
+    Obs.Counter.incr t.metrics.resurrected
+  end;
   entry.ceiling <- Float.max t.min_period period;
-  clamp t entry
+  clamp t entry;
+  Obs.Counter.incr t.metrics.boosts;
+  let target = Xy_util.Clock.now t.clock +. entry.refresh_period in
+  if not entry.queued then begin
+    (* nothing pending (served then forgotten): schedule anew *)
+    entry.queued <- true;
+    entry.deadline <- target;
+    Schedule.add t.schedule ~at:target url;
+    update_depth t
+  end
+  else if target < entry.deadline then begin
+    (* The clamped period shortens the pending deadline: supersede the
+       possibly weeks-away heap entry.  The old entry is deleted
+       lazily — [pop_due] skips entries whose time no longer matches
+       the authoritative [deadline]. *)
+    entry.deadline <- target;
+    Schedule.add t.schedule ~at:target url;
+    update_depth t
+  end
 
 let pop_due t ~limit =
   let now = Xy_util.Clock.now t.clock in
@@ -65,20 +113,28 @@ let pop_due t ~limit =
       | Some at when at <= now -> (
           match Schedule.pop_next t.schedule with
           | None -> List.rev acc
-          | Some (_, url) -> (
+          | Some (at, url) -> (
               match Hashtbl.find_opt t.entries url with
+              | Some entry when not entry.queued ->
+                  (* stale: already served this cycle *)
+                  go acc n
+              | Some entry when at <> entry.deadline ->
+                  (* stale: superseded by a boost reschedule *)
+                  go acc n
               | Some entry when entry.live ->
                   entry.queued <- false;
+                  Obs.Counter.incr t.metrics.served;
                   go (url :: acc) (n - 1)
-              | Some entry ->
+              | Some _ ->
                   (* dead entry drained from the heap *)
-                  entry.queued <- false;
                   Hashtbl.remove t.entries url;
                   go acc n
               | None -> go acc n))
       | Some _ | None -> List.rev acc
   in
-  go [] limit
+  let served = go [] limit in
+  update_depth t;
+  served
 
 let mark_fetched t ~url ~changed =
   match Hashtbl.find_opt t.entries url with
@@ -90,9 +146,10 @@ let mark_fetched t ~url ~changed =
            else entry.refresh_period *. 1.5);
         clamp t entry;
         entry.queued <- true;
-        Schedule.add t.schedule
-          ~at:(Xy_util.Clock.now t.clock +. entry.refresh_period)
-          url
+        let at = Xy_util.Clock.now t.clock +. entry.refresh_period in
+        entry.deadline <- at;
+        Schedule.add t.schedule ~at url;
+        update_depth t
       end
 
 let next_deadline t = Schedule.peek_time t.schedule

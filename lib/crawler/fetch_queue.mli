@@ -14,11 +14,14 @@ type t
 
 (** [create ~clock ()] — new URLs start with [initial_period]
     (default one day), bounded by [min_period]/[max_period]
-    (defaults: one hour / four weeks). *)
+    (defaults: one hour / four weeks).  Queue metrics are registered
+    under the [crawler] stage of [obs] (default
+    {!Xy_obs.Obs.default}). *)
 val create :
   ?initial_period:float ->
   ?min_period:float ->
   ?max_period:float ->
+  ?obs:Xy_obs.Obs.t ->
   clock:Xy_util.Clock.t ->
   unit ->
   t
@@ -31,7 +34,13 @@ val add : t -> url:string -> unit
 val forget : t -> url:string -> unit
 
 (** [boost t ~url ~period] applies a subscription refresh statement:
-    the URL's refresh period will never exceed [period]. *)
+    the URL's refresh period will never exceed [period].  A forgotten
+    URL is resurrected ("subscriptions involving this particular
+    document" re-demand it), and when the clamped period brings the
+    next fetch closer than the currently scheduled deadline, the
+    fetch is rescheduled to [now + period] — without this, a boost
+    from the four-week default down to one hour would only take
+    effect after the old, possibly weeks-away deadline fired. *)
 val boost : t -> url:string -> period:float -> unit
 
 (** [pop_due t ~limit] returns up to [limit] URLs whose fetch deadline

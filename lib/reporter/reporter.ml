@@ -1,5 +1,15 @@
 module S = Xy_sublang.S_ast
 module T = Xy_xml.Types
+module Obs = Xy_obs.Obs
+
+type metrics = {
+  m_notifications : Obs.Counter.t;
+  m_reports : Obs.Counter.t;
+  m_dropped : Obs.Counter.t;
+  m_buffer_depth : Obs.Gauge.t;
+  m_delivery_latency : Obs.Histogram.t;
+  m_report_size : Obs.Histogram.t;
+}
 
 type subscription_state = {
   mutable spec : S.report;
@@ -22,9 +32,13 @@ type t = {
   mutable notifications_received : int;
   mutable reports_sent : int;
   mutable dropped_by_atmost : int;
+  mutable total_buffered : int;
+  metrics : metrics;
 }
 
-let create ~clock ~sink =
+let stage = "reporter"
+
+let create ?(obs = Obs.default) ~clock ~sink () =
   {
     clock;
     sink;
@@ -32,7 +46,23 @@ let create ~clock ~sink =
     notifications_received = 0;
     reports_sent = 0;
     dropped_by_atmost = 0;
+    total_buffered = 0;
+    metrics =
+      {
+        m_notifications = Obs.counter obs ~stage "notifications";
+        m_reports = Obs.counter obs ~stage "reports";
+        m_dropped = Obs.counter obs ~stage "dropped_by_atmost";
+        m_buffer_depth = Obs.gauge obs ~stage "buffer_depth";
+        m_delivery_latency = Obs.histogram obs ~stage "delivery_latency";
+        m_report_size =
+          Obs.histogram ~buckets:Obs.size_buckets obs ~stage "report_size";
+      };
   }
+
+let set_buffered t state n =
+  t.total_buffered <- t.total_buffered - state.buffered + n;
+  state.buffered <- n;
+  Obs.Gauge.set_int t.metrics.m_buffer_depth t.total_buffered
 
 let shortest_frequency spec =
   List.fold_left
@@ -84,7 +114,11 @@ let remove_recipient t ~subscription ~recipient =
       state.recipients <- List.filter (fun r -> r <> recipient) state.recipients
   | None -> ()
 
-let unregister t ~subscription = Hashtbl.remove t.subscriptions subscription
+let unregister t ~subscription =
+  (match Hashtbl.find_opt t.subscriptions subscription with
+  | Some state -> set_buffered t state 0
+  | None -> ());
+  Hashtbl.remove t.subscriptions subscription
 
 let tag_count state tag =
   match List.assoc_opt tag state.tag_counts with Some n -> n | None -> 0
@@ -123,8 +157,10 @@ let fire t subscription state =
     | Some query -> Xy_query.Eval.eval query (Xy_query.Eval.env notifications_doc)
   in
   let report = T.element "Report" report_body in
+  Obs.Histogram.observe t.metrics.m_report_size
+    (float_of_int (List.length notifications));
   state.buffer <- [];
-  state.buffered <- 0;
+  set_buffered t state 0;
   state.tag_counts <- [];
   state.last_report_at <- Some now;
   state.pending_rate_limited <- false;
@@ -132,11 +168,13 @@ let fire t subscription state =
   (match state.spec.S.r_archive with
   | Some _ -> state.archive <- (now, report) :: state.archive
   | None -> ());
-  List.iter
-    (fun recipient ->
-      t.sink.Sink.deliver { Sink.recipient; subscription; report; at = now })
-    state.recipients;
-  t.reports_sent <- t.reports_sent + 1
+  Obs.Histogram.time t.metrics.m_delivery_latency (fun () ->
+      List.iter
+        (fun recipient ->
+          t.sink.Sink.deliver { Sink.recipient; subscription; report; at = now })
+        state.recipients);
+  t.reports_sent <- t.reports_sent + 1;
+  Obs.Counter.incr t.metrics.m_reports
 
 let maybe_fire t subscription state =
   let now = Xy_util.Clock.now t.clock in
@@ -150,15 +188,19 @@ let notify t ~subscription notification =
   | None -> ()
   | Some state ->
       t.notifications_received <- t.notifications_received + 1;
+      Obs.Counter.incr t.metrics.m_notifications;
       let capped =
         match state.spec.S.r_atmost with
         | Some (S.At_count n) -> state.buffered >= n
         | Some (S.At_frequency _) | None -> false
       in
-      if capped then t.dropped_by_atmost <- t.dropped_by_atmost + 1
+      if capped then begin
+        t.dropped_by_atmost <- t.dropped_by_atmost + 1;
+        Obs.Counter.incr t.metrics.m_dropped
+      end
       else begin
         state.buffer <- notification :: state.buffer;
-        state.buffered <- state.buffered + 1;
+        set_buffered t state (state.buffered + 1);
         bump_tag state notification.Notification.tag
       end;
       maybe_fire t subscription state

@@ -16,7 +16,11 @@
 
 type t
 
-val create : clock:Xy_util.Clock.t -> sink:Sink.t -> t
+(** Reporting metrics (notifications, reports, atmost drops, total
+    buffer depth, delivery-latency and report-size histograms) are
+    registered under the [reporter] stage of [obs] (default
+    {!Xy_obs.Obs.default}). *)
+val create : ?obs:Xy_obs.Obs.t -> clock:Xy_util.Clock.t -> sink:Sink.t -> unit -> t
 
 (** [register t ~subscription ~recipient spec] starts buffering for a
     subscription.  Re-registering replaces the spec but keeps the

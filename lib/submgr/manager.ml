@@ -9,6 +9,7 @@ module Reporter = Xy_reporter.Reporter
 module Notification = Xy_reporter.Notification
 module T = Xy_xml.Types
 module QAst = Xy_query.Ast
+module Obs = Xy_obs.Obs
 
 type error =
   | Parse_error of string
@@ -41,6 +42,14 @@ type dispatch = {
   d_select : QAst.select option;
 }
 
+type metrics = {
+  m_subscribed : Obs.Counter.t;
+  m_rejected : Obs.Counter.t;
+  m_unsubscribed : Obs.Counter.t;
+  m_recovered : Obs.Counter.t;
+  m_live : Obs.Gauge.t;
+}
+
 type t = {
   policy : Compile.policy;
   mutable persist : Persist.t option;
@@ -53,7 +62,10 @@ type t = {
   subscriptions : (string, installed) Hashtbl.t;
   dispatches : (int, dispatch) Hashtbl.t;
   mutable next_complex_id : int;
+  metrics : metrics;
 }
+
+let stage = "submgr"
 
 (* ------------------------------------------------------------------ *)
 (* Notification materialization: instantiate the monitoring query's
@@ -143,8 +155,8 @@ let materialize select ~payload ~url =
 
 (* ------------------------------------------------------------------ *)
 
-let create ?(policy = Compile.default_policy) ?persist ~clock ~registry ~mqp
-    ~trigger ~reporter ~run_query () =
+let create ?(policy = Compile.default_policy) ?persist ?(obs = Obs.default)
+    ~clock ~registry ~mqp ~trigger ~reporter ~run_query () =
   let t =
     {
       policy;
@@ -158,6 +170,14 @@ let create ?(policy = Compile.default_policy) ?persist ~clock ~registry ~mqp
       subscriptions = Hashtbl.create 64;
       dispatches = Hashtbl.create 256;
       next_complex_id = 0;
+      metrics =
+        {
+          m_subscribed = Obs.counter obs ~stage "subscribed";
+          m_rejected = Obs.counter obs ~stage "rejected";
+          m_unsubscribed = Obs.counter obs ~stage "unsubscribed";
+          m_recovered = Obs.counter obs ~stage "recovered";
+          m_live = Obs.gauge obs ~stage "live_subscriptions";
+        };
     }
   in
   (* Batch dispatch: the disjuncts of one monitoring query are
@@ -234,7 +254,7 @@ let install_continuous t ~subscription (c : S.continuous) =
         action);
   trigger_id
 
-let subscribe t ~owner ~text =
+let subscribe_unmetered t ~owner ~text =
   match Xy_sublang.S_parser.parse text with
   | exception Xy_sublang.S_parser.Error { line; message } ->
       Error (Parse_error (Printf.sprintf "line %d: %s" line message))
@@ -316,6 +336,16 @@ let subscribe t ~owner ~text =
                 | None -> ());
                 Ok ast.S.name))
 
+let subscribe t ~owner ~text =
+  match subscribe_unmetered t ~owner ~text with
+  | Ok _ as ok ->
+      Obs.Counter.incr t.metrics.m_subscribed;
+      Obs.Gauge.set_int t.metrics.m_live (Hashtbl.length t.subscriptions);
+      ok
+  | Error _ as err ->
+      Obs.Counter.incr t.metrics.m_rejected;
+      err
+
 let unsubscribe t ~name =
   match Hashtbl.find_opt t.subscriptions name with
   | None -> Error (Unknown name)
@@ -338,6 +368,8 @@ let unsubscribe t ~name =
       (match t.persist with
       | Some log -> Persist.append_delete log ~name
       | None -> ());
+      Obs.Counter.incr t.metrics.m_unsubscribed;
+      Obs.Gauge.set_int t.metrics.m_live (Hashtbl.length t.subscriptions);
       Ok ()
 
 let update t ~name ~owner ~text =
@@ -393,6 +425,7 @@ let recover t path =
       0 records
   in
   t.persist <- saved_persist;
+  Obs.Counter.add t.metrics.m_recovered restored;
   restored
 
 let subscription_names t =

@@ -22,9 +22,13 @@ type error =
 
 val error_to_string : error -> string
 
+(** Management metrics (subscribed/rejected/unsubscribed/recovered
+    counters, live-subscription gauge) are registered under the
+    [submgr] stage of [obs] (default {!Xy_obs.Obs.default}). *)
 val create :
   ?policy:Xy_sublang.S_compile.policy ->
   ?persist:Persist.t ->
+  ?obs:Xy_obs.Obs.t ->
   clock:Xy_util.Clock.t ->
   registry:Xy_events.Registry.t ->
   mqp:Xy_core.Mqp.t ->

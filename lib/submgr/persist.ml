@@ -25,43 +25,68 @@ type record =
   | Insert of { name : string; owner : string; text : string }
   | Delete of string
 
-let read_all path =
+type tail = Clean | Torn | Corrupt
+
+let scan path =
   match open_in_bin path with
-  | exception Sys_error _ -> []
+  | exception Sys_error _ -> ([], Clean)
   | ic ->
       let records = ref [] in
+      let tail = ref Clean in
+      let at_eof () = pos_in ic >= in_channel_length ic in
       let rec go () =
         match input_line ic with
         | exception End_of_file -> ()
         | header -> (
             match String.split_on_char ' ' header with
             | [ "R"; kind; name_len; owner_len; text_len; crc ] -> (
-                let name_len = int_of_string name_len in
-                let owner_len = int_of_string owner_len in
-                let text_len = int_of_string text_len in
-                let payload_len = name_len + owner_len + text_len in
-                let payload = really_input_string ic (payload_len + 1) in
-                if String.length payload < payload_len + 1 then ()
-                else begin
-                  let name = String.sub payload 0 name_len in
-                  let owner = String.sub payload name_len owner_len in
-                  let text = String.sub payload (name_len + owner_len) text_len in
-                  if checksum name owner text <> crc then
-                    (* corrupted record: stop replay here *)
-                    ()
-                  else begin
-                    (match kind with
-                    | "I" -> records := Insert { name; owner; text } :: !records
-                    | "D" -> records := Delete name :: !records
-                    | _ -> ());
-                    go ()
-                  end
-                end)
-            | _ -> (* torn header: stop *) ())
+                match
+                  ( int_of_string name_len,
+                    int_of_string owner_len,
+                    int_of_string text_len )
+                with
+                | exception Failure _ -> tail := Corrupt
+                | name_len, owner_len, text_len
+                  when name_len < 0 || owner_len < 0 || text_len < 0 ->
+                    tail := Corrupt
+                | name_len, owner_len, text_len -> (
+                    let payload_len = name_len + owner_len + text_len in
+                    (* [really_input_string] raises [End_of_file] on a
+                       short read, so the torn-tail case must be caught
+                       here: fewer bytes than the header promised can
+                       only mean the final record was cut mid-write. *)
+                    match really_input_string ic (payload_len + 1) with
+                    | exception End_of_file -> tail := Torn
+                    | payload ->
+                        if payload.[payload_len] <> '\n' then tail := Corrupt
+                        else begin
+                          let name = String.sub payload 0 name_len in
+                          let owner = String.sub payload name_len owner_len in
+                          let text =
+                            String.sub payload (name_len + owner_len) text_len
+                          in
+                          if checksum name owner text <> crc then
+                            (* full-length record failing its checksum:
+                               bytes were damaged in place, not torn *)
+                            tail := Corrupt
+                          else begin
+                            (match kind with
+                            | "I" -> records := Insert { name; owner; text } :: !records
+                            | "D" -> records := Delete name :: !records
+                            | _ -> tail := Corrupt);
+                            if !tail = Clean then go ()
+                          end
+                        end))
+            | _ ->
+                (* an unframed header line: at end-of-file it is a torn
+                   write, mid-log it is corruption *)
+                tail := if at_eof () then Torn else Corrupt)
       in
-      (try go () with End_of_file | Invalid_argument _ | Failure _ -> ());
+      go ();
       close_in ic;
-      List.rev !records
+      (List.rev !records, !tail)
+
+let read_all path = fst (scan path)
 
 let replay path =
   let records = read_all path in
@@ -88,13 +113,32 @@ let compact path =
   let all = read_all path in
   let surviving = replay path in
   let temp = path ^ ".compact" in
-  let log = open_log temp in
-  List.iter
-    (fun record ->
-      match record with
-      | Insert { name; owner; text } -> append_insert log ~name ~owner ~text
-      | Delete _ -> ())
-    surviving;
-  close log;
-  Sys.rename temp path;
+  (match
+     (* Truncate: a compaction that crashed before its rename leaves a
+        stale temp behind, and appending to it would duplicate
+        records. *)
+     let channel =
+       open_out_gen
+         [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+         0o644 temp
+     in
+     let log = { channel } in
+     (try
+        List.iter
+          (fun record ->
+            match record with
+            | Insert { name; owner; text } -> append_insert log ~name ~owner ~text
+            | Delete _ -> ())
+          surviving;
+        close log
+      with e ->
+        (try close log with Sys_error _ -> ());
+        raise e);
+     Sys.rename temp path
+   with
+  | () -> ()
+  | exception e ->
+      (* a failed compaction must not leave its temp file behind *)
+      (try if Sys.file_exists temp then Sys.remove temp with Sys_error _ -> ());
+      raise e);
   List.length all - List.length surviving

@@ -27,7 +27,24 @@ val replay : string -> record list
     ones (for inspection/tests). *)
 val read_all : string -> record list
 
+(** How the log ended. *)
+type tail =
+  | Clean  (** every byte accounted for *)
+  | Torn
+      (** the final record is shorter than its header promises — the
+          expected shape of a crash mid-append; replay up to it is
+          safe *)
+  | Corrupt
+      (** a full-length record failed its checksum or framing mid-log
+          — bytes were damaged in place; records after it are lost *)
+
+(** [scan path] is {!read_all} plus the tail diagnosis, so recovery
+    can tell an ordinary torn tail from in-place damage. *)
+val scan : string -> record list * tail
+
 (** [compact path] rewrites the log keeping only the surviving
-    records (atomically: writes a temp file, then renames).  Returns
+    records (atomically: writes a temp file, then renames).  A stale
+    temp from an earlier crashed compaction is truncated, and a failed
+    compaction removes its temp instead of leaving it behind.  Returns
     the number of records dropped.  The log must not be open. *)
 val compact : string -> int

@@ -1,3 +1,12 @@
+module Obs = Xy_obs.Obs
+
+type metrics = {
+  m_pushed : Obs.Counter.t;
+  m_popped : Obs.Counter.t;
+  m_depth : Obs.Gauge.t;
+  m_blocked : Obs.Histogram.t;
+}
+
 type 'a t = {
   queue : 'a Queue.t;
   capacity : int;
@@ -5,9 +14,12 @@ type 'a t = {
   not_empty : Condition.t;
   not_full : Condition.t;
   mutable closed : bool;
+  metrics : metrics;
 }
 
-let create ?(capacity = 1024) () =
+let stage = "bus"
+
+let create ?(capacity = 1024) ?(obs = Obs.default) ?(name = "bus") () =
   if capacity <= 0 then invalid_arg "Bus.create: capacity <= 0";
   {
     queue = Queue.create ();
@@ -16,22 +28,40 @@ let create ?(capacity = 1024) () =
     not_empty = Condition.create ();
     not_full = Condition.create ();
     closed = false;
+    metrics =
+      {
+        m_pushed = Obs.counter obs ~stage (name ^ "_pushed");
+        m_popped = Obs.counter obs ~stage (name ^ "_popped");
+        m_depth = Obs.gauge obs ~stage (name ^ "_depth");
+        m_blocked = Obs.histogram obs ~stage (name ^ "_blocked");
+      };
   }
 
 let push t message =
   Mutex.lock t.mutex;
-  let rec wait () =
+  let rec wait ~blocked_since =
     if t.closed then begin
       Mutex.unlock t.mutex;
       invalid_arg "Bus.push: closed"
     end
     else if Queue.length t.queue >= t.capacity then begin
+      let blocked_since =
+        match blocked_since with Some _ -> blocked_since | None -> Some (Obs.now ())
+      in
       Condition.wait t.not_full t.mutex;
-      wait ()
+      wait ~blocked_since
     end
+    else
+      (* Only producers that actually hit backpressure contribute a
+         sample, so the histogram count doubles as a block counter. *)
+      match blocked_since with
+      | Some since -> Obs.Histogram.observe t.metrics.m_blocked (Obs.now () -. since)
+      | None -> ()
   in
-  wait ();
+  wait ~blocked_since:None;
   Queue.push message t.queue;
+  Obs.Counter.incr t.metrics.m_pushed;
+  Obs.Gauge.set_int t.metrics.m_depth (Queue.length t.queue);
   Condition.signal t.not_empty;
   Mutex.unlock t.mutex
 
@@ -40,6 +70,8 @@ let pop t =
   let rec wait () =
     if not (Queue.is_empty t.queue) then begin
       let message = Queue.pop t.queue in
+      Obs.Counter.incr t.metrics.m_popped;
+      Obs.Gauge.set_int t.metrics.m_depth (Queue.length t.queue);
       Condition.signal t.not_full;
       Mutex.unlock t.mutex;
       Some message

@@ -9,8 +9,12 @@
 type 'a t
 
 (** [create ~capacity ()] — producers block when [capacity] messages
-    are in flight (backpressure, default 1024). *)
-val create : ?capacity:int -> unit -> 'a t
+    are in flight (backpressure, default 1024).  Queue metrics
+    ([name_pushed]/[name_popped] counters, [name_depth] gauge and a
+    [name_blocked] backpressure-stall histogram) are registered under
+    the [bus] stage of [obs] (default {!Xy_obs.Obs.default}); [name]
+    defaults to ["bus"]. *)
+val create : ?capacity:int -> ?obs:Xy_obs.Obs.t -> ?name:string -> unit -> 'a t
 
 (** [push t message] blocks while the queue is full.  Raises
     [Invalid_argument] if the queue is closed. *)

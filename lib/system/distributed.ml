@@ -1,6 +1,9 @@
 module Mqp = Xy_core.Mqp
+module Obs = Xy_obs.Obs
 
 type axis = Split_documents | Split_subscriptions
+
+let stage = "distributed"
 
 type result = {
   notifications : (string * int) list;
@@ -8,13 +11,20 @@ type result = {
   wall_seconds : float;
 }
 
-let run ?algorithm ~axis ~partitions ~subscriptions ~alerts () =
+let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
+    () =
   if partitions <= 0 then invalid_arg "Distributed.run: partitions <= 0";
+  Obs.set_timer Unix.gettimeofday;
+  let m_routed = Obs.counter obs ~stage "alerts_routed" in
+  let m_notifications = Obs.counter obs ~stage "notifications" in
+  let m_partitions = Obs.gauge obs ~stage "partitions" in
+  let m_worker_span = Obs.histogram obs ~stage "worker_span" in
+  Obs.Gauge.set_int m_partitions partitions;
   (* Build the per-partition processors (outside the timed region —
      structure construction is deployment, not steady state). *)
   let mqps =
     Array.init partitions (fun slot ->
-        let mqp = Mqp.create ?algorithm () in
+        let mqp = Mqp.create ?algorithm ~obs () in
         List.iter
           (fun (id, events) ->
             match axis with
@@ -25,15 +35,18 @@ let run ?algorithm ~axis ~partitions ~subscriptions ~alerts () =
         mqp)
   in
   let inboxes : Mqp.alert Bus.t array =
-    Array.init partitions (fun _ -> Bus.create ~capacity:256 ())
+    Array.init partitions (fun _ -> Bus.create ~capacity:256 ~obs ~name:"inbox" ())
   in
-  let outbox : (string * int) Bus.t = Bus.create ~capacity:1024 () in
+  let outbox : (string * int) Bus.t =
+    Bus.create ~capacity:1024 ~obs ~name:"outbox" ()
+  in
   let processed = Array.make partitions 0 in
   let start = Unix.gettimeofday () in
   (* Processor domains. *)
   let workers =
     Array.init partitions (fun slot ->
         Domain.spawn (fun () ->
+            Obs.Histogram.time m_worker_span @@ fun () ->
             let mqp = mqps.(slot) in
             let rec loop () =
               match Bus.pop inboxes.(slot) with
@@ -41,7 +54,9 @@ let run ?algorithm ~axis ~partitions ~subscriptions ~alerts () =
               | Some alert ->
                   processed.(slot) <- processed.(slot) + 1;
                   List.iter
-                    (fun id -> Bus.push outbox (alert.Mqp.url, id))
+                    (fun id ->
+                      Obs.Counter.incr m_notifications;
+                      Bus.push outbox (alert.Mqp.url, id))
                     (Mqp.process mqp alert);
                   loop ()
             in
@@ -59,6 +74,7 @@ let run ?algorithm ~axis ~partitions ~subscriptions ~alerts () =
   in
   (* Feeder: route per the axis. *)
   let route (alert : Mqp.alert) =
+    Obs.Counter.incr m_routed;
     match axis with
     | Split_documents ->
         let slot =

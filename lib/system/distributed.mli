@@ -32,9 +32,16 @@ type result = {
 (** [run ~axis ~partitions ~subscriptions ~alerts ()] builds one
     {!Xy_core.Mqp} per partition (loaded per [axis]), spawns one
     domain per partition plus a collector, streams [alerts] through
-    and returns the collected notification multiset. *)
+    and returns the collected notification multiset.
+
+    Pipeline metrics (routed alerts, emitted notifications, partition
+    gauge, per-domain worker-span histogram, plus the [bus] stage's
+    inbox/outbox queues and each partition's [mqp] stage) accumulate
+    into [obs] (default {!Xy_obs.Obs.default}) — the registry is
+    domain-safe, so workers on separate cores report concurrently. *)
 val run :
   ?algorithm:Xy_core.Mqp.algorithm ->
+  ?obs:Xy_obs.Obs.t ->
   axis:axis ->
   partitions:int ->
   subscriptions:(int * Xy_events.Event_set.t) list ->

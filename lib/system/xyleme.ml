@@ -9,8 +9,10 @@ module Chain = Xy_alerters.Chain
 module Alert = Xy_alerters.Alert
 module Mqp = Xy_core.Mqp
 module Manager = Xy_submgr.Manager
+module Obs = Xy_obs.Obs
 
 type t = {
+  obs : Obs.t;
   clock : Xy_util.Clock.t;
   registry : Xy_events.Registry.t;
   mqp : Mqp.t;
@@ -25,6 +27,8 @@ type t = {
   crawler : Xy_crawler.Crawler.t;
   mutable manager : Manager.t option;  (** set right after creation *)
   mutable alerts_sent : int;
+  m_ingested : Obs.Counter.t;
+  m_ingest_latency : Obs.Histogram.t;
 }
 
 let default_domains () =
@@ -68,26 +72,31 @@ let warehouse_view t =
   in
   T.element "warehouse" children
 
-let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web () =
+let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs () =
+  (* Wall-clock latencies: xy_obs itself is zero-dependency, so the
+     high-resolution timer is installed here, where unix is linked. *)
+  Obs.set_timer Unix.gettimeofday;
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let clock = Xy_util.Clock.create () in
   let registry = Xy_events.Registry.create () in
-  let mqp = Mqp.create ?algorithm () in
+  let mqp = Mqp.create ?algorithm ~obs () in
   let sink = match sink with Some s -> s | None -> Xy_reporter.Sink.null () in
-  let reporter = Xy_reporter.Reporter.create ~clock ~sink in
-  let trigger = Xy_trigger.Trigger_engine.create ~clock in
+  let reporter = Xy_reporter.Reporter.create ~obs ~clock ~sink () in
+  let trigger = Xy_trigger.Trigger_engine.create ~obs ~clock () in
   let store = Store.create () in
   let domains = default_domains () in
-  let loader = Loader.create ~domains ~store ~clock () in
-  let chain = Chain.create registry in
+  let loader = Loader.create ~domains ~obs ~store ~clock () in
+  let chain = Chain.create ~obs registry in
   let web =
     match web with
     | Some w -> w
     | None -> Xy_crawler.Synthetic_web.generate ~seed ~sites:4 ~pages_per_site:5 ()
   in
-  let queue = Xy_crawler.Fetch_queue.create ~clock () in
-  let crawler = Xy_crawler.Crawler.create ~web ~queue in
+  let queue = Xy_crawler.Fetch_queue.create ~obs ~clock () in
+  let crawler = Xy_crawler.Crawler.create ~obs ~web ~queue () in
   let t =
     {
+      obs;
       clock;
       registry;
       mqp;
@@ -102,6 +111,8 @@ let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web () =
       crawler;
       manager = None;
       alerts_sent = 0;
+      m_ingested = Obs.counter obs ~stage:"system" "ingested";
+      m_ingest_latency = Obs.histogram obs ~stage:"system" "ingest_latency";
     }
   in
   let persist = Option.map Xy_submgr.Persist.open_log persist_path in
@@ -109,12 +120,13 @@ let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web () =
     Xy_query.Eval.eval query (Xy_query.Eval.env (warehouse_view t))
   in
   let manager =
-    Manager.create ?policy ?persist ~clock ~registry ~mqp ~trigger ~reporter
-      ~run_query ()
+    Manager.create ?policy ?persist ~obs ~clock ~registry ~mqp ~trigger
+      ~reporter ~run_query ()
   in
   t.manager <- Some manager;
   t
 
+let obs t = t.obs
 let clock t = t.clock
 let registry t = t.registry
 let mqp t = t.mqp
@@ -159,6 +171,8 @@ type ingest_outcome = {
 }
 
 let ingest t ~url ~content ~kind =
+  Obs.Counter.incr t.m_ingested;
+  Obs.Histogram.time t.m_ingest_latency @@ fun () ->
   let result = Loader.load t.loader ~url ~content ~kind in
   match Chain.process t.chain ~result ~content with
   | None -> { status = result.Loader.status; alerted = false; matched = [] }

@@ -8,6 +8,12 @@
 
 type t
 
+(** [create ()] wires a fresh registry into every stage: all pipeline
+    metrics (crawler, warehouse, alerters, mqp, trigger, reporter,
+    submgr, system) land in [obs] (a private {!Xy_obs.Obs.create}d
+    registry by default — pass one to share it, e.g. with a {!Bus}).
+    The high-resolution [Unix.gettimeofday] timer is installed into
+    xy_obs as a side effect. *)
 val create :
   ?seed:int ->
   ?algorithm:Xy_core.Mqp.algorithm ->
@@ -15,10 +21,15 @@ val create :
   ?persist_path:string ->
   ?sink:Xy_reporter.Sink.t ->
   ?web:Xy_crawler.Synthetic_web.t ->
+  ?obs:Xy_obs.Obs.t ->
   unit ->
   t
 
 (** {2 Component access} *)
+
+(** [obs t] is the metrics registry every stage reports into; snapshot
+    it with {!Xy_obs.Obs.snapshot}. *)
+val obs : t -> Xy_obs.Obs.t
 
 val clock : t -> Xy_util.Clock.t
 val registry : t -> Xy_events.Registry.t

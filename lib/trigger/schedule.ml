@@ -1,20 +1,34 @@
 (* Binary min-heap on deadlines.  Ties break arbitrarily; insertion
-   order is not significant for the engine. *)
-type 'a t = { mutable heap : (float * 'a) array; mutable size : int }
+   order is not significant for the engine.
 
-let create () = { heap = [||]; size = 0 }
+   Deadlines and tasks live in parallel arrays: the float array stays
+   unboxed, and a vacated task slot can be cleared to [None] so the
+   heap never retains a reference to a popped task (with a single
+   [(float * 'a) array] the backing array would pin every popped task
+   until its slot happened to be overwritten — a space leak for large
+   URL sets). *)
+type 'a t = {
+  mutable times : float array;
+  mutable tasks : 'a option array;
+  mutable size : int;
+}
+
+let create () = { times = [||]; tasks = [||]; size = 0 }
 let is_empty t = t.size = 0
 let size t = t.size
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let time = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- time;
+  let task = t.tasks.(i) in
+  t.tasks.(i) <- t.tasks.(j);
+  t.tasks.(j) <- task
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if fst t.heap.(i) < fst t.heap.(parent) then begin
+    if t.times.(i) < t.times.(parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -23,9 +37,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < t.size && fst t.heap.(left) < fst t.heap.(!smallest) then
-    smallest := left;
-  if right < t.size && fst t.heap.(right) < fst t.heap.(!smallest) then
+  if left < t.size && t.times.(left) < t.times.(!smallest) then smallest := left;
+  if right < t.size && t.times.(right) < t.times.(!smallest) then
     smallest := right;
   if !smallest <> i then begin
     swap t i !smallest;
@@ -33,26 +46,36 @@ let rec sift_down t i =
   end
 
 let add t ~at task =
-  if t.size = Array.length t.heap then begin
-    let capacity = max 16 (2 * Array.length t.heap) in
-    let heap = Array.make capacity (at, task) in
-    Array.blit t.heap 0 heap 0 t.size;
-    t.heap <- heap
+  if t.size = Array.length t.times then begin
+    let capacity = max 16 (2 * Array.length t.times) in
+    let times = Array.make capacity 0. in
+    let tasks = Array.make capacity None in
+    Array.blit t.times 0 times 0 t.size;
+    Array.blit t.tasks 0 tasks 0 t.size;
+    t.times <- times;
+    t.tasks <- tasks
   end;
-  t.heap.(t.size) <- (at, task);
+  t.times.(t.size) <- at;
+  t.tasks.(t.size) <- Some task;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek_time t = if t.size = 0 then None else Some (fst t.heap.(0))
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
 let pop t =
-  let top = t.heap.(0) in
+  if t.size = 0 then invalid_arg "Schedule.pop: empty heap";
+  let at = t.times.(0) in
+  let task =
+    match t.tasks.(0) with Some task -> task | None -> assert false
+  in
   t.size <- t.size - 1;
   if t.size > 0 then begin
-    t.heap.(0) <- t.heap.(t.size);
-    sift_down t 0
+    t.times.(0) <- t.times.(t.size);
+    t.tasks.(0) <- t.tasks.(t.size)
   end;
-  top
+  t.tasks.(t.size) <- None;
+  if t.size > 0 then sift_down t 0;
+  (at, task)
 
 let pop_next t = if t.size = 0 then None else Some (pop t)
 

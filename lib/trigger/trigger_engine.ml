@@ -1,4 +1,14 @@
+module Obs = Xy_obs.Obs
+
 type periodic = { p_id : string; period : float; action : unit -> unit }
+
+type metrics = {
+  m_ticks : Obs.Counter.t;
+  m_periodic_runs : Obs.Counter.t;
+  m_notification_runs : Obs.Counter.t;
+  m_depth : Obs.Gauge.t;
+  m_action_latency : Obs.Histogram.t;
+}
 
 type t = {
   clock : Xy_util.Clock.t;
@@ -10,9 +20,12 @@ type t = {
       (** (subscription, tag) -> [(id, action)] *)
   mutable periodic_runs : int;
   mutable notification_runs : int;
+  metrics : metrics;
 }
 
-let create ~clock =
+let stage = "trigger"
+
+let create ?(obs = Obs.default) ~clock () =
   {
     clock;
     schedule = Schedule.create ();
@@ -21,6 +34,14 @@ let create ~clock =
     notification_triggers = Hashtbl.create 64;
     periodic_runs = 0;
     notification_runs = 0;
+    metrics =
+      {
+        m_ticks = Obs.counter obs ~stage "ticks";
+        m_periodic_runs = Obs.counter obs ~stage "periodic_runs";
+        m_notification_runs = Obs.counter obs ~stage "notification_runs";
+        m_depth = Obs.gauge obs ~stage "schedule_depth";
+        m_action_latency = Obs.histogram obs ~stage "action_latency";
+      };
   }
 
 let schedule_periodic t ~id ~period action =
@@ -30,7 +51,8 @@ let schedule_periodic t ~id ~period action =
   Hashtbl.replace t.periodic_ids id ();
   Schedule.add t.schedule
     ~at:(Xy_util.Clock.now t.clock +. period)
-    { p_id = id; period; action }
+    { p_id = id; period; action };
+  Obs.Gauge.set_int t.metrics.m_depth (Schedule.size t.schedule)
 
 let on_notification t ~id ~subscription ~tag action =
   let key = (subscription, tag) in
@@ -56,10 +78,12 @@ let notify t ~subscription ~tag =
       List.iter
         (fun (_, action) ->
           t.notification_runs <- t.notification_runs + 1;
-          action ())
+          Obs.Counter.incr t.metrics.m_notification_runs;
+          Obs.Histogram.time t.metrics.m_action_latency action)
         (List.rev !actions)
 
 let tick t =
+  Obs.Counter.incr t.metrics.m_ticks;
   let now = Xy_util.Clock.now t.clock in
   (* Loop until nothing is due: a long clock advance re-arms entries
      that are themselves already due, giving one run per elapsed
@@ -74,14 +98,16 @@ let tick t =
               Hashtbl.remove t.cancelled periodic.p_id
             else begin
               t.periodic_runs <- t.periodic_runs + 1;
-              periodic.action ();
+              Obs.Counter.incr t.metrics.m_periodic_runs;
+              Obs.Histogram.time t.metrics.m_action_latency periodic.action;
               (* Re-arm from the *deadline*, not from now. *)
               Schedule.add t.schedule ~at:(deadline +. periodic.period) periodic
             end)
           due;
         drain ()
   in
-  drain ()
+  drain ();
+  Obs.Gauge.set_int t.metrics.m_depth (Schedule.size t.schedule)
 
 let next_deadline t = Schedule.peek_time t.schedule
 

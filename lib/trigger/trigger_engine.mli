@@ -13,7 +13,10 @@
 
 type t
 
-val create : clock:Xy_util.Clock.t -> t
+(** Trigger metrics (ticks, periodic/notification runs, schedule depth,
+    action latency) are registered under the [trigger] stage of [obs]
+    (default {!Xy_obs.Obs.default}). *)
+val create : ?obs:Xy_obs.Obs.t -> clock:Xy_util.Clock.t -> unit -> t
 
 (** [schedule_periodic t ~id ~period action] — the first run happens
     one period from now.  Raises [Invalid_argument] on a duplicate id

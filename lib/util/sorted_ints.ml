@@ -16,7 +16,14 @@ let dedup_sorted a =
 
 let of_array a =
   let a = Array.copy a in
-  Array.sort compare a;
+  (* [Int.compare], not polymorphic [compare]: this sort sits under
+     every event-set construction on the document hot path.  The
+     monomorphic comparator never enters the generic-compare runtime;
+     the tbl-sortint bench measures parity-to-~1.1x on this compiler
+     (caml_compare's immediate-int fast path is good), but the
+     polymorphic version's cost is a runtime implementation detail
+     this hot path should not depend on. *)
+  Array.sort Int.compare a;
   dedup_sorted a
 
 let of_list l = of_array (Array.of_list l)

@@ -8,11 +8,42 @@ type result = {
   delta : Xy_diff.Delta.t;
 }
 
-type t = { store : Store.t; domains : Domains.t; clock : Xy_util.Clock.t }
+module Obs = Xy_obs.Obs
 
-let create ?domains ~store ~clock () =
+type metrics = {
+  m_new : Obs.Counter.t;
+  m_updated : Obs.Counter.t;
+  m_unchanged : Obs.Counter.t;
+  m_deleted : Obs.Counter.t;
+  m_rejected : Obs.Counter.t;
+  m_load_latency : Obs.Histogram.t;
+}
+
+type t = {
+  store : Store.t;
+  domains : Domains.t;
+  clock : Xy_util.Clock.t;
+  metrics : metrics;
+}
+
+let stage = "warehouse"
+
+let create ?domains ?(obs = Obs.default) ~store ~clock () =
   let domains = match domains with Some d -> d | None -> Domains.create () in
-  { store; domains; clock }
+  {
+    store;
+    domains;
+    clock;
+    metrics =
+      {
+        m_new = Obs.counter obs ~stage "loaded_new";
+        m_updated = Obs.counter obs ~stage "loaded_updated";
+        m_unchanged = Obs.counter obs ~stage "loaded_unchanged";
+        m_deleted = Obs.counter obs ~stage "deleted";
+        m_rejected = Obs.counter obs ~stage "rejected";
+        m_load_latency = Obs.histogram obs ~stage "load_latency";
+      };
+  }
 
 let store t = t.store
 let domains t = t.domains
@@ -39,12 +70,19 @@ let parse_xml ~strict content =
       else None
 
 let load t ~url ~content ~kind =
+  Obs.Histogram.time t.metrics.m_load_latency @@ fun () ->
   let now = Xy_util.Clock.now t.clock in
   let doc =
-    match kind with
-    | Xml -> parse_xml ~strict:true content
-    | Html -> None
-    | Auto -> if looks_like_xml content then parse_xml ~strict:false content else None
+    try
+      match kind with
+      | Xml -> parse_xml ~strict:true content
+      | Html -> None
+      | Auto ->
+          if looks_like_xml content then parse_xml ~strict:false content
+          else None
+    with Rejected _ as e ->
+      Obs.Counter.incr t.metrics.m_rejected;
+      raise e
   in
   let signature = Xy_util.Hashing.signature content in
   let docid = Store.allocate_docid t.store ~url in
@@ -82,6 +120,7 @@ let load t ~url ~content ~kind =
         }
       in
       Store.put t.store { Store.meta; tree } ~delta:[];
+      Obs.Counter.incr t.metrics.m_new;
       { meta; status = New; doc; tree; delta = [] }
   | Some old_entry ->
       let old_meta = old_entry.Store.meta in
@@ -89,6 +128,7 @@ let load t ~url ~content ~kind =
         (* Same content: refresh the access date only. *)
         let meta = { old_meta with Meta.last_accessed = now } in
         Store.put t.store { Store.meta; tree = old_entry.Store.tree } ~delta:[];
+        Obs.Counter.incr t.metrics.m_unchanged;
         { meta; status = Unchanged; doc; tree = old_entry.Store.tree; delta = [] }
       end
       else begin
@@ -121,6 +161,7 @@ let load t ~url ~content ~kind =
           }
         in
         Store.put t.store { Store.meta; tree } ~delta;
+        Obs.Counter.incr t.metrics.m_updated;
         { meta; status = Updated; doc; tree; delta }
       end
 
@@ -137,4 +178,5 @@ let delete t ~url =
   | None -> None
   | Some entry ->
       Store.remove t.store ~url;
+      Obs.Counter.incr t.metrics.m_deleted;
       Some entry.Store.meta

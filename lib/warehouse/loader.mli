@@ -21,8 +21,16 @@ type result = {
 
 type t
 
+(** Loading metrics (new/updated/unchanged/deleted/rejected counters
+    and a load-latency histogram) are registered under the [warehouse]
+    stage of [obs] (default {!Xy_obs.Obs.default}). *)
 val create :
-  ?domains:Domains.t -> store:Store.t -> clock:Xy_util.Clock.t -> unit -> t
+  ?domains:Domains.t ->
+  ?obs:Xy_obs.Obs.t ->
+  store:Store.t ->
+  clock:Xy_util.Clock.t ->
+  unit ->
+  t
 
 val store : t -> Store.t
 val domains : t -> Domains.t

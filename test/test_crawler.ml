@@ -153,6 +153,55 @@ let test_queue_boost_ceiling () =
   Queue.mark_fetched queue ~url:"u" ~changed:false;
   checkb "cannot exceed boost ceiling" true (Queue.period queue ~url:"u" = Some 3600.)
 
+let test_queue_boost_resurrects () =
+  let clock = Clock.create () in
+  let queue = Queue.create ~initial_period:100. ~min_period:10. ~clock () in
+  Queue.add queue ~url:"u";
+  Queue.forget queue ~url:"u";
+  checki "forgotten" 0 (Queue.known_count queue);
+  (* A subscription refresh statement re-demands the page: the dead
+     entry must come back to life, not be silently dropped. *)
+  Queue.boost queue ~url:"u" ~period:50.;
+  checki "resurrected" 1 (Queue.known_count queue);
+  Alcotest.(check (list string)) "served again" [ "u" ]
+    (Queue.pop_due queue ~limit:10)
+
+let test_queue_boost_resurrects_after_serve () =
+  let clock = Clock.create () in
+  let queue = Queue.create ~initial_period:100. ~min_period:10. ~clock () in
+  Queue.add queue ~url:"u";
+  ignore (Queue.pop_due queue ~limit:1);
+  (* Forgotten while in flight: no heap entry is pending, so the boost
+     must schedule one anew at [now + period]. *)
+  Queue.forget queue ~url:"u";
+  Queue.boost queue ~url:"u" ~period:50.;
+  checki "resurrected" 1 (Queue.known_count queue);
+  checkb "not due before the new deadline" true
+    (Queue.pop_due queue ~limit:10 = []);
+  Clock.advance clock 50.;
+  Alcotest.(check (list string)) "rescheduled at now + period" [ "u" ]
+    (Queue.pop_due queue ~limit:10)
+
+let test_queue_boost_reschedules_pending () =
+  let clock = Clock.create () in
+  let queue = Queue.create ~initial_period:1000. ~min_period:10. ~clock () in
+  Queue.add queue ~url:"u";
+  ignore (Queue.pop_due queue ~limit:1);
+  Queue.mark_fetched queue ~url:"u" ~changed:false;
+  (* Next fetch is now + 1500; a boost down to 100 must not wait for
+     that far-away deadline. *)
+  Queue.boost queue ~url:"u" ~period:100.;
+  checkb "not due yet" true (Queue.pop_due queue ~limit:10 = []);
+  Clock.advance clock 100.;
+  Alcotest.(check (list string)) "due at the boosted deadline" [ "u" ]
+    (Queue.pop_due queue ~limit:10);
+  Queue.mark_fetched queue ~url:"u" ~changed:false;
+  (* The superseded heap entry (at now + 1400) must be skipped as
+     stale, not served a second time. *)
+  Clock.advance clock 1400.;
+  Alcotest.(check (list string)) "stale superseded entry skipped" [ "u" ]
+    (Queue.pop_due queue ~limit:10)
+
 let test_queue_not_due_before_deadline () =
   let clock = Clock.create () in
   let queue = Queue.create ~initial_period:100. ~min_period:10. ~clock () in
@@ -206,7 +255,11 @@ let test_queue_model_random () =
             (Hashtbl.find_opt model url)
         in
         let ceiling = Float.max 10. period in
-        Hashtbl.replace model url (deadline, clamp ceiling p, ceiling)
+        let p = clamp ceiling p in
+        (* boost reschedules when the clamped period shortens the
+           pending deadline *)
+        let deadline = Float.min deadline (Clock.now clock +. p) in
+        Hashtbl.replace model url (deadline, p, ceiling)
     | 2 ->
         (* fetch everything due, in both queue and model *)
         let due = List.sort compare (Queue.pop_due queue ~limit:100) in
@@ -236,7 +289,7 @@ let test_crawler_loop () =
   let clock = Clock.create () in
   let web = Web.generate ~seed:1 ~sites:2 ~pages_per_site:3 () in
   let queue = Queue.create ~clock () in
-  let crawler = Crawler.create ~web ~queue in
+  let crawler = Crawler.create ~web ~queue () in
   Crawler.discover crawler;
   let fetches = Crawler.step crawler ~limit:100 in
   checki "all fetched" 6 (List.length fetches);
@@ -253,7 +306,7 @@ let test_crawler_missing_page () =
   let clock = Clock.create () in
   let web = Web.generate ~seed:1 ~sites:1 ~pages_per_site:2 () in
   let queue = Queue.create ~clock () in
-  let crawler = Crawler.create ~web ~queue in
+  let crawler = Crawler.create ~web ~queue () in
   Crawler.discover crawler;
   let victim = List.hd (Web.urls web) in
   Web.remove web ~url:victim;
@@ -293,6 +346,9 @@ let () =
           tc "adaptive period" test_queue_adaptive_period;
           tc "period bounds" test_queue_period_bounds;
           tc "boost ceiling" test_queue_boost_ceiling;
+          tc "boost resurrects forgotten url" test_queue_boost_resurrects;
+          tc "boost resurrects after serve" test_queue_boost_resurrects_after_serve;
+          tc "boost reschedules pending deadline" test_queue_boost_reschedules_pending;
           tc "deadline" test_queue_not_due_before_deadline;
           tc "forget" test_queue_forget;
           tc "add idempotent" test_queue_add_idempotent;

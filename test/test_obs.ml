@@ -1,0 +1,259 @@
+(* Tests for xy_obs: instrument laws, registry interning, snapshot
+   algebra (merge is associative/commutative with [empty] as identity),
+   and exactness of the striped accumulation under parallel domains. *)
+
+module Obs = Xy_obs.Obs
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Instruments *)
+
+let test_counter () =
+  let obs = Obs.create () in
+  let c = Obs.counter obs ~stage:"s" "hits" in
+  checki "fresh" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  checki "incr + add" 42 (Obs.Counter.value c);
+  (* The registry interns by (stage, name): a second lookup yields the
+     same accumulator. *)
+  let c' = Obs.counter obs ~stage:"s" "hits" in
+  Obs.Counter.incr c';
+  checki "same instrument via registry" 43 (Obs.Counter.value c)
+
+let test_gauge () =
+  let obs = Obs.create () in
+  let g = Obs.gauge obs ~stage:"s" "depth" in
+  Obs.Gauge.set g 2.5;
+  checkf "set" 2.5 (Obs.Gauge.value g);
+  Obs.Gauge.set_int g 7;
+  checkf "set_int overwrites" 7. (Obs.Gauge.value g)
+
+let test_kind_mismatch_rejected () =
+  let obs = Obs.create () in
+  ignore (Obs.counter obs ~stage:"s" "x");
+  (match Obs.gauge obs ~stage:"s" "x" with
+  | _ -> Alcotest.fail "kind mismatch must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* The same name under another stage is a distinct key. *)
+  ignore (Obs.gauge obs ~stage:"other" "x")
+
+let test_histogram_buckets () =
+  let obs = Obs.create () in
+  let h = Obs.histogram ~buckets:[| 1.; 10.; 100. |] obs ~stage:"s" "lat" in
+  List.iter (Obs.Histogram.observe h) [ 0.5; 1.0; 5.; 50.; 1000. ];
+  checki "count" 5 (Obs.Histogram.count h);
+  checkf "sum" 1056.5 (Obs.Histogram.sum h);
+  match Obs.Snapshot.find (Obs.snapshot obs) ~stage:"s" "lat" with
+  | Some (Obs.Snapshot.Histogram hist) ->
+      (* upper bounds are inclusive: 1.0 lands in the first bucket *)
+      checkb "bucket assignment" true (hist.Obs.Snapshot.counts = [| 2; 1; 1; 1 |]);
+      checkf "max" 1000. hist.Obs.Snapshot.max_value
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+let test_histogram_rejects_bad_bounds () =
+  let obs = Obs.create () in
+  match Obs.histogram ~buckets:[| 2.; 1. |] obs ~stage:"s" "bad" with
+  | _ -> Alcotest.fail "descending bounds must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_histogram_time () =
+  let obs = Obs.create () in
+  let h = Obs.histogram obs ~stage:"s" "span" in
+  checki "timed result" 7 (Obs.Histogram.time h (fun () -> 3 + 4));
+  checki "one sample" 1 (Obs.Histogram.count h);
+  (* A raising thunk is still timed, and the exception propagates. *)
+  (match Obs.Histogram.time h (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "exception must propagate"
+  | exception Failure _ -> ());
+  checki "sample recorded on exception" 2 (Obs.Histogram.count h)
+
+let test_exponential_buckets () =
+  checkb "geometric" true
+    (Obs.exponential_buckets ~start:1. ~factor:2. ~count:4 = [| 1.; 2.; 4.; 8. |]);
+  match Obs.exponential_buckets ~start:0. ~factor:2. ~count:4 with
+  | _ -> Alcotest.fail "non-positive start must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+let test_snapshot_sorted_and_lookup () =
+  let obs = Obs.create () in
+  Obs.Counter.add (Obs.counter obs ~stage:"b" "beta") 2;
+  Obs.Counter.add (Obs.counter obs ~stage:"a" "zulu") 1;
+  Obs.Counter.add (Obs.counter obs ~stage:"a" "alpha") 3;
+  let snapshot = Obs.snapshot obs in
+  Alcotest.(check (list (pair string string)))
+    "sorted by (stage, name)"
+    [ ("a", "alpha"); ("a", "zulu"); ("b", "beta") ]
+    (List.map
+       (fun e -> (e.Obs.Snapshot.stage, e.Obs.Snapshot.name))
+       snapshot.Obs.Snapshot.entries);
+  checki "counter_value" 3 (Obs.Snapshot.counter_value snapshot ~stage:"a" "alpha");
+  checki "absent is zero" 0 (Obs.Snapshot.counter_value snapshot ~stage:"a" "nope");
+  checkb "find absent" true (Obs.Snapshot.find snapshot ~stage:"c" "x" = None)
+
+let test_quantile () =
+  let obs = Obs.create () in
+  let h = Obs.histogram ~buckets:[| 1.; 2.; 4. |] obs ~stage:"s" "q" in
+  List.iter (Obs.Histogram.observe h) [ 1.; 2.; 4.; 8. ];
+  match Obs.Snapshot.find (Obs.snapshot obs) ~stage:"s" "q" with
+  | Some (Obs.Snapshot.Histogram hist) ->
+      checkf "p25 covers first bucket" 1. (Obs.Snapshot.quantile hist 0.25);
+      checkf "p50" 2. (Obs.Snapshot.quantile hist 0.5);
+      (* the overflow bucket answers with the recorded max *)
+      checkf "p100 is the max" 8. (Obs.Snapshot.quantile hist 1.0)
+  | _ -> Alcotest.fail "histogram missing"
+
+let snapshot_of pairs =
+  let obs = Obs.create () in
+  List.iter
+    (fun (stage, name, n) -> Obs.Counter.add (Obs.counter obs ~stage name) n)
+    pairs;
+  Obs.snapshot obs
+
+let test_merge_algebra () =
+  let a = snapshot_of [ ("s", "x", 1); ("s", "y", 2) ] in
+  let b = snapshot_of [ ("s", "x", 10); ("t", "z", 3) ] in
+  let c = snapshot_of [ ("t", "z", 30); ("u", "w", 4) ] in
+  let entries s = s.Obs.Snapshot.entries in
+  let merge = Obs.Snapshot.merge in
+  checkb "associative" true
+    (entries (merge (merge a b) c) = entries (merge a (merge b c)));
+  checkb "commutative" true (entries (merge a b) = entries (merge b a));
+  checkb "left identity" true (entries (merge Obs.Snapshot.empty a) = entries a);
+  checkb "right identity" true (entries (merge a Obs.Snapshot.empty) = entries a);
+  let total = merge (merge a b) c in
+  checki "counters add" 11 (Obs.Snapshot.counter_value total ~stage:"s" "x");
+  checki "disjoint keys kept" 4 (Obs.Snapshot.counter_value total ~stage:"u" "w")
+
+let test_merge_gauge_and_histogram () =
+  let build v =
+    let obs = Obs.create () in
+    Obs.Gauge.set (Obs.gauge obs ~stage:"s" "g") v;
+    Obs.Histogram.observe (Obs.histogram ~buckets:[| 1.; 2. |] obs ~stage:"s" "h") v;
+    Obs.snapshot obs
+  in
+  let merged = Obs.Snapshot.merge (build 0.5) (build 1.5) in
+  (match Obs.Snapshot.find merged ~stage:"s" "g" with
+  | Some (Obs.Snapshot.Gauge v) -> checkf "gauges keep the max" 1.5 v
+  | _ -> Alcotest.fail "gauge missing");
+  match Obs.Snapshot.find merged ~stage:"s" "h" with
+  | Some (Obs.Snapshot.Histogram h) ->
+      checki "histogram counts add" 2 h.Obs.Snapshot.count;
+      checkf "sums add" 2. h.Obs.Snapshot.sum;
+      checkb "pointwise buckets" true (h.Obs.Snapshot.counts = [| 1; 1; 0 |])
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_reset () =
+  let obs = Obs.create () in
+  let c = Obs.counter obs ~stage:"s" "c" in
+  let g = Obs.gauge obs ~stage:"s" "g" in
+  let h = Obs.histogram obs ~stage:"s" "h" in
+  Obs.Counter.add c 5;
+  Obs.Gauge.set g 9.;
+  Obs.Histogram.observe h 1.;
+  Obs.reset obs;
+  checki "counter zeroed" 0 (Obs.Counter.value c);
+  checkf "gauge zeroed" 0. (Obs.Gauge.value g);
+  checki "histogram zeroed" 0 (Obs.Histogram.count h);
+  checkf "sum zeroed" 0. (Obs.Histogram.sum h)
+
+let test_renderers_smoke () =
+  let obs = Obs.create () in
+  Obs.Counter.add (Obs.counter obs ~stage:"mqp" "alerts") 7;
+  Obs.Histogram.observe (Obs.histogram obs ~stage:"mqp" "lat") 1e-4;
+  let snapshot = Obs.snapshot obs in
+  let text = Format.asprintf "%a" Obs.Snapshot.pp snapshot in
+  checkb "pp groups by stage" true
+    (Xy_query.Eval.word_contains ~word:"mqp" text && String.length text > 0);
+  let xml = Obs.Snapshot.to_xml_string snapshot in
+  checkb "xml counter" true
+    (Xy_query.Eval.word_contains ~word:"alerts" xml);
+  (* the XML renderer must emit a well-formed document *)
+  match Xy_xml.Parser.parse xml with
+  | _ -> ()
+  | exception Xy_xml.Parser.Error _ -> Alcotest.fail "snapshot XML unparseable"
+
+(* ------------------------------------------------------------------ *)
+(* Domains *)
+
+let test_parallel_domains_exact () =
+  (* Up to [stripes] live domains own distinct stripes, so concurrent
+     accumulation loses nothing. *)
+  let obs = Obs.create () in
+  let c = Obs.counter obs ~stage:"par" "n" in
+  let h = Obs.histogram ~buckets:[| 0.5; 1.5 |] obs ~stage:"par" "v" in
+  let per_domain = 10_000 and domains = 4 in
+  let spawned =
+    Array.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Counter.incr c;
+              Obs.Histogram.observe h 1.
+            done))
+  in
+  Array.iter Domain.join spawned;
+  checki "no lost increments" (domains * per_domain) (Obs.Counter.value c);
+  checki "no lost observations" (domains * per_domain) (Obs.Histogram.count h);
+  checkf "sum exact" (float_of_int (domains * per_domain)) (Obs.Histogram.sum h)
+
+let test_partitioned_snapshots_merge () =
+  (* The distributed runner's pattern: each partition accumulates into
+     its own registry; the coordinator merges the snapshots.  The fold
+     order must not matter. *)
+  let spawned =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            let obs = Obs.create () in
+            Obs.Counter.add (Obs.counter obs ~stage:"worker" "routed") (100 * (i + 1));
+            Obs.Counter.incr (Obs.counter obs ~stage:"worker" (Printf.sprintf "own%d" i));
+            Obs.snapshot obs))
+  in
+  let snapshots = Array.to_list (Array.map Domain.join spawned) in
+  let left =
+    List.fold_left Obs.Snapshot.merge Obs.Snapshot.empty snapshots
+  in
+  let right =
+    List.fold_left Obs.Snapshot.merge Obs.Snapshot.empty (List.rev snapshots)
+  in
+  checkb "fold order irrelevant" true
+    (left.Obs.Snapshot.entries = right.Obs.Snapshot.entries);
+  checki "partition counters add" 600
+    (Obs.Snapshot.counter_value left ~stage:"worker" "routed");
+  checki "per-partition keys survive" 1
+    (Obs.Snapshot.counter_value left ~stage:"worker" "own1")
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "obs"
+    [
+      ( "instruments",
+        [
+          tc "counter" test_counter;
+          tc "gauge" test_gauge;
+          tc "kind mismatch" test_kind_mismatch_rejected;
+          tc "histogram buckets" test_histogram_buckets;
+          tc "histogram bad bounds" test_histogram_rejects_bad_bounds;
+          tc "histogram time" test_histogram_time;
+          tc "exponential buckets" test_exponential_buckets;
+        ] );
+      ( "snapshot",
+        [
+          tc "sorted + lookup" test_snapshot_sorted_and_lookup;
+          tc "quantile" test_quantile;
+          tc "merge algebra" test_merge_algebra;
+          tc "merge gauge/histogram" test_merge_gauge_and_histogram;
+          tc "reset" test_reset;
+          tc "renderers" test_renderers_smoke;
+        ] );
+      ( "domains",
+        [
+          tc "exact under parallelism" test_parallel_domains_exact;
+          tc "partitioned snapshots merge" test_partitioned_snapshots_merge;
+        ] );
+    ]

@@ -27,7 +27,7 @@ let notification ?(tag = "UpdatedPage") ?(body = []) clock =
 let setup report_spec =
   let clock = Clock.create () in
   let sink, deliveries = Sink.memory () in
-  let reporter = Reporter.create ~clock ~sink in
+  let reporter = Reporter.create ~clock ~sink () in
   Reporter.register reporter ~subscription:"S" ~recipient:"user@example.org"
     report_spec;
   (clock, reporter, deliveries)
@@ -198,7 +198,7 @@ let test_sinks () =
   let counting, count = Sink.counting () in
   let memory, deliveries = Sink.memory () in
   let sink = Sink.tee counting memory in
-  let reporter = Reporter.create ~clock ~sink in
+  let reporter = Reporter.create ~clock ~sink () in
   Reporter.register reporter ~subscription:"S" ~recipient:"r" (spec [ S.R_immediate ]);
   Reporter.notify reporter ~subscription:"S" (notification clock);
   checki "tee: counting" 1 !count;
@@ -206,7 +206,7 @@ let test_sinks () =
   (* simulated smtp advances the virtual clock *)
   let clock2 = Clock.create () in
   let smtp, sent = Sink.simulated_smtp ~per_mail_seconds:0.5 ~clock:clock2 in
-  let reporter2 = Reporter.create ~clock:clock2 ~sink:smtp in
+  let reporter2 = Reporter.create ~clock:clock2 ~sink:smtp () in
   Reporter.register reporter2 ~subscription:"S" ~recipient:"r" (spec [ S.R_immediate ]);
   for _ = 1 to 10 do
     Reporter.notify reporter2 ~subscription:"S" (notification clock2)
@@ -239,7 +239,7 @@ let test_count_semantics_model () =
     in
     let clock = Clock.create () in
     let sink, count = Sink.counting () in
-    let reporter = Reporter.create ~clock ~sink in
+    let reporter = Reporter.create ~clock ~sink () in
     Reporter.register reporter ~subscription:"S" ~recipient:"r" spec;
     (* reference state *)
     let buffer = ref 0 and tag_a = ref 0 and reports = ref 0 in
@@ -275,7 +275,7 @@ let test_directory_sink () =
   Sys.remove root;
   let clock = Clock.create () in
   let sink = Sink.directory ~root () in
-  let reporter = Reporter.create ~clock ~sink in
+  let reporter = Reporter.create ~clock ~sink () in
   Reporter.register reporter ~subscription:"S" ~recipient:"r" (spec [ S.R_immediate ]);
   Reporter.notify reporter ~subscription:"S"
     (notification ~body:[ T.el "UpdatedPage" ~attrs:[ ("url", "u") ] [] ] clock);

@@ -145,6 +145,72 @@ let test_persist_corrupted_record_stops_replay () =
       Alcotest.failf "expected only the intact record, got %d" (List.length records));
   Sys.remove path
 
+let test_persist_scan_tail_diagnosis () =
+  let path = temp_path () in
+  let log = Persist.open_log path in
+  Persist.append_insert log ~name:"A" ~owner:"o" ~text:"first";
+  Persist.append_insert log ~name:"B" ~owner:"o" ~text:"second";
+  Persist.close log;
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  (match Persist.scan path with
+  | [ _; _ ], Persist.Clean -> ()
+  | _ -> Alcotest.fail "intact log must scan Clean");
+  (* Cut mid-record: the expected shape of a crash during append. *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub content 0 (String.length content - 5)));
+  (match Persist.scan path with
+  | [ Persist.Insert { name = "A"; _ } ], Persist.Torn -> ()
+  | _ -> Alcotest.fail "short final record must scan Torn");
+  (* Damage a byte in place: the record is full length but fails its
+     checksum — not a torn write, and must be diagnosed as such. *)
+  let corrupted = Bytes.of_string content in
+  Bytes.set corrupted (String.index content 'f') 'X';
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc corrupted);
+  (match Persist.scan path with
+  | [], Persist.Corrupt -> ()
+  | _ -> Alcotest.fail "in-place damage must scan Corrupt");
+  Sys.remove path
+
+let test_persist_compact_truncates_stale_temp () =
+  let path = temp_path () in
+  let log = Persist.open_log path in
+  Persist.append_insert log ~name:"A" ~owner:"o" ~text:"keep";
+  Persist.close log;
+  (* A compaction that crashed before its rename leaves a valid temp
+     behind; appending to it would duplicate its records into the
+     compacted log. *)
+  let stale = Persist.open_log (path ^ ".compact") in
+  Persist.append_insert stale ~name:"GHOST" ~owner:"crashed" ~text:"stale";
+  Persist.close stale;
+  checki "nothing to drop" 0 (Persist.compact path);
+  (match Persist.replay path with
+  | [ Persist.Insert { name = "A"; _ } ] -> ()
+  | records ->
+      Alcotest.failf "stale temp leaked into the log (%d records)"
+        (List.length records));
+  checkb "temp renamed away" true (not (Sys.file_exists (path ^ ".compact")));
+  Sys.remove path
+
+let test_persist_compact_failure_leaves_log_intact () =
+  let path = temp_path () in
+  let log = Persist.open_log path in
+  Persist.append_insert log ~name:"A" ~owner:"o" ~text:"keep";
+  Persist.close log;
+  let temp = path ^ ".compact" in
+  (* A directory at the temp path makes the compaction fail before it
+     can write anything. *)
+  Unix.mkdir temp 0o755;
+  (match Persist.compact path with
+  | _ -> Alcotest.fail "compact must fail when it cannot write its temp"
+  | exception Sys_error _ -> ());
+  (match Persist.replay path with
+  | [ Persist.Insert { name = "A"; _ } ] -> ()
+  | _ -> Alcotest.fail "failed compaction must leave the log intact");
+  Unix.rmdir temp;
+  Sys.remove path
+
 (* ------------------------------------------------------------------ *)
 (* Manager *)
 
@@ -163,9 +229,9 @@ let make_env ?persist () =
   let clock = Clock.create () in
   let registry = Registry.create () in
   let mqp = Mqp.create () in
-  let trigger = Trigger.create ~clock in
+  let trigger = Trigger.create ~clock () in
   let sink, deliveries = Sink.memory () in
-  let reporter = Reporter.create ~clock ~sink in
+  let reporter = Reporter.create ~clock ~sink () in
   let env_ref = ref None in
   let run_query _q =
     (match !env_ref with Some e -> e.queries_run <- e.queries_run + 1 | None -> ());
@@ -503,6 +569,9 @@ let () =
           tc "compact" test_persist_compact;
           tc "truncation fuzz" test_persist_truncation_fuzz;
           tc "corrupted record" test_persist_corrupted_record_stops_replay;
+          tc "scan tail diagnosis" test_persist_scan_tail_diagnosis;
+          tc "compact truncates stale temp" test_persist_compact_truncates_stale_temp;
+          tc "compact failure leaves log intact" test_persist_compact_failure_leaves_log_intact;
         ] );
       ( "lifecycle",
         [

@@ -56,12 +56,48 @@ let test_schedule_random_heap_property () =
   let popped = List.rev !popped in
   checkb "sorted output" true (popped = List.sort compare times)
 
+let test_schedule_popped_tasks_collectable () =
+  (* Regression: a popped task must not be pinned by the heap's backing
+     array — for large URL sets a vacated slot holding the last
+     reference would be a space leak.  Build tasks behind a weak array,
+     pop them through a separate function frame so no stack slot keeps
+     them alive, then check the GC can reclaim every one while the
+     (non-empty) schedule itself stays live. *)
+  let count = 8 in
+  let weak = Weak.create count in
+  let churn () =
+    let s = Schedule.create () in
+    for i = 0 to count - 1 do
+      let task = ref i in
+      Weak.set weak i (Some task);
+      Schedule.add s ~at:(float_of_int i) task
+    done;
+    (* Drain through both pop paths. *)
+    (match Schedule.pop_next s with
+    | Some (_, task) -> checki "first task" 0 !task
+    | None -> Alcotest.fail "heap cannot be empty");
+    List.iter
+      (fun (_, task) -> checkb "payload intact" true (!task > 0))
+      (Schedule.pop_due s ~now:1e9);
+    (* Keep the heap reachable so its arrays survive the collection. *)
+    Schedule.add s ~at:0. (ref (-1));
+    s
+  in
+  let s = churn () in
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to count - 1 do
+    checkb (Printf.sprintf "popped task %d reclaimed" i) true
+      (Weak.get weak i = None)
+  done;
+  checki "schedule still live" 1 (Schedule.size s)
+
 (* ------------------------------------------------------------------ *)
 (* Engine: periodic *)
 
 let test_periodic_runs_each_period () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   let runs = ref 0 in
   Engine.schedule_periodic engine ~id:"q" ~period:10. (fun () -> incr runs);
   Engine.tick engine;
@@ -78,7 +114,7 @@ let test_periodic_runs_each_period () =
 
 let test_periodic_catches_up () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   let runs = ref 0 in
   Engine.schedule_periodic engine ~id:"q" ~period:7. (fun () -> incr runs);
   Clock.advance clock 70.;
@@ -87,7 +123,7 @@ let test_periodic_catches_up () =
 
 let test_periodic_duplicate_id_rejected () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   Engine.schedule_periodic engine ~id:"q" ~period:1. (fun () -> ());
   match Engine.schedule_periodic engine ~id:"q" ~period:1. (fun () -> ()) with
   | exception Invalid_argument _ -> ()
@@ -95,14 +131,14 @@ let test_periodic_duplicate_id_rejected () =
 
 let test_periodic_bad_period () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   match Engine.schedule_periodic engine ~id:"q" ~period:0. (fun () -> ()) with
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "zero period accepted"
 
 let test_cancel_periodic () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   let runs = ref 0 in
   Engine.schedule_periodic engine ~id:"q" ~period:5. (fun () -> incr runs);
   Clock.advance clock 5.;
@@ -115,7 +151,7 @@ let test_cancel_periodic () =
 
 let test_cancel_then_reschedule () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   let runs_old = ref 0 and runs_new = ref 0 in
   Engine.schedule_periodic engine ~id:"q" ~period:5. (fun () -> incr runs_old);
   Engine.cancel engine ~id:"q";
@@ -127,7 +163,7 @@ let test_cancel_then_reschedule () =
 
 let test_next_deadline () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   checkb "none" true (Engine.next_deadline engine = None);
   Engine.schedule_periodic engine ~id:"a" ~period:30. (fun () -> ());
   Engine.schedule_periodic engine ~id:"b" ~period:10. (fun () -> ());
@@ -138,7 +174,7 @@ let test_next_deadline () =
 
 let test_notification_trigger () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   let runs = ref 0 in
   Engine.on_notification engine ~id:"t" ~subscription:"XylemeCompetitors"
     ~tag:"ChangeInMyProducts" (fun () -> incr runs);
@@ -152,7 +188,7 @@ let test_notification_trigger () =
 
 let test_notification_multiple_listeners () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   let a = ref 0 and b = ref 0 in
   Engine.on_notification engine ~id:"a" ~subscription:"s" ~tag:"T" (fun () -> incr a);
   Engine.on_notification engine ~id:"b" ~subscription:"s" ~tag:"T" (fun () -> incr b);
@@ -161,7 +197,7 @@ let test_notification_multiple_listeners () =
 
 let test_cancel_notification_trigger () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   let runs = ref 0 in
   Engine.on_notification engine ~id:"t" ~subscription:"s" ~tag:"T" (fun () ->
       incr runs);
@@ -171,7 +207,7 @@ let test_cancel_notification_trigger () =
 
 let test_stats () =
   let clock = Clock.create () in
-  let engine = Engine.create ~clock in
+  let engine = Engine.create ~clock () in
   Engine.schedule_periodic engine ~id:"p" ~period:1. (fun () -> ());
   Engine.on_notification engine ~id:"n" ~subscription:"s" ~tag:"T" (fun () -> ());
   Clock.advance clock 3.;
@@ -191,6 +227,7 @@ let () =
           tc "pop_next" test_schedule_pop_next;
           tc "peek" test_schedule_peek;
           tc "heap property (random)" test_schedule_random_heap_property;
+          tc "popped tasks collectable" test_schedule_popped_tasks_collectable;
         ] );
       ( "periodic",
         [
