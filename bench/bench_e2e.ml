@@ -29,7 +29,10 @@ let tbl_e2e scale =
   in
   let web = Web.generate ~seed:5 ~sites ~pages_per_site:6 () in
   let sink, _ = Sink.counting () in
-  let xyleme = Xyleme.create ~seed:9 ~sink ~web ~obs:Xy_obs.Obs.default () in
+  let xyleme =
+    Xyleme.create ~seed:9 ~sink ~web ~obs:Xy_obs.Obs.default
+      ~tracer:Harness.tracer ()
+  in
   let accepted = ref 0 in
   for i = 0 to subscriptions - 1 do
     let site = i mod sites in
@@ -83,6 +86,9 @@ report when count > 50 atmost weekly|}
         let i = ref 0 in
         while !processed < docs_to_process do
           let url = urls.(!i mod Array.length urls) in
+          (* This loop bypasses the crawler, so the per-document
+             sampling decision the crawler would make happens here. *)
+          let trace = Xy_trace.Trace.start Harness.tracer ~root:url in
           (match Web.fetch web ~url with
           | Some content ->
               let kind =
@@ -91,10 +97,11 @@ report when count > 50 atmost weekly|}
                 | Some Web.Html_page -> Loader.Html
                 | None -> Loader.Auto
               in
-              (match Xyleme.ingest xyleme ~url ~content ~kind with
+              (match Xyleme.ingest ?trace xyleme ~url ~content ~kind with
               | _ -> incr processed
               | exception Loader.Rejected _ -> ())
           | None -> ());
+          Option.iter Xy_trace.Trace.finish trace;
           incr i;
           (* evolve the web a bit every full sweep *)
           if !i mod Array.length urls = 0 then begin
@@ -144,7 +151,7 @@ let tbl_e2e_mqp_share scale =
   let per_doc =
     time_per_unit ~units:(Array.length docs) (fun () ->
         Array.iter
-          (fun events -> ignore (Mqp.process mqp { Mqp.url = ""; events; payload = "" }))
+          (fun events -> ignore (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None }))
           docs)
   in
   print_table ~title:"isolated MQP cost at pipeline-like parameters"

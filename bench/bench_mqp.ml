@@ -17,7 +17,7 @@ let time_match_set mqp docs =
   time_per_unit ~units:n (fun () ->
       Array.iter
         (fun events ->
-          ignore (Mqp.process mqp { Mqp.url = ""; events; payload = "" }))
+          ignore (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None }))
         docs)
 
 (* ------------------------------------------------------------------ *)
@@ -239,7 +239,7 @@ let tbl_dist scale =
   let alerts =
     Array.mapi
       (fun i events ->
-        { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = "" })
+        { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = ""; trace = None })
       docs
   in
   let time_partition part =
@@ -364,7 +364,7 @@ let tbl_dist_par scale =
                   Array.iter
                     (fun events ->
                       ignore
-                        (Mqp.process mqp { Mqp.url = ""; events; payload = "" }))
+                        (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None }))
                     shards.(shard)))
         in
         Array.iter Domain.join domains;

@@ -113,6 +113,39 @@ let emit_snapshot ~label =
     Xy_obs.Obs.reset Xy_obs.Obs.default
   end
 
+(* Per-document tracing across experiments: with --trace the tracer is
+   switched to 1-in-100 sampling and end-to-end experiments that build
+   a full system thread it through; each experiment is then followed
+   by the retained traces' stage summary. *)
+let trace_enabled = ref false
+let tracer = Xy_trace.Trace.create ~capacity:64 ~sample_every:0 ~seed:97 ()
+
+let enable_tracing () =
+  trace_enabled := true;
+  Xy_trace.Trace.set_timer Unix.gettimeofday;
+  Xy_trace.Trace.set_sampling tracer ~every:100
+
+let emit_traces ~label =
+  if !trace_enabled then begin
+    (match Xy_trace.Trace.summary tracer with
+    | [] -> ()
+    | stats ->
+        Printf.printf "\n### %s: trace stage summary (%d trace(s) retained)\n\n%!"
+          label
+          (List.length (Xy_trace.Trace.traces tracer));
+        List.iter
+          (fun s ->
+            Printf.printf "  %-12s %6d span(s)  total %9.3f ms  max %8.3f ms\n"
+              s.Xy_trace.Trace.st_stage s.Xy_trace.Trace.st_spans
+              (s.Xy_trace.Trace.st_total_wall *. 1e3)
+              (s.Xy_trace.Trace.st_max_wall *. 1e3))
+          stats;
+        (match Xy_trace.Trace.slowest tracer ~k:1 with
+        | [ slowest ] -> Format.printf "%a@." Xy_trace.Trace.pp_trace slowest
+        | _ -> ()));
+    Xy_trace.Trace.clear tracer
+  end
+
 (* Approximate live heap words attributable to building a structure. *)
 let live_words_of build =
   Gc.compact ();

@@ -23,11 +23,12 @@
      dune exec bench/main.exe -- --paper       (paper scale: 10^6 events)
      dune exec bench/main.exe -- --only fig5 --only tbl-url
      dune exec bench/main.exe -- --bechamel    (OLS kernel micro-benches)
-     dune exec bench/main.exe -- --obs         (per-stage metrics snapshots) *)
+     dune exec bench/main.exe -- --obs         (per-stage metrics snapshots)
+     dune exec bench/main.exe -- --trace       (sampled per-document traces) *)
 
 let experiments : (string * (Harness.scale -> unit)) list =
   Bench_mqp.all @ Bench_alerters.all @ Bench_reporter.all @ Bench_e2e.all
-  @ Bench_ablation.all
+  @ Bench_ablation.all @ Bench_trace.all
 
 let () =
   let scale = ref Harness.Default in
@@ -46,6 +47,9 @@ let () =
         parse rest
     | "--obs" :: rest ->
         Harness.obs_enabled := true;
+        parse rest
+    | "--trace" :: rest ->
+        Harness.enable_tracing ();
         parse rest
     | "--only" :: id :: rest ->
         only := id :: !only;
@@ -85,7 +89,8 @@ let () =
   List.iter
     (fun (id, run) ->
       run !scale;
-      Harness.emit_snapshot ~label:id)
+      Harness.emit_snapshot ~label:id;
+      Harness.emit_traces ~label:id)
     selected;
   if !bechamel then Bench_bechamel.run ();
   print_newline ()

@@ -146,11 +146,18 @@ let validate_cmd =
 (* simulate / stats *)
 
 (* One end-to-end run over the synthetic web; shared by [simulate]
-   (headline numbers, optional snapshot) and [stats] (snapshot only). *)
-let run_simulation ~sites ~days ~subscriptions ~seed =
+   (headline numbers, optional snapshot), [stats] (snapshot only) and
+   [trace] (sampled per-document traces; immediate reports so the
+   sampled documents' journeys reach the reporter synchronously). *)
+let run_simulation ?(trace_every = 0)
+    ?(report_clause = "report when count > 5 atmost daily") ~sites ~days
+    ~subscriptions ~seed () =
   let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
   let sink, delivered = Xy_reporter.Sink.counting () in
   let xyleme = Xy_system.Xyleme.create ~seed ~sink ~web () in
+  if trace_every > 0 then
+    Xy_trace.Trace.set_sampling (Xy_system.Xyleme.tracer xyleme)
+      ~every:trace_every;
   let accepted = ref 0 in
   for i = 0 to subscriptions - 1 do
     let text =
@@ -159,8 +166,8 @@ let run_simulation ~sites ~days ~subscriptions ~seed =
 monitoring
 select <UpdatedPage url=URL/>
 where URL extends "http://site%d.example.org/" and modified self
-report when count > 5 atmost daily|}
-        i (i mod sites)
+%s|}
+        i (i mod sites) report_clause
     in
     match Xy_system.Xyleme.subscribe xyleme ~owner:(Printf.sprintf "u%d" i) ~text with
     | Ok _ -> incr accepted
@@ -174,6 +181,42 @@ let print_snapshot ~xml xyleme =
   if xml then print_string (Xy_obs.Obs.Snapshot.to_xml_string snapshot)
   else Format.printf "%a@." Xy_obs.Obs.Snapshot.pp snapshot
 
+let print_trace_summary tracer =
+  Printf.printf "traces: %d sampled, %d completed (ring keeps the last %d)\n"
+    (Xy_trace.Trace.started tracer)
+    (Xy_trace.Trace.completed tracer)
+    (List.length (Xy_trace.Trace.traces tracer));
+  match Xy_trace.Trace.summary tracer with
+  | [] -> ()
+  | stats ->
+      Printf.printf "per-stage totals over retained traces:\n";
+      List.iter
+        (fun s ->
+          Printf.printf "  %-12s %6d span(s)  total %9.3f ms  max %8.3f ms\n"
+            s.Xy_trace.Trace.st_stage s.Xy_trace.Trace.st_spans
+            (s.Xy_trace.Trace.st_total_wall *. 1e3)
+            (s.Xy_trace.Trace.st_max_wall *. 1e3))
+        stats
+
+let print_slowest ~k tracer =
+  let stages trace =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Xy_trace.Trace.sp_stage) trace.Xy_trace.Trace.tr_spans)
+  in
+  let end_to_end trace =
+    List.for_all
+      (fun stage -> List.mem stage (stages trace))
+      [ "crawler"; "alerters"; "mqp"; "reporter" ]
+  in
+  (* Lead with complete fetch→alert→match→report journeys — the
+     critical path the paper's throughput claim is about — then pad
+     with whatever else was slowest. *)
+  let full, partial =
+    List.partition end_to_end (Xy_trace.Trace.slowest tracer ~k:max_int)
+  in
+  let shown = List.filteri (fun i _ -> i < k) (full @ partial) in
+  List.iter (fun trace -> Format.printf "%a@." Xy_trace.Trace.pp_trace trace) shown
+
 let sites_arg = Arg.(value & opt int 8 & info [ "sites" ] ~docv:"N")
 let days_arg = Arg.(value & opt float 14. & info [ "days" ] ~docv:"D")
 
@@ -183,13 +226,14 @@ let subscriptions_arg =
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
 
 let simulate_cmd =
-  let run sites days subscriptions seed verbose stats_flag =
+  let run sites days subscriptions seed verbose stats_flag trace_every =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
+    let trace_every = Option.value ~default:0 trace_every in
     let xyleme, accepted, delivered =
-      run_simulation ~sites ~days ~subscriptions ~seed
+      run_simulation ~trace_every ~sites ~days ~subscriptions ~seed ()
     in
     let stats = Xy_system.Xyleme.stats xyleme in
     Printf.printf "simulated %.0f days over %d sites, %d subscriptions:\n" days
@@ -199,7 +243,8 @@ let simulate_cmd =
       stats.Xy_system.Xyleme.documents_stored stats.Xy_system.Xyleme.alerts_sent
       stats.Xy_system.Xyleme.notifications stats.Xy_system.Xyleme.reports
       delivered;
-    if stats_flag then print_snapshot ~xml:false xyleme
+    if stats_flag then print_snapshot ~xml:false xyleme;
+    if trace_every > 0 then print_trace_summary (Xy_system.Xyleme.tracer xyleme)
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log pipeline events") in
   let stats_flag =
@@ -207,14 +252,23 @@ let simulate_cmd =
       value & flag
       & info [ "stats" ] ~doc:"Print the per-stage metrics snapshot after the run")
   in
+  let trace_every =
+    Arg.(
+      value
+      & opt ~vopt:(Some 100) (some int) None
+      & info [ "trace" ] ~docv:"N"
+          ~doc:
+            "Trace 1-in-$(docv) fetched documents (default 100) and print \
+             the per-stage span summary after the run")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the monitor over a synthetic web")
     Term.(
       const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg $ verbose
-      $ stats_flag)
+      $ stats_flag $ trace_every)
 
 let stats_cmd =
   let run sites days subscriptions seed xml =
-    let xyleme, _, _ = run_simulation ~sites ~days ~subscriptions ~seed in
+    let xyleme, _, _ = run_simulation ~sites ~days ~subscriptions ~seed () in
     print_snapshot ~xml xyleme
   in
   let xml =
@@ -227,9 +281,63 @@ let stats_cmd =
           metrics snapshot (counters, gauges, latency histograms)")
     Term.(const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg $ xml)
 
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let run sites days subscriptions seed every k jsonl xml =
+    let xyleme, _, _ =
+      run_simulation ~trace_every:every ~report_clause:"report when immediate"
+        ~sites ~days ~subscriptions ~seed ()
+    in
+    let tracer = Xy_system.Xyleme.tracer xyleme in
+    if jsonl then print_string (Xy_trace.Trace.to_jsonl_string tracer)
+    else if xml then print_string (Xy_trace.Trace.to_xml_string tracer)
+    else begin
+      print_trace_summary tracer;
+      Printf.printf "\nslowest traces (end-to-end journeys first):\n";
+      print_slowest ~k tracer
+    end
+  in
+  let days_arg = Arg.(value & opt float 3. & info [ "days" ] ~docv:"D") in
+  let every =
+    Arg.(
+      value & opt int 1
+      & info [ "every" ] ~docv:"N"
+          ~doc:"Sample 1-in-$(docv) fetched documents (default: every one)")
+  in
+  let k =
+    Arg.(
+      value & opt int 5
+      & info [ "k" ] ~docv:"K" ~doc:"Print the $(docv) slowest traces")
+  in
+  let jsonl =
+    Arg.(
+      value & flag
+      & info [ "jsonl" ] ~doc:"Dump retained traces as JSON Lines instead")
+  in
+  let xml =
+    Arg.(
+      value & flag
+      & info [ "xml" ]
+          ~doc:"Dump retained traces as a <traces> XML document instead")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the monitor over a synthetic web with per-document tracing and \
+          print the slowest sampled fetch→alert→match→report journeys with \
+          their per-stage latency breakdown")
+    Term.(
+      const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg $ every
+      $ k $ jsonl $ xml)
+
 let () =
   let doc = "Xyleme change monitoring (SIGMOD 2001 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "xyleme" ~doc)
-          [ check_cmd; query_cmd; diff_cmd; validate_cmd; simulate_cmd; stats_cmd ]))
+          [
+            check_cmd; query_cmd; diff_cmd; validate_cmd; simulate_cmd;
+            stats_cmd; trace_cmd;
+          ]))

@@ -71,8 +71,9 @@ let assemble t ~meta ~status ~url_codes ~content_codes ~matched =
     Some (Alert.build ~meta ~status ~matched (Event_set.of_list codes))
   end
 
-let process t ~result ~content =
+let process ?trace t ~result ~content =
   Obs.Counter.incr t.metrics.m_docs;
+  Xy_trace.Trace.wrap trace ~stage ~name:"detect" @@ fun () ->
   Obs.Histogram.time t.metrics.m_detect_latency (fun () ->
       let meta = result.Loader.meta in
       let status = status_of_loader result.Loader.status in
@@ -93,8 +94,9 @@ let process t ~result ~content =
       in
       assemble t ~meta ~status ~url_codes ~content_codes ~matched)
 
-let process_deleted t ~meta ~tree =
+let process_deleted ?trace t ~meta ~tree =
   Obs.Counter.incr t.metrics.m_deleted;
+  Xy_trace.Trace.wrap trace ~stage ~name:"detect_deleted" @@ fun () ->
   Obs.Histogram.time t.metrics.m_detect_latency (fun () ->
       let status = Atomic.Deleted in
       let url_codes = Url_alerter.detect t.url ~meta ~status in

@@ -27,12 +27,21 @@ val xml_alerter : t -> Xml_alerter.t
 val html_alerter : t -> Html_alerter.t
 
 (** [process t ~result ~content] runs the chain on one loaded page.
-    [None] when no strong event of interest was raised. *)
+    [None] when no strong event of interest was raised.  A [trace]
+    context records detection as an [alerters/detect] span. *)
 val process :
-  t -> result:Xy_warehouse.Loader.result -> content:string -> Alert.t option
+  ?trace:Xy_trace.Trace.ctx ->
+  t ->
+  result:Xy_warehouse.Loader.result ->
+  content:string ->
+  Alert.t option
 
 (** [process_deleted t ~meta ~tree] handles a page that disappeared:
     [deleted self] plus element deletions from its last stored
     version. *)
 val process_deleted :
-  t -> meta:Xy_warehouse.Meta.t -> tree:Xy_xml.Xid.tree option -> Alert.t option
+  ?trace:Xy_trace.Trace.ctx ->
+  t ->
+  meta:Xy_warehouse.Meta.t ->
+  tree:Xy_xml.Xid.tree option ->
+  Alert.t option

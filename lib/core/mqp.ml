@@ -1,6 +1,11 @@
 module Obs = Xy_obs.Obs
 
-type alert = { url : string; events : Xy_events.Event_set.t; payload : string }
+type alert = {
+  url : string;
+  events : Xy_events.Event_set.t;
+  payload : string;
+  trace : Xy_trace.Trace.ctx option;
+}
 type notification = { complex_id : int; url : string; payload : string }
 type algorithm = Use_aes | Use_naive | Use_counting
 
@@ -71,10 +76,23 @@ let unsubscribe t ~id =
 
 let process t alert =
   let (Packed ((module M), m)) = t.matcher in
+  let span =
+    Option.map
+      (fun ctx -> Xy_trace.Trace.begin_span ctx ~stage:"mqp" ~name:"match")
+      alert.trace
+  in
   let matched =
     Obs.Histogram.time t.metrics.m_match_latency (fun () ->
         M.match_set m alert.events)
   in
+  Option.iter
+    (Xy_trace.Trace.end_span
+       ~attrs:
+         [
+           ("events", string_of_int (Xy_events.Event_set.cardinal alert.events));
+           ("matched", string_of_int (List.length matched));
+         ])
+    span;
   Obs.Counter.incr t.metrics.m_alerts;
   Obs.Histogram.observe t.metrics.m_events_per_alert
     (float_of_int (Xy_events.Event_set.cardinal alert.events));

@@ -15,6 +15,9 @@ type alert = {
   url : string;
   events : Xy_events.Event_set.t;
   payload : string;  (** opaque XML, alerter → reporter *)
+  trace : Xy_trace.Trace.ctx option;
+      (** tracing context of a sampled document; rides the alert
+          across queues and domains *)
 }
 
 type notification = {

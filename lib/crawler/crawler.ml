@@ -4,6 +4,7 @@ type fetch = {
   url : string;
   content : string option;
   kind : Synthetic_web.kind option;
+  trace : Xy_trace.Trace.ctx option;
 }
 
 type metrics = {
@@ -17,16 +18,18 @@ type metrics = {
 type t = {
   web : Synthetic_web.t;
   queue : Fetch_queue.t;
+  tracer : Xy_trace.Trace.t option;
   mutable fetches : int;
   metrics : metrics;
 }
 
 let stage = "crawler"
 
-let create ?(obs = Obs.default) ~web ~queue () =
+let create ?(obs = Obs.default) ?tracer ~web ~queue () =
   {
     web;
     queue;
+    tracer;
     fetches = 0;
     metrics =
       {
@@ -47,7 +50,14 @@ let step t ~limit =
     (fun url ->
       t.fetches <- t.fetches + 1;
       Obs.Counter.incr t.metrics.fetched;
+      (* The sampling decision for the whole pipeline happens here, at
+         fetch time; the context then rides the fetch downstream. *)
+      let trace =
+        Option.bind t.tracer (fun tracer -> Xy_trace.Trace.start tracer ~root:url)
+      in
       let content =
+        Xy_trace.Trace.wrap trace ~stage ~name:"fetch" ~attrs:[ ("url", url) ]
+        @@ fun () ->
         Obs.Histogram.time t.metrics.fetch_latency (fun () ->
             Synthetic_web.fetch t.web ~url)
       in
@@ -55,7 +65,7 @@ let step t ~limit =
         Obs.Counter.incr t.metrics.missing;
         Fetch_queue.forget t.queue ~url
       end;
-      { url; content; kind = Synthetic_web.kind_of t.web ~url })
+      { url; content; kind = Synthetic_web.kind_of t.web ~url; trace })
     due
 
 let conclude t ~url ~changed =

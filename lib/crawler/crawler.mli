@@ -9,14 +9,24 @@ type fetch = {
   url : string;
   content : string option;  (** [None]: the page disappeared *)
   kind : Synthetic_web.kind option;
+  trace : Xy_trace.Trace.ctx option;
+      (** tracing context when this fetch was sampled *)
 }
 
 type t
 
 (** [create ~web ~queue ()] — fetch metrics are registered under the
-    [crawler] stage of [obs] (default {!Xy_obs.Obs.default}). *)
+    [crawler] stage of [obs] (default {!Xy_obs.Obs.default}).  When a
+    [tracer] is given, each fetch makes the 1-in-N sampling decision
+    and a sampled fetch carries a trace context with a [fetch] span
+    already recorded. *)
 val create :
-  ?obs:Xy_obs.Obs.t -> web:Synthetic_web.t -> queue:Fetch_queue.t -> unit -> t
+  ?obs:Xy_obs.Obs.t ->
+  ?tracer:Xy_trace.Trace.t ->
+  web:Synthetic_web.t ->
+  queue:Fetch_queue.t ->
+  unit ->
+  t
 
 (** [discover t] adds every currently known web URL to the queue
     (bootstrap; newly born pages are discovered by later calls). *)

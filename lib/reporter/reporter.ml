@@ -146,7 +146,13 @@ let rate_allows state ~now =
   | Some (S.At_count _), _ | None, _ -> true
 
 (* Build and send the report; empties the buffer. *)
-let fire t subscription state =
+let fire ?trace t subscription state =
+  let span =
+    Option.map
+      (fun ctx ->
+        Xy_trace.Trace.begin_span ctx ~stage ~name:"report")
+      trace
+  in
   let now = Xy_util.Clock.now t.clock in
   let notifications = List.rev state.buffer in
   let body = List.concat_map Notification.to_xml notifications in
@@ -174,36 +180,51 @@ let fire t subscription state =
           t.sink.Sink.deliver { Sink.recipient; subscription; report; at = now })
         state.recipients);
   t.reports_sent <- t.reports_sent + 1;
-  Obs.Counter.incr t.metrics.m_reports
+  Obs.Counter.incr t.metrics.m_reports;
+  Option.iter
+    (Xy_trace.Trace.end_span
+       ~attrs:
+         [
+           ("subscription", subscription);
+           ("size", string_of_int (List.length notifications));
+           ("recipients", string_of_int (List.length state.recipients));
+         ])
+    span
 
-let maybe_fire t subscription state =
+let maybe_fire ?trace t subscription state =
   let now = Xy_util.Clock.now t.clock in
   if count_condition_holds state then begin
-    if rate_allows state ~now then fire t subscription state
+    if rate_allows state ~now then fire ?trace t subscription state
     else state.pending_rate_limited <- true
   end
 
-let notify t ~subscription notification =
+let notify ?trace t ~subscription notification =
   match Hashtbl.find_opt t.subscriptions subscription with
   | None -> ()
   | Some state ->
       t.notifications_received <- t.notifications_received + 1;
       Obs.Counter.incr t.metrics.m_notifications;
-      let capped =
-        match state.spec.S.r_atmost with
-        | Some (S.At_count n) -> state.buffered >= n
-        | Some (S.At_frequency _) | None -> false
-      in
-      if capped then begin
-        t.dropped_by_atmost <- t.dropped_by_atmost + 1;
-        Obs.Counter.incr t.metrics.m_dropped
-      end
-      else begin
-        state.buffer <- notification :: state.buffer;
-        set_buffered t state (state.buffered + 1);
-        bump_tag state notification.Notification.tag
-      end;
-      maybe_fire t subscription state
+      (* The buffering span stops before [maybe_fire] so an immediate
+         report shows up as its own [reporter/report] span rather than
+         inflating [notify]. *)
+      (Xy_trace.Trace.wrap trace ~stage ~name:"notify"
+         ~attrs:[ ("subscription", subscription) ]
+      @@ fun () ->
+       let capped =
+         match state.spec.S.r_atmost with
+         | Some (S.At_count n) -> state.buffered >= n
+         | Some (S.At_frequency _) | None -> false
+       in
+       if capped then begin
+         t.dropped_by_atmost <- t.dropped_by_atmost + 1;
+         Obs.Counter.incr t.metrics.m_dropped
+       end
+       else begin
+         state.buffer <- notification :: state.buffer;
+         set_buffered t state (state.buffered + 1);
+         bump_tag state notification.Notification.tag
+       end);
+      maybe_fire ?trace t subscription state
 
 let gc_archive t state =
   match state.spec.S.r_archive with

@@ -40,8 +40,11 @@ val remove_recipient : t -> subscription:string -> recipient:string -> unit
 val unregister : t -> subscription:string -> unit
 
 (** [notify t ~subscription notification] buffers a notification and
-    fires the report if the condition now holds. *)
-val notify : t -> subscription:string -> Notification.t -> unit
+    fires the report if the condition now holds.  A [trace] context
+    records buffering as a [reporter/notify] span and a synchronous
+    fire as a [reporter/report] span (with report-size attributes). *)
+val notify :
+  ?trace:Xy_trace.Trace.ctx -> t -> subscription:string -> Notification.t -> unit
 
 (** [tick t] evaluates time-based report conditions (periodic [when]
     disjuncts, [atmost] rate release) and garbage-collects expired

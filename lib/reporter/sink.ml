@@ -29,13 +29,43 @@ let simulated_smtp ~per_mail_seconds ~clock =
 
 let tee a b = { deliver = (fun d -> a.deliver d; b.deliver d) }
 
-let directory ~root () =
+(* The index format is fixed here (not delegated to the printer) so
+   each delivery can extend it in place: overwrite the constant
+   "</reports>\n" trailer with the new entry plus the trailer again —
+   O(1) index work per report instead of rewriting all N entries. *)
+let index_trailer = "</reports>\n"
+
+let index_entry seq = Printf.sprintf "  <report href=\"%d.xml\"/>\n" seq
+
+let directory ~root ?written () =
   let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let ensure_dir path = if not (Sys.file_exists path) then Sys.mkdir path 0o755 in
+  let count n = match written with Some w -> w := !w + n | None -> () in
   let write path content =
     let oc = open_out_bin path in
     output_string oc content;
-    close_out oc
+    close_out oc;
+    count (String.length content)
+  in
+  let full_index path ~subscription ~seq =
+    let buffer = Buffer.create (64 + (32 * seq)) in
+    Buffer.add_string buffer
+      (Printf.sprintf "<reports subscription=\"%s\">\n"
+         (Xy_xml.Printer.escape_attr subscription));
+    for i = 1 to seq do
+      Buffer.add_string buffer (index_entry i)
+    done;
+    Buffer.add_string buffer index_trailer;
+    write path (Buffer.contents buffer)
+  in
+  let append_index path ~seq =
+    let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+    let length = out_channel_length oc in
+    seek_out oc (max 0 (length - String.length index_trailer));
+    let addition = index_entry seq ^ index_trailer in
+    output_string oc addition;
+    close_out oc;
+    count (String.length addition)
   in
   let deliver d =
     ensure_dir root;
@@ -46,19 +76,9 @@ let directory ~root () =
     write
       (Filename.concat dir (Printf.sprintf "%d.xml" seq))
       (Xy_xml.Printer.element_to_string ~indent:2 d.report);
-    let entries =
-      List.init seq (fun i ->
-          Xy_xml.Types.el "report"
-            ~attrs:[ ("href", Printf.sprintf "%d.xml" (i + 1)) ]
-            [])
-    in
-    let index =
-      Xy_xml.Types.element "reports"
-        ~attrs:[ ("subscription", d.subscription) ]
-        entries
-    in
-    write
-      (Filename.concat dir "index.xml")
-      (Xy_xml.Printer.element_to_string ~indent:2 index)
+    let index_path = Filename.concat dir "index.xml" in
+    if seq = 1 || not (Sys.file_exists index_path) then
+      full_index index_path ~subscription:d.subscription ~seq
+    else append_index index_path ~seq
   in
   { deliver }

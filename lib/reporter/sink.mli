@@ -39,5 +39,11 @@ val tee : t -> t -> t
     [root/<subscription>/index.xml] lists the published reports —
     "we are considering the support of an access to reports via web
     publication which seems more appropriate for very large reports"
-    (§3).  Directories are created as needed. *)
-val directory : root:string -> unit -> t
+    (§3).  Directories are created as needed.
+
+    The index is extended in place (the closing tag is overwritten
+    with the new entry plus the closing tag), so publishing N reports
+    costs O(N) file writes, not O(N²) rewrite work.  [written], when
+    given, accumulates the total bytes written — the hook the
+    regression test uses to assert that bound. *)
+val directory : root:string -> ?written:int ref -> unit -> t

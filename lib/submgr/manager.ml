@@ -197,15 +197,16 @@ let create ?(policy = Compile.default_policy) ?persist ?(obs = Obs.default)
                   materialize dispatch.d_select ~payload:alert.Mqp.payload
                     ~url:alert.Mqp.url
                 in
-                Reporter.notify t.reporter ~subscription:dispatch.d_subscription
+                Reporter.notify ?trace:alert.Mqp.trace t.reporter
+                  ~subscription:dispatch.d_subscription
                   {
                     Notification.source = Notification.Monitoring;
                     tag = dispatch.d_tag;
                     body;
                     at = Xy_util.Clock.now t.clock;
                   };
-                Trigger.notify t.trigger ~subscription:dispatch.d_subscription
-                  ~tag:dispatch.d_tag
+                Trigger.notify ?trace:alert.Mqp.trace t.trigger
+                  ~subscription:dispatch.d_subscription ~tag:dispatch.d_tag
               end)
         matched);
   t

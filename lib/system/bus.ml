@@ -1,4 +1,5 @@
 module Obs = Xy_obs.Obs
+module Trace = Xy_trace.Trace
 
 type metrics = {
   m_pushed : Obs.Counter.t;
@@ -8,18 +9,21 @@ type metrics = {
 }
 
 type 'a t = {
-  queue : 'a Queue.t;
+  queue : ('a * float) Queue.t;  (** (message, enqueue wall instant) *)
   capacity : int;
   mutex : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
   mutable closed : bool;
+  name : string;
+  trace_of : ('a -> Trace.ctx option) option;
   metrics : metrics;
 }
 
 let stage = "bus"
 
-let create ?(capacity = 1024) ?(obs = Obs.default) ?(name = "bus") () =
+let create ?(capacity = 1024) ?(obs = Obs.default) ?(name = "bus") ?trace_of ()
+    =
   if capacity <= 0 then invalid_arg "Bus.create: capacity <= 0";
   {
     queue = Queue.create ();
@@ -28,6 +32,8 @@ let create ?(capacity = 1024) ?(obs = Obs.default) ?(name = "bus") () =
     not_empty = Condition.create ();
     not_full = Condition.create ();
     closed = false;
+    name;
+    trace_of;
     metrics =
       {
         m_pushed = Obs.counter obs ~stage (name ^ "_pushed");
@@ -37,10 +43,19 @@ let create ?(capacity = 1024) ?(obs = Obs.default) ?(name = "bus") () =
       };
   }
 
+let observe_blocked t ~blocked_since =
+  match blocked_since with
+  | Some since -> Obs.Histogram.observe t.metrics.m_blocked (Obs.now () -. since)
+  | None -> ()
+
 let push t message =
   Mutex.lock t.mutex;
   let rec wait ~blocked_since =
     if t.closed then begin
+      (* A producer that stalled on backpressure and then lost to a
+         concurrent [close] still blocked: account for it before
+         raising, or the histogram under-counts stalls. *)
+      observe_blocked t ~blocked_since;
       Mutex.unlock t.mutex;
       invalid_arg "Bus.push: closed"
     end
@@ -54,12 +69,10 @@ let push t message =
     else
       (* Only producers that actually hit backpressure contribute a
          sample, so the histogram count doubles as a block counter. *)
-      match blocked_since with
-      | Some since -> Obs.Histogram.observe t.metrics.m_blocked (Obs.now () -. since)
-      | None -> ()
+      observe_blocked t ~blocked_since
   in
   wait ~blocked_since:None;
-  Queue.push message t.queue;
+  Queue.push (message, Trace.now ()) t.queue;
   Obs.Counter.incr t.metrics.m_pushed;
   Obs.Gauge.set_int t.metrics.m_depth (Queue.length t.queue);
   Condition.signal t.not_empty;
@@ -69,11 +82,22 @@ let pop t =
   Mutex.lock t.mutex;
   let rec wait () =
     if not (Queue.is_empty t.queue) then begin
-      let message = Queue.pop t.queue in
+      let message, enqueued_at = Queue.pop t.queue in
       Obs.Counter.incr t.metrics.m_popped;
       Obs.Gauge.set_int t.metrics.m_depth (Queue.length t.queue);
       Condition.signal t.not_full;
       Mutex.unlock t.mutex;
+      (* Queue wait is recorded retroactively on the consumer side —
+         the producer may live on another domain, so only the enqueue
+         instant travels with the message. *)
+      (match Option.bind t.trace_of (fun f -> f message) with
+      | Some ctx ->
+          Trace.record ctx ~stage ~name:"wait"
+            ~attrs:[ ("bus", t.name) ]
+            ~start_wall:enqueued_at
+            ~dur_wall:(Trace.now () -. enqueued_at)
+            ()
+      | None -> ());
       Some message
     end
     else if t.closed then begin

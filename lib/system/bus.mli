@@ -13,8 +13,19 @@ type 'a t
     ([name_pushed]/[name_popped] counters, [name_depth] gauge and a
     [name_blocked] backpressure-stall histogram) are registered under
     the [bus] stage of [obs] (default {!Xy_obs.Obs.default}); [name]
-    defaults to ["bus"]. *)
-val create : ?capacity:int -> ?obs:Xy_obs.Obs.t -> ?name:string -> unit -> 'a t
+    defaults to ["bus"].
+
+    [trace_of] extracts the trace context riding a message, if any:
+    each traced message's queue wait (enqueue → dequeue wall time,
+    measured across domains) is then recorded as a [bus/wait] span on
+    its trace, attributed with the bus [name]. *)
+val create :
+  ?capacity:int ->
+  ?obs:Xy_obs.Obs.t ->
+  ?name:string ->
+  ?trace_of:('a -> Xy_trace.Trace.ctx option) ->
+  unit ->
+  'a t
 
 (** [push t message] blocks while the queue is full.  Raises
     [Invalid_argument] if the queue is closed. *)

@@ -15,6 +15,7 @@ let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
     () =
   if partitions <= 0 then invalid_arg "Distributed.run: partitions <= 0";
   Obs.set_timer Unix.gettimeofday;
+  Xy_trace.Trace.set_timer Unix.gettimeofday;
   let m_routed = Obs.counter obs ~stage "alerts_routed" in
   let m_notifications = Obs.counter obs ~stage "notifications" in
   let m_partitions = Obs.gauge obs ~stage "partitions" in
@@ -35,7 +36,10 @@ let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
         mqp)
   in
   let inboxes : Mqp.alert Bus.t array =
-    Array.init partitions (fun _ -> Bus.create ~capacity:256 ~obs ~name:"inbox" ())
+    Array.init partitions (fun _ ->
+        Bus.create ~capacity:256 ~obs ~name:"inbox"
+          ~trace_of:(fun alert -> alert.Mqp.trace)
+          ())
   in
   let outbox : (string * int) Bus.t =
     Bus.create ~capacity:1024 ~obs ~name:"outbox" ()

@@ -10,9 +10,11 @@ module Alert = Xy_alerters.Alert
 module Mqp = Xy_core.Mqp
 module Manager = Xy_submgr.Manager
 module Obs = Xy_obs.Obs
+module Trace = Xy_trace.Trace
 
 type t = {
   obs : Obs.t;
+  tracer : Trace.t;
   clock : Xy_util.Clock.t;
   registry : Xy_events.Registry.t;
   mqp : Mqp.t;
@@ -26,6 +28,8 @@ type t = {
   queue : Xy_crawler.Fetch_queue.t;
   crawler : Xy_crawler.Crawler.t;
   mutable manager : Manager.t option;  (** set right after creation *)
+  self_monitor_period : float option;
+  mutable self_monitor_deadline : float option;
   mutable alerts_sent : int;
   m_ingested : Obs.Counter.t;
   m_ingest_latency : Obs.Histogram.t;
@@ -72,12 +76,19 @@ let warehouse_view t =
   in
   T.element "warehouse" children
 
-let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs () =
+let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
+    ?self_monitor_period () =
   (* Wall-clock latencies: xy_obs itself is zero-dependency, so the
      high-resolution timer is installed here, where unix is linked. *)
   Obs.set_timer Unix.gettimeofday;
+  Trace.set_timer Unix.gettimeofday;
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let clock = Xy_util.Clock.create () in
+  let tracer =
+    match tracer with Some tr -> tr | None -> Trace.create ~seed ()
+  in
+  (* Span virtual timestamps follow this system's simulation clock. *)
+  Trace.set_virtual_clock tracer (fun () -> Xy_util.Clock.now clock);
   let registry = Xy_events.Registry.create () in
   let mqp = Mqp.create ?algorithm ~obs () in
   let sink = match sink with Some s -> s | None -> Xy_reporter.Sink.null () in
@@ -93,10 +104,11 @@ let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs () =
     | None -> Xy_crawler.Synthetic_web.generate ~seed ~sites:4 ~pages_per_site:5 ()
   in
   let queue = Xy_crawler.Fetch_queue.create ~obs ~clock () in
-  let crawler = Xy_crawler.Crawler.create ~obs ~web ~queue () in
+  let crawler = Xy_crawler.Crawler.create ~obs ~tracer ~web ~queue () in
   let t =
     {
       obs;
+      tracer;
       clock;
       registry;
       mqp;
@@ -110,6 +122,9 @@ let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs () =
       queue;
       crawler;
       manager = None;
+      self_monitor_period;
+      self_monitor_deadline =
+        Option.map (fun p -> Xy_util.Clock.now clock +. p) self_monitor_period;
       alerts_sent = 0;
       m_ingested = Obs.counter obs ~stage:"system" "ingested";
       m_ingest_latency = Obs.histogram obs ~stage:"system" "ingest_latency";
@@ -127,6 +142,7 @@ let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs () =
   t
 
 let obs t = t.obs
+let tracer t = t.tracer
 let clock t = t.clock
 let registry t = t.registry
 let mqp t = t.mqp
@@ -170,11 +186,14 @@ type ingest_outcome = {
   matched : int list;
 }
 
-let ingest t ~url ~content ~kind =
+let ingest ?trace t ~url ~content ~kind =
   Obs.Counter.incr t.m_ingested;
   Obs.Histogram.time t.m_ingest_latency @@ fun () ->
-  let result = Loader.load t.loader ~url ~content ~kind in
-  match Chain.process t.chain ~result ~content with
+  let result =
+    Trace.wrap trace ~stage:"warehouse" ~name:"load" @@ fun () ->
+    Loader.load t.loader ~url ~content ~kind
+  in
+  match Chain.process ?trace t.chain ~result ~content with
   | None -> { status = result.Loader.status; alerted = false; matched = [] }
   | Some alert ->
       t.alerts_sent <- t.alerts_sent + 1;
@@ -184,6 +203,7 @@ let ingest t ~url ~content ~kind =
             Mqp.url = alert.Alert.url;
             events = alert.Alert.events;
             payload = Alert.payload_string alert;
+            trace;
           }
       in
       if matched <> [] then
@@ -191,14 +211,14 @@ let ingest t ~url ~content ~kind =
             m "%s matched %d complex event(s)" url (List.length matched));
       { status = result.Loader.status; alerted = true; matched }
 
-let ingest_missing t ~url =
+let ingest_missing ?trace t ~url =
   let tree =
     Option.bind (Store.find t.store url) (fun entry -> entry.Store.tree)
   in
   match Loader.delete t.loader ~url with
   | None -> ()
   | Some meta -> (
-      match Chain.process_deleted t.chain ~meta ~tree with
+      match Chain.process_deleted ?trace t.chain ~meta ~tree with
       | None -> ()
       | Some alert ->
           t.alerts_sent <- t.alerts_sent + 1;
@@ -208,7 +228,26 @@ let ingest_missing t ~url =
                  Mqp.url = alert.Alert.url;
                  events = alert.Alert.events;
                  payload = Alert.payload_string alert;
+                 trace;
                }))
+
+(* Xyleme monitors itself: render the current metrics snapshot and
+   trace summary as XML and push them through the ordinary ingest
+   path, as if fetched from [xyleme://self/].  Health subscriptions
+   then ride the unmodified language/alerters/MQP/reporter. *)
+let inject_self_monitor t =
+  let snapshot = Obs.snapshot t.obs in
+  let health =
+    ingest t ~url:Self_monitor.health_url
+      ~content:(Self_monitor.health_content ~snapshot)
+      ~kind:Loader.Xml
+  in
+  let traces =
+    ingest t ~url:Self_monitor.traces_url
+      ~content:(Self_monitor.traces_content t.tracer)
+      ~kind:Loader.Xml
+  in
+  (health, traces)
 
 let discover t = Xy_crawler.Crawler.discover t.crawler
 
@@ -217,8 +256,9 @@ let crawl_step t ~limit =
   List.iter
     (fun fetch ->
       let url = fetch.Xy_crawler.Crawler.url in
-      match fetch.Xy_crawler.Crawler.content with
-      | None -> ingest_missing t ~url
+      let trace = fetch.Xy_crawler.Crawler.trace in
+      (match fetch.Xy_crawler.Crawler.content with
+      | None -> ingest_missing ?trace t ~url
       | Some content ->
           let kind =
             match fetch.Xy_crawler.Crawler.kind with
@@ -227,7 +267,7 @@ let crawl_step t ~limit =
             | None -> Loader.Auto
           in
           let outcome =
-            match ingest t ~url ~content ~kind with
+            match ingest ?trace t ~url ~content ~kind with
             | outcome -> Some outcome
             | exception Loader.Rejected _ -> None
           in
@@ -236,7 +276,10 @@ let crawl_step t ~limit =
             | Some { status = Loader.Unchanged; _ } -> false
             | Some _ | None -> true
           in
-          Xy_crawler.Crawler.conclude t.crawler ~url ~changed)
+          Xy_crawler.Crawler.conclude t.crawler ~url ~changed);
+      (* The document's synchronous journey ends here; reports held
+         back by buffering fire from [tick] without attribution. *)
+      Option.iter Trace.finish trace)
     fetches;
   List.length fetches
 
@@ -246,7 +289,19 @@ let advance t ~seconds =
   (* newly born pages become crawlable *)
   discover t;
   Xy_trigger.Trigger_engine.tick t.trigger;
-  Xy_reporter.Reporter.tick t.reporter
+  Xy_reporter.Reporter.tick t.reporter;
+  match t.self_monitor_period, t.self_monitor_deadline with
+  | Some period, Some deadline ->
+      let now = Xy_util.Clock.now t.clock in
+      if now >= deadline then begin
+        (* One injection per advance even after a long jump — health
+           documents describe the present, there is no backlog to
+           replay. *)
+        let rec next d = if d <= now then next (d +. period) else d in
+        t.self_monitor_deadline <- Some (next deadline);
+        ignore (inject_self_monitor t)
+      end
+  | _ -> ()
 
 let run t ~days ~step ~fetch_limit =
   discover t;

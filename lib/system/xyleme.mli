@@ -13,7 +13,15 @@ type t
     submgr, system) land in [obs] (a private {!Xy_obs.Obs.create}d
     registry by default — pass one to share it, e.g. with a {!Bus}).
     The high-resolution [Unix.gettimeofday] timer is installed into
-    xy_obs as a side effect. *)
+    xy_obs and xy_trace as a side effect.
+
+    [tracer] carries per-document pipeline tracing (default: a fresh
+    {!Xy_trace.Trace.create}d tracer with sampling disabled — enable
+    with {!Xy_trace.Trace.set_sampling} on {!tracer}).  Its virtual
+    clock is bound to this system's simulation clock.
+
+    [self_monitor_period] (virtual seconds) makes {!advance} inject
+    the {!Self_monitor} health documents periodically. *)
 val create :
   ?seed:int ->
   ?algorithm:Xy_core.Mqp.algorithm ->
@@ -22,6 +30,8 @@ val create :
   ?sink:Xy_reporter.Sink.t ->
   ?web:Xy_crawler.Synthetic_web.t ->
   ?obs:Xy_obs.Obs.t ->
+  ?tracer:Xy_trace.Trace.t ->
+  ?self_monitor_period:float ->
   unit ->
   t
 
@@ -30,6 +40,10 @@ val create :
 (** [obs t] is the metrics registry every stage reports into; snapshot
     it with {!Xy_obs.Obs.snapshot}. *)
 val obs : t -> Xy_obs.Obs.t
+
+(** [tracer t] is the per-document span tracer threaded through every
+    stage; read completed traces with {!Xy_trace.Trace.traces}. *)
+val tracer : t -> Xy_trace.Trace.t
 
 val clock : t -> Xy_util.Clock.t
 val registry : t -> Xy_events.Registry.t
@@ -68,8 +82,11 @@ type ingest_outcome = {
 }
 
 (** [ingest t ~url ~content ~kind] pushes one fetched page through
-    loader → alerters → processor. *)
+    loader → alerters → processor.  A [trace] context attributes each
+    stage to the document's trace; the caller remains responsible for
+    {!Xy_trace.Trace.finish}. *)
 val ingest :
+  ?trace:Xy_trace.Trace.ctx ->
   t ->
   url:string ->
   content:string ->
@@ -77,7 +94,14 @@ val ingest :
   ingest_outcome
 
 (** [ingest_missing t ~url] handles a page that disappeared. *)
-val ingest_missing : t -> url:string -> unit
+val ingest_missing : ?trace:Xy_trace.Trace.ctx -> t -> url:string -> unit
+
+(** [inject_self_monitor t] renders the current metrics snapshot and
+    trace summary ({!Self_monitor}) and ingests them as documents
+    under [xyleme://self/], returning the two outcomes
+    [(health, traces)].  Health subscriptions fire through the normal
+    pipeline. *)
+val inject_self_monitor : t -> ingest_outcome * ingest_outcome
 
 (** {2 The crawl loop} *)
 

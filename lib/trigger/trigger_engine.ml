@@ -71,15 +71,17 @@ let cancel t ~id =
       actions := List.filter (fun (aid, _) -> aid <> id) !actions)
     t.notification_triggers
 
-let notify t ~subscription ~tag =
+let notify ?trace t ~subscription ~tag =
   match Hashtbl.find_opt t.notification_triggers (subscription, tag) with
   | None -> ()
   | Some actions ->
       List.iter
-        (fun (_, action) ->
+        (fun (id, action) ->
           t.notification_runs <- t.notification_runs + 1;
           Obs.Counter.incr t.metrics.m_notification_runs;
-          Obs.Histogram.time t.metrics.m_action_latency action)
+          Xy_trace.Trace.wrap trace ~stage ~name:"action"
+            ~attrs:[ ("trigger", id); ("subscription", subscription) ]
+          @@ fun () -> Obs.Histogram.time t.metrics.m_action_latency action)
         (List.rev !actions)
 
 let tick t =

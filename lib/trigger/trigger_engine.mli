@@ -34,7 +34,8 @@ val cancel : t -> id:string -> unit
 
 (** [notify t ~subscription ~tag] fires matching notification
     triggers immediately. *)
-val notify : t -> subscription:string -> tag:string -> unit
+val notify :
+  ?trace:Xy_trace.Trace.ctx -> t -> subscription:string -> tag:string -> unit
 
 (** [tick t] runs every periodic action whose deadline passed
     (catching up multiple periods one at a time, so a long clock jump

@@ -302,6 +302,50 @@ let test_directory_sink () =
   Sys.rmdir dir;
   Sys.rmdir root
 
+(* Regression: publishing N reports used to rewrite the whole
+   index.xml each time — Θ(N²) bytes of index writes.  The in-place
+   index append makes total writes linear, so doubling the deliveries
+   must roughly double the bytes written (a quadratic index would
+   quadruple them). *)
+let test_directory_sink_linear_writes () =
+  let publish n =
+    let root = Filename.temp_file "xyleme_reports" "" in
+    Sys.remove root;
+    let clock = Clock.create () in
+    let written = ref 0 in
+    let sink = Sink.directory ~root ~written () in
+    let reporter = Reporter.create ~clock ~sink () in
+    Reporter.register reporter ~subscription:"S" ~recipient:"r"
+      (spec [ S.R_immediate ]);
+    for _ = 1 to n do
+      Reporter.notify reporter ~subscription:"S" (notification clock)
+    done;
+    let dir = Filename.concat root "S" in
+    let index =
+      Xy_xml.Parser.parse_element
+        (In_channel.with_open_bin (Filename.concat dir "index.xml")
+           In_channel.input_all)
+    in
+    checks "index root" "reports" index.T.tag;
+    checki
+      (Printf.sprintf "index lists all %d reports" n)
+      n
+      (List.length (T.children_elements index));
+    (* cleanup *)
+    for i = 1 to n do
+      Sys.remove (Filename.concat dir (Printf.sprintf "%d.xml" i))
+    done;
+    Sys.remove (Filename.concat dir "index.xml");
+    Sys.rmdir dir;
+    Sys.rmdir root;
+    !written
+  in
+  let w100 = publish 100 and w200 = publish 200 in
+  checkb
+    (Printf.sprintf "index writes scale linearly (100→%dB, 200→%dB)" w100 w200)
+    true
+    (w200 < 3 * w100)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "reporter"
@@ -338,5 +382,6 @@ let () =
           tc "unregister" test_unregister;
           tc "sinks" test_sinks;
           tc "directory sink (web publication)" test_directory_sink;
+          tc "directory sink index is O(N) writes" test_directory_sink_linear_writes;
         ] );
     ]

@@ -463,6 +463,105 @@ report when immediate|});
   checki "notifications" 1 stats.Xyleme.notifications;
   checki "reports" 1 stats.Xyleme.reports
 
+(* A traced document's journey through the facade yields one trace
+   whose spans cover load → detect → match → report. *)
+let test_trace_covers_pipeline () =
+  let module Trace = Xy_trace.Trace in
+  let t, deliveries = make () in
+  let tracer = Xyleme.tracer t in
+  ignore
+    (subscribe_exn t ~owner:"alice"
+       ~text:
+         {|subscription Watch
+monitoring
+where URL extends "http://x/" and modified self
+report when immediate|});
+  let url = "http://x/a.xml" in
+  let ingest content =
+    let ctx = Trace.start_always tracer ~root:url in
+    ignore (Xyleme.ingest ~trace:ctx t ~url ~content ~kind:Loader.Xml);
+    Trace.finish ctx
+  in
+  ingest "<p>v1</p>";
+  ingest "<p>v2</p>";
+  checki "report delivered" 1 (List.length !deliveries);
+  match Trace.traces tracer with
+  | second :: _first :: _ ->
+      let stages =
+        List.sort_uniq compare
+          (List.map (fun sp -> sp.Trace.sp_stage) second.Trace.tr_spans)
+      in
+      List.iter
+        (fun stage ->
+          checkb (Printf.sprintf "stage %s traced" stage) true
+            (List.mem stage stages))
+        [ "warehouse"; "alerters"; "mqp"; "reporter" ];
+      checkb "duration covers the spans" true (second.Trace.tr_dur_wall >= 0.)
+  | _ -> Alcotest.fail "expected two completed traces"
+
+(* ------------------------------------------------------------------ *)
+(* Self-monitoring: system health as ordinary monitored documents *)
+
+(* The acceptance scenario: an operator subscribes to the system's own
+   health pages with the unmodified subscription language, and the
+   subscription fires through the normal loader → alerters → MQP →
+   reporter path — no side channel. *)
+let test_self_monitor_subscription_fires () =
+  let sink, deliveries = Sink.memory () in
+  let t = Xyleme.create ~seed:42 ~sink () in
+  ignore
+    (subscribe_exn t ~owner:"operator"
+       ~text:
+         {|subscription SelfHealth
+monitoring
+select <HealthAlert url=URL/>
+where URL extends "xyleme://self/" and modified self
+report when immediate|});
+  (* Decade-marker words turn the numeric text into thresholds the
+     word predicate can test: "over_1" appears once the warehouse has
+     loaded at least one document. *)
+  ignore
+    (subscribe_exn t ~owner:"operator"
+       ~text:
+         {|subscription WarehouseGrowth
+monitoring
+where modified self\\warehouse_loaded_new contains "over_1"
+  and URL extends "xyleme://self/metrics"
+report when immediate|});
+  (* First injection: the health pages are new, nothing is modified
+     yet. *)
+  let h1, _ = Xyleme.inject_self_monitor t in
+  checkb "health page alerted the processor" true h1.Xyleme.alerted;
+  checki "new pages do not fire modified-self" 0 (List.length !deliveries);
+  (* The injection itself moved the metrics (two documents loaded), so
+     the second health page differs from the first: modified-self and
+     the over_1 threshold both fire. *)
+  let h2, _ = Xyleme.inject_self_monitor t in
+  checkb "second health page matched" true (h2.Xyleme.matched <> []);
+  let fired =
+    List.sort_uniq compare
+      (List.map (fun d -> d.Sink.subscription) !deliveries)
+  in
+  Alcotest.(check (list string))
+    "both health subscriptions reported"
+    [ "SelfHealth"; "WarehouseGrowth" ]
+    fired;
+  (* The report body names the self URL, like any monitored page. *)
+  List.iter
+    (fun d ->
+      if d.Sink.subscription = "SelfHealth" then
+        match T.children_elements d.Sink.report with
+        | [ alert ] ->
+            checks "tag" "HealthAlert" alert.T.tag;
+            checkb "self url" true
+              (match T.attr alert "url" with
+              | Some url ->
+                  String.length url >= 14
+                  && String.sub url 0 14 = "xyleme://self/"
+              | None -> false)
+        | _ -> Alcotest.fail "expected one HealthAlert")
+    !deliveries
+
 (* ------------------------------------------------------------------ *)
 (* Bus and the distributed pipeline *)
 
@@ -510,6 +609,42 @@ let test_bus_cross_domain () =
   checki "all messages" n (List.length received);
   Alcotest.(check (list int)) "in order" (List.init n (fun i -> i + 1)) received
 
+(* Regression: a producer blocked on a full bus that loses to a
+   concurrent [close] must raise — not deadlock or silently drop the
+   message — and must still record its blocked-duration sample (the
+   close path used to raise before observing it, so stalls that ended
+   in shutdown vanished from the histogram). *)
+let test_bus_close_push_race () =
+  let obs = Xy_obs.Obs.create () in
+  let bus = Bus.create ~capacity:1 ~obs ~name:"race" () in
+  let blocked = Xy_obs.Obs.histogram obs ~stage:"bus" "race_blocked" in
+  Bus.push bus 0;
+  (* capacity reached: the next push must block *)
+  let attempted = Atomic.make false in
+  let producer =
+    Domain.spawn (fun () ->
+        Atomic.set attempted true;
+        match Bus.push bus 1 with
+        | () -> `Pushed
+        | exception Invalid_argument _ -> `Raised)
+  in
+  while not (Atomic.get attempted) do
+    Domain.cpu_relax ()
+  done;
+  (* Let the producer park on the not-full condition, then close
+     underneath it. *)
+  Unix.sleepf 0.05;
+  Bus.close bus;
+  checkb "blocked push raises on close" true (Domain.join producer = `Raised);
+  checki "blocked stall recorded" 1 (Xy_obs.Obs.Histogram.count blocked);
+  (* A push that finds the bus already closed raises immediately and
+     contributes no stall sample — it never blocked. *)
+  (match Bus.push bus 2 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "push after close must fail");
+  checki "immediate rejection adds no stall sample" 1
+    (Xy_obs.Obs.Histogram.count blocked)
+
 let distributed_reference subscriptions alerts =
   let mqp = Mqp.create () in
   List.iter (fun (id, events) -> Mqp.subscribe mqp ~id events) subscriptions;
@@ -528,7 +663,7 @@ let make_distributed_workload () =
     Array.to_list
       (Array.mapi
          (fun i events ->
-           { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = "" })
+           { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = ""; trace = None })
          (Workload.document_sets workload ~seed:9 ~count:200))
   in
   (subscriptions, alerts)
@@ -566,6 +701,68 @@ let test_distributed_alert_accounting () =
     (4 * List.length alerts)
     subs_result.Distributed.alerts_processed
 
+(* A sampled document's trace context rides the alert across the
+   inbox buses into worker domains; the spans recorded there (bus
+   queue wait, MQP match) must land in that document's own trace —
+   one connected trace per sampled alert, no orphaned spans and no
+   stray traces. *)
+let test_distributed_trace_propagation () =
+  let module Trace = Xy_trace.Trace in
+  let subscriptions, alerts = make_distributed_workload () in
+  let tracer = Trace.create ~capacity:64 ~seed:5 () in
+  let sampled = ref [] in
+  let alerts =
+    List.mapi
+      (fun i (alert : Mqp.alert) ->
+        if i mod 10 = 0 then begin
+          let ctx = Trace.start_always tracer ~root:alert.Mqp.url in
+          sampled := (alert.Mqp.url, ctx) :: !sampled;
+          { alert with Mqp.trace = Some ctx }
+        end
+        else alert)
+      alerts
+  in
+  let _ =
+    Distributed.run ~axis:Distributed.Split_documents ~partitions:3
+      ~subscriptions ~alerts ()
+  in
+  List.iter (fun (_, ctx) -> Trace.finish ctx) !sampled;
+  checki "every sampled alert started a trace" (List.length !sampled)
+    (Trace.started tracer);
+  checki "every started trace completed, no orphans" (List.length !sampled)
+    (Trace.completed tracer);
+  let traces = Trace.traces tracer in
+  checki "completed ring holds them all" (List.length !sampled)
+    (List.length traces);
+  let expected_ids =
+    List.sort compare (List.map (fun (_, ctx) -> Trace.trace_id ctx) !sampled)
+  in
+  let got_ids =
+    List.sort compare (List.map (fun tr -> tr.Trace.tr_id) traces)
+  in
+  Alcotest.(check (list int)) "trace ids are exactly the sampled ones"
+    expected_ids got_ids;
+  List.iter
+    (fun tr ->
+      let has stage name =
+        List.exists
+          (fun sp -> sp.Trace.sp_stage = stage && sp.Trace.sp_name = name)
+          tr.Trace.tr_spans
+      in
+      checkb
+        (Printf.sprintf "%s: queue wait attributed across domains"
+           tr.Trace.tr_root)
+        true (has "bus" "wait");
+      checkb
+        (Printf.sprintf "%s: match span recorded on worker domain"
+           tr.Trace.tr_root)
+        true (has "mqp" "match");
+      checkb
+        (Printf.sprintf "%s: root is the sampled document" tr.Trace.tr_root)
+        true
+        (List.mem_assoc tr.Trace.tr_root !sampled))
+    traces
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "system"
@@ -590,16 +787,20 @@ let () =
           tc "warehouse view" test_warehouse_view_shape;
           tc "persistence roundtrip" test_persistence_roundtrip;
           tc "stats" test_stats_consistency;
+          tc "trace covers pipeline" test_trace_covers_pipeline;
+          tc "self-monitor subscription" test_self_monitor_subscription_fires;
         ] );
       ( "bus",
         [
           tc "fifo" test_bus_fifo;
           tc "close semantics" test_bus_close_semantics;
           tc "cross-domain" test_bus_cross_domain;
+          tc "close/push race" test_bus_close_push_race;
         ] );
       ( "distributed",
         [
           tc "matches sequential" test_distributed_matches_sequential;
           tc "alert accounting" test_distributed_alert_accounting;
+          tc "trace propagation" test_distributed_trace_propagation;
         ] );
     ]

@@ -44,6 +44,21 @@ let test_clock_pp () =
   let s = Format.asprintf "%a" Clock.pp (Clock.day +. 3661.) in
   check Alcotest.string "format" "1d 01:01:01" s
 
+let test_clock_pp_edge_cases () =
+  let render t = Format.asprintf "%a" Clock.pp t in
+  check Alcotest.string "zero" "0d 00:00:00" (render 0.);
+  check Alcotest.string "sub-second flushes to zero" "0d 00:00:00" (render 0.999);
+  check Alcotest.string "negative sub-second" "0d 00:00:00" (render (-0.25));
+  check Alcotest.string "negative time carries one sign" "-1d 01:01:01"
+    (render (-.(Clock.day +. 3661.)));
+  check Alcotest.string "negative second" "-0d 00:00:01" (render (-1.));
+  check Alcotest.string "nan" "nan" (render Float.nan);
+  (* Huge values must not truncate into garbage. *)
+  checkb "huge positive renders" true
+    (String.length (render 1e30) > 0);
+  checkb "huge negative is signed" true
+    (String.length (render (-1e30)) > 1 && (render (-1e30)).[0] = '-')
+
 (* ------------------------------------------------------------------ *)
 (* Prng *)
 
@@ -235,6 +250,7 @@ let () =
           tc "set is monotonic" test_clock_set_monotonic;
           tc "constants" test_clock_constants;
           tc "pretty printing" test_clock_pp;
+          tc "pretty printing edge cases" test_clock_pp_edge_cases;
         ] );
       ( "prng",
         [
