@@ -6,6 +6,7 @@ open Harness
 module Workload = Xy_core.Workload
 module Mqp = Xy_core.Mqp
 module Aes = Xy_core.Aes
+module Aes_compact = Xy_core.Aes_compact
 module Partition = Xy_core.Partition
 module Event_set = Xy_events.Event_set
 
@@ -143,6 +144,10 @@ let tbl_thr scale =
   let docs = Workload.document_sets workload ~seed:7 ~count:1000 in
   let per_doc = time_match_set mqp docs in
   let per_second = 1. /. per_doc in
+  record_mqp
+    ~name:(Printf.sprintf "tbl-thr/aes/c=%d" card_c)
+    ~docs_per_sec:per_second
+    ~memory_words:(Mqp.approx_memory_words mqp) ();
   print_table
     ~title:"sustained matching rate"
     ~header:[ "Card(C)"; "us/doc"; "docs/s"; "docs/day"; "crawlers sustained (50 docs/s)" ]
@@ -155,6 +160,108 @@ let tbl_thr scale =
         Printf.sprintf "%.0f" (per_second /. 50.);
       ];
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Boxed hash-tree AES vs the frozen flat-array variant: throughput,
+   memory and probe counts on the same workload.  Three configurations
+   per Card(C): the boxed Aes, the compact structure fully frozen, and
+   the compact structure with ~10% of the subscriptions living in the
+   delta overlay (auto-refreeze disabled) — the worst steady state
+   between two freezes. *)
+
+let tbl_compact scale =
+  section "tbl-compact — boxed AES vs frozen compact AES";
+  note
+    "aes-compact freezes the subscription set into flat sorted int arrays \
+     (merge-join / binary-search matching, direct-address root); adds and \
+     removes go to a delta overlay until the next re-freeze";
+  let card_a = 100_000 and b = 4 and s = 30 in
+  let card_cs =
+    match scale with
+    | Quick -> [ 10_000; 50_000 ]
+    | Default | Paper -> [ 100_000; 1_000_000 ]
+  in
+  let time_matcher match_fn docs =
+    let n = Array.length docs in
+    time_per_unit ~units:n (fun () ->
+        Array.iter (fun events -> ignore (match_fn events)) docs)
+  in
+  let rows =
+    List.concat_map
+      (fun card_c ->
+        let workload = { Workload.card_a; card_c; b; s } in
+        let events = Workload.complex_events workload ~seed:29 in
+        let docs =
+          Workload.document_sets workload ~seed:13 ~count:docs_for_timing
+        in
+        let n_docs = float_of_int (Array.length docs) in
+        (* boxed hash-tree *)
+        let aes = Aes.create () in
+        Array.iteri (fun id set -> Aes.add aes ~id set) events;
+        (* compact, fully frozen *)
+        let frozen = Aes_compact.create () in
+        Array.iteri (fun id set -> Aes_compact.add frozen ~id set) events;
+        Aes_compact.freeze frozen;
+        (* compact with ~10% of the set still in the delta overlay *)
+        let dirty = Aes_compact.create () in
+        Aes_compact.set_refreeze_threshold dirty (Some max_int);
+        let cut = Array.length events - (Array.length events / 10) in
+        Array.iteri
+          (fun id set -> if id < cut then Aes_compact.add dirty ~id set)
+          events;
+        Aes_compact.freeze dirty;
+        Array.iteri
+          (fun id set -> if id >= cut then Aes_compact.add dirty ~id set)
+          events;
+        let measure name match_fn reset_probes probes memory_words =
+          let per_doc = time_matcher match_fn docs in
+          reset_probes ();
+          Array.iter (fun events -> ignore (match_fn events)) docs;
+          let probes_per_doc = float_of_int (probes ()) /. n_docs in
+          record_mqp
+            ~name:(Printf.sprintf "tbl-compact/%s/c=%d" name card_c)
+            ~docs_per_sec:(1. /. per_doc) ~memory_words ~probes_per_doc ();
+          [
+            string_of_int card_c;
+            name;
+            Printf.sprintf "%.1f" (microseconds per_doc);
+            Printf.sprintf "%.0f" (1. /. per_doc);
+            Printf.sprintf "%.1f" (megabytes memory_words);
+            Printf.sprintf "%.0f" probes_per_doc;
+          ]
+        in
+        (* bind sequentially: list elements evaluate right-to-left,
+           which would reverse the recorded JSON row order *)
+        let row_boxed =
+          measure "aes"
+            (fun events -> Aes.match_set aes events)
+            (fun () -> Aes.reset_probes aes)
+            (fun () -> Aes.probes aes)
+            (Aes.approx_memory_words aes)
+        in
+        let row_frozen =
+          measure "aes-compact"
+            (fun events -> Aes_compact.match_set frozen events)
+            (fun () -> Aes_compact.reset_probes frozen)
+            (fun () -> Aes_compact.probes frozen)
+            (Aes_compact.approx_memory_words frozen)
+        in
+        let row_dirty =
+          measure "aes-compact+10%delta"
+            (fun events -> Aes_compact.match_set dirty events)
+            (fun () -> Aes_compact.reset_probes dirty)
+            (fun () -> Aes_compact.probes dirty)
+            (Aes_compact.approx_memory_words dirty)
+        in
+        [ row_boxed; row_frozen; row_dirty ])
+      card_cs
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "boxed vs frozen matching, Card(A)=%d, b=%d, Card(S)=%d" card_a b s)
+    ~header:[ "Card(C)"; "impl"; "us/doc"; "docs/s"; "model MB"; "probes/doc" ]
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Memory: "about 500MB for Card(A)=10^6, Card(C)=10^6 and b=10". *)
@@ -446,6 +553,7 @@ let all =
     ("fig6", fig6);
     ("tbl-b", tbl_b);
     ("tbl-thr", tbl_thr);
+    ("tbl-compact", tbl_compact);
     ("tbl-mem", tbl_mem);
     ("tbl-algo", tbl_algo);
     ("tbl-dist", tbl_dist);

@@ -146,6 +146,66 @@ let emit_traces ~label =
     Xy_trace.Trace.clear tracer
   end
 
+(* Machine-readable MQP results: experiments record their headline
+   rows with [record_mqp]; at the end of the run the accumulated rows
+   are written as one JSON document (default BENCH_mqp.json, --json to
+   override) so CI and EXPERIMENTS.md can consume the numbers without
+   scraping the printed tables. *)
+type mqp_row = {
+  row_name : string;
+  docs_per_sec : float;
+  memory_words : int;
+  probes_per_doc : float option;
+}
+
+let mqp_rows : mqp_row list ref = ref []
+
+let record_mqp ?probes_per_doc ~name ~docs_per_sec ~memory_words () =
+  mqp_rows :=
+    { row_name = name; docs_per_sec; memory_words; probes_per_doc }
+    :: !mqp_rows
+
+let bench_json_path = ref "BENCH_mqp.json"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_mqp_json ~scale =
+  match List.rev !mqp_rows with
+  | [] -> ()
+  | rows ->
+      let oc = open_out !bench_json_path in
+      Printf.fprintf oc
+        "{\n  \"schema\": \"xyleme-bench-mqp/1\",\n  \"scale\": \"%s\",\n\
+        \  \"rows\": [\n"
+        (json_escape scale);
+      let last = List.length rows - 1 in
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"name\": \"%s\", \"docs_per_sec\": %.1f, \
+             \"memory_words\": %d%s}%s\n"
+            (json_escape r.row_name) r.docs_per_sec r.memory_words
+            (match r.probes_per_doc with
+            | None -> ""
+            | Some p -> Printf.sprintf ", \"probes_per_doc\": %.1f" p)
+            (if i = last then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      note "wrote %d MQP row(s) to %s" (List.length rows) !bench_json_path
+
 (* Approximate live heap words attributable to building a structure. *)
 let live_words_of build =
   Gc.compact ();

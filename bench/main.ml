@@ -7,6 +7,7 @@
      fig6          Figure 6 (time per doc vs log k)
      tbl-b         arity independence
      tbl-thr       MQP throughput
+     tbl-compact   boxed AES vs frozen compact AES
      tbl-mem       MQP memory
      tbl-algo      AES vs baselines
      tbl-dist      distributed MQP
@@ -24,7 +25,8 @@
      dune exec bench/main.exe -- --only fig5 --only tbl-url
      dune exec bench/main.exe -- --bechamel    (OLS kernel micro-benches)
      dune exec bench/main.exe -- --obs         (per-stage metrics snapshots)
-     dune exec bench/main.exe -- --trace       (sampled per-document traces) *)
+     dune exec bench/main.exe -- --trace       (sampled per-document traces)
+     dune exec bench/main.exe -- --json PATH   (MQP rows JSON; default BENCH_mqp.json) *)
 
 let experiments : (string * (Harness.scale -> unit)) list =
   Bench_mqp.all @ Bench_alerters.all @ Bench_reporter.all @ Bench_e2e.all
@@ -56,6 +58,9 @@ let () =
         parse rest
     | "--csv" :: dir :: rest ->
         Harness.csv_dir := Some dir;
+        parse rest
+    | "--json" :: path :: rest ->
+        Harness.bench_json_path := path;
         parse rest
     | "--list" :: _ ->
         List.iter (fun (id, _) -> print_endline id) experiments;
@@ -92,5 +97,6 @@ let () =
       Harness.emit_snapshot ~label:id;
       Harness.emit_traces ~label:id)
     selected;
+  Harness.write_mqp_json ~scale:(Harness.scale_name !scale);
   if !bechamel then Bench_bechamel.run ();
   print_newline ()

@@ -149,12 +149,12 @@ let validate_cmd =
    (headline numbers, optional snapshot), [stats] (snapshot only) and
    [trace] (sampled per-document traces; immediate reports so the
    sampled documents' journeys reach the reporter synchronously). *)
-let run_simulation ?(trace_every = 0)
+let run_simulation ?(trace_every = 0) ?algorithm
     ?(report_clause = "report when count > 5 atmost daily") ~sites ~days
     ~subscriptions ~seed () =
   let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
   let sink, delivered = Xy_reporter.Sink.counting () in
-  let xyleme = Xy_system.Xyleme.create ~seed ~sink ~web () in
+  let xyleme = Xy_system.Xyleme.create ~seed ?algorithm ~sink ~web () in
   if trace_every > 0 then
     Xy_trace.Trace.set_sampling (Xy_system.Xyleme.tracer xyleme)
       ~every:trace_every;
@@ -180,6 +180,23 @@ let print_snapshot ~xml xyleme =
   let snapshot = Xy_obs.Obs.snapshot (Xy_system.Xyleme.obs xyleme) in
   if xml then print_string (Xy_obs.Obs.Snapshot.to_xml_string snapshot)
   else Format.printf "%a@." Xy_obs.Obs.Snapshot.pp snapshot
+
+(* The freeze/delta lifecycle of the compact matcher, shown whenever
+   the processor runs `--algorithm aes-compact`. *)
+let print_compact_stats xyleme =
+  match Xy_core.Mqp.compact_stats (Xy_system.Xyleme.mqp xyleme) with
+  | None -> ()
+  | Some cs ->
+      Printf.printf
+        "aes-compact: frozen %d complex event(s) in %d cell(s) / %d mark(s) \
+         (%d words); delta %d, tombstones %d; %d freeze(s), refreeze \
+         threshold %d\n"
+        cs.Xy_core.Aes_compact.frozen_complex
+        cs.Xy_core.Aes_compact.frozen_cells cs.Xy_core.Aes_compact.frozen_marks
+        cs.Xy_core.Aes_compact.frozen_words
+        cs.Xy_core.Aes_compact.delta_complex
+        cs.Xy_core.Aes_compact.tombstones cs.Xy_core.Aes_compact.refreezes
+        cs.Xy_core.Aes_compact.refreeze_threshold
 
 let print_trace_summary tracer =
   Printf.printf "traces: %d sampled, %d completed (ring keeps the last %d)\n"
@@ -225,15 +242,32 @@ let subscriptions_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
 
+let algorithm_arg =
+  let algorithms =
+    List.map
+      (fun a -> (Xy_core.Mqp.algorithm_name_of a, a))
+      Xy_core.Mqp.algorithms
+  in
+  Arg.(
+    value
+    & opt (enum algorithms) Xy_core.Mqp.Use_aes
+    & info [ "algorithm" ] ~docv:"ALG"
+        ~doc:
+          "Matching algorithm for the query processor: $(b,aes) (the paper's \
+           hash-tree), $(b,aes-compact) (frozen flat arrays + delta \
+           overlay), $(b,naive) or $(b,counting)")
+
 let simulate_cmd =
-  let run sites days subscriptions seed verbose stats_flag trace_every =
+  let run sites days subscriptions seed algorithm verbose stats_flag
+      trace_every =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
     let trace_every = Option.value ~default:0 trace_every in
     let xyleme, accepted, delivered =
-      run_simulation ~trace_every ~sites ~days ~subscriptions ~seed ()
+      run_simulation ~trace_every ~algorithm ~sites ~days ~subscriptions ~seed
+        ()
     in
     let stats = Xy_system.Xyleme.stats xyleme in
     Printf.printf "simulated %.0f days over %d sites, %d subscriptions:\n" days
@@ -243,6 +277,7 @@ let simulate_cmd =
       stats.Xy_system.Xyleme.documents_stored stats.Xy_system.Xyleme.alerts_sent
       stats.Xy_system.Xyleme.notifications stats.Xy_system.Xyleme.reports
       delivered;
+    print_compact_stats xyleme;
     if stats_flag then print_snapshot ~xml:false xyleme;
     if trace_every > 0 then print_trace_summary (Xy_system.Xyleme.tracer xyleme)
   in
@@ -263,13 +298,16 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the monitor over a synthetic web")
     Term.(
-      const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg $ verbose
-      $ stats_flag $ trace_every)
+      const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg
+      $ algorithm_arg $ verbose $ stats_flag $ trace_every)
 
 let stats_cmd =
-  let run sites days subscriptions seed xml =
-    let xyleme, _, _ = run_simulation ~sites ~days ~subscriptions ~seed () in
-    print_snapshot ~xml xyleme
+  let run sites days subscriptions seed algorithm xml =
+    let xyleme, _, _ =
+      run_simulation ~algorithm ~sites ~days ~subscriptions ~seed ()
+    in
+    print_snapshot ~xml xyleme;
+    if not xml then print_compact_stats xyleme
   in
   let xml =
     Arg.(value & flag & info [ "xml" ] ~doc:"Emit the snapshot as XML")
@@ -278,17 +316,21 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Run the monitor over a synthetic web and print the per-stage \
-          metrics snapshot (counters, gauges, latency histograms)")
-    Term.(const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg $ xml)
+          metrics snapshot (counters, gauges, latency histograms); with \
+          --algorithm aes-compact also the matcher's freeze/delta statistics")
+    Term.(
+      const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg
+      $ algorithm_arg $ xml)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)
 
 let trace_cmd =
-  let run sites days subscriptions seed every k jsonl xml =
+  let run sites days subscriptions seed algorithm every k jsonl xml =
     let xyleme, _, _ =
-      run_simulation ~trace_every:every ~report_clause:"report when immediate"
-        ~sites ~days ~subscriptions ~seed ()
+      run_simulation ~trace_every:every ~algorithm
+        ~report_clause:"report when immediate" ~sites ~days ~subscriptions
+        ~seed ()
     in
     let tracer = Xy_system.Xyleme.tracer xyleme in
     if jsonl then print_string (Xy_trace.Trace.to_jsonl_string tracer)
@@ -329,8 +371,8 @@ let trace_cmd =
           print the slowest sampled fetch→alert→match→report journeys with \
           their per-stage latency breakdown")
     Term.(
-      const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg $ every
-      $ k $ jsonl $ xml)
+      const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg
+      $ algorithm_arg $ every $ k $ jsonl $ xml)
 
 let () =
   let doc = "Xyleme change monitoring (SIGMOD 2001 reproduction)" in

@@ -90,6 +90,8 @@ let events t ~id =
   | Some events -> events
   | None -> raise Not_found
 
+let iter t f = Hashtbl.iter (fun id events -> f ~id events) t.registered
+
 (* The recursive Notif function of §4.2, accumulating marks; the
    sorted order of [s] lets the scan stop once past the table's key
    range. *)
@@ -118,7 +120,9 @@ let match_set t s =
   in
   notif t.root 0;
   t.probe_count <- t.probe_count + !probes;
-  List.sort_uniq compare !acc
+  (* Int.compare, not polymorphic compare: this sort runs once per
+     matched document (same class of fix as Sorted_ints.of_array). *)
+  List.sort_uniq Int.compare !acc
 
 let probes t = t.probe_count
 let reset_probes t = t.probe_count <- 0

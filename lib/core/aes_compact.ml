@@ -1,0 +1,466 @@
+(* Frozen AES: the §4.2 hash-tree with the subscription set *frozen*
+   into a structure-of-arrays layout.
+
+   The boxed {!Aes} tree pays one [Hashtbl] bucket chase plus a boxed
+   cell record per probe and one cons cell per mark — pointer-chasing
+   that dominates the match hot path at paper scale (10⁵–10⁶ complex
+   events).  Here every hash table of the tree becomes a contiguous
+   span of sorted key codes inside one shared [int array], with
+   parallel arrays for the mark spans (all marks live in a single int
+   arena) and the child span of each cell, so [match_set] is a
+   cache-friendly merge-join / binary-search walk between the sorted
+   incoming event set and the sorted table spans: no [Hashtbl], no
+   cons cells, no boxed cells anywhere on the hot path.
+
+   Layout (cells in BFS order, so each table is one contiguous span
+   and the marks arena is in cell order):
+
+     cell_keys      .(c) = atomic-event code of cell c (strictly
+                    increasing within each table span)
+     cell_child_off .(c), cell_child_len.(c) = the child table's span
+                    of cells (len 0 = leaf)
+     mark_off       cumulative offsets into [marks]; cell c's marks
+                    are marks.(mark_off.(c) .. mark_off.(c+1)-1)
+     dir            optional direct-address root directory:
+                    code - dir_base -> root cell + 1 (0 = absent);
+                    built when the root key range is dense enough,
+                    making the first level an O(1) array load
+     reg_*          the frozen registry (id -> event set) as a sorted
+                    id array over one events arena
+
+   Mutability is restored with a *delta overlay*: new [add]s go to a
+   small ordinary {!Aes} tree, removals of frozen ids to a tombstone
+   set; [match_set] consults frozen + delta and filters tombstones,
+   and the structure re-freezes itself once the dirty count passes a
+   threshold — so [Mqp.subscribe]/[unsubscribe] keep working
+   mid-stream, as the paper's Subscription Manager requires. *)
+
+type frozen = {
+  cell_keys : int array;
+  cell_child_off : int array;
+  cell_child_len : int array;
+  mark_off : int array;  (* length cells+1, cumulative *)
+  marks : int array;
+  root_len : int;  (* the root table is cells [0, root_len) *)
+  dir_base : int;
+  dir : int array;  (* [||] = disabled (sparse root keys) *)
+  reg_ids : int array;  (* sorted increasingly *)
+  reg_off : int array;  (* length |reg_ids|+1, into reg_events *)
+  reg_events : int array;
+}
+
+type t = {
+  mutable frozen : frozen;
+  mutable delta : Aes.t;  (* adds since the last freeze *)
+  mutable delta_count : int;
+  tombstones : (int, unit) Hashtbl.t;  (* removed *frozen* ids *)
+  mutable threshold : int option;  (* None = auto (see below) *)
+  mutable refreezes : int;
+  mutable probe_count : int;
+}
+
+let name = "aes-compact"
+
+let empty_frozen =
+  {
+    cell_keys = [||];
+    cell_child_off = [||];
+    cell_child_len = [||];
+    mark_off = [| 0 |];
+    marks = [||];
+    root_len = 0;
+    dir_base = 0;
+    dir = [||];
+    reg_ids = [||];
+    reg_off = [| 0 |];
+    reg_events = [||];
+  }
+
+let create () =
+  {
+    frozen = empty_frozen;
+    delta = Aes.create ();
+    delta_count = 0;
+    tombstones = Hashtbl.create 64;
+    threshold = None;
+    refreezes = 0;
+    probe_count = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Freezing *)
+
+(* Growable int array, used only while building the frozen layout. *)
+module Vec = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 64 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.a then begin
+      let a = Array.make (2 * v.len) 0 in
+      Array.blit v.a 0 a 0 v.len;
+      v.a <- a
+    end;
+    v.a.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let set v i x = v.a.(i) <- x
+  let to_array v = Array.sub v.a 0 v.len
+end
+
+(* Lexicographic order on event arrays (shorter prefixes first, so the
+   marks of a group sort ahead of its sub-table entries), ids as the
+   tie-break for determinism. *)
+let lex_compare (ea, ia) (eb, ib) =
+  let na = Array.length ea and nb = Array.length eb in
+  let rec go i =
+    if i >= na then if i >= nb then Int.compare ia ib else -1
+    else if i >= nb then 1
+    else
+      let c = Int.compare ea.(i) eb.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* [build entries] lays out the trie of the lexicographically sorted
+   [(events, id)] array in BFS order: each queue item is one table —
+   a range of entries sharing (and extending) a prefix of [depth]
+   codes.  BFS guarantees both invariants the match walk relies on:
+   every table is one contiguous cell span, and marks are appended in
+   global cell order (so one cumulative offset array suffices). *)
+let build (entries : (int array * int) array) =
+  let n = Array.length entries in
+  let keys = Vec.create ()
+  and child_off = Vec.create ()
+  and child_len = Vec.create ()
+  and mark_off = Vec.create ()
+  and marks = Vec.create () in
+  let queue = Queue.create () in
+  let root_len = ref 0 in
+  if n > 0 then Queue.add (0, n, 0, -1) queue;
+  while not (Queue.is_empty queue) do
+    let lo, hi, depth, parent = Queue.pop queue in
+    let table_off = keys.Vec.len in
+    let pending = ref [] in
+    let i = ref lo in
+    while !i < hi do
+      let code = (fst entries.(!i)).(depth) in
+      let j = ref !i in
+      while !j < hi && (fst entries.(!j)).(depth) = code do incr j done;
+      let cell = keys.Vec.len in
+      Vec.push keys code;
+      Vec.push child_off 0;
+      Vec.push child_len 0;
+      Vec.push mark_off marks.Vec.len;
+      (* entries whose set ends at this cell sort first in the group *)
+      let m = ref !i in
+      while !m < !j && Array.length (fst entries.(!m)) = depth + 1 do
+        Vec.push marks (snd entries.(!m));
+        incr m
+      done;
+      if !m < !j then pending := (cell, !m, !j) :: !pending;
+      i := !j
+    done;
+    let table_len = keys.Vec.len - table_off in
+    if parent >= 0 then begin
+      Vec.set child_off parent table_off;
+      Vec.set child_len parent table_len
+    end
+    else root_len := table_len;
+    List.iter
+      (fun (cell, glo, ghi) -> Queue.add (glo, ghi, depth + 1, cell) queue)
+      (List.rev !pending)
+  done;
+  Vec.push mark_off marks.Vec.len;
+  let cell_keys = Vec.to_array keys in
+  (* Direct-address root directory when the root key range is dense
+     enough (always at paper scale, where nearly every atomic code
+     heads some complex event); falls back to binary search over the
+     root span when the codes are sparse. *)
+  let dir_base, dir =
+    if !root_len = 0 then (0, [||])
+    else begin
+      let lo = cell_keys.(0) and hi = cell_keys.(!root_len - 1) in
+      let range = hi - lo + 1 in
+      if range <= 4 * !root_len || range <= 4096 then begin
+        let d = Array.make range 0 in
+        for c = 0 to !root_len - 1 do
+          d.(cell_keys.(c) - lo) <- c + 1
+        done;
+        (lo, d)
+      end
+      else (0, [||])
+    end
+  in
+  (* The frozen registry: ids sorted, event sets in one arena. *)
+  let by_id = Array.copy entries in
+  Array.sort (fun (_, a) (_, b) -> Int.compare a b) by_id;
+  let reg_ids = Array.make n 0 in
+  let reg_off = Array.make (n + 1) 0 in
+  let total = Array.fold_left (fun acc (e, _) -> acc + Array.length e) 0 by_id in
+  let reg_events = Array.make total 0 in
+  let cursor = ref 0 in
+  Array.iteri
+    (fun i (events, id) ->
+      reg_ids.(i) <- id;
+      reg_off.(i) <- !cursor;
+      Array.blit events 0 reg_events !cursor (Array.length events);
+      cursor := !cursor + Array.length events)
+    by_id;
+  reg_off.(n) <- !cursor;
+  {
+    cell_keys;
+    cell_child_off = Vec.to_array child_off;
+    cell_child_len = Vec.to_array child_len;
+    mark_off = Vec.to_array mark_off;
+    marks = Vec.to_array marks;
+    root_len = !root_len;
+    dir_base;
+    dir;
+    reg_ids;
+    reg_off;
+    reg_events;
+  }
+
+let frozen_reg_find fz id =
+  let rec search lo hi =
+    if lo >= hi then -1
+    else
+      let mid = (lo + hi) / 2 in
+      let v = fz.reg_ids.(mid) in
+      if v = id then mid else if v < id then search (mid + 1) hi else search lo mid
+  in
+  search 0 (Array.length fz.reg_ids)
+
+let frozen_events fz idx =
+  Array.sub fz.reg_events fz.reg_off.(idx) (fz.reg_off.(idx + 1) - fz.reg_off.(idx))
+
+let live_entries t =
+  let fz = t.frozen in
+  let acc = ref [] in
+  for i = 0 to Array.length fz.reg_ids - 1 do
+    let id = fz.reg_ids.(i) in
+    if not (Hashtbl.mem t.tombstones id) then
+      acc := (frozen_events fz i, id) :: !acc
+  done;
+  Aes.iter t.delta (fun ~id events -> acc := (events, id) :: !acc);
+  Array.of_list !acc
+
+let freeze t =
+  let entries = live_entries t in
+  Array.sort lex_compare entries;
+  (* keep the cumulative probe count across the structure swap *)
+  t.probe_count <- t.probe_count + Aes.probes t.delta;
+  t.frozen <- build entries;
+  t.delta <- Aes.create ();
+  t.delta_count <- 0;
+  Hashtbl.reset t.tombstones;
+  t.refreezes <- t.refreezes + 1
+
+let frozen_live t = Array.length t.frozen.reg_ids - Hashtbl.length t.tombstones
+
+(* Auto threshold: re-freeze when the dirty count passes a quarter of
+   the frozen set (min 1024).  The geometric growth bounds total
+   re-freeze work during bulk loading to a small multiple of the final
+   freeze, while keeping the delta small enough that the overlay's
+   boxed tree stays off the dominant part of the match path. *)
+let effective_threshold t =
+  match t.threshold with Some n -> n | None -> max 1024 (frozen_live t / 4)
+
+let set_refreeze_threshold t threshold = t.threshold <- threshold
+
+let maybe_refreeze t =
+  if t.delta_count + Hashtbl.length t.tombstones > effective_threshold t then
+    freeze t
+
+(* ------------------------------------------------------------------ *)
+(* The Matcher.S surface *)
+
+let delta_mem t id =
+  match Aes.events t.delta ~id with _ -> true | exception Not_found -> false
+
+let mem_live t id =
+  delta_mem t id
+  || (frozen_reg_find t.frozen id >= 0 && not (Hashtbl.mem t.tombstones id))
+
+let add t ~id events =
+  if Array.length events = 0 then
+    invalid_arg "Aes_compact.add: empty complex event";
+  if mem_live t id then invalid_arg "Aes_compact.add: duplicate id";
+  Aes.add t.delta ~id events;
+  t.delta_count <- t.delta_count + 1;
+  maybe_refreeze t
+
+let remove t ~id =
+  if delta_mem t id then begin
+    Aes.remove t.delta ~id;
+    t.delta_count <- t.delta_count - 1
+  end
+  else begin
+    if frozen_reg_find t.frozen id < 0 || Hashtbl.mem t.tombstones id then
+      raise Not_found;
+    Hashtbl.replace t.tombstones id ()
+  end;
+  maybe_refreeze t
+
+let events t ~id =
+  match Aes.events t.delta ~id with
+  | events -> events
+  | exception Not_found ->
+      let idx = frozen_reg_find t.frozen id in
+      if idx < 0 || Hashtbl.mem t.tombstones id then raise Not_found;
+      frozen_events t.frozen idx
+
+let iter t f =
+  let fz = t.frozen in
+  for i = 0 to Array.length fz.reg_ids - 1 do
+    let id = fz.reg_ids.(i) in
+    if not (Hashtbl.mem t.tombstones id) then f ~id (frozen_events fz i)
+  done;
+  Aes.iter t.delta f
+
+let complex_count t = frozen_live t + t.delta_count
+
+(* The Notif walk of §4.2 over the flat layout.  Probes count key
+   comparisons (binary-search steps, merge steps and directory loads)
+   — the flat equivalent of the boxed tree's cell lookups. *)
+let match_set t s =
+  let fz = t.frozen in
+  let n = Array.length s in
+  let acc = ref [] in
+  let probes = ref 0 in
+  if fz.root_len > 0 && n > 0 then begin
+    let keys = fz.cell_keys in
+    let emit =
+      if Hashtbl.length t.tombstones = 0 then fun id -> acc := id :: !acc
+      else fun id -> if not (Hashtbl.mem t.tombstones id) then acc := id :: !acc
+    in
+    (* first index in a.[lo,hi) with a.(i) >= x; linear for short runs *)
+    let lower_bound a lo hi x =
+      if hi - lo < 8 then begin
+        let i = ref lo in
+        while !i < hi && Array.unsafe_get a !i < x do
+          incr probes;
+          incr i
+        done;
+        incr probes;
+        !i
+      end
+      else begin
+        let lo = ref lo and hi = ref hi in
+        while !lo < !hi do
+          incr probes;
+          let mid = (!lo + !hi) lsr 1 in
+          if Array.unsafe_get a mid < x then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      end
+    in
+    let rec handle_cell c j =
+      let m0 = Array.unsafe_get fz.mark_off c
+      and m1 = Array.unsafe_get fz.mark_off (c + 1) in
+      for k = m0 to m1 - 1 do
+        emit (Array.unsafe_get fz.marks k)
+      done;
+      let child_len = Array.unsafe_get fz.cell_child_len c in
+      if child_len > 0 && j + 1 < n then
+        notif (Array.unsafe_get fz.cell_child_off c) child_len (j + 1)
+    (* merge-join of the table span [off, off+len) with the document
+       suffix s.[i..): walk the shorter side, binary-search the longer
+       one, both cursors advancing monotonically. *)
+    and notif off len i =
+      if len <= n - i then begin
+        let si = ref i and c = ref off in
+        let stop = off + len in
+        while !c < stop && !si < n do
+          let key = Array.unsafe_get keys !c in
+          let j = lower_bound s !si n key in
+          si := j;
+          if j < n && Array.unsafe_get s j = key then begin
+            handle_cell !c j;
+            si := j + 1
+          end;
+          incr c
+        done
+      end
+      else begin
+        let lo = ref off and j = ref i in
+        let stop = off + len in
+        while !j < n && !lo < stop do
+          let code = Array.unsafe_get s !j in
+          let c = lower_bound keys !lo stop code in
+          lo := c;
+          if c < stop && Array.unsafe_get keys c = code then begin
+            handle_cell c !j;
+            lo := c + 1
+          end;
+          incr j
+        done
+      end
+    in
+    if Array.length fz.dir > 0 then begin
+      let base = fz.dir_base in
+      let dir = fz.dir in
+      let dlen = Array.length dir in
+      for j = 0 to n - 1 do
+        let code = Array.unsafe_get s j - base in
+        if code >= 0 && code < dlen then begin
+          incr probes;
+          let c = Array.unsafe_get dir code in
+          if c > 0 then handle_cell (c - 1) j
+        end
+      done
+    end
+    else notif 0 fz.root_len 0
+  end;
+  t.probe_count <- t.probe_count + !probes;
+  let all =
+    if t.delta_count = 0 then !acc
+    else List.rev_append (Aes.match_set t.delta s) !acc
+  in
+  List.sort_uniq Int.compare all
+
+let probes t = t.probe_count + Aes.probes t.delta
+
+let reset_probes t =
+  t.probe_count <- 0;
+  Aes.reset_probes t.delta
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let frozen_words fz =
+  Array.length fz.cell_keys + Array.length fz.cell_child_off
+  + Array.length fz.cell_child_len + Array.length fz.mark_off
+  + Array.length fz.marks + Array.length fz.dir + Array.length fz.reg_ids
+  + Array.length fz.reg_off + Array.length fz.reg_events
+  + 11 (* array headers + the frozen record *)
+
+let approx_memory_words t =
+  frozen_words t.frozen
+  + Aes.approx_memory_words t.delta
+  + (4 * Hashtbl.length t.tombstones)
+
+type compact_stats = {
+  frozen_complex : int;
+  frozen_cells : int;
+  frozen_marks : int;
+  frozen_words : int;
+  delta_complex : int;
+  tombstones : int;
+  refreezes : int;
+  refreeze_threshold : int;
+}
+
+let compact_stats t =
+  {
+    frozen_complex = Array.length t.frozen.reg_ids;
+    frozen_cells = Array.length t.frozen.cell_keys;
+    frozen_marks = Array.length t.frozen.marks;
+    frozen_words = frozen_words t.frozen;
+    delta_complex = t.delta_count;
+    tombstones = Hashtbl.length t.tombstones;
+    refreezes = t.refreezes;
+    refreeze_threshold = effective_threshold t;
+  }

@@ -47,6 +47,8 @@ let events t ~id =
   | Some events -> events
   | None -> raise Not_found
 
+let iter t f = Hashtbl.iter (fun id events -> f ~id events) t.registered
+
 let match_set t s =
   Hashtbl.reset t.counters;
   let acc = ref [] in
@@ -62,7 +64,7 @@ let match_set t s =
               if count = Hashtbl.find t.arity id then acc := id :: !acc)
             !ids)
     s;
-  List.sort_uniq compare !acc
+  List.sort_uniq Int.compare !acc
 
 let complex_count t = Hashtbl.length t.registered
 

@@ -7,6 +7,8 @@
     [{i | c_i ⊆ S_j}]).  Three implementations are provided:
 
     - {!Aes}: the paper's "Atomic Event Sets" hash-tree (§4.2);
+    - {!Aes_compact}: the same algorithm over a frozen flat-array
+      layout with a delta overlay (cache-compact; see its interface);
     - {!Naive}: per-candidate subset testing behind an inverted index
       on the first (smallest) atomic event;
     - {!Counting}: the classic inverted-index counting scheme, whose
@@ -34,6 +36,11 @@ module type S = sig
 
   (** [events t ~id] is the event set of a registered complex event. *)
   val events : t -> id:int -> Xy_events.Event_set.t
+
+  (** [iter t f] applies [f] to every registered complex event, in
+      unspecified order.  Used for bulk export — e.g. re-freezing a
+      compacted structure or re-partitioning a subscription set. *)
+  val iter : t -> (id:int -> Xy_events.Event_set.t -> unit) -> unit
 
   (** [match_set t s] is the sorted list of ids of complex events
       included in [s]. *)

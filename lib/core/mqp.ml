@@ -7,7 +7,19 @@ type alert = {
   trace : Xy_trace.Trace.ctx option;
 }
 type notification = { complex_id : int; url : string; payload : string }
-type algorithm = Use_aes | Use_naive | Use_counting
+type algorithm = Use_aes | Use_aes_compact | Use_naive | Use_counting
+
+let algorithm_name_of = function
+  | Use_aes -> Aes.name
+  | Use_aes_compact -> Aes_compact.name
+  | Use_naive -> Naive.name
+  | Use_counting -> Counting.name
+
+let algorithms =
+  [ Use_aes; Use_aes_compact; Use_naive; Use_counting ]
+
+let algorithm_of_name name =
+  List.find_opt (fun a -> algorithm_name_of a = name) algorithms
 
 type packed = Packed : (module Matcher.S with type t = 'a) * 'a -> packed
 
@@ -22,6 +34,10 @@ type metrics = {
 
 type t = {
   matcher : packed;
+  compact : Aes_compact.t option;
+      (** the same instance as [matcher] when the algorithm is
+          {!Use_aes_compact}; gives the freeze/compact-stats surface
+          without breaking the packed abstraction *)
   mutable listeners : (notification -> unit) list;
   mutable batch_listeners : (alert -> int list -> unit) list;
   mutable alerts_processed : int;
@@ -35,14 +51,18 @@ let pack (type a) (module M : Matcher.S with type t = a) =
 let stage = "mqp"
 
 let create ?(algorithm = Use_aes) ?(obs = Obs.default) () =
-  let matcher =
+  let matcher, compact =
     match algorithm with
-    | Use_aes -> pack (module Aes)
-    | Use_naive -> pack (module Naive)
-    | Use_counting -> pack (module Counting)
+    | Use_aes -> (pack (module Aes), None)
+    | Use_aes_compact ->
+        let c = Aes_compact.create () in
+        (Packed ((module Aes_compact), c), Some c)
+    | Use_naive -> (pack (module Naive), None)
+    | Use_counting -> (pack (module Counting), None)
   in
   {
     matcher;
+    compact;
     listeners = [];
     batch_listeners = [];
     alerts_processed = 0;
@@ -63,6 +83,9 @@ let create ?(algorithm = Use_aes) ?(obs = Obs.default) () =
 let algorithm_name t =
   let (Packed ((module M), _)) = t.matcher in
   M.name
+
+let freeze t = Option.iter Aes_compact.freeze t.compact
+let compact_stats t = Option.map Aes_compact.compact_stats t.compact
 
 let subscribe t ~id events =
   let (Packed ((module M), m)) = t.matcher in

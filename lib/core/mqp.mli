@@ -26,17 +26,36 @@ type notification = {
   payload : string;
 }
 
-type algorithm = Use_aes | Use_naive | Use_counting
+type algorithm = Use_aes | Use_aes_compact | Use_naive | Use_counting
+
+(** [algorithm_of_name "aes-compact"] etc. — the inverse of each
+    matcher's [name], for command-line plumbing. *)
+val algorithm_of_name : string -> algorithm option
+
+(** Every selectable algorithm, in presentation order. *)
+val algorithms : algorithm list
+
+val algorithm_name_of : algorithm -> string
 
 type t
 
-(** [create ~algorithm ()] — defaults to the paper's {!Aes}.
-    Processor metrics (match-latency histogram, batch sizes, alert
-    and notification counters) are registered under the [mqp] stage
-    of [obs] (default {!Xy_obs.Obs.default}). *)
+(** [create ~algorithm ()] — defaults to the paper's {!Aes};
+    {!Use_aes_compact} selects the frozen flat-array variant
+    ({!Aes_compact}).  Processor metrics (match-latency histogram,
+    batch sizes, alert and notification counters) are registered
+    under the [mqp] stage of [obs] (default {!Xy_obs.Obs.default}). *)
 val create : ?algorithm:algorithm -> ?obs:Xy_obs.Obs.t -> unit -> t
 
 val algorithm_name : t -> string
+
+(** [freeze t] forces an {!Aes_compact.freeze} when the processor
+    runs the compact algorithm (e.g. after bulk subscription load);
+    a no-op for every other algorithm. *)
+val freeze : t -> unit
+
+(** [compact_stats t] is the compact structure's freeze/delta
+    statistics, or [None] unless the algorithm is {!Use_aes_compact}. *)
+val compact_stats : t -> Aes_compact.compact_stats option
 
 (** [subscribe t ~id events] registers a complex event (a conjunction
     of atomic-event codes).  Dynamic: allowed while processing. *)

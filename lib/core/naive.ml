@@ -33,6 +33,8 @@ let events t ~id =
   | Some events -> events
   | None -> raise Not_found
 
+let iter t f = Hashtbl.iter (fun id events -> f ~id events) t.registered
+
 let match_set t s =
   let acc = ref [] in
   Array.iter
@@ -46,7 +48,7 @@ let match_set t s =
               if Xy_util.Sorted_ints.subset events s then acc := id :: !acc)
             !ids)
     s;
-  List.sort_uniq compare !acc
+  List.sort_uniq Int.compare !acc
 
 let complex_count t = Hashtbl.length t.registered
 

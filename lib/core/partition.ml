@@ -43,6 +43,8 @@ let process t alert =
           (fun acc mqp -> List.rev_append (Mqp.process mqp alert) acc)
           [] t.instances
       in
-      List.sort_uniq compare all
+      (* Int.compare, not polymorphic compare: this merge runs once
+         per alert on the subscriptions axis. *)
+      List.sort_uniq Int.compare all
 
 let memory_per_partition t = Array.map Mqp.approx_memory_words t.instances

@@ -41,7 +41,12 @@ let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
           ~trace_of:(fun alert -> alert.Mqp.trace)
           ())
   in
-  let outbox : (string * int) Bus.t =
+  (* One outbox message per processed alert carrying the whole match
+     batch ("all the complex events are detected on a document
+     simultaneously and thus are sent ... in one batch"), not one push
+     per notification: at high match rates the per-notification push
+     made the shared outbox the contention point. *)
+  let outbox : (string * int list) Bus.t =
     Bus.create ~capacity:1024 ~obs ~name:"outbox" ()
   in
   let processed = Array.make partitions 0 in
@@ -57,11 +62,11 @@ let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
               | None -> ()
               | Some alert ->
                   processed.(slot) <- processed.(slot) + 1;
-                  List.iter
-                    (fun id ->
-                      Obs.Counter.incr m_notifications;
-                      Bus.push outbox (alert.Mqp.url, id))
-                    (Mqp.process mqp alert);
+                  (match Mqp.process mqp alert with
+                  | [] -> ()
+                  | ids ->
+                      Obs.Counter.add m_notifications (List.length ids);
+                      Bus.push outbox (alert.Mqp.url, ids));
                   loop ()
             in
             loop ()))
@@ -72,7 +77,8 @@ let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
         let rec loop acc =
           match Bus.pop outbox with
           | None -> acc
-          | Some notification -> loop (notification :: acc)
+          | Some (url, ids) ->
+              loop (List.fold_left (fun acc id -> (url, id) :: acc) acc ids)
         in
         loop [])
   in

@@ -32,7 +32,10 @@ type result = {
 (** [run ~axis ~partitions ~subscriptions ~alerts ()] builds one
     {!Xy_core.Mqp} per partition (loaded per [axis]), spawns one
     domain per partition plus a collector, streams [alerts] through
-    and returns the collected notification multiset.
+    and returns the collected notification multiset.  Workers push
+    one [(url, ids)] batch per processed alert onto the shared
+    outbox — not one message per notification — so the outbox is
+    contended once per document even at high match rates.
 
     Pipeline metrics (routed alerts, emitted notifications, partition
     gauge, per-domain worker-span histogram, plus the [bus] stage's

@@ -6,6 +6,7 @@ module Event_set = Xy_events.Event_set
 module Registry = Xy_events.Registry
 module Atomic = Xy_events.Atomic
 module Aes = Xy_core.Aes
+module Aes_compact = Xy_core.Aes_compact
 module Naive = Xy_core.Naive
 module Counting = Xy_core.Counting
 module Mqp = Xy_core.Mqp
@@ -66,8 +67,11 @@ let load (module M : MATCHER) defs =
     complex_count = (fun () -> M.complex_count m);
   }
 
+(* Aes_compact rides along through the generic tests in delta-heavy
+   mode (no explicit freeze); its frozen / post-refreeze states get
+   dedicated tests below. *)
 let matchers : (module MATCHER) list =
-  [ (module Aes); (module Naive); (module Counting) ]
+  [ (module Aes); (module Aes_compact); (module Naive); (module Counting) ]
 
 let run_figure4_example (module M : MATCHER) () =
   let m = load (module M) figure4 in
@@ -331,6 +335,173 @@ let test_aes_prune_keeps_shared () =
     (Aes.match_set m (Event_set.of_list [ 1; 2; 3 ]))
 
 (* ------------------------------------------------------------------ *)
+(* Aes_compact: the frozen flat-array variant's freeze/delta
+   lifecycle, beyond the generic matcher tests above. *)
+
+let load_compact defs =
+  let m = Aes_compact.create () in
+  List.iter
+    (fun (id, events) -> Aes_compact.add m ~id (Event_set.of_list events))
+    defs;
+  m
+
+let test_compact_frozen_figure4 () =
+  let m = load_compact figure4 in
+  Aes_compact.freeze m;
+  check_ids "frozen: paper example S={1,3,5}" [ 3; 4; 10; 15 ]
+    (Aes_compact.match_set m (Event_set.of_list [ 1; 3; 5 ]));
+  check_ids "frozen: S={1,5,8}" [ 4; 25; 50 ]
+    (Aes_compact.match_set m (Event_set.of_list [ 1; 5; 8 ]));
+  check_ids "frozen: no match" []
+    (Aes_compact.match_set m (Event_set.of_list [ 4; 6; 7 ]));
+  let cs = Aes_compact.compact_stats m in
+  checki "all complex events frozen" (List.length figure4)
+    cs.Aes_compact.frozen_complex;
+  checki "one mark per complex event" (List.length figure4)
+    cs.Aes_compact.frozen_marks;
+  checkb "has cells" true (cs.Aes_compact.frozen_cells > 0);
+  checkb "flat arrays sized" true (cs.Aes_compact.frozen_words > 0);
+  checki "delta empty" 0 cs.Aes_compact.delta_complex;
+  checki "no tombstones" 0 cs.Aes_compact.tombstones
+
+let test_compact_lifecycle () =
+  let m = load_compact figure4 in
+  Aes_compact.freeze m;
+  let refreezes_after_load = (Aes_compact.compact_stats m).Aes_compact.refreezes in
+  (* Remove a frozen id (tombstone) and add a new one (delta). *)
+  Aes_compact.remove m ~id:3;
+  Aes_compact.add m ~id:999 (Event_set.of_list [ 1; 3 ]);
+  let s = Event_set.of_list [ 1; 3; 5 ] in
+  check_ids "tombstone filtered, delta consulted" [ 4; 10; 15; 999 ]
+    (Aes_compact.match_set m s);
+  checkb "events finds delta id" true
+    (Event_set.equal (Aes_compact.events m ~id:999) (Event_set.of_list [ 1; 3 ]));
+  Alcotest.check_raises "events of tombstoned id" Not_found (fun () ->
+      ignore (Aes_compact.events m ~id:3));
+  Alcotest.check_raises "double remove" Not_found (fun () ->
+      Aes_compact.remove m ~id:3);
+  checki "count reflects overlay" (List.length figure4)
+    (Aes_compact.complex_count m);
+  let cs = Aes_compact.compact_stats m in
+  checki "one tombstone" 1 cs.Aes_compact.tombstones;
+  checki "one delta add" 1 cs.Aes_compact.delta_complex;
+  (* Re-freeze folds the overlay into the flat layout. *)
+  Aes_compact.freeze m;
+  let cs = Aes_compact.compact_stats m in
+  checki "overlay folded in" (List.length figure4) cs.Aes_compact.frozen_complex;
+  checki "tombstones cleared" 0 cs.Aes_compact.tombstones;
+  checki "delta cleared" 0 cs.Aes_compact.delta_complex;
+  checki "refreeze counted" (refreezes_after_load + 1) cs.Aes_compact.refreezes;
+  check_ids "same matches after refreeze" [ 4; 10; 15; 999 ]
+    (Aes_compact.match_set m s);
+  (* Freeze with nothing dirty is an identity. *)
+  Aes_compact.freeze m;
+  check_ids "idempotent freeze" [ 4; 10; 15; 999 ] (Aes_compact.match_set m s)
+
+let test_compact_auto_refreeze () =
+  let m = Aes_compact.create () in
+  Aes_compact.set_refreeze_threshold m (Some 4);
+  List.iteri
+    (fun id (_, events) -> Aes_compact.add m ~id (Event_set.of_list events))
+    figure4;
+  let cs = Aes_compact.compact_stats m in
+  checkb "auto-refreeze fired" true (cs.Aes_compact.refreezes > 0);
+  checkb "delta stays under threshold" true (cs.Aes_compact.delta_complex <= 4);
+  (* Matching is unaffected by where each entry currently lives
+     (ids are positional: figure4's (10, [1;3]) is id 1 here, etc.). *)
+  let defs = List.mapi (fun i (_, e) -> (i, e)) figure4 in
+  let s = Event_set.of_list [ 1; 3; 5 ] in
+  check_ids "matches reference across freeze boundary"
+    (reference_match defs s)
+    (Aes_compact.match_set m s)
+
+(* The heart of the tentpole's correctness claim: frozen, delta-dirty
+   and post-refreeze states all agree with every other matcher and the
+   reference semantics under random add/remove/match interleavings. *)
+let test_compact_states_equivalence () =
+  let prng = Xy_util.Prng.create ~seed:2718 in
+  let live = Hashtbl.create 64 in
+  let ms = List.map (fun m -> load m []) matchers in
+  let manual = Aes_compact.create () in
+  Aes_compact.set_refreeze_threshold manual (Some max_int);
+  let auto = Aes_compact.create () in
+  Aes_compact.set_refreeze_threshold auto (Some 8);
+  let next_id = ref 0 in
+  for _step = 1 to 600 do
+    let action = Xy_util.Prng.int prng 4 in
+    if action = 0 || Hashtbl.length live = 0 then begin
+      let id = !next_id in
+      incr next_id;
+      let b = 1 + Xy_util.Prng.int prng 4 in
+      let events = Xy_util.Prng.distinct_sorted prng ~bound:40 ~count:b in
+      Hashtbl.replace live id (Array.to_list events);
+      let set = Event_set.of_array events in
+      List.iter (fun m -> m.add ~id set) ms;
+      Aes_compact.add manual ~id set;
+      Aes_compact.add auto ~id set
+    end
+    else if action = 1 then begin
+      let ids = List.of_seq (Hashtbl.to_seq_keys live) in
+      let id = Xy_util.Prng.pick_list prng ids in
+      Hashtbl.remove live id;
+      List.iter (fun m -> m.remove ~id) ms;
+      Aes_compact.remove manual ~id;
+      Aes_compact.remove auto ~id
+    end
+    else if action = 2 && Xy_util.Prng.int prng 10 = 0 then
+      (* occasional explicit freeze: the manual instance cycles
+         through frozen / dirty / re-frozen states *)
+      Aes_compact.freeze manual
+    else begin
+      let s_card = 1 + Xy_util.Prng.int prng 12 in
+      let s =
+        Event_set.of_array
+          (Xy_util.Prng.distinct_sorted prng ~bound:40 ~count:s_card)
+      in
+      let defs = List.of_seq (Hashtbl.to_seq live) in
+      let expected = reference_match defs s in
+      List.iter
+        (fun m ->
+          check_ids (m.name ^ " state agreement") expected (m.match_set s))
+        ms;
+      check_ids "manual-freeze compact agreement" expected
+        (Aes_compact.match_set manual s);
+      check_ids "auto-refreeze compact agreement" expected
+        (Aes_compact.match_set auto s)
+    end
+  done;
+  checkb "auto instance did refreeze" true
+    ((Aes_compact.compact_stats auto).Aes_compact.refreezes > 0)
+
+let qcheck_compact_frozen_agreement =
+  let gen =
+    QCheck.make
+      ~print:(fun (defs, s) ->
+        Printf.sprintf "defs=%s s=%s"
+          (String.concat ";"
+             (List.map
+                (fun (id, e) ->
+                  Printf.sprintf "%d:[%s]" id
+                    (String.concat "," (List.map string_of_int e)))
+                defs))
+          (String.concat "," (List.map string_of_int s)))
+      QCheck.Gen.(
+        let event = int_bound 30 in
+        let small_set = list_size (1 -- 5) event in
+        pair
+          (map
+             (fun sets -> List.mapi (fun i s -> (i, List.sort_uniq compare s)) sets)
+             (list_size (1 -- 40) small_set))
+          (list_size (0 -- 12) event))
+  in
+  QCheck.Test.make ~name:"frozen aes-compact = reference" ~count:300 gen
+    (fun (defs, s_list) ->
+      let s = Event_set.of_list s_list in
+      let m = load_compact defs in
+      Aes_compact.freeze m;
+      Aes_compact.match_set m s = reference_match defs s)
+
+(* ------------------------------------------------------------------ *)
 (* Mqp wrapper *)
 
 let test_mqp_notifications () =
@@ -367,15 +538,41 @@ let test_mqp_algorithms_equivalent () =
   let docs = Workload.document_sets workload ~seed:5 ~count:50 in
   let mk algorithm = Workload.load_mqp ~algorithm workload ~seed:1 in
   let aes = mk Mqp.Use_aes
+  and compact = mk Mqp.Use_aes_compact
   and naive = mk Mqp.Use_naive
   and counting = mk Mqp.Use_counting in
+  (* exercise the compact processor in its frozen state too *)
+  Mqp.freeze compact;
   Array.iter
     (fun events ->
       let alert = { Mqp.url = "u"; events; payload = ""; trace = None } in
       let expected = Mqp.process aes alert in
+      check_ids "aes-compact" expected (Mqp.process compact alert);
       check_ids "naive" expected (Mqp.process naive alert);
       check_ids "counting" expected (Mqp.process counting alert))
     docs
+
+let test_mqp_compact_surface () =
+  let mqp = Mqp.create ~algorithm:Mqp.Use_aes_compact () in
+  Alcotest.(check string) "algorithm name" "aes-compact" (Mqp.algorithm_name mqp);
+  Mqp.subscribe mqp ~id:1 (Event_set.of_list [ 1; 2 ]);
+  Mqp.freeze mqp;
+  (match Mqp.compact_stats mqp with
+  | None -> Alcotest.fail "compact_stats expected for aes-compact"
+  | Some cs -> checki "frozen after Mqp.freeze" 1 cs.Xy_core.Aes_compact.frozen_complex);
+  (* other algorithms: the surface is inert *)
+  let plain = Mqp.create () in
+  Mqp.freeze plain;
+  checkb "no stats for boxed aes" true (Mqp.compact_stats plain = None)
+
+let test_mqp_algorithm_names () =
+  List.iter
+    (fun a ->
+      match Mqp.algorithm_of_name (Mqp.algorithm_name_of a) with
+      | Some a' -> checkb "name round-trips" true (a = a')
+      | None -> Alcotest.fail "algorithm name did not round-trip")
+    Mqp.algorithms;
+  checkb "unknown name rejected" true (Mqp.algorithm_of_name "nope" = None)
 
 (* ------------------------------------------------------------------ *)
 (* Partitioning *)
@@ -522,11 +719,21 @@ let () =
           tc "probe counting" test_aes_probe_counting;
           tc "prune keeps shared prefixes" test_aes_prune_keeps_shared;
         ] );
+      ( "aes-compact",
+        [
+          tc "frozen figure 4" test_compact_frozen_figure4;
+          tc "freeze/delta lifecycle" test_compact_lifecycle;
+          tc "auto refreeze" test_compact_auto_refreeze;
+          tc "state equivalence under churn" test_compact_states_equivalence;
+          QCheck_alcotest.to_alcotest qcheck_compact_frozen_agreement;
+        ] );
       ( "mqp",
         [
           tc "notifications" test_mqp_notifications;
           tc "stats" test_mqp_stats;
           tc "algorithms equivalent" test_mqp_algorithms_equivalent;
+          tc "compact freeze surface" test_mqp_compact_surface;
+          tc "algorithm names round-trip" test_mqp_algorithm_names;
         ] );
       ( "partition",
         [
