@@ -1,0 +1,94 @@
+(* Fault-tolerance experiment: throughput of the full crawl loop as
+   the fetch-failure rate rises.  The paper's crawler works against
+   the real web — "the Web changes", fetches fail — so the interesting
+   number is how gracefully docs/sec degrades when 1%, 5%, 20% of
+   fetches fail and every failure goes through the retry/backoff
+   machinery (transient retries, exhaustion, demotion). *)
+
+open Harness
+module Xyleme = Xy_system.Xyleme
+module Web = Xy_crawler.Synthetic_web
+module Sink = Xy_reporter.Sink
+module Obs = Xy_obs.Obs
+
+let rates = [ 0.0; 0.01; 0.05; 0.20 ]
+
+let tbl_fault scale =
+  section "tbl-fault — crawl throughput under fetch failures";
+  note
+    "deterministic fault injection (seeded per-point PRNG): the same seed \
+     and spec reproduce the same failure schedule; failed fetches are \
+     retried with exponential backoff, repeat offenders demoted";
+  let sites = match scale with Quick -> 8 | Default -> 20 | Paper -> 40 in
+  let subscriptions =
+    match scale with Quick -> 100 | Default -> 500 | Paper -> 2_000
+  in
+  let days = match scale with Quick -> 5. | Default -> 14. | Paper -> 30. in
+  let rows =
+    List.map
+      (fun rate ->
+        let obs = Obs.create () in
+        let web = Web.generate ~seed:11 ~sites ~pages_per_site:8 () in
+        let sink, delivered = Sink.counting () in
+        let fault_plan = if rate = 0. then [] else [ ("fetch", rate) ] in
+        let xyleme =
+          Xyleme.create ~seed:11 ~fault_plan ~sink ~web ~obs ()
+        in
+        let accepted = ref 0 in
+        for i = 0 to subscriptions - 1 do
+          let text =
+            Printf.sprintf
+              {|subscription F%d
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://site%d.example.org/" and modified self
+report when count > 5 atmost daily|}
+              i (i mod sites)
+          in
+          match
+            Xyleme.subscribe xyleme ~owner:(Printf.sprintf "u%d" i) ~text
+          with
+          | Ok _ -> incr accepted
+          | Error _ -> ()
+        done;
+        let (), wall =
+          time_once (fun () ->
+              Xyleme.run xyleme ~days ~step:(6. *. 3600.) ~fetch_limit:500)
+        in
+        let stats = Xyleme.stats xyleme in
+        let snapshot = Obs.snapshot obs in
+        let fault name = Obs.Snapshot.counter_value snapshot ~stage:"fault" name in
+        let fetched = stats.Xyleme.documents_fetched in
+        let docs_per_sec = float_of_int fetched /. wall in
+        record_mqp
+          ~name:(Printf.sprintf "tbl-fault/fetch=%.2f" rate)
+          ~docs_per_sec ~memory_words:0 ();
+        [
+          Printf.sprintf "%.0f%%" (rate *. 100.);
+          string_of_int fetched;
+          Printf.sprintf "%.0f" docs_per_sec;
+          string_of_int (fault "fetch_failures");
+          string_of_int (fault "fetch_retries");
+          string_of_int (fault "retry_exhausted");
+          string_of_int (fault "requeued_demoted");
+          string_of_int stats.Xyleme.reports;
+          string_of_int !delivered;
+        ])
+      rates
+  in
+  print_table ~title:"crawl loop under injected fetch failures"
+    ~header:
+      [
+        "fail rate";
+        "fetched";
+        "docs/s";
+        "failures";
+        "retries";
+        "exhausted";
+        "demoted";
+        "reports";
+        "deliveries";
+      ]
+    rows
+
+let all = [ ("tbl-fault", tbl_fault) ]

@@ -149,12 +149,14 @@ let validate_cmd =
    (headline numbers, optional snapshot), [stats] (snapshot only) and
    [trace] (sampled per-document traces; immediate reports so the
    sampled documents' journeys reach the reporter synchronously). *)
-let run_simulation ?(trace_every = 0) ?algorithm
+let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
     ?(report_clause = "report when count > 5 atmost daily") ~sites ~days
     ~subscriptions ~seed () =
   let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
   let sink, delivered = Xy_reporter.Sink.counting () in
-  let xyleme = Xy_system.Xyleme.create ~seed ?algorithm ~sink ~web () in
+  let xyleme =
+    Xy_system.Xyleme.create ~seed ?algorithm ?fault_plan ~sink ~web ()
+  in
   if trace_every > 0 then
     Xy_trace.Trace.set_sampling (Xy_system.Xyleme.tracer xyleme)
       ~every:trace_every;
@@ -242,6 +244,56 @@ let subscriptions_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
 
+let faults_arg =
+  let parse s =
+    match Xy_fault.Fault.parse_spec s with
+    | Ok spec -> `Ok spec
+    | Error msg -> `Error msg
+  in
+  let print ppf spec =
+    Format.pp_print_string ppf (Xy_fault.Fault.spec_to_string spec)
+  in
+  let spec_conv = (parse, print) in
+  Arg.(
+    value
+    & opt (some spec_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject failures during the run: $(docv) is \
+           point=RATE(,point=RATE)*, e.g. $(b,fetch=0.05,malformed=0.01). \
+           The schedule is drawn from $(b,--seed), so the same seed and \
+           spec reproduce the same failures.  Points: fetch, malformed, \
+           torn_write, short_write, bus_stall, bus_drop, worker")
+
+let print_fault_report xyleme =
+  let faults = Xy_system.Xyleme.faults xyleme in
+  if Xy_fault.Fault.active faults then begin
+    Printf.printf "faults injected:";
+    List.iter
+      (fun (point, _) ->
+        let count = Xy_fault.Fault.injected faults point in
+        if count > 0 then Printf.printf " %s=%d" point count)
+      Xy_fault.Fault.points;
+    print_newline ();
+    let snapshot = Xy_obs.Obs.snapshot (Xy_system.Xyleme.obs xyleme) in
+    let fault_counters =
+      List.filter_map
+        (fun entry ->
+          match entry with
+          | { Xy_obs.Obs.Snapshot.stage = "fault"; name;
+              value = Xy_obs.Obs.Snapshot.Counter v } -> Some (name, v)
+          | _ -> None)
+        snapshot.Xy_obs.Obs.Snapshot.entries
+    in
+    if fault_counters <> [] then begin
+      Printf.printf "recovery:";
+      List.iter
+        (fun (name, v) -> Printf.printf " %s=%d" name v)
+        fault_counters;
+      print_newline ()
+    end
+  end
+
 let algorithm_arg =
   let algorithms =
     List.map
@@ -258,16 +310,16 @@ let algorithm_arg =
            overlay), $(b,naive) or $(b,counting)")
 
 let simulate_cmd =
-  let run sites days subscriptions seed algorithm verbose stats_flag
-      trace_every =
+  let run sites days subscriptions seed algorithm fault_plan verbose
+      stats_flag trace_every =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
     let trace_every = Option.value ~default:0 trace_every in
     let xyleme, accepted, delivered =
-      run_simulation ~trace_every ~algorithm ~sites ~days ~subscriptions ~seed
-        ()
+      run_simulation ~trace_every ~algorithm ?fault_plan ~sites ~days
+        ~subscriptions ~seed ()
     in
     let stats = Xy_system.Xyleme.stats xyleme in
     Printf.printf "simulated %.0f days over %d sites, %d subscriptions:\n" days
@@ -278,6 +330,7 @@ let simulate_cmd =
       stats.Xy_system.Xyleme.notifications stats.Xy_system.Xyleme.reports
       delivered;
     print_compact_stats xyleme;
+    print_fault_report xyleme;
     if stats_flag then print_snapshot ~xml:false xyleme;
     if trace_every > 0 then print_trace_summary (Xy_system.Xyleme.tracer xyleme)
   in
@@ -299,7 +352,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Run the monitor over a synthetic web")
     Term.(
       const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg
-      $ algorithm_arg $ verbose $ stats_flag $ trace_every)
+      $ algorithm_arg $ faults_arg $ verbose $ stats_flag $ trace_every)
 
 let stats_cmd =
   let run sites days subscriptions seed algorithm xml =

@@ -1,4 +1,5 @@
 module Obs = Xy_obs.Obs
+module Fault = Xy_fault.Fault
 
 type fetch = {
   url : string;
@@ -6,6 +7,25 @@ type fetch = {
   kind : Synthetic_web.kind option;
   trace : Xy_trace.Trace.ctx option;
 }
+
+type retry_policy = {
+  max_retries : int;
+  backoff : float;
+  backoff_factor : float;
+  jitter : float;
+  demote_factor : float;
+  site_threshold : int;
+}
+
+let default_retry =
+  {
+    max_retries = 3;
+    backoff = 300.;
+    backoff_factor = 2.;
+    jitter = 0.5;
+    demote_factor = 2.;
+    site_threshold = 10;
+  }
 
 type metrics = {
   fetched : Obs.Counter.t;
@@ -15,21 +35,43 @@ type metrics = {
   fetch_latency : Obs.Histogram.t;
 }
 
+(* Robustness accounting lives under the [fault] stage, next to the
+   injection counters, so one snapshot shows cause and response
+   side by side. *)
+type fault_metrics = {
+  f_failures : Obs.Counter.t;
+  f_retries : Obs.Counter.t;
+  f_exhausted : Obs.Counter.t;
+  f_requeued : Obs.Counter.t;
+  f_flagged_sites : Obs.Gauge.t;
+}
+
 type t = {
   web : Synthetic_web.t;
   queue : Fetch_queue.t;
   tracer : Xy_trace.Trace.t option;
+  faults : Fault.t;
+  retry : retry_policy;
+  attempts : (string, int) Hashtbl.t;  (** url -> consecutive failures *)
+  site_failures : (string, int) Hashtbl.t;
   mutable fetches : int;
   metrics : metrics;
+  fault_metrics : fault_metrics;
 }
 
 let stage = "crawler"
+let fault_stage = "fault"
 
-let create ?(obs = Obs.default) ?tracer ~web ~queue () =
+let create ?(obs = Obs.default) ?tracer ?(faults = Fault.none)
+    ?(retry = default_retry) ~web ~queue () =
   {
     web;
     queue;
     tracer;
+    faults;
+    retry;
+    attempts = Hashtbl.create 64;
+    site_failures = Hashtbl.create 16;
     fetches = 0;
     metrics =
       {
@@ -39,33 +81,125 @@ let create ?(obs = Obs.default) ?tracer ~web ~queue () =
         unchanged = Obs.counter obs ~stage "unchanged";
         fetch_latency = Obs.histogram obs ~stage "fetch_latency";
       };
+    fault_metrics =
+      {
+        f_failures = Obs.counter obs ~stage:fault_stage "fetch_failures";
+        f_retries = Obs.counter obs ~stage:fault_stage "fetch_retries";
+        f_exhausted = Obs.counter obs ~stage:fault_stage "retry_exhausted";
+        f_requeued = Obs.counter obs ~stage:fault_stage "requeued_demoted";
+        f_flagged_sites = Obs.gauge obs ~stage:fault_stage "flagged_sites";
+      };
   }
 
 let discover t =
   List.iter (fun url -> Fetch_queue.add t.queue ~url) (Synthetic_web.urls t.web)
 
+(* "http://site3.example.org/page7.xml" -> "http://site3.example.org" *)
+let site_of url =
+  match String.index_opt url ':' with
+  | Some i
+    when i + 2 < String.length url && url.[i + 1] = '/' && url.[i + 2] = '/' -> (
+      match String.index_from_opt url (i + 3) '/' with
+      | Some j -> String.sub url 0 j
+      | None -> url)
+  | _ -> url
+
+let site_failures t ~url =
+  Option.value ~default:0 (Hashtbl.find_opt t.site_failures (site_of url))
+
+let flagged_sites t =
+  Hashtbl.fold
+    (fun _ failures acc -> if failures >= t.retry.site_threshold then acc + 1 else acc)
+    t.site_failures 0
+
+let pending_retries t = Hashtbl.length t.attempts
+
+(* Deterministic content mangling: cut the document somewhere and
+   append bytes no XML parser can accept (unclosed tag, bad entity
+   reference, stray "]]>"). *)
+let mangle t content =
+  let n = String.length content in
+  let cut = if n = 0 then 0 else 1 + Fault.draw_int t.faults "malformed" ~bound:n in
+  String.sub content 0 (min cut n) ^ "<&malformed]]>"
+
+(* One transient fetch failure: bounded retry with exponential backoff
+   and jitter; a site whose failures pile up past the threshold gets
+   its backoff doubled again (repeat offenders wait longer); on
+   exhaustion the URL is requeued at demoted importance — never
+   dropped. *)
+let handle_failure t ~url =
+  Obs.Counter.incr t.fault_metrics.f_failures;
+  let site = site_of url in
+  let site_count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.site_failures site) in
+  Hashtbl.replace t.site_failures site site_count;
+  Obs.Gauge.set_int t.fault_metrics.f_flagged_sites (flagged_sites t);
+  let attempt = 1 + Option.value ~default:0 (Hashtbl.find_opt t.attempts url) in
+  if attempt <= t.retry.max_retries then begin
+    Hashtbl.replace t.attempts url attempt;
+    Obs.Counter.incr t.fault_metrics.f_retries;
+    let base =
+      t.retry.backoff *. Float.pow t.retry.backoff_factor (float_of_int (attempt - 1))
+    in
+    let offender_scale =
+      if site_count >= t.retry.site_threshold then 2. else 1.
+    in
+    let jitter = base *. t.retry.jitter *. Fault.draw_float t.faults "fetch" in
+    Fetch_queue.retry t.queue ~url ~delay:((base *. offender_scale) +. jitter)
+  end
+  else begin
+    Hashtbl.remove t.attempts url;
+    Obs.Counter.incr t.fault_metrics.f_exhausted;
+    Obs.Counter.incr t.fault_metrics.f_requeued;
+    Fetch_queue.penalize t.queue ~url ~factor:t.retry.demote_factor
+  end
+
+let handle_success t ~url =
+  Hashtbl.remove t.attempts url;
+  let site = site_of url in
+  match Hashtbl.find_opt t.site_failures site with
+  | Some n ->
+      if n > 1 then Hashtbl.replace t.site_failures site (n - 1)
+      else Hashtbl.remove t.site_failures site;
+      Obs.Gauge.set_int t.fault_metrics.f_flagged_sites (flagged_sites t)
+  | None -> ()
+
 let step t ~limit =
   let due = Fetch_queue.pop_due t.queue ~limit in
-  List.map
+  List.filter_map
     (fun url ->
-      t.fetches <- t.fetches + 1;
-      Obs.Counter.incr t.metrics.fetched;
-      (* The sampling decision for the whole pipeline happens here, at
-         fetch time; the context then rides the fetch downstream. *)
-      let trace =
-        Option.bind t.tracer (fun tracer -> Xy_trace.Trace.start tracer ~root:url)
-      in
-      let content =
-        Xy_trace.Trace.wrap trace ~stage ~name:"fetch" ~attrs:[ ("url", url) ]
-        @@ fun () ->
-        Obs.Histogram.time t.metrics.fetch_latency (fun () ->
-            Synthetic_web.fetch t.web ~url)
-      in
-      if content = None then begin
-        Obs.Counter.incr t.metrics.missing;
-        Fetch_queue.forget t.queue ~url
-      end;
-      { url; content; kind = Synthetic_web.kind_of t.web ~url; trace })
+      (* The failure draw precedes the fetch: a transient fault costs
+         no synthetic-web access and emits no fetch record — the URL
+         re-enters the schedule through the retry path instead. *)
+      if Fault.fire t.faults "fetch" then begin
+        handle_failure t ~url;
+        None
+      end
+      else begin
+        t.fetches <- t.fetches + 1;
+        Obs.Counter.incr t.metrics.fetched;
+        (* The sampling decision for the whole pipeline happens here, at
+           fetch time; the context then rides the fetch downstream. *)
+        let trace =
+          Option.bind t.tracer (fun tracer -> Xy_trace.Trace.start tracer ~root:url)
+        in
+        let content =
+          Xy_trace.Trace.wrap trace ~stage ~name:"fetch" ~attrs:[ ("url", url) ]
+          @@ fun () ->
+          Obs.Histogram.time t.metrics.fetch_latency (fun () ->
+              Synthetic_web.fetch t.web ~url)
+        in
+        (match content with
+        | None ->
+            Obs.Counter.incr t.metrics.missing;
+            Fetch_queue.forget t.queue ~url
+        | Some _ -> handle_success t ~url);
+        let content =
+          match content with
+          | Some body when Fault.fire t.faults "malformed" -> Some (mangle t body)
+          | other -> other
+        in
+        Some { url; content; kind = Synthetic_web.kind_of t.web ~url; trace }
+      end)
     due
 
 let conclude t ~url ~changed =

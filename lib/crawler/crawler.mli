@@ -15,14 +15,45 @@ type fetch = {
 
 type t
 
+(** Bounded-retry policy for transient fetch failures.  The [n]-th
+    consecutive failure of a URL retries after
+    [backoff * backoff_factor^(n-1)] seconds plus up to [jitter] of
+    that as deterministic jitter; a URL of a site with at least
+    [site_threshold] accumulated failures (a repeat offender) waits
+    twice as long again.  After [max_retries] failures the URL is
+    requeued at demoted importance (period multiplied by
+    [demote_factor]) — never dropped. *)
+type retry_policy = {
+  max_retries : int;
+  backoff : float;  (** seconds before the first retry *)
+  backoff_factor : float;
+  jitter : float;  (** fraction of the backoff, in [0, 1] *)
+  demote_factor : float;
+  site_threshold : int;
+}
+
+(** 3 retries, 5 min backoff doubling with 50 % jitter, period
+    doubled on exhaustion, sites flagged at 10 failures. *)
+val default_retry : retry_policy
+
 (** [create ~web ~queue ()] — fetch metrics are registered under the
     [crawler] stage of [obs] (default {!Xy_obs.Obs.default}).  When a
     [tracer] is given, each fetch makes the 1-in-N sampling decision
     and a sampled fetch carries a trace context with a [fetch] span
-    already recorded. *)
+    already recorded.
+
+    [faults] (default {!Xy_fault.Fault.none}) drives the [fetch]
+    failure point (a due fetch fails transiently and enters the
+    [retry] path) and the [malformed] point (fetched content is
+    mangled before the alerters see it).  Failure/retry accounting
+    lands in the [fault] stage of [obs]: [fetch_failures],
+    [fetch_retries], [retry_exhausted], [requeued_demoted] counters
+    and the [flagged_sites] gauge. *)
 val create :
   ?obs:Xy_obs.Obs.t ->
   ?tracer:Xy_trace.Trace.t ->
+  ?faults:Xy_fault.Fault.t ->
+  ?retry:retry_policy ->
   web:Synthetic_web.t ->
   queue:Fetch_queue.t ->
   unit ->
@@ -34,10 +65,20 @@ val discover : t -> unit
 
 (** [step t ~limit] fetches up to [limit] due pages.  The caller must
     report each outcome back with {!conclude} after loading, so the
-    queue adapts the refresh period. *)
+    queue adapts the refresh period.  A fetch failed by the [fetch]
+    fault point emits no record — the URL is rescheduled internally
+    (retry or demotion) and must not be concluded. *)
 val step : t -> limit:int -> fetch list
 
 (** [conclude t ~url ~changed] finishes one fetch. *)
 val conclude : t -> url:string -> changed:bool -> unit
 
 val fetches : t -> int
+
+(** [site_failures t ~url] is the accumulated failure count of [url]'s
+    site (decayed by one per successful fetch from that site). *)
+val site_failures : t -> url:string -> int
+
+(** [pending_retries t] is how many URLs currently sit in the bounded
+    retry path. *)
+val pending_retries : t -> int

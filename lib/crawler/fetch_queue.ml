@@ -14,6 +14,8 @@ type metrics = {
   boosts : Obs.Counter.t;
   resurrected : Obs.Counter.t;
   served : Obs.Counter.t;
+  retried : Obs.Counter.t;
+  demoted : Obs.Counter.t;
 }
 
 type t = {
@@ -43,8 +45,12 @@ let create ?(initial_period = 86400.) ?(min_period = 3600.)
         boosts = Obs.counter obs ~stage "boosts";
         resurrected = Obs.counter obs ~stage "boost_resurrected";
         served = Obs.counter obs ~stage "due_served";
+        retried = Obs.counter obs ~stage "retried";
+        demoted = Obs.counter obs ~stage "demoted";
       };
   }
+
+let clock t = t.clock
 
 let update_depth t =
   Obs.Gauge.set_int t.metrics.depth (Schedule.size t.schedule)
@@ -135,6 +141,50 @@ let pop_due t ~limit =
   let served = go [] limit in
   update_depth t;
   served
+
+(* A fetch that failed after [pop_due] left its entry dequeued
+   ([queued = false]) with nothing pending in the heap: without an
+   explicit requeue the URL would only ever come back through a
+   subscription boost.  [retry] puts the in-flight URL back at
+   [now + delay] leaving its refresh period untouched. *)
+let retry t ~url ~delay =
+  match Hashtbl.find_opt t.entries url with
+  | None -> ()
+  | Some entry when entry.live && not entry.queued ->
+      entry.queued <- true;
+      let at = Xy_util.Clock.now t.clock +. Float.max 0. delay in
+      entry.deadline <- at;
+      Schedule.add t.schedule ~at url;
+      Obs.Counter.incr t.metrics.retried;
+      update_depth t
+  | Some _ -> ()
+
+(* Retry exhaustion: the URL is kept — losing it would break the
+   "loses no subscriptions" contract — but demoted in importance: its
+   refresh period is multiplied by [factor] (clamped; a subscription
+   boost ceiling still wins, those pages are demanded regardless of
+   flakiness) and the next attempt is scheduled a full period away. *)
+let penalize t ~url ~factor =
+  if factor < 1. then invalid_arg "Fetch_queue.penalize: factor < 1";
+  match Hashtbl.find_opt t.entries url with
+  | None -> ()
+  | Some entry when entry.live && not entry.queued ->
+      entry.refresh_period <- entry.refresh_period *. factor;
+      clamp t entry;
+      entry.queued <- true;
+      let at = Xy_util.Clock.now t.clock +. entry.refresh_period in
+      entry.deadline <- at;
+      Schedule.add t.schedule ~at url;
+      Obs.Counter.incr t.metrics.demoted;
+      update_depth t
+  | Some entry ->
+      (* Not in flight (e.g. already rescheduled by a boost): still
+         demote the period so the offender is fetched less often. *)
+      if entry.live then begin
+        entry.refresh_period <- entry.refresh_period *. factor;
+        clamp t entry;
+        Obs.Counter.incr t.metrics.demoted
+      end
 
 let mark_fetched t ~url ~changed =
   match Hashtbl.find_opt t.entries url with

@@ -45,8 +45,23 @@ val boost : t -> url:string -> period:float -> unit
 
 (** [pop_due t ~limit] returns up to [limit] URLs whose fetch deadline
     passed, earliest first.  The caller must conclude each with
-    {!mark_fetched} to reschedule. *)
+    {!mark_fetched} (success), {!retry} (transient failure) or
+    {!penalize} (retries exhausted) to reschedule — a popped URL left
+    unconcluded only comes back through a subscription {!boost}. *)
 val pop_due : t -> limit:int -> string list
+
+(** [retry t ~url ~delay] re-enqueues an in-flight URL (popped, fetch
+    failed transiently) at [now + delay], leaving its refresh period
+    untouched.  No-op for unknown, dead or already-queued URLs. *)
+val retry : t -> url:string -> delay:float -> unit
+
+(** [penalize t ~url ~factor] concludes a fetch whose retries were
+    exhausted: the URL is *kept* but demoted — its refresh period is
+    multiplied by [factor >= 1] (clamped to the usual bounds; a
+    subscription boost ceiling still caps it) and the next attempt is
+    scheduled one full period away.  Raises [Invalid_argument] when
+    [factor < 1]. *)
+val penalize : t -> url:string -> factor:float -> unit
 
 (** [mark_fetched t ~url ~changed] adapts the period (shorter when
     the fetch found a change) and schedules the next fetch. *)
@@ -59,3 +74,6 @@ val next_deadline : t -> float option
 val period : t -> url:string -> float option
 
 val known_count : t -> int
+
+(** [clock t] is the virtual clock the queue schedules against. *)
+val clock : t -> Xy_util.Clock.t

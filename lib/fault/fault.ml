@@ -1,0 +1,137 @@
+module Obs = Xy_obs.Obs
+
+let points =
+  [
+    ("fetch", "crawler: a due fetch fails transiently (timeout / 5xx)");
+    ("malformed", "crawler: fetched content is mangled before the alerters");
+    ("torn_write", "persist: an append is cut short and the log goes dead (crash)");
+    ("short_write", "persist: an append is cut short but the log lives on");
+    ("bus_stall", "bus: a push stalls briefly before enqueueing");
+    ("bus_drop", "bus: a push silently loses its message");
+    ("worker", "distributed: a worker domain dies before processing an alert");
+  ]
+
+type spec = (string * float) list
+
+let known point = List.mem_assoc point points
+
+let parse_rate point s =
+  match float_of_string_opt s with
+  | Some r when r >= 0. && r <= 1. -> Ok r
+  | Some _ -> Error (Printf.sprintf "%s: rate %s outside [0, 1]" point s)
+  | None -> Error (Printf.sprintf "%s: unreadable rate %S" point s)
+
+let parse_spec s =
+  let parts =
+    List.filter (fun p -> p <> "") (String.split_on_char ',' (String.trim s))
+  in
+  if parts = [] then Error "empty fault spec"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest -> (
+          match String.index_opt part '=' with
+          | None -> Error (Printf.sprintf "%S: expected point=rate" part)
+          | Some i -> (
+              let point = String.trim (String.sub part 0 i) in
+              let rate_text =
+                String.trim (String.sub part (i + 1) (String.length part - i - 1))
+              in
+              if not (known point) then
+                Error
+                  (Printf.sprintf "unknown failure point %S (known: %s)" point
+                     (String.concat ", " (List.map fst points)))
+              else if List.mem_assoc point acc then
+                Error (Printf.sprintf "failure point %s given twice" point)
+              else
+                match parse_rate point rate_text with
+                | Error _ as e -> e
+                | Ok rate -> go ((point, rate) :: acc) rest))
+    in
+    go [] parts
+
+let spec_to_string spec =
+  String.concat ","
+    (List.map (fun (point, rate) -> Printf.sprintf "%s=%g" point rate) spec)
+
+(* One stream per point: the schedule of point A is unaffected by how
+   often point B is consulted, which is what makes "same seed + same
+   spec => same failure schedule" survive pipeline reorderings that
+   only touch other points. *)
+type point_state = {
+  mutable p_rate : float;
+  p_prng : Xy_util.Prng.t;
+  p_injected : Obs.Counter.t;
+  mutable p_count : int;
+}
+
+type t = { lock : Mutex.t; table : (string, point_state) Hashtbl.t }
+
+let none = { lock = Mutex.create (); table = Hashtbl.create 1 }
+
+let stage = "fault"
+
+let create ?(obs = Obs.default) ?(seed = 1) spec =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (point, rate) ->
+      if not (known point) then
+        invalid_arg ("Fault.create: unknown failure point " ^ point);
+      (* Derive a per-point seed: any point-dependent mixing works,
+         it only has to be stable across runs. *)
+      let point_seed = (seed * 1000003) lxor Hashtbl.hash point in
+      Hashtbl.replace table point
+        {
+          p_rate = rate;
+          p_prng = Xy_util.Prng.create ~seed:point_seed;
+          p_injected = Obs.counter obs ~stage (point ^ "_injected");
+          p_count = 0;
+        })
+    spec;
+  { lock = Mutex.create (); table }
+
+let active t = Hashtbl.length t.table > 0
+
+let with_point t point f ~default =
+  match Hashtbl.find_opt t.table point with
+  | None -> default
+  | Some state ->
+      Mutex.lock t.lock;
+      let result = try f state with e -> Mutex.unlock t.lock; raise e in
+      Mutex.unlock t.lock;
+      result
+
+let rate t point =
+  match Hashtbl.find_opt t.table point with
+  | None -> 0.
+  | Some state -> state.p_rate
+
+let set_rate t point rate =
+  if rate < 0. || rate > 1. then invalid_arg "Fault.set_rate: rate outside [0, 1]";
+  match Hashtbl.find_opt t.table point with
+  | None -> invalid_arg ("Fault.set_rate: point not in this injector: " ^ point)
+  | Some state -> state.p_rate <- rate
+
+let fire t point =
+  with_point t point ~default:false (fun state ->
+      (* Always draw, even at rate 0: one draw per consultation keeps
+         the stream position independent of mid-run [set_rate]
+         retuning. *)
+      let fires = Xy_util.Prng.float state.p_prng 1. < state.p_rate in
+      if fires then begin
+        Obs.Counter.incr state.p_injected;
+        state.p_count <- state.p_count + 1
+      end;
+      fires)
+
+let draw_int t point ~bound =
+  if bound <= 0 then 0
+  else with_point t point ~default:0 (fun state -> Xy_util.Prng.int state.p_prng bound)
+
+let draw_float t point =
+  with_point t point ~default:0. (fun state -> Xy_util.Prng.float state.p_prng 1.)
+
+let injected t point =
+  match Hashtbl.find_opt t.table point with
+  | None -> 0
+  | Some state -> state.p_count

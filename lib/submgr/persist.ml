@@ -1,21 +1,54 @@
-type t = { channel : out_channel }
+module Fault = Xy_fault.Fault
+
+type t = {
+  channel : out_channel;
+  faults : Fault.t;
+  mutable dead : bool;  (** a torn write "crashed" this log *)
+}
 
 (* Record framing:
      R <kind> <name_len> <owner_len> <text_len> <checksum>\n
      <name bytes><owner bytes><text bytes>\n
    The checksum covers the three payload fields. *)
 
-let open_log path =
-  { channel = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
+let open_log ?(faults = Fault.none) path =
+  {
+    channel = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path;
+    faults;
+    dead = false;
+  }
+
+let is_dead t = t.dead
 
 let checksum name owner text =
   Xy_util.Hashing.signature (name ^ "\x00" ^ owner ^ "\x00" ^ text)
 
 let append t ~kind ~name ~owner ~text =
-  Printf.fprintf t.channel "R %c %d %d %d %s\n%s%s%s\n" kind
-    (String.length name) (String.length owner) (String.length text)
-    (checksum name owner text) name owner text;
-  flush t.channel
+  if not t.dead then begin
+    let record =
+      Printf.sprintf "R %c %d %d %d %s\n%s%s%s\n" kind (String.length name)
+        (String.length owner) (String.length text)
+        (checksum name owner text) name owner text
+    in
+    let record =
+      (* Two distinct failure shapes: [torn_write] is a crash — a
+         strict prefix lands and nothing is ever appended again (the
+         expected Torn tail); [short_write] damages one record but the
+         log lives on, leaving mid-log corruption for {!scan} to
+         diagnose as Corrupt. *)
+      if Fault.fire t.faults "torn_write" then begin
+        t.dead <- true;
+        String.sub record 0
+          (Fault.draw_int t.faults "torn_write" ~bound:(String.length record))
+      end
+      else if Fault.fire t.faults "short_write" then
+        String.sub record 0
+          (Fault.draw_int t.faults "short_write" ~bound:(String.length record))
+      else record
+    in
+    output_string t.channel record;
+    flush t.channel
+  end
 
 let append_insert t ~name ~owner ~text = append t ~kind:'I' ~name ~owner ~text
 let append_delete t ~name = append t ~kind:'D' ~name ~owner:"" ~text:""
@@ -122,7 +155,7 @@ let compact path =
          [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
          0o644 temp
      in
-     let log = { channel } in
+     let log = { channel; faults = Fault.none; dead = false } in
      (try
         List.iter
           (fun record ->

@@ -9,8 +9,18 @@
 
 type t
 
-(** [open_log path] opens (or creates) the log for appending. *)
-val open_log : string -> t
+(** [open_log path] opens (or creates) the log for appending.
+
+    [faults] (default {!Xy_fault.Fault.none}) arms two failure
+    points: [torn_write] cuts an append short and kills the log — the
+    crash shape, every later append is silently dropped and {!scan}
+    diagnoses the tail as [Torn]; [short_write] cuts one append short
+    but lets the log live on, leaving mid-log damage {!scan}
+    diagnoses as [Corrupt]. *)
+val open_log : ?faults:Xy_fault.Fault.t -> string -> t
+
+(** [is_dead t] — a [torn_write] fault has "crashed" this log. *)
+val is_dead : t -> bool
 
 val append_insert : t -> name:string -> owner:string -> text:string -> unit
 val append_delete : t -> name:string -> unit

@@ -1,5 +1,6 @@
 module Obs = Xy_obs.Obs
 module Trace = Xy_trace.Trace
+module Fault = Xy_fault.Fault
 
 type metrics = {
   m_pushed : Obs.Counter.t;
@@ -17,13 +18,14 @@ type 'a t = {
   mutable closed : bool;
   name : string;
   trace_of : ('a -> Trace.ctx option) option;
+  faults : Fault.t;
   metrics : metrics;
 }
 
 let stage = "bus"
 
-let create ?(capacity = 1024) ?(obs = Obs.default) ?(name = "bus") ?trace_of ()
-    =
+let create ?(capacity = 1024) ?(obs = Obs.default) ?(name = "bus") ?trace_of
+    ?(faults = Fault.none) () =
   if capacity <= 0 then invalid_arg "Bus.create: capacity <= 0";
   {
     queue = Queue.create ();
@@ -34,6 +36,7 @@ let create ?(capacity = 1024) ?(obs = Obs.default) ?(name = "bus") ?trace_of ()
     closed = false;
     name;
     trace_of;
+    faults;
     metrics =
       {
         m_pushed = Obs.counter obs ~stage (name ^ "_pushed");
@@ -48,7 +51,7 @@ let observe_blocked t ~blocked_since =
   | Some since -> Obs.Histogram.observe t.metrics.m_blocked (Obs.now () -. since)
   | None -> ()
 
-let push t message =
+let push_message t message =
   Mutex.lock t.mutex;
   let rec wait ~blocked_since =
     if t.closed then begin
@@ -77,6 +80,16 @@ let push t message =
   Obs.Gauge.set_int t.metrics.m_depth (Queue.length t.queue);
   Condition.signal t.not_empty;
   Mutex.unlock t.mutex
+
+let push t message =
+  (* Fault points, consulted before the lock so a stalled or dropped
+     push never holds the queue hostage.  A [bus_stall] models a slow
+     producer-side hop (scheduling hiccup, transport retry); a
+     [bus_drop] models a lossy hop — the message vanishes and only
+     the fault-stage [bus_drop_injected] counter remembers it. *)
+  if Fault.fire t.faults "bus_stall" then
+    Thread.delay (0.0002 +. (0.0008 *. Fault.draw_float t.faults "bus_stall"));
+  if Fault.fire t.faults "bus_drop" then () else push_message t message
 
 let pop t =
   Mutex.lock t.mutex;

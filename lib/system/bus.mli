@@ -18,12 +18,17 @@ type 'a t
     [trace_of] extracts the trace context riding a message, if any:
     each traced message's queue wait (enqueue → dequeue wall time,
     measured across domains) is then recorded as a [bus/wait] span on
-    its trace, attributed with the bus [name]. *)
+    its trace, attributed with the bus [name].
+
+    [faults] (default {!Xy_fault.Fault.none}) arms two failure
+    points on {!push}: [bus_stall] delays the push briefly (a slow
+    transport hop) and [bus_drop] silently loses the message. *)
 val create :
   ?capacity:int ->
   ?obs:Xy_obs.Obs.t ->
   ?name:string ->
   ?trace_of:('a -> Xy_trace.Trace.ctx option) ->
+  ?faults:Xy_fault.Fault.t ->
   unit ->
   'a t
 

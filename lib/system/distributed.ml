@@ -1,5 +1,6 @@
 module Mqp = Xy_core.Mqp
 module Obs = Xy_obs.Obs
+module Fault = Xy_fault.Fault
 
 type axis = Split_documents | Split_subscriptions
 
@@ -8,11 +9,19 @@ let stage = "distributed"
 type result = {
   notifications : (string * int) list;
   alerts_processed : int;
+  worker_deaths : int;
+  worker_respawns : int;
   wall_seconds : float;
 }
 
-let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
-    () =
+(* A worker domain either drains its inbox to the end or "dies" (the
+   [worker] failure point) holding the alert it had just taken; the
+   supervisor respawns a fresh domain on the same inbox, handing the
+   in-flight alert over so no work is lost. *)
+type worker_exit = Finished | Died of Mqp.alert
+
+let run ?algorithm ?(obs = Obs.default) ?(faults = Fault.none)
+    ?(capacity = 256) ~axis ~partitions ~subscriptions ~alerts () =
   if partitions <= 0 then invalid_arg "Distributed.run: partitions <= 0";
   Obs.set_timer Unix.gettimeofday;
   Xy_trace.Trace.set_timer Unix.gettimeofday;
@@ -20,6 +29,8 @@ let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
   let m_notifications = Obs.counter obs ~stage "notifications" in
   let m_partitions = Obs.gauge obs ~stage "partitions" in
   let m_worker_span = Obs.histogram obs ~stage "worker_span" in
+  let m_deaths = Obs.counter obs ~stage:"fault" "worker_deaths" in
+  let m_respawns = Obs.counter obs ~stage:"fault" "worker_respawns" in
   Obs.Gauge.set_int m_partitions partitions;
   (* Build the per-partition processors (outside the timed region —
      structure construction is deployment, not steady state). *)
@@ -37,7 +48,7 @@ let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
   in
   let inboxes : Mqp.alert Bus.t array =
     Array.init partitions (fun _ ->
-        Bus.create ~capacity:256 ~obs ~name:"inbox"
+        Bus.create ~capacity ~obs ~name:"inbox"
           ~trace_of:(fun alert -> alert.Mqp.trace)
           ())
   in
@@ -50,26 +61,44 @@ let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
     Bus.create ~capacity:1024 ~obs ~name:"outbox" ()
   in
   let processed = Array.make partitions 0 in
+  let deaths = ref 0 in
+  let respawns = ref 0 in
   let start = Unix.gettimeofday () in
-  (* Processor domains. *)
+  (* Processor domains.  [carried] is the alert a predecessor died
+     holding: the respawned worker processes it before draining the
+     inbox, so a death redistributes work instead of losing it. *)
+  let spawn_worker slot ~carried =
+    Domain.spawn (fun () ->
+        Obs.Histogram.time m_worker_span @@ fun () ->
+        let mqp = mqps.(slot) in
+        let process alert =
+          processed.(slot) <- processed.(slot) + 1;
+          match Mqp.process mqp alert with
+          | [] -> ()
+          | ids ->
+              Obs.Counter.add m_notifications (List.length ids);
+              Bus.push outbox (alert.Mqp.url, ids)
+        in
+        let rec loop carried =
+          let next =
+            match carried with Some alert -> Some alert | None -> Bus.pop inboxes.(slot)
+          in
+          match next with
+          | None -> Finished
+          | Some alert ->
+              if Fault.fire faults "worker" then begin
+                Obs.Counter.incr m_deaths;
+                Died alert
+              end
+              else begin
+                process alert;
+                loop None
+              end
+        in
+        loop carried)
+  in
   let workers =
-    Array.init partitions (fun slot ->
-        Domain.spawn (fun () ->
-            Obs.Histogram.time m_worker_span @@ fun () ->
-            let mqp = mqps.(slot) in
-            let rec loop () =
-              match Bus.pop inboxes.(slot) with
-              | None -> ()
-              | Some alert ->
-                  processed.(slot) <- processed.(slot) + 1;
-                  (match Mqp.process mqp alert with
-                  | [] -> ()
-                  | ids ->
-                      Obs.Counter.add m_notifications (List.length ids);
-                      Bus.push outbox (alert.Mqp.url, ids));
-                  loop ()
-            in
-            loop ()))
+    Array.init partitions (fun slot -> spawn_worker slot ~carried:None)
   in
   (* Collector domain. *)
   let collector =
@@ -99,9 +128,28 @@ let run ?algorithm ?(obs = Obs.default) ~axis ~partitions ~subscriptions ~alerts
   in
   List.iter route alerts;
   Array.iter Bus.close inboxes;
-  Array.iter Domain.join workers;
+  (* Supervision: join each worker; a death hands its in-flight alert
+     to a fresh domain on the same (closed, still-draining) inbox.
+     Feeding has finished by now, so respawning at join time cannot
+     starve a producer. *)
+  let rec supervise slot domain =
+    match Domain.join domain with
+    | Finished -> ()
+    | Died carried ->
+        incr deaths;
+        incr respawns;
+        Obs.Counter.incr m_respawns;
+        supervise slot (spawn_worker slot ~carried:(Some carried))
+  in
+  Array.iteri supervise workers;
   Bus.close outbox;
   let notifications = Domain.join collector in
   let wall_seconds = Unix.gettimeofday () -. start in
   let alerts_processed = Array.fold_left ( + ) 0 processed in
-  { notifications; alerts_processed; wall_seconds }
+  {
+    notifications;
+    alerts_processed;
+    worker_deaths = !deaths;
+    worker_respawns = !respawns;
+    wall_seconds;
+  }

@@ -26,6 +26,9 @@ type result = {
   notifications : (string * int) list;
       (** (document url, complex event id), in no particular order *)
   alerts_processed : int;
+  worker_deaths : int;  (** [worker] faults fired (also counted as
+                            [fault/worker_deaths] in [obs]) *)
+  worker_respawns : int;  (** replacement domains spawned *)
   wall_seconds : float;
 }
 
@@ -41,10 +44,22 @@ type result = {
     gauge, per-domain worker-span histogram, plus the [bus] stage's
     inbox/outbox queues and each partition's [mqp] stage) accumulate
     into [obs] (default {!Xy_obs.Obs.default}) — the registry is
-    domain-safe, so workers on separate cores report concurrently. *)
+    domain-safe, so workers on separate cores report concurrently.
+
+    [faults] arms the [worker] failure point: a worker domain dies
+    before processing an alert it has taken.  The supervisor respawns
+    a fresh domain on the same inbox, handing the in-flight alert
+    over, so the notification multiset matches the fault-free run.
+    Respawns happen at join time (after feeding): a fault plan whose
+    per-inbox backlog can exceed [capacity] (default 256) while every
+    worker for that inbox is dead would block the feeder, so size
+    [capacity] above the largest expected burst when injecting worker
+    deaths. *)
 val run :
   ?algorithm:Xy_core.Mqp.algorithm ->
   ?obs:Xy_obs.Obs.t ->
+  ?faults:Xy_fault.Fault.t ->
+  ?capacity:int ->
   axis:axis ->
   partitions:int ->
   subscriptions:(int * Xy_events.Event_set.t) list ->

@@ -11,10 +11,12 @@ module Mqp = Xy_core.Mqp
 module Manager = Xy_submgr.Manager
 module Obs = Xy_obs.Obs
 module Trace = Xy_trace.Trace
+module Fault = Xy_fault.Fault
 
 type t = {
   obs : Obs.t;
   tracer : Trace.t;
+  faults : Fault.t;
   clock : Xy_util.Clock.t;
   registry : Xy_events.Registry.t;
   mqp : Mqp.t;
@@ -33,6 +35,7 @@ type t = {
   mutable alerts_sent : int;
   m_ingested : Obs.Counter.t;
   m_ingest_latency : Obs.Histogram.t;
+  m_quarantined : Obs.Counter.t;
 }
 
 let default_domains () =
@@ -77,12 +80,19 @@ let warehouse_view t =
   T.element "warehouse" children
 
 let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-    ?self_monitor_period () =
+    ?self_monitor_period ?fault_plan ?retry () =
   (* Wall-clock latencies: xy_obs itself is zero-dependency, so the
      high-resolution timer is installed here, where unix is linked. *)
   Obs.set_timer Unix.gettimeofday;
   Trace.set_timer Unix.gettimeofday;
   let obs = match obs with Some o -> o | None -> Obs.create () in
+  (* The failure schedule shares the system seed: one (seed, spec)
+     pair pins the whole run, faults included. *)
+  let faults =
+    match fault_plan with
+    | None | Some [] -> Fault.none
+    | Some spec -> Fault.create ~obs ~seed spec
+  in
   let clock = Xy_util.Clock.create () in
   let tracer =
     match tracer with Some tr -> tr | None -> Trace.create ~seed ()
@@ -104,11 +114,14 @@ let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
     | None -> Xy_crawler.Synthetic_web.generate ~seed ~sites:4 ~pages_per_site:5 ()
   in
   let queue = Xy_crawler.Fetch_queue.create ~obs ~clock () in
-  let crawler = Xy_crawler.Crawler.create ~obs ~tracer ~web ~queue () in
+  let crawler =
+    Xy_crawler.Crawler.create ~obs ~tracer ~faults ?retry ~web ~queue ()
+  in
   let t =
     {
       obs;
       tracer;
+      faults;
       clock;
       registry;
       mqp;
@@ -128,9 +141,12 @@ let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
       alerts_sent = 0;
       m_ingested = Obs.counter obs ~stage:"system" "ingested";
       m_ingest_latency = Obs.histogram obs ~stage:"system" "ingest_latency";
+      m_quarantined = Obs.counter obs ~stage:"fault" "quarantined";
     }
   in
-  let persist = Option.map Xy_submgr.Persist.open_log persist_path in
+  let persist =
+    Option.map (Xy_submgr.Persist.open_log ~faults) persist_path
+  in
   let run_query query =
     Xy_query.Eval.eval query (Xy_query.Eval.env (warehouse_view t))
   in
@@ -143,6 +159,7 @@ let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
 
 let obs t = t.obs
 let tracer t = t.tracer
+let faults t = t.faults
 let clock t = t.clock
 let registry t = t.registry
 let mqp t = t.mqp
@@ -266,10 +283,16 @@ let crawl_step t ~limit =
             | Some Xy_crawler.Synthetic_web.Html_page -> Loader.Html
             | None -> Loader.Auto
           in
+          (* Unparseable documents are quarantined, not fatal: the
+             rejection is counted, logged and the crawl goes on, so a
+             corrupted page cannot take the pipeline down. *)
           let outcome =
             match ingest ?trace t ~url ~content ~kind with
             | outcome -> Some outcome
-            | exception Loader.Rejected _ -> None
+            | exception Loader.Rejected reason ->
+                Obs.Counter.incr t.m_quarantined;
+                Log.warn (fun m -> m "quarantined %s: %s" url reason);
+                None
           in
           let changed =
             match outcome with

@@ -21,7 +21,19 @@ type t
     clock is bound to this system's simulation clock.
 
     [self_monitor_period] (virtual seconds) makes {!advance} inject
-    the {!Self_monitor} health documents periodically. *)
+    the {!Self_monitor} health documents periodically.
+
+    [fault_plan] arms {!Xy_fault.Fault} failure points across the
+    pipeline (fetch failures, malformed documents, torn persist
+    writes, ...), seeded from [seed]: the same [(seed, fault_plan)]
+    pair reproduces the exact same failure schedule, so a faulted run
+    is as replayable as a clean one.  [retry] tunes the crawler's
+    retry/backoff response to those failures
+    ({!Xy_crawler.Crawler.retry_policy}, default
+    {!Xy_crawler.Crawler.default_retry}).  Documents the loader
+    rejects as unparseable (e.g. the [malformed] point fired) are
+    quarantined: counted under [fault/quarantined], logged, and
+    skipped — never fatal. *)
 val create :
   ?seed:int ->
   ?algorithm:Xy_core.Mqp.algorithm ->
@@ -32,6 +44,8 @@ val create :
   ?obs:Xy_obs.Obs.t ->
   ?tracer:Xy_trace.Trace.t ->
   ?self_monitor_period:float ->
+  ?fault_plan:Xy_fault.Fault.spec ->
+  ?retry:Xy_crawler.Crawler.retry_policy ->
   unit ->
   t
 
@@ -44,6 +58,11 @@ val obs : t -> Xy_obs.Obs.t
 (** [tracer t] is the per-document span tracer threaded through every
     stage; read completed traces with {!Xy_trace.Trace.traces}. *)
 val tracer : t -> Xy_trace.Trace.t
+
+(** [faults t] is the armed fault-injection plan ({!Xy_fault.Fault.none}
+    when [create] got no [fault_plan]); its {!Xy_fault.Fault.injected}
+    counts say which points actually fired. *)
+val faults : t -> Xy_fault.Fault.t
 
 val clock : t -> Xy_util.Clock.t
 val registry : t -> Xy_events.Registry.t

@@ -259,6 +259,15 @@ let read_chars lexer =
         Buffer.add_string buf (read_reference lexer);
         go ()
       end
+      else if
+        c = ']' && peek2 lexer = ']'
+        && lexer.pos + 2 < String.length lexer.input
+        && String.unsafe_get lexer.input (lexer.pos + 2) = '>'
+      then
+        (* "]]>" must not appear in character data (XML 1.0 §2.4) —
+           it is the CDATA terminator, and a stray one is the
+           signature of content spliced or truncated in transit. *)
+        error lexer "\"]]>\" in character data"
       else begin
         Buffer.add_char buf c;
         advance lexer;

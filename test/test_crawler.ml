@@ -228,6 +228,75 @@ let test_queue_add_idempotent () =
   Queue.add queue ~url:"u";
   checki "once" 1 (List.length (Queue.pop_due queue ~limit:10))
 
+(* Regression: a URL popped for fetching whose fetch then fails must
+   never be lost — before [retry]/[penalize] existed the only way back
+   was a subscription boost. *)
+let test_queue_retry_requeues_failed_pop () =
+  let clock = Clock.create () in
+  let queue = Queue.create ~initial_period:100. ~min_period:10. ~clock () in
+  Queue.add queue ~url:"u";
+  Alcotest.(check (list string)) "popped" [ "u" ] (Queue.pop_due queue ~limit:1);
+  (* fetch fails; transient → retry shortly, period untouched *)
+  Queue.retry queue ~url:"u" ~delay:30.;
+  checkb "not due before the retry delay" true (Queue.pop_due queue ~limit:1 = []);
+  Clock.advance clock 30.;
+  Alcotest.(check (list string)) "served again after the delay" [ "u" ]
+    (Queue.pop_due queue ~limit:1);
+  checkb "period untouched by retry" true (Queue.period queue ~url:"u" = Some 100.)
+
+let test_queue_retry_noops () =
+  let clock = Clock.create () in
+  let queue = Queue.create ~initial_period:100. ~clock () in
+  (* unknown url *)
+  Queue.retry queue ~url:"ghost" ~delay:10.;
+  checki "unknown not registered" 0 (Queue.known_count queue);
+  (* dead url *)
+  Queue.add queue ~url:"u";
+  ignore (Queue.pop_due queue ~limit:1);
+  Queue.forget queue ~url:"u";
+  Queue.retry queue ~url:"u" ~delay:10.;
+  Clock.advance clock 10.;
+  checkb "dead not resurrected" true (Queue.pop_due queue ~limit:10 = []);
+  (* already-queued url: retry must not double-schedule *)
+  Queue.add queue ~url:"v";
+  Queue.retry queue ~url:"v" ~delay:0.;
+  checki "queued url served once" 1 (List.length (Queue.pop_due queue ~limit:10))
+
+let test_queue_penalize_demotes () =
+  let clock = Clock.create () in
+  let queue = Queue.create ~initial_period:100. ~min_period:10. ~max_period:1000. ~clock () in
+  Queue.add queue ~url:"u";
+  ignore (Queue.pop_due queue ~limit:1);
+  (* retries exhausted: demoted, not dropped *)
+  Queue.penalize queue ~url:"u" ~factor:2.;
+  checkb "period doubled" true (Queue.period queue ~url:"u" = Some 200.);
+  checkb "not due before the demoted period" true (Queue.pop_due queue ~limit:1 = []);
+  Clock.advance clock 200.;
+  Alcotest.(check (list string)) "still scheduled, one period away" [ "u" ]
+    (Queue.pop_due queue ~limit:1);
+  checkb "factor below one rejected" true
+    (match Queue.penalize queue ~url:"u" ~factor:0.5 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_queue_penalize_respects_bounds () =
+  let clock = Clock.create () in
+  let queue = Queue.create ~initial_period:100. ~min_period:10. ~max_period:300. ~clock () in
+  Queue.add queue ~url:"u";
+  for _ = 1 to 5 do
+    ignore (Queue.pop_due queue ~limit:1);
+    Queue.penalize queue ~url:"u" ~factor:4.;
+    Clock.advance clock 10_000.
+  done;
+  checkb "demotion clamped to max period" true
+    (Queue.period queue ~url:"u" = Some 300.);
+  (* a subscription boost ceiling still caps a later demotion *)
+  Queue.boost queue ~url:"u" ~period:50.;
+  ignore (Queue.pop_due queue ~limit:1);
+  Queue.penalize queue ~url:"u" ~factor:4.;
+  checkb "boost ceiling caps demotion" true
+    (Queue.period queue ~url:"u" = Some 50.)
+
 let test_queue_model_random () =
   (* Model-based test: the queue against a naive reference that keeps
      (url, deadline, period) in a list.  Random add/boost/fetch/advance
@@ -352,6 +421,10 @@ let () =
           tc "deadline" test_queue_not_due_before_deadline;
           tc "forget" test_queue_forget;
           tc "add idempotent" test_queue_add_idempotent;
+          tc "retry requeues a failed pop" test_queue_retry_requeues_failed_pop;
+          tc "retry no-ops" test_queue_retry_noops;
+          tc "penalize demotes, never drops" test_queue_penalize_demotes;
+          tc "penalize respects bounds" test_queue_penalize_respects_bounds;
           tc "model-based random" test_queue_model_random;
         ] );
       ( "crawler",

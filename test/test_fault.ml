@@ -1,0 +1,707 @@
+(* Tests for the fault-injection substrate and the pipeline's recovery
+   behaviour: spec parsing, per-point deterministic schedules, crawler
+   retry/backoff, persist crash recovery (exhaustive truncation +
+   corruption), bus drop/stall, distributed worker respawn, and
+   end-to-end determinism of faulted runs. *)
+
+module Fault = Xy_fault.Fault
+module Persist = Xy_submgr.Persist
+module Bus = Xy_system.Bus
+module Distributed = Xy_system.Distributed
+module Xyleme = Xy_system.Xyleme
+module Queue = Xy_crawler.Fetch_queue
+module Crawler = Xy_crawler.Crawler
+module Web = Xy_crawler.Synthetic_web
+module Clock = Xy_util.Clock
+module Obs = Xy_obs.Obs
+module Sink = Xy_reporter.Sink
+module Printer = Xy_xml.Printer
+module Parser = Xy_xml.Parser
+module Workload = Xy_core.Workload
+module Mqp = Xy_core.Mqp
+module Manager = Xy_submgr.Manager
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing *)
+
+let test_spec_parse_ok () =
+  (match Fault.parse_spec "fetch=0.05,malformed=0.01" with
+  | Ok spec ->
+      checki "two points" 2 (List.length spec);
+      checkb "fetch rate" true (List.assoc "fetch" spec = 0.05);
+      checkb "malformed rate" true (List.assoc "malformed" spec = 0.01)
+  | Error e -> Alcotest.failf "rejected valid spec: %s" e);
+  (match Fault.parse_spec " worker = 1 " with
+  | Ok [ ("worker", 1.) ] -> ()
+  | Ok _ -> Alcotest.fail "unexpected parse"
+  | Error e -> Alcotest.failf "rejected spaced spec: %s" e);
+  (* every documented point parses at rate 0 *)
+  List.iter
+    (fun (point, _) ->
+      match Fault.parse_spec (point ^ "=0") with
+      | Ok [ (p, 0.) ] -> checks "point name" point p
+      | _ -> Alcotest.failf "point %s does not parse" point)
+    Fault.points
+
+let test_spec_parse_errors () =
+  let rejected s =
+    match Fault.parse_spec s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted bad spec %S" s
+  in
+  rejected "";
+  rejected "nosuchpoint=0.5";
+  rejected "fetch=1.5";
+  rejected "fetch=-0.1";
+  rejected "fetch=abc";
+  rejected "fetch";
+  rejected "fetch=0.1,fetch=0.2"
+
+let test_spec_roundtrip () =
+  let spec = [ ("fetch", 0.05); ("bus_drop", 0.5) ] in
+  match Fault.parse_spec (Fault.spec_to_string spec) with
+  | Ok spec' -> checkb "roundtrip" true (spec = spec')
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Firing schedules *)
+
+let schedule ?(n = 1000) ~seed ~rate point =
+  let t = Fault.create ~obs:(Obs.create ()) ~seed [ (point, rate) ] in
+  List.init n (fun _ -> Fault.fire t point)
+
+let test_fire_deterministic () =
+  checkb "same seed, same schedule" true
+    (schedule ~seed:5 ~rate:0.3 "fetch" = schedule ~seed:5 ~rate:0.3 "fetch");
+  checkb "different seed, different schedule" true
+    (schedule ~seed:5 ~rate:0.3 "fetch" <> schedule ~seed:6 ~rate:0.3 "fetch")
+
+let test_fire_rate_extremes () =
+  checkb "rate 0 never fires" true
+    (List.for_all not (schedule ~seed:1 ~rate:0. "fetch"));
+  checkb "rate 1 always fires" true
+    (List.for_all Fun.id (schedule ~seed:1 ~rate:1. "fetch"))
+
+let test_fire_counts_injected () =
+  let obs = Obs.create () in
+  let t = Fault.create ~obs ~seed:3 [ ("fetch", 0.5) ] in
+  let fired = List.length (List.filter Fun.id (List.init 500 (fun _ -> Fault.fire t "fetch"))) in
+  checkb "some fired" true (fired > 100 && fired < 400);
+  checki "injected matches" fired (Fault.injected t "fetch");
+  let snapshot = Obs.snapshot obs in
+  checki "obs counter matches" fired
+    (Obs.Snapshot.counter_value snapshot ~stage:"fault" "fetch_injected")
+
+let test_per_point_streams_independent () =
+  (* Consulting point B must not move point A's stream. *)
+  let alone = schedule ~n:200 ~seed:9 ~rate:0.4 "fetch" in
+  let t =
+    Fault.create ~obs:(Obs.create ()) ~seed:9
+      [ ("fetch", 0.4); ("bus_drop", 0.7) ]
+  in
+  let interleaved =
+    List.init 200 (fun _ ->
+        ignore (Fault.fire t "bus_drop");
+        let fired = Fault.fire t "fetch" in
+        ignore (Fault.draw_float t "bus_drop");
+        fired)
+  in
+  checkb "fetch schedule unmoved by bus_drop draws" true (alone = interleaved)
+
+let test_set_rate_keeps_stream_position () =
+  (* A point consulted at rate 0 still draws, so retuning mid-run
+     lands on the same stream position as a run tuned from the
+     start. *)
+  let tuned_late =
+    let t = Fault.create ~obs:(Obs.create ()) ~seed:4 [ ("fetch", 0.) ] in
+    let head = List.init 100 (fun _ -> Fault.fire t "fetch") in
+    checkb "silent at rate 0" true (List.for_all not head);
+    Fault.set_rate t "fetch" 0.3;
+    List.init 100 (fun _ -> Fault.fire t "fetch")
+  in
+  let tuned_early =
+    let t = Fault.create ~obs:(Obs.create ()) ~seed:4 [ ("fetch", 0.3) ] in
+    let _head = List.init 100 (fun _ -> Fault.fire t "fetch") in
+    List.init 100 (fun _ -> Fault.fire t "fetch")
+  in
+  checkb "tail schedules align" true (tuned_late = tuned_early)
+
+let test_set_rate_validation () =
+  let t = Fault.create ~obs:(Obs.create ()) ~seed:1 [ ("fetch", 0.1) ] in
+  (match Fault.set_rate t "fetch" 1.5 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "rate above 1 accepted");
+  match Fault.set_rate t "bus_drop" 0.5 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "point outside the spec accepted"
+
+let test_none_inert () =
+  checkb "inactive" false (Fault.active Fault.none);
+  checkb "never fires" true
+    (not (List.exists Fun.id (List.init 100 (fun _ -> Fault.fire Fault.none "fetch"))));
+  checki "draws zero" 0 (Fault.draw_int Fault.none "fetch" ~bound:10);
+  checki "nothing injected" 0 (Fault.injected Fault.none "fetch")
+
+(* ------------------------------------------------------------------ *)
+(* Crawler retry / backoff *)
+
+(* A crawler whose [fetch] point is toggled with set_rate: rate 1
+   fails every due fetch, rate 0 lets them through. *)
+let make_faulty_crawler ?(retry = Crawler.default_retry) ~seed () =
+  let clock = Clock.create () in
+  let obs = Obs.create () in
+  let web = Web.generate ~seed ~sites:2 ~pages_per_site:2 () in
+  let queue = Queue.create ~obs ~initial_period:1000. ~min_period:10. ~clock () in
+  let faults = Fault.create ~obs ~seed [ ("fetch", 0.) ] in
+  let crawler = Crawler.create ~obs ~faults ~retry ~web ~queue () in
+  Crawler.discover crawler;
+  (crawler, queue, clock, faults, obs)
+
+let fault_counter obs name =
+  Obs.Snapshot.counter_value (Obs.snapshot obs) ~stage:"fault" name
+
+let test_crawler_failure_enters_retry_path () =
+  let crawler, _queue, clock, faults, obs = make_faulty_crawler ~seed:2 () in
+  Fault.set_rate faults "fetch" 1.;
+  let fetches = Crawler.step crawler ~limit:10 in
+  checki "no fetch records on failure" 0 (List.length fetches);
+  checki "all four urls failed" 4 (fault_counter obs "fetch_failures");
+  checki "all retried" 4 (fault_counter obs "fetch_retries");
+  checki "pending retries" 4 (Crawler.pending_retries crawler);
+  checki "nothing exhausted yet" 0 (fault_counter obs "retry_exhausted");
+  (* Nothing due before the backoff delay (first retry: 300s base +
+     up to 150s jitter). *)
+  checki "not due immediately" 0 (List.length (Crawler.step crawler ~limit:10));
+  Fault.set_rate faults "fetch" 0.;
+  Clock.advance clock 451.;
+  let recovered = Crawler.step crawler ~limit:10 in
+  checki "all urls recovered after backoff" 4 (List.length recovered);
+  checki "retry state cleared on success" 0 (Crawler.pending_retries crawler)
+
+let test_crawler_retry_exhaustion_demotes () =
+  let retry = { Crawler.default_retry with max_retries = 2; jitter = 0. } in
+  let crawler, queue, clock, faults, obs = make_faulty_crawler ~retry ~seed:3 () in
+  Fault.set_rate faults "fetch" 1.;
+  (* failure 1 and 2 retry (300s, then 600s), failure 3 exhausts *)
+  ignore (Crawler.step crawler ~limit:10);
+  Clock.advance clock 301.;
+  ignore (Crawler.step crawler ~limit:10);
+  Clock.advance clock 601.;
+  ignore (Crawler.step crawler ~limit:10);
+  checki "exhausted once per url" 4 (fault_counter obs "retry_exhausted");
+  checki "requeued demoted" 4 (fault_counter obs "requeued_demoted");
+  checki "attempt state dropped" 0 (Crawler.pending_retries crawler);
+  let url = List.hd (Web.urls (let w = Web.generate ~seed:3 ~sites:2 ~pages_per_site:2 () in w)) in
+  checkb "period demoted" true (Queue.period queue ~url = Some 2000.);
+  (* demoted, not dropped: the url comes back a full period later *)
+  Fault.set_rate faults "fetch" 0.;
+  Clock.advance clock 2001.;
+  checki "demoted urls served again" 4 (List.length (Crawler.step crawler ~limit:10))
+
+let test_crawler_site_accounting () =
+  let crawler, _queue, clock, faults, obs = make_faulty_crawler ~seed:4 () in
+  let url = "http://site0.example.org/page0.xml" in
+  Fault.set_rate faults "fetch" 1.;
+  ignore (Crawler.step crawler ~limit:10);
+  (* 2 urls per site failed once each *)
+  checki "site failures accumulate" 2 (Crawler.site_failures crawler ~url);
+  ignore (fault_counter obs "fetch_failures");
+  Fault.set_rate faults "fetch" 0.;
+  Clock.advance clock 500.;
+  ignore (Crawler.step crawler ~limit:10);
+  checki "success decays site failures" 0 (Crawler.site_failures crawler ~url)
+
+let test_crawler_repeat_offender_waits_longer () =
+  (* With the site flagged, the retry delay doubles: after the plain
+     backoff window the url is still quiet, after 2x it is due. *)
+  let retry = { Crawler.default_retry with jitter = 0.; site_threshold = 1 } in
+  let crawler, _queue, clock, faults, _obs = make_faulty_crawler ~retry ~seed:5 () in
+  Fault.set_rate faults "fetch" 1.;
+  ignore (Crawler.step crawler ~limit:10);
+  Fault.set_rate faults "fetch" 0.;
+  (* delay = 300 * offender_scale 2 = 600 *)
+  Clock.advance clock 301.;
+  checki "not due at plain backoff" 0 (List.length (Crawler.step crawler ~limit:10));
+  Clock.advance clock 300.;
+  checki "due at doubled backoff" 4 (List.length (Crawler.step crawler ~limit:10))
+
+let test_crawler_malformed_mangles_content () =
+  let clock = Clock.create () in
+  let obs = Obs.create () in
+  let web = Web.generate ~seed:6 ~sites:2 ~pages_per_site:2 () in
+  let queue = Queue.create ~obs ~clock () in
+  let faults = Fault.create ~obs ~seed:6 [ ("malformed", 1.) ] in
+  let crawler = Crawler.create ~obs ~faults ~web ~queue () in
+  Crawler.discover crawler;
+  let fetches = Crawler.step crawler ~limit:10 in
+  checki "all pages fetched" 4 (List.length fetches);
+  List.iter
+    (fun f ->
+      match f.Crawler.content with
+      | None -> Alcotest.fail "mangled fetch lost its content"
+      | Some content -> (
+          checkb "pristine copy untouched" true
+            (Some content <> Web.fetch web ~url:f.Crawler.url);
+          (* a mangled page must never reach the warehouse as XML *)
+          match Parser.parse content with
+          | _ -> Alcotest.failf "mangled %s still parses" f.Crawler.url
+          | exception Parser.Error _ -> ()))
+    fetches
+
+(* ------------------------------------------------------------------ *)
+(* Persist crash recovery *)
+
+let with_temp f =
+  let path = Filename.temp_file "xyfault" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let sample_records =
+  [
+    Persist.Insert
+      {
+        name = "s1";
+        owner = "alice";
+        text = "subscription s1\nmonitoring\nwhere modified self\n";
+      };
+    Persist.Insert { name = "s2"; owner = "bob"; text = "short" };
+    Persist.Delete "s1";
+    Persist.Insert { name = "s3"; owner = "carol"; text = "x = \"quoted, text\"" };
+  ]
+
+(* Append [records], returning the byte offset of each record's end
+   (the valid truncation boundaries). *)
+let build_log path records =
+  (try Sys.remove path with Sys_error _ -> ());
+  let log = Persist.open_log path in
+  let size () =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  let bounds =
+    List.map
+      (fun record ->
+        (match record with
+        | Persist.Insert { name; owner; text } ->
+            Persist.append_insert log ~name ~owner ~text
+        | Persist.Delete name -> Persist.append_delete log ~name);
+        size ())
+      records
+  in
+  Persist.close log;
+  bounds
+
+let write_bytes path bytes =
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc
+
+let firstn n list = List.filteri (fun i _ -> i < n) list
+
+(* The crash-recovery property, checked exhaustively: truncate a valid
+   log at EVERY byte offset; scan must return exactly the records
+   whose bytes survived in full, diagnose Clean exactly at record
+   boundaries and Torn everywhere else — and never Corrupt, never
+   raise. *)
+let test_truncate_every_offset () =
+  with_temp @@ fun path ->
+  with_temp @@ fun truncated ->
+  let bounds = build_log path sample_records in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  checki "log length accounted" (String.length full)
+    (List.nth bounds (List.length bounds - 1));
+  for cut = 0 to String.length full do
+    write_bytes truncated (String.sub full 0 cut);
+    let records, tail = Persist.scan truncated in
+    let complete = List.length (List.filter (fun b -> b <= cut) bounds) in
+    if records <> firstn complete sample_records then
+      Alcotest.failf "cut %d: wrong records (%d, expected %d)" cut
+        (List.length records) complete;
+    let expected_tail =
+      if cut = 0 || List.mem cut bounds then Persist.Clean else Persist.Torn
+    in
+    if tail <> expected_tail then
+      Alcotest.failf "cut %d: wrong tail diagnosis" cut
+  done
+
+(* In-place damage is not a torn tail: flip every payload byte of
+   every record in turn; scan must diagnose Corrupt and keep exactly
+   the records before the damaged one. *)
+let test_corrupt_every_payload_byte () =
+  with_temp @@ fun path ->
+  with_temp @@ fun damaged ->
+  let bounds = build_log path sample_records in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  List.iteri
+    (fun i bound ->
+      let start = if i = 0 then 0 else List.nth bounds (i - 1) in
+      let header_end = String.index_from full start '\n' in
+      (* payload bytes: after the header newline, before the final
+         record newline *)
+      for pos = header_end + 1 to bound - 2 do
+        let bytes = Bytes.of_string full in
+        Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x01));
+        write_bytes damaged (Bytes.to_string bytes);
+        let records, tail = Persist.scan damaged in
+        if tail <> Persist.Corrupt then
+          Alcotest.failf "record %d byte %d: damage not diagnosed Corrupt" i pos;
+        if records <> firstn i sample_records then
+          Alcotest.failf "record %d byte %d: wrong survivors" i pos
+      done)
+    bounds
+
+let test_torn_write_fault_point () =
+  with_temp @@ fun path ->
+  (try Sys.remove path with Sys_error _ -> ());
+  let faults = Fault.create ~obs:(Obs.create ()) ~seed:11 [ ("torn_write", 0.) ] in
+  let log = Persist.open_log ~faults path in
+  Persist.append_insert log ~name:"a" ~owner:"o" ~text:"first";
+  checkb "alive before the fault" false (Persist.is_dead log);
+  Fault.set_rate faults "torn_write" 1.;
+  Persist.append_insert log ~name:"b" ~owner:"o" ~text:"second";
+  checkb "torn write kills the log" true (Persist.is_dead log);
+  (* a dead log drops every later append, like a crashed process *)
+  Persist.append_insert log ~name:"c" ~owner:"o" ~text:"third";
+  Persist.close log;
+  let records, tail = Persist.scan path in
+  checki "only the pre-crash record survives" 1 (List.length records);
+  checkb "first record intact" true
+    (List.hd records = Persist.Insert { name = "a"; owner = "o"; text = "first" });
+  checkb "tail is torn or clean, never corrupt" true (tail <> Persist.Corrupt);
+  checki "exactly one injection" 1 (Fault.injected faults "torn_write")
+
+let test_short_write_fault_point () =
+  with_temp @@ fun path ->
+  (try Sys.remove path with Sys_error _ -> ());
+  let faults = Fault.create ~obs:(Obs.create ()) ~seed:12 [ ("short_write", 0.) ] in
+  let log = Persist.open_log ~faults path in
+  Persist.append_insert log ~name:"a" ~owner:"o" ~text:"first";
+  Fault.set_rate faults "short_write" 1.;
+  Persist.append_insert log ~name:"b" ~owner:"o" ~text:"second";
+  Fault.set_rate faults "short_write" 0.;
+  checkb "short write leaves the log alive" false (Persist.is_dead log);
+  Persist.append_insert log ~name:"c" ~owner:"o" ~text:"third";
+  Persist.close log;
+  let records, tail = Persist.scan path in
+  (* the damaged record sits mid-log: everything from it on is lost,
+     and (unless the cut erased the record entirely) the tail is
+     Corrupt, not Torn *)
+  checkb "pre-damage record survives" true
+    (records <> []
+    && List.hd records = Persist.Insert { name = "a"; owner = "o"; text = "first" });
+  (match Fault.injected faults "short_write" with
+  | 1 -> ()
+  | n -> Alcotest.failf "expected exactly one injection, got %d" n);
+  checkb "mid-log damage diagnosed" true
+    (tail = Persist.Corrupt || List.length records = 2)
+
+(* qcheck: random logs — write, scan, replay against a reference
+   model; then truncate at a random offset and require a prefix with a
+   non-Corrupt diagnosis. *)
+let gen_record : Persist.record QCheck.Gen.t =
+  let open QCheck.Gen in
+  let name_gen = oneofl [ "s1"; "s2"; "s3"; "weird name"; "nl\nname" ] in
+  let text_gen =
+    oneofl
+      [ ""; "short"; "multi\nline\ntext"; "R I 1 1 1 fake\nheader"; String.make 200 'x' ]
+  in
+  frequency
+    [
+      ( 3,
+        name_gen >>= fun name ->
+        oneofl [ "alice"; "bob"; "" ] >>= fun owner ->
+        text_gen >|= fun text -> Persist.Insert { name; owner; text } );
+      (1, name_gen >|= fun name -> Persist.Delete name);
+    ]
+
+let model_replay records =
+  let rec drop n = function
+    | rest when n = 0 -> rest
+    | [] -> []
+    | _ :: rest -> drop (n - 1) rest
+  in
+  List.filteri
+    (fun i record ->
+      match record with
+      | Persist.Delete _ -> false
+      | Persist.Insert { name; _ } ->
+          not
+            (List.exists
+               (function
+                 | Persist.Insert { name = n; _ } | Persist.Delete n -> n = name)
+               (drop (i + 1) records)))
+    records
+
+let qcheck_persist_roundtrip =
+  QCheck.Test.make ~name:"random log: scan clean, replay = model" ~count:100
+    QCheck.(make Gen.(list_size (0 -- 15) gen_record))
+    (fun records ->
+      with_temp @@ fun path ->
+      ignore (build_log path records);
+      let scanned, tail = Persist.scan path in
+      tail = Persist.Clean && scanned = records
+      && Persist.replay path = model_replay records)
+
+let qcheck_persist_truncation =
+  QCheck.Test.make ~name:"random log truncated anywhere: prefix, never Corrupt"
+    ~count:100
+    QCheck.(
+      make
+        Gen.(pair (list_size (1 -- 10) gen_record) (0 -- 1_000_000)))
+    (fun (records, cut_raw) ->
+      with_temp @@ fun path ->
+      with_temp @@ fun truncated ->
+      let bounds = build_log path records in
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let cut = cut_raw mod (String.length full + 1) in
+      write_bytes truncated (String.sub full 0 cut);
+      let scanned, tail = Persist.scan truncated in
+      let complete = List.length (List.filter (fun b -> b <= cut) bounds) in
+      tail <> Persist.Corrupt && scanned = firstn complete records)
+
+(* ------------------------------------------------------------------ *)
+(* Bus *)
+
+let test_bus_drop_all () =
+  let faults = Fault.create ~obs:(Obs.create ()) ~seed:7 [ ("bus_drop", 1.) ] in
+  let bus = Bus.create ~obs:(Obs.create ()) ~faults () in
+  for i = 1 to 5 do
+    Bus.push bus i
+  done;
+  Bus.close bus;
+  checkb "every message dropped" true (Bus.pop bus = None);
+  checki "all drops counted" 5 (Fault.injected faults "bus_drop")
+
+let test_bus_drop_partial_deterministic () =
+  let drain_count seed =
+    let faults = Fault.create ~obs:(Obs.create ()) ~seed [ ("bus_drop", 0.5) ] in
+    let bus = Bus.create ~obs:(Obs.create ()) ~capacity:512 ~faults () in
+    for i = 1 to 200 do
+      Bus.push bus i
+    done;
+    Bus.close bus;
+    let rec drain acc =
+      match Bus.pop bus with None -> acc | Some _ -> drain (acc + 1)
+    in
+    let drained = drain 0 in
+    checki "drops + deliveries = pushes" 200
+      (drained + Fault.injected faults "bus_drop");
+    drained
+  in
+  checki "same seed, same survivors" (drain_count 13) (drain_count 13);
+  checkb "a 50% drop rate loses messages" true (drain_count 13 < 200)
+
+let test_bus_stall_delays_not_loses () =
+  let faults = Fault.create ~obs:(Obs.create ()) ~seed:8 [ ("bus_stall", 1.) ] in
+  let bus = Bus.create ~obs:(Obs.create ()) ~faults () in
+  for i = 1 to 3 do
+    Bus.push bus i
+  done;
+  Bus.close bus;
+  let rec drain acc =
+    match Bus.pop bus with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "stalled messages all arrive in order" [ 1; 2; 3 ]
+    (drain []);
+  checki "every push stalled" 3 (Fault.injected faults "bus_stall")
+
+(* ------------------------------------------------------------------ *)
+(* Distributed worker respawn *)
+
+let make_distributed_workload () =
+  let workload = { Workload.card_a = 300; card_c = 400; b = 3; s = 20 } in
+  let subscriptions =
+    Array.to_list
+      (Array.mapi
+         (fun id events -> (id, events))
+         (Workload.complex_events workload ~seed:8))
+  in
+  let alerts =
+    Array.to_list
+      (Array.mapi
+         (fun i events ->
+           {
+             Mqp.url = Printf.sprintf "http://doc%d/" i;
+             events;
+             payload = "";
+             trace = None;
+           })
+         (Workload.document_sets workload ~seed:9 ~count:200))
+  in
+  (subscriptions, alerts)
+
+let test_distributed_worker_respawn () =
+  let subscriptions, alerts = make_distributed_workload () in
+  let baseline =
+    Distributed.run ~axis:Distributed.Split_documents ~partitions:3
+      ~subscriptions ~alerts ()
+  in
+  let faults =
+    Fault.create ~obs:(Obs.create ()) ~seed:21 [ ("worker", 0.15) ]
+  in
+  let faulted =
+    Distributed.run ~axis:Distributed.Split_documents ~partitions:3 ~faults
+      ~capacity:1024 ~subscriptions ~alerts ()
+  in
+  checkb "workers actually died" true (faulted.Distributed.worker_deaths > 0);
+  checki "every death respawned" faulted.Distributed.worker_deaths
+    faulted.Distributed.worker_respawns;
+  checki "deaths match the injection count"
+    (Fault.injected faults "worker") faulted.Distributed.worker_deaths;
+  checki "no alert lost or duplicated"
+    baseline.Distributed.alerts_processed faulted.Distributed.alerts_processed;
+  Alcotest.(check (list (pair string int)))
+    "notification multiset matches the fault-free run"
+    (List.sort compare baseline.Distributed.notifications)
+    (List.sort compare faulted.Distributed.notifications)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism (the tentpole acceptance property) *)
+
+let subscription_text i ~sites =
+  Printf.sprintf
+    {|subscription S%d
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://site%d.example.org/" and modified self
+report when count > 2 atmost daily|}
+    i (i mod sites)
+
+(* One faulted end-to-end run; returns the rendered report stream, the
+   fault-stage counters and the subscription survival facts. *)
+let faulted_run ~seed ~persist_path () =
+  (try Sys.remove persist_path with Sys_error _ -> ());
+  let sites = 4 in
+  let web = Web.generate ~seed ~sites ~pages_per_site:5 () in
+  let sink, deliveries = Sink.memory () in
+  let obs = Obs.create () in
+  let xyleme =
+    Xyleme.create ~seed
+      ~fault_plan:[ ("fetch", 0.1); ("malformed", 0.2) ]
+      ~persist_path ~sink ~web ~obs ()
+  in
+  let accepted = ref 0 in
+  for i = 0 to 19 do
+    match
+      Xyleme.subscribe xyleme ~owner:(Printf.sprintf "u%d" i)
+        ~text:(subscription_text i ~sites)
+    with
+    | Ok _ -> incr accepted
+    | Error _ -> ()
+  done;
+  Xyleme.run xyleme ~days:7. ~step:(6. *. 3600.) ~fetch_limit:100;
+  let rendered =
+    List.map
+      (fun d ->
+        Printf.sprintf "%s|%s|%.3f|%s" d.Sink.recipient d.Sink.subscription
+          d.Sink.at
+          (Printer.element_to_string d.Sink.report))
+      !deliveries
+  in
+  let snapshot = Obs.snapshot obs in
+  let fault_counters =
+    List.filter_map
+      (fun entry ->
+        match entry with
+        | { Obs.Snapshot.stage = "fault"; name; value = Obs.Snapshot.Counter v } ->
+            Some (name, v)
+        | _ -> None)
+      snapshot.Obs.Snapshot.entries
+  in
+  let manager = Xyleme.manager xyleme in
+  ( rendered,
+    fault_counters,
+    !accepted,
+    Manager.subscription_count manager,
+    List.length (Persist.replay persist_path) )
+
+let test_e2e_deterministic_and_lossless () =
+  with_temp @@ fun persist_a ->
+  with_temp @@ fun persist_b ->
+  let reports_a, faults_a, accepted_a, live_a, persisted_a =
+    faulted_run ~seed:5 ~persist_path:persist_a ()
+  in
+  let reports_b, faults_b, accepted_b, live_b, persisted_b =
+    faulted_run ~seed:5 ~persist_path:persist_b ()
+  in
+  (* same seed + same spec: byte-identical reports, equal counters *)
+  checki "same number of reports" (List.length reports_a) (List.length reports_b);
+  List.iter2 (fun a b -> checks "report identical" a b) reports_a reports_b;
+  checkb "fault counters identical" true (faults_a = faults_b);
+  checkb "faults actually fired" true
+    (List.assoc "fetch_injected" faults_a > 0
+    && List.assoc "malformed_injected" faults_a > 0);
+  checkb "malformed documents quarantined, not fatal" true
+    (List.assoc "quarantined" faults_a > 0);
+  (* no subscription lost to the faults *)
+  checki "accepted = live" accepted_a live_a;
+  checki "accepted = persisted" accepted_a persisted_a;
+  checki "run B agrees" accepted_b live_b;
+  checki "run B persisted" accepted_b persisted_b;
+  checkb "reports were produced at all" true (reports_a <> [])
+
+let test_e2e_seed_changes_schedule () =
+  with_temp @@ fun persist_a ->
+  with_temp @@ fun persist_b ->
+  let reports_a, faults_a, _, _, _ = faulted_run ~seed:5 ~persist_path:persist_a () in
+  let reports_b, faults_b, _, _, _ = faulted_run ~seed:6 ~persist_path:persist_b () in
+  checkb "different seed, different run" true
+    (reports_a <> reports_b || faults_a <> faults_b)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "fault"
+    [
+      ( "spec",
+        [
+          tc "parse ok" test_spec_parse_ok;
+          tc "parse errors" test_spec_parse_errors;
+          tc "roundtrip" test_spec_roundtrip;
+        ] );
+      ( "fire",
+        [
+          tc "deterministic" test_fire_deterministic;
+          tc "rate extremes" test_fire_rate_extremes;
+          tc "counts injected" test_fire_counts_injected;
+          tc "per-point streams independent" test_per_point_streams_independent;
+          tc "set_rate keeps stream position" test_set_rate_keeps_stream_position;
+          tc "set_rate validation" test_set_rate_validation;
+          tc "none is inert" test_none_inert;
+        ] );
+      ( "crawler",
+        [
+          tc "failure enters retry path" test_crawler_failure_enters_retry_path;
+          tc "exhaustion demotes, never drops" test_crawler_retry_exhaustion_demotes;
+          tc "site failure accounting" test_crawler_site_accounting;
+          tc "repeat offender waits longer" test_crawler_repeat_offender_waits_longer;
+          tc "malformed mangles content" test_crawler_malformed_mangles_content;
+        ] );
+      ( "persist",
+        [
+          tc "truncate at every offset" test_truncate_every_offset;
+          tc "corrupt every payload byte" test_corrupt_every_payload_byte;
+          tc "torn_write fault point" test_torn_write_fault_point;
+          tc "short_write fault point" test_short_write_fault_point;
+          QCheck_alcotest.to_alcotest qcheck_persist_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_persist_truncation;
+        ] );
+      ( "bus",
+        [
+          tc "drop all" test_bus_drop_all;
+          tc "partial drop deterministic" test_bus_drop_partial_deterministic;
+          tc "stall delays, never loses" test_bus_stall_delays_not_loses;
+        ] );
+      ("distributed", [ tc "worker respawn" test_distributed_worker_respawn ]);
+      ( "e2e",
+        [
+          tc "deterministic and lossless" test_e2e_deterministic_and_lossless;
+          tc "seed changes the schedule" test_e2e_seed_changes_schedule;
+        ] );
+    ]

@@ -228,7 +228,69 @@ let qcheck_tests =
         T.equal_element e stripped);
     QCheck.Test.make ~name:"size >= depth" ~count:300 gen_tree (fun e ->
         T.size e >= T.depth e);
+    (* Every prefix of a valid document: the parser must diagnose the
+       truncation (or accept a still-complete prefix), never raise
+       anything but Parser.Error and never hang. *)
+    QCheck.Test.make ~name:"parser total on truncated documents" ~count:200
+      gen_tree (fun e ->
+        let printed = Printer.element_to_string e in
+        let ok = ref true in
+        for len = 0 to String.length printed - 1 do
+          match Parser.parse (String.sub printed 0 len) with
+          | _ -> ()
+          | exception Parser.Error _ -> ()
+          | exception _ -> ok := false
+        done;
+        !ok);
   ]
+
+(* Table-driven malformed corpus: each entry must be *rejected* — a
+   parser that silently accepts broken input would let corrupted pages
+   (e.g. the crawler's [malformed] fault) into the warehouse. *)
+let test_malformed_corpus_rejected () =
+  let corpus =
+    [
+      ("unclosed tag", "<a><b></a>");
+      ("never closed", "<a><b><c>");
+      ("stray close", "</a>");
+      ("bad entity", "<a>&nosuch;</a>");
+      ("unterminated entity", "<a>&amp</a>");
+      ("bad char ref", "<a>&#xZZ;</a>");
+      ("stray cdata close", "<a>]]></a>");
+      ("unterminated cdata", "<a><![CDATA[x</a>");
+      ("unterminated comment", "<a><!-- never closed</a>");
+      ("unterminated pi", "<a><?pi never closed</a>");
+      ("attr without quotes", "<a x=1/>");
+      ("attr without value", "<a x/>");
+      ("raw < in attr", "<a x=\"<\"/>");
+      ("duplicate root", "<a/><a/>");
+      ("crawler mangle marker", "<a><b>text</b><&malformed]]></a>");
+      ("mangled mid-tag", "<a><b</a>");
+      ("empty input", "");
+      ("whitespace only", "   \n\t ");
+    ]
+  in
+  List.iter
+    (fun (label, input) ->
+      match Parser.parse input with
+      | _ -> Alcotest.failf "%s: accepted %S" label input
+      | exception Parser.Error _ -> ())
+    corpus
+
+(* The crawler's [malformed] fault point truncates a page and appends
+   its marker; quarantine relies on the result never parsing as XML,
+   wherever the cut lands. *)
+let test_mangled_page_never_parses () =
+  let printed =
+    Printer.element_to_string
+      (parse "<catalog><product><name>dx-100</name><price>120</price></product></catalog>")
+  in
+  for cut = 1 to String.length printed do
+    let mangled = String.sub printed 0 cut ^ "<&malformed]]>" in
+    match Parser.parse mangled with
+    | _ -> Alcotest.failf "mangled page parsed at cut %d" cut
+    | exception Parser.Error _ -> ()
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Content accessors *)
@@ -655,6 +717,11 @@ let () =
           tc "entities" test_html_entities;
           tc "fragment wrapping" test_html_wraps_fragments;
           tc "total on garbage" test_html_total_on_garbage;
+        ] );
+      ( "malformed",
+        [
+          tc "corpus rejected" test_malformed_corpus_rejected;
+          tc "mangled page never parses" test_mangled_page_never_parses;
         ] );
       ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
