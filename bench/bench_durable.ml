@@ -1,0 +1,142 @@
+(* Durability experiment: what checkpoint + warm restart cost as the
+   subscription population grows.  The paper's system is meant to run
+   unattended against the web for months, so the two numbers that
+   matter are (a) how long a checkpoint stalls the pipeline and (b)
+   how long a warm restart takes before the crawler is fetching again
+   — both dominated by the subscription log at 10^5 subscriptions. *)
+
+open Harness
+module Xyleme = Xy_system.Xyleme
+module Web = Xy_crawler.Synthetic_web
+module Sink = Xy_reporter.Sink
+module Obs = Xy_obs.Obs
+module Manager = Xy_submgr.Manager
+
+let sub_counts = function
+  | Quick -> [ 1_000; 5_000 ]
+  | Default -> [ 1_000; 10_000; 50_000 ]
+  | Paper -> [ 1_000; 10_000; 100_000 ]
+
+let rm_rf path =
+  let rec go p =
+    if Sys.is_directory p then (
+      Array.iter (fun e -> go (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p)
+    else Sys.remove p
+  in
+  if Sys.file_exists path then go path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "xyleme-bench-durable" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let file_size path =
+  if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0
+
+let sub_text i ~sites =
+  Printf.sprintf
+    {|subscription D%d
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://site%d.example.org/" and modified self
+report when count > 2 atmost daily|}
+    i (i mod sites)
+
+let tbl_durable scale =
+  section "tbl-durable — checkpoint cost and warm-restart time";
+  note
+    "a durable run journals every commit into gen-N.wal; checkpoint \
+     snapshots all stages into gen-(N+1).snap and compacts the \
+     subscription log; restore replays subscriptions + snapshot + WAL \
+     and re-arms in-flight work";
+  let sites = 8 in
+  let rows =
+    List.map
+      (fun n ->
+        with_temp_dir (fun dir ->
+            let web = Web.generate ~seed:11 ~sites ~pages_per_site:6 () in
+            let sink, _ = Sink.counting () in
+            let xyleme =
+              Xyleme.create ~seed:11 ~sink ~web ~obs:(Obs.create ())
+                ~durable_dir:dir ()
+            in
+            (* Bulk-load through the manager: these subscriptions carry
+               no refresh clauses, so the system-level wrapper's
+               re-application of refresh ceilings (linear in the live
+               population, quadratic for a bulk load) would be a no-op
+               anyway. *)
+            let mgr = Xyleme.manager xyleme in
+            let (), load_wall =
+              time_once (fun () ->
+                  for i = 0 to n - 1 do
+                    match
+                      Manager.subscribe mgr
+                        ~owner:(Printf.sprintf "u%d" i)
+                        ~text:(sub_text i ~sites)
+                    with
+                    | Ok _ -> ()
+                    | Error e ->
+                        failwith (Manager.error_to_string e)
+                  done)
+            in
+            (* A day of simulated crawling populates the warehouse and
+               leaves a realistic WAL for the checkpoint to retire. *)
+            Xyleme.run_resumable xyleme ~days:1. ~step:(6. *. 3600.)
+              ~fetch_limit:400;
+            let wal_bytes = file_size (Filename.concat dir "gen-0.wal") in
+            let info, ckpt_wall =
+              time_once (fun () -> Xyleme.checkpoint xyleme)
+            in
+            let snap_bytes =
+              file_size
+                (Filename.concat dir
+                   (Printf.sprintf "gen-%d.snap" info.Xyleme.generation))
+            in
+            let restored, restart_wall =
+              time_once (fun () ->
+                  let web = Web.generate ~seed:11 ~sites ~pages_per_site:6 () in
+                  let sink, _ = Sink.counting () in
+                  Xyleme.restore ~seed:11 ~sink ~web ~obs:(Obs.create ()) ~dir
+                    ())
+            in
+            let ri =
+              match restored with
+              | Ok (_, ri) -> ri
+              | Error e -> failwith ("restore failed: " ^ e)
+            in
+            assert (ri.Xyleme.subscriptions_recovered = n);
+            record_mqp
+              ~name:(Printf.sprintf "tbl-durable/checkpoint@%d" n)
+              ~docs_per_sec:(1. /. ckpt_wall)
+              ~memory_words:(snap_bytes / 8) ();
+            record_mqp
+              ~name:(Printf.sprintf "tbl-durable/restart@%d" n)
+              ~docs_per_sec:(float_of_int n /. restart_wall)
+              ~memory_words:(wal_bytes / 8) ();
+            [
+              string_of_int n;
+              Printf.sprintf "%.0f" (float_of_int n /. load_wall);
+              Printf.sprintf "%.1f" (ckpt_wall *. 1e3);
+              Printf.sprintf "%d" (snap_bytes / 1024);
+              Printf.sprintf "%d" (wal_bytes / 1024);
+              Printf.sprintf "%.1f" (restart_wall *. 1e3);
+              Printf.sprintf "%.0f" (float_of_int n /. restart_wall);
+            ]))
+      (sub_counts scale)
+  in
+  print_table ~title:"checkpoint & warm restart vs. subscription count"
+    ~header:
+      [
+        "subs";
+        "load subs/s";
+        "ckpt ms";
+        "snap KiB";
+        "wal KiB";
+        "restart ms";
+        "restart subs/s";
+      ]
+    rows
+
+let all = [ ("tbl-durable", tbl_durable) ]

@@ -18,6 +18,7 @@
      tbl-e2e       end-to-end pipeline rate
      tbl-e2e-mqp   MQP share of the pipeline
      tbl-fault     crawl throughput under fetch failures
+     tbl-durable   checkpoint cost & warm-restart time
 
    Usage:
      dune exec bench/main.exe                  (default scale, all)
@@ -31,7 +32,7 @@
 
 let experiments : (string * (Harness.scale -> unit)) list =
   Bench_mqp.all @ Bench_alerters.all @ Bench_reporter.all @ Bench_e2e.all
-  @ Bench_ablation.all @ Bench_trace.all @ Bench_fault.all
+  @ Bench_ablation.all @ Bench_trace.all @ Bench_fault.all @ Bench_durable.all
 
 let () =
   let scale = ref Harness.Default in

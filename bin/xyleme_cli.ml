@@ -150,32 +150,88 @@ let validate_cmd =
    [trace] (sampled per-document traces; immediate reports so the
    sampled documents' journeys reach the reporter synchronously). *)
 let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
-    ?(report_clause = "report when count > 5 atmost daily") ~sites ~days
+    ?(report_clause = "report when count > 5 atmost daily") ?durable_dir
+    ?(checkpoint_every = 0) ?kill_after ?(restore = false) ~sites ~days
     ~subscriptions ~seed () =
   let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
-  let sink, delivered = Xy_reporter.Sink.counting () in
+  let counting_sink, delivered = Xy_reporter.Sink.counting () in
+  (* A durable run also writes every delivery into the directory's
+     report ledger — the artifact two runs are diffed by. *)
+  let sink =
+    match durable_dir with
+    | None -> counting_sink
+    | Some dir ->
+        Xy_reporter.Sink.tee counting_sink
+          (Xy_reporter.Sink.ledger ~path:(Filename.concat dir "reports.log") ())
+  in
   let xyleme =
-    Xy_system.Xyleme.create ~seed ?algorithm ?fault_plan ~sink ~web ()
+    if restore then begin
+      let dir =
+        match durable_dir with
+        | Some dir -> dir
+        | None -> prerr_endline "--restore needs --durable DIR"; exit 2
+      in
+      match Xy_system.Xyleme.restore ~seed ?algorithm ?fault_plan ~sink ~web ~dir () with
+      | Error e ->
+          Printf.eprintf "restore failed: %s\n" e;
+          exit 1
+      | Ok (xyleme, info) ->
+          Printf.printf
+            "restored %s: generation %d, %d subscription(s), %d txn(s) \
+             replayed (WAL tail %s), %d fetch(es) re-queued, %d report(s) \
+             re-delivered; resuming at step %d\n"
+            dir info.Xy_system.Xyleme.generation
+            info.Xy_system.Xyleme.subscriptions_recovered
+            info.Xy_system.Xyleme.txns_replayed
+            (match info.Xy_system.Xyleme.wal_tail with
+            | Xy_durable.Durable.Clean -> "clean"
+            | Xy_durable.Durable.Torn -> "torn"
+            | Xy_durable.Durable.Corrupt -> "corrupt")
+            info.Xy_system.Xyleme.requeued_fetches
+            info.Xy_system.Xyleme.redelivered_reports
+            (Xy_system.Xyleme.steps_done xyleme);
+          xyleme
+    end
+    else
+      Xy_system.Xyleme.create ~seed ?algorithm ?fault_plan ~sink ~web
+        ?durable_dir ()
   in
   if trace_every > 0 then
     Xy_trace.Trace.set_sampling (Xy_system.Xyleme.tracer xyleme)
       ~every:trace_every;
   let accepted = ref 0 in
-  for i = 0 to subscriptions - 1 do
-    let text =
-      Printf.sprintf
-        {|subscription S%d
+  if not restore then
+    for i = 0 to subscriptions - 1 do
+      let text =
+        Printf.sprintf
+          {|subscription S%d
 monitoring
 select <UpdatedPage url=URL/>
 where URL extends "http://site%d.example.org/" and modified self
 %s|}
-        i (i mod sites) report_clause
-    in
-    match Xy_system.Xyleme.subscribe xyleme ~owner:(Printf.sprintf "u%d" i) ~text with
-    | Ok _ -> incr accepted
-    | Error _ -> ()
-  done;
-  Xy_system.Xyleme.run xyleme ~days ~step:(6. *. 3600.) ~fetch_limit:500;
+          i (i mod sites) report_clause
+      in
+      match Xy_system.Xyleme.subscribe xyleme ~owner:(Printf.sprintf "u%d" i) ~text with
+      | Ok _ -> incr accepted
+      | Error _ -> ()
+    done
+  else accepted := Xy_submgr.Manager.subscription_count (Xy_system.Xyleme.manager xyleme);
+  Option.iter
+    (fun k -> Xy_fault.Fault.arm_after (Xy_system.Xyleme.faults xyleme) "crash" k)
+    kill_after;
+  (try
+     if durable_dir = None then
+       Xy_system.Xyleme.run xyleme ~days ~step:(6. *. 3600.) ~fetch_limit:500
+     else
+       Xy_system.Xyleme.run_resumable ~checkpoint_every xyleme ~days
+         ~step:(6. *. 3600.) ~fetch_limit:500
+   with Xy_fault.Fault.Crash label ->
+     (* The injected kill: leave the durable directory exactly as a
+        real [kill -9] would — the next invocation restores from it. *)
+     Printf.printf
+       "killed by injected crash at %s (step %d); restart with --restore\n"
+       label
+       (Xy_system.Xyleme.steps_done xyleme));
   (xyleme, !accepted, !delivered)
 
 let print_snapshot ~xml xyleme =
@@ -309,17 +365,52 @@ let algorithm_arg =
            hash-tree), $(b,aes-compact) (frozen flat arrays + delta \
            overlay), $(b,naive) or $(b,counting)")
 
+let durable_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "durable" ] ~docv:"DIR"
+        ~doc:
+          "Run durably: checkpoint + write-ahead log under $(docv), report \
+           deliveries ledgered to $(docv)/reports.log.  A killed run is \
+           resumed with $(b,--restore)")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Checkpoint the durable run every $(docv) steps (0 = never)")
+
+let kill_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill-after" ] ~docv:"K"
+        ~doc:
+          "Die (simulated kill -9, discarding the open transaction) at the \
+           $(docv)-th crash point of the run — crash testing for \
+           $(b,--durable)")
+
+let restore_flag =
+  Arg.(
+    value & flag
+    & info [ "restore" ]
+        ~doc:
+          "Warm-restart from the $(b,--durable) directory instead of \
+           starting fresh, and finish the remaining steps")
+
 let simulate_cmd =
   let run sites days subscriptions seed algorithm fault_plan verbose
-      stats_flag trace_every =
+      stats_flag trace_every durable_dir checkpoint_every kill_after restore =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
     let trace_every = Option.value ~default:0 trace_every in
     let xyleme, accepted, delivered =
-      run_simulation ~trace_every ~algorithm ?fault_plan ~sites ~days
-        ~subscriptions ~seed ()
+      run_simulation ~trace_every ~algorithm ?fault_plan ?durable_dir
+        ~checkpoint_every ?kill_after ~restore ~sites ~days ~subscriptions
+        ~seed ()
     in
     let stats = Xy_system.Xyleme.stats xyleme in
     Printf.printf "simulated %.0f days over %d sites, %d subscriptions:\n" days
@@ -352,7 +443,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Run the monitor over a synthetic web")
     Term.(
       const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg
-      $ algorithm_arg $ faults_arg $ verbose $ stats_flag $ trace_every)
+      $ algorithm_arg $ faults_arg $ verbose $ stats_flag $ trace_every
+      $ durable_arg $ checkpoint_every_arg $ kill_after_arg $ restore_flag)
 
 let stats_cmd =
   let run sites days subscriptions seed algorithm xml =

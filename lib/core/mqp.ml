@@ -157,3 +157,9 @@ let stats (t : t) =
     notifications_emitted = t.notifications_emitted;
     complex_events = complex_count t;
   }
+
+(* Matching structure state is rebuilt by subscription-log recovery;
+   only the lifetime counters need restoring explicitly. *)
+let restore_counters (t : t) ~alerts_processed ~notifications_emitted =
+  t.alerts_processed <- alerts_processed;
+  t.notifications_emitted <- notifications_emitted

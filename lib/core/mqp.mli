@@ -90,3 +90,9 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** [restore_counters t ...] reinstates the lifetime counters after a
+    warm restart (the matching structure itself is rebuilt by
+    subscription-log recovery). *)
+val restore_counters :
+  t -> alerts_processed:int -> notifications_emitted:int -> unit

@@ -57,6 +57,7 @@ type t = {
   mutable fetches : int;
   metrics : metrics;
   fault_metrics : fault_metrics;
+  mutable journal : (string -> unit) option;
 }
 
 let stage = "crawler"
@@ -89,7 +90,42 @@ let create ?(obs = Obs.default) ?tracer ?(faults = Fault.none)
         f_requeued = Obs.counter obs ~stage:fault_stage "requeued_demoted";
         f_flagged_sites = Obs.gauge obs ~stage:fault_stage "flagged_sites";
       };
+    journal = None;
   }
+
+(* Durability: the retry bookkeeping (per-URL attempt counts, per-site
+   failure tallies, the fetch counter) journals each mutation's
+   post-state; replay upserts. *)
+module Codec = Xy_util.Codec
+
+let set_journal t emit = t.journal <- emit
+
+let emit_op t encode =
+  match t.journal with
+  | None -> ()
+  | Some emit ->
+      let buf = Buffer.create 48 in
+      encode buf;
+      emit (Buffer.contents buf)
+
+(* key -> count post-states; count 0 means removed *)
+let journal_attempt t url =
+  emit_op t (fun buf ->
+      Codec.string buf "a";
+      Codec.string buf url;
+      Codec.int buf (Option.value ~default:0 (Hashtbl.find_opt t.attempts url)))
+
+let journal_site t site =
+  emit_op t (fun buf ->
+      Codec.string buf "s";
+      Codec.string buf site;
+      Codec.int buf
+        (Option.value ~default:0 (Hashtbl.find_opt t.site_failures site)))
+
+let journal_fetches t =
+  emit_op t (fun buf ->
+      Codec.string buf "f";
+      Codec.int buf t.fetches)
 
 let discover t =
   List.iter (fun url -> Fetch_queue.add t.queue ~url) (Synthetic_web.urls t.web)
@@ -132,10 +168,12 @@ let handle_failure t ~url =
   let site = site_of url in
   let site_count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.site_failures site) in
   Hashtbl.replace t.site_failures site site_count;
+  journal_site t site;
   Obs.Gauge.set_int t.fault_metrics.f_flagged_sites (flagged_sites t);
   let attempt = 1 + Option.value ~default:0 (Hashtbl.find_opt t.attempts url) in
   if attempt <= t.retry.max_retries then begin
     Hashtbl.replace t.attempts url attempt;
+    journal_attempt t url;
     Obs.Counter.incr t.fault_metrics.f_retries;
     let base =
       t.retry.backoff *. Float.pow t.retry.backoff_factor (float_of_int (attempt - 1))
@@ -148,59 +186,65 @@ let handle_failure t ~url =
   end
   else begin
     Hashtbl.remove t.attempts url;
+    journal_attempt t url;
     Obs.Counter.incr t.fault_metrics.f_exhausted;
     Obs.Counter.incr t.fault_metrics.f_requeued;
     Fetch_queue.penalize t.queue ~url ~factor:t.retry.demote_factor
   end
 
 let handle_success t ~url =
-  Hashtbl.remove t.attempts url;
+  if Hashtbl.mem t.attempts url then begin
+    Hashtbl.remove t.attempts url;
+    journal_attempt t url
+  end;
   let site = site_of url in
   match Hashtbl.find_opt t.site_failures site with
   | Some n ->
       if n > 1 then Hashtbl.replace t.site_failures site (n - 1)
       else Hashtbl.remove t.site_failures site;
+      journal_site t site;
       Obs.Gauge.set_int t.fault_metrics.f_flagged_sites (flagged_sites t)
   | None -> ()
 
+let fetch_one t ~url =
+  (* The failure draw precedes the fetch: a transient fault costs
+     no synthetic-web access and emits no fetch record — the URL
+     re-enters the schedule through the retry path instead. *)
+  if Fault.fire t.faults "fetch" then begin
+    handle_failure t ~url;
+    None
+  end
+  else begin
+    t.fetches <- t.fetches + 1;
+    journal_fetches t;
+    Obs.Counter.incr t.metrics.fetched;
+    (* The sampling decision for the whole pipeline happens here, at
+       fetch time; the context then rides the fetch downstream. *)
+    let trace =
+      Option.bind t.tracer (fun tracer -> Xy_trace.Trace.start tracer ~root:url)
+    in
+    let content =
+      Xy_trace.Trace.wrap trace ~stage ~name:"fetch" ~attrs:[ ("url", url) ]
+      @@ fun () ->
+      Obs.Histogram.time t.metrics.fetch_latency (fun () ->
+          Synthetic_web.fetch t.web ~url)
+    in
+    (match content with
+    | None ->
+        Obs.Counter.incr t.metrics.missing;
+        Fetch_queue.forget t.queue ~url
+    | Some _ -> handle_success t ~url);
+    let content =
+      match content with
+      | Some body when Fault.fire t.faults "malformed" -> Some (mangle t body)
+      | other -> other
+    in
+    Some { url; content; kind = Synthetic_web.kind_of t.web ~url; trace }
+  end
+
 let step t ~limit =
   let due = Fetch_queue.pop_due t.queue ~limit in
-  List.filter_map
-    (fun url ->
-      (* The failure draw precedes the fetch: a transient fault costs
-         no synthetic-web access and emits no fetch record — the URL
-         re-enters the schedule through the retry path instead. *)
-      if Fault.fire t.faults "fetch" then begin
-        handle_failure t ~url;
-        None
-      end
-      else begin
-        t.fetches <- t.fetches + 1;
-        Obs.Counter.incr t.metrics.fetched;
-        (* The sampling decision for the whole pipeline happens here, at
-           fetch time; the context then rides the fetch downstream. *)
-        let trace =
-          Option.bind t.tracer (fun tracer -> Xy_trace.Trace.start tracer ~root:url)
-        in
-        let content =
-          Xy_trace.Trace.wrap trace ~stage ~name:"fetch" ~attrs:[ ("url", url) ]
-          @@ fun () ->
-          Obs.Histogram.time t.metrics.fetch_latency (fun () ->
-              Synthetic_web.fetch t.web ~url)
-        in
-        (match content with
-        | None ->
-            Obs.Counter.incr t.metrics.missing;
-            Fetch_queue.forget t.queue ~url
-        | Some _ -> handle_success t ~url);
-        let content =
-          match content with
-          | Some body when Fault.fire t.faults "malformed" -> Some (mangle t body)
-          | other -> other
-        in
-        Some { url; content; kind = Synthetic_web.kind_of t.web ~url; trace }
-      end)
-    due
+  List.filter_map (fun url -> fetch_one t ~url) due
 
 let conclude t ~url ~changed =
   Obs.Counter.incr
@@ -208,3 +252,54 @@ let conclude t ~url ~changed =
   Fetch_queue.mark_fetched t.queue ~url ~changed
 
 let fetches t = t.fetches
+
+(* {2 Durability} *)
+
+let encode_snapshot t =
+  let buf = Buffer.create 256 in
+  let sorted table =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+  in
+  let pair buf (k, v) =
+    Codec.string buf k;
+    Codec.int buf v
+  in
+  Codec.list buf pair (sorted t.attempts);
+  Codec.list buf pair (sorted t.site_failures);
+  Codec.int buf t.fetches;
+  Buffer.contents buf
+
+let decode_snapshot t payload =
+  let reader = Codec.reader payload in
+  let pair r =
+    let k = Codec.read_string r in
+    let v = Codec.read_int r in
+    (k, v)
+  in
+  let attempts = Codec.read_list reader pair in
+  let sites = Codec.read_list reader pair in
+  let fetches = Codec.read_int reader in
+  Codec.expect_end reader;
+  Hashtbl.reset t.attempts;
+  List.iter (fun (k, v) -> Hashtbl.replace t.attempts k v) attempts;
+  Hashtbl.reset t.site_failures;
+  List.iter (fun (k, v) -> Hashtbl.replace t.site_failures k v) sites;
+  t.fetches <- fetches;
+  Obs.Gauge.set_int t.fault_metrics.f_flagged_sites (flagged_sites t)
+
+let apply_op t payload =
+  let reader = Codec.reader payload in
+  (match Codec.read_string reader with
+  | "a" ->
+      let url = Codec.read_string reader in
+      let n = Codec.read_int reader in
+      if n = 0 then Hashtbl.remove t.attempts url
+      else Hashtbl.replace t.attempts url n
+  | "s" ->
+      let site = Codec.read_string reader in
+      let n = Codec.read_int reader in
+      if n = 0 then Hashtbl.remove t.site_failures site
+      else Hashtbl.replace t.site_failures site n
+  | "f" -> t.fetches <- Codec.read_int reader
+  | tag -> raise (Codec.Malformed ("unknown crawler op " ^ tag)));
+  Codec.expect_end reader

@@ -70,6 +70,13 @@ val discover : t -> unit
     (retry or demotion) and must not be concluded. *)
 val step : t -> limit:int -> fetch list
 
+(** [fetch_one t ~url] fetches a single already-popped URL — the
+    per-document half of {!step}, exposed so a durable system can
+    bracket each document's pop + fetch + ingest in one WAL
+    transaction.  [None] means the fetch failed transiently and was
+    rescheduled internally (do not conclude it). *)
+val fetch_one : t -> url:string -> fetch option
+
 (** [conclude t ~url ~changed] finishes one fetch. *)
 val conclude : t -> url:string -> changed:bool -> unit
 
@@ -82,3 +89,15 @@ val site_failures : t -> url:string -> int
 (** [pending_retries t] is how many URLs currently sit in the bounded
     retry path. *)
 val pending_retries : t -> int
+
+(** {2 Durability} — retry/penalty bookkeeping (attempt counts, site
+    failure tallies, the fetch counter) journals each mutation's
+    post-state and snapshots wholesale. *)
+
+val set_journal : t -> (string -> unit) option -> unit
+val encode_snapshot : t -> string
+
+(** Raises {!Xy_util.Codec.Malformed} on damage. *)
+val decode_snapshot : t -> string -> unit
+
+val apply_op : t -> string -> unit

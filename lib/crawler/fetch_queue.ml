@@ -24,8 +24,9 @@ type t = {
   min_period : float;
   max_period : float;
   entries : (string, entry) Hashtbl.t;
-  schedule : string Schedule.t;
+  mutable schedule : string Schedule.t;
   metrics : metrics;
+  mutable journal : (string -> unit) option;
 }
 
 let stage = "crawler"
@@ -48,9 +49,41 @@ let create ?(initial_period = 86400.) ?(min_period = 3600.)
         retried = Obs.counter obs ~stage "retried";
         demoted = Obs.counter obs ~stage "demoted";
       };
+    journal = None;
   }
 
 let clock t = t.clock
+
+(* Durability: every mutation journals the entry's post-state — replay
+   upserts, and [pop_due]'s staleness checks (deadline mismatch,
+   already-dequeued) make the duplicate heap entries replay creates
+   harmless. *)
+module Codec = Xy_util.Codec
+
+let set_journal t emit = t.journal <- emit
+
+let encode_entry url entry =
+  let buf = Buffer.create 64 in
+  Codec.string buf url;
+  Codec.bool buf true;
+  Codec.float buf entry.refresh_period;
+  Codec.float buf entry.ceiling;
+  Codec.bool buf entry.live;
+  Codec.bool buf entry.queued;
+  Codec.float buf entry.deadline;
+  Buffer.contents buf
+
+let encode_removal url =
+  let buf = Buffer.create 32 in
+  Codec.string buf url;
+  Codec.bool buf false;
+  Buffer.contents buf
+
+let journal_entry t url entry =
+  match t.journal with None -> () | Some emit -> emit (encode_entry url entry)
+
+let journal_removal t url =
+  match t.journal with None -> () | Some emit -> emit (encode_removal url)
 
 let update_depth t =
   Obs.Gauge.set_int t.metrics.depth (Schedule.size t.schedule)
@@ -58,22 +91,27 @@ let update_depth t =
 let add t ~url =
   if not (Hashtbl.mem t.entries url) then begin
     let now = Xy_util.Clock.now t.clock in
-    Hashtbl.replace t.entries url
+    let entry =
       {
         refresh_period = t.initial_period;
         ceiling = t.max_period;
         live = true;
         queued = true;
         deadline = now;
-      };
+      }
+    in
+    Hashtbl.replace t.entries url entry;
     (* first fetch due immediately *)
     Schedule.add t.schedule ~at:now url;
-    update_depth t
+    update_depth t;
+    journal_entry t url entry
   end
 
 let forget t ~url =
   match Hashtbl.find_opt t.entries url with
-  | Some entry -> entry.live <- false
+  | Some entry ->
+      entry.live <- false;
+      journal_entry t url entry
   | None -> ()
 
 let clamp t entry =
@@ -89,7 +127,11 @@ let boost t ~url ~period =
     entry.live <- true;
     Obs.Counter.incr t.metrics.resurrected
   end;
-  entry.ceiling <- Float.max t.min_period period;
+  (* Boosts only tighten: the ceiling is the strongest demand among
+     the live subscriptions, whatever order they were applied in.
+     Relaxation (a subscription leaving) goes through [reset_ceiling]
+     followed by re-applying the survivors' statements. *)
+  entry.ceiling <- Float.max t.min_period (Float.min entry.ceiling period);
   clamp t entry;
   Obs.Counter.incr t.metrics.boosts;
   let target = Xy_util.Clock.now t.clock +. entry.refresh_period in
@@ -108,7 +150,8 @@ let boost t ~url ~period =
     entry.deadline <- target;
     Schedule.add t.schedule ~at:target url;
     update_depth t
-  end
+  end;
+  journal_entry t url entry
 
 let pop_due t ~limit =
   let now = Xy_util.Clock.now t.clock in
@@ -130,17 +173,30 @@ let pop_due t ~limit =
               | Some entry when entry.live ->
                   entry.queued <- false;
                   Obs.Counter.incr t.metrics.served;
+                  journal_entry t url entry;
                   go (url :: acc) (n - 1)
               | Some _ ->
                   (* dead entry drained from the heap *)
                   Hashtbl.remove t.entries url;
+                  journal_removal t url;
                   go acc n
               | None -> go acc n))
       | Some _ | None -> List.rev acc
   in
   let served = go [] limit in
   update_depth t;
-  served
+  (* Deterministic batch order: the heap breaks deadline ties by
+     insertion history, which a rebuilt (restored) heap does not
+     share.  Sorting by (deadline, url) makes the processing order a
+     pure function of queue *state*, so a warm restart refetches
+     in-flight documents in exactly the order the crashed run would
+     have processed them. *)
+  List.sort
+    (fun a b ->
+      let da = (Hashtbl.find t.entries a).deadline
+      and db = (Hashtbl.find t.entries b).deadline in
+      match Float.compare da db with 0 -> String.compare a b | c -> c)
+    served
 
 (* A fetch that failed after [pop_due] left its entry dequeued
    ([queued = false]) with nothing pending in the heap: without an
@@ -156,7 +212,8 @@ let retry t ~url ~delay =
       entry.deadline <- at;
       Schedule.add t.schedule ~at url;
       Obs.Counter.incr t.metrics.retried;
-      update_depth t
+      update_depth t;
+      journal_entry t url entry
   | Some _ -> ()
 
 (* Retry exhaustion: the URL is kept — losing it would break the
@@ -176,14 +233,16 @@ let penalize t ~url ~factor =
       entry.deadline <- at;
       Schedule.add t.schedule ~at url;
       Obs.Counter.incr t.metrics.demoted;
-      update_depth t
+      update_depth t;
+      journal_entry t url entry
   | Some entry ->
       (* Not in flight (e.g. already rescheduled by a boost): still
          demote the period so the offender is fetched less often. *)
       if entry.live then begin
         entry.refresh_period <- entry.refresh_period *. factor;
         clamp t entry;
-        Obs.Counter.incr t.metrics.demoted
+        Obs.Counter.incr t.metrics.demoted;
+        journal_entry t url entry
       end
 
 let mark_fetched t ~url ~changed =
@@ -199,7 +258,8 @@ let mark_fetched t ~url ~changed =
         let at = Xy_util.Clock.now t.clock +. entry.refresh_period in
         entry.deadline <- at;
         Schedule.add t.schedule ~at url;
-        update_depth t
+        update_depth t;
+        journal_entry t url entry
       end
 
 let next_deadline t = Schedule.peek_time t.schedule
@@ -209,3 +269,107 @@ let period t ~url =
 
 let known_count t =
   Hashtbl.fold (fun _ e acc -> if e.live then acc + 1 else acc) t.entries 0
+
+(* Unsubscribe support: the boost ceiling a subscription's refresh
+   statement imposed must not outlive the subscription.  [reset_ceiling]
+   lifts the ceiling back to [max_period]; the caller then re-applies
+   the refresh statements of the remaining subscriptions. *)
+let reset_ceiling t ~url =
+  match Hashtbl.find_opt t.entries url with
+  | None -> ()
+  | Some entry ->
+      entry.ceiling <- t.max_period;
+      clamp t entry;
+      journal_entry t url entry
+
+type view = {
+  v_url : string;
+  v_period : float;
+  v_ceiling : float;
+  v_live : bool;
+  v_queued : bool;
+  v_deadline : float;
+}
+
+let view t =
+  List.sort compare
+    (Hashtbl.fold
+       (fun url e acc ->
+         {
+           v_url = url;
+           v_period = e.refresh_period;
+           v_ceiling = e.ceiling;
+           v_live = e.live;
+           v_queued = e.queued;
+           v_deadline = e.deadline;
+         }
+         :: acc)
+       t.entries [])
+
+(* {2 Durability} *)
+
+let encode_snapshot t =
+  let buf = Buffer.create 1024 in
+  let entries =
+    List.sort compare
+      (Hashtbl.fold (fun url e acc -> (url, e) :: acc) t.entries [])
+  in
+  Codec.list buf
+    (fun buf (url, e) -> Buffer.add_string buf (encode_entry url e))
+    entries;
+  Buffer.contents buf
+
+let apply_encoded t reader =
+  let url = Codec.read_string reader in
+  if not (Codec.read_bool reader) then Hashtbl.remove t.entries url
+  else begin
+    let refresh_period = Codec.read_float reader in
+    let ceiling = Codec.read_float reader in
+    let live = Codec.read_bool reader in
+    let queued = Codec.read_bool reader in
+    let deadline = Codec.read_float reader in
+    (match Hashtbl.find_opt t.entries url with
+    | Some e ->
+        e.refresh_period <- refresh_period;
+        e.ceiling <- ceiling;
+        e.live <- live;
+        e.queued <- queued;
+        e.deadline <- deadline
+    | None ->
+        Hashtbl.replace t.entries url
+          { refresh_period; ceiling; live; queued; deadline });
+    (* Keep the heap consistent: a queued entry needs a heap slot at
+       its deadline.  Duplicates are harmless — [pop_due] skips slots
+       whose time differs from the authoritative [deadline]. *)
+    if queued then Schedule.add t.schedule ~at:deadline url
+  end;
+  update_depth t
+
+let decode_snapshot t payload =
+  Hashtbl.reset t.entries;
+  t.schedule <- Schedule.create ();
+  let reader = Codec.reader payload in
+  ignore (Codec.read_list reader (fun r -> apply_encoded t r));
+  Codec.expect_end reader
+
+let apply_op t payload =
+  let reader = Codec.reader payload in
+  apply_encoded t reader;
+  Codec.expect_end reader
+
+(* After a crash, entries that were popped but never concluded
+   ([live] and not [queued]) were in flight: put them back at their
+   original deadline so the resumed run refetches them. *)
+let rearm_in_flight t =
+  let rearmed = ref 0 in
+  Hashtbl.iter
+    (fun url entry ->
+      if entry.live && not entry.queued then begin
+        entry.queued <- true;
+        Schedule.add t.schedule ~at:entry.deadline url;
+        journal_entry t url entry;
+        incr rearmed
+      end)
+    t.entries;
+  update_depth t;
+  !rearmed

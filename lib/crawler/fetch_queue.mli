@@ -34,7 +34,11 @@ val add : t -> url:string -> unit
 val forget : t -> url:string -> unit
 
 (** [boost t ~url ~period] applies a subscription refresh statement:
-    the URL's refresh period will never exceed [period].  A forgotten
+    the URL's refresh period will never exceed [period].  Boosts only
+    tighten the ceiling — applying several subscriptions' statements
+    in any order leaves the strongest demand in force; relaxation
+    (when a subscription leaves) is {!reset_ceiling} followed by
+    re-applying the survivors' statements.  A forgotten
     URL is resurrected ("subscriptions involving this particular
     document" re-demand it), and when the clamped period brings the
     next fetch closer than the currently scheduled deadline, the
@@ -44,10 +48,13 @@ val forget : t -> url:string -> unit
 val boost : t -> url:string -> period:float -> unit
 
 (** [pop_due t ~limit] returns up to [limit] URLs whose fetch deadline
-    passed, earliest first.  The caller must conclude each with
+    passed, earliest first (deadline ties broken by URL, so the batch
+    order is a pure function of queue state — what warm-restart
+    refetch equivalence needs).  The caller must conclude each with
     {!mark_fetched} (success), {!retry} (transient failure) or
     {!penalize} (retries exhausted) to reschedule — a popped URL left
-    unconcluded only comes back through a subscription {!boost}. *)
+    unconcluded only comes back through a subscription {!boost} or a
+    restore's {!rearm_in_flight}. *)
 val pop_due : t -> limit:int -> string list
 
 (** [retry t ~url ~delay] re-enqueues an in-flight URL (popped, fetch
@@ -77,3 +84,47 @@ val known_count : t -> int
 
 (** [clock t] is the virtual clock the queue schedules against. *)
 val clock : t -> Xy_util.Clock.t
+
+(** [reset_ceiling t ~url] lifts a subscription boost ceiling back to
+    the queue's [max_period] — called when the last subscription
+    demanding [url] is deleted, before the survivors' refresh
+    statements are re-applied.  The refresh period may then grow
+    naturally again. *)
+val reset_ceiling : t -> url:string -> unit
+
+(** A read-only copy of one entry's state (tests, state diffing). *)
+type view = {
+  v_url : string;
+  v_period : float;
+  v_ceiling : float;
+  v_live : bool;
+  v_queued : bool;
+  v_deadline : float;
+}
+
+(** [view t] is every known entry, sorted by URL. *)
+val view : t -> view list
+
+(** {2 Durability}
+
+    Every mutation journals the entry's post-state; replay upserts
+    entries and re-adds heap slots for queued ones (duplicates are
+    skipped by {!pop_due}'s staleness checks). *)
+
+(** [set_journal t (Some emit)] calls [emit payload] with an encoded
+    entry post-state after every mutation. *)
+val set_journal : t -> (string -> unit) option -> unit
+
+val encode_snapshot : t -> string
+
+(** [decode_snapshot t payload] replaces the queue's entries and heap
+    wholesale.  Raises {!Xy_util.Codec.Malformed} on damage. *)
+val decode_snapshot : t -> string -> unit
+
+(** [apply_op t payload] applies one journaled entry post-state. *)
+val apply_op : t -> string -> unit
+
+(** [rearm_in_flight t] requeues entries that were popped but never
+    concluded (a crash caught their fetch in flight) at their original
+    deadline; returns how many. *)
+val rearm_in_flight : t -> int

@@ -11,7 +11,7 @@ type page = {
 }
 
 type t = {
-  prng : Prng.t;
+  mutable prng : Prng.t;
   pages : (string, page) Hashtbl.t;
   mutable order : string list;  (** urls in creation order *)
   mutable next_page_id : int;
@@ -237,16 +237,21 @@ let remove t ~url =
 let evolve t ~elapsed =
   let days = elapsed /. 86400. in
   let changed = ref 0 in
-  (* Collect first: mutation does not change the key set, but page
-     birth/death below does. *)
-  Hashtbl.iter
-    (fun _ page ->
-      let p_change = 1. -. exp (-.page.change_rate *. days) in
-      if Prng.float t.prng 1. < p_change then begin
-        mutate_page t page;
-        incr changed
-      end)
-    t.pages;
+  (* Walk pages in creation order, not hash-table order: the draw a
+     page receives must be a pure function of web *state* so that a
+     restored web (whose table has a different insertion history)
+     evolves identically. *)
+  List.iter
+    (fun url ->
+      match Hashtbl.find_opt t.pages url with
+      | None -> ()
+      | Some page ->
+          let p_change = 1. -. exp (-.page.change_rate *. days) in
+          if Prng.float t.prng 1. < p_change then begin
+            mutate_page t page;
+            incr changed
+          end)
+    (List.rev t.order);
   (* Page birth and death: a small per-site rate. *)
   if Array.length t.sites > 0 then begin
     let site_count = float_of_int (Array.length t.sites) in
@@ -265,6 +270,79 @@ let evolve t ~elapsed =
     end
   end;
   !changed
+
+(* {2 Durability} — the web is part of the simulation state: a warm
+   restart must resume it (pages, creation order, PRNG stream) at
+   exactly the checkpointed position, then replay the journaled
+   [evolve] calls deterministically. *)
+module Codec = Xy_util.Codec
+
+let encode_snapshot t =
+  let buf = Buffer.create 4096 in
+  Codec.string buf (Prng.to_string t.prng);
+  Codec.int buf t.next_page_id;
+  Codec.list buf
+    (fun buf (site, site_kind) ->
+      Codec.string buf site;
+      Codec.string buf
+        (match site_kind with
+        | `Catalog -> "catalog"
+        | `Members -> "members"
+        | `Museum -> "museum"
+        | `News -> "news"))
+    (Array.to_list t.sites);
+  Codec.list buf
+    (fun buf url ->
+      let page = Hashtbl.find t.pages url in
+      Codec.string buf url;
+      Codec.string buf (match page.kind with Xml_page -> "x" | Html_page -> "h");
+      Codec.string buf page.content;
+      Codec.float buf page.change_rate)
+    (List.rev t.order)
+  (* creation order, oldest first *);
+  Buffer.contents buf
+
+let decode_snapshot t payload =
+  let reader = Codec.reader payload in
+  let prng = Prng.of_string (Codec.read_string reader) in
+  let next_page_id = Codec.read_int reader in
+  let sites =
+    Codec.read_list reader (fun r ->
+        let site = Codec.read_string r in
+        let site_kind =
+          match Codec.read_string r with
+          | "catalog" -> `Catalog
+          | "members" -> `Members
+          | "museum" -> `Museum
+          | "news" -> `News
+          | s -> raise (Codec.Malformed ("unknown site kind " ^ s))
+        in
+        (site, site_kind))
+  in
+  let pages =
+    Codec.read_list reader (fun r ->
+        let url = Codec.read_string r in
+        let kind =
+          match Codec.read_string r with
+          | "x" -> Xml_page
+          | "h" -> Html_page
+          | s -> raise (Codec.Malformed ("unknown page kind " ^ s))
+        in
+        let content = Codec.read_string r in
+        let change_rate = Codec.read_float r in
+        { url; kind; content; change_rate })
+  in
+  Codec.expect_end reader;
+  t.prng <- prng;
+  t.next_page_id <- next_page_id;
+  t.sites <- Array.of_list sites;
+  Hashtbl.reset t.pages;
+  t.order <- [];
+  List.iter
+    (fun page ->
+      Hashtbl.replace t.pages page.url page;
+      t.order <- page.url :: t.order)
+    pages
 
 let add_catalog_product t ~url ~name ~words =
   match Hashtbl.find_opt t.pages url with

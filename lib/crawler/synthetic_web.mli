@@ -48,3 +48,14 @@ val remove : t -> url:string -> unit
     element to a catalog page (tests drive precise element-level
     changes with it). *)
 val add_catalog_product : t -> url:string -> name:string -> words:string -> unit
+
+(** {2 Durability} — the synthetic web is simulation state: a durable
+    snapshot captures pages, creation order and the exact PRNG stream
+    position, so a restored web replays journaled {!evolve} calls
+    identically to the uninterrupted run. *)
+
+val encode_snapshot : t -> string
+
+(** Replaces the web's pages and stream wholesale.  Raises
+    {!Xy_util.Codec.Malformed} on damage. *)
+val decode_snapshot : t -> string -> unit

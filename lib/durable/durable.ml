@@ -1,0 +1,292 @@
+let log = Logs.Src.create "xy.durable" ~doc:"checkpoint + WAL durability"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type op = { stage : string; payload : string }
+type tail = Clean | Torn | Corrupt
+
+let checksum payload = Xy_util.Hashing.signature payload
+
+(* A transaction's payload: each op framed as
+     <stage> <payload_len>\n<payload bytes>
+   concatenated.  Stage names contain no spaces or newlines. *)
+let encode_ops ops =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun { stage; payload } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n" stage (String.length payload));
+      Buffer.add_string buf payload)
+    ops;
+  Buffer.contents buf
+
+let decode_ops payload =
+  let len = String.length payload in
+  let rec go pos acc =
+    if pos >= len then Some (List.rev acc)
+    else
+      match String.index_from_opt payload pos '\n' with
+      | None -> None
+      | Some nl -> (
+          match
+            String.split_on_char ' ' (String.sub payload pos (nl - pos))
+          with
+          | [ stage; op_len ] -> (
+              match int_of_string_opt op_len with
+              | Some op_len when op_len >= 0 && nl + 1 + op_len <= len ->
+                  let op_payload = String.sub payload (nl + 1) op_len in
+                  go (nl + 1 + op_len) ({ stage; payload = op_payload } :: acc)
+              | _ -> None)
+          | _ -> None)
+  in
+  go 0 []
+
+module Wal = struct
+  (* Record framing, mirroring Persist:
+       T <payload_len> <checksum>\n<payload>\n *)
+  let append_txn oc ops =
+    let payload = encode_ops ops in
+    Printf.fprintf oc "T %d %s\n%s\n" (String.length payload)
+      (checksum payload) payload;
+    flush oc
+
+  let scan path =
+    match open_in_bin path with
+    | exception Sys_error _ -> ([], Clean)
+    | ic ->
+        let txns = ref [] in
+        let tail = ref Clean in
+        let at_eof () = pos_in ic >= in_channel_length ic in
+        let rec go () =
+          match input_line ic with
+          | exception End_of_file -> ()
+          | header -> (
+              match String.split_on_char ' ' header with
+              | [ "T"; payload_len; crc ] -> (
+                  match int_of_string_opt payload_len with
+                  | None -> tail := Corrupt
+                  | Some payload_len when payload_len < 0 -> tail := Corrupt
+                  | Some payload_len -> (
+                      (* a short read can only be the final record cut
+                         mid-write: that is the torn-tail crash case *)
+                      match really_input_string ic (payload_len + 1) with
+                      | exception End_of_file -> tail := Torn
+                      | payload ->
+                          if payload.[payload_len] <> '\n' then tail := Corrupt
+                          else
+                            let payload = String.sub payload 0 payload_len in
+                            if checksum payload <> crc then
+                              (* full-length record failing its checksum:
+                                 damaged in place, not torn *)
+                              tail := Corrupt
+                            else (
+                              match decode_ops payload with
+                              | None -> tail := Corrupt
+                              | Some ops ->
+                                  txns := ops :: !txns;
+                                  go ())))
+              | _ -> tail := if at_eof () then Torn else Corrupt)
+        in
+        go ();
+        close_in ic;
+        (List.rev !txns, !tail)
+end
+
+module Snapshot = struct
+  (* Section framing:
+       S <stage> <payload_len> <checksum>\n<payload>\n *)
+  let write path sections =
+    let temp = path ^ ".tmp" in
+    let oc =
+      open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644
+        temp
+    in
+    (try
+       List.iter
+         (fun (stage, payload) ->
+           Printf.fprintf oc "S %s %d %s\n%s\n" stage (String.length payload)
+             (checksum payload) payload)
+         sections;
+       close_out oc
+     with e ->
+       (try close_out oc with Sys_error _ -> ());
+       (try Sys.remove temp with Sys_error _ -> ());
+       raise e);
+    Sys.rename temp path
+
+  let load path =
+    match open_in_bin path with
+    | exception Sys_error e -> Error e
+    | ic ->
+        let result =
+          let rec go acc =
+            match input_line ic with
+            | exception End_of_file -> Ok (List.rev acc)
+            | header -> (
+                match String.split_on_char ' ' header with
+                | [ "S"; stage; payload_len; crc ] -> (
+                    match int_of_string_opt payload_len with
+                    | None -> Error "bad section length"
+                    | Some payload_len -> (
+                        match really_input_string ic (payload_len + 1) with
+                        | exception End_of_file -> Error "truncated section"
+                        | payload ->
+                            if payload.[payload_len] <> '\n' then
+                              Error "unterminated section"
+                            else
+                              let payload = String.sub payload 0 payload_len in
+                              if checksum payload <> crc then
+                                Error ("checksum mismatch in section " ^ stage)
+                              else go ((stage, payload) :: acc)))
+                | _ -> Error "bad section header")
+          in
+          go []
+        in
+        close_in ic;
+        result
+end
+
+type t = {
+  dir : string;
+  mutable gen : int;
+  mutable wal : out_channel option;
+  mutable txn : op list;  (** reversed *)
+  mutable replay : bool;
+  mutable txns : int;
+  mutable bytes : int;
+}
+
+let dir t = t.dir
+let generation t = t.gen
+let manifest_path dir = Filename.concat dir "MANIFEST"
+let snap_path dir gen = Filename.concat dir (Printf.sprintf "gen-%d.snap" gen)
+let wal_path dir gen = Filename.concat dir (Printf.sprintf "gen-%d.wal" gen)
+let subscription_log_path t = Filename.concat t.dir "subscriptions.log"
+let report_ledger_path t = Filename.concat t.dir "reports.log"
+
+let read_manifest dir =
+  match open_in_bin (manifest_path dir) with
+  | exception Sys_error _ -> None
+  | ic ->
+      let gen =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line -> (
+            match String.split_on_char ' ' line with
+            | [ "xyleme-durable"; "1"; "gen"; n ] -> int_of_string_opt n
+            | _ -> None)
+      in
+      close_in ic;
+      gen
+
+let write_manifest dir gen =
+  let temp = manifest_path dir ^ ".tmp" in
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 temp
+  in
+  Printf.fprintf oc "xyleme-durable 1 gen %d\n" gen;
+  close_out oc;
+  Sys.rename temp (manifest_path dir)
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let remove_if path =
+  try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ()
+
+let open_wal_trunc dir gen =
+  open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644
+    (wal_path dir gen)
+
+let open_fresh dir =
+  ensure_dir dir;
+  (* wipe any previous run: a fresh run must not inherit its
+     subscriptions or replay its WAL *)
+  Array.iter
+    (fun name ->
+      let matches =
+        name = "MANIFEST" || name = "MANIFEST.tmp" || name = "subscriptions.log"
+        || name = "reports.log"
+        || (String.length name > 4
+           && String.sub name 0 4 = "gen-"
+           && (Filename.check_suffix name ".snap"
+              || Filename.check_suffix name ".wal"
+              || Filename.check_suffix name ".snap.tmp"))
+      in
+      if matches then remove_if (Filename.concat dir name))
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  write_manifest dir 0;
+  {
+    dir;
+    gen = 0;
+    wal = Some (open_wal_trunc dir 0);
+    txn = [];
+    replay = false;
+    txns = 0;
+    bytes = 0;
+  }
+
+let open_existing dir =
+  match read_manifest dir with
+  | None -> None
+  | Some gen ->
+      (* Do not open the WAL for appending: its tail may be torn, and
+         appending after a torn record would corrupt it.  Restore ends
+         with a checkpoint, which opens the next generation's WAL. *)
+      Some { dir; gen; wal = None; txn = []; replay = false; txns = 0; bytes = 0 }
+
+let journal t ~stage payload =
+  if not t.replay then t.txn <- { stage; payload } :: t.txn
+
+let discard t = t.txn <- []
+let replaying t = t.replay
+
+let with_replay t f =
+  t.replay <- true;
+  Fun.protect ~finally:(fun () -> t.replay <- false) f
+
+let commit t =
+  match t.txn with
+  | [] -> ()
+  | ops ->
+      let ops = List.rev ops in
+      t.txn <- [];
+      let oc =
+        match t.wal with
+        | Some oc -> oc
+        | None ->
+            (* attach-for-restore sessions gain a WAL only at their
+               closing checkpoint; until then commits must not land in
+               the old generation's (possibly torn) log *)
+            invalid_arg "Durable.commit: no open WAL (restore not finished?)"
+      in
+      let before = pos_out oc in
+      Wal.append_txn oc ops;
+      t.txns <- t.txns + 1;
+      t.bytes <- t.bytes + (pos_out oc - before)
+
+let checkpoint t ~snapshot =
+  commit t;
+  let next = t.gen + 1 in
+  Snapshot.write (snap_path t.dir next) snapshot;
+  write_manifest t.dir next;
+  (match t.wal with Some oc -> close_out oc | None -> ());
+  t.wal <- Some (open_wal_trunc t.dir next);
+  let old = t.gen in
+  t.gen <- next;
+  remove_if (snap_path t.dir old);
+  remove_if (wal_path t.dir old);
+  Log.debug (fun m -> m "checkpoint: generation %d committed in %s" next t.dir)
+
+let load_latest t =
+  match Snapshot.load (snap_path t.dir t.gen) with
+  | Error _ when not (Sys.file_exists (snap_path t.dir t.gen)) ->
+      (* generation 0 of a run that never checkpointed: empty snapshot *)
+      let txns, tail = Wal.scan (wal_path t.dir t.gen) in
+      Ok ([], txns, tail)
+  | Error e -> Error e
+  | Ok sections ->
+      let txns, tail = Wal.scan (wal_path t.dir t.gen) in
+      Ok (sections, txns, tail)
+
+let txns_committed t = t.txns
+let wal_bytes t = t.bytes

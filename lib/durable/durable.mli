@@ -1,0 +1,126 @@
+(** Whole-system durability: checkpoint snapshots + a write-ahead log.
+
+    The paper's Subscription Manager keeps its state in MySQL "for
+    recovery" (§3.3); this module gives the reproduction the same
+    property for {e every} stateful stage, stdlib-only.  A durable
+    directory holds:
+
+    - [MANIFEST] — the committed generation number, updated by an
+      atomic temp+rename; it is the single commit point of a
+      checkpoint.
+    - [gen-N.snap] — a full snapshot of every stage, written
+      temp+rename before the manifest flips to [N].
+    - [gen-N.wal] — the write-ahead log of operations since
+      generation [N]'s snapshot.  Operations are buffered into
+      {e transactions} and appended as single checksummed records, so
+      a torn tail drops whole transactions, never half of one —
+      that is what keeps cross-stage state mutually consistent after
+      a kill.
+    - [subscriptions.log] — the {!Xy_submgr.Persist} subscription log
+      (compacted at each checkpoint).
+    - [reports.log] — the append-only delivery ledger written by
+      {!Xy_reporter.Sink.ledger}.
+
+    The framing mirrors {!Xy_submgr.Persist}: a space-separated header
+    line carrying lengths and an FNV-1a checksum, then the payload.
+    {!Wal.scan} distinguishes a torn tail (expected after a crash)
+    from mid-log corruption, exactly like [Persist.scan].
+
+    Stages plug in through a [Durable.S]-style contract — they encode
+    snapshots and operations as strings (via {!Xy_util.Codec}) and
+    apply them on restore; this module never interprets payloads. *)
+
+(** One operation: which stage owns it, and its opaque payload. *)
+type op = { stage : string; payload : string }
+
+type tail = Clean | Torn | Corrupt
+
+(** {2 Low-level framing} (exposed for the crash-matrix tests) *)
+
+module Wal : sig
+  (** [append_txn oc ops] writes one transaction as a single
+      checksummed record and flushes. *)
+  val append_txn : out_channel -> op list -> unit
+
+  (** [scan path] returns the committed transactions (in append
+      order) and the tail diagnosis.  A missing file is [([], Clean)].
+      Scanning stops at the first damaged record: [Torn] when the
+      damage is a truncated final record (the crash case), [Corrupt]
+      when bytes were altered mid-log. *)
+  val scan : string -> op list list * tail
+end
+
+module Snapshot : sig
+  (** [write path sections] writes one [(stage, payload)] record per
+      section, then atomically renames into place. *)
+  val write : string -> (string * string) list -> unit
+
+  (** [load path] reads back the sections.  A snapshot is only ever
+      observed complete (it is renamed in after a full write), so any
+      framing damage is an error, not a tail. *)
+  val load : string -> ((string * string) list, string) result
+end
+
+(** {2 The durable directory} *)
+
+type t
+
+(** [open_fresh dir] starts a {e new} durable run in [dir]: creates
+    the directory if needed and removes any previous run's files
+    (manifest, generations, subscription log, ledger). *)
+val open_fresh : string -> t
+
+(** [open_existing dir] attaches to a directory containing a
+    committed generation; [None] when no manifest is present. *)
+val open_existing : string -> t option
+
+val dir : t -> string
+val generation : t -> int
+
+(** Path of the subscription log inside the durable directory. *)
+val subscription_log_path : t -> string
+
+(** Path of the report-delivery ledger inside the durable directory. *)
+val report_ledger_path : t -> string
+
+(** {2 Journaling} *)
+
+(** [journal t ~stage payload] buffers one operation into the current
+    transaction.  No-op while {!replaying}. *)
+val journal : t -> stage:string -> string -> unit
+
+(** [commit t] appends the buffered operations as one atomic record
+    and flushes; a crash between commits loses whole transactions
+    only.  No-op when the buffer is empty. *)
+val commit : t -> unit
+
+(** [discard t] drops the buffered (uncommitted) operations — used
+    when a simulated crash aborts the transaction in progress. *)
+val discard : t -> unit
+
+val replaying : t -> bool
+
+(** [with_replay t f] runs [f] with journaling suppressed (restore
+    must not re-journal the operations it is applying). *)
+val with_replay : t -> (unit -> 'a) -> 'a
+
+(** {2 Checkpoint & restore} *)
+
+(** [checkpoint t ~snapshot] commits any buffered transaction, writes
+    the next generation's snapshot (temp+rename), flips the manifest,
+    and truncates the WAL by switching to the new generation's (empty)
+    log.  The previous generation's files are removed best-effort. *)
+val checkpoint : t -> snapshot:(string * string) list -> unit
+
+(** [load_latest t] reads the committed generation's snapshot sections
+    and the WAL's committed transactions.  [Error _] when the snapshot
+    is unreadable (a corrupt snapshot is unrecoverable; the WAL tail
+    state is informational — [Torn] is the expected post-crash state). *)
+val load_latest :
+  t -> ((string * string) list * op list list * tail, string) result
+
+(** Counters for observability: transactions committed and bytes
+    appended to the current WAL since opening. *)
+val txns_committed : t -> int
+
+val wal_bytes : t -> int

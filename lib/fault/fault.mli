@@ -19,6 +19,13 @@
 (** The known failure points, with one line on where each fires. *)
 val points : (string * string) list
 
+(** Raised by the system's stage-boundary crash sites when the
+    [crash] point fires; the payload names the boundary (e.g.
+    ["doc"], ["advance"], ["step"]).  Simulates a process kill: the
+    in-progress durable transaction is discarded, so recovery sees
+    exactly what a real kill would have left on disk. *)
+exception Crash of string
+
 (** A validated fault plan: [(point, probability)] pairs, each point
     at most once, probabilities in [0, 1]. *)
 type spec = (string * float) list
@@ -72,3 +79,36 @@ val draw_float : t -> string -> float
 
 (** [injected t point] is how many times [point] has fired. *)
 val injected : t -> string -> int
+
+(** [arm_after t point n] makes [point] fire deterministically on its
+    [n]-th consultation from now (regardless of its rate), then
+    disarm.  The point is created at rate 0 if it was not in the
+    spec.  This is what [simulate --kill-after K] uses to place a
+    crash at an exact, reproducible position.  Raises
+    [Invalid_argument] on [n <= 0] or an unknown point name. *)
+val arm_after : t -> string -> int -> unit
+
+(** {2 Durability}
+
+    Each draw advances a per-point PRNG stream; a warm restart must
+    resume every stream at its exact pre-crash position or the
+    resumed run's failure schedule would diverge from the
+    uninterrupted one.  The injector therefore journals each draw's
+    post-state and snapshots all streams at a checkpoint. *)
+
+(** [set_journal t (Some emit)] calls [emit payload] after every draw
+    with the drawn point's encoded post-draw state. *)
+val set_journal : t -> (string -> unit) option -> unit
+
+(** [encode_snapshot t] captures every point's rate, stream position
+    and fire count. *)
+val encode_snapshot : t -> string
+
+(** [decode_snapshot t payload] restores a snapshot into [t],
+    recreating points absent from [t]'s creation spec.  Raises
+    {!Xy_util.Codec.Malformed} on damage. *)
+val decode_snapshot : t -> string -> unit
+
+(** [apply_op t payload] applies one journaled draw (a point's
+    post-draw state). *)
+val apply_op : t -> string -> unit

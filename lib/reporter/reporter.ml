@@ -1,6 +1,7 @@
 module S = Xy_sublang.S_ast
 module T = Xy_xml.Types
 module Obs = Xy_obs.Obs
+module Codec = Xy_util.Codec
 
 type metrics = {
   m_notifications : Obs.Counter.t;
@@ -25,6 +26,18 @@ type subscription_state = {
   mutable archive : (float * T.element) list;  (** (sent_at, report) *)
 }
 
+(* A durable delivery intent: journaled and committed *before* the
+   sink is invoked, acknowledged after.  A crash in the window leaves
+   the intent pending; [redeliver_pending] re-delivers it with the
+   same sequence number, so consumers dedup instead of losing the
+   report. *)
+type intent = {
+  i_recipient : string;
+  i_subscription : string;
+  i_report : T.element;
+  i_at : float;
+}
+
 type t = {
   clock : Xy_util.Clock.t;
   sink : Sink.t;
@@ -33,7 +46,13 @@ type t = {
   mutable reports_sent : int;
   mutable dropped_by_atmost : int;
   mutable total_buffered : int;
+  mutable next_seq : int;
+      (** global delivery sequence — every sink delivery gets a fresh
+          number, stable across a warm restart *)
+  pending : (int, intent) Hashtbl.t;  (** journaled but unacked *)
   metrics : metrics;
+  mutable journal : (string -> unit) option;
+  mutable commit : (unit -> unit) option;
 }
 
 let stage = "reporter"
@@ -47,6 +66,8 @@ let create ?(obs = Obs.default) ~clock ~sink () =
     reports_sent = 0;
     dropped_by_atmost = 0;
     total_buffered = 0;
+    next_seq = 1;
+    pending = Hashtbl.create 4;
     metrics =
       {
         m_notifications = Obs.counter obs ~stage "notifications";
@@ -57,6 +78,48 @@ let create ?(obs = Obs.default) ~clock ~sink () =
         m_report_size =
           Obs.histogram ~buckets:Obs.size_buckets obs ~stage "report_size";
       };
+    journal = None;
+    commit = None;
+  }
+
+let set_persistence t ~journal ~commit =
+  t.journal <- journal;
+  t.commit <- commit
+
+let emit_op t encode =
+  match t.journal with
+  | None -> ()
+  | Some emit ->
+      let buf = Buffer.create 128 in
+      encode buf;
+      emit (Buffer.contents buf)
+
+let commit_now t = match t.commit with Some f -> f () | None -> ()
+
+(* Notification bodies are node lists; wrapping them in a throwaway
+   element makes the stock printer/parser the codec. *)
+let encode_body body =
+  Xy_xml.Printer.element_to_string (T.element "N" body)
+
+let decode_body s = (Xy_xml.Parser.parse_element s).T.children
+
+let encode_notification buf (n : Notification.t) =
+  Codec.bool buf (n.Notification.source = Notification.Monitoring);
+  Codec.string buf n.Notification.tag;
+  Codec.float buf n.Notification.at;
+  Codec.string buf (encode_body n.Notification.body)
+
+let decode_notification r =
+  let monitoring = Codec.read_bool r in
+  let tag = Codec.read_string r in
+  let at = Codec.read_float r in
+  let body = decode_body (Codec.read_string r) in
+  {
+    Notification.source =
+      (if monitoring then Notification.Monitoring else Notification.Continuous);
+    tag;
+    body;
+    at;
   }
 
 let set_buffered t state n =
@@ -74,8 +137,18 @@ let shortest_frequency spec =
       | S.R_count _ | S.R_count_query _ | S.R_immediate -> acc)
     None spec.S.r_when
 
+let journal_deadline t subscription state =
+  emit_op t (fun buf ->
+      Codec.string buf "p";
+      Codec.string buf subscription;
+      match state.periodic_deadline with
+      | Some d ->
+          Codec.bool buf true;
+          Codec.float buf d
+      | None -> Codec.bool buf false)
+
 let register t ~subscription ~recipient spec =
-  match Hashtbl.find_opt t.subscriptions subscription with
+  (match Hashtbl.find_opt t.subscriptions subscription with
   | Some state ->
       state.spec <- spec;
       if not (List.mem recipient state.recipients) then
@@ -99,7 +172,13 @@ let register t ~subscription ~recipient spec =
               (shortest_frequency spec);
           pending_rate_limited = false;
           archive = [];
-        }
+        });
+  (* Log recovery re-registers at the recovery clock; journaling the
+     authentic deadline lets replay correct it. *)
+  match Hashtbl.find_opt t.subscriptions subscription with
+  | Some state when state.periodic_deadline <> None ->
+      journal_deadline t subscription state
+  | Some _ | None -> ()
 
 let add_recipient t ~subscription ~recipient =
   match Hashtbl.find_opt t.subscriptions subscription with
@@ -145,7 +224,29 @@ let rate_allows state ~now =
   | Some (S.At_frequency _), None -> true
   | Some (S.At_count _), _ | None, _ -> true
 
-(* Build and send the report; empties the buffer. *)
+(* Apply the state effects of sending a report: the buffer empties,
+   the rate-limit clock restarts, the archive grows.  Shared between
+   the live [fire] path and WAL replay. *)
+let apply_fire_state t state ~now ~report =
+  state.buffer <- [];
+  set_buffered t state 0;
+  state.tag_counts <- [];
+  state.last_report_at <- Some now;
+  state.pending_rate_limited <- false;
+  (match state.spec.S.r_archive with
+  | Some _ -> state.archive <- (now, report) :: state.archive
+  | None -> ());
+  t.reports_sent <- t.reports_sent + 1;
+  Obs.Counter.incr t.metrics.m_reports
+
+(* Build and send the report; empties the buffer.
+
+   Durability protocol (at-least-once): the fire's state effects and
+   one delivery intent per recipient are journaled and *committed*
+   before the sink runs; each delivery is acknowledged (and the acks
+   committed) after.  A crash anywhere in the window leaves committed
+   intents without acks — [redeliver_pending] re-sends those with the
+   same sequence numbers, and consumers dedup by seq. *)
 let fire ?trace t subscription state =
   let span =
     Option.map
@@ -165,22 +266,47 @@ let fire ?trace t subscription state =
   let report = T.element "Report" report_body in
   Obs.Histogram.observe t.metrics.m_report_size
     (float_of_int (List.length notifications));
-  state.buffer <- [];
-  set_buffered t state 0;
-  state.tag_counts <- [];
-  state.last_report_at <- Some now;
-  state.pending_rate_limited <- false;
-  (* Archive before delivery so even undeliverable reports are kept. *)
-  (match state.spec.S.r_archive with
-  | Some _ -> state.archive <- (now, report) :: state.archive
-  | None -> ());
+  let rendered = Xy_xml.Printer.element_to_string report in
+  emit_op t (fun buf ->
+      Codec.string buf "f";
+      Codec.string buf subscription;
+      Codec.float buf now;
+      Codec.string buf rendered);
+  apply_fire_state t state ~now ~report;
+  (* Intents: one per recipient, each with a fresh global seq. *)
+  let targets =
+    List.map
+      (fun recipient ->
+        let seq = t.next_seq in
+        t.next_seq <- t.next_seq + 1;
+        Hashtbl.replace t.pending seq
+          { i_recipient = recipient; i_subscription = subscription;
+            i_report = report; i_at = now };
+        emit_op t (fun buf ->
+            Codec.string buf "F";
+            Codec.int buf seq;
+            Codec.string buf recipient;
+            Codec.string buf subscription;
+            Codec.float buf now;
+            Codec.string buf rendered);
+        (seq, recipient))
+      state.recipients
+  in
+  commit_now t;
   Obs.Histogram.time t.metrics.m_delivery_latency (fun () ->
       List.iter
-        (fun recipient ->
-          t.sink.Sink.deliver { Sink.recipient; subscription; report; at = now })
-        state.recipients);
-  t.reports_sent <- t.reports_sent + 1;
-  Obs.Counter.incr t.metrics.m_reports;
+        (fun (seq, recipient) ->
+          t.sink.Sink.deliver
+            { Sink.seq; recipient; subscription; report; at = now })
+        targets);
+  List.iter
+    (fun (seq, _) ->
+      Hashtbl.remove t.pending seq;
+      emit_op t (fun buf ->
+          Codec.string buf "A";
+          Codec.int buf seq))
+    targets;
+  commit_now t;
   Option.iter
     (Xy_trace.Trace.end_span
        ~attrs:
@@ -195,7 +321,12 @@ let maybe_fire ?trace t subscription state =
   let now = Xy_util.Clock.now t.clock in
   if count_condition_holds state then begin
     if rate_allows state ~now then fire ?trace t subscription state
-    else state.pending_rate_limited <- true
+    else if not state.pending_rate_limited then begin
+      state.pending_rate_limited <- true;
+      emit_op t (fun buf ->
+          Codec.string buf "l";
+          Codec.string buf subscription)
+    end
   end
 
 let notify ?trace t ~subscription notification =
@@ -217,26 +348,48 @@ let notify ?trace t ~subscription notification =
        in
        if capped then begin
          t.dropped_by_atmost <- t.dropped_by_atmost + 1;
-         Obs.Counter.incr t.metrics.m_dropped
+         Obs.Counter.incr t.metrics.m_dropped;
+         emit_op t (fun buf ->
+             Codec.string buf "x";
+             Codec.string buf subscription)
        end
        else begin
          state.buffer <- notification :: state.buffer;
          set_buffered t state (state.buffered + 1);
-         bump_tag state notification.Notification.tag
+         bump_tag state notification.Notification.tag;
+         emit_op t (fun buf ->
+             Codec.string buf "n";
+             Codec.string buf subscription;
+             encode_notification buf notification)
        end);
       maybe_fire ?trace t subscription state
 
-let gc_archive t state =
+let gc_archive t subscription state =
+  let trim horizon =
+    let before = List.length state.archive in
+    state.archive <- List.filter (fun (at, _) -> at >= horizon) state.archive;
+    if List.length state.archive <> before then
+      emit_op t (fun buf ->
+          Codec.string buf "g";
+          Codec.string buf subscription;
+          Codec.float buf horizon)
+  in
   match state.spec.S.r_archive with
-  | None -> state.archive <- []
-  | Some f ->
-      let horizon = Xy_util.Clock.now t.clock -. S.seconds f in
-      state.archive <- List.filter (fun (at, _) -> at >= horizon) state.archive
+  | None -> trim infinity
+  | Some f -> trim (Xy_util.Clock.now t.clock -. S.seconds f)
+
+(* Subscriptions in a deterministic order: firing order assigns the
+   global delivery seq (and some sinks advance the clock per mail), so
+   it must be a function of the subscription *set*, not of hashtable
+   internals that differ after a warm restart. *)
+let sorted_subscriptions t =
+  List.sort compare
+    (Hashtbl.fold (fun name state acc -> (name, state) :: acc) t.subscriptions [])
 
 let tick t =
   let now = Xy_util.Clock.now t.clock in
-  Hashtbl.iter
-    (fun subscription state ->
+  List.iter
+    (fun (subscription, state) ->
       (* Periodic disjuncts. *)
       (match state.periodic_deadline with
       | Some deadline when now >= deadline ->
@@ -244,14 +397,15 @@ let tick t =
           let period = Option.get (shortest_frequency state.spec) in
           let rec advance d = if d <= now then advance (d +. period) else d in
           state.periodic_deadline <- Some (advance deadline);
+          journal_deadline t subscription state;
           if state.buffered > 0 && rate_allows state ~now then
             fire t subscription state
       | Some _ | None -> ());
       (* A count condition held back by atmost-frequency. *)
       if state.pending_rate_limited && rate_allows state ~now && state.buffered > 0
       then fire t subscription state;
-      gc_archive t state)
-    t.subscriptions
+      gc_archive t subscription state)
+    (sorted_subscriptions t)
 
 let buffered_count t ~subscription =
   match Hashtbl.find_opt t.subscriptions subscription with
@@ -262,6 +416,211 @@ let archived t ~subscription =
   match Hashtbl.find_opt t.subscriptions subscription with
   | Some state -> List.rev_map snd state.archive
   | None -> []
+
+(* {2 Durable snapshot / replay} *)
+
+let pending_count t = Hashtbl.length t.pending
+
+let redeliver_pending t =
+  let intents =
+    List.sort compare
+      (Hashtbl.fold (fun seq i acc -> (seq, i) :: acc) t.pending [])
+  in
+  List.iter
+    (fun (seq, i) ->
+      t.sink.Sink.deliver
+        {
+          Sink.seq;
+          recipient = i.i_recipient;
+          subscription = i.i_subscription;
+          report = i.i_report;
+          at = i.i_at;
+        };
+      Hashtbl.remove t.pending seq;
+      emit_op t (fun buf ->
+          Codec.string buf "A";
+          Codec.int buf seq))
+    intents;
+  if intents <> [] then commit_now t;
+  List.length intents
+
+let encode_state buf (name, state) =
+  Codec.string buf name;
+  Codec.list buf encode_notification (List.rev state.buffer);
+  Codec.list buf
+    (fun buf (tag, n) ->
+      Codec.string buf tag;
+      Codec.int buf n)
+    state.tag_counts;
+  (match state.last_report_at with
+  | Some at ->
+      Codec.bool buf true;
+      Codec.float buf at
+  | None -> Codec.bool buf false);
+  (match state.periodic_deadline with
+  | Some d ->
+      Codec.bool buf true;
+      Codec.float buf d
+  | None -> Codec.bool buf false);
+  Codec.bool buf state.pending_rate_limited;
+  Codec.list buf
+    (fun buf (at, report) ->
+      Codec.float buf at;
+      Codec.string buf (Xy_xml.Printer.element_to_string report))
+    (List.rev state.archive)
+
+let encode_snapshot t =
+  let buf = Buffer.create 1024 in
+  Codec.int buf t.next_seq;
+  Codec.int buf t.notifications_received;
+  Codec.int buf t.reports_sent;
+  Codec.int buf t.dropped_by_atmost;
+  Codec.list buf
+    (fun buf (seq, i) ->
+      Codec.int buf seq;
+      Codec.string buf i.i_recipient;
+      Codec.string buf i.i_subscription;
+      Codec.float buf i.i_at;
+      Codec.string buf (Xy_xml.Printer.element_to_string i.i_report))
+    (List.sort compare
+       (Hashtbl.fold (fun seq i acc -> (seq, i) :: acc) t.pending []));
+  Codec.list buf encode_state (sorted_subscriptions t);
+  Buffer.contents buf
+
+(* The snapshot restores *state*, not structure: specs and recipients
+   come from subscription-log recovery, which runs first.  Dynamic
+   state of subscriptions the log no longer knows is dropped. *)
+let decode_snapshot t payload =
+  let r = Codec.reader payload in
+  t.next_seq <- Codec.read_int r;
+  t.notifications_received <- Codec.read_int r;
+  t.reports_sent <- Codec.read_int r;
+  t.dropped_by_atmost <- Codec.read_int r;
+  Hashtbl.reset t.pending;
+  let intents =
+    Codec.read_list r (fun r ->
+        let seq = Codec.read_int r in
+        let recipient = Codec.read_string r in
+        let subscription = Codec.read_string r in
+        let at = Codec.read_float r in
+        let report = Xy_xml.Parser.parse_element (Codec.read_string r) in
+        (seq, { i_recipient = recipient; i_subscription = subscription;
+                i_report = report; i_at = at }))
+  in
+  List.iter (fun (seq, i) -> Hashtbl.replace t.pending seq i) intents;
+  let states =
+    Codec.read_list r (fun r ->
+        let name = Codec.read_string r in
+        let buffer = Codec.read_list r decode_notification in
+        let tag_counts =
+          Codec.read_list r (fun r ->
+              let tag = Codec.read_string r in
+              let n = Codec.read_int r in
+              (tag, n))
+        in
+        let last_report_at =
+          if Codec.read_bool r then Some (Codec.read_float r) else None
+        in
+        let periodic_deadline =
+          if Codec.read_bool r then Some (Codec.read_float r) else None
+        in
+        let pending_rate_limited = Codec.read_bool r in
+        let archive =
+          Codec.read_list r (fun r ->
+              let at = Codec.read_float r in
+              let report = Xy_xml.Parser.parse_element (Codec.read_string r) in
+              (at, report))
+        in
+        ( name,
+          buffer,
+          tag_counts,
+          last_report_at,
+          periodic_deadline,
+          pending_rate_limited,
+          archive ))
+  in
+  Codec.expect_end r;
+  List.iter
+    (fun (name, buffer, tag_counts, last, deadline, limited, archive) ->
+      match Hashtbl.find_opt t.subscriptions name with
+      | None -> ()
+      | Some state ->
+          state.buffer <- List.rev buffer;
+          set_buffered t state (List.length buffer);
+          state.tag_counts <- tag_counts;
+          state.last_report_at <- last;
+          state.periodic_deadline <- deadline;
+          state.pending_rate_limited <- limited;
+          state.archive <- List.rev archive)
+    states
+
+(* Replay applies the journaled effects directly — no conditions are
+   re-evaluated and no sink runs, so replay can never double-deliver.
+   Global counters replay even when the subscription has since been
+   unsubscribed (the events did happen); per-subscription state is
+   only touched while the subscription exists. *)
+let apply_op t payload =
+  let r = Codec.reader payload in
+  let with_state name f =
+    match Hashtbl.find_opt t.subscriptions name with
+    | Some state -> f state
+    | None -> ()
+  in
+  (match Codec.read_string r with
+  | "n" ->
+      let name = Codec.read_string r in
+      let notification = decode_notification r in
+      t.notifications_received <- t.notifications_received + 1;
+      Obs.Counter.incr t.metrics.m_notifications;
+      with_state name (fun state ->
+          state.buffer <- notification :: state.buffer;
+          set_buffered t state (state.buffered + 1);
+          bump_tag state notification.Notification.tag)
+  | "x" ->
+      let _name = Codec.read_string r in
+      t.notifications_received <- t.notifications_received + 1;
+      Obs.Counter.incr t.metrics.m_notifications;
+      t.dropped_by_atmost <- t.dropped_by_atmost + 1;
+      Obs.Counter.incr t.metrics.m_dropped
+  | "f" ->
+      let name = Codec.read_string r in
+      let now = Codec.read_float r in
+      let report = Xy_xml.Parser.parse_element (Codec.read_string r) in
+      if Hashtbl.mem t.subscriptions name then
+        with_state name (fun state -> apply_fire_state t state ~now ~report)
+      else begin
+        (* the subscription is gone, but the report was sent *)
+        t.reports_sent <- t.reports_sent + 1;
+        Obs.Counter.incr t.metrics.m_reports
+      end
+  | "F" ->
+      let seq = Codec.read_int r in
+      let recipient = Codec.read_string r in
+      let subscription = Codec.read_string r in
+      let at = Codec.read_float r in
+      let report = Xy_xml.Parser.parse_element (Codec.read_string r) in
+      Hashtbl.replace t.pending seq
+        { i_recipient = recipient; i_subscription = subscription;
+          i_report = report; i_at = at };
+      if seq >= t.next_seq then t.next_seq <- seq + 1
+  | "A" -> Hashtbl.remove t.pending (Codec.read_int r)
+  | "p" ->
+      let name = Codec.read_string r in
+      let deadline =
+        if Codec.read_bool r then Some (Codec.read_float r) else None
+      in
+      with_state name (fun state -> state.periodic_deadline <- deadline)
+  | "l" ->
+      with_state (Codec.read_string r) (fun state ->
+          state.pending_rate_limited <- true)
+  | "g" ->
+      let name = Codec.read_string r in
+      let horizon = Codec.read_float r in
+      with_state name (fun state ->
+          state.archive <-
+            List.filter (fun (at, _) -> at >= horizon) state.archive)
+  | tag -> raise (Codec.Malformed ("unknown reporter op " ^ tag)));
+  Codec.expect_end r
 
 type stats = {
   notifications_received : int;

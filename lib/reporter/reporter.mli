@@ -59,6 +59,46 @@ val buffered_count : t -> subscription:string -> int
     [archive] clause, oldest first. *)
 val archived : t -> subscription:string -> Xy_xml.Types.element list
 
+(** {2 Durability}
+
+    Every delivery carries a global, monotonically increasing sequence
+    number that survives a warm restart.  The fire path journals one
+    delivery *intent* per recipient and commits before the sink runs,
+    then acknowledges after: a crash in the window leaves committed,
+    unacked intents that {!redeliver_pending} re-sends with the same
+    sequence numbers — at-least-once delivery, deduplicated by seq. *)
+
+(** [set_persistence t ~journal ~commit] attaches the durable hooks:
+    [journal] buffers an op into the current transaction, [commit]
+    makes the transaction durable (the fire path calls it around sink
+    delivery).  Pass [None] to detach. *)
+val set_persistence :
+  t -> journal:(string -> unit) option -> commit:(unit -> unit) option -> unit
+
+(** [redeliver_pending t] re-delivers every journaled-but-unacked
+    intent (post-crash), acks them, and returns how many were
+    re-sent. *)
+val redeliver_pending : t -> int
+
+(** [pending_count t] is the number of unacked delivery intents. *)
+val pending_count : t -> int
+
+val encode_snapshot : t -> string
+
+(** [decode_snapshot t payload] restores global counters, the delivery
+    sequence, unacked intents and per-subscription dynamic state
+    (buffers, tag counts, rate-limit clocks, periodic deadlines,
+    archives).  Specs and recipients are *not* in the snapshot — they
+    come from subscription-log recovery, which must run first; state
+    for subscriptions the log no longer knows is dropped.  Raises
+    {!Xy_util.Codec.Malformed} on damage. *)
+val decode_snapshot : t -> string -> unit
+
+(** [apply_op t payload] replays one journaled effect.  Replay applies
+    recorded effects directly (no condition re-evaluation, no sink
+    deliveries), so it can never double-deliver. *)
+val apply_op : t -> string -> unit
+
 type stats = { notifications_received : int; reports_sent : int; dropped_by_atmost : int }
 
 val stats : t -> stats

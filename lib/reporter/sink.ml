@@ -1,4 +1,5 @@
 type delivery = {
+  seq : int;
   recipient : string;
   subscription : string;
   report : Xy_xml.Types.element;
@@ -38,25 +39,19 @@ let index_trailer = "</reports>\n"
 let index_entry seq = Printf.sprintf "  <report href=\"%d.xml\"/>\n" seq
 
 let directory ~root ?written () =
-  let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let ensure_dir path = if not (Sys.file_exists path) then Sys.mkdir path 0o755 in
   let count n = match written with Some w -> w := !w + n | None -> () in
-  let write path content =
-    let oc = open_out_bin path in
+  (* Atomic publication: the report lands under a temp name and is
+     renamed into place, so a crash mid-delivery never leaves a
+     half-written report; the index is only extended *after* the
+     rename, so it never references a missing or partial file. *)
+  let write_atomic path content =
+    let temp = path ^ ".tmp" in
+    let oc = open_out_bin temp in
     output_string oc content;
     close_out oc;
+    Sys.rename temp path;
     count (String.length content)
-  in
-  let full_index path ~subscription ~seq =
-    let buffer = Buffer.create (64 + (32 * seq)) in
-    Buffer.add_string buffer
-      (Printf.sprintf "<reports subscription=\"%s\">\n"
-         (Xy_xml.Printer.escape_attr subscription));
-    for i = 1 to seq do
-      Buffer.add_string buffer (index_entry i)
-    done;
-    Buffer.add_string buffer index_trailer;
-    write path (Buffer.contents buffer)
   in
   let append_index path ~seq =
     let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
@@ -67,18 +62,132 @@ let directory ~root ?written () =
     close_out oc;
     count (String.length addition)
   in
+  let index_has path ~seq =
+    match open_in_bin path with
+    | exception Sys_error _ -> false
+    | ic ->
+        let len = in_channel_length ic in
+        let body = really_input_string ic len in
+        close_in ic;
+        let needle = Printf.sprintf "href=\"%d.xml\"" seq in
+        let nlen = String.length needle in
+        let rec at i =
+          i + nlen <= len && (String.sub body i nlen = needle || at (i + 1))
+        in
+        at 0
+  in
   let deliver d =
     ensure_dir root;
     let dir = Filename.concat root d.subscription in
     ensure_dir dir;
-    let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt counters d.subscription) in
-    Hashtbl.replace counters d.subscription seq;
-    write
-      (Filename.concat dir (Printf.sprintf "%d.xml" seq))
-      (Xy_xml.Printer.element_to_string ~indent:2 d.report);
+    let path = Filename.concat dir (Printf.sprintf "%d.xml" d.seq) in
+    (* File names carry the reporter's global delivery sequence
+       number, so an at-least-once re-delivery after a crash
+       overwrites the same file instead of duplicating the report. *)
+    let existed = Sys.file_exists path in
+    write_atomic path (Xy_xml.Printer.element_to_string ~indent:2 d.report);
     let index_path = Filename.concat dir "index.xml" in
-    if seq = 1 || not (Sys.file_exists index_path) then
-      full_index index_path ~subscription:d.subscription ~seq
-    else append_index index_path ~seq
+    if not (Sys.file_exists index_path) then
+      write_atomic index_path
+        (Printf.sprintf "<reports subscription=\"%s\">\n%s"
+           (Xy_xml.Printer.escape_attr d.subscription)
+           index_trailer);
+    (* Only the re-delivery path pays the containment scan; the
+       normal path keeps its O(1) in-place append. *)
+    if not (existed && index_has index_path ~seq:d.seq) then
+      append_index index_path ~seq:d.seq
   in
   { deliver }
+
+(* {2 The delivery ledger} — an append-only, checksummed record of
+   every delivery, mirroring the Persist framing:
+     E <seq> <at> <recipient_len> <subscription_len> <report_len> <crc>\n
+     <recipient><subscription><report>\n
+   The ledger is observational: it is how a killed-and-restarted run
+   and an uninterrupted one are diffed report-for-report.  Duplicate
+   seq numbers in the ledger are exactly the at-least-once
+   re-deliveries; consumers dedup by seq. *)
+
+type ledger_entry = {
+  l_seq : int;
+  l_at : float;
+  l_recipient : string;
+  l_subscription : string;
+  l_report : string;
+}
+
+let ledger_checksum recipient subscription report =
+  Xy_util.Hashing.signature
+    (recipient ^ "\x00" ^ subscription ^ "\x00" ^ report)
+
+let ledger ~path () =
+  let deliver d =
+    let report = Xy_xml.Printer.element_to_string ~indent:2 d.report in
+    let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+    Printf.fprintf oc "E %d %h %d %d %d %s\n%s%s%s\n" d.seq d.at
+      (String.length d.recipient)
+      (String.length d.subscription)
+      (String.length report)
+      (ledger_checksum d.recipient d.subscription report)
+      d.recipient d.subscription report;
+    close_out oc
+  in
+  { deliver }
+
+type ledger_tail = Ledger_clean | Ledger_torn | Ledger_corrupt
+
+let read_ledger path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ([], Ledger_clean)
+  | ic ->
+      let entries = ref [] in
+      let tail = ref Ledger_clean in
+      let at_eof () = pos_in ic >= in_channel_length ic in
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | header -> (
+            match String.split_on_char ' ' header with
+            | [ "E"; seq; at; rec_len; sub_len; rep_len; crc ] -> (
+                match
+                  ( int_of_string_opt seq,
+                    float_of_string_opt at,
+                    int_of_string_opt rec_len,
+                    int_of_string_opt sub_len,
+                    int_of_string_opt rep_len )
+                with
+                | Some seq, Some at, Some rec_len, Some sub_len, Some rep_len
+                  when rec_len >= 0 && sub_len >= 0 && rep_len >= 0 -> (
+                    let payload_len = rec_len + sub_len + rep_len in
+                    match really_input_string ic (payload_len + 1) with
+                    | exception End_of_file -> tail := Ledger_torn
+                    | payload ->
+                        if payload.[payload_len] <> '\n' then
+                          tail := Ledger_corrupt
+                        else begin
+                          let recipient = String.sub payload 0 rec_len in
+                          let subscription = String.sub payload rec_len sub_len in
+                          let report =
+                            String.sub payload (rec_len + sub_len) rep_len
+                          in
+                          if ledger_checksum recipient subscription report <> crc
+                          then tail := Ledger_corrupt
+                          else begin
+                            entries :=
+                              {
+                                l_seq = seq;
+                                l_at = at;
+                                l_recipient = recipient;
+                                l_subscription = subscription;
+                                l_report = report;
+                              }
+                              :: !entries;
+                            go ()
+                          end
+                        end)
+                | _ -> tail := Ledger_corrupt)
+            | _ -> tail := if at_eof () then Ledger_torn else Ledger_corrupt)
+      in
+      go ();
+      close_in ic;
+      (List.rev !entries, !tail)

@@ -8,6 +8,11 @@
     reproduce the sendmail bottleneck shape. *)
 
 type delivery = {
+  seq : int;
+      (** the reporter's global delivery sequence number: monotonically
+          increasing across all subscriptions, stable across a warm
+          restart — the key consumers dedup at-least-once
+          re-deliveries by *)
   recipient : string;
   subscription : string;
   report : Xy_xml.Types.element;
@@ -41,9 +46,42 @@ val tee : t -> t -> t
     publication which seems more appropriate for very large reports"
     (§3).  Directories are created as needed.
 
+    Publication is atomic: the report is written to a temp file and
+    renamed into place, and the index is extended only after the
+    rename — a crash mid-delivery never leaves a half-written or
+    indexed-but-missing report.  File names carry the delivery [seq],
+    so a post-crash re-delivery overwrites the same file (and is not
+    re-indexed) instead of duplicating the report.
+
     The index is extended in place (the closing tag is overwritten
     with the new entry plus the closing tag), so publishing N reports
     costs O(N) file writes, not O(N²) rewrite work.  [written], when
     given, accumulates the total bytes written — the hook the
     regression test uses to assert that bound. *)
 val directory : root:string -> ?written:int ref -> unit -> t
+
+(** {2 The delivery ledger}
+
+    An append-only, checksummed file recording every delivery —
+    the evidence a crash-restart run is diffed against an
+    uninterrupted one with.  Duplicate [seq] numbers are exactly the
+    at-least-once re-deliveries; consumers dedup by [seq]. *)
+
+type ledger_entry = {
+  l_seq : int;
+  l_at : float;
+  l_recipient : string;
+  l_subscription : string;
+  l_report : string;  (** the report element, rendered *)
+}
+
+(** [ledger ~path ()] appends one checksummed entry per delivery
+    (framing mirrors {!Xy_submgr.Persist}). *)
+val ledger : path:string -> unit -> t
+
+type ledger_tail = Ledger_clean | Ledger_torn | Ledger_corrupt
+
+(** [read_ledger path] scans the ledger, stopping at damage: a torn
+    final entry is the expected post-crash state, mid-log damage is
+    corruption.  A missing file is [([], Ledger_clean)]. *)
+val read_ledger : string -> ledger_entry list * ledger_tail

@@ -442,4 +442,18 @@ let refresh_statements t =
         acc installed.ast.S.refresh)
     t.subscriptions []
 
+let subscription_refresh t ~name =
+  match Hashtbl.find_opt t.subscriptions name with
+  | None -> []
+  | Some installed ->
+      List.map
+        (fun r -> (r.S.r_url, S.seconds r.S.r_freq))
+        installed.ast.S.refresh
+
 let complex_event_count t = Hashtbl.length t.dispatches
+
+let compact_persist t =
+  match t.persist with Some log -> Persist.compact_live log | None -> 0
+
+let persist_size t =
+  match t.persist with Some log -> Persist.log_size log | None -> 0

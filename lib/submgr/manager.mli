@@ -72,6 +72,24 @@ val subscription_count : t -> int
     mention." *)
 val refresh_statements : t -> (string * float) list
 
+(** [subscription_refresh t ~name] is the refresh clauses
+    [(url, period_seconds)] of one live subscription ([[]] when
+    unknown) — what an unsubscribe must subtract from the crawler's
+    refresh ceilings. *)
+val subscription_refresh : t -> name:string -> (string * float) list
+
 (** [complex_event_count t] is the number of live complex events
     (Card(C) from this manager). *)
 val complex_event_count : t -> int
+
+(** {2 Durability} *)
+
+(** [compact_persist t] compacts the attached subscription log in
+    place (see {!Persist.compact_live}); [0] without one.  Called from
+    checkpoints so the log stays proportional to the live
+    subscription set. *)
+val compact_persist : t -> int
+
+(** [persist_size t] is the attached log's size in bytes ([0] without
+    one). *)
+val persist_size : t -> int

@@ -1,7 +1,8 @@
 module Fault = Xy_fault.Fault
 
 type t = {
-  channel : out_channel;
+  path : string;
+  mutable channel : out_channel;
   faults : Fault.t;
   mutable dead : bool;  (** a torn write "crashed" this log *)
 }
@@ -13,6 +14,7 @@ type t = {
 
 let open_log ?(faults = Fault.none) path =
   {
+    path;
     channel = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path;
     faults;
     dead = false;
@@ -121,30 +123,31 @@ let scan path =
 
 let read_all path = fst (scan path)
 
-let replay path =
-  let records = read_all path in
-  (* Drop inserts cancelled by a later delete (and the deletes
-     themselves). *)
-  let rec survives name = function
-    | [] -> true
-    | Delete n :: _ when n = name -> false
-    | Insert { name = n; _ } :: rest when n = name ->
-        (* re-inserted later: this earlier copy is superseded *)
-        ignore rest;
-        false
-    | _ :: rest -> survives name rest
-  in
-  let rec filter = function
-    | [] -> []
-    | Insert { name; _ } :: rest when not (survives name rest) -> filter rest
-    | (Insert _ as record) :: rest -> record :: filter rest
-    | Delete _ :: rest -> filter rest
-  in
-  filter records
+(* Drop inserts cancelled by a later delete or superseded by a later
+   re-insert (and the deletes themselves): only each name's last
+   record matters, and it survives iff it is an insert.  One indexed
+   pass instead of a rescan-the-tail per record — recovery and
+   compaction are hot at 10^5 subscriptions. *)
+let survivors records =
+  let last = Hashtbl.create 1024 in
+  List.iteri
+    (fun i record ->
+      match record with
+      | Insert { name; _ } -> Hashtbl.replace last name i
+      | Delete name -> Hashtbl.remove last name)
+    records;
+  List.filteri
+    (fun i record ->
+      match record with
+      | Insert { name; _ } -> Hashtbl.find_opt last name = Some i
+      | Delete _ -> false)
+    records
+
+let replay path = survivors (read_all path)
 
 let compact path =
   let all = read_all path in
-  let surviving = replay path in
+  let surviving = survivors all in
   let temp = path ^ ".compact" in
   (match
      (* Truncate: a compaction that crashed before its rename leaves a
@@ -155,7 +158,7 @@ let compact path =
          [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
          0o644 temp
      in
-     let log = { channel; faults = Fault.none; dead = false } in
+     let log = { path = temp; channel; faults = Fault.none; dead = false } in
      (try
         List.iter
           (fun record ->
@@ -175,3 +178,27 @@ let compact path =
       (try if Sys.file_exists temp then Sys.remove temp with Sys_error _ -> ());
       raise e);
   List.length all - List.length surviving
+
+(* Compacting a live log: the open channel holds a stale descriptor
+   once the compacted file is renamed into place, so close around the
+   rewrite and reopen for append after.  A dead (torn) log stays
+   closed — compacting it would resurrect a log that is supposed to
+   have crashed. *)
+let compact_live t =
+  if t.dead then 0
+  else begin
+    close_out t.channel;
+    let dropped =
+      match compact t.path with
+      | dropped -> dropped
+      | exception e ->
+          t.channel <-
+            open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.path;
+          raise e
+    in
+    t.channel <-
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.path;
+    dropped
+  end
+
+let log_size t = if t.dead then 0 else out_channel_length t.channel

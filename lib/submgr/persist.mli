@@ -58,3 +58,14 @@ val scan : string -> record list * tail
     compaction removes its temp instead of leaving it behind.  Returns
     the number of records dropped.  The log must not be open. *)
 val compact : string -> int
+
+(** [compact_live t] compacts an *open* log in place: the channel is
+    closed around the atomic rewrite and reopened for append after
+    (also when the rewrite fails).  Bounds log growth at checkpoints —
+    without it the log retains every superseded insert forever.  A
+    dead (torn) log is left untouched and [0] is returned. *)
+val compact_live : t -> int
+
+(** [log_size t] is the current size in bytes of an open log
+    ([0] when dead). *)
+val log_size : t -> int

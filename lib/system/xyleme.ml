@@ -12,6 +12,8 @@ module Manager = Xy_submgr.Manager
 module Obs = Xy_obs.Obs
 module Trace = Xy_trace.Trace
 module Fault = Xy_fault.Fault
+module Durable = Xy_durable.Durable
+module Codec = Xy_util.Codec
 
 type t = {
   obs : Obs.t;
@@ -33,6 +35,13 @@ type t = {
   self_monitor_period : float option;
   mutable self_monitor_deadline : float option;
   mutable alerts_sent : int;
+  durable : Durable.t option;
+  mutable steps_done : int;
+  mutable mid_step : bool;
+      (** an [advance] has committed since the last completed
+          [crawl_step] — lets a resumed run know whether to advance
+          again (journaled, so a kill between the two cannot
+          double-advance the clock) *)
   m_ingested : Obs.Counter.t;
   m_ingest_latency : Obs.Histogram.t;
   m_quarantined : Obs.Counter.t;
@@ -79,18 +88,117 @@ let warehouse_view t =
   in
   T.element "warehouse" children
 
-let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry () =
+(* ------------------------------------------------------------------ *)
+(* Durable plumbing.  All stage journaling goes through per-stage
+   hooks installed by [attach_hooks]; the system's own state (clock,
+   step counter, warehouse loads) journals here under the [system] and
+   [warehouse] stage tags. *)
+
+let journal_op t ~stage encode =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      let buf = Buffer.create 64 in
+      encode buf;
+      Durable.journal d ~stage (Buffer.contents buf)
+
+let commit_txn t = match t.durable with Some d -> Durable.commit d | None -> ()
+
+(* A consultation of the [crash] fault point: a stage boundary the
+   kill-at-any-point tests can die at.  The transaction in progress is
+   discarded — exactly what a real kill would do to unflushed state. *)
+let crash_point t label =
+  if Fault.fire t.faults "crash" then begin
+    Option.iter Durable.discard t.durable;
+    Log.warn (fun m -> m "injected crash at %s" label);
+    raise (Fault.Crash label)
+  end
+
+let journal_counters t =
+  journal_op t ~stage:"system" (fun buf ->
+      let ms = Mqp.stats t.mqp in
+      Codec.string buf "c";
+      Codec.int buf t.alerts_sent;
+      Codec.int buf ms.Mqp.alerts_processed;
+      Codec.int buf ms.Mqp.notifications_emitted)
+
+let journal_self_monitor_deadline t =
+  journal_op t ~stage:"system" (fun buf ->
+      Codec.string buf "M";
+      match t.self_monitor_deadline with
+      | Some d ->
+          Codec.bool buf true;
+          Codec.float buf d
+      | None -> Codec.bool buf false)
+
+let encode_system t =
+  let buf = Buffer.create 64 in
+  Codec.float buf (Xy_util.Clock.now t.clock);
+  Codec.int buf t.steps_done;
+  Codec.bool buf t.mid_step;
+  Codec.int buf t.alerts_sent;
+  (match t.self_monitor_deadline with
+  | Some d ->
+      Codec.bool buf true;
+      Codec.float buf d
+  | None -> Codec.bool buf false);
+  let ms = Mqp.stats t.mqp in
+  Codec.int buf ms.Mqp.alerts_processed;
+  Codec.int buf ms.Mqp.notifications_emitted;
+  Buffer.contents buf
+
+let decode_system t payload =
+  let r = Codec.reader payload in
+  Xy_util.Clock.set t.clock (Codec.read_float r);
+  t.steps_done <- Codec.read_int r;
+  t.mid_step <- Codec.read_bool r;
+  t.alerts_sent <- Codec.read_int r;
+  t.self_monitor_deadline <-
+    (if Codec.read_bool r then Some (Codec.read_float r) else None);
+  let alerts_processed = Codec.read_int r in
+  let notifications_emitted = Codec.read_int r in
+  Codec.expect_end r;
+  Mqp.restore_counters t.mqp ~alerts_processed ~notifications_emitted
+
+let snapshot_sections t =
+  [
+    ("system", encode_system t);
+    ("fault", Fault.encode_snapshot t.faults);
+    ("web", Xy_crawler.Synthetic_web.encode_snapshot t.web);
+    ("warehouse", Store.encode_snapshot t.store);
+    ("queue", Xy_crawler.Fetch_queue.encode_snapshot t.queue);
+    ("crawler", Xy_crawler.Crawler.encode_snapshot t.crawler);
+    ("trigger", Xy_trigger.Trigger_engine.encode_snapshot t.trigger);
+    ("reporter", Xy_reporter.Reporter.encode_snapshot t.reporter);
+  ]
+
+let attach_hooks t d =
+  let j stage = Some (fun payload -> Durable.journal d ~stage payload) in
+  Xy_crawler.Fetch_queue.set_journal t.queue (j "queue");
+  Xy_crawler.Crawler.set_journal t.crawler (j "crawler");
+  Xy_trigger.Trigger_engine.set_journal t.trigger (j "trigger");
+  Fault.set_journal t.faults (j "fault");
+  Xy_reporter.Reporter.set_persistence t.reporter ~journal:(j "reporter")
+    ~commit:(Some (fun () -> Durable.commit d))
+
+(* ------------------------------------------------------------------ *)
+
+let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
+    ?self_monitor_period ?fault_plan ?retry ~durable () =
   (* Wall-clock latencies: xy_obs itself is zero-dependency, so the
      high-resolution timer is installed here, where unix is linked. *)
   Obs.set_timer Unix.gettimeofday;
   Trace.set_timer Unix.gettimeofday;
   let obs = match obs with Some o -> o | None -> Obs.create () in
   (* The failure schedule shares the system seed: one (seed, spec)
-     pair pins the whole run, faults included. *)
+     pair pins the whole run, faults included.  A durable system
+     always carries a real injector (even with an empty spec): the
+     [crash] point and the restored fault streams must never live in
+     the shared {!Fault.none}. *)
   let faults =
     match fault_plan with
-    | None | Some [] -> Fault.none
+    | None | Some [] ->
+        if durable = None then Fault.none else Fault.create ~obs ~seed []
     | Some spec -> Fault.create ~obs ~seed spec
   in
   let clock = Xy_util.Clock.create () in
@@ -139,10 +247,19 @@ let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
       self_monitor_deadline =
         Option.map (fun p -> Xy_util.Clock.now clock +. p) self_monitor_period;
       alerts_sent = 0;
+      durable;
+      steps_done = 0;
+      mid_step = false;
       m_ingested = Obs.counter obs ~stage:"system" "ingested";
       m_ingest_latency = Obs.histogram obs ~stage:"system" "ingest_latency";
       m_quarantined = Obs.counter obs ~stage:"fault" "quarantined";
     }
+  in
+  (* The durable directory owns the subscription log. *)
+  let persist_path =
+    match durable with
+    | Some d -> Some (Durable.subscription_log_path d)
+    | None -> persist_path
   in
   let persist =
     Option.map (Xy_submgr.Persist.open_log ~faults) persist_path
@@ -155,6 +272,16 @@ let create ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
       ~reporter ~run_query ()
   in
   t.manager <- Some manager;
+  t
+
+let create ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
+    ?self_monitor_period ?fault_plan ?retry ?durable_dir () =
+  let durable = Option.map Durable.open_fresh durable_dir in
+  let t =
+    make ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
+      ?self_monitor_period ?fault_plan ?retry ~durable ()
+  in
+  Option.iter (attach_hooks t) durable;
   t
 
 let obs t = t.obs
@@ -172,6 +299,9 @@ let domains t = t.domains
 let chain t = t.chain
 let web t = t.web
 let queue t = t.queue
+let steps_done t = t.steps_done
+let durable_dir t = Option.map Durable.dir t.durable
+let report_ledger_path t = Option.map Durable.report_ledger_path t.durable
 
 let apply_refresh_statements t =
   List.iter
@@ -183,16 +313,35 @@ let subscribe t ~owner ~text =
   (match result with
   | Ok name ->
       Log.info (fun m -> m "subscribed %s (owner %s)" name owner);
-      apply_refresh_statements t
+      apply_refresh_statements t;
+      commit_txn t
   | Error e ->
       Log.warn (fun m -> m "subscription rejected: %s" (Manager.error_to_string e)));
   result
 
-let unsubscribe t ~name = Manager.unsubscribe (manager t) ~name
+let unsubscribe t ~name =
+  (* Capture the departing subscription's refresh clauses first: its
+     ceiling contributions must be withdrawn, not leak into the
+     refresh schedule forever. *)
+  let refresh = Manager.subscription_refresh (manager t) ~name in
+  match Manager.unsubscribe (manager t) ~name with
+  | Error _ as e -> e
+  | Ok () ->
+      List.iter
+        (fun (url, _period) -> Xy_crawler.Fetch_queue.reset_ceiling t.queue ~url)
+        refresh;
+      (* remaining subscriptions re-assert what they still demand *)
+      apply_refresh_statements t;
+      commit_txn t;
+      Ok ()
 
 let update t ~name ~owner ~text =
   let result = Manager.update (manager t) ~name ~owner ~text in
-  (match result with Ok () -> apply_refresh_statements t | Error _ -> ());
+  (match result with
+  | Ok () ->
+      apply_refresh_statements t;
+      commit_txn t
+  | Error _ -> ());
   result
 
 let recover t path = Manager.recover (manager t) path
@@ -203,6 +352,14 @@ type ingest_outcome = {
   matched : int list;
 }
 
+let kind_tag = function Loader.Xml -> 0 | Loader.Html -> 1 | Loader.Auto -> 2
+
+let kind_of_tag = function
+  | 0 -> Loader.Xml
+  | 1 -> Loader.Html
+  | 2 -> Loader.Auto
+  | n -> raise (Codec.Malformed (Printf.sprintf "unknown content kind %d" n))
+
 let ingest ?trace t ~url ~content ~kind =
   Obs.Counter.incr t.m_ingested;
   Obs.Histogram.time t.m_ingest_latency @@ fun () ->
@@ -210,6 +367,16 @@ let ingest ?trace t ~url ~content ~kind =
     Trace.wrap trace ~stage:"warehouse" ~name:"load" @@ fun () ->
     Loader.load t.loader ~url ~content ~kind
   in
+  (* Journal the load before the alerter chain runs: replay re-applies
+     it through the Loader alone — notifications and reports are
+     replayed from their own journaled ops, never re-derived, so a
+     restore cannot double-notify. *)
+  journal_op t ~stage:"warehouse" (fun buf ->
+      Codec.string buf "L";
+      Codec.string buf url;
+      Codec.int buf (kind_tag kind);
+      Codec.string buf content;
+      Codec.float buf (Xy_util.Clock.now t.clock));
   match Chain.process ?trace t.chain ~result ~content with
   | None -> { status = result.Loader.status; alerted = false; matched = [] }
   | Some alert ->
@@ -223,6 +390,7 @@ let ingest ?trace t ~url ~content ~kind =
             trace;
           }
       in
+      journal_counters t;
       if matched <> [] then
         Log.debug (fun m ->
             m "%s matched %d complex event(s)" url (List.length matched));
@@ -235,6 +403,10 @@ let ingest_missing ?trace t ~url =
   match Loader.delete t.loader ~url with
   | None -> ()
   | Some meta -> (
+      journal_op t ~stage:"warehouse" (fun buf ->
+          Codec.string buf "X";
+          Codec.string buf url;
+          Codec.float buf (Xy_util.Clock.now t.clock));
       match Chain.process_deleted ?trace t.chain ~meta ~tree with
       | None -> ()
       | Some alert ->
@@ -246,7 +418,8 @@ let ingest_missing ?trace t ~url =
                  events = alert.Alert.events;
                  payload = Alert.payload_string alert;
                  trace;
-               }))
+               });
+          journal_counters t)
 
 (* Xyleme monitors itself: render the current metrics snapshot and
    trace summary as XML and push them through the ordinary ingest
@@ -268,12 +441,35 @@ let inject_self_monitor t =
 
 let discover t = Xy_crawler.Crawler.discover t.crawler
 
+(* One crawl step, decomposed into transactions so that a kill at any
+   boundary loses at most the unit in progress:
+
+   - the pop is one transaction (a batch marked in-flight atomically);
+   - each fetch is one transaction (failure handling included);
+   - each ingest (load + notifications + conclude) is one transaction;
+   - the closing step marker is one transaction.
+
+   Documents fetched but not yet ingested at the kill are re-queued by
+   restore at their original deadline ([rearm_in_flight]) — a crash
+   can delay a page's processing, never lose it. *)
 let crawl_step t ~limit =
-  let fetches = Xy_crawler.Crawler.step t.crawler ~limit in
+  crash_point t "crawl-start";
+  let urls = Xy_crawler.Fetch_queue.pop_due t.queue ~limit in
+  commit_txn t;
+  let fetches =
+    List.filter_map
+      (fun url ->
+        crash_point t ("fetch:" ^ url);
+        let fetch = Xy_crawler.Crawler.fetch_one t.crawler ~url in
+        commit_txn t;
+        fetch)
+      urls
+  in
   List.iter
     (fun fetch ->
       let url = fetch.Xy_crawler.Crawler.url in
       let trace = fetch.Xy_crawler.Crawler.trace in
+      crash_point t ("ingest:" ^ url);
       (match fetch.Xy_crawler.Crawler.content with
       | None -> ingest_missing ?trace t ~url
       | Some content ->
@@ -302,18 +498,35 @@ let crawl_step t ~limit =
           Xy_crawler.Crawler.conclude t.crawler ~url ~changed);
       (* The document's synchronous journey ends here; reports held
          back by buffering fire from [tick] without attribution. *)
-      Option.iter Trace.finish trace)
+      Option.iter Trace.finish trace;
+      commit_txn t)
     fetches;
+  crash_point t "step-end";
+  t.steps_done <- t.steps_done + 1;
+  t.mid_step <- false;
+  journal_op t ~stage:"system" (fun buf ->
+      Codec.string buf "S";
+      Codec.int buf t.steps_done;
+      Codec.float buf (Xy_util.Clock.now t.clock));
+  commit_txn t;
   List.length fetches
 
 let advance t ~seconds =
+  crash_point t "advance";
+  (* The [A] op leads the transaction: replay advances the clock and
+     re-evolves the web (its PRNG stream position is part of the
+     snapshot, so the draws repeat exactly) before applying the tick
+     effects journaled after it. *)
+  journal_op t ~stage:"system" (fun buf ->
+      Codec.string buf "A";
+      Codec.float buf seconds);
   Xy_util.Clock.advance t.clock seconds;
   ignore (Xy_crawler.Synthetic_web.evolve t.web ~elapsed:seconds);
   (* newly born pages become crawlable *)
   discover t;
   Xy_trigger.Trigger_engine.tick t.trigger;
   Xy_reporter.Reporter.tick t.reporter;
-  match t.self_monitor_period, t.self_monitor_deadline with
+  (match t.self_monitor_period, t.self_monitor_deadline with
   | Some period, Some deadline ->
       let now = Xy_util.Clock.now t.clock in
       if now >= deadline then begin
@@ -322,9 +535,12 @@ let advance t ~seconds =
            replay. *)
         let rec next d = if d <= now then next (d +. period) else d in
         t.self_monitor_deadline <- Some (next deadline);
+        journal_self_monitor_deadline t;
         ignore (inject_self_monitor t)
       end
-  | _ -> ()
+  | _ -> ());
+  t.mid_step <- true;
+  commit_txn t
 
 let run t ~days ~step ~fetch_limit =
   discover t;
@@ -334,6 +550,176 @@ let run t ~days ~step ~fetch_limit =
     advance t ~seconds:step;
     ignore (crawl_step t ~limit:fetch_limit)
   done
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint & restore *)
+
+type checkpoint_info = { generation : int; compacted_records : int }
+
+let checkpoint t =
+  match t.durable with
+  | None -> invalid_arg "Xyleme.checkpoint: created without ~durable_dir"
+  | Some d ->
+      let compacted_records = Manager.compact_persist (manager t) in
+      Durable.checkpoint d ~snapshot:(snapshot_sections t);
+      { generation = Durable.generation d; compacted_records }
+
+(* Same schedule as [run], but driven by the journaled position, so a
+   restored system picks up exactly where the killed one stopped: a
+   committed advance is not repeated ([mid_step]), completed steps are
+   not re-crawled ([steps_done]). *)
+let run_resumable ?(checkpoint_every = 0) t ~days ~step ~fetch_limit =
+  discover t;
+  let total = days *. 86400. in
+  let steps = int_of_float (ceil (total /. step)) in
+  while t.steps_done < steps do
+    if not t.mid_step then advance t ~seconds:step;
+    ignore (crawl_step t ~limit:fetch_limit);
+    if
+      checkpoint_every > 0
+      && t.steps_done mod checkpoint_every = 0
+      && t.durable <> None
+    then ignore (checkpoint t)
+  done
+
+let apply_system_op t payload =
+  let r = Codec.reader payload in
+  (match Codec.read_string r with
+  | "A" ->
+      let seconds = Codec.read_float r in
+      Xy_util.Clock.advance t.clock seconds;
+      ignore (Xy_crawler.Synthetic_web.evolve t.web ~elapsed:seconds);
+      t.mid_step <- true
+  | "S" ->
+      t.steps_done <- Codec.read_int r;
+      Xy_util.Clock.set t.clock (Codec.read_float r);
+      t.mid_step <- false
+  | "c" ->
+      t.alerts_sent <- Codec.read_int r;
+      let alerts_processed = Codec.read_int r in
+      let notifications_emitted = Codec.read_int r in
+      Mqp.restore_counters t.mqp ~alerts_processed ~notifications_emitted
+  | "M" ->
+      t.self_monitor_deadline <-
+        (if Codec.read_bool r then Some (Codec.read_float r) else None)
+  | tag -> raise (Codec.Malformed ("unknown system op " ^ tag)));
+  Codec.expect_end r
+
+(* Warehouse ops replay through the Loader alone — no alerter chain,
+   no MQP, no reporter: those stages replay their own journaled ops,
+   so the restored pipeline cannot double-notify. *)
+let apply_warehouse_op t payload =
+  let r = Codec.reader payload in
+  (match Codec.read_string r with
+  | "L" ->
+      let url = Codec.read_string r in
+      let kind = kind_of_tag (Codec.read_int r) in
+      let content = Codec.read_string r in
+      let at = Codec.read_float r in
+      Xy_util.Clock.set t.clock at;
+      (try ignore (Loader.load t.loader ~url ~content ~kind)
+       with Loader.Rejected _ -> ())
+  | "X" ->
+      let url = Codec.read_string r in
+      let at = Codec.read_float r in
+      Xy_util.Clock.set t.clock at;
+      ignore (Loader.delete t.loader ~url)
+  | tag -> raise (Codec.Malformed ("unknown warehouse op " ^ tag)));
+  Codec.expect_end r
+
+let apply_replay_op t { Durable.stage; payload } =
+  match stage with
+  | "queue" -> Xy_crawler.Fetch_queue.apply_op t.queue payload
+  | "crawler" -> Xy_crawler.Crawler.apply_op t.crawler payload
+  | "trigger" -> Xy_trigger.Trigger_engine.apply_op t.trigger payload
+  | "reporter" -> Xy_reporter.Reporter.apply_op t.reporter payload
+  | "fault" -> Fault.apply_op t.faults payload
+  | "warehouse" -> apply_warehouse_op t payload
+  | "system" -> apply_system_op t payload
+  | other -> raise (Codec.Malformed ("unknown stage " ^ other))
+
+type restore_info = {
+  generation : int;
+  subscriptions_recovered : int;
+  txns_replayed : int;
+  wal_tail : Durable.tail;
+  requeued_fetches : int;
+  redelivered_reports : int;
+}
+
+let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
+    ?self_monitor_period ?fault_plan ?retry ~dir () =
+  match Durable.open_existing dir with
+  | None -> Error (Printf.sprintf "no durable run in %s (missing MANIFEST)" dir)
+  | Some d -> (
+      match Durable.load_latest d with
+      | Error e -> Error ("snapshot unreadable: " ^ e)
+      | Ok (sections, txns, wal_tail) -> (
+          let t =
+            make ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
+              ?self_monitor_period ?fault_plan ?retry ~durable:(Some d) ()
+          in
+          (* 1. Structure: replay the subscription log.  This rebuilds
+             specs, recipients, triggers, atomic/complex events — at
+             the recovery clock, so dynamic timing state is wrong
+             until the snapshot overrides it. *)
+          let subscriptions_recovered =
+            Manager.recover (manager t) (Durable.subscription_log_path d)
+          in
+          match
+            (* 2. State: the snapshot's sections, then 3. the WAL's
+               committed transactions, in commit order. *)
+            let apply name f =
+              match List.assoc_opt name sections with
+              | Some payload -> f payload
+              | None -> ()
+            in
+            apply "system" (decode_system t);
+            apply "fault" (Fault.decode_snapshot t.faults);
+            apply "web" (Xy_crawler.Synthetic_web.decode_snapshot t.web);
+            apply "warehouse" (Store.decode_snapshot t.store);
+            apply "queue" (Xy_crawler.Fetch_queue.decode_snapshot t.queue);
+            apply "crawler" (Xy_crawler.Crawler.decode_snapshot t.crawler);
+            apply "trigger" (Xy_trigger.Trigger_engine.decode_snapshot t.trigger);
+            apply "reporter" (Xy_reporter.Reporter.decode_snapshot t.reporter);
+            List.iter (List.iter (apply_replay_op t)) txns
+          with
+          | exception Codec.Malformed m ->
+              Error ("damaged durable state: " ^ m)
+          | () ->
+              (* 4. Documents popped but never concluded go back on
+                 the schedule at their original deadline. *)
+              let requeued_fetches =
+                Xy_crawler.Fetch_queue.rearm_in_flight t.queue
+              in
+              (* 5. Checkpoint immediately: the old generation's WAL
+                 may end torn, and nothing must ever append after a
+                 torn record.  This also opens the new generation's
+                 WAL, which journaling needs. *)
+              Durable.checkpoint d ~snapshot:(snapshot_sections t);
+              attach_hooks t d;
+              (* 6. At-least-once: re-send committed, unacked delivery
+                 intents (consumers dedup by seq). *)
+              let redelivered_reports =
+                Xy_reporter.Reporter.redeliver_pending t.reporter
+              in
+              Log.info (fun m ->
+                  m
+                    "restored %s: generation %d, %d subscription(s), %d \
+                     txn(s) replayed, %d fetch(es) re-queued, %d report(s) \
+                     re-delivered"
+                    dir (Durable.generation d) subscriptions_recovered
+                    (List.length txns) requeued_fetches redelivered_reports);
+              Ok
+                ( t,
+                  {
+                    generation = Durable.generation d;
+                    subscriptions_recovered;
+                    txns_replayed = List.length txns;
+                    wal_tail;
+                    requeued_fetches;
+                    redelivered_reports;
+                  } )))
 
 type stats = {
   documents_fetched : int;

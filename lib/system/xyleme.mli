@@ -33,7 +33,15 @@ type t
     {!Xy_crawler.Crawler.default_retry}).  Documents the loader
     rejects as unparseable (e.g. the [malformed] point fired) are
     quarantined: counted under [fault/quarantined], logged, and
-    skipped — never fatal. *)
+    skipped — never fatal.
+
+    [durable_dir] makes the whole system durable: the directory is
+    (re)initialised ({!Xy_durable.Durable.open_fresh}), the
+    subscription log lives inside it (overriding [persist_path]), and
+    every state change is journaled to a write-ahead log so that
+    {!restore} can warm-restart the system after a crash.  Checkpoint
+    with {!checkpoint}; a durable system always carries a real fault
+    injector so the [crash] point can be armed. *)
 val create :
   ?seed:int ->
   ?algorithm:Xy_core.Mqp.algorithm ->
@@ -46,6 +54,7 @@ val create :
   ?self_monitor_period:float ->
   ?fault_plan:Xy_fault.Fault.spec ->
   ?retry:Xy_crawler.Crawler.retry_policy ->
+  ?durable_dir:string ->
   unit ->
   t
 
@@ -76,6 +85,18 @@ val domains : t -> Xy_warehouse.Domains.t
 val chain : t -> Xy_alerters.Chain.t
 val web : t -> Xy_crawler.Synthetic_web.t
 val queue : t -> Xy_crawler.Fetch_queue.t
+
+(** [steps_done t] counts completed {!crawl_step}s (journaled, so a
+    restored system knows where the schedule left off). *)
+val steps_done : t -> int
+
+(** [durable_dir t] is the durable directory, when the system has one. *)
+val durable_dir : t -> string option
+
+(** [report_ledger_path t] is the durable report ledger's path (see
+    {!Xy_reporter.Sink.ledger}); the file exists only once a ledger
+    sink has delivered to it. *)
+val report_ledger_path : t -> string option
 
 (** {2 Subscriptions} *)
 
@@ -140,6 +161,86 @@ val advance : t -> seconds:float -> unit
 (** [run t ~days ~step ~fetch_limit] alternates [advance] and
     [crawl_step] for [days] of virtual time. *)
 val run : t -> days:float -> step:float -> fetch_limit:int -> unit
+
+(** [run_resumable t ~days ~step ~fetch_limit] is {!run} driven by the
+    journaled schedule position: on a {!restore}d system it continues
+    from the step the killed run died in (without repeating a
+    committed [advance]); an uninterrupted call behaves exactly like
+    {!run}.  [checkpoint_every] (steps, default [0] = never)
+    checkpoints a durable system as it goes. *)
+val run_resumable :
+  ?checkpoint_every:int ->
+  t ->
+  days:float ->
+  step:float ->
+  fetch_limit:int ->
+  unit
+
+(** {2 Checkpoint & warm restart}
+
+    A durable system (created with [durable_dir]) journals every
+    committed state change into a write-ahead log and can snapshot the
+    whole pipeline into a new generation.  After a crash — including a
+    [kill -9] at an arbitrary point — {!restore} rebuilds the system
+    from [MANIFEST] + snapshot + WAL:
+
+    - no subscribed URL, subscription, or buffered notification is
+      lost;
+    - report delivery is at-least-once: committed-but-unacked
+      deliveries are re-sent with their original sequence numbers, so
+      consumers that dedup by [seq] (e.g. {!Xy_reporter.Sink.directory},
+      or a {!Xy_reporter.Sink.ledger} read back with
+      {!Xy_reporter.Sink.read_ledger}) never observe a duplicate;
+    - documents popped from the fetch queue but not yet processed are
+      re-queued at their original deadline.
+
+    Not persisted (documented trade-offs): per-subscription
+    {!Xy_alerters.Result_delta} tracker state, {!Store.history}
+    windows, and self-monitor metric counters — a restored run's
+    health documents restart from zero. *)
+
+type checkpoint_info = {
+  generation : int;  (** the new current generation *)
+  compacted_records : int;
+      (** subscription-log records dropped by compaction *)
+}
+
+(** [checkpoint t] snapshots every stage into the next generation,
+    truncates the WAL, and compacts the subscription log.  Raises
+    [Invalid_argument] on a non-durable system. *)
+val checkpoint : t -> checkpoint_info
+
+type restore_info = {
+  generation : int;  (** generation after the post-restore checkpoint *)
+  subscriptions_recovered : int;
+  txns_replayed : int;  (** committed WAL transactions re-applied *)
+  wal_tail : Xy_durable.Durable.tail;
+      (** what the WAL's end looked like ([Torn] after a mid-write kill) *)
+  requeued_fetches : int;  (** in-flight fetches re-armed *)
+  redelivered_reports : int;  (** unacked report deliveries re-sent *)
+}
+
+(** [restore ~dir ()] warm-restarts a durable run: replays the
+    subscription log, loads the latest snapshot, re-applies the WAL's
+    committed transactions, re-arms in-flight fetches, checkpoints
+    into a fresh generation, and re-delivers unacked reports.  The
+    configuration arguments must match the original [create] call
+    (they are not persisted).  [Error _] when [dir] holds no durable
+    run or its state is damaged beyond the WAL's torn tail. *)
+val restore :
+  ?seed:int ->
+  ?algorithm:Xy_core.Mqp.algorithm ->
+  ?policy:Xy_sublang.S_compile.policy ->
+  ?sink:Xy_reporter.Sink.t ->
+  ?web:Xy_crawler.Synthetic_web.t ->
+  ?obs:Xy_obs.Obs.t ->
+  ?tracer:Xy_trace.Trace.t ->
+  ?self_monitor_period:float ->
+  ?fault_plan:Xy_fault.Fault.spec ->
+  ?retry:Xy_crawler.Crawler.retry_policy ->
+  dir:string ->
+  unit ->
+  (t * restore_info, string) result
 
 (** {2 Warehouse view} *)
 

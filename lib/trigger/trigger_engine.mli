@@ -29,7 +29,9 @@ val on_notification :
   t -> id:string -> subscription:string -> tag:string -> (unit -> unit) -> unit
 
 (** [cancel t ~id] removes a trigger of either kind (no-op when
-    unknown). *)
+    unknown).  Leftover heap slots are skipped lazily, and a
+    re-registration of the same id is a fresh trigger — old slots can
+    never fire it or eat its runs. *)
 val cancel : t -> id:string -> unit
 
 (** [notify t ~subscription ~tag] fires matching notification
@@ -44,6 +46,34 @@ val tick : t -> unit
 
 (** [next_deadline t] is the earliest pending periodic deadline. *)
 val next_deadline : t -> float option
+
+(** {2 Durability}
+
+    Subscription-log recovery re-installs periodic triggers at
+    [now + period]; the durable layer then moves each deadline back
+    to its authentic pre-crash position. *)
+
+(** [override_deadline t ~id ~at] moves trigger [id]'s next run to
+    [at] (superseding any pending heap slot); [false] when [id] is
+    not installed. *)
+val override_deadline : t -> id:string -> at:float -> bool
+
+(** [deadlines t] is every installed periodic trigger's (id, next
+    deadline), sorted by id. *)
+val deadlines : t -> (string * float) list
+
+(** [set_journal t (Some emit)] journals every deadline movement,
+    cancellation, and run-counter change. *)
+val set_journal : t -> (string -> unit) option -> unit
+
+val encode_snapshot : t -> string
+
+(** [decode_snapshot t payload] restores run counters and overrides
+    the deadlines of installed triggers (unknown ids are skipped).
+    Raises {!Xy_util.Codec.Malformed} on damage. *)
+val decode_snapshot : t -> string -> unit
+
+val apply_op : t -> string -> unit
 
 type stats = { periodic_runs : int; notification_runs : int }
 

@@ -77,6 +77,14 @@ let exponential t ~mean =
   let u = Random.State.float t 1. in
   -.mean *. log (1. -. u)
 
+(* Exact stream serialization: the binary image of the underlying
+   [Random.State.t].  Restoring it resumes the stream at precisely the
+   position it was saved at, which is what replay-based recovery
+   needs — fast-forwarding by draw counts is unsound because different
+   draw kinds consume different amounts of internal state. *)
+let to_string t = Random.State.to_binary_string t
+let of_string s = Random.State.of_binary_string s
+
 let word t =
   let len = 3 + int t 8 in
   String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))

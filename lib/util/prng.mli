@@ -42,6 +42,15 @@ val zipf : t -> n:int -> alpha:float -> int
     used to model document change inter-arrival times. *)
 val exponential : t -> mean:float -> float
 
+(** [to_string t] is the exact binary image of the generator's state;
+    [of_string s] rebuilds a generator resuming the stream at the
+    saved position.  [of_string] raises [Failure] on a corrupt image.
+    Used by the durability layer to checkpoint deterministic streams
+    (synthetic web, fault injection) without replaying their draws. *)
+val to_string : t -> string
+
+val of_string : string -> t
+
 (** [word t] is a random lowercase word of length 3-10; [words t n]
     concatenates [n] of them with spaces. *)
 val word : t -> string

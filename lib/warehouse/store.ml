@@ -137,3 +137,138 @@ let reconstruct t ~url ~version =
           end)
 
 let iter f t = Hashtbl.iter (fun _ r -> f r.entry) t.by_url
+
+(* {2 Durable snapshot}
+
+   A snapshot captures every current version (meta + printed tree)
+   and the id-allocation tables.  Delta history is *not* captured:
+   [reconstruct] starts empty after a restore — the archive window
+   refills as new versions arrive.  Trees are re-labelled with fresh
+   XIDs on decode; XIDs are process-local identities (every consumer
+   strips them before leaving the warehouse), so lineages diverge
+   harmlessly. *)
+
+module Codec = Xy_util.Codec
+
+let encode_opt_string buf = function
+  | Some s ->
+      Codec.bool buf true;
+      Codec.string buf s
+  | None -> Codec.bool buf false
+
+let decode_opt_string r =
+  if Codec.read_bool r then Some (Codec.read_string r) else None
+
+let encode_opt_int buf = function
+  | Some n ->
+      Codec.bool buf true;
+      Codec.int buf n
+  | None -> Codec.bool buf false
+
+let decode_opt_int r =
+  if Codec.read_bool r then Some (Codec.read_int r) else None
+
+let sorted_bindings table =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+let encode_snapshot t =
+  let buf = Buffer.create 4096 in
+  Codec.int buf t.next_docid;
+  Codec.int buf t.next_dtdid;
+  Codec.list buf
+    (fun buf (url, id) ->
+      Codec.string buf url;
+      Codec.int buf id)
+    (sorted_bindings t.docids);
+  Codec.list buf
+    (fun buf (dtd, id) ->
+      Codec.string buf dtd;
+      Codec.int buf id)
+    (sorted_bindings t.dtdids);
+  Codec.list buf
+    (fun buf (url, r) ->
+      let m = r.entry.meta in
+      Codec.string buf url;
+      Codec.int buf m.Meta.docid;
+      Codec.bool buf (m.Meta.kind = Meta.Xml_doc);
+      encode_opt_string buf m.Meta.domain;
+      encode_opt_string buf m.Meta.dtd;
+      encode_opt_int buf m.Meta.dtdid;
+      Codec.string buf m.Meta.signature;
+      Codec.float buf m.Meta.last_accessed;
+      Codec.float buf m.Meta.last_updated;
+      Codec.int buf m.Meta.version;
+      encode_opt_string buf
+        (Option.map
+           (fun tree ->
+             Xy_xml.Printer.element_to_string (Xy_xml.Xid.strip tree))
+           r.entry.tree))
+    (sorted_bindings t.by_url);
+  Buffer.contents buf
+
+let decode_snapshot t payload =
+  let r = Codec.reader payload in
+  let next_docid = Codec.read_int r in
+  let next_dtdid = Codec.read_int r in
+  let docids =
+    Codec.read_list r (fun r ->
+        let url = Codec.read_string r in
+        let id = Codec.read_int r in
+        (url, id))
+  in
+  let dtdids =
+    Codec.read_list r (fun r ->
+        let dtd = Codec.read_string r in
+        let id = Codec.read_int r in
+        (dtd, id))
+  in
+  let records =
+    Codec.read_list r (fun r ->
+        let url = Codec.read_string r in
+        let docid = Codec.read_int r in
+        let xml = Codec.read_bool r in
+        let domain = decode_opt_string r in
+        let dtd = decode_opt_string r in
+        let dtdid = decode_opt_int r in
+        let signature = Codec.read_string r in
+        let last_accessed = Codec.read_float r in
+        let last_updated = Codec.read_float r in
+        let version = Codec.read_int r in
+        let tree = decode_opt_string r in
+        ( url,
+          {
+            Meta.url;
+            docid;
+            kind = (if xml then Meta.Xml_doc else Meta.Html_doc);
+            domain;
+            dtd;
+            dtdid;
+            signature;
+            last_accessed;
+            last_updated;
+            version;
+          },
+          tree ))
+  in
+  Codec.expect_end r;
+  Hashtbl.reset t.by_url;
+  Hashtbl.reset t.by_docid;
+  Hashtbl.reset t.docids;
+  Hashtbl.reset t.dtdids;
+  t.next_docid <- next_docid;
+  t.next_dtdid <- next_dtdid;
+  List.iter (fun (url, id) -> Hashtbl.replace t.docids url id) docids;
+  List.iter (fun (dtd, id) -> Hashtbl.replace t.dtdids dtd id) dtdids;
+  List.iter
+    (fun (url, meta, tree) ->
+      let rec' = record t url in
+      let tree =
+        Option.map
+          (fun printed ->
+            Xy_xml.Xid.label rec'.gen (Xy_xml.Parser.parse_element printed))
+          tree
+      in
+      rec'.entry <- { meta; tree };
+      rec'.history <- [];
+      Hashtbl.replace t.by_docid meta.Meta.docid url)
+    records

@@ -51,3 +51,18 @@ val reconstruct : t -> url:string -> version:int -> Xy_xml.Types.element option
 
 (** [iter f t] iterates over current entries. *)
 val iter : (entry -> unit) -> t -> unit
+
+(** {2 Durability}
+
+    A snapshot captures every current version (metadata plus printed
+    tree) and the DOCID/DTDID allocation tables.  Delta history is not
+    captured — {!reconstruct} starts empty after a restore and the
+    archive window refills with new versions.  Trees are re-labelled
+    with fresh XIDs on decode (XIDs are process-local; consumers strip
+    them before they escape the warehouse). *)
+
+val encode_snapshot : t -> string
+
+(** Replaces the store contents wholesale.  Raises
+    {!Xy_util.Codec.Malformed} on damage. *)
+val decode_snapshot : t -> string -> unit

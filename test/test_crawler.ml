@@ -319,11 +319,12 @@ let test_queue_model_random () =
         let url = Xy_util.Prng.pick prng urls in
         let period = float_of_int (10 + Xy_util.Prng.int prng 500) in
         Queue.boost queue ~url ~period;
-        let deadline, p, _ =
+        let deadline, p, old_ceiling =
           Option.value ~default:(Clock.now clock, 100., 1000.)
             (Hashtbl.find_opt model url)
         in
-        let ceiling = Float.max 10. period in
+        (* boosts only tighten the ceiling *)
+        let ceiling = Float.max 10. (Float.min old_ceiling period) in
         let p = clamp ceiling p in
         (* boost reschedules when the clamped period shortens the
            pending deadline *)

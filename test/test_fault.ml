@@ -655,6 +655,498 @@ let test_e2e_seed_changes_schedule () =
   checkb "different seed, different run" true
     (reports_a <> reports_b || faults_a <> faults_b)
 
+(* ------------------------------------------------------------------ *)
+(* Whole-system durability: checkpoint + WAL warm restart, proven by
+   kill-at-any-point crash testing.  The scheme: run the same
+   configuration (a) uninterrupted and (b) killed at the K-th crash
+   point then restored and resumed — final warehouse, subscription set
+   and (deduped) report ledger must be identical. *)
+
+module Durable = Xy_durable.Durable
+module Codec = Xy_util.Codec
+module Reporter = Xy_reporter.Reporter
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "xy_durable" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let d_seed = 11
+let d_sites = 4
+let d_subs = 10
+let d_days = 3.
+let d_step = 6. *. 3600.
+let d_web () = Web.generate ~seed:d_seed ~sites:d_sites ~pages_per_site:6 ()
+let d_ledger_sink dir = Sink.ledger ~path:(Filename.concat dir "reports.log") ()
+
+let d_subscribe x =
+  for i = 0 to d_subs - 1 do
+    let text =
+      Printf.sprintf
+        {|subscription D%d
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://site%d.example.org/" and modified self
+report when count > 2 atmost daily|}
+        i (i mod d_sites)
+    in
+    match Xyleme.subscribe x ~owner:(Printf.sprintf "u%d" i) ~text with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "subscribe D%d: %s" i (Manager.error_to_string e)
+  done
+
+let d_run ?checkpoint_every x =
+  Xyleme.run_resumable ?checkpoint_every x ~days:d_days ~step:d_step
+    ~fetch_limit:200
+
+(* url + version + content signature of every stored document *)
+let store_fingerprint x =
+  let out = ref [] in
+  Xy_warehouse.Store.iter
+    (fun e ->
+      let m = e.Xy_warehouse.Store.meta in
+      out :=
+        Printf.sprintf "%s v%d %s" m.Xy_warehouse.Meta.url
+          m.Xy_warehouse.Meta.version m.Xy_warehouse.Meta.signature
+        :: !out)
+    (Xyleme.store x);
+  List.sort compare !out
+
+let store_urls x =
+  let out = ref [] in
+  Xy_warehouse.Store.iter
+    (fun e -> out := e.Xy_warehouse.Store.meta.Xy_warehouse.Meta.url :: !out)
+    (Xyleme.store x);
+  List.sort compare !out
+
+let subscription_set x =
+  List.sort compare (Manager.subscription_names (Xyleme.manager x))
+
+(* The delivery ledger, deduped by sequence number (last entry wins:
+   re-deliveries append after the original).  The raw count minus the
+   deduped count is exactly the number of at-least-once re-sends. *)
+let dedup_ledger dir =
+  let entries, tail = Sink.read_ledger (Filename.concat dir "reports.log") in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace tbl e.Sink.l_seq
+        (e.Sink.l_recipient, e.Sink.l_subscription, e.Sink.l_report))
+    entries;
+  let deduped =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  (deduped, List.length entries, tail)
+
+let d_baseline dir =
+  let x =
+    Xyleme.create ~seed:d_seed ~web:(d_web ()) ~sink:(d_ledger_sink dir)
+      ~durable_dir:dir ()
+  in
+  d_subscribe x;
+  d_run x;
+  x
+
+let test_crash_matrix () =
+  with_temp_dir @@ fun base_dir ->
+  let x0 = d_baseline base_dir in
+  let fp0 = store_fingerprint x0 in
+  let subs0 = subscription_set x0 in
+  let led0, _, tail0 = dedup_ledger base_dir in
+  checkb "baseline ledger clean" true (tail0 = Sink.Ledger_clean);
+  checkb "baseline produced reports" true (led0 <> []);
+  let stats0 = Xyleme.stats x0 in
+  let crash_labels = ref [] in
+  let k = ref 1 in
+  let finished = ref false in
+  while not !finished do
+    with_temp_dir (fun dir ->
+        let x =
+          Xyleme.create ~seed:d_seed ~web:(d_web ()) ~sink:(d_ledger_sink dir)
+            ~durable_dir:dir ()
+        in
+        d_subscribe x;
+        Fault.arm_after (Xyleme.faults x) "crash" !k;
+        match d_run ~checkpoint_every:2 x with
+        | () ->
+            (* the fuse outlived the run: every crash point is covered *)
+            finished := true
+        | exception Fault.Crash label -> (
+            crash_labels := label :: !crash_labels;
+            match
+              Xyleme.restore ~seed:d_seed ~web:(d_web ())
+                ~sink:(d_ledger_sink dir) ~dir ()
+            with
+            | Error e -> Alcotest.failf "K=%d: restore failed: %s" !k e
+            | Ok (x', _info) ->
+                d_run x';
+                checkb
+                  (Printf.sprintf "K=%d (%s): warehouse equivalent" !k label)
+                  true
+                  (store_fingerprint x' = fp0);
+                checkb
+                  (Printf.sprintf "K=%d: subscriptions intact" !k)
+                  true
+                  (subscription_set x' = subs0);
+                let led, _raw, tail = dedup_ledger dir in
+                checkb
+                  (Printf.sprintf "K=%d: ledger tail clean" !k)
+                  true (tail = Sink.Ledger_clean);
+                checkb
+                  (Printf.sprintf "K=%d: reports equivalent after dedup" !k)
+                  true (led = led0);
+                let s = Xyleme.stats x' in
+                checki
+                  (Printf.sprintf "K=%d: alerts equivalent" !k)
+                  stats0.Xyleme.alerts_sent s.Xyleme.alerts_sent;
+                checki
+                  (Printf.sprintf "K=%d: notifications equivalent" !k)
+                  stats0.Xyleme.notifications s.Xyleme.notifications));
+    (* dense over the first step's boundaries (every fetch and ingest
+       of the initial crawl), then strided over the rest of the run *)
+    k := if !k < 40 then !k + 1 else !k + 7
+  done;
+  checkb "matrix reached the end of the run" true (!k > 40);
+  let kinds =
+    List.sort_uniq compare
+      (List.map
+         (fun l -> List.hd (String.split_on_char ':' l))
+         !crash_labels)
+  in
+  List.iter
+    (fun kind ->
+      checkb (Printf.sprintf "boundary kind %s exercised" kind) true
+        (List.mem kind kinds))
+    [ "advance"; "crawl-start"; "fetch"; "ingest"; "step-end" ]
+
+(* A crash can also leave the WAL itself torn mid-record.  At the scan
+   layer, exhaustively: every possible truncation yields a prefix of
+   the committed transactions and is diagnosed Clean or Torn — never
+   Corrupt, never garbage ops. *)
+let test_wal_truncate_every_offset () =
+  with_temp @@ fun path ->
+  let txns =
+    List.init 12 (fun i ->
+        List.init
+          ((i mod 3) + 1)
+          (fun j ->
+            {
+              Durable.stage = Printf.sprintf "s%d" (j mod 4);
+              payload =
+                Printf.sprintf "op %d.%d\nwith a newline and \x00 byte" i j;
+            }))
+  in
+  let oc = open_out_bin path in
+  List.iter (Durable.Wal.append_txn oc) txns;
+  close_out oc;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let is_prefix got =
+    List.length got <= List.length txns
+    && List.for_all2
+         (fun a b -> a = b)
+         got
+         (List.filteri (fun i _ -> i < List.length got) txns)
+  in
+  for len = 0 to String.length full do
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (String.sub full 0 len));
+    let got, tail = Durable.Wal.scan path in
+    checkb
+      (Printf.sprintf "truncate@%d: prefix of committed txns" len)
+      true (is_prefix got);
+    checkb
+      (Printf.sprintf "truncate@%d: never diagnosed corrupt" len)
+      true (tail <> Durable.Corrupt);
+    if len = String.length full then begin
+      checki "full file: all txns" (List.length txns) (List.length got);
+      checkb "full file: clean" true (tail = Durable.Clean)
+    end
+  done
+
+(* And at the system layer: kill a run mid-flight, truncate its WAL at
+   sampled offsets (dense near the tail, strided elsewhere), restore
+   and resume.  Committed-but-truncated work is lost, but nothing is
+   ever lost *permanently*: the resumed crawl re-fetches and the final
+   document set matches the uninterrupted run. *)
+let test_wal_truncation_restore_no_loss () =
+  with_temp_dir @@ fun base_dir ->
+  with_temp_dir @@ fun template ->
+  let x0 = d_baseline base_dir in
+  let urls0 = store_urls x0 in
+  let subs0 = subscription_set x0 in
+  let xt =
+    Xyleme.create ~seed:d_seed ~web:(d_web ()) ~sink:(d_ledger_sink template)
+      ~durable_dir:template ()
+  in
+  d_subscribe xt;
+  Fault.arm_after (Xyleme.faults xt) "crash" 60;
+  (try d_run xt with Fault.Crash _ -> ());
+  let wal_path = Filename.concat template "gen-0.wal" in
+  checkb "template has a WAL" true (Sys.file_exists wal_path);
+  let wal = In_channel.with_open_bin wal_path In_channel.input_all in
+  let size = String.length wal in
+  checkb "WAL is non-trivial" true (size > 1000);
+  let copy_file src dst =
+    Out_channel.with_open_bin dst (fun oc ->
+        Out_channel.output_string oc
+          (In_channel.with_open_bin src In_channel.input_all))
+  in
+  let offsets = ref [] in
+  let stride = max 1 (size / 48) in
+  let o = ref 0 in
+  while !o < size - 120 do
+    offsets := !o :: !offsets;
+    o := !o + stride
+  done;
+  for p = max 0 (size - 120) to size do
+    offsets := p :: !offsets
+  done;
+  List.iter
+    (fun len ->
+      with_temp_dir (fun dir ->
+          List.iter
+            (fun f ->
+              (* gen-0 has no snapshot file (the initial state is
+                 empty) and the ledger only exists once a report was
+                 delivered *)
+              if Sys.file_exists (Filename.concat template f) then
+                copy_file (Filename.concat template f) (Filename.concat dir f))
+            [ "MANIFEST"; "gen-0.snap"; "subscriptions.log"; "reports.log" ];
+          Out_channel.with_open_bin (Filename.concat dir "gen-0.wal")
+            (fun oc -> Out_channel.output_string oc (String.sub wal 0 len));
+          match
+            Xyleme.restore ~seed:d_seed ~web:(d_web ())
+              ~sink:(d_ledger_sink dir) ~dir ()
+          with
+          | Error e -> Alcotest.failf "truncate@%d: restore failed: %s" len e
+          | Ok (x, _info) ->
+              d_run x;
+              checkb
+                (Printf.sprintf "truncate@%d: subscriptions intact" len)
+                true
+                (subscription_set x = subs0);
+              checkb
+                (Printf.sprintf "truncate@%d: no document lost" len)
+                true (store_urls x = urls0);
+              let _, _, tail = dedup_ledger dir in
+              checkb
+                (Printf.sprintf "truncate@%d: ledger readable" len)
+                true (tail <> Sink.Ledger_corrupt)))
+    !offsets
+
+(* Restoring a *cleanly finished* durable run is a no-op resume. *)
+let test_restore_completed_run () =
+  with_temp_dir @@ fun dir ->
+  let x0 = d_baseline dir in
+  let fp0 = store_fingerprint x0 in
+  match Xyleme.restore ~seed:d_seed ~web:(d_web ()) ~dir () with
+  | Error e -> Alcotest.failf "restore failed: %s" e
+  | Ok (x, info) ->
+      checki "all steps already done" (Xyleme.steps_done x0)
+        (Xyleme.steps_done x);
+      d_run x;
+      checkb "state unchanged by no-op resume" true (store_fingerprint x = fp0);
+      checki "nothing pending" 0 info.Xyleme.redelivered_reports
+
+let test_restore_refuses_garbage () =
+  with_temp_dir @@ fun dir ->
+  (match Xyleme.restore ~dir () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "restored from an empty directory");
+  ignore (Durable.open_fresh dir);
+  Out_channel.with_open_bin (Filename.concat dir "gen-0.snap") (fun oc ->
+      Out_channel.output_string oc "S system 4 deadbeefdeadbeef\njunk\n");
+  match Xyleme.restore ~dir () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "restored from a corrupt snapshot"
+
+(* The at-least-once protocol in isolation: a journaled delivery
+   intent ("F") with no ack is re-sent by redeliver_pending with its
+   original sequence number; acked intents are not. *)
+let test_reporter_redelivers_unacked () =
+  let clock = Clock.create () in
+  let sink, deliveries = Sink.memory () in
+  let reporter = Reporter.create ~clock ~sink () in
+  let render (e : Xy_xml.Types.element) = Printer.element_to_string e in
+  let report = Xy_xml.Types.(element "Report" [ el "Body" [] ]) in
+  let intent seq =
+    let buf = Buffer.create 64 in
+    Codec.string buf "F";
+    Codec.int buf seq;
+    Codec.string buf (Printf.sprintf "user%d" seq);
+    Codec.string buf "S";
+    Codec.float buf 12.5;
+    Codec.string buf (render report);
+    Buffer.contents buf
+  in
+  Reporter.apply_op reporter (intent 3);
+  Reporter.apply_op reporter (intent 7);
+  (let buf = Buffer.create 8 in
+   Codec.string buf "A";
+   Codec.int buf 3;
+   Reporter.apply_op reporter (Buffer.contents buf));
+  checki "one unacked intent" 1 (Reporter.pending_count reporter);
+  checki "one re-delivery" 1 (Reporter.redeliver_pending reporter);
+  (match !deliveries with
+  | [ d ] ->
+      checki "original seq preserved" 7 d.Sink.seq;
+      checks "original recipient" "user7" d.Sink.recipient;
+      checks "original report" (render report) (render d.Sink.report)
+  | ds -> Alcotest.failf "expected 1 delivery, got %d" (List.length ds));
+  checki "nothing pending afterwards" 0 (Reporter.pending_count reporter);
+  checki "idempotent" 0 (Reporter.redeliver_pending reporter)
+
+(* Atomic directory publication: a re-delivery of the same sequence
+   number overwrites the same file and never duplicates the index
+   entry — the web-published report set is idempotent under
+   at-least-once delivery. *)
+let test_directory_sink_idempotent_redelivery () =
+  with_temp_dir @@ fun root ->
+  let sink = Sink.directory ~root () in
+  let report = Xy_xml.Types.(element "Report" [ el "Body" [] ]) in
+  let d seq =
+    { Sink.seq; recipient = "r"; subscription = "S"; report; at = 1. }
+  in
+  sink.Sink.deliver (d 1);
+  sink.Sink.deliver (d 2);
+  sink.Sink.deliver (d 1);
+  (* the re-delivery *)
+  let dir = Filename.concat root "S" in
+  let index =
+    Parser.parse_element
+      (In_channel.with_open_bin (Filename.concat dir "index.xml")
+         In_channel.input_all)
+  in
+  checki "two index entries despite three deliveries" 2
+    (List.length (Xy_xml.Types.children_elements index));
+  checkb "no stray temp file" true
+    (Array.for_all
+       (fun f -> not (Filename.check_suffix f ".tmp"))
+       (Sys.readdir dir))
+
+(* Unsubscribe must not leave dangling cross-stage state: the boost
+   ceiling its refresh statement imposed on the fetch queue is lifted,
+   and what the *remaining* subscriptions demand is re-asserted. *)
+let test_unsubscribe_resets_refresh_ceiling () =
+  let web = Web.generate ~seed:3 ~sites:2 ~pages_per_site:4 () in
+  let x = Xyleme.create ~seed:3 ~web () in
+  let url =
+    List.find
+      (fun u -> Web.kind_of web ~url:u = Some Web.Xml_page)
+      (Web.urls web)
+  in
+  let q = Xyleme.queue x in
+  let ceiling () =
+    match List.find_opt (fun v -> v.Queue.v_url = url) (Queue.view q) with
+    | Some v -> v.Queue.v_ceiling
+    | None -> Alcotest.fail "url not tracked by the queue"
+  in
+  let subscribe name freq =
+    let text =
+      Printf.sprintf
+        {|subscription %s
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "%s" and modified self
+report when immediate
+refresh "%s" %s|}
+        name (String.sub url 0 24) url freq
+    in
+    match Xyleme.subscribe x ~owner:"o" ~text with
+    | Ok n -> n
+    | Error e -> Alcotest.failf "subscribe %s: %s" name (Manager.error_to_string e)
+  in
+  let fast = subscribe "Fast" "hourly" in
+  let slow = subscribe "Slow" "daily" in
+  Alcotest.(check (float 1.)) "both live: hourly ceiling" 3600. (ceiling ());
+  (match Xyleme.unsubscribe x ~name:fast with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unsubscribe: %s" (Manager.error_to_string e));
+  Alcotest.(check (float 1.)) "fast gone: the daily demand re-asserts" 86400.
+    (ceiling ());
+  (match Xyleme.unsubscribe x ~name:slow with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unsubscribe: %s" (Manager.error_to_string e));
+  checkb "no subscription left: ceiling fully lifted" true
+    (ceiling () > 7. *. 86400.)
+
+let gen_wal_op =
+  QCheck.Gen.(
+    map2
+      (fun stage payload -> { Durable.stage; payload })
+      (oneofl [ "queue"; "crawler"; "reporter"; "system" ])
+      (string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 40)))
+
+let qcheck_wal_roundtrip =
+  QCheck.Test.make ~name:"wal: random transactions round-trip" ~count:100
+    QCheck.(make Gen.(list_size (0 -- 10) (list_size (1 -- 5) gen_wal_op)))
+    (fun txns ->
+      with_temp @@ fun path ->
+      let oc = open_out_bin path in
+      List.iter (Durable.Wal.append_txn oc) txns;
+      close_out oc;
+      let got, tail = Durable.Wal.scan path in
+      tail = Durable.Clean && got = List.filter (fun t -> t <> []) txns)
+
+let qcheck_wal_truncation =
+  QCheck.Test.make
+    ~name:"wal truncated anywhere: prefix of txns, never Corrupt" ~count:100
+    QCheck.(
+      make Gen.(pair (list_size (1 -- 8) (list_size (1 -- 4) gen_wal_op)) (0 -- 1_000_000)))
+    (fun (txns, cut_raw) ->
+      with_temp @@ fun path ->
+      let oc = open_out_bin path in
+      List.iter (Durable.Wal.append_txn oc) txns;
+      close_out oc;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let cut = cut_raw mod (String.length full + 1) in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub full 0 cut));
+      let got, tail = Durable.Wal.scan path in
+      tail <> Durable.Corrupt
+      && got = List.filteri (fun i _ -> i < List.length got) txns)
+
+(* Every stage's snapshot codec survives an encode → decode → encode
+   cycle after a real, faulted run — the property the warm restart
+   stands on. *)
+let test_snapshot_sections_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let x =
+    Xyleme.create ~seed:d_seed ~web:(d_web ()) ~sink:(d_ledger_sink dir)
+      ~durable_dir:dir ()
+  in
+  d_subscribe x;
+  d_run x;
+  ignore (Xyleme.checkpoint x);
+  let snap_path =
+    Filename.concat dir
+      (Printf.sprintf "gen-%d.snap"
+         (match Xyleme.restore ~seed:d_seed ~web:(d_web ()) ~dir () with
+         | Ok (x', _) ->
+             (* the post-restore checkpoint bumped the generation *)
+             ignore (Xyleme.checkpoint x');
+             3
+         | Error e -> Alcotest.failf "restore: %s" e))
+  in
+  checkb "snapshot written" true (Sys.file_exists snap_path);
+  match Durable.Snapshot.load snap_path with
+  | Error e -> Alcotest.failf "snapshot load: %s" e
+  | Ok sections ->
+      List.iter
+        (fun stage ->
+          checkb (Printf.sprintf "section %s present" stage) true
+            (List.mem_assoc stage sections))
+        [ "system"; "fault"; "web"; "warehouse"; "queue"; "crawler";
+          "trigger"; "reporter" ]
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "fault"
@@ -703,5 +1195,27 @@ let () =
         [
           tc "deterministic and lossless" test_e2e_deterministic_and_lossless;
           tc "seed changes the schedule" test_e2e_seed_changes_schedule;
+        ] );
+      ( "durable",
+        [
+          tc "wal truncate at every offset" test_wal_truncate_every_offset;
+          QCheck_alcotest.to_alcotest qcheck_wal_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_wal_truncation;
+          tc "snapshot sections roundtrip" test_snapshot_sections_roundtrip;
+          tc "restore completed run" test_restore_completed_run;
+          tc "restore refuses garbage" test_restore_refuses_garbage;
+          tc "reporter re-delivers unacked intents"
+            test_reporter_redelivers_unacked;
+          tc "directory sink idempotent re-delivery"
+            test_directory_sink_idempotent_redelivery;
+          tc "unsubscribe resets refresh ceiling"
+            test_unsubscribe_resets_refresh_ceiling;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "kill at every point, restore, equivalence" `Slow
+            test_crash_matrix;
+          Alcotest.test_case "wal truncation: restore, no loss" `Slow
+            test_wal_truncation_restore_no_loss;
         ] );
     ]
