@@ -151,8 +151,8 @@ let validate_cmd =
    sampled documents' journeys reach the reporter synchronously). *)
 let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
     ?(report_clause = "report when count > 5 atmost daily") ?durable_dir
-    ?(checkpoint_every = 0) ?kill_after ?(restore = false) ~sites ~days
-    ~subscriptions ~seed () =
+    ?(checkpoint_every = 0) ?kill_after ?(restore = false) ?sync_every
+    ?segment_bytes ~sites ~days ~subscriptions ~seed () =
   let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
   let counting_sink, delivered = Xy_reporter.Sink.counting () in
   (* A durable run also writes every delivery into the directory's
@@ -171,7 +171,10 @@ let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
         | Some dir -> dir
         | None -> prerr_endline "--restore needs --durable DIR"; exit 2
       in
-      match Xy_system.Xyleme.restore ~seed ?algorithm ?fault_plan ~sink ~web ~dir () with
+      match
+        Xy_system.Xyleme.restore ~seed ?algorithm ?fault_plan ~sink ~web
+          ?sync_every ?segment_bytes ~dir ()
+      with
       | Error e ->
           Printf.eprintf "restore failed: %s\n" e;
           exit 1
@@ -194,7 +197,7 @@ let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
     end
     else
       Xy_system.Xyleme.create ~seed ?algorithm ?fault_plan ~sink ~web
-        ?durable_dir ()
+        ?durable_dir ?sync_every ?segment_bytes ()
   in
   if trace_every > 0 then
     Xy_trace.Trace.set_sampling (Xy_system.Xyleme.tracer xyleme)
@@ -399,9 +402,27 @@ let restore_flag =
           "Warm-restart from the $(b,--durable) directory instead of \
            starting fresh, and finish the remaining steps")
 
+let sync_every_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "sync-every" ] ~docv:"N"
+        ~doc:
+          "WAL group-commit batch size: fsync once per $(docv) committed \
+           transactions (1 = sync every commit).  Report deliveries always \
+           force a sync first — at-least-once delivery holds at any setting")
+
+let segment_kib_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "segment-kib" ] ~docv:"KIB"
+        ~doc:
+          "WAL segment rotation threshold in KiB: the log rolls into a new \
+           bounded segment once the current one exceeds $(docv) KiB")
+
 let simulate_cmd =
   let run sites days subscriptions seed algorithm fault_plan verbose
-      stats_flag trace_every durable_dir checkpoint_every kill_after restore =
+      stats_flag trace_every durable_dir checkpoint_every kill_after restore
+      sync_every segment_kib =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -409,7 +430,8 @@ let simulate_cmd =
     let trace_every = Option.value ~default:0 trace_every in
     let xyleme, accepted, delivered =
       run_simulation ~trace_every ~algorithm ?fault_plan ?durable_dir
-        ~checkpoint_every ?kill_after ~restore ~sites ~days ~subscriptions
+        ~checkpoint_every ?kill_after ~restore ~sync_every
+        ~segment_bytes:(segment_kib * 1024) ~sites ~days ~subscriptions
         ~seed ()
     in
     let stats = Xy_system.Xyleme.stats xyleme in
@@ -444,7 +466,8 @@ let simulate_cmd =
     Term.(
       const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg
       $ algorithm_arg $ faults_arg $ verbose $ stats_flag $ trace_every
-      $ durable_arg $ checkpoint_every_arg $ kill_after_arg $ restore_flag)
+      $ durable_arg $ checkpoint_every_arg $ kill_after_arg $ restore_flag
+      $ sync_every_arg $ segment_kib_arg)
 
 let stats_cmd =
   let run sites days subscriptions seed algorithm xml =

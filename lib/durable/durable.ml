@@ -5,7 +5,36 @@ module Log = (val Logs.src_log log : Logs.LOG)
 type op = { stage : string; payload : string }
 type tail = Clean | Torn | Corrupt
 
+type config = { sync_every : int; segment_bytes : int; fsync : bool }
+
+let default_config =
+  { sync_every = 32; segment_bytes = 4 * 1024 * 1024; fsync = true }
+
 let checksum payload = Xy_util.Hashing.signature payload
+
+(* Recovery-path readers must not be lenient: a damaged length field
+   shaped like "0x10" or "1_0" would otherwise parse as valid. *)
+let decimal = Xy_util.Parse.decimal_int
+
+(* {2 The sync helper}
+
+   Everything that claims durability funnels through these two
+   functions: an atomic temp+rename survives a process kill but not a
+   power loss unless the file's bytes were fsynced before the rename
+   and the directory entry after it.  [fsync:false] (tests, benches
+   that only model kills) degrades both to plain flushes. *)
+
+let sync_channel ?(fsync = true) oc =
+  flush oc;
+  if fsync then Unix.fsync (Unix.descr_of_out_channel oc)
+
+let sync_dir ?(fsync = true) dir =
+  if fsync then
+    match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        (try Unix.fsync fd with Unix.Unix_error _ -> ());
+        Unix.close fd
 
 (* A transaction's payload: each op framed as
      <stage> <payload_len>\n<payload bytes>
@@ -32,8 +61,8 @@ let decode_ops payload =
             String.split_on_char ' ' (String.sub payload pos (nl - pos))
           with
           | [ stage; op_len ] -> (
-              match int_of_string_opt op_len with
-              | Some op_len when op_len >= 0 && nl + 1 + op_len <= len ->
+              match decimal op_len with
+              | Some op_len when nl + 1 + op_len <= len ->
                   let op_payload = String.sub payload (nl + 1) op_len in
                   go (nl + 1 + op_len) ({ stage; payload = op_payload } :: acc)
               | _ -> None)
@@ -41,14 +70,31 @@ let decode_ops payload =
   in
   go 0 []
 
+(* {2 Paths} *)
+
+let manifest_path dir = Filename.concat dir "MANIFEST"
+let snap_path dir gen = Filename.concat dir (Printf.sprintf "gen-%d.snap" gen)
+
+(* The WAL of generation N is a sequence of bounded segments:
+   [gen-N.wal] (segment 0), then [gen-N.wal.1], [gen-N.wal.2], ...
+   rotated when a segment outgrows [config.segment_bytes].  Rotation
+   happens only at a sync boundary, so a damaged tail can appear in
+   the final segment only. *)
+let segment_path dir gen seg =
+  if seg = 0 then Filename.concat dir (Printf.sprintf "gen-%d.wal" gen)
+  else Filename.concat dir (Printf.sprintf "gen-%d.wal.%d" gen seg)
+
 module Wal = struct
   (* Record framing, mirroring Persist:
        T <payload_len> <checksum>\n<payload>\n *)
-  let append_txn oc ops =
+  let encode_txn ops =
     let payload = encode_ops ops in
-    Printf.fprintf oc "T %d %s\n%s\n" (String.length payload)
-      (checksum payload) payload;
-    flush oc
+    Printf.sprintf "T %d %s\n%s\n" (String.length payload) (checksum payload)
+      payload
+
+  let append_txn ?(sync = true) oc ops =
+    output_string oc (encode_txn ops);
+    if sync then sync_channel oc else flush oc
 
   let scan path =
     match open_in_bin path with
@@ -63,9 +109,8 @@ module Wal = struct
           | header -> (
               match String.split_on_char ' ' header with
               | [ "T"; payload_len; crc ] -> (
-                  match int_of_string_opt payload_len with
+                  match decimal payload_len with
                   | None -> tail := Corrupt
-                  | Some payload_len when payload_len < 0 -> tail := Corrupt
                   | Some payload_len -> (
                       (* a short read can only be the final record cut
                          mid-write: that is the torn-tail crash case *)
@@ -90,12 +135,44 @@ module Wal = struct
         go ();
         close_in ic;
         (List.rev !txns, !tail)
+
+  (* Scan a whole generation across its segments, stopping at the
+     first damage.  A torn tail is only a crash shape in the *final*
+     segment — rotation happens after a sync, so damage in an earlier
+     segment means bytes were altered in place. *)
+  let scan_generation ~dir ~gen =
+    let rec go seg acc =
+      let path = segment_path dir gen seg in
+      if not (Sys.file_exists path) then (List.concat (List.rev acc), Clean)
+      else
+        let txns, tail = scan path in
+        let next_exists = Sys.file_exists (segment_path dir gen (seg + 1)) in
+        match tail with
+        | Clean when next_exists -> go (seg + 1) (txns :: acc)
+        | Clean -> (List.concat (List.rev (txns :: acc)), Clean)
+        | Torn when next_exists ->
+            (List.concat (List.rev (txns :: acc)), Corrupt)
+        | (Torn | Corrupt) as tail ->
+            (List.concat (List.rev (txns :: acc)), tail)
+    in
+    go 0 []
 end
+
+(* A snapshot section is the stage's payload inline, a reference to
+   the generation whose snapshot holds it (unchanged since then), or a
+   delta: the payload at a base generation plus the stage's journaled
+   operations in the retained WALs of generations base..current.
+   References never chain: a carried or delta section always points at
+   the generation that wrote the payload inline, so restore chases at
+   most one indirection per stage. *)
+type section = Inline of string | From of int | Delta of int
 
 module Snapshot = struct
   (* Section framing:
-       S <stage> <payload_len> <checksum>\n<payload>\n *)
-  let write path sections =
+       S <stage> <payload_len> <checksum>\n<payload>\n   (inline)
+       F <stage> <from-gen>\n                            (carried)
+       D <stage> <base-gen>\n                            (delta) *)
+  let write ?(fsync = true) path sections =
     let temp = path ^ ".tmp" in
     let oc =
       open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644
@@ -103,16 +180,22 @@ module Snapshot = struct
     in
     (try
        List.iter
-         (fun (stage, payload) ->
-           Printf.fprintf oc "S %s %d %s\n%s\n" stage (String.length payload)
-             (checksum payload) payload)
+         (fun (stage, section) ->
+           match section with
+           | Inline payload ->
+               Printf.fprintf oc "S %s %d %s\n%s\n" stage
+                 (String.length payload) (checksum payload) payload
+           | From gen -> Printf.fprintf oc "F %s %d\n" stage gen
+           | Delta gen -> Printf.fprintf oc "D %s %d\n" stage gen)
          sections;
+       sync_channel ~fsync oc;
        close_out oc
      with e ->
        (try close_out oc with Sys_error _ -> ());
        (try Sys.remove temp with Sys_error _ -> ());
        raise e);
-    Sys.rename temp path
+    Sys.rename temp path;
+    sync_dir ~fsync (Filename.dirname path)
 
   let load path =
     match open_in_bin path with
@@ -125,7 +208,7 @@ module Snapshot = struct
             | header -> (
                 match String.split_on_char ' ' header with
                 | [ "S"; stage; payload_len; crc ] -> (
-                    match int_of_string_opt payload_len with
+                    match decimal payload_len with
                     | None -> Error "bad section length"
                     | Some payload_len -> (
                         match really_input_string ic (payload_len + 1) with
@@ -137,7 +220,15 @@ module Snapshot = struct
                               let payload = String.sub payload 0 payload_len in
                               if checksum payload <> crc then
                                 Error ("checksum mismatch in section " ^ stage)
-                              else go ((stage, payload) :: acc)))
+                              else go ((stage, Inline payload) :: acc)))
+                | [ "F"; stage; from_gen ] -> (
+                    match decimal from_gen with
+                    | None -> Error "bad carried-section generation"
+                    | Some gen -> go ((stage, From gen) :: acc))
+                | [ "D"; stage; base_gen ] -> (
+                    match decimal base_gen with
+                    | None -> Error "bad delta-section generation"
+                    | Some gen -> go ((stage, Delta gen) :: acc))
                 | _ -> Error "bad section header")
           in
           go []
@@ -148,21 +239,44 @@ end
 
 type t = {
   dir : string;
+  config : config;
   mutable gen : int;
+  mutable seg : int;  (** current WAL segment index within [gen] *)
   mutable wal : out_channel option;
   mutable txn : op list;  (** reversed *)
+  pending : Buffer.t;
+      (** committed transactions not yet synced (the group-commit
+          batch) — a kill loses these, exactly like OS buffers *)
+  mutable pending_txns : int;
   mutable replay : bool;
   mutable txns : int;
   mutable bytes : int;
+  mutable sync_count : int;
+  dirty : (string, unit) Hashtbl.t;
+      (** stages journaled (or explicitly marked) since the last
+          checkpoint — only these need fresh snapshot sections *)
+  section_gens : (string, int) Hashtbl.t;
+      (** stage -> generation whose snapshot holds its payload inline *)
+  wal_carried : (string, unit) Hashtbl.t;
+      (** stages whose every mutation is journaled, eligible for
+          delta sections (base payload + retained WAL replay) *)
+  delta_bytes : (string, int) Hashtbl.t;
+      (** stage -> op bytes journaled since its last inline payload;
+          positive means the inline payload alone is stale and the
+          stage's section must be [Delta] or a fresh [Inline] *)
+  base_bytes : (string, int) Hashtbl.t;
+      (** stage -> size of its last inline payload — the threshold at
+          which accumulating deltas stops being cheaper than
+          re-encoding *)
+  mutable fuse : (string -> unit) option;
 }
 
 let dir t = t.dir
 let generation t = t.gen
-let manifest_path dir = Filename.concat dir "MANIFEST"
-let snap_path dir gen = Filename.concat dir (Printf.sprintf "gen-%d.snap" gen)
-let wal_path dir gen = Filename.concat dir (Printf.sprintf "gen-%d.wal" gen)
 let subscription_log_path t = Filename.concat t.dir "subscriptions.log"
 let report_ledger_path t = Filename.concat t.dir "reports.log"
+let set_fuse t f = t.fuse <- Some f
+let fire_fuse t label = match t.fuse with Some f -> f label | None -> ()
 
 let read_manifest dir =
   match open_in_bin (manifest_path dir) with
@@ -173,76 +287,163 @@ let read_manifest dir =
         | exception End_of_file -> None
         | line -> (
             match String.split_on_char ' ' line with
-            | [ "xyleme-durable"; "1"; "gen"; n ] -> int_of_string_opt n
+            | [ "xyleme-durable"; "1"; "gen"; n ] -> decimal n
             | _ -> None)
       in
       close_in ic;
       gen
 
-let write_manifest dir gen =
+let write_manifest ?(fsync = true) dir gen =
   let temp = manifest_path dir ^ ".tmp" in
   let oc =
     open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 temp
   in
   Printf.fprintf oc "xyleme-durable 1 gen %d\n" gen;
+  sync_channel ~fsync oc;
   close_out oc;
-  Sys.rename temp (manifest_path dir)
+  Sys.rename temp (manifest_path dir);
+  sync_dir ~fsync dir
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
 let remove_if path =
   try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ()
 
-let open_wal_trunc dir gen =
+let open_segment dir gen seg =
   open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644
-    (wal_path dir gen)
+    (segment_path dir gen seg)
 
-let open_fresh dir =
+(* Classify a generation file by name: gen-<n>.snap, gen-<n>.snap.tmp,
+   gen-<n>.wal, gen-<n>.wal.<k>. *)
+let parse_gen_file name =
+  if String.length name <= 4 || String.sub name 0 4 <> "gen-" then None
+  else
+    match String.index_from_opt name 4 '.' with
+    | None -> None
+    | Some dot -> (
+        match decimal (String.sub name 4 (dot - 4)) with
+        | None -> None
+        | Some gen -> (
+            let ext = String.sub name dot (String.length name - dot) in
+            if ext = ".snap" then Some (gen, `Snap)
+            else if ext = ".snap.tmp" then Some (gen, `Temp)
+            else if ext = ".wal" then Some (gen, `Wal)
+            else if
+              String.length ext > 5
+              && String.sub ext 0 5 = ".wal."
+              && decimal (String.sub ext 5 (String.length ext - 5)) <> None
+            then Some (gen, `Wal)
+            else None))
+
+let make ~dir ~config ~gen ~wal =
+  {
+    dir;
+    config;
+    gen;
+    seg = 0;
+    wal;
+    txn = [];
+    pending = Buffer.create 4096;
+    pending_txns = 0;
+    replay = false;
+    txns = 0;
+    bytes = 0;
+    sync_count = 0;
+    dirty = Hashtbl.create 16;
+    section_gens = Hashtbl.create 16;
+    wal_carried = Hashtbl.create 4;
+    delta_bytes = Hashtbl.create 4;
+    base_bytes = Hashtbl.create 16;
+    fuse = None;
+  }
+
+let open_fresh ?(config = default_config) dir =
   ensure_dir dir;
   (* wipe any previous run: a fresh run must not inherit its
-     subscriptions or replay its WAL *)
+     subscriptions, replay its WAL segments, or trip over orphaned
+     generation files a killed checkpoint left behind *)
   Array.iter
     (fun name ->
       let matches =
         name = "MANIFEST" || name = "MANIFEST.tmp" || name = "subscriptions.log"
+        || name = "subscriptions.log.compact"
         || name = "reports.log"
-        || (String.length name > 4
-           && String.sub name 0 4 = "gen-"
-           && (Filename.check_suffix name ".snap"
-              || Filename.check_suffix name ".wal"
-              || Filename.check_suffix name ".snap.tmp"))
+        || name = "reports.log.compact"
+        || parse_gen_file name <> None
       in
       if matches then remove_if (Filename.concat dir name))
     (try Sys.readdir dir with Sys_error _ -> [||]);
-  write_manifest dir 0;
-  {
-    dir;
-    gen = 0;
-    wal = Some (open_wal_trunc dir 0);
-    txn = [];
-    replay = false;
-    txns = 0;
-    bytes = 0;
-  }
+  write_manifest ~fsync:config.fsync dir 0;
+  make ~dir ~config ~gen:0 ~wal:(Some (open_segment dir 0 0))
 
-let open_existing dir =
+let open_existing ?(config = default_config) dir =
   match read_manifest dir with
   | None -> None
   | Some gen ->
       (* Do not open the WAL for appending: its tail may be torn, and
          appending after a torn record would corrupt it.  Restore ends
          with a checkpoint, which opens the next generation's WAL. *)
-      Some { dir; gen; wal = None; txn = []; replay = false; txns = 0; bytes = 0 }
+      Some (make ~dir ~config ~gen ~wal:None)
+
+let set_wal_carried t stages =
+  Hashtbl.reset t.wal_carried;
+  List.iter (fun s -> Hashtbl.replace t.wal_carried s ()) stages
+
+let bump_delta t stage n =
+  if Hashtbl.mem t.wal_carried stage then
+    Hashtbl.replace t.delta_bytes stage
+      (n + Option.value (Hashtbl.find_opt t.delta_bytes stage) ~default:0)
 
 let journal t ~stage payload =
-  if not t.replay then t.txn <- { stage; payload } :: t.txn
+  if not t.replay then begin
+    t.txn <- { stage; payload } :: t.txn;
+    Hashtbl.replace t.dirty stage ();
+    bump_delta t stage (String.length payload)
+  end
 
-let discard t = t.txn <- []
+let mark_dirty t stage = Hashtbl.replace t.dirty stage ()
+let dirty_stages t = Hashtbl.fold (fun s () acc -> s :: acc) t.dirty []
+
+let discard t =
+  (* A simulated kill: the transaction in progress and the un-synced
+     group-commit batch both evaporate, exactly like process memory
+     and OS buffers. *)
+  t.txn <- [];
+  Buffer.clear t.pending;
+  t.pending_txns <- 0
+
 let replaying t = t.replay
 
 let with_replay t f =
   t.replay <- true;
   Fun.protect ~finally:(fun () -> t.replay <- false) f
+
+(* Drain the group-commit batch to the current segment and sync it,
+   rotating to a fresh segment when this one outgrew its bound.
+   Rotation strictly follows a sync, so only a final segment can ever
+   carry a torn tail. *)
+let sync_pending t =
+  match t.wal with
+  | None -> ()
+  | Some oc ->
+      if Buffer.length t.pending > 0 then begin
+        let len = Buffer.length t.pending in
+        Buffer.output_buffer oc t.pending;
+        Buffer.clear t.pending;
+        t.pending_txns <- 0;
+        sync_channel ~fsync:t.config.fsync oc;
+        t.bytes <- t.bytes + len;
+        t.sync_count <- t.sync_count + 1;
+        if pos_out oc > t.config.segment_bytes then begin
+          fire_fuse t "rotate";
+          close_out oc;
+          t.seg <- t.seg + 1;
+          t.wal <- Some (open_segment t.dir t.gen t.seg);
+          sync_dir ~fsync:t.config.fsync t.dir
+        end
+      end
+
+let barrier t = sync_pending t
 
 let commit t =
   match t.txn with
@@ -250,43 +451,265 @@ let commit t =
   | ops ->
       let ops = List.rev ops in
       t.txn <- [];
-      let oc =
-        match t.wal with
-        | Some oc -> oc
-        | None ->
-            (* attach-for-restore sessions gain a WAL only at their
-               closing checkpoint; until then commits must not land in
-               the old generation's (possibly torn) log *)
-            invalid_arg "Durable.commit: no open WAL (restore not finished?)"
-      in
-      let before = pos_out oc in
-      Wal.append_txn oc ops;
+      (match t.wal with
+      | Some _ -> ()
+      | None ->
+          (* attach-for-restore sessions gain a WAL only at their
+             closing checkpoint; until then commits must not land in
+             the old generation's (possibly torn) log *)
+          invalid_arg "Durable.commit: no open WAL (restore not finished?)");
+      Buffer.add_string t.pending (Wal.encode_txn ops);
       t.txns <- t.txns + 1;
-      t.bytes <- t.bytes + (pos_out oc - before)
+      t.pending_txns <- t.pending_txns + 1;
+      if t.pending_txns >= t.config.sync_every then sync_pending t
 
-let checkpoint t ~snapshot =
+(* The eldest WAL generation a delta section still replays from: a
+   carried stage with journaled-but-not-inlined ops needs every WAL
+   from its base generation onward. *)
+let wal_floor t =
+  Hashtbl.fold
+    (fun stage bytes floor ->
+      if bytes > 0 then
+        match Hashtbl.find_opt t.section_gens stage with
+        | Some base -> min base floor
+        | None -> floor
+      else floor)
+    t.delta_bytes t.gen
+
+(* Remove files no longer reachable: snapshots of generations nothing
+   references, WAL segments no delta section replays from, stale
+   snapshot temps.  Runs after the manifest flip, so a kill anywhere
+   in here only leaves garbage a later cleanup (or [open_fresh])
+   retires. *)
+let cleanup t =
+  let keep = Hashtbl.create 8 in
+  Hashtbl.replace keep t.gen ();
+  Hashtbl.iter (fun _ g -> Hashtbl.replace keep g ()) t.section_gens;
+  let floor = wal_floor t in
+  Array.iter
+    (fun name ->
+      let path = Filename.concat t.dir name in
+      match parse_gen_file name with
+      | Some (g, `Snap) when not (Hashtbl.mem keep g) -> remove_if path
+      | Some (g, `Wal) when g < floor || g > t.gen -> remove_if path
+      | Some (g, `Temp) when g <> t.gen + 1 -> remove_if path
+      | _ -> ())
+    (try Sys.readdir t.dir with Sys_error _ -> [||])
+
+let checkpoint ?(force_full = false) t ~snapshot =
   commit t;
+  barrier t;
+  fire_fuse t "checkpoint-begin";
   let next = t.gen + 1 in
-  Snapshot.write (snap_path t.dir next) snapshot;
-  write_manifest t.dir next;
+  (* Only stages journaled since the last checkpoint encode a fresh
+     payload; clean stages are carried forward by reference, and dirty
+     WAL-carried stages become deltas — their base payload plus the
+     retained WALs reconstruct them, so the checkpoint pause never
+     pays for re-encoding a large mutated stage.  A delta chain ends
+     (fresh inline payload) once its op bytes outgrow the base
+     payload, bounding both restore replay and WAL retention at about
+     twice the stage's churn.  References and deltas point at the
+     generation that wrote the payload inline, never at another
+     reference, so indirection depth stays 1 no matter how many
+     checkpoints a stage sleeps through.  [force_full] distrusts
+     references (used by restore, whose re-arming mutations are not
+     journaled) but keeps deltas: a delta stage's every mutation is
+     journaled by contract, so its WAL chain stays exact even across
+     a restore. *)
+  let sections =
+    List.map
+      (fun (stage, encode) ->
+        let inline () =
+          let payload = encode () in
+          Hashtbl.replace t.base_bytes stage (String.length payload);
+          Hashtbl.remove t.delta_bytes stage;
+          (stage, Inline payload)
+        in
+        match Hashtbl.find_opt t.section_gens stage with
+        | None -> inline ()
+        | Some base ->
+            let delta =
+              Option.value (Hashtbl.find_opt t.delta_bytes stage) ~default:0
+            in
+            if (not force_full) && delta = 0 && not (Hashtbl.mem t.dirty stage)
+            then (stage, From base)
+            else if
+              Hashtbl.mem t.wal_carried stage
+              && delta
+                 < Option.value
+                     (Hashtbl.find_opt t.base_bytes stage)
+                     ~default:0
+            then (stage, Delta base)
+            else inline ())
+      snapshot
+  in
+  (* Anything journaled from here on (the fuse below consults the
+     crash fault point, whose draw is itself journaled) is not in the
+     captured sections and must re-mark its stage for the next
+     generation. *)
+  Hashtbl.reset t.dirty;
+  if
+    List.exists
+      (function _, (From _ | Delta _) -> true | _, Inline _ -> false)
+      sections
+  then fire_fuse t "carry-forward";
+  Snapshot.write ~fsync:t.config.fsync (snap_path t.dir next) sections;
+  fire_fuse t "snapshot-written";
+  (* Create the next generation's WAL *before* the manifest names the
+     generation: a manifest pointing at generation N+1 must never
+     observe its WAL as missing-because-not-yet-created (indistinct
+     from damage).  The old generation's files are removed only after
+     the flip, so a kill in either window restores cleanly from
+     whichever generation the manifest names. *)
   (match t.wal with Some oc -> close_out oc | None -> ());
-  t.wal <- Some (open_wal_trunc t.dir next);
-  let old = t.gen in
+  t.wal <- Some (open_segment t.dir next 0);
+  t.seg <- 0;
+  sync_dir ~fsync:t.config.fsync t.dir;
+  fire_fuse t "wal-created";
+  write_manifest ~fsync:t.config.fsync t.dir next;
+  fire_fuse t "manifest-committed";
   t.gen <- next;
-  remove_if (snap_path t.dir old);
-  remove_if (wal_path t.dir old);
+  List.iter
+    (fun (stage, s) ->
+      Hashtbl.replace t.section_gens stage
+        (match s with Inline _ -> next | From g | Delta g -> g))
+    sections;
+  cleanup t;
   Log.debug (fun m -> m "checkpoint: generation %d committed in %s" next t.dir)
 
+(* Resolve carried and delta sections against the snapshots they
+   reference; each referenced generation loads once.  Also seeds
+   [section_gens] and [base_bytes] so the next checkpoint's
+   carry-forward chain stays depth-1 and the delta policy keeps its
+   threshold.  Returns the resolved payloads plus the delta stages
+   with their base generations. *)
+let resolve_sections t sections =
+  let cache = Hashtbl.create 4 in
+  let load_gen g =
+    match Hashtbl.find_opt cache g with
+    | Some r -> r
+    | None ->
+        let r = Snapshot.load (snap_path t.dir g) in
+        Hashtbl.replace cache g r;
+        r
+  in
+  let referenced stage g =
+    match load_gen g with
+    | Error e ->
+        Error
+          (Printf.sprintf "carried section %s: generation %d unreadable: %s"
+             stage g e)
+    | Ok carried -> (
+        match List.assoc_opt stage carried with
+        | Some (Inline payload) -> Ok payload
+        | Some (From _ | Delta _) ->
+            Error
+              (Printf.sprintf
+                 "carried section %s: generation %d is itself a reference" stage
+                 g)
+        | None ->
+            Error
+              (Printf.sprintf "carried section %s missing from generation %d"
+                 stage g))
+  in
+  let rec go acc deltas = function
+    | [] -> Ok (List.rev acc, List.rev deltas)
+    | (stage, Inline payload) :: rest ->
+        Hashtbl.replace t.section_gens stage t.gen;
+        Hashtbl.replace t.base_bytes stage (String.length payload);
+        go ((stage, payload) :: acc) deltas rest
+    | (stage, From g) :: rest -> (
+        match referenced stage g with
+        | Error e -> Error e
+        | Ok payload ->
+            Hashtbl.replace t.section_gens stage g;
+            Hashtbl.replace t.base_bytes stage (String.length payload);
+            go ((stage, payload) :: acc) deltas rest)
+    | (stage, Delta g) :: rest -> (
+        match referenced stage g with
+        | Error e -> Error e
+        | Ok payload ->
+            Hashtbl.replace t.section_gens stage g;
+            Hashtbl.replace t.base_bytes stage (String.length payload);
+            go ((stage, payload) :: acc) ((stage, g) :: deltas) rest)
+  in
+  go [] [] sections
+
+(* The stage-filtered transactions a set of delta sections replays on
+   top of their base payloads: every op of a delta stage, from the
+   WAL of its base generation up to (excluding) the current one, in
+   commit order.  A torn tail in one of these retired generations is
+   the remnant of an earlier crash — the lost batch was never applied
+   anywhere, so replay past it is exact; mid-log damage is not. *)
+let collect_delta_txns t deltas =
+  match deltas with
+  | [] -> Ok []
+  | _ ->
+      let floor = List.fold_left (fun acc (_, g) -> min acc g) t.gen deltas in
+      let rec go g acc =
+        if g >= t.gen then Ok (List.concat (List.rev acc))
+        else
+          let txns, tail = Wal.scan_generation ~dir:t.dir ~gen:g in
+          match tail with
+          | Corrupt ->
+              Error
+                (Printf.sprintf
+                   "delta section WAL: generation %d damaged mid-log" g)
+          | Clean | Torn ->
+              let live =
+                List.filter_map
+                  (fun (stage, base) -> if base <= g then Some stage else None)
+                  deltas
+              in
+              let filtered =
+                List.filter_map
+                  (fun ops ->
+                    match
+                      List.filter (fun op -> List.mem op.stage live) ops
+                    with
+                    | [] -> None
+                    | kept -> Some kept)
+                  txns
+              in
+              go (g + 1) (filtered :: acc)
+      in
+      go floor []
+
+(* Seed the delta accounting from what restore just replayed: every
+   op byte applied since a stage's base payload counts, so the
+   closing checkpoint (and every one after) inlines exactly when the
+   policy says the chain outgrew its base. *)
+let seed_delta_bytes t txns =
+  Hashtbl.reset t.delta_bytes;
+  List.iter
+    (List.iter (fun { stage; payload } ->
+         Hashtbl.replace t.delta_bytes stage
+           (String.length payload
+           + Option.value (Hashtbl.find_opt t.delta_bytes stage) ~default:0)))
+    txns
+
 let load_latest t =
-  match Snapshot.load (snap_path t.dir t.gen) with
-  | Error _ when not (Sys.file_exists (snap_path t.dir t.gen)) ->
+  let snap = snap_path t.dir t.gen in
+  match Snapshot.load snap with
+  | Error _ when not (Sys.file_exists snap) ->
       (* generation 0 of a run that never checkpointed: empty snapshot *)
-      let txns, tail = Wal.scan (wal_path t.dir t.gen) in
+      let txns, tail = Wal.scan_generation ~dir:t.dir ~gen:t.gen in
+      seed_delta_bytes t txns;
       Ok ([], txns, tail)
   | Error e -> Error e
-  | Ok sections ->
-      let txns, tail = Wal.scan (wal_path t.dir t.gen) in
-      Ok (sections, txns, tail)
+  | Ok sections -> (
+      match resolve_sections t sections with
+      | Error e -> Error e
+      | Ok (resolved, deltas) -> (
+          match collect_delta_txns t deltas with
+          | Error e -> Error e
+          | Ok old_txns ->
+              let txns, tail = Wal.scan_generation ~dir:t.dir ~gen:t.gen in
+              let txns = old_txns @ txns in
+              seed_delta_bytes t txns;
+              Ok (resolved, txns, tail)))
 
 let txns_committed t = t.txns
 let wal_bytes t = t.bytes
+let wal_segments t = t.seg + 1
+let syncs t = t.sync_count

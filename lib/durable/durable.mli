@@ -1,4 +1,5 @@
-(** Whole-system durability: checkpoint snapshots + a write-ahead log.
+(** Whole-system durability: incremental checkpoints + a segmented,
+    group-committed write-ahead log.
 
     The paper's Subscription Manager keeps its state in MySQL "for
     recovery" (§3.3); this module gives the reproduction the same
@@ -7,24 +8,38 @@
 
     - [MANIFEST] — the committed generation number, updated by an
       atomic temp+rename; it is the single commit point of a
-      checkpoint.
-    - [gen-N.snap] — a full snapshot of every stage, written
-      temp+rename before the manifest flips to [N].
-    - [gen-N.wal] — the write-ahead log of operations since
-      generation [N]'s snapshot.  Operations are buffered into
-      {e transactions} and appended as single checksummed records, so
-      a torn tail drops whole transactions, never half of one —
-      that is what keeps cross-stage state mutually consistent after
-      a kill.
-    - [subscriptions.log] — the {!Xy_submgr.Persist} subscription log
-      (compacted at each checkpoint).
+      checkpoint.  The bytes it references are fsynced before the
+      rename and the directory entry after it, so the commit point
+      survives power loss, not just a process kill.
+    - [gen-N.snap] — the generation's snapshot: one section per
+      stage, either an inline payload or a [From] reference to the
+      earlier generation whose snapshot last wrote the stage inline
+      (stages not mutated since are carried forward by reference
+      instead of being re-encoded inside the checkpoint pause).
+    - [gen-N.wal], [gen-N.wal.1], ... — the write-ahead log of
+      operations since generation [N]'s snapshot, as bounded segments
+      rotated at [config.segment_bytes].  Operations are buffered
+      into {e transactions} and appended as single checksummed
+      records, so a torn tail drops whole transactions, never half of
+      one — that is what keeps cross-stage state mutually consistent
+      after a kill.
+    - [subscriptions.log] — the {!Xy_submgr.Persist} subscription log.
     - [reports.log] — the append-only delivery ledger written by
       {!Xy_reporter.Sink.ledger}.
+
+    Transactions are {e group-committed}: {!commit} seals the record
+    into an in-memory batch, and the batch is written + fsynced once
+    every [config.sync_every] transactions or at an explicit
+    {!barrier}.  A kill loses at most the un-synced batch — callers
+    that acknowledge work externally (report delivery) must
+    {!barrier} before acknowledging, which preserves at-least-once.
 
     The framing mirrors {!Xy_submgr.Persist}: a space-separated header
     line carrying lengths and an FNV-1a checksum, then the payload.
     {!Wal.scan} distinguishes a torn tail (expected after a crash)
-    from mid-log corruption, exactly like [Persist.scan].
+    from mid-log corruption, exactly like [Persist.scan].  Header
+    integers are parsed strictly ({!Xy_util.Parse.decimal_int}), so
+    damaged bytes cannot masquerade as valid framing.
 
     Stages plug in through a [Durable.S]-style contract — they encode
     snapshots and operations as strings (via {!Xy_util.Codec}) and
@@ -33,94 +48,181 @@
 (** One operation: which stage owns it, and its opaque payload. *)
 type op = { stage : string; payload : string }
 
+(** Verdict about the end of a scanned log.  [Torn] is the expected
+    crash shape (final record cut short mid-write); [Corrupt] means
+    bytes were altered in place and recovery must not trust the
+    file. *)
 type tail = Clean | Torn | Corrupt
+
+type config = {
+  sync_every : int;
+      (** group-commit batch size: fsync once per this many committed
+          transactions (1 = sync every commit) *)
+  segment_bytes : int;
+      (** rotate the WAL to a fresh segment once the current one
+          outgrows this many bytes *)
+  fsync : bool;
+      (** when false, degrade every fsync to a flush — for tests and
+          benches that only model process kills, not power loss *)
+}
+
+val default_config : config
+(** [{ sync_every = 32; segment_bytes = 4 MiB; fsync = true }] *)
+
+(** A snapshot section: the stage's payload inline, a reference to
+    the earlier generation whose snapshot holds it inline, or a delta
+    — the payload at a base generation plus the stage's journaled ops
+    in the retained WALs of generations base..current (see
+    {!set_wal_carried}).  References never chain — a carried or delta
+    section always points at the generation that wrote the payload,
+    so restore chases at most one indirection per stage. *)
+type section = Inline of string | From of int | Delta of int
 
 (** {2 Low-level framing} (exposed for the crash-matrix tests) *)
 
 module Wal : sig
-  (** [append_txn oc ops] writes one transaction as a single
-      checksummed record and flushes. *)
-  val append_txn : out_channel -> op list -> unit
+  val append_txn : ?sync:bool -> out_channel -> op list -> unit
+  (** Append one transaction record; [sync] (default true) flushes
+      and fsyncs.  Framing: [T <payload_len> <checksum>\n<payload>\n],
+      the payload being each op as [<stage> <len>\n<payload bytes>]
+      concatenated. *)
 
-  (** [scan path] returns the committed transactions (in append
-      order) and the tail diagnosis.  A missing file is [([], Clean)].
-      Scanning stops at the first damaged record: [Torn] when the
-      damage is a truncated final record (the crash case), [Corrupt]
-      when bytes were altered mid-log. *)
   val scan : string -> op list list * tail
+  (** Read back every intact transaction of one segment, in order,
+      plus the tail verdict.  A missing file is [([], Clean)]. *)
+
+  val scan_generation : dir:string -> gen:int -> op list list * tail
+  (** Concatenate the scans of every segment of generation [gen],
+      stopping at the first damage.  A torn tail in a {e non-final}
+      segment is reported as [Corrupt]: rotation only ever follows a
+      sync, so a genuine crash tail can exist in the last segment
+      only. *)
 end
 
 module Snapshot : sig
-  (** [write path sections] writes one [(stage, payload)] record per
-      section, then atomically renames into place. *)
-  val write : string -> (string * string) list -> unit
+  val write : ?fsync:bool -> string -> (string * section) list -> unit
+  (** Write sections to [path] atomically (temp file, fsync, rename,
+      directory fsync).  Inline framing:
+      [S <stage> <payload_len> <checksum>\n<payload>\n]; carried:
+      [F <stage> <from-gen>\n]. *)
 
-  (** [load path] reads back the sections.  A snapshot is only ever
-      observed complete (it is renamed in after a full write), so any
-      framing damage is an error, not a tail. *)
-  val load : string -> ((string * string) list, string) result
+  val load : string -> ((string * section) list, string) result
+  (** Read sections back, verifying each inline checksum.  Carried
+      sections are returned unresolved. *)
 end
-
-(** {2 The durable directory} *)
 
 type t
 
-(** [open_fresh dir] starts a {e new} durable run in [dir]: creates
-    the directory if needed and removes any previous run's files
-    (manifest, generations, subscription log, ledger). *)
-val open_fresh : string -> t
+val open_fresh : ?config:config -> string -> t
+(** Create (or reset) a durable directory for a fresh run: any
+    previous manifest, snapshots, WAL segments (including orphans a
+    killed checkpoint left behind), compaction temps and stage logs
+    are removed, and generation 0 starts with an empty WAL. *)
 
-(** [open_existing dir] attaches to a directory containing a
-    committed generation; [None] when no manifest is present. *)
-val open_existing : string -> t option
+val open_existing : ?config:config -> string -> t option
+(** Attach to a durable directory left by a previous run.  [None] if
+    there is no readable manifest.  The WAL is {e not} opened for
+    appending — its tail may be torn; restore must end with a
+    {!checkpoint}, which starts the next generation. *)
 
 val dir : t -> string
 val generation : t -> int
 
-(** Path of the subscription log inside the durable directory. *)
 val subscription_log_path : t -> string
+(** Where the subscription log lives inside a durable directory. *)
 
-(** Path of the report-delivery ledger inside the durable directory. *)
 val report_ledger_path : t -> string
+(** Where the delivery ledger lives inside a durable directory. *)
 
-(** {2 Journaling} *)
-
-(** [journal t ~stage payload] buffers one operation into the current
-    transaction.  No-op while {!replaying}. *)
 val journal : t -> stage:string -> string -> unit
+(** Add an op to the transaction in progress and mark [stage] dirty
+    for the next checkpoint.  No-op while {!replaying}. *)
 
-(** [commit t] appends the buffered operations as one atomic record
-    and flushes; a crash between commits loses whole transactions
-    only.  No-op when the buffer is empty. *)
 val commit : t -> unit
+(** Seal the transaction in progress into the group-commit batch; the
+    batch is written and fsynced once [config.sync_every]
+    transactions accumulate (or at {!barrier} / {!checkpoint}).
+    No-op if the transaction is empty. *)
 
-(** [discard t] drops the buffered (uncommitted) operations — used
-    when a simulated crash aborts the transaction in progress. *)
+val barrier : t -> unit
+(** Write and fsync the group-commit batch now.  Required before any
+    external acknowledgement (e.g. report delivery): transactions in
+    an un-synced batch are lost by a kill. *)
+
 val discard : t -> unit
+(** Drop the transaction in progress {e and} the un-synced
+    group-commit batch — models a kill, used by fault injection. *)
+
+val mark_dirty : t -> string -> unit
+(** Mark a stage mutated for carry-forward purposes without
+    journalling an op (for mutations that replay reconstructs by
+    other means, e.g. the deterministic web re-evolved by the "A"
+    system op). *)
+
+val set_wal_carried : t -> string list -> unit
+(** Declare the stages whose {e every} mutation is journaled as an
+    op (never {!mark_dirty} alone).  A dirty WAL-carried stage
+    checkpoints as a [Delta] section — base payload by reference plus
+    the retained WALs since — instead of re-encoding, so the
+    checkpoint pause stays independent of the stage's size.  The
+    chain self-bounds: once the accumulated op bytes outgrow the base
+    payload, the next checkpoint writes a fresh inline payload and
+    the retained WALs are released.  Stages that mix journaled ops
+    with un-journaled mutations must not be declared here — their
+    delta replay would silently miss the un-journaled part. *)
+
+val dirty_stages : t -> string list
+(** Stages marked dirty since the last checkpoint (unordered;
+    diagnostics and tests). *)
 
 val replaying : t -> bool
+(** True while inside {!with_replay} — stages use it to skip
+    re-journalling mutations that are themselves being replayed. *)
 
-(** [with_replay t f] runs [f] with journaling suppressed (restore
-    must not re-journal the operations it is applying). *)
 val with_replay : t -> (unit -> 'a) -> 'a
 
-(** {2 Checkpoint & restore} *)
+val set_fuse : t -> (string -> unit) -> unit
+(** Install a hook consulted at checkpoint and rotation boundaries
+    with a label: ["checkpoint-begin"], ["carry-forward"],
+    ["snapshot-written"], ["wal-created"], ["manifest-committed"],
+    ["rotate"].  Fault injection uses this to kill the process inside
+    every crash window. *)
 
-(** [checkpoint t ~snapshot] commits any buffered transaction, writes
-    the next generation's snapshot (temp+rename), flips the manifest,
-    and truncates the WAL by switching to the new generation's (empty)
-    log.  The previous generation's files are removed best-effort. *)
-val checkpoint : t -> snapshot:(string * string) list -> unit
+val checkpoint :
+  ?force_full:bool -> t -> snapshot:(string * (unit -> string)) list -> unit
+(** Commit + barrier, then write snapshot [gen+1]: stages dirty since
+    the last checkpoint have their thunk run and the payload written
+    inline — except WAL-carried stages, which write a [Delta]
+    reference while their op bytes stay under the base payload's size
+    — and clean stages are carried forward by reference to the
+    generation that last wrote them inline.  [force_full] distrusts
+    [From] references (restore's re-arming mutations are not
+    journaled) but keeps deltas, whose WAL chains are exact by the
+    {!set_wal_carried} contract.  Then a fresh WAL for [gen+1] is
+    created and the directory fsynced, the MANIFEST flips to [gen+1]
+    (the single commit point), and only then are unreferenced older
+    files removed (WAL generations a delta still replays from are
+    retained) — so a kill anywhere in the sequence leaves a directory
+    that restores to a consistent state. *)
 
-(** [load_latest t] reads the committed generation's snapshot sections
-    and the WAL's committed transactions.  [Error _] when the snapshot
-    is unreadable (a corrupt snapshot is unrecoverable; the WAL tail
-    state is informational — [Torn] is the expected post-crash state). *)
 val load_latest :
   t -> ((string * string) list * op list list * tail, string) result
+(** Load the committed generation's snapshot with carried and delta
+    sections resolved (each chases exactly one reference; a delta
+    stage's payload is its base generation's), plus the replayable
+    transactions: the delta stages' ops from the retained WAL
+    generations first, then the current generation's WAL segments,
+    with the current tail verdict.  A brand-new generation 0 with no
+    snapshot file is [Ok ([], txns, tail)]. *)
 
-(** Counters for observability: transactions committed and bytes
-    appended to the current WAL since opening. *)
 val txns_committed : t -> int
+(** Transactions committed to the current WAL (diagnostics). *)
 
 val wal_bytes : t -> int
+(** Bytes synced to the current generation's WAL (diagnostics). *)
+
+val wal_segments : t -> int
+(** Segments in the current generation's WAL so far. *)
+
+val syncs : t -> int
+(** fsync batches issued for the WAL (group-commit diagnostics). *)

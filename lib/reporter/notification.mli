@@ -13,6 +13,10 @@ type t = {
   tag : string;  (** e.g. ["UpdatedPage"], ["AmsterdamPaintings"] *)
   body : Xy_xml.Types.node list;  (** the notification content *)
   at : float;  (** virtual arrival time *)
+  mutable rendered : string option;
+      (** memoized printed body — notifications are immutable once
+          buffered, and each is re-encoded at every snapshot it sits
+          in a buffer for; construct with [None] *)
 }
 
 (** [to_xml t] renders the notification as it appears inside a

@@ -24,7 +24,13 @@ type subscription_state = {
   mutable pending_rate_limited : bool;
       (** the when-condition fired but atmost-frequency held it back *)
   mutable archive : (float * T.element) list;  (** (sent_at, report) *)
+  mutable frame : string option;
+      (** cached snapshot-section bytes for this subscription,
+          invalidated by every state mutation — at 10^5 subscriptions
+          only the handful touched since the last checkpoint re-encode *)
 }
+
+let touch state = state.frame <- None
 
 (* A durable delivery intent: journaled and committed *before* the
    sink is invoked, acknowledged after.  A crash in the window leaves
@@ -50,6 +56,9 @@ type t = {
       (** global delivery sequence — every sink delivery gets a fresh
           number, stable across a warm restart *)
   pending : (int, intent) Hashtbl.t;  (** journaled but unacked *)
+  mutable outbox : Sink.delivery list;
+      (** deliveries whose intents are journaled in the current (still
+          open) transaction, awaiting {!flush_outbox} — newest first *)
   metrics : metrics;
   mutable journal : (string -> unit) option;
   mutable commit : (unit -> unit) option;
@@ -68,6 +77,7 @@ let create ?(obs = Obs.default) ~clock ~sink () =
     total_buffered = 0;
     next_seq = 1;
     pending = Hashtbl.create 4;
+    outbox = [];
     metrics =
       {
         m_notifications = Obs.counter obs ~stage "notifications";
@@ -103,23 +113,35 @@ let encode_body body =
 
 let decode_body s = (Xy_xml.Parser.parse_element s).T.children
 
+(* Notifications are immutable once buffered and may sit in a buffer
+   across many checkpoints: print the body once and keep it. *)
+let rendered_body (n : Notification.t) =
+  match n.Notification.rendered with
+  | Some s -> s
+  | None ->
+      let s = encode_body n.Notification.body in
+      n.Notification.rendered <- Some s;
+      s
+
 let encode_notification buf (n : Notification.t) =
   Codec.bool buf (n.Notification.source = Notification.Monitoring);
   Codec.string buf n.Notification.tag;
   Codec.float buf n.Notification.at;
-  Codec.string buf (encode_body n.Notification.body)
+  Codec.string buf (rendered_body n)
 
 let decode_notification r =
   let monitoring = Codec.read_bool r in
   let tag = Codec.read_string r in
   let at = Codec.read_float r in
-  let body = decode_body (Codec.read_string r) in
+  let body_str = Codec.read_string r in
+  let body = decode_body body_str in
   {
     Notification.source =
       (if monitoring then Notification.Monitoring else Notification.Continuous);
     tag;
     body;
     at;
+    rendered = Some body_str;
   }
 
 let set_buffered t state n =
@@ -156,7 +178,8 @@ let register t ~subscription ~recipient spec =
       state.periodic_deadline <-
         Option.map
           (fun s -> Xy_util.Clock.now t.clock +. s)
-          (shortest_frequency spec)
+          (shortest_frequency spec);
+      touch state
   | None ->
       Hashtbl.replace t.subscriptions subscription
         {
@@ -172,6 +195,7 @@ let register t ~subscription ~recipient spec =
               (shortest_frequency spec);
           pending_rate_limited = false;
           archive = [];
+          frame = None;
         });
   (* Log recovery re-registers at the recovery clock; journaling the
      authentic deadline lets replay correct it. *)
@@ -228,6 +252,7 @@ let rate_allows state ~now =
    the rate-limit clock restarts, the archive grows.  Shared between
    the live [fire] path and WAL replay. *)
 let apply_fire_state t state ~now ~report =
+  touch state;
   state.buffer <- [];
   set_buffered t state 0;
   state.tag_counts <- [];
@@ -239,14 +264,43 @@ let apply_fire_state t state ~now ~report =
   t.reports_sent <- t.reports_sent + 1;
   Obs.Counter.incr t.metrics.m_reports
 
+(* Flush deferred deliveries: invoke the sink for every outbox entry
+   (oldest first — seq order), then acknowledge each intent.  The
+   durable host calls this after the transaction carrying the intents
+   has committed *and synced*; the acks land in the follow-up
+   transaction the host opens. *)
+let flush_outbox t =
+  match List.rev t.outbox with
+  | [] -> 0
+  | deliveries ->
+      t.outbox <- [];
+      Obs.Histogram.time t.metrics.m_delivery_latency (fun () ->
+          List.iter (fun d -> t.sink.Sink.deliver d) deliveries);
+      List.iter
+        (fun (d : Sink.delivery) ->
+          Hashtbl.remove t.pending d.Sink.seq;
+          emit_op t (fun buf ->
+              Codec.string buf "A";
+              Codec.int buf d.Sink.seq))
+        deliveries;
+      List.length deliveries
+
+let outbox_size t = List.length t.outbox
+
 (* Build and send the report; empties the buffer.
 
    Durability protocol (at-least-once): the fire's state effects and
-   one delivery intent per recipient are journaled and *committed*
-   before the sink runs; each delivery is acknowledged (and the acks
-   committed) after.  A crash anywhere in the window leaves committed
-   intents without acks — [redeliver_pending] re-sends those with the
-   same sequence numbers, and consumers dedup by seq. *)
+   one delivery intent per recipient are journaled into the enclosing
+   transaction and the deliveries parked in the outbox; the durable
+   host commits and syncs that transaction as a whole, *then* flushes
+   the outbox and commits the acknowledgements.  A crash anywhere in
+   the window leaves committed intents without acks —
+   [redeliver_pending] re-sends those with the same sequence numbers,
+   and consumers dedup by seq.  Deferring the sink keeps the enclosing
+   transaction atomic: a lost group-commit batch can never contain
+   *half* of an ingest whose report barrier made the other half
+   durable.  Without a durable host (no commit hook) the outbox is
+   flushed inline — delivery stays synchronous. *)
 let fire ?trace t subscription state =
   let span =
     Option.map
@@ -292,21 +346,12 @@ let fire ?trace t subscription state =
         (seq, recipient))
       state.recipients
   in
-  commit_now t;
-  Obs.Histogram.time t.metrics.m_delivery_latency (fun () ->
-      List.iter
-        (fun (seq, recipient) ->
-          t.sink.Sink.deliver
-            { Sink.seq; recipient; subscription; report; at = now })
-        targets);
   List.iter
-    (fun (seq, _) ->
-      Hashtbl.remove t.pending seq;
-      emit_op t (fun buf ->
-          Codec.string buf "A";
-          Codec.int buf seq))
+    (fun (seq, recipient) ->
+      t.outbox <-
+        { Sink.seq; recipient; subscription; report; at = now } :: t.outbox)
     targets;
-  commit_now t;
+  if t.commit = None then ignore (flush_outbox t);
   Option.iter
     (Xy_trace.Trace.end_span
        ~attrs:
@@ -323,6 +368,7 @@ let maybe_fire ?trace t subscription state =
     if rate_allows state ~now then fire ?trace t subscription state
     else if not state.pending_rate_limited then begin
       state.pending_rate_limited <- true;
+      touch state;
       emit_op t (fun buf ->
           Codec.string buf "l";
           Codec.string buf subscription)
@@ -357,6 +403,7 @@ let notify ?trace t ~subscription notification =
          state.buffer <- notification :: state.buffer;
          set_buffered t state (state.buffered + 1);
          bump_tag state notification.Notification.tag;
+         touch state;
          emit_op t (fun buf ->
              Codec.string buf "n";
              Codec.string buf subscription;
@@ -368,11 +415,13 @@ let gc_archive t subscription state =
   let trim horizon =
     let before = List.length state.archive in
     state.archive <- List.filter (fun (at, _) -> at >= horizon) state.archive;
-    if List.length state.archive <> before then
+    if List.length state.archive <> before then begin
+      touch state;
       emit_op t (fun buf ->
           Codec.string buf "g";
           Codec.string buf subscription;
           Codec.float buf horizon)
+    end
   in
   match state.spec.S.r_archive with
   | None -> trim infinity
@@ -397,6 +446,7 @@ let tick t =
           let period = Option.get (shortest_frequency state.spec) in
           let rec advance d = if d <= now then advance (d +. period) else d in
           state.periodic_deadline <- Some (advance deadline);
+          touch state;
           journal_deadline t subscription state;
           if state.buffered > 0 && rate_allows state ~now then
             fire t subscription state
@@ -469,6 +519,20 @@ let encode_state buf (name, state) =
       Codec.string buf (Xy_xml.Printer.element_to_string report))
     (List.rev state.archive)
 
+(* The per-subscription section bytes, cached until the next mutation:
+   this is what keeps the checkpoint pause bounded — re-encoding all
+   10^5 states dominates the stall otherwise, while only the ones
+   touched since the last checkpoint actually changed. *)
+let state_frame (name, state) =
+  match state.frame with
+  | Some s -> s
+  | None ->
+      let buf = Buffer.create 512 in
+      encode_state buf (name, state);
+      let s = Buffer.contents buf in
+      state.frame <- Some s;
+      s
+
 let encode_snapshot t =
   let buf = Buffer.create 1024 in
   Codec.int buf t.next_seq;
@@ -484,7 +548,9 @@ let encode_snapshot t =
       Codec.string buf (Xy_xml.Printer.element_to_string i.i_report))
     (List.sort compare
        (Hashtbl.fold (fun seq i acc -> (seq, i) :: acc) t.pending []));
-  Codec.list buf encode_state (sorted_subscriptions t);
+  let subs = sorted_subscriptions t in
+  Codec.int buf (List.length subs);
+  List.iter (fun sub -> Buffer.add_string buf (state_frame sub)) subs;
   Buffer.contents buf
 
 (* The snapshot restores *state*, not structure: specs and recipients
@@ -551,7 +617,8 @@ let decode_snapshot t payload =
           state.last_report_at <- last;
           state.periodic_deadline <- deadline;
           state.pending_rate_limited <- limited;
-          state.archive <- List.rev archive)
+          state.archive <- List.rev archive;
+          touch state)
     states
 
 (* Replay applies the journaled effects directly — no conditions are
@@ -575,7 +642,8 @@ let apply_op t payload =
       with_state name (fun state ->
           state.buffer <- notification :: state.buffer;
           set_buffered t state (state.buffered + 1);
-          bump_tag state notification.Notification.tag)
+          bump_tag state notification.Notification.tag;
+          touch state)
   | "x" ->
       let _name = Codec.read_string r in
       t.notifications_received <- t.notifications_received + 1;
@@ -609,16 +677,20 @@ let apply_op t payload =
       let deadline =
         if Codec.read_bool r then Some (Codec.read_float r) else None
       in
-      with_state name (fun state -> state.periodic_deadline <- deadline)
+      with_state name (fun state ->
+          state.periodic_deadline <- deadline;
+          touch state)
   | "l" ->
       with_state (Codec.read_string r) (fun state ->
-          state.pending_rate_limited <- true)
+          state.pending_rate_limited <- true;
+          touch state)
   | "g" ->
       let name = Codec.read_string r in
       let horizon = Codec.read_float r in
       with_state name (fun state ->
           state.archive <-
-            List.filter (fun (at, _) -> at >= horizon) state.archive)
+            List.filter (fun (at, _) -> at >= horizon) state.archive;
+          touch state)
   | tag -> raise (Codec.Malformed ("unknown reporter op " ^ tag)));
   Codec.expect_end r
 

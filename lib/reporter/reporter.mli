@@ -63,17 +63,36 @@ val archived : t -> subscription:string -> Xy_xml.Types.element list
 
     Every delivery carries a global, monotonically increasing sequence
     number that survives a warm restart.  The fire path journals one
-    delivery *intent* per recipient and commits before the sink runs,
-    then acknowledges after: a crash in the window leaves committed,
-    unacked intents that {!redeliver_pending} re-sends with the same
-    sequence numbers — at-least-once delivery, deduplicated by seq. *)
+    delivery *intent* per recipient into the enclosing transaction and
+    parks the delivery in an outbox; the durable host commits and
+    syncs the transaction, calls {!flush_outbox} (which runs the sink
+    and journals the acknowledgements), and commits again.  A crash in
+    the window leaves committed, unacked intents that
+    {!redeliver_pending} re-sends with the same sequence numbers —
+    at-least-once delivery, deduplicated by seq.  Deferring the sink
+    this way keeps every transaction atomic on disk: the pre-delivery
+    sync can never persist half of the transaction a report fired
+    inside.  Without a commit hook the outbox is flushed inline and
+    delivery stays synchronous. *)
 
 (** [set_persistence t ~journal ~commit] attaches the durable hooks:
     [journal] buffers an op into the current transaction, [commit]
-    makes the transaction durable (the fire path calls it around sink
-    delivery).  Pass [None] to detach. *)
+    makes the transaction durable ({!redeliver_pending} calls it after
+    acking; the fire path defers to the host instead).  Pass [None] to
+    detach. *)
 val set_persistence :
   t -> journal:(string -> unit) option -> commit:(unit -> unit) option -> unit
+
+(** [flush_outbox t] invokes the sink for every parked delivery (in
+    sequence order), journals their acknowledgements into the current
+    transaction, and returns how many were delivered.  The durable
+    host must call it only after the transaction carrying the
+    delivery intents is committed and synced. *)
+val flush_outbox : t -> int
+
+(** [outbox_size t] is the number of deliveries awaiting
+    {!flush_outbox}. *)
+val outbox_size : t -> int
 
 (** [redeliver_pending t] re-delivers every journaled-but-unacked
     intent (post-crash), acks them, and returns how many were

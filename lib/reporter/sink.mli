@@ -85,3 +85,27 @@ type ledger_tail = Ledger_clean | Ledger_torn | Ledger_corrupt
     final entry is the expected post-crash state, mid-log damage is
     corruption.  A missing file is [([], Ledger_clean)]. *)
 val read_ledger : string -> ledger_entry list * ledger_tail
+
+(** Incremental ledger compaction: drops duplicate [seq] entries (the
+    at-least-once re-deliveries carry identical content, so one entry
+    per [seq] preserves everything observable) a bounded number of
+    records at a time, then atomically swaps the compacted file into
+    place.  Deliveries appended while the task runs are carried over
+    verbatim. *)
+module Ledger_compaction : sig
+  type task
+
+  type progress =
+    | Running  (** call {!step} again *)
+    | Finished of int  (** compacted; the count of entries dropped *)
+    | Abandoned  (** damage mid-ledger; the file is left untouched *)
+
+  (** [start path] begins a compaction; [None] when the ledger cannot
+      be opened.  A stale temp from an earlier crashed task is removed
+      first. *)
+  val start : string -> task option
+
+  (** [step task ~budget] processes up to [budget] entries; the
+      finishing step fsyncs, renames and fsyncs the directory. *)
+  val step : task -> budget:int -> progress
+end

@@ -204,6 +204,7 @@ let create ?(policy = Compile.default_policy) ?persist ?(obs = Obs.default)
                     tag = dispatch.d_tag;
                     body;
                     at = Xy_util.Clock.now t.clock;
+                    rendered = None;
                   };
                 Trigger.notify ?trace:alert.Mqp.trace t.trigger
                   ~subscription:dispatch.d_subscription ~tag:dispatch.d_tag
@@ -241,6 +242,7 @@ let install_continuous t ~subscription (c : S.continuous) =
             tag = c.S.c_name;
             body;
             at = Xy_util.Clock.now t.clock;
+            rendered = None;
           };
         Trigger.notify t.trigger ~subscription ~tag:c.S.c_name
   in
@@ -457,3 +459,8 @@ let compact_persist t =
 
 let persist_size t =
   match t.persist with Some log -> Persist.log_size log | None -> 0
+
+let compaction_start t =
+  match t.persist with Some log -> Persist.Compaction.start log | None -> None
+
+let compaction_step task ~budget = Persist.Compaction.step task ~budget

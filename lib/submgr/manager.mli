@@ -93,3 +93,12 @@ val compact_persist : t -> int
 (** [persist_size t] is the attached log's size in bytes ([0] without
     one). *)
 val persist_size : t -> int
+
+(** [compaction_start t] begins an incremental compaction of the
+    attached subscription log (see {!Persist.Compaction}); [None]
+    without a log, or when the log is dead/unreadable. *)
+val compaction_start : t -> Persist.Compaction.task option
+
+(** [compaction_step task ~budget] advances an incremental compaction
+    by up to [budget] records. *)
+val compaction_step : Persist.Compaction.task -> budget:int -> Persist.Compaction.progress

@@ -69,3 +69,31 @@ val compact_live : t -> int
 (** [log_size t] is the current size in bytes of an open log
     ([0] when dead). *)
 val log_size : t -> int
+
+(** Incremental compaction: the same rewrite as {!compact_live}, but a
+    bounded number of records at a time so it can interleave with
+    normal operation instead of stalling a checkpoint.  Appends issued
+    while a task runs are safe: everything written past the point
+    indexing stopped is carried into the compacted log verbatim, and
+    last-record-wins keeps the semantics unchanged. *)
+module Compaction : sig
+  type task
+
+  type progress =
+    | Running  (** call {!step} again *)
+    | Finished of int  (** compacted; the count of records dropped *)
+    | Abandoned
+        (** damage was found mid-log, or the log died; the log is
+            left exactly as it was *)
+
+  (** [start log] begins a compaction of an open, live log.  [None]
+      when the log is dead or unreadable.  A stale temp from an
+      earlier crashed task is removed first. *)
+  val start : t -> task option
+
+  (** [step task ~budget] processes up to [budget] records.  The
+      finishing step additionally swaps the compacted file into place
+      (fsync, atomic rename, directory fsync) and reopens the live
+      channel.  After [Finished] or [Abandoned] the task is spent. *)
+  val step : task -> budget:int -> progress
+end

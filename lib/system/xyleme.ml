@@ -14,6 +14,15 @@ module Trace = Xy_trace.Trace
 module Fault = Xy_fault.Fault
 module Durable = Xy_durable.Durable
 module Codec = Xy_util.Codec
+module Persist = Xy_submgr.Persist
+module Sink = Xy_reporter.Sink
+
+(* The background maintenance task in flight, advanced a bounded
+   number of records per crawl step — log compaction used to run
+   wholesale inside [checkpoint] and dominated its pause. *)
+type maintenance_task =
+  | Subscription_compaction of Persist.Compaction.task
+  | Ledger_compaction of Sink.Ledger_compaction.task
 
 type t = {
   obs : Obs.t;
@@ -36,6 +45,12 @@ type t = {
   mutable self_monitor_deadline : float option;
   mutable alerts_sent : int;
   durable : Durable.t option;
+  mutable maintenance : maintenance_task option;
+  mutable compacted_since_checkpoint : int;
+  mutable persist_floor : int;
+      (** subscription-log size right after its last compaction — the
+          next one starts when the log doubles past this *)
+  mutable ledger_floor : int;
   mutable steps_done : int;
   mutable mid_step : bool;
       (** an [advance] has committed since the last completed
@@ -102,7 +117,23 @@ let journal_op t ~stage encode =
       encode buf;
       Durable.journal d ~stage (Buffer.contents buf)
 
-let commit_txn t = match t.durable with Some d -> Durable.commit d | None -> ()
+(* Commit the open transaction; when it carried report-delivery
+   intents, sync the WAL *before* invoking the sinks (at-least-once:
+   an intent is durable before its report leaves the system) and
+   commit the acknowledgements right after.  The sink runs only once
+   the whole transaction is on disk, so a group-commit batch lost at a
+   kill can only ever drop *whole* transactions — never the tail of an
+   ingest whose report barrier persisted the head. *)
+let commit_txn t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      Durable.commit d;
+      if Xy_reporter.Reporter.outbox_size t.reporter > 0 then begin
+        Durable.barrier d;
+        ignore (Xy_reporter.Reporter.flush_outbox t.reporter);
+        Durable.commit d
+      end
 
 (* A consultation of the [crash] fault point: a stage boundary the
    kill-at-any-point tests can die at.  The transaction in progress is
@@ -160,26 +191,52 @@ let decode_system t payload =
   Codec.expect_end r;
   Mqp.restore_counters t.mqp ~alerts_processed ~notifications_emitted
 
+(* Thunks, not payloads: [Durable.checkpoint] only runs the encoder of
+   stages journaled since the last checkpoint and carries the rest
+   forward by reference. *)
 let snapshot_sections t =
   [
-    ("system", encode_system t);
-    ("fault", Fault.encode_snapshot t.faults);
-    ("web", Xy_crawler.Synthetic_web.encode_snapshot t.web);
-    ("warehouse", Store.encode_snapshot t.store);
-    ("queue", Xy_crawler.Fetch_queue.encode_snapshot t.queue);
-    ("crawler", Xy_crawler.Crawler.encode_snapshot t.crawler);
-    ("trigger", Xy_trigger.Trigger_engine.encode_snapshot t.trigger);
-    ("reporter", Xy_reporter.Reporter.encode_snapshot t.reporter);
+    ("system", fun () -> encode_system t);
+    ("fault", fun () -> Fault.encode_snapshot t.faults);
+    ("web", fun () -> Xy_crawler.Synthetic_web.encode_snapshot t.web);
+    ("warehouse", fun () -> Store.encode_snapshot t.store);
+    ("queue", fun () -> Xy_crawler.Fetch_queue.encode_snapshot t.queue);
+    ("crawler", fun () -> Xy_crawler.Crawler.encode_snapshot t.crawler);
+    ("trigger", fun () -> Xy_trigger.Trigger_engine.encode_snapshot t.trigger);
+    ("reporter", fun () -> Xy_reporter.Reporter.encode_snapshot t.reporter);
   ]
+
+(* Stages whose every mutation is journaled as an op, so their state
+   is exactly base-snapshot + WAL replay: these may checkpoint as
+   delta sections instead of re-encoding.  The reporter is the one
+   stage whose payload grows with the subscription population (per-sub
+   report frames), which is what made checkpoints stall at 10^5 subs.
+   The web must NOT be listed (it re-evolves via [mark_dirty], not
+   ops), nor the queue (restore's re-arming mutates it outside the
+   journal). *)
+let wal_carried_stages = [ "reporter" ]
 
 let attach_hooks t d =
   let j stage = Some (fun payload -> Durable.journal d ~stage payload) in
+  Durable.set_wal_carried d wal_carried_stages;
   Xy_crawler.Fetch_queue.set_journal t.queue (j "queue");
   Xy_crawler.Crawler.set_journal t.crawler (j "crawler");
   Xy_trigger.Trigger_engine.set_journal t.trigger (j "trigger");
   Fault.set_journal t.faults (j "fault");
+  (* every checkpoint/rotation boundary is a crash window the matrix
+     tests can kill inside *)
+  Durable.set_fuse d (fun label -> crash_point t ("durable:" ^ label));
+  (* The reporter acknowledges deliveries externally, so its commit
+     must also be a sync barrier: a group-commit batch lost at a kill
+     may never contain a delivery intent whose report was sent.  The
+     fire path itself defers sink invocation to [commit_txn]'s flush;
+     this hook only serves [redeliver_pending] during restore. *)
   Xy_reporter.Reporter.set_persistence t.reporter ~journal:(j "reporter")
-    ~commit:(Some (fun () -> Durable.commit d))
+    ~commit:
+      (Some
+         (fun () ->
+           Durable.commit d;
+           Durable.barrier d))
 
 (* ------------------------------------------------------------------ *)
 
@@ -248,6 +305,10 @@ let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
         Option.map (fun p -> Xy_util.Clock.now clock +. p) self_monitor_period;
       alerts_sent = 0;
       durable;
+      maintenance = None;
+      compacted_since_checkpoint = 0;
+      persist_floor = 0;
+      ledger_floor = 0;
       steps_done = 0;
       mid_step = false;
       m_ingested = Obs.counter obs ~stage:"system" "ingested";
@@ -274,9 +335,19 @@ let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
   t.manager <- Some manager;
   t
 
+let durable_config ?sync_every ?segment_bytes () =
+  let d = Durable.default_config in
+  {
+    d with
+    Durable.sync_every = Option.value ~default:d.Durable.sync_every sync_every;
+    segment_bytes = Option.value ~default:d.Durable.segment_bytes segment_bytes;
+  }
+
 let create ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ?durable_dir () =
-  let durable = Option.map Durable.open_fresh durable_dir in
+    ?self_monitor_period ?fault_plan ?retry ?durable_dir ?sync_every
+    ?segment_bytes () =
+  let config = durable_config ?sync_every ?segment_bytes () in
+  let durable = Option.map (Durable.open_fresh ~config) durable_dir in
   let t =
     make ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
       ?self_monitor_period ?fault_plan ?retry ~durable ()
@@ -441,6 +512,62 @@ let inject_self_monitor t =
 
 let discover t = Xy_crawler.Crawler.discover t.crawler
 
+(* ------------------------------------------------------------------ *)
+(* Background log compaction.  The subscription log and the report
+   ledger used to be compacted wholesale inside [checkpoint] — a
+   multi-hundred-millisecond stall at 10^5 subscriptions.  Instead, a
+   bounded slice of the rewrite runs at the end of every crawl step,
+   one task at a time. *)
+
+let maintenance_budget = 2048
+let compaction_min_bytes = 64 * 1024
+
+let file_size path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error _ -> 0
+
+let maintenance_step t =
+  if t.durable <> None then
+    match t.maintenance with
+    | Some (Subscription_compaction task) -> (
+        match Manager.compaction_step task ~budget:maintenance_budget with
+        | Persist.Compaction.Running -> ()
+        | Persist.Compaction.Finished dropped ->
+            t.compacted_since_checkpoint <-
+              t.compacted_since_checkpoint + dropped;
+            t.persist_floor <- Manager.persist_size (manager t);
+            t.maintenance <- None
+        | Persist.Compaction.Abandoned -> t.maintenance <- None)
+    | Some (Ledger_compaction task) -> (
+        match Sink.Ledger_compaction.step task ~budget:maintenance_budget with
+        | Sink.Ledger_compaction.Running -> ()
+        | Sink.Ledger_compaction.Finished dropped ->
+            t.compacted_since_checkpoint <-
+              t.compacted_since_checkpoint + dropped;
+            t.ledger_floor <-
+              Option.fold ~none:0 ~some:file_size (report_ledger_path t);
+            t.maintenance <- None
+        | Sink.Ledger_compaction.Abandoned -> t.maintenance <- None)
+    | None -> (
+        (* start a task only once a log both exceeds the floor size
+           and has doubled since its last compaction *)
+        let due size floor = size >= compaction_min_bytes && size >= 2 * floor in
+        let persist_size = Manager.persist_size (manager t) in
+        if due persist_size t.persist_floor then
+          t.maintenance <-
+            Option.map
+              (fun task -> Subscription_compaction task)
+              (Manager.compaction_start (manager t))
+        else
+          match report_ledger_path t with
+          | Some path when due (file_size path) t.ledger_floor ->
+              t.maintenance <-
+                Option.map
+                  (fun task -> Ledger_compaction task)
+                  (Sink.Ledger_compaction.start path)
+          | Some _ | None -> ())
+
 (* One crawl step, decomposed into transactions so that a kill at any
    boundary loses at most the unit in progress:
 
@@ -509,6 +636,7 @@ let crawl_step t ~limit =
       Codec.int buf t.steps_done;
       Codec.float buf (Xy_util.Clock.now t.clock));
   commit_txn t;
+  maintenance_step t;
   List.length fetches
 
 let advance t ~seconds =
@@ -521,6 +649,10 @@ let advance t ~seconds =
       Codec.string buf "A";
       Codec.float buf seconds);
   Xy_util.Clock.advance t.clock seconds;
+  (* the evolve mutates web state under a *system* op (replay re-draws
+     it from the journaled advance), so the web stage must be marked
+     dirty by hand or checkpoints would carry a stale section forward *)
+  Option.iter (fun d -> Durable.mark_dirty d "web") t.durable;
   ignore (Xy_crawler.Synthetic_web.evolve t.web ~elapsed:seconds);
   (* newly born pages become crawlable *)
   discover t;
@@ -549,19 +681,23 @@ let run t ~days ~step ~fetch_limit =
   for _ = 1 to steps do
     advance t ~seconds:step;
     ignore (crawl_step t ~limit:fetch_limit)
-  done
+  done;
+  (* an orderly completion must not leave the last group-commit batch
+     sitting in memory — a restore of this directory would miss it *)
+  Option.iter Durable.barrier t.durable
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint & restore *)
 
 type checkpoint_info = { generation : int; compacted_records : int }
 
-let checkpoint t =
+let checkpoint ?force_full t =
   match t.durable with
   | None -> invalid_arg "Xyleme.checkpoint: created without ~durable_dir"
   | Some d ->
-      let compacted_records = Manager.compact_persist (manager t) in
-      Durable.checkpoint d ~snapshot:(snapshot_sections t);
+      Durable.checkpoint ?force_full d ~snapshot:(snapshot_sections t);
+      let compacted_records = t.compacted_since_checkpoint in
+      t.compacted_since_checkpoint <- 0;
       { generation = Durable.generation d; compacted_records }
 
 (* Same schedule as [run], but driven by the journaled position, so a
@@ -580,7 +716,8 @@ let run_resumable ?(checkpoint_every = 0) t ~days ~step ~fetch_limit =
       && t.steps_done mod checkpoint_every = 0
       && t.durable <> None
     then ignore (checkpoint t)
-  done
+  done;
+  Option.iter Durable.barrier t.durable
 
 let apply_system_op t payload =
   let r = Codec.reader payload in
@@ -648,10 +785,16 @@ type restore_info = {
 }
 
 let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ~dir () =
-  match Durable.open_existing dir with
+    ?self_monitor_period ?fault_plan ?retry ?sync_every ?segment_bytes ~dir ()
+    =
+  let config = durable_config ?sync_every ?segment_bytes () in
+  match Durable.open_existing ~config dir with
   | None -> Error (Printf.sprintf "no durable run in %s (missing MANIFEST)" dir)
   | Some d -> (
+      (* before the closing checkpoint below: delta-eligible stages
+         must be known for it to keep their WAL chains instead of
+         re-encoding them *)
+      Durable.set_wal_carried d wal_carried_stages;
       match Durable.load_latest d with
       | Error e -> Error ("snapshot unreadable: " ^ e)
       | Ok (sections, txns, wal_tail) -> (
@@ -695,8 +838,15 @@ let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
               (* 5. Checkpoint immediately: the old generation's WAL
                  may end torn, and nothing must ever append after a
                  torn record.  This also opens the new generation's
-                 WAL, which journaling needs. *)
-              Durable.checkpoint d ~snapshot:(snapshot_sections t);
+                 WAL, which journaling needs.  Forced full: recovery
+                 mutations (replay, re-arming) are not journaled, so
+                 no carried-forward reference can be trusted here —
+                 delta sections are the exception, their stages'
+                 mutations are journaled by contract, so the closing
+                 checkpoint keeps their WAL chains instead of paying
+                 to re-encode the largest stage. *)
+              Durable.checkpoint ~force_full:true d
+                ~snapshot:(snapshot_sections t);
               attach_hooks t d;
               (* 6. At-least-once: re-send committed, unacked delivery
                  intents (consumers dedup by seq). *)

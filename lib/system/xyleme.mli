@@ -41,7 +41,12 @@ type t
     every state change is journaled to a write-ahead log so that
     {!restore} can warm-restart the system after a crash.  Checkpoint
     with {!checkpoint}; a durable system always carries a real fault
-    injector so the [crash] point can be armed. *)
+    injector so the [crash] point can be armed.
+
+    [sync_every] sets the WAL group-commit batch size (transactions
+    per fsync, default 32; [1] syncs every commit) and
+    [segment_bytes] the WAL segment rotation threshold — both forwarded
+    into {!Xy_durable.Durable.config}. *)
 val create :
   ?seed:int ->
   ?algorithm:Xy_core.Mqp.algorithm ->
@@ -55,6 +60,8 @@ val create :
   ?fault_plan:Xy_fault.Fault.spec ->
   ?retry:Xy_crawler.Crawler.retry_policy ->
   ?durable_dir:string ->
+  ?sync_every:int ->
+  ?segment_bytes:int ->
   unit ->
   t
 
@@ -202,13 +209,18 @@ val run_resumable :
 type checkpoint_info = {
   generation : int;  (** the new current generation *)
   compacted_records : int;
-      (** subscription-log records dropped by compaction *)
+      (** log records dropped by background compaction since the
+          previous checkpoint (subscription log + report ledger) *)
 }
 
-(** [checkpoint t] snapshots every stage into the next generation,
-    truncates the WAL, and compacts the subscription log.  Raises
+(** [checkpoint t] snapshots the stages mutated since the last
+    checkpoint into the next generation (unchanged stages are carried
+    forward by reference — the pause is proportional to what actually
+    changed) and starts a fresh WAL.  [force_full] re-encodes every
+    stage inline.  Log compaction does NOT run here: it proceeds in
+    the background, a bounded slice per crawl step.  Raises
     [Invalid_argument] on a non-durable system. *)
-val checkpoint : t -> checkpoint_info
+val checkpoint : ?force_full:bool -> t -> checkpoint_info
 
 type restore_info = {
   generation : int;  (** generation after the post-restore checkpoint *)
@@ -238,6 +250,8 @@ val restore :
   ?self_monitor_period:float ->
   ?fault_plan:Xy_fault.Fault.spec ->
   ?retry:Xy_crawler.Crawler.retry_policy ->
+  ?sync_every:int ->
+  ?segment_bytes:int ->
   dir:string ->
   unit ->
   (t * restore_info, string) result

@@ -8,6 +8,11 @@
 (** [fnv1a64 s] is the 64-bit FNV-1a hash of [s]. *)
 val fnv1a64 : string -> int64
 
+(** [fnv1a64_boxed s] is the straightforward [Int64] implementation —
+    same result as {!fnv1a64}, kept as the reference the optimised
+    native-int version is property-tested against. *)
+val fnv1a64_boxed : string -> int64
+
 (** [signature s] renders the hash as 16 lowercase hex digits. *)
 val signature : string -> string
 

@@ -1,0 +1,23 @@
+(* [int_of_string_opt] accepts far more than the on-disk formats ever
+   write: hex/octal/binary prefixes ("0x10"), underscore separators
+   ("1_0"), and signs ("+3", "-0").  A length or generation field in a
+   WAL/snapshot/manifest header that was damaged into one of those
+   shapes would then parse as a valid number and misclassify a Corrupt
+   tail as something else.  Recovery-path readers use this strict
+   parser instead: ASCII decimal digits only, overflow-checked. *)
+
+let decimal_int s =
+  let len = String.length s in
+  if len = 0 then None
+  else
+    let rec go i acc =
+      if i >= len then Some acc
+      else
+        match s.[i] with
+        | '0' .. '9' ->
+            let d = Char.code s.[i] - Char.code '0' in
+            if acc > (max_int - d) / 10 then None
+            else go (i + 1) ((acc * 10) + d)
+        | _ -> None
+    in
+    go 0 0

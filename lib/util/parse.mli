@@ -1,0 +1,11 @@
+(** Strict parsing for on-disk header fields.
+
+    The durable formats (WAL, snapshot, manifest, subscription log)
+    only ever write non-negative ASCII decimals; readers must accept
+    nothing more, or damaged bytes can masquerade as valid framing. *)
+
+(** [decimal_int s] parses [s] as a non-negative base-10 integer made
+    exclusively of ASCII digits.  Rejects everything
+    [int_of_string_opt] is lenient about — [0x]/[0o]/[0b] prefixes,
+    [_] separators, leading signs — and rejects overflow. *)
+val decimal_int : string -> int option

@@ -755,7 +755,15 @@ let d_baseline dir =
   d_run x;
   x
 
-let test_crash_matrix () =
+(* The kill-at-every-point matrix, parameterised over the durable
+   configuration.  [sync_every]/[segment_bytes] tune group commit and
+   segment rotation for the killed runs — the baseline always uses the
+   defaults, so convergence across configurations is itself part of
+   the contract.  Kills are sampled densely over [dense_from,
+   dense_to] and strided beyond it.  Returns the labels of the
+   boundaries killed at. *)
+let crash_matrix ?sync_every ?segment_bytes ?(checkpoint_every = 2)
+    ?(dense_from = 1) ~dense_to ~stride () =
   with_temp_dir @@ fun base_dir ->
   let x0 = d_baseline base_dir in
   let fp0 = store_fingerprint x0 in
@@ -765,17 +773,17 @@ let test_crash_matrix () =
   checkb "baseline produced reports" true (led0 <> []);
   let stats0 = Xyleme.stats x0 in
   let crash_labels = ref [] in
-  let k = ref 1 in
+  let k = ref dense_from in
   let finished = ref false in
   while not !finished do
     with_temp_dir (fun dir ->
         let x =
           Xyleme.create ~seed:d_seed ~web:(d_web ()) ~sink:(d_ledger_sink dir)
-            ~durable_dir:dir ()
+            ~durable_dir:dir ?sync_every ?segment_bytes ()
         in
         d_subscribe x;
         Fault.arm_after (Xyleme.faults x) "crash" !k;
-        match d_run ~checkpoint_every:2 x with
+        match d_run ~checkpoint_every x with
         | () ->
             (* the fuse outlived the run: every crash point is covered *)
             finished := true
@@ -783,7 +791,7 @@ let test_crash_matrix () =
             crash_labels := label :: !crash_labels;
             match
               Xyleme.restore ~seed:d_seed ~web:(d_web ())
-                ~sink:(d_ledger_sink dir) ~dir ()
+                ~sink:(d_ledger_sink dir) ~dir ?sync_every ?segment_bytes ()
             with
             | Error e -> Alcotest.failf "K=%d: restore failed: %s" !k e
             | Ok (x', _info) ->
@@ -810,22 +818,48 @@ let test_crash_matrix () =
                 checki
                   (Printf.sprintf "K=%d: notifications equivalent" !k)
                   stats0.Xyleme.notifications s.Xyleme.notifications));
-    (* dense over the first step's boundaries (every fetch and ingest
-       of the initial crawl), then strided over the rest of the run *)
-    k := if !k < 40 then !k + 1 else !k + 7
+    k := if !k < dense_to then !k + 1 else !k + stride
   done;
-  checkb "matrix reached the end of the run" true (!k > 40);
-  let kinds =
-    List.sort_uniq compare
-      (List.map
-         (fun l -> List.hd (String.split_on_char ':' l))
-         !crash_labels)
-  in
+  checkb "matrix reached the end of the run" true (!k > dense_to);
+  !crash_labels
+
+let kinds_of labels =
+  List.sort_uniq compare
+    (List.map (fun l -> List.hd (String.split_on_char ':' l)) labels)
+
+let test_crash_matrix () =
+  (* dense over the first step's boundaries (every fetch and ingest of
+     the initial crawl), then strided over the rest of the run *)
+  let labels = crash_matrix ~dense_to:40 ~stride:7 () in
+  let kinds = kinds_of labels in
   List.iter
     (fun kind ->
       checkb (Printf.sprintf "boundary kind %s exercised" kind) true
         (List.mem kind kinds))
     [ "advance"; "crawl-start"; "fetch"; "ingest"; "step-end" ]
+
+(* The same matrix under an aggressive durable configuration: segments
+   a few hundred bytes (rotation every few transactions), group commit
+   spanning several transactions, a checkpoint every step.  The dense
+   window is aimed past the initial crawl so kills land *inside* the
+   checkpoint machinery itself: carry-forward construction, the
+   snapshot/WAL/manifest commit windows, and mid-rotation. *)
+let test_crash_matrix_segmented () =
+  let labels =
+    crash_matrix ~sync_every:3 ~segment_bytes:256 ~checkpoint_every:1
+      ~dense_from:45 ~dense_to:130 ~stride:9 ()
+  in
+  checkb "durable boundaries exercised" true
+    (List.mem "durable" (kinds_of labels));
+  List.iter
+    (fun label ->
+      checkb (Printf.sprintf "killed at %s" label) true
+        (List.mem label labels))
+    [
+      "durable:checkpoint-begin"; "durable:carry-forward";
+      "durable:snapshot-written"; "durable:wal-created";
+      "durable:manifest-committed"; "durable:rotate";
+    ]
 
 (* A crash can also leave the WAL itself torn mid-record.  At the scan
    layer, exhaustively: every possible truncation yields a prefix of
@@ -1147,6 +1181,698 @@ let test_snapshot_sections_roundtrip () =
         [ "system"; "fault"; "web"; "warehouse"; "queue"; "crawler";
           "trigger"; "reporter" ]
 
+(* ------------------------------------------------------------------ *)
+(* Group commit, segments, incremental checkpoints (Durable level) *)
+
+(* fsync degraded to flush: these model process kills, not power loss *)
+let d_config ?(sync_every = 1) ?(segment_bytes = 1 lsl 20) () =
+  { Durable.sync_every; segment_bytes; fsync = false }
+
+(* A kill simulated from inside a durable fuse. *)
+exception Killed
+
+let test_group_commit_batch_loss () =
+  with_temp_dir @@ fun dir ->
+  let t = Durable.open_fresh ~config:(d_config ~sync_every:100 ()) dir in
+  let txn i =
+    Durable.journal t ~stage:"s" (Printf.sprintf "op%d" i);
+    Durable.commit t
+  in
+  for i = 1 to 5 do
+    txn i
+  done;
+  checki "small batch: nothing synced yet" 0 (Durable.syncs t);
+  Durable.barrier t;
+  checki "barrier issued one sync" 1 (Durable.syncs t);
+  for i = 6 to 9 do
+    txn i
+  done;
+  (* the kill: the un-synced batch evaporates with process memory *)
+  Durable.discard t;
+  let txns, tail = Durable.Wal.scan (Filename.concat dir "gen-0.wal") in
+  checkb "tail clean" true (tail = Durable.Clean);
+  checki "exactly the synced batch survived" 5 (List.length txns);
+  List.iteri
+    (fun i ops ->
+      match ops with
+      | [ { Durable.stage = "s"; payload } ] ->
+          checks "synced op content" (Printf.sprintf "op%d" (i + 1)) payload
+      | _ -> Alcotest.fail "unexpected transaction shape")
+    txns
+
+let test_wal_rotation_scan () =
+  with_temp_dir @@ fun dir ->
+  let t =
+    Durable.open_fresh ~config:(d_config ~sync_every:4 ~segment_bytes:512 ()) dir
+  in
+  let n = 60 in
+  for i = 1 to n do
+    Durable.journal t ~stage:"s"
+      (Printf.sprintf "%03d %s" i (String.make 32 'p'));
+    Durable.commit t
+  done;
+  Durable.barrier t;
+  checkb "rotated into several segments" true (Durable.wal_segments t > 2);
+  checkb "second segment exists on disk" true
+    (Sys.file_exists (Filename.concat dir "gen-0.wal.1"));
+  checkb "group commit batched the syncs" true (Durable.syncs t < n);
+  let txns, tail = Durable.Wal.scan_generation ~dir ~gen:0 in
+  checkb "clean across segments" true (tail = Durable.Clean);
+  checki "every txn recovered across segments" n (List.length txns)
+
+let test_segment_damage_classification () =
+  with_temp_dir @@ fun dir ->
+  let txn i = [ { Durable.stage = "s"; payload = Printf.sprintf "op %d" i } ] in
+  let seg_path seg =
+    Filename.concat dir
+      (if seg = 0 then "gen-0.wal" else Printf.sprintf "gen-0.wal.%d" seg)
+  in
+  let write_seg seg txns =
+    let oc = open_out_bin (seg_path seg) in
+    List.iter (Durable.Wal.append_txn ~sync:false oc) txns;
+    close_out oc
+  in
+  write_seg 0 [ txn 0; txn 1 ];
+  write_seg 1 [ txn 2; txn 3 ];
+  write_seg 2 [ txn 4 ];
+  let scan () = Durable.Wal.scan_generation ~dir ~gen:0 in
+  (let txns, tail = scan () in
+   checkb "clean" true (tail = Durable.Clean);
+   checkb "segments concatenated in order" true
+     (txns = [ txn 0; txn 1; txn 2; txn 3; txn 4 ]));
+  (* a short final segment is the ordinary crash shape *)
+  let full2 = In_channel.with_open_bin (seg_path 2) In_channel.input_all in
+  Out_channel.with_open_bin (seg_path 2) (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full2 0 (String.length full2 - 3)));
+  (let txns, tail = scan () in
+   checki "prefix survives a torn tail" 4 (List.length txns);
+   checkb "torn, not corrupt" true (tail = Durable.Torn));
+  Out_channel.with_open_bin (seg_path 2) (fun oc ->
+      Out_channel.output_string oc full2);
+  (* the same truncation in a NON-final segment is damage: rotation
+     only ever follows a sync, so no crash leaves a torn middle *)
+  let full1 = In_channel.with_open_bin (seg_path 1) In_channel.input_all in
+  Out_channel.with_open_bin (seg_path 1) (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full1 0 (String.length full1 - 3)));
+  (let txns, tail = scan () in
+   checki "stops at the damaged segment" 3 (List.length txns);
+   checkb "mid-generation tear is corrupt" true (tail = Durable.Corrupt));
+  Out_channel.with_open_bin (seg_path 1) (fun oc ->
+      Out_channel.output_string oc full1);
+  (* altered bytes mid-segment: corrupt wherever they land *)
+  let b = Bytes.of_string full1 in
+  let pos = Bytes.length b / 2 in
+  Bytes.set b pos (if Bytes.get b pos = 'x' then 'y' else 'x');
+  Out_channel.with_open_bin (seg_path 1) (fun oc ->
+      Out_channel.output_bytes oc b);
+  let txns, tail = scan () in
+  checkb "altered bytes diagnosed corrupt" true (tail = Durable.Corrupt);
+  checkb "only the undamaged prefix returned" true (List.length txns <= 3)
+
+let test_kill_at_rotation () =
+  with_temp_dir @@ fun dir ->
+  let t = Durable.open_fresh ~config:(d_config ~segment_bytes:300 ()) dir in
+  Durable.set_fuse t (fun l -> if l = "rotate" then raise Killed);
+  let killed_at = ref 0 in
+  (try
+     for i = 1 to 1000 do
+       Durable.journal t ~stage:"s" (Printf.sprintf "payload %04d" i);
+       match Durable.commit t with
+       | () -> ()
+       | exception Killed ->
+           killed_at := i;
+           raise Exit
+     done
+   with Exit -> ());
+  checkb "rotation fuse fired mid-stream" true (!killed_at > 0);
+  (* rotation strictly follows a sync: a kill inside the rotation
+     window loses nothing already committed *)
+  let txns, tail = Durable.Wal.scan_generation ~dir ~gen:0 in
+  checkb "clean tail" true (tail = Durable.Clean);
+  checki "every synced txn recovered" !killed_at (List.length txns)
+
+let test_carry_forward_depth1 () =
+  with_temp_dir @@ fun dir ->
+  let config = d_config () in
+  let t = Durable.open_fresh ~config dir in
+  let snapshot = [ ("a", fun () -> "av"); ("b", fun () -> "bv") ] in
+  Durable.journal t ~stage:"a" "x";
+  Durable.journal t ~stage:"b" "x";
+  Durable.commit t;
+  Durable.checkpoint t ~snapshot;
+  (* gen 1: both inline *)
+  Durable.journal t ~stage:"a" "x";
+  Durable.commit t;
+  Durable.checkpoint t ~snapshot;
+  (* gen 2: a inline, b carried from 1 *)
+  Durable.checkpoint t ~snapshot;
+  (* gen 3: nothing dirty — both carried, each pointing at the
+     generation that wrote it inline, never at another reference *)
+  (match Durable.Snapshot.load (Filename.concat dir "gen-3.snap") with
+  | Error e -> Alcotest.fail e
+  | Ok sections ->
+      checkb "a points at gen 2" true
+        (List.assoc "a" sections = Durable.From 2);
+      checkb "b points at gen 1, not gen 2" true
+        (List.assoc "b" sections = Durable.From 1));
+  match Durable.open_existing ~config dir with
+  | None -> Alcotest.fail "manifest unreadable"
+  | Some t' -> (
+      match Durable.load_latest t' with
+      | Ok (resolved, [], Durable.Clean) ->
+          checkb "one-hop resolution yields the payloads" true
+            (List.sort compare resolved = [ ("a", "av"); ("b", "bv") ])
+      | Ok _ -> Alcotest.fail "unexpected WAL content"
+      | Error e -> Alcotest.fail e)
+
+(* Kill inside every window of the checkpoint commit sequence; each
+   must leave a directory that restores to the pre-kill state (the
+   manifest names whichever generation is complete). *)
+let test_kill_in_checkpoint_windows () =
+  List.iter
+    (fun kill_label ->
+      with_temp_dir @@ fun dir ->
+      let config = d_config () in
+      let t = Durable.open_fresh ~config dir in
+      let model = Hashtbl.create 4 in
+      Hashtbl.replace model "a" "a1";
+      Hashtbl.replace model "b" "b1";
+      let snapshot =
+        [ ("a", fun () -> Hashtbl.find model "a");
+          ("b", fun () -> Hashtbl.find model "b") ]
+      in
+      Durable.journal t ~stage:"a" "a1";
+      Durable.journal t ~stage:"b" "b1";
+      Durable.commit t;
+      Durable.checkpoint t ~snapshot;
+      (* mutate only "a", then die inside the next checkpoint *)
+      Hashtbl.replace model "a" "a2";
+      Durable.journal t ~stage:"a" "a2";
+      Durable.commit t;
+      Durable.set_fuse t (fun l -> if l = kill_label then raise Killed);
+      (match Durable.checkpoint t ~snapshot with
+      | () -> Alcotest.failf "%s: fuse did not fire" kill_label
+      | exception Killed -> ());
+      match Durable.open_existing ~config dir with
+      | None -> Alcotest.failf "%s: no manifest after the kill" kill_label
+      | Some t' -> (
+          match Durable.load_latest t' with
+          | Error e -> Alcotest.failf "%s: load failed: %s" kill_label e
+          | Ok (sections, txns, tail) ->
+              checkb
+                (kill_label ^ ": tail not corrupt")
+                true (tail <> Durable.Corrupt);
+              (* sections, then WAL ops, last-writer-wins *)
+              let state = Hashtbl.create 4 in
+              List.iter (fun (s, p) -> Hashtbl.replace state s p) sections;
+              List.iter
+                (List.iter (fun { Durable.stage; payload } ->
+                     Hashtbl.replace state stage payload))
+                txns;
+              checks (kill_label ^ ": a recovered") "a2"
+                (Hashtbl.find state "a");
+              checks (kill_label ^ ": b recovered") "b1"
+                (Hashtbl.find state "b")))
+    [
+      "checkpoint-begin"; "carry-forward"; "snapshot-written"; "wal-created";
+      "manifest-committed";
+    ]
+
+let test_open_fresh_wipes_orphans () =
+  with_temp_dir @@ fun dir ->
+  let config = d_config () in
+  ignore (Durable.open_fresh ~config dir);
+  (* what killed checkpoints, rotations and compactions can leave *)
+  let plant name =
+    Out_channel.with_open_bin (Filename.concat dir name) (fun oc ->
+        Out_channel.output_string oc "stale")
+  in
+  List.iter plant
+    [
+      "gen-3.wal"; "gen-3.wal.7"; "gen-5.snap"; "gen-6.snap.tmp";
+      "MANIFEST.tmp"; "subscriptions.log"; "subscriptions.log.compact";
+      "reports.log"; "reports.log.compact";
+    ];
+  let t = Durable.open_fresh ~config dir in
+  checki "generation reset" 0 (Durable.generation t);
+  let left = List.sort compare (Array.to_list (Sys.readdir dir)) in
+  checkb "only the manifest and the fresh WAL remain" true
+    (left = [ "MANIFEST"; "gen-0.wal" ])
+
+(* The incremental-checkpoint correctness property: over ANY
+   interleaving of dirty stages across K checkpoints, restoring from
+   the final incremental snapshot equals restoring from a forced full
+   snapshot (and both equal the mutation model). *)
+let cf_stages = [ "alpha"; "beta"; "gamma"; "delta" ]
+
+let gen_dirty_plan =
+  QCheck.Gen.(
+    list_size (1 -- 6)
+      (list_size (0 -- 4)
+         (pair (oneofl cf_stages) (string_size ~gen:(char_range 'a' 'z') (1 -- 12)))))
+
+let qcheck_incremental_equals_full =
+  QCheck.Test.make
+    ~name:"any dirty interleaving: incremental restore = full restore"
+    ~count:60 (QCheck.make gen_dirty_plan)
+    (fun plan ->
+      let run ~force_full dir =
+        let config = d_config () in
+        let t = Durable.open_fresh ~config dir in
+        let model = Hashtbl.create 8 in
+        List.iter (fun s -> Hashtbl.replace model s "initial") cf_stages;
+        let snapshot =
+          List.map (fun s -> (s, fun () -> Hashtbl.find model s)) cf_stages
+        in
+        List.iter
+          (fun muts ->
+            List.iter
+              (fun (s, v) ->
+                Hashtbl.replace model s v;
+                Durable.journal t ~stage:s v)
+              muts;
+            Durable.commit t;
+            Durable.checkpoint ~force_full t ~snapshot)
+          plan;
+        let t' = Option.get (Durable.open_existing ~config dir) in
+        match Durable.load_latest t' with
+        | Ok (sections, [], Durable.Clean) -> List.sort compare sections
+        | Ok _ -> failwith "unexpected WAL content after checkpoint"
+        | Error e -> failwith e
+      in
+      with_temp_dir @@ fun d1 ->
+      with_temp_dir @@ fun d2 ->
+      let incremental = run ~force_full:false d1 in
+      let full = run ~force_full:true d2 in
+      incremental = full && List.length incremental = List.length cf_stages)
+
+(* ------------------------------------------------------------------ *)
+(* WAL-carried delta sections *)
+
+(* The full life of a delta chain: a WAL-carried stage checkpoints as
+   [Delta base] while its op bytes stay under the base payload, the
+   chain's WAL generations are retained on disk, restore replays base
+   payload + ops exactly, and outgrowing the base ends the chain with
+   a fresh inline payload (releasing the retired WALs). *)
+let test_delta_section_lifecycle () =
+  with_temp_dir @@ fun dir ->
+  let config = d_config () in
+  let t = Durable.open_fresh ~config dir in
+  Durable.set_wal_carried t [ "big" ];
+  let base = String.make 256 'B' in
+  let model = ref base in
+  let snapshot = [ ("big", fun () -> !model); ("small", fun () -> "sv") ] in
+  Durable.journal t ~stage:"big" "seed";
+  Durable.journal t ~stage:"small" "seed";
+  Durable.commit t;
+  Durable.checkpoint t ~snapshot;
+  (* gen 1: no base yet, both inline *)
+  Durable.journal t ~stage:"big" "d1";
+  Durable.commit t;
+  model := !model ^ "d1";
+  Durable.checkpoint t ~snapshot;
+  (* gen 2: big is dirty but WAL-carried → delta; small clean → From *)
+  (match Durable.Snapshot.load (Filename.concat dir "gen-2.snap") with
+  | Error e -> Alcotest.fail e
+  | Ok sections ->
+      checkb "big is a delta on its gen-1 base" true
+        (List.assoc "big" sections = Durable.Delta 1);
+      checkb "small carried from gen 1" true
+        (List.assoc "small" sections = Durable.From 1));
+  checkb "gen-1 WAL retained for the delta chain" true
+    (Sys.file_exists (Filename.concat dir "gen-1.wal"));
+  Durable.journal t ~stage:"big" "d2";
+  Durable.commit t;
+  model := !model ^ "d2";
+  Durable.checkpoint t ~snapshot;
+  (* gen 3: the chain keeps pointing at the payload generation *)
+  (match Durable.Snapshot.load (Filename.concat dir "gen-3.snap") with
+  | Error e -> Alcotest.fail e
+  | Ok sections ->
+      checkb "delta still points at gen 1, never at another delta" true
+        (List.assoc "big" sections = Durable.Delta 1));
+  checkb "gen-2 WAL also retained" true
+    (Sys.file_exists (Filename.concat dir "gen-2.wal"));
+  (* restore: base payload plus the chain's ops in commit order *)
+  (match Durable.open_existing ~config dir with
+  | None -> Alcotest.fail "no manifest"
+  | Some t' -> (
+      match Durable.load_latest t' with
+      | Error e -> Alcotest.fail e
+      | Ok (sections, txns, tail) ->
+          checkb "tail clean" true (tail = Durable.Clean);
+          checks "big resolves to its base payload" base
+            (List.assoc "big" sections);
+          checks "small resolves through its From" "sv"
+            (List.assoc "small" sections);
+          let ops =
+            List.concat txns
+            |> List.map (fun o -> (o.Durable.stage, o.Durable.payload))
+          in
+          checkb "delta ops replay in commit order" true
+            (ops = [ ("big", "d1"); ("big", "d2") ])));
+  (* outgrow the base: the chain must end with a fresh inline *)
+  Durable.journal t ~stage:"big" (String.make 300 'x');
+  Durable.commit t;
+  model := "rebuilt";
+  Durable.checkpoint t ~snapshot;
+  (match Durable.Snapshot.load (Filename.concat dir "gen-4.snap") with
+  | Error e -> Alcotest.fail e
+  | Ok sections ->
+      checkb "op bytes outgrew the base: chain ended inline" true
+        (List.assoc "big" sections = Durable.Inline "rebuilt"));
+  checkb "retired chain WALs released" true
+    (not (Sys.file_exists (Filename.concat dir "gen-1.wal"))
+    && not (Sys.file_exists (Filename.concat dir "gen-2.wal")));
+  checkb "gen-1 snapshot still held for small's From" true
+    (Sys.file_exists (Filename.concat dir "gen-1.snap"))
+
+(* Kill inside every checkpoint window while a delta section is being
+   written: whichever side of the manifest flip the kill lands on,
+   base payload + replayed ops reconstruct the exact pre-kill state. *)
+let test_delta_kill_windows () =
+  List.iter
+    (fun kill_label ->
+      with_temp_dir @@ fun dir ->
+      let config = d_config () in
+      let t = Durable.open_fresh ~config dir in
+      Durable.set_wal_carried t [ "big" ];
+      let base = String.make 128 'B' in
+      let snapshot =
+        [ ("big", fun () -> base); ("small", fun () -> "sv") ]
+      in
+      Durable.journal t ~stage:"big" "seed";
+      Durable.journal t ~stage:"small" "seed";
+      Durable.commit t;
+      Durable.checkpoint t ~snapshot;
+      Durable.journal t ~stage:"big" "d1";
+      Durable.commit t;
+      Durable.set_fuse t (fun l -> if l = kill_label then raise Killed);
+      (match Durable.checkpoint t ~snapshot with
+      | () -> Alcotest.failf "%s: fuse did not fire" kill_label
+      | exception Killed -> ());
+      match Durable.open_existing ~config dir with
+      | None -> Alcotest.failf "%s: no manifest after the kill" kill_label
+      | Some t' -> (
+          match Durable.load_latest t' with
+          | Error e -> Alcotest.failf "%s: load failed: %s" kill_label e
+          | Ok (sections, txns, tail) ->
+              checkb
+                (kill_label ^ ": tail not corrupt")
+                true (tail <> Durable.Corrupt);
+              (* pre-flip: gen 1 inline + its WAL.  post-flip: gen 2
+                 delta + retained gen-1 WAL.  Both must fold to the
+                 same state. *)
+              let folded =
+                List.fold_left
+                  (fun acc o ->
+                    if o.Durable.stage = "big" then acc ^ "+" ^ o.Durable.payload
+                    else acc)
+                  (List.assoc "big" sections)
+                  (List.concat txns)
+              in
+              checks (kill_label ^ ": delta chain exact") (base ^ "+d1")
+                folded))
+    [
+      "checkpoint-begin"; "carry-forward"; "snapshot-written"; "wal-created";
+      "manifest-committed";
+    ]
+
+(* Restore's closing checkpoint ([force_full]) must keep delta
+   sections — their WAL chains are exact by the set_wal_carried
+   contract — and must not run the stage's encode thunk. *)
+let test_delta_closing_checkpoint () =
+  with_temp_dir @@ fun dir ->
+  let config = d_config () in
+  let t = Durable.open_fresh ~config dir in
+  Durable.set_wal_carried t [ "big" ];
+  let base = String.make 128 'B' in
+  Durable.journal t ~stage:"big" "seed";
+  Durable.commit t;
+  Durable.checkpoint t ~snapshot:[ ("big", fun () -> base) ];
+  Durable.journal t ~stage:"big" "d1";
+  Durable.commit t;
+  Durable.barrier t;
+  (* the kill; a new process attaches for restore *)
+  let t' = Option.get (Durable.open_existing ~config dir) in
+  Durable.set_wal_carried t' [ "big" ];
+  (match Durable.load_latest t' with
+  | Error e -> Alcotest.fail e
+  | Ok (sections, txns, _) ->
+      checks "base restored" base (List.assoc "big" sections);
+      checkb "pending op replayed" true
+        (List.concat txns
+        |> List.exists (fun o -> o.Durable.payload = "d1")));
+  Durable.checkpoint ~force_full:true t'
+    ~snapshot:
+      [ ("big", fun () -> Alcotest.fail "closing checkpoint ran the encode") ];
+  (match Durable.Snapshot.load (Filename.concat dir "gen-2.snap") with
+  | Error e -> Alcotest.fail e
+  | Ok sections ->
+      checkb "closing checkpoint kept the delta" true
+        (List.assoc "big" sections = Durable.Delta 1));
+  (* and a later restore still reconstructs exactly once *)
+  let t2 = Option.get (Durable.open_existing ~config dir) in
+  match Durable.load_latest t2 with
+  | Error e -> Alcotest.fail e
+  | Ok (sections, txns, tail) ->
+      checkb "clean" true (tail <> Durable.Corrupt);
+      checks "base payload" base (List.assoc "big" sections);
+      let ops =
+        List.concat txns
+        |> List.filter (fun o -> o.Durable.stage = "big")
+        |> List.map (fun o -> o.Durable.payload)
+      in
+      checkb "d1 replays exactly once" true (ops = [ "d1" ])
+
+(* Delta correctness property: over ANY dirty interleaving, restoring
+   with every stage WAL-carried (deltas) yields the same applied state
+   as restoring with none (inline/From only).  Payloads of 1-12 bytes
+   against a 7-byte base exercise both sides of the outgrow-the-base
+   threshold. *)
+let qcheck_delta_equals_full =
+  QCheck.Test.make
+    ~name:"any dirty interleaving: delta restore state = inline restore state"
+    ~count:60 (QCheck.make gen_dirty_plan)
+    (fun plan ->
+      let run ~carried dir =
+        let config = d_config () in
+        let t = Durable.open_fresh ~config dir in
+        if carried then Durable.set_wal_carried t cf_stages;
+        let model = Hashtbl.create 8 in
+        List.iter (fun s -> Hashtbl.replace model s "initial") cf_stages;
+        let snapshot =
+          List.map (fun s -> (s, fun () -> Hashtbl.find model s)) cf_stages
+        in
+        List.iter
+          (fun muts ->
+            List.iter
+              (fun (s, v) ->
+                Hashtbl.replace model s v;
+                Durable.journal t ~stage:s v)
+              muts;
+            Durable.commit t;
+            Durable.checkpoint t ~snapshot)
+          plan;
+        let t' = Option.get (Durable.open_existing ~config dir) in
+        match Durable.load_latest t' with
+        | Ok (sections, txns, Durable.Clean) ->
+            let state = Hashtbl.create 8 in
+            List.iter (fun (s, p) -> Hashtbl.replace state s p) sections;
+            List.iter
+              (List.iter (fun { Durable.stage; payload } ->
+                   Hashtbl.replace state stage payload))
+              txns;
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) state []
+            |> List.sort compare
+        | Ok _ -> failwith "tail not clean after checkpoint"
+        | Error e -> failwith e
+      in
+      with_temp_dir @@ fun d1 ->
+      with_temp_dir @@ fun d2 ->
+      let delta = run ~carried:true d1 in
+      let inline = run ~carried:false d2 in
+      delta = inline && List.length delta = List.length cf_stages)
+
+(* The group-commit / at-least-once interlock at the system level: no
+   matter where a run is killed, every report the sink ever
+   acknowledged (= every ledger entry) has its delivery intent in the
+   *synced* WAL — the barrier-before-ack discipline means an un-synced
+   batch lost at a kill can never include an acked report. *)
+let test_acked_reports_in_synced_wal () =
+  let saw_reports = ref false in
+  List.iter
+    (fun k ->
+      with_temp_dir (fun dir ->
+          let x =
+            Xyleme.create ~seed:d_seed ~web:(d_web ()) ~sink:(d_ledger_sink dir)
+              ~durable_dir:dir ~sync_every:100_000 ()
+          in
+          d_subscribe x;
+          Fault.arm_after (Xyleme.faults x) "crash" k;
+          (match d_run x with () -> () | exception Fault.Crash _ -> ());
+          let entries, _tail =
+            Sink.read_ledger (Filename.concat dir "reports.log")
+          in
+          if entries <> [] then saw_reports := true;
+          let txns, tail = Durable.Wal.scan_generation ~dir ~gen:0 in
+          checkb (Printf.sprintf "K=%d: wal not corrupt" k) true
+            (tail <> Durable.Corrupt);
+          let intents = Hashtbl.create 16 in
+          List.iter
+            (List.iter (fun { Durable.stage; payload } ->
+                 if stage = "reporter" then
+                   let r = Codec.reader payload in
+                   match Codec.read_string r with
+                   | "F" -> Hashtbl.replace intents (Codec.read_int r) ()
+                   | _ -> ()))
+            txns;
+          List.iter
+            (fun e ->
+              checkb
+                (Printf.sprintf "K=%d: acked seq %d has a synced intent" k
+                   e.Sink.l_seq)
+                true
+                (Hashtbl.mem intents e.Sink.l_seq))
+            entries))
+    [ 30; 60; 90; 120; 150 ];
+  checkb "some kill landed after deliveries" true !saw_reports
+
+(* ------------------------------------------------------------------ *)
+(* Background (incremental) compaction *)
+
+let test_persist_compaction_incremental () =
+  with_temp @@ fun path ->
+  let log = Persist.open_log path in
+  for i = 0 to 199 do
+    Persist.append_insert log
+      ~name:(Printf.sprintf "s%d" (i mod 20))
+      ~owner:"o"
+      ~text:(Printf.sprintf "text %d" i)
+  done;
+  Persist.append_delete log ~name:"s0";
+  match Persist.Compaction.start log with
+  | None -> Alcotest.fail "start refused a live log"
+  | Some task ->
+      let steps = ref 0 in
+      let dropped = ref (-1) in
+      let raced = ref false in
+      while !dropped < 0 do
+        incr steps;
+        (* an append racing the task: it lands past the indexing limit
+           and must survive the swap verbatim *)
+        if !steps = 2 && not !raced then begin
+          raced := true;
+          Persist.append_insert log ~name:"late" ~owner:"o" ~text:"late text"
+        end;
+        match Persist.Compaction.step task ~budget:16 with
+        | Persist.Compaction.Running -> ()
+        | Persist.Compaction.Finished n -> dropped := n
+        | Persist.Compaction.Abandoned -> Alcotest.fail "abandoned a clean log"
+      done;
+      checkb "took several bounded steps" true (!steps > 5);
+      checkb "dropped the superseded records" true (!dropped > 150);
+      let _, tail = Persist.scan path in
+      checkb "compacted log scans clean" true (tail = Persist.Clean);
+      let live = Persist.replay path in
+      checki "survivors: 19 live names + the racing append" 20
+        (List.length live);
+      checkb "racing append survived" true
+        (List.exists
+           (function Persist.Insert { name = "late"; _ } -> true | _ -> false)
+           live);
+      checkb "deleted name stayed deleted" true
+        (not
+           (List.exists
+              (function Persist.Insert { name = "s0"; _ } -> true | _ -> false)
+              live));
+      (* the live channel was re-opened onto the compacted file *)
+      Persist.append_insert log ~name:"after" ~owner:"o" ~text:"t";
+      checkb "log still accepts appends after the swap" true
+        (List.exists
+           (function Persist.Insert { name = "after"; _ } -> true | _ -> false)
+           (Persist.replay path));
+      Persist.close log
+
+let test_persist_compaction_damage () =
+  with_temp @@ fun path ->
+  let log = Persist.open_log path in
+  for i = 0 to 49 do
+    Persist.append_insert log
+      ~name:(Printf.sprintf "s%d" (i mod 5))
+      ~owner:"o" ~text:"t"
+  done;
+  let original = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string original in
+  let pos = Bytes.length b / 2 in
+  Bytes.set b pos (if Bytes.get b pos = 'x' then 'y' else 'x');
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  (match Persist.Compaction.start log with
+  | None -> Alcotest.fail "start refused"
+  | Some task ->
+      let rec drive () =
+        match Persist.Compaction.step task ~budget:8 with
+        | Persist.Compaction.Running -> drive ()
+        | p -> p
+      in
+      (match drive () with
+      | Persist.Compaction.Abandoned -> ()
+      | _ -> Alcotest.fail "compaction must abandon a damaged log"));
+  checks "damaged log left exactly as it was" (Bytes.to_string b)
+    (In_channel.with_open_bin path In_channel.input_all);
+  checkb "no temp left behind" true
+    (not (Sys.file_exists (path ^ ".compact")));
+  Persist.close log
+
+let test_ledger_compaction () =
+  with_temp @@ fun path ->
+  let sink = Sink.ledger ~path () in
+  let report = Xy_xml.Types.(element "Report" [ el "Body" [] ]) in
+  let d seq =
+    { Sink.seq; recipient = "r"; subscription = "S"; report; at = 1. }
+  in
+  (* seqs 1 and 2 re-delivered: at-least-once duplicates to fold *)
+  List.iter sink.Sink.deliver [ d 1; d 2; d 3; d 1; d 2; d 4 ];
+  (match Sink.Ledger_compaction.start path with
+  | None -> Alcotest.fail "start refused"
+  | Some task ->
+      let rec drive steps =
+        match Sink.Ledger_compaction.step task ~budget:2 with
+        | Sink.Ledger_compaction.Running -> drive (steps + 1)
+        | Sink.Ledger_compaction.Finished n -> (steps, n)
+        | Sink.Ledger_compaction.Abandoned -> Alcotest.fail "abandoned"
+      in
+      let steps, dropped = drive 1 in
+      checkb "incremental" true (steps > 1);
+      checki "both duplicates folded" 2 dropped);
+  let entries, tail = Sink.read_ledger path in
+  checkb "compacted ledger clean" true (tail = Sink.Ledger_clean);
+  checki "one entry per distinct seq" 4 (List.length entries);
+  checkb "every seq still present" true
+    (List.sort compare (List.map (fun e -> e.Sink.l_seq) entries)
+    = [ 1; 2; 3; 4 ]);
+  (* damage mid-ledger: abandoned, file untouched *)
+  let original = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string original in
+  let pos = Bytes.length b / 2 in
+  Bytes.set b pos (if Bytes.get b pos = 'x' then 'y' else 'x');
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  (match Sink.Ledger_compaction.start path with
+  | None -> Alcotest.fail "start refused damaged"
+  | Some task ->
+      let rec drive () =
+        match Sink.Ledger_compaction.step task ~budget:8 with
+        | Sink.Ledger_compaction.Running -> drive ()
+        | p -> p
+      in
+      (match drive () with
+      | Sink.Ledger_compaction.Abandoned -> ()
+      | _ -> Alcotest.fail "must abandon a damaged ledger"));
+  checks "damaged ledger left exactly as it was" (Bytes.to_string b)
+    (In_channel.with_open_bin path In_channel.input_all)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "fault"
@@ -1201,6 +1927,26 @@ let () =
           tc "wal truncate at every offset" test_wal_truncate_every_offset;
           QCheck_alcotest.to_alcotest qcheck_wal_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_wal_truncation;
+          tc "group commit: a kill loses only the un-synced batch"
+            test_group_commit_batch_loss;
+          tc "segmented wal: rotation and cross-segment scan"
+            test_wal_rotation_scan;
+          tc "segmented wal: damage classification"
+            test_segment_damage_classification;
+          tc "kill at rotation: synced txns all recovered"
+            test_kill_at_rotation;
+          tc "carry-forward references stay depth-1" test_carry_forward_depth1;
+          tc "kill inside every checkpoint window"
+            test_kill_in_checkpoint_windows;
+          tc "open_fresh wipes orphaned generation files"
+            test_open_fresh_wipes_orphans;
+          QCheck_alcotest.to_alcotest qcheck_incremental_equals_full;
+          tc "delta section lifecycle" test_delta_section_lifecycle;
+          tc "delta: kill inside every checkpoint window"
+            test_delta_kill_windows;
+          tc "delta survives the closing checkpoint"
+            test_delta_closing_checkpoint;
+          QCheck_alcotest.to_alcotest qcheck_delta_equals_full;
           tc "snapshot sections roundtrip" test_snapshot_sections_roundtrip;
           tc "restore completed run" test_restore_completed_run;
           tc "restore refuses garbage" test_restore_refuses_garbage;
@@ -1211,10 +1957,23 @@ let () =
           tc "unsubscribe resets refresh ceiling"
             test_unsubscribe_resets_refresh_ceiling;
         ] );
+      ( "compaction",
+        [
+          tc "subscription log: incremental and append-safe"
+            test_persist_compaction_incremental;
+          tc "subscription log: abandons on damage"
+            test_persist_compaction_damage;
+          tc "ledger: folds duplicates, abandons on damage"
+            test_ledger_compaction;
+        ] );
       ( "crash",
         [
           Alcotest.test_case "kill at every point, restore, equivalence" `Slow
             test_crash_matrix;
+          Alcotest.test_case "segmented config: kill inside the checkpoint"
+            `Slow test_crash_matrix_segmented;
+          Alcotest.test_case "acked reports always in the synced wal" `Slow
+            test_acked_reports_in_synced_wal;
           Alcotest.test_case "wal truncation: restore, no loss" `Slow
             test_wal_truncation_restore_no_loss;
         ] );

@@ -22,6 +22,7 @@ let notification ?(tag = "UpdatedPage") ?(body = []) clock =
     tag;
     body;
     at = Clock.now clock;
+    rendered = None;
   }
 
 let setup report_spec =

@@ -5,6 +5,7 @@ module Clock = Xy_util.Clock
 module Prng = Xy_util.Prng
 module Sorted_ints = Xy_util.Sorted_ints
 module Hashing = Xy_util.Hashing
+module Parse = Xy_util.Parse
 
 let check = Alcotest.check
 let checkb = Alcotest.(check bool)
@@ -238,6 +239,49 @@ let test_combine_order_sensitive () =
   checkb "combine not commutative" false
     (Hashing.combine h1 h2 = Hashing.combine h2 h1)
 
+(* The optimised native-int FNV-1a must agree bit-for-bit with the
+   straightforward Int64 reference on arbitrary bytes. *)
+let qcheck_fnv_fast_equals_boxed =
+  QCheck.Test.make ~name:"fnv1a64 = fnv1a64_boxed" ~count:1000
+    QCheck.(string_gen_of_size Gen.(0 -- 200) Gen.char)
+    (fun s -> Int64.equal (Hashing.fnv1a64 s) (Hashing.fnv1a64_boxed s))
+
+(* ------------------------------------------------------------------ *)
+(* Strict decimal parsing (durable-format headers) *)
+
+let test_decimal_accepts () =
+  let d = Alcotest.(option int) in
+  check d "zero" (Some 0) (Parse.decimal_int "0");
+  check d "plain" (Some 42) (Parse.decimal_int "42");
+  check d "leading zeros" (Some 7) (Parse.decimal_int "007");
+  check d "max_int" (Some max_int) (Parse.decimal_int (string_of_int max_int))
+
+let test_decimal_rejects_leniencies () =
+  let d = Alcotest.(option int) in
+  (* everything [int_of_string_opt] would wave through *)
+  check d "hex prefix" None (Parse.decimal_int "0x10");
+  check d "octal prefix" None (Parse.decimal_int "0o17");
+  check d "binary prefix" None (Parse.decimal_int "0b101");
+  check d "underscore separator" None (Parse.decimal_int "1_0");
+  check d "leading plus" None (Parse.decimal_int "+3");
+  check d "negative" None (Parse.decimal_int "-1");
+  check d "empty" None (Parse.decimal_int "");
+  check d "spaces" None (Parse.decimal_int " 1");
+  check d "trailing junk" None (Parse.decimal_int "12a")
+
+let test_decimal_rejects_overflow () =
+  let d = Alcotest.(option int) in
+  (* max_int plus one: same digit count, must overflow cleanly *)
+  let over =
+    let s = string_of_int max_int in
+    let b = Bytes.of_string s in
+    Bytes.set b (Bytes.length b - 1)
+      (Char.chr (Char.code (Bytes.get b (Bytes.length b - 1)) + 1));
+    Bytes.to_string b
+  in
+  check d "max_int + 1" None (Parse.decimal_int over);
+  check d "way past" None (Parse.decimal_int "99999999999999999999")
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "util"
@@ -279,5 +323,12 @@ let () =
           tc "stable known vectors" test_hash_stable;
           tc "distinguishes content" test_hash_distinguishes;
           tc "combine order-sensitive" test_combine_order_sensitive;
+          QCheck_alcotest.to_alcotest qcheck_fnv_fast_equals_boxed;
+        ] );
+      ( "parse",
+        [
+          tc "decimal accepts" test_decimal_accepts;
+          tc "decimal rejects leniencies" test_decimal_rejects_leniencies;
+          tc "decimal rejects overflow" test_decimal_rejects_overflow;
         ] );
     ]
