@@ -19,7 +19,7 @@ let mqp_kernel algorithm ~card_c =
      which the OLS fit requires *)
   let docs = Workload.document_sets workload ~seed:13 ~count:1 in
   let events = docs.(0) in
-  fun () -> ignore (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None })
+  fun () -> ignore (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None; birth = None })
 
 let url_kernel impl ~patterns =
   let prng = Prng.create ~seed:3 in

@@ -151,7 +151,7 @@ let tbl_e2e_mqp_share scale =
   let per_doc =
     time_per_unit ~units:(Array.length docs) (fun () ->
         Array.iter
-          (fun events -> ignore (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None }))
+          (fun events -> ignore (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None; birth = None }))
           docs)
   in
   print_table ~title:"isolated MQP cost at pipeline-like parameters"

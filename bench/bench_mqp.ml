@@ -18,7 +18,7 @@ let time_match_set mqp docs =
   time_per_unit ~units:n (fun () ->
       Array.iter
         (fun events ->
-          ignore (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None }))
+          ignore (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None; birth = None }))
         docs)
 
 (* ------------------------------------------------------------------ *)
@@ -346,7 +346,7 @@ let tbl_dist scale =
   let alerts =
     Array.mapi
       (fun i events ->
-        { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = ""; trace = None })
+        { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = ""; trace = None; birth = None })
       docs
   in
   let time_partition part =
@@ -471,7 +471,7 @@ let tbl_dist_par scale =
                   Array.iter
                     (fun events ->
                       ignore
-                        (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None }))
+                        (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace = None; birth = None }))
                     shards.(shard)))
         in
         Array.iter Domain.join domains;

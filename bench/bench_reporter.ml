@@ -35,7 +35,8 @@ let tbl_rep scale =
   done;
   let body = [ T.el "UpdatedPage" ~attrs:[ ("url", "http://x/") ] [] ] in
   let notification =
-    { Notification.source = Notification.Monitoring; tag = "UpdatedPage"; body; at = 0.; rendered = None }
+    { Notification.source = Notification.Monitoring; tag = "UpdatedPage"; body;
+      at = 0.; birth = None; rendered = None }
   in
   let per_notification =
     time_per_unit ~units:notifications (fun () ->

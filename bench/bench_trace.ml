@@ -59,7 +59,8 @@ let tbl_trace_overhead scale =
                     | Some tracer -> Trace.start tracer ~root
                   in
                   ignore
-                    (Mqp.process mqp { Mqp.url = ""; events; payload = ""; trace });
+                    (Mqp.process mqp
+                       { Mqp.url = ""; events; payload = ""; trace; birth = None });
                   Option.iter Trace.finish trace)
                 shards.(shard)))
     in

@@ -19,6 +19,7 @@
      tbl-e2e-mqp   MQP share of the pipeline
      tbl-fault     crawl throughput under fetch failures
      tbl-durable   checkpoint cost & warm-restart time
+     tbl-staleness staleness quantiles vs fetch budget
 
    Usage:
      dune exec bench/main.exe                  (default scale, all)
@@ -33,6 +34,7 @@
 let experiments : (string * (Harness.scale -> unit)) list =
   Bench_mqp.all @ Bench_alerters.all @ Bench_reporter.all @ Bench_e2e.all
   @ Bench_ablation.all @ Bench_trace.all @ Bench_fault.all @ Bench_durable.all
+  @ Bench_staleness.all
 
 let () =
   let scale = ref Harness.Default in

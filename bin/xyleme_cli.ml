@@ -152,7 +152,8 @@ let validate_cmd =
 let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
     ?(report_clause = "report when count > 5 atmost daily") ?durable_dir
     ?(checkpoint_every = 0) ?kill_after ?(restore = false) ?sync_every
-    ?segment_bytes ~sites ~days ~subscriptions ~seed () =
+    ?segment_bytes ?slos ?telemetry_port ?(linger = 0.) ~sites ~days
+    ~subscriptions ~seed () =
   let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
   let counting_sink, delivered = Xy_reporter.Sink.counting () in
   (* A durable run also writes every delivery into the directory's
@@ -173,7 +174,7 @@ let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
       in
       match
         Xy_system.Xyleme.restore ~seed ?algorithm ?fault_plan ~sink ~web
-          ?sync_every ?segment_bytes ~dir ()
+          ?slos ?sync_every ?segment_bytes ~dir ()
       with
       | Error e ->
           Printf.eprintf "restore failed: %s\n" e;
@@ -196,8 +197,55 @@ let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
           xyleme
     end
     else
-      Xy_system.Xyleme.create ~seed ?algorithm ?fault_plan ~sink ~web
+      Xy_system.Xyleme.create ~seed ?algorithm ?fault_plan ~sink ~web ?slos
         ?durable_dir ?sync_every ?segment_bytes ()
+  in
+  (* The live telemetry endpoint serves scrapes from a background
+     thread while the simulation runs on this one; every route reads
+     through thread-safe snapshots. *)
+  let telemetry =
+    Option.map
+      (fun port ->
+        let server =
+          Xy_telemetry.Telemetry.start ~port
+            ~routes:
+              [
+                ( "/metrics",
+                  fun () ->
+                    Xy_telemetry.Telemetry.text
+                      (Xy_telemetry.Telemetry.prometheus_of_snapshot
+                         (Xy_obs.Obs.snapshot (Xy_system.Xyleme.obs xyleme)))
+                );
+                ( "/health",
+                  fun () ->
+                    let stats = Xy_system.Xyleme.stats xyleme in
+                    Xy_telemetry.Telemetry.json
+                      (Printf.sprintf
+                         {|{"status":"ok","steps_done":%d,"restarts":%d,"virtual_now":%g,"documents_fetched":%d,"documents_stored":%d,"notifications":%d,"reports":%d}|}
+                         (Xy_system.Xyleme.steps_done xyleme)
+                         (Xy_system.Xyleme.restarts xyleme)
+                         (Xy_util.Clock.now (Xy_system.Xyleme.clock xyleme))
+                         stats.Xy_system.Xyleme.documents_fetched
+                         stats.Xy_system.Xyleme.documents_stored
+                         stats.Xy_system.Xyleme.notifications
+                         stats.Xy_system.Xyleme.reports) );
+                ( "/slo",
+                  fun () ->
+                    Xy_telemetry.Telemetry.json
+                      (Xy_slo.Slo.reports_to_json
+                         (Xy_system.Xyleme.slo_reports xyleme)) );
+                ( "/traces",
+                  fun () ->
+                    Xy_telemetry.Telemetry.jsonl
+                      (Xy_trace.Trace.to_jsonl_string
+                         (Xy_system.Xyleme.tracer xyleme)) );
+              ]
+            ()
+        in
+        Printf.printf "telemetry: http://127.0.0.1:%d (/metrics /health /slo /traces)\n%!"
+          (Xy_telemetry.Telemetry.port server);
+        server)
+      telemetry_port
   in
   if trace_every > 0 then
     Xy_trace.Trace.set_sampling (Xy_system.Xyleme.tracer xyleme)
@@ -235,6 +283,15 @@ where URL extends "http://site%d.example.org/" and modified self
        "killed by injected crash at %s (step %d); restart with --restore\n"
        label
        (Xy_system.Xyleme.steps_done xyleme));
+  Option.iter
+    (fun server ->
+      if linger > 0. then begin
+        Printf.printf "telemetry: serving for another %.0fs (scrape now)\n%!"
+          linger;
+        Thread.delay linger
+      end;
+      Xy_telemetry.Telemetry.stop server)
+    telemetry;
   (xyleme, !accepted, !delivered)
 
 let print_snapshot ~xml xyleme =
@@ -419,10 +476,51 @@ let segment_kib_arg =
           "WAL segment rotation threshold in KiB: the log rolls into a new \
            bounded segment once the current one exceeds $(docv) KiB")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "telemetry" ] ~docv:"PORT"
+        ~doc:
+          "Serve live telemetry on http://127.0.0.1:$(docv) while the run \
+           executes: $(b,/metrics) (Prometheus text), $(b,/health) and \
+           $(b,/slo) (JSON), $(b,/traces) (JSONL).  Port 0 picks an \
+           ephemeral port (printed at startup)")
+
+let linger_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "linger" ] ~docv:"SECONDS"
+        ~doc:
+          "Keep the $(b,--telemetry) endpoint up for $(docv) wall-clock \
+           seconds after the run finishes, so the final state can be \
+           scraped")
+
+let slo_arg =
+  let parse s =
+    match Xy_slo.Slo.parse s with
+    | Ok objective -> `Ok objective
+    | Error msg -> `Error msg
+  in
+  let print ppf (o : Xy_slo.Slo.objective) =
+    Format.fprintf ppf "%s" o.Xy_slo.Slo.o_name
+  in
+  let slo_conv = (parse, print) in
+  Arg.(
+    value
+    & opt_all slo_conv []
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:
+          "Arm a freshness objective (repeatable): $(docv) is \
+           NAME:STAGE/METRIC<=THRESHOLD:TARGET:FAST/SLOW[:BURN], e.g. \
+           $(b,notify:reporter/notification_lag<=86400:0.95:1d/4d:1).  \
+           Evaluated every virtual step; a breach ingests an SLO document \
+           at xyleme://self/slo/NAME.xml through the normal pipeline")
+
 let simulate_cmd =
   let run sites days subscriptions seed algorithm fault_plan verbose
       stats_flag trace_every durable_dir checkpoint_every kill_after restore
-      sync_every segment_kib =
+      sync_every segment_kib slos telemetry_port linger =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -431,8 +529,8 @@ let simulate_cmd =
     let xyleme, accepted, delivered =
       run_simulation ~trace_every ~algorithm ?fault_plan ?durable_dir
         ~checkpoint_every ?kill_after ~restore ~sync_every
-        ~segment_bytes:(segment_kib * 1024) ~sites ~days ~subscriptions
-        ~seed ()
+        ~segment_bytes:(segment_kib * 1024) ~slos ?telemetry_port ~linger
+        ~sites ~days ~subscriptions ~seed ()
     in
     let stats = Xy_system.Xyleme.stats xyleme in
     Printf.printf "simulated %.0f days over %d sites, %d subscriptions:\n" days
@@ -444,6 +542,16 @@ let simulate_cmd =
       delivered;
     print_compact_stats xyleme;
     print_fault_report xyleme;
+    List.iter
+      (fun (r : Xy_slo.Slo.report) ->
+        Printf.printf
+          "slo %s: %s (fast burn %.2f, slow burn %.2f, %d/%d good in slow \
+           window)\n"
+          r.Xy_slo.Slo.r_objective.Xy_slo.Slo.o_name
+          (if r.Xy_slo.Slo.r_breached then "BREACHED" else "ok")
+          r.Xy_slo.Slo.r_fast_burn r.Xy_slo.Slo.r_slow_burn
+          r.Xy_slo.Slo.r_good r.Xy_slo.Slo.r_total)
+      (Xy_system.Xyleme.slo_reports xyleme);
     if stats_flag then print_snapshot ~xml:false xyleme;
     if trace_every > 0 then print_trace_summary (Xy_system.Xyleme.tracer xyleme)
   in
@@ -467,7 +575,8 @@ let simulate_cmd =
       const run $ sites_arg $ days_arg $ subscriptions_arg $ seed_arg
       $ algorithm_arg $ faults_arg $ verbose $ stats_flag $ trace_every
       $ durable_arg $ checkpoint_every_arg $ kill_after_arg $ restore_flag
-      $ sync_every_arg $ segment_kib_arg)
+      $ sync_every_arg $ segment_kib_arg $ slo_arg $ telemetry_arg
+      $ linger_arg)
 
 let stats_cmd =
   let run sites days subscriptions seed algorithm xml =

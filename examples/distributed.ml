@@ -36,7 +36,7 @@ let () =
     Array.to_list
       (Array.mapi
          (fun i events ->
-           { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = ""; trace = None })
+           { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = ""; trace = None; birth = None })
          (Workload.document_sets workload ~seed:2 ~count:!docs))
   in
   Printf.printf

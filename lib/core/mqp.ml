@@ -5,6 +5,7 @@ type alert = {
   events : Xy_events.Event_set.t;
   payload : string;
   trace : Xy_trace.Trace.ctx option;
+  birth : float option;
 }
 type notification = { complex_id : int; url : string; payload : string }
 type algorithm = Use_aes | Use_aes_compact | Use_naive | Use_counting

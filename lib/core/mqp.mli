@@ -18,6 +18,9 @@ type alert = {
   trace : Xy_trace.Trace.ctx option;
       (** tracing context of a sampled document; rides the alert
           across queues and domains *)
+  birth : float option;
+      (** virtual birth time of the web change behind this document
+          (staleness accounting); opaque to the processor *)
 }
 
 type notification = {

@@ -6,6 +6,7 @@ type fetch = {
   content : string option;
   kind : Synthetic_web.kind option;
   trace : Xy_trace.Trace.ctx option;
+  birth : float option;
 }
 
 type retry_policy = {
@@ -33,6 +34,14 @@ type metrics = {
   changed : Obs.Counter.t;
   unchanged : Obs.Counter.t;
   fetch_latency : Obs.Histogram.t;
+  detection_lag : Obs.Histogram.t;
+      (** virtual seconds from a change's birth to the fetch that
+          observed it *)
+  watermark_age : Obs.Gauge.t;
+      (** age (virtual seconds) of the oldest change no fetch has
+          observed yet; [0] when fully current *)
+  watermark_pending : Obs.Gauge.t;
+      (** pages currently holding an unobserved change *)
 }
 
 (* Robustness accounting lives under the [fault] stage, next to the
@@ -49,6 +58,7 @@ type fault_metrics = {
 type t = {
   web : Synthetic_web.t;
   queue : Fetch_queue.t;
+  clock : Xy_util.Clock.t option;
   tracer : Xy_trace.Trace.t option;
   faults : Fault.t;
   retry : retry_policy;
@@ -63,11 +73,12 @@ type t = {
 let stage = "crawler"
 let fault_stage = "fault"
 
-let create ?(obs = Obs.default) ?tracer ?(faults = Fault.none)
+let create ?(obs = Obs.default) ?clock ?tracer ?(faults = Fault.none)
     ?(retry = default_retry) ~web ~queue () =
   {
     web;
     queue;
+    clock;
     tracer;
     faults;
     retry;
@@ -81,6 +92,11 @@ let create ?(obs = Obs.default) ?tracer ?(faults = Fault.none)
         changed = Obs.counter obs ~stage "changed";
         unchanged = Obs.counter obs ~stage "unchanged";
         fetch_latency = Obs.histogram obs ~stage "fetch_latency";
+        detection_lag =
+          Obs.histogram obs ~stage "detection_lag"
+            ~buckets:Obs.staleness_buckets;
+        watermark_age = Obs.gauge obs ~stage "staleness_watermark_age";
+        watermark_pending = Obs.gauge obs ~stage "staleness_pending_changes";
       };
     fault_metrics =
       {
@@ -149,6 +165,34 @@ let flagged_sites t =
     t.site_failures 0
 
 let pending_retries t = Hashtbl.length t.attempts
+
+(* {2 Staleness accounting} — lags are measured on the virtual axis:
+   the system clock when one was bound, else the web's own [vnow]
+   (they advance in lockstep; the fallback serves clockless tests). *)
+
+let virtual_now t =
+  match t.clock with
+  | Some clock -> Xy_util.Clock.now clock
+  | None -> Synthetic_web.vnow t.web
+
+let observe_detection t ~url =
+  match Synthetic_web.take_change_birth t.web ~url with
+  | None -> None
+  | Some birth ->
+      Obs.Histogram.observe t.metrics.detection_lag
+        (Float.max 0. (virtual_now t -. birth));
+      Some birth
+
+let update_watermark t =
+  let now = virtual_now t in
+  let age =
+    match Synthetic_web.oldest_pending t.web with
+    | None -> 0.
+    | Some birth -> Float.max 0. (now -. birth)
+  in
+  Obs.Gauge.set t.metrics.watermark_age age;
+  Obs.Gauge.set_int t.metrics.watermark_pending
+    (Synthetic_web.pending_changes t.web)
 
 (* Deterministic content mangling: cut the document somewhere and
    append bytes no XML parser can accept (unclosed tag, bad entity
@@ -229,17 +273,25 @@ let fetch_one t ~url =
       Obs.Histogram.time t.metrics.fetch_latency (fun () ->
           Synthetic_web.fetch t.web ~url)
     in
-    (match content with
-    | None ->
-        Obs.Counter.incr t.metrics.missing;
-        Fetch_queue.forget t.queue ~url
-    | Some _ -> handle_success t ~url);
+    let birth =
+      match content with
+      | None ->
+          Obs.Counter.incr t.metrics.missing;
+          Fetch_queue.forget t.queue ~url;
+          None
+      | Some _ ->
+          handle_success t ~url;
+          (* the fetched body carries any pending change: record its
+             detection lag and let the birth ride the fetch downstream
+             so the reporter can measure notification lag *)
+          observe_detection t ~url
+    in
     let content =
       match content with
       | Some body when Fault.fire t.faults "malformed" -> Some (mangle t body)
       | other -> other
     in
-    Some { url; content; kind = Synthetic_web.kind_of t.web ~url; trace }
+    Some { url; content; kind = Synthetic_web.kind_of t.web ~url; trace; birth }
   end
 
 let step t ~limit =

@@ -11,6 +11,10 @@ type fetch = {
   kind : Synthetic_web.kind option;
   trace : Xy_trace.Trace.ctx option;
       (** tracing context when this fetch was sampled *)
+  birth : float option;
+      (** virtual birth time of the oldest change this fetch observed
+          ({!Synthetic_web.take_change_birth}); rides the document
+          downstream so the reporter can record notification lag *)
 }
 
 type t
@@ -48,9 +52,18 @@ val default_retry : retry_policy
     mangled before the alerters see it).  Failure/retry accounting
     lands in the [fault] stage of [obs]: [fetch_failures],
     [fetch_retries], [retry_exhausted], [requeued_demoted] counters
-    and the [flagged_sites] gauge. *)
+    and the [flagged_sites] gauge.
+
+    [clock] binds the system's virtual clock for staleness accounting
+    (without it, the web's own {!Synthetic_web.vnow} serves): each
+    successful fetch of a changed page records birth → now in the
+    [crawler/detection_lag] histogram ({!Xy_obs.Obs.staleness_buckets}),
+    and {!update_watermark} maintains the
+    [crawler/staleness_watermark_age] and
+    [crawler/staleness_pending_changes] gauges. *)
 val create :
   ?obs:Xy_obs.Obs.t ->
+  ?clock:Xy_util.Clock.t ->
   ?tracer:Xy_trace.Trace.t ->
   ?faults:Xy_fault.Fault.t ->
   ?retry:retry_policy ->
@@ -89,6 +102,11 @@ val site_failures : t -> url:string -> int
 (** [pending_retries t] is how many URLs currently sit in the bounded
     retry path. *)
 val pending_retries : t -> int
+
+(** [update_watermark t] refreshes the freshness-watermark gauges from
+    the web's pending-change stamps; the scheduler calls it once per
+    advance/crawl step. *)
+val update_watermark : t -> unit
 
 (** {2 Durability} — retry/penalty bookkeeping (attempt counts, site
     failure tallies, the fetch counter) journals each mutation's

@@ -8,6 +8,10 @@ type page = {
   kind : kind;
   mutable content : string;
   change_rate : float;
+  mutable changed_at : float option;
+      (** birth time (virtual) of the oldest content change the
+          crawler has not yet observed; [None] when the crawler is
+          current *)
 }
 
 type t = {
@@ -17,6 +21,9 @@ type t = {
   mutable next_page_id : int;
   word_pool : string array;
   mutable sites : (string * [ `Catalog | `Members | `Museum | `News ]) array;
+  mutable vnow : float;
+      (** the web's own virtual clock, advanced by {!evolve} in
+          lockstep with the system clock — birth stamps come from it *)
 }
 
 let product_words =
@@ -111,7 +118,7 @@ let add_page t ~site ~site_kind =
   (* Zipf-ish rate skew: a few pages change many times a day, the
      bulk almost never. *)
   let rate = 5. /. float_of_int (1 + Prng.int t.prng 50) in
-  let page = { url; kind; content; change_rate = rate } in
+  let page = { url; kind; content; change_rate = rate; changed_at = None } in
   Hashtbl.replace t.pages url page;
   t.order <- url :: t.order;
   page
@@ -125,6 +132,7 @@ let generate ?(seed = 1) ~sites ~pages_per_site () =
       next_page_id = 0;
       word_pool = product_words;
       sites = [||];
+      vnow = 0.;
     }
   in
   t.sites <-
@@ -145,6 +153,37 @@ let fetch t ~url =
   Option.map (fun p -> p.content) (Hashtbl.find_opt t.pages url)
 
 let kind_of t ~url = Option.map (fun p -> p.kind) (Hashtbl.find_opt t.pages url)
+
+(* {2 Staleness accounting} — each real content change stamps the page
+   with the web's virtual clock, *kept* until the crawler observes the
+   page, so the stamp always names the oldest unobserved change. *)
+
+let vnow t = t.vnow
+
+let stamp_changed t page =
+  if page.changed_at = None then page.changed_at <- Some t.vnow
+
+let take_change_birth t ~url =
+  match Hashtbl.find_opt t.pages url with
+  | None -> None
+  | Some page ->
+      let birth = page.changed_at in
+      page.changed_at <- None;
+      birth
+
+let oldest_pending t =
+  Hashtbl.fold
+    (fun _ page acc ->
+      match page.changed_at, acc with
+      | None, acc -> acc
+      | Some b, None -> Some b
+      | Some b, Some a -> Some (Float.min a b))
+    t.pages None
+
+let pending_changes t =
+  Hashtbl.fold
+    (fun _ page acc -> if page.changed_at = None then acc else acc + 1)
+    t.pages 0
 
 (* One content mutation.  XML pages get a structural edit; HTML pages
    get new text. *)
@@ -227,7 +266,10 @@ let mutate_page t page =
 
 let mutate t ~url =
   match Hashtbl.find_opt t.pages url with
-  | Some page -> mutate_page t page
+  | Some page ->
+      let before = page.content in
+      mutate_page t page;
+      if page.content <> before then stamp_changed t page
   | None -> ()
 
 let remove t ~url =
@@ -236,6 +278,7 @@ let remove t ~url =
 
 let evolve t ~elapsed =
   let days = elapsed /. 86400. in
+  t.vnow <- t.vnow +. elapsed;
   let changed = ref 0 in
   (* Walk pages in creation order, not hash-table order: the draw a
      page receives must be a pure function of web *state* so that a
@@ -248,8 +291,14 @@ let evolve t ~elapsed =
       | Some page ->
           let p_change = 1. -. exp (-.page.change_rate *. days) in
           if Prng.float t.prng 1. < p_change then begin
+            let before = page.content in
             mutate_page t page;
-            incr changed
+            (* The XML-parse-error branch of [mutate_page] is a silent
+               no-op: only a real content change is a birth. *)
+            if page.content <> before then begin
+              stamp_changed t page;
+              incr changed
+            end
           end)
     (List.rev t.order);
   (* Page birth and death: a small per-site rate. *)
@@ -257,7 +306,9 @@ let evolve t ~elapsed =
     let site_count = float_of_int (Array.length t.sites) in
     if Prng.float t.prng 1. < Float.min 0.9 (days *. 0.05 *. site_count) then begin
       let site, site_kind = Prng.pick t.prng t.sites in
-      ignore (add_page t ~site ~site_kind)
+      let born = add_page t ~site ~site_kind in
+      (* a page born mid-run is itself unobserved content *)
+      stamp_changed t born
     end;
     if
       Hashtbl.length t.pages > 2
@@ -281,6 +332,7 @@ let encode_snapshot t =
   let buf = Buffer.create 4096 in
   Codec.string buf (Prng.to_string t.prng);
   Codec.int buf t.next_page_id;
+  Codec.float buf t.vnow;
   Codec.list buf
     (fun buf (site, site_kind) ->
       Codec.string buf site;
@@ -297,7 +349,12 @@ let encode_snapshot t =
       Codec.string buf url;
       Codec.string buf (match page.kind with Xml_page -> "x" | Html_page -> "h");
       Codec.string buf page.content;
-      Codec.float buf page.change_rate)
+      Codec.float buf page.change_rate;
+      (match page.changed_at with
+      | None -> Codec.bool buf false
+      | Some birth ->
+          Codec.bool buf true;
+          Codec.float buf birth))
     (List.rev t.order)
   (* creation order, oldest first *);
   Buffer.contents buf
@@ -306,6 +363,7 @@ let decode_snapshot t payload =
   let reader = Codec.reader payload in
   let prng = Prng.of_string (Codec.read_string reader) in
   let next_page_id = Codec.read_int reader in
+  let vnow = Codec.read_float reader in
   let sites =
     Codec.read_list reader (fun r ->
         let site = Codec.read_string r in
@@ -330,11 +388,15 @@ let decode_snapshot t payload =
         in
         let content = Codec.read_string r in
         let change_rate = Codec.read_float r in
-        { url; kind; content; change_rate })
+        let changed_at =
+          if Codec.read_bool r then Some (Codec.read_float r) else None
+        in
+        { url; kind; content; change_rate; changed_at })
   in
   Codec.expect_end reader;
   t.prng <- prng;
   t.next_page_id <- next_page_id;
+  t.vnow <- vnow;
   t.sites <- Array.of_list sites;
   Hashtbl.reset t.pages;
   t.order <- [];
@@ -374,4 +436,5 @@ let add_catalog_product t ~url ~name ~words =
           let doc =
             { doc with T.root = { root with T.children = root.T.children @ [ product ] } }
           in
-          page.content <- Xy_xml.Printer.doc_to_string doc)
+          page.content <- Xy_xml.Printer.doc_to_string doc;
+          stamp_changed t page)

@@ -14,6 +14,9 @@ type page = {
   kind : kind;
   mutable content : string;
   change_rate : float;  (** expected content changes per (virtual) day *)
+  mutable changed_at : float option;
+      (** virtual birth time of the oldest content change not yet
+          observed by the crawler; [None] when the crawler is current *)
 }
 
 type t
@@ -37,6 +40,29 @@ val kind_of : t -> url:string -> kind option
     occasionally pages are created or deleted.  Returns the number of
     pages that changed. *)
 val evolve : t -> elapsed:float -> int
+
+(** {2 Staleness accounting} — every real content change (evolution,
+    forced mutation, page birth mid-run) stamps the page with the
+    web's virtual clock.  The stamp names the *oldest* unobserved
+    change and survives until the crawler reads it back, so birth →
+    fetch is the change's detection lag. *)
+
+(** [vnow t] is the web's virtual clock: the sum of all [evolve]
+    elapsed times (advanced in lockstep with the system clock). *)
+val vnow : t -> float
+
+(** [take_change_birth t ~url] reads and clears the page's pending
+    change stamp — the crawler calls it on each successful fetch.
+    [None]: the page has not changed since the last fetch. *)
+val take_change_birth : t -> url:string -> float option
+
+(** [oldest_pending t] is the birth time of the oldest change no fetch
+    has observed yet, across all pages ([None] when the crawler is
+    fully current) — the freshness watermark. *)
+val oldest_pending : t -> float option
+
+(** [pending_changes t] counts pages holding an unobserved change. *)
+val pending_changes : t -> int
 
 (** [mutate t ~url] forces one content mutation (tests). *)
 val mutate : t -> url:string -> unit

@@ -1,6 +1,17 @@
 let log = Logs.Src.create "xy.durable" ~doc:"checkpoint + WAL durability"
 
 module Log = (val Logs.src_log log : Logs.LOG)
+module Obs = Xy_obs.Obs
+
+(* Durability timings, registered under the [durable] stage once a
+   caller hands over a registry ({!set_obs}): checkpoint pauses and
+   group-commit fsync batches as histograms, WAL segment rotations as
+   a counter. *)
+type metrics = {
+  m_checkpoint_pause : Obs.Histogram.t;
+  m_fsync_batch : Obs.Histogram.t;
+  m_rotations : Obs.Counter.t;
+}
 
 type op = { stage : string; payload : string }
 type tail = Clean | Torn | Corrupt
@@ -269,6 +280,7 @@ type t = {
           which accumulating deltas stops being cheaper than
           re-encoding *)
   mutable fuse : (string -> unit) option;
+  mutable metrics : metrics option;
 }
 
 let dir t = t.dir
@@ -277,6 +289,18 @@ let subscription_log_path t = Filename.concat t.dir "subscriptions.log"
 let report_ledger_path t = Filename.concat t.dir "reports.log"
 let set_fuse t f = t.fuse <- Some f
 let fire_fuse t label = match t.fuse with Some f -> f label | None -> ()
+
+let set_obs t obs =
+  t.metrics <-
+    Some
+      {
+        m_checkpoint_pause = Obs.histogram obs ~stage:"durable" "checkpoint_pause";
+        m_fsync_batch = Obs.histogram obs ~stage:"durable" "fsync_batch";
+        m_rotations = Obs.counter obs ~stage:"durable" "wal_rotations";
+      }
+
+let observe_time t select f =
+  match t.metrics with None -> f () | Some m -> Obs.Histogram.time (select m) f
 
 let read_manifest dir =
   match open_in_bin (manifest_path dir) with
@@ -355,6 +379,7 @@ let make ~dir ~config ~gen ~wal =
     delta_bytes = Hashtbl.create 4;
     base_bytes = Hashtbl.create 16;
     fuse = None;
+    metrics = None;
   }
 
 let open_fresh ?(config = default_config) dir =
@@ -426,7 +451,8 @@ let sync_pending t =
   match t.wal with
   | None -> ()
   | Some oc ->
-      if Buffer.length t.pending > 0 then begin
+      if Buffer.length t.pending > 0 then
+        observe_time t (fun m -> m.m_fsync_batch) @@ fun () ->
         let len = Buffer.length t.pending in
         Buffer.output_buffer oc t.pending;
         Buffer.clear t.pending;
@@ -436,12 +462,14 @@ let sync_pending t =
         t.sync_count <- t.sync_count + 1;
         if pos_out oc > t.config.segment_bytes then begin
           fire_fuse t "rotate";
+          (match t.metrics with
+          | Some m -> Obs.Counter.incr m.m_rotations
+          | None -> ());
           close_out oc;
           t.seg <- t.seg + 1;
           t.wal <- Some (open_segment t.dir t.gen t.seg);
           sync_dir ~fsync:t.config.fsync t.dir
         end
-      end
 
 let barrier t = sync_pending t
 
@@ -497,6 +525,7 @@ let cleanup t =
     (try Sys.readdir t.dir with Sys_error _ -> [||])
 
 let checkpoint ?(force_full = false) t ~snapshot =
+  observe_time t (fun m -> m.m_checkpoint_pause) @@ fun () ->
   commit t;
   barrier t;
   fire_fuse t "checkpoint-begin";

@@ -188,6 +188,11 @@ val set_fuse : t -> (string -> unit) -> unit
     ["rotate"].  Fault injection uses this to kill the process inside
     every crash window. *)
 
+val set_obs : t -> Xy_obs.Obs.t -> unit
+(** Register durability timings in [obs] under the [durable] stage:
+    [checkpoint_pause] and [fsync_batch] wall-clock histograms, and a
+    [wal_rotations] counter. *)
+
 val checkpoint :
   ?force_full:bool -> t -> snapshot:(string * (unit -> string)) list -> unit
 (** Commit + barrier, then write snapshot [gen+1]: stages dirty since

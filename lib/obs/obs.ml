@@ -91,15 +91,30 @@ module Histogram = struct
     if v > Array.unsafe_get acc 1 then Array.unsafe_set acc 1 v
 
   let time t f =
+    (* Clamp at zero: a non-monotonic timer (NTP step, or the default
+       [Sys.time] CPU clock racing a wall-clock installed mid-run) must
+       never record a negative duration — it would poison [sum]. *)
     let start = now () in
     match f () with
     | result ->
-        observe t (now () -. start);
+        observe t (Float.max 0. (now () -. start));
         result
     | exception e ->
         let bt = Printexc.get_raw_backtrace () in
-        observe t (now () -. start);
+        observe t (Float.max 0. (now () -. start));
         Printexc.raise_with_backtrace e bt
+
+  (* Warm-restart carry: fold previously captured totals back in
+     (stripe 0).  Meant for single-threaded restore, before worker
+     domains touch the instrument. *)
+  let inject t ~counts ~sum ~max_value =
+    let mine = t.counts.(0) in
+    if Array.length counts <> Array.length mine then
+      invalid_arg "Obs.Histogram.inject: bucket layouts differ";
+    Array.iteri (fun i c -> mine.(i) <- mine.(i) + c) counts;
+    let acc = t.accs.(0) in
+    acc.(0) <- acc.(0) +. sum;
+    if max_value > acc.(1) then acc.(1) <- max_value
 
   let count t =
     Array.fold_left
@@ -142,6 +157,12 @@ let latency_buckets = exponential_buckets ~start:1e-6 ~factor:2. ~count:28
 
 (* 1 … 10⁶ *)
 let size_buckets = exponential_buckets ~start:1. ~factor:10. ~count:7
+
+(* 1s … ~97 days: virtual-clock staleness (detection / notification
+   lag).  Change lifetimes span seconds (a hot page fetched next step)
+   to months (a cold page under a starved fetch budget), so the decade
+   coverage must be much wider than [latency_buckets]. *)
+let staleness_buckets = exponential_buckets ~start:1. ~factor:2. ~count:24
 
 (* ------------------------------------------------------------------ *)
 (* Registry *)
@@ -335,9 +356,13 @@ module Snapshot = struct
             add "    <gauge name=\"%s\" value=\"%s\"/>\n" (escape e.name)
               (float_attr v)
         | Histogram h ->
-            add "    <histogram name=\"%s\" count=\"%d\" sum=\"%s\" max=\"%s\">\n"
+            let q p = float_attr (if h.count = 0 then 0. else quantile h p) in
+            add
+              "    <histogram name=\"%s\" count=\"%d\" sum=\"%s\" max=\"%s\" \
+               p50=\"%s\" p95=\"%s\" p99=\"%s\">\n"
               (escape e.name) h.count (float_attr h.sum)
-              (float_attr (if h.count = 0 then 0. else h.max_value));
+              (float_attr (if h.count = 0 then 0. else h.max_value))
+              (q 0.5) (q 0.95) (q 0.99);
             Array.iteri
               (fun i c ->
                 let le =
@@ -376,6 +401,26 @@ let snapshot t =
     |> List.sort (fun a b -> compare (Snapshot.key a) (Snapshot.key b))
   in
   { Snapshot.at = now (); entries }
+
+(* Warm-restart carry: fold a snapshot's cumulative values back into
+   live instruments (created on demand), so series like [/metrics]
+   counters keep climbing across a restore instead of resetting to
+   zero.  Counters add, gauges set, histograms add bucket counts
+   verbatim.  Single-threaded restore only — histogram injection
+   writes stripe 0 unsynchronised. *)
+let absorb t (s : Snapshot.t) =
+  List.iter
+    (fun e ->
+      let stage = e.Snapshot.stage and name = e.Snapshot.name in
+      match e.Snapshot.value with
+      | Snapshot.Counter n -> Counter.add (counter t ~stage name) n
+      | Snapshot.Gauge v -> Gauge.set (gauge t ~stage name) v
+      | Snapshot.Histogram h ->
+          Histogram.inject
+            (histogram ~buckets:h.Snapshot.bounds t ~stage name)
+            ~counts:h.Snapshot.counts ~sum:h.Snapshot.sum
+            ~max_value:h.Snapshot.max_value)
+    s.Snapshot.entries
 
 let reset t =
   Mutex.lock t.lock;

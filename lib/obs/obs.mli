@@ -67,6 +67,13 @@ module Histogram : sig
 
   val count : t -> int
   val sum : t -> float
+
+  (** [inject t ~counts ~sum ~max_value] folds previously captured
+      totals back in (warm-restart carry).  [counts] must match the
+      instrument's bucket layout (bounds + overflow).  Not
+      thread-safe: restore-time use only. *)
+  val inject :
+    t -> counts:int array -> sum:float -> max_value:float -> unit
 end
 
 (** [counter t ~stage name] returns the counter registered under
@@ -93,6 +100,10 @@ val latency_buckets : float array
 (** 1 … 10⁶, log-spaced (for sizes: batch sizes, events per doc,
     queue depths). *)
 val size_buckets : float array
+
+(** 1s … ~97 days, log-spaced (for virtual-clock staleness: detection
+    and notification lag of web changes). *)
+val staleness_buckets : float array
 
 (** {2 Snapshots} *)
 
@@ -141,6 +152,13 @@ end
 (** [snapshot t] atomically merges every per-domain cell into an
     immutable view. *)
 val snapshot : t -> Snapshot.t
+
+(** [absorb t snapshot] folds a snapshot's cumulative values back into
+    live instruments, creating them on demand: counters add, gauges
+    set, histograms add bucket counts verbatim.  This is the
+    warm-restart carry — scrape deltas stay meaningful across a
+    restore.  Single-threaded restore only. *)
+val absorb : t -> Snapshot.t -> unit
 
 (** [reset t] zeroes every registered instrument (bench harness:
     per-experiment deltas). *)

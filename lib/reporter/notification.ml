@@ -5,6 +5,7 @@ type t = {
   tag : string;
   body : Xy_xml.Types.node list;
   at : float;
+  birth : float option;
   mutable rendered : string option;
 }
 

@@ -13,6 +13,10 @@ type t = {
   tag : string;  (** e.g. ["UpdatedPage"], ["AmsterdamPaintings"] *)
   body : Xy_xml.Types.node list;  (** the notification content *)
   at : float;  (** virtual arrival time *)
+  birth : float option;
+      (** virtual birth time of the web change behind this
+          notification (staleness accounting); [None] for continuous
+          queries and self-monitor documents *)
   mutable rendered : string option;
       (** memoized printed body — notifications are immutable once
           buffered, and each is re-encoded at every snapshot it sits

@@ -10,6 +10,9 @@ type metrics = {
   m_buffer_depth : Obs.Gauge.t;
   m_delivery_latency : Obs.Histogram.t;
   m_report_size : Obs.Histogram.t;
+  m_notification_lag : Obs.Histogram.t;
+      (** virtual seconds from a web change's birth to the report that
+          told a subscriber about it *)
 }
 
 type subscription_state = {
@@ -87,6 +90,9 @@ let create ?(obs = Obs.default) ~clock ~sink () =
         m_delivery_latency = Obs.histogram obs ~stage "delivery_latency";
         m_report_size =
           Obs.histogram ~buckets:Obs.size_buckets obs ~stage "report_size";
+        m_notification_lag =
+          Obs.histogram ~buckets:Obs.staleness_buckets obs ~stage
+            "notification_lag";
       };
     journal = None;
     commit = None;
@@ -127,12 +133,18 @@ let encode_notification buf (n : Notification.t) =
   Codec.bool buf (n.Notification.source = Notification.Monitoring);
   Codec.string buf n.Notification.tag;
   Codec.float buf n.Notification.at;
+  (match n.Notification.birth with
+  | Some birth ->
+      Codec.bool buf true;
+      Codec.float buf birth
+  | None -> Codec.bool buf false);
   Codec.string buf (rendered_body n)
 
 let decode_notification r =
   let monitoring = Codec.read_bool r in
   let tag = Codec.read_string r in
   let at = Codec.read_float r in
+  let birth = if Codec.read_bool r then Some (Codec.read_float r) else None in
   let body_str = Codec.read_string r in
   let body = decode_body body_str in
   {
@@ -141,6 +153,7 @@ let decode_notification r =
     tag;
     body;
     at;
+    birth;
     rendered = Some body_str;
   }
 
@@ -310,6 +323,18 @@ let fire ?trace t subscription state =
   in
   let now = Xy_util.Clock.now t.clock in
   let notifications = List.rev state.buffer in
+  (* Notification lag, birth → delivery: the virtual clock cannot move
+     between this fire and the sink flush of the same transaction, so
+     observing at fire time equals observing on sink ack.  Live path
+     only — WAL replay must not re-count. *)
+  List.iter
+    (fun (n : Notification.t) ->
+      match n.Notification.birth with
+      | Some birth ->
+          Obs.Histogram.observe t.metrics.m_notification_lag
+            (Float.max 0. (now -. birth))
+      | None -> ())
+    notifications;
   let body = List.concat_map Notification.to_xml notifications in
   let notifications_doc = T.element "Notifications" body in
   let report_body =

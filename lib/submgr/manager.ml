@@ -204,6 +204,7 @@ let create ?(policy = Compile.default_policy) ?persist ?(obs = Obs.default)
                     tag = dispatch.d_tag;
                     body;
                     at = Xy_util.Clock.now t.clock;
+                    birth = alert.Mqp.birth;
                     rendered = None;
                   };
                 Trigger.notify ?trace:alert.Mqp.trace t.trigger
@@ -242,6 +243,7 @@ let install_continuous t ~subscription (c : S.continuous) =
             tag = c.S.c_name;
             body;
             at = Xy_util.Clock.now t.clock;
+            birth = None;
             rendered = None;
           };
         Trigger.notify t.trigger ~subscription ~tag:c.S.c_name

@@ -68,8 +68,40 @@ let traces_document tracer =
   in
   T.element "trace_summary" (counts @ stages)
 
+(* One document per objective: its URL is stable, so a subscription on
+   [URL extends "xyleme://self/slo/"] sees every status transition as a
+   modification of "its" page — exactly how the paper's subscribers
+   watch any other page. *)
+let slo_url name = Printf.sprintf "xyleme://self/slo/%s.xml" name
+
+let slo_document (r : Xy_slo.Slo.report) =
+  let o = r.Xy_slo.Slo.r_objective in
+  T.element "slo"
+    ~attrs:
+      [
+        ("name", o.Xy_slo.Slo.o_name);
+        ("at", Printf.sprintf "%g" r.Xy_slo.Slo.r_at);
+        ("objective", Printf.sprintf "%g of %s/%s within %gs"
+           o.Xy_slo.Slo.o_target o.Xy_slo.Slo.o_stage o.Xy_slo.Slo.o_metric
+           o.Xy_slo.Slo.o_threshold);
+      ]
+    [
+      (* the word the alerting subscription tests with [contains] *)
+      T.el "status"
+        [ T.text (if r.Xy_slo.Slo.r_breached then "breached" else "ok") ];
+      T.el "fast_burn" [ T.text (value_text r.Xy_slo.Slo.r_fast_burn) ];
+      T.el "slow_burn" [ T.text (value_text r.Xy_slo.Slo.r_slow_burn) ];
+      T.el "window_total"
+        [ T.text (value_text (float_of_int r.Xy_slo.Slo.r_total)) ];
+      T.el "window_good"
+        [ T.text (value_text (float_of_int r.Xy_slo.Slo.r_good)) ];
+    ]
+
 let health_content ~snapshot =
   Xy_xml.Printer.element_to_string ~indent:2 (health_document ~snapshot) ^ "\n"
 
 let traces_content tracer =
   Xy_xml.Printer.element_to_string ~indent:2 (traces_document tracer) ^ "\n"
+
+let slo_content report =
+  Xy_xml.Printer.element_to_string ~indent:2 (slo_document report) ^ "\n"

@@ -46,8 +46,19 @@ val health_document : snapshot:Xy_obs.Obs.Snapshot.t -> Xy_xml.Types.element
     milliseconds (and decade markers thereof). *)
 val traces_document : Xy_trace.Trace.t -> Xy_xml.Types.element
 
-(** Serialized forms of the two documents, ready for
-    {!Xyleme.ingest}. *)
+(** [slo_url name] is ["xyleme://self/slo/<name>.xml"] — one stable
+    URL per objective, so a subscription on
+    [URL extends "xyleme://self/slo/"] sees every status transition. *)
+val slo_url : string -> string
+
+(** [slo_document report] is a [<slo>] element whose [<status>] child
+    carries the word [breached] or [ok] (the word alerting
+    subscriptions test with [contains]), plus burn rates and window
+    tallies with decade markers. *)
+val slo_document : Xy_slo.Slo.report -> Xy_xml.Types.element
+
+(** Serialized forms of the documents, ready for {!Xyleme.ingest}. *)
 val health_content : snapshot:Xy_obs.Obs.Snapshot.t -> string
 
 val traces_content : Xy_trace.Trace.t -> string
+val slo_content : Xy_slo.Slo.report -> string

@@ -16,6 +16,22 @@ module Durable = Xy_durable.Durable
 module Codec = Xy_util.Codec
 module Persist = Xy_submgr.Persist
 module Sink = Xy_reporter.Sink
+module Slo = Xy_slo.Slo
+
+(* [Unix.gettimeofday] can step backwards (NTP); latency math
+   subtracts timestamps, so the timer installed into [Obs]/[Trace] is
+   a CAS ratchet that never retreats.  (The libraries' own default,
+   [Sys.time], measures CPU seconds — time blocked in I/O was
+   invisible.) *)
+let monotonic_wall =
+  let last = Atomic.make neg_infinity in
+  let rec ratchet now =
+    let prev = Atomic.get last in
+    if now >= prev then
+      if Atomic.compare_and_set last prev now then now else ratchet now
+    else prev
+  in
+  fun () -> ratchet (Unix.gettimeofday ())
 
 (* The background maintenance task in flight, advanced a bounded
    number of records per crawl step — log compaction used to run
@@ -60,6 +76,13 @@ type t = {
   m_ingested : Obs.Counter.t;
   m_ingest_latency : Obs.Histogram.t;
   m_quarantined : Obs.Counter.t;
+  m_restarts : Obs.Counter.t;
+      (** warm restarts survived — carried across restores with the
+          rest of the metrics, so it counts the directory's lifetime *)
+  slo : Slo.t option;
+  slo_breached : (string, bool) Hashtbl.t;
+      (** last injected status per objective: an SLO document is
+          (re-)ingested only when the status flips, not every tick *)
 }
 
 let default_domains () =
@@ -191,12 +214,66 @@ let decode_system t payload =
   Codec.expect_end r;
   Mqp.restore_counters t.mqp ~alerts_processed ~notifications_emitted
 
+(* The metrics themselves are durable state: the cumulative counters
+   and histograms ride the checkpoint, so a warm restart's [/metrics]
+   series keep climbing instead of resetting — scrape deltas stay
+   meaningful.  Encoded from a live snapshot; decoded by folding the
+   values back into the (fresh) registry via {!Obs.absorb}. *)
+let encode_obs t =
+  let s = Obs.snapshot t.obs in
+  let buf = Buffer.create 512 in
+  Codec.list buf
+    (fun buf (e : Obs.Snapshot.entry) ->
+      Codec.string buf e.Obs.Snapshot.stage;
+      Codec.string buf e.Obs.Snapshot.name;
+      match e.Obs.Snapshot.value with
+      | Obs.Snapshot.Counter n ->
+          Codec.int buf 0;
+          Codec.int buf n
+      | Obs.Snapshot.Gauge v ->
+          Codec.int buf 1;
+          Codec.float buf v
+      | Obs.Snapshot.Histogram h ->
+          Codec.int buf 2;
+          Codec.list buf Codec.float (Array.to_list h.Obs.Snapshot.bounds);
+          Codec.list buf Codec.int (Array.to_list h.Obs.Snapshot.counts);
+          Codec.float buf h.Obs.Snapshot.sum;
+          Codec.float buf h.Obs.Snapshot.max_value)
+    s.Obs.Snapshot.entries;
+  Buffer.contents buf
+
+let decode_obs t payload =
+  let r = Codec.reader payload in
+  let entries =
+    Codec.read_list r (fun r ->
+        let stage = Codec.read_string r in
+        let name = Codec.read_string r in
+        let value =
+          match Codec.read_int r with
+          | 0 -> Obs.Snapshot.Counter (Codec.read_int r)
+          | 1 -> Obs.Snapshot.Gauge (Codec.read_float r)
+          | 2 ->
+              let bounds = Array.of_list (Codec.read_list r Codec.read_float) in
+              let counts = Array.of_list (Codec.read_list r Codec.read_int) in
+              let sum = Codec.read_float r in
+              let max_value = Codec.read_float r in
+              let count = Array.fold_left ( + ) 0 counts in
+              Obs.Snapshot.Histogram
+                { Obs.Snapshot.bounds; counts; count; sum; max_value }
+          | k -> raise (Codec.Malformed (Printf.sprintf "unknown metric kind %d" k))
+        in
+        { Obs.Snapshot.stage; name; value })
+  in
+  Codec.expect_end r;
+  Obs.absorb t.obs { Obs.Snapshot.at = neg_infinity; entries }
+
 (* Thunks, not payloads: [Durable.checkpoint] only runs the encoder of
    stages journaled since the last checkpoint and carries the rest
    forward by reference. *)
 let snapshot_sections t =
   [
     ("system", fun () -> encode_system t);
+    ("obs", fun () -> encode_obs t);
     ("fault", fun () -> Fault.encode_snapshot t.faults);
     ("web", fun () -> Xy_crawler.Synthetic_web.encode_snapshot t.web);
     ("warehouse", fun () -> Store.encode_snapshot t.store);
@@ -241,11 +318,12 @@ let attach_hooks t d =
 (* ------------------------------------------------------------------ *)
 
 let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ~durable () =
+    ?self_monitor_period ?fault_plan ?retry ?slos ~durable () =
   (* Wall-clock latencies: xy_obs itself is zero-dependency, so the
-     high-resolution timer is installed here, where unix is linked. *)
-  Obs.set_timer Unix.gettimeofday;
-  Trace.set_timer Unix.gettimeofday;
+     high-resolution (and never-retreating) timer is installed here,
+     where unix is linked. *)
+  Obs.set_timer monotonic_wall;
+  Trace.set_timer monotonic_wall;
   let obs = match obs with Some o -> o | None -> Obs.create () in
   (* The failure schedule shares the system seed: one (seed, spec)
      pair pins the whole run, faults included.  A durable system
@@ -280,7 +358,7 @@ let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
   in
   let queue = Xy_crawler.Fetch_queue.create ~obs ~clock () in
   let crawler =
-    Xy_crawler.Crawler.create ~obs ~tracer ~faults ?retry ~web ~queue ()
+    Xy_crawler.Crawler.create ~obs ~tracer ~faults ~clock ?retry ~web ~queue ()
   in
   let t =
     {
@@ -314,8 +392,17 @@ let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
       m_ingested = Obs.counter obs ~stage:"system" "ingested";
       m_ingest_latency = Obs.histogram obs ~stage:"system" "ingest_latency";
       m_quarantined = Obs.counter obs ~stage:"fault" "quarantined";
+      m_restarts = Obs.counter obs ~stage:"system" "restarts";
+      slo =
+        (match slos with
+        | None | Some [] -> None
+        | Some objectives -> Some (Slo.create objectives));
+      slo_breached = Hashtbl.create 8;
     }
   in
+  (* Durability timings (checkpoint pause, fsync batches, rotations)
+     land in the same registry as the pipeline stages. *)
+  Option.iter (fun d -> Durable.set_obs d obs) durable;
   (* The durable directory owns the subscription log. *)
   let persist_path =
     match durable with
@@ -344,13 +431,13 @@ let durable_config ?sync_every ?segment_bytes () =
   }
 
 let create ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ?durable_dir ?sync_every
+    ?self_monitor_period ?fault_plan ?retry ?slos ?durable_dir ?sync_every
     ?segment_bytes () =
   let config = durable_config ?sync_every ?segment_bytes () in
   let durable = Option.map (Durable.open_fresh ~config) durable_dir in
   let t =
     make ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-      ?self_monitor_period ?fault_plan ?retry ~durable ()
+      ?self_monitor_period ?fault_plan ?retry ?slos ~durable ()
   in
   Option.iter (attach_hooks t) durable;
   t
@@ -371,6 +458,7 @@ let chain t = t.chain
 let web t = t.web
 let queue t = t.queue
 let steps_done t = t.steps_done
+let restarts t = Obs.Counter.value t.m_restarts
 let durable_dir t = Option.map Durable.dir t.durable
 let report_ledger_path t = Option.map Durable.report_ledger_path t.durable
 
@@ -431,7 +519,7 @@ let kind_of_tag = function
   | 2 -> Loader.Auto
   | n -> raise (Codec.Malformed (Printf.sprintf "unknown content kind %d" n))
 
-let ingest ?trace t ~url ~content ~kind =
+let ingest ?trace ?birth t ~url ~content ~kind =
   Obs.Counter.incr t.m_ingested;
   Obs.Histogram.time t.m_ingest_latency @@ fun () ->
   let result =
@@ -459,6 +547,7 @@ let ingest ?trace t ~url ~content ~kind =
             events = alert.Alert.events;
             payload = Alert.payload_string alert;
             trace;
+            birth;
           }
       in
       journal_counters t;
@@ -489,6 +578,7 @@ let ingest_missing ?trace t ~url =
                  events = alert.Alert.events;
                  payload = Alert.payload_string alert;
                  trace;
+                 birth = None;
                });
           journal_counters t)
 
@@ -509,6 +599,40 @@ let inject_self_monitor t =
       ~kind:Loader.Xml
   in
   (health, traces)
+
+(* Evaluate the SLO objectives against the live metrics and ingest an
+   SLO document for every objective whose status flipped (first
+   evaluation included).  The document rides the ordinary pipeline —
+   subscriptions on [xyleme://self/slo/] do the actual alerting — and
+   the ingest journals like any other, so replay needs no SLO logic.
+   Engine window state itself is in-memory only: a restored run
+   re-fills its windows from the carried cumulative metrics. *)
+let evaluate_slos t =
+  match t.slo with
+  | None -> ()
+  | Some engine ->
+      let now = Xy_util.Clock.now t.clock in
+      let reports = Slo.tick engine ~now (Obs.snapshot t.obs) in
+      List.iter
+        (fun (r : Slo.report) ->
+          let name = r.Slo.r_objective.Slo.o_name in
+          if Hashtbl.find_opt t.slo_breached name <> Some r.Slo.r_breached
+          then begin
+            Hashtbl.replace t.slo_breached name r.Slo.r_breached;
+            if r.Slo.r_breached then
+              Log.warn (fun m ->
+                  m "SLO %s breached: fast burn %.2f, slow burn %.2f" name
+                    r.Slo.r_fast_burn r.Slo.r_slow_burn)
+            else Log.info (fun m -> m "SLO %s ok" name);
+            ignore
+              (ingest t ~url:(Self_monitor.slo_url name)
+                 ~content:(Self_monitor.slo_content r)
+                 ~kind:Loader.Xml)
+          end)
+        reports
+
+let slo_reports t =
+  match t.slo with None -> [] | Some engine -> Slo.reports engine
 
 let discover t = Xy_crawler.Crawler.discover t.crawler
 
@@ -610,7 +734,10 @@ let crawl_step t ~limit =
              rejection is counted, logged and the crawl goes on, so a
              corrupted page cannot take the pipeline down. *)
           let outcome =
-            match ingest ?trace t ~url ~content ~kind with
+            match
+              ingest ?trace ?birth:fetch.Xy_crawler.Crawler.birth t ~url
+                ~content ~kind
+            with
             | outcome -> Some outcome
             | exception Loader.Rejected reason ->
                 Obs.Counter.incr t.m_quarantined;
@@ -629,6 +756,8 @@ let crawl_step t ~limit =
       commit_txn t)
     fetches;
   crash_point t "step-end";
+  (* the staleness watermark reflects what this step left undetected *)
+  Xy_crawler.Crawler.update_watermark t.crawler;
   t.steps_done <- t.steps_done + 1;
   t.mid_step <- false;
   journal_op t ~stage:"system" (fun buf ->
@@ -651,11 +780,19 @@ let advance t ~seconds =
   Xy_util.Clock.advance t.clock seconds;
   (* the evolve mutates web state under a *system* op (replay re-draws
      it from the journaled advance), so the web stage must be marked
-     dirty by hand or checkpoints would carry a stale section forward *)
-  Option.iter (fun d -> Durable.mark_dirty d "web") t.durable;
+     dirty by hand or checkpoints would carry a stale section forward;
+     the metrics mutate under every transaction, so the carried [obs]
+     section is always re-encoded at the next checkpoint *)
+  Option.iter
+    (fun d ->
+      Durable.mark_dirty d "web";
+      Durable.mark_dirty d "obs")
+    t.durable;
   ignore (Xy_crawler.Synthetic_web.evolve t.web ~elapsed:seconds);
   (* newly born pages become crawlable *)
   discover t;
+  (* ages the oldest still-undetected change just produced *)
+  Xy_crawler.Crawler.update_watermark t.crawler;
   Xy_trigger.Trigger_engine.tick t.trigger;
   Xy_reporter.Reporter.tick t.reporter;
   (match t.self_monitor_period, t.self_monitor_deadline with
@@ -671,6 +808,7 @@ let advance t ~seconds =
         ignore (inject_self_monitor t)
       end
   | _ -> ());
+  evaluate_slos t;
   t.mid_step <- true;
   commit_txn t
 
@@ -785,8 +923,8 @@ type restore_info = {
 }
 
 let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ?sync_every ?segment_bytes ~dir ()
-    =
+    ?self_monitor_period ?fault_plan ?retry ?slos ?sync_every ?segment_bytes
+    ~dir () =
   let config = durable_config ?sync_every ?segment_bytes () in
   match Durable.open_existing ~config dir with
   | None -> Error (Printf.sprintf "no durable run in %s (missing MANIFEST)" dir)
@@ -800,7 +938,8 @@ let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
       | Ok (sections, txns, wal_tail) -> (
           let t =
             make ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
-              ?self_monitor_period ?fault_plan ?retry ~durable:(Some d) ()
+              ?self_monitor_period ?fault_plan ?retry ?slos ~durable:(Some d)
+              ()
           in
           (* 1. Structure: replay the subscription log.  This rebuilds
              specs, recipients, triggers, atomic/complex events — at
@@ -818,6 +957,7 @@ let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
               | None -> ()
             in
             apply "system" (decode_system t);
+            apply "obs" (decode_obs t);
             apply "fault" (Fault.decode_snapshot t.faults);
             apply "web" (Xy_crawler.Synthetic_web.decode_snapshot t.web);
             apply "warehouse" (Store.decode_snapshot t.store);
@@ -830,6 +970,10 @@ let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
           | exception Codec.Malformed m ->
               Error ("damaged durable state: " ^ m)
           | () ->
+              (* this run survived one more restart; the counter is
+                 carried in the [obs] section just applied, so it
+                 counts restarts over the directory's whole life *)
+              Obs.Counter.incr t.m_restarts;
               (* 4. Documents popped but never concluded go back on
                  the schedule at their original deadline. *)
               let requeued_fetches =

@@ -8,12 +8,19 @@
 
 type t
 
+(** [monotonic_wall ()] is [Unix.gettimeofday] behind a
+    compare-and-swap ratchet: it never retreats, even when NTP steps
+    the wall clock backwards.  {!create} installs it as the xy_obs and
+    xy_trace timer (whose built-in default, [Sys.time], measures CPU
+    seconds and makes blocked I/O invisible). *)
+val monotonic_wall : unit -> float
+
 (** [create ()] wires a fresh registry into every stage: all pipeline
     metrics (crawler, warehouse, alerters, mqp, trigger, reporter,
     submgr, system) land in [obs] (a private {!Xy_obs.Obs.create}d
     registry by default — pass one to share it, e.g. with a {!Bus}).
-    The high-resolution [Unix.gettimeofday] timer is installed into
-    xy_obs and xy_trace as a side effect.
+    The {!monotonic_wall} timer is installed into xy_obs and xy_trace
+    as a side effect.
 
     [tracer] carries per-document pipeline tracing (default: a fresh
     {!Xy_trace.Trace.create}d tracer with sampling disabled — enable
@@ -43,6 +50,12 @@ type t
     with {!checkpoint}; a durable system always carries a real fault
     injector so the [crash] point can be armed.
 
+    [slos] arms freshness objectives ({!Xy_slo.Slo}): each {!advance}
+    evaluates them against the live metrics, and an objective whose
+    breached status flips gets an SLO document ingested at
+    [xyleme://self/slo/<name>.xml] — subscriptions on that prefix do
+    the actual alerting through the unmodified pipeline.
+
     [sync_every] sets the WAL group-commit batch size (transactions
     per fsync, default 32; [1] syncs every commit) and
     [segment_bytes] the WAL segment rotation threshold — both forwarded
@@ -59,6 +72,7 @@ val create :
   ?self_monitor_period:float ->
   ?fault_plan:Xy_fault.Fault.spec ->
   ?retry:Xy_crawler.Crawler.retry_policy ->
+  ?slos:Xy_slo.Slo.objective list ->
   ?durable_dir:string ->
   ?sync_every:int ->
   ?segment_bytes:int ->
@@ -97,6 +111,16 @@ val queue : t -> Xy_crawler.Fetch_queue.t
     restored system knows where the schedule left off). *)
 val steps_done : t -> int
 
+(** [restarts t] counts warm restarts over the durable directory's
+    whole life (the [system/restarts] counter, carried across restores
+    with the rest of the metrics; [0] on a fresh system). *)
+val restarts : t -> int
+
+(** [slo_reports t] is the latest evaluation of each armed freshness
+    objective ([[]] without [slos], or before the first {!advance}).
+    Thread-safe — the telemetry endpoint reads it live. *)
+val slo_reports : t -> Xy_slo.Slo.report list
+
 (** [durable_dir t] is the durable directory, when the system has one. *)
 val durable_dir : t -> string option
 
@@ -131,9 +155,14 @@ type ingest_outcome = {
 (** [ingest t ~url ~content ~kind] pushes one fetched page through
     loader → alerters → processor.  A [trace] context attributes each
     stage to the document's trace; the caller remains responsible for
-    {!Xy_trace.Trace.finish}. *)
+    {!Xy_trace.Trace.finish}.  [birth] is the virtual birth time of
+    the oldest change this content carries
+    ({!Xy_crawler.Crawler.fetch.birth}): it rides the alert to the
+    reporter, which records the end-to-end notification lag when the
+    resulting report fires. *)
 val ingest :
   ?trace:Xy_trace.Trace.ctx ->
+  ?birth:float ->
   t ->
   url:string ->
   content:string ->
@@ -201,10 +230,16 @@ val run_resumable :
     - documents popped from the fetch queue but not yet processed are
       re-queued at their original deadline.
 
+    The cumulative metrics themselves are carried in the checkpoint
+    (the [obs] section): a restored run's [/metrics] counters and
+    histograms continue from where the killed run left off, and the
+    [system/restarts] counter records the warm restart itself.
+
     Not persisted (documented trade-offs): per-subscription
     {!Xy_alerters.Result_delta} tracker state, {!Store.history}
-    windows, and self-monitor metric counters — a restored run's
-    health documents restart from zero. *)
+    windows, and SLO sliding-window samples (a restored run's burn
+    rates re-fill from the carried cumulative metrics within one slow
+    window). *)
 
 type checkpoint_info = {
   generation : int;  (** the new current generation *)
@@ -250,6 +285,7 @@ val restore :
   ?self_monitor_period:float ->
   ?fault_plan:Xy_fault.Fault.spec ->
   ?retry:Xy_crawler.Crawler.retry_policy ->
+  ?slos:Xy_slo.Slo.objective list ->
   ?sync_every:int ->
   ?segment_bytes:int ->
   dir:string ->

@@ -140,9 +140,13 @@ let end_span ?(attrs = []) handle =
       sp_stage = handle.h_stage;
       sp_name = handle.h_name;
       sp_start_wall = handle.h_start_wall;
-      sp_dur_wall = now () -. handle.h_start_wall;
+      (* Clamped: a non-monotonic timer must not produce a negative
+         span that would drag [tr_dur_wall] and breakdowns below the
+         truth. *)
+      sp_dur_wall = Float.max 0. (now () -. handle.h_start_wall);
       sp_start_virtual = handle.h_start_virtual;
-      sp_dur_virtual = t.virtual_clock () -. handle.h_start_virtual;
+      sp_dur_virtual =
+        Float.max 0. (t.virtual_clock () -. handle.h_start_virtual);
       sp_attrs = attrs;
     }
 

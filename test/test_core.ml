@@ -513,7 +513,7 @@ let test_mqp_notifications () =
   let matched =
     Mqp.process mqp
       { Mqp.url = "http://inria.fr/Xy/"; events = Event_set.of_list [ 10; 20; 30 ];
-        payload = "<UpdatedPage/>"; trace = None }
+        payload = "<UpdatedPage/>"; trace = None; birth = None }
   in
   check_ids "batch" [ 1; 2 ] matched;
   checki "two notifications" 2 (List.length !received);
@@ -526,8 +526,8 @@ let test_mqp_notifications () =
 let test_mqp_stats () =
   let mqp = Mqp.create () in
   Mqp.subscribe mqp ~id:1 (Event_set.of_list [ 1 ]);
-  ignore (Mqp.process mqp { Mqp.url = "u"; events = Event_set.of_list [ 1 ]; payload = ""; trace = None });
-  ignore (Mqp.process mqp { Mqp.url = "u"; events = Event_set.of_list [ 2 ]; payload = ""; trace = None });
+  ignore (Mqp.process mqp { Mqp.url = "u"; events = Event_set.of_list [ 1 ]; payload = ""; trace = None; birth = None });
+  ignore (Mqp.process mqp { Mqp.url = "u"; events = Event_set.of_list [ 2 ]; payload = ""; trace = None; birth = None });
   let stats = Mqp.stats mqp in
   checki "alerts" 2 stats.Mqp.alerts_processed;
   checki "notifications" 1 stats.Mqp.notifications_emitted;
@@ -545,7 +545,7 @@ let test_mqp_algorithms_equivalent () =
   Mqp.freeze compact;
   Array.iter
     (fun events ->
-      let alert = { Mqp.url = "u"; events; payload = ""; trace = None } in
+      let alert = { Mqp.url = "u"; events; payload = ""; trace = None; birth = None } in
       let expected = Mqp.process aes alert in
       check_ids "aes-compact" expected (Mqp.process compact alert);
       check_ids "naive" expected (Mqp.process naive alert);
@@ -588,7 +588,7 @@ let test_partition_by_documents_equivalent () =
   Array.iteri
     (fun i events ->
       let alert =
-        { Mqp.url = Printf.sprintf "http://site%d/" i; events; payload = ""; trace = None }
+        { Mqp.url = Printf.sprintf "http://site%d/" i; events; payload = ""; trace = None; birth = None }
       in
       check_ids "same matches" (Mqp.process reference alert)
         (Partition.process part alert))
@@ -605,7 +605,7 @@ let test_partition_by_subscriptions_equivalent () =
   Array.iteri
     (fun i events ->
       let alert =
-        { Mqp.url = Printf.sprintf "http://site%d/" i; events; payload = ""; trace = None }
+        { Mqp.url = Printf.sprintf "http://site%d/" i; events; payload = ""; trace = None; birth = None }
       in
       check_ids "same matches" (Mqp.process reference alert)
         (Partition.process part alert))
@@ -614,7 +614,7 @@ let test_partition_by_subscriptions_equivalent () =
 let test_partition_routing () =
   let part_docs = Partition.create Partition.By_documents ~partitions:4 in
   let part_subs = Partition.create Partition.By_subscriptions ~partitions:4 in
-  let alert = { Mqp.url = "http://a/"; events = Event_set.of_list [ 1 ]; payload = ""; trace = None } in
+  let alert = { Mqp.url = "http://a/"; events = Event_set.of_list [ 1 ]; payload = ""; trace = None; birth = None } in
   checki "docs axis: one partition" 1 (List.length (Partition.route part_docs alert));
   checki "subs axis: all partitions" 4
     (List.length (Partition.route part_subs alert));

@@ -532,6 +532,7 @@ let make_distributed_workload () =
              events;
              payload = "";
              trace = None;
+             birth = None;
            })
          (Workload.document_sets workload ~seed:9 ~count:200))
   in

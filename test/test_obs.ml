@@ -179,6 +179,55 @@ let test_renderers_smoke () =
   | _ -> ()
   | exception Xy_xml.Parser.Error _ -> Alcotest.fail "snapshot XML unparseable"
 
+let test_timer_clamp () =
+  (* Regression: the default [Sys.time] timer measures CPU seconds,
+     so a wall-clock installed mid-run (or an NTP step) can make
+     [now () -. start] negative.  [Histogram.time] must clamp the
+     duration at zero rather than poison the sum. *)
+  let ticks = ref [ 100.; 40. ] in
+  (* goes backwards *)
+  Obs.set_timer (fun () ->
+      match !ticks with
+      | t :: rest ->
+          ticks := rest;
+          t
+      | [] -> 0.);
+  Fun.protect
+    ~finally:(fun () -> Obs.set_timer Sys.time)
+    (fun () ->
+      let obs = Obs.create () in
+      let h = Obs.histogram obs ~stage:"s" "lat" in
+      Obs.Histogram.time h (fun () -> ());
+      checki "observation recorded" 1 (Obs.Histogram.count h);
+      checkf "negative duration clamped to zero" 0. (Obs.Histogram.sum h))
+
+let test_absorb_restores_counts () =
+  (* The warm-restart carry: a snapshot of one registry absorbed into
+     a fresh one reproduces counters, gauges and histogram contents
+     (and absorbing is additive on top of live traffic). *)
+  let a = Obs.create () in
+  Obs.Counter.add (Obs.counter a ~stage:"s" "n") 7;
+  Obs.Gauge.set (Obs.gauge a ~stage:"s" "depth") 3.5;
+  let h = Obs.histogram ~buckets:[| 1.; 10. |] a ~stage:"s" "lat" in
+  List.iter (Obs.Histogram.observe h) [ 0.5; 5.; 50. ];
+  let b = Obs.create () in
+  Obs.Counter.incr (Obs.counter b ~stage:"s" "n");
+  Obs.absorb b (Obs.snapshot a);
+  checki "counter adds" 8 (Obs.Snapshot.counter_value (Obs.snapshot b) ~stage:"s" "n");
+  (match Obs.Snapshot.find (Obs.snapshot b) ~stage:"s" "lat" with
+  | Some (Obs.Snapshot.Histogram hist) ->
+      checkb "bucket counts carried" true
+        (hist.Obs.Snapshot.counts = [| 1; 1; 1 |]);
+      checkf "sum carried" 55.5 hist.Obs.Snapshot.sum;
+      checkf "max carried" 50. hist.Obs.Snapshot.max_value
+  | _ -> Alcotest.fail "histogram missing after absorb");
+  (* Mismatched bucket layouts must be rejected, not silently mixed. *)
+  let c = Obs.create () in
+  ignore (Obs.histogram ~buckets:[| 2.; 4.; 8. |] c ~stage:"s" "lat");
+  match Obs.absorb c (Obs.snapshot a) with
+  | () -> Alcotest.fail "layout mismatch must be rejected"
+  | exception Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Domains *)
 
@@ -228,6 +277,57 @@ let test_partitioned_snapshots_merge () =
   checki "per-partition keys survive" 1
     (Obs.Snapshot.counter_value left ~stage:"worker" "own1")
 
+let qcheck_partitioned_merge_exact =
+  (* Property: partitioning a random op stream over per-domain
+     registries and merging the snapshots neither loses nor
+     double-counts — the merge equals the snapshot of one registry
+     fed every op, whatever the partitioning and whichever way the
+     merge fold runs.  Magnitudes are small integers, so float sums
+     are exact and structural equality is legitimate. *)
+  let apply obs (is_counter, key, magnitude) =
+    if is_counter then
+      Obs.Counter.add (Obs.counter obs ~stage:"q" (Printf.sprintf "c%d" key)) magnitude
+    else
+      Obs.Histogram.observe
+        (Obs.histogram ~buckets:[| 1.; 4.; 16. |] obs ~stage:"q"
+           (Printf.sprintf "h%d" key))
+        (float_of_int magnitude)
+  in
+  let gen =
+    QCheck.make
+      ~print:(fun (d, ops) ->
+        Printf.sprintf "%d domain(s), %d op(s)" d (List.length ops))
+      QCheck.Gen.(
+        pair (int_range 1 4)
+          (list_size (int_range 1 100)
+             (triple bool (int_range 0 2) (int_range 1 9))))
+  in
+  QCheck.Test.make ~name:"partitioned merge = sequential reference" ~count:100
+    gen (fun (domains, ops) ->
+      let parts = Array.make domains [] in
+      List.iteri (fun i op -> parts.(i mod domains) <- op :: parts.(i mod domains)) ops;
+      let spawned =
+        Array.map
+          (fun part ->
+            Domain.spawn (fun () ->
+                let obs = Obs.create () in
+                List.iter (apply obs) (List.rev part);
+                Obs.snapshot obs))
+          parts
+      in
+      let snapshots = Array.to_list (Array.map Domain.join spawned) in
+      let reference = Obs.create () in
+      List.iter (apply reference) ops;
+      let expected = (Obs.snapshot reference).Obs.Snapshot.entries in
+      let forward =
+        List.fold_left Obs.Snapshot.merge Obs.Snapshot.empty snapshots
+      in
+      let backward =
+        List.fold_left Obs.Snapshot.merge Obs.Snapshot.empty (List.rev snapshots)
+      in
+      forward.Obs.Snapshot.entries = expected
+      && backward.Obs.Snapshot.entries = expected)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "obs"
@@ -240,6 +340,8 @@ let () =
           tc "histogram buckets" test_histogram_buckets;
           tc "histogram bad bounds" test_histogram_rejects_bad_bounds;
           tc "histogram time" test_histogram_time;
+          tc "timer clamp" test_timer_clamp;
+          tc "absorb" test_absorb_restores_counts;
           tc "exponential buckets" test_exponential_buckets;
         ] );
       ( "snapshot",
@@ -255,5 +357,6 @@ let () =
         [
           tc "exact under parallelism" test_parallel_domains_exact;
           tc "partitioned snapshots merge" test_partitioned_snapshots_merge;
+          QCheck_alcotest.to_alcotest qcheck_partitioned_merge_exact;
         ] );
     ]

@@ -16,12 +16,13 @@ let checks = Alcotest.(check string)
 let spec ?query ?atmost ?archive when_ =
   { S.r_query = query; r_when = when_; r_atmost = atmost; r_archive = archive }
 
-let notification ?(tag = "UpdatedPage") ?(body = []) clock =
+let notification ?(tag = "UpdatedPage") ?(body = []) ?birth clock =
   {
     Notification.source = Notification.Monitoring;
     tag;
     body;
     at = Clock.now clock;
+    birth;
     rendered = None;
   }
 

@@ -290,7 +290,7 @@ report when immediate|}
 
 (* Drive an alert through the processor and check the report. *)
 let fire_alert env ~url ~events ~payload =
-  ignore (Mqp.process env.mqp { Mqp.url; events; payload; trace = None })
+  ignore (Mqp.process env.mqp { Mqp.url; events; payload; trace = None; birth = None })
 
 let test_notification_to_report () =
   let env = make_env () in

@@ -563,6 +563,194 @@ report when immediate|});
     !deliveries
 
 (* ------------------------------------------------------------------ *)
+(* Freshness: staleness accounting, SLO alerting, metric carry *)
+
+module Obs = Xy_obs.Obs
+module Slo = Xy_slo.Slo
+
+let test_monotonic_wall () =
+  (* The timer installed into xy_obs/xy_trace at [create]: wall-clock
+     scale, and ratcheted so it can never retreat even if the
+     underlying clock steps backwards. *)
+  let prev = ref 0. in
+  for _ = 1 to 1_000 do
+    let t = Xyleme.monotonic_wall () in
+    checkb "never retreats" true (t >= !prev);
+    prev := t
+  done;
+  (* seconds-since-epoch, not CPU seconds *)
+  checkb "wall-clock scale" true (!prev > 1e9)
+
+let day_step = 6. *. 3600.
+
+let test_staleness_accounting () =
+  let web = Web.generate ~seed:3 ~sites:4 ~pages_per_site:5 () in
+  let sink, _ = Sink.memory () in
+  let obs = Obs.create () in
+  let t = Xyleme.create ~seed:3 ~sink ~web ~obs () in
+  ignore
+    (subscribe_exn t ~owner:"alice"
+       ~text:
+         {|subscription Fresh
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://site" and modified self
+report when immediate|});
+  Xyleme.run t ~days:6. ~step:day_step ~fetch_limit:50;
+  let snap = Obs.snapshot obs in
+  (* Every web mutation carries its virtual birth stamp; the crawler
+     observes birth->fetch on each changed page it brings in. *)
+  (match Obs.Snapshot.find snap ~stage:"crawler" "detection_lag" with
+  | Some (Obs.Snapshot.Histogram h) ->
+      checkb "changes detected" true (h.Obs.Snapshot.count > 0);
+      checkb "lags are non-negative" true (h.Obs.Snapshot.sum >= 0.);
+      (* A change cannot sit undetected longer than the whole run. *)
+      checkb "lag bounded by run length" true
+        (h.Obs.Snapshot.max_value <= 6. *. 86_400.)
+  | _ -> Alcotest.fail "crawler/detection_lag histogram missing");
+  (* Immediate reports propagate the birth stamp to the reporter:
+     birth->report is the end-to-end notification lag. *)
+  (match Obs.Snapshot.find snap ~stage:"reporter" "notification_lag" with
+  | Some (Obs.Snapshot.Histogram h) ->
+      checkb "notifications observed" true (h.Obs.Snapshot.count > 0)
+  | _ -> Alcotest.fail "reporter/notification_lag histogram missing");
+  (* The watermark gauge tracks the oldest still-undetected change. *)
+  match Obs.Snapshot.find snap ~stage:"crawler" "staleness_watermark_age" with
+  | Some (Obs.Snapshot.Gauge age) -> checkb "watermark age" true (age >= 0.)
+  | _ -> Alcotest.fail "staleness watermark gauge missing"
+
+let test_slo_breach_fires_report () =
+  (* The alerting loop closes through the system's own pipeline: a
+     breached objective is injected as an [xyleme://self/slo/...]
+     document, and an ordinary subscription on that URL space turns
+     it into a report — no special-cased alert path. *)
+  let web = Web.generate ~seed:5 ~sites:3 ~pages_per_site:4 () in
+  let sink, deliveries = Sink.memory () in
+  let obs = Obs.create () in
+  (* Impossible objective: detection within 1 virtual second.  Every
+     detection at a 6h crawl step is bad, so both windows burn at
+     1/(1-0.9) = 10x from the first evaluation with samples. *)
+  let objective =
+    {
+      Slo.o_name = "fresh";
+      o_stage = "crawler";
+      o_metric = "detection_lag";
+      o_threshold = 1.;
+      o_target = 0.9;
+      o_fast_window = 86_400.;
+      o_slow_window = 2. *. 86_400.;
+      o_burn_limit = 1.;
+    }
+  in
+  let t = Xyleme.create ~seed:5 ~sink ~web ~obs ~slos:[ objective ] () in
+  (* Two watchers cover both shapes a breach can take: the objective's
+     document appearing already-breached, or flipping ok -> breached
+     on a later evaluation (status documents are re-injected only on
+     flips).  A healthy objective fires neither. *)
+  ignore
+    (subscribe_exn t ~owner:"oncall"
+       ~text:
+         {|subscription SloWatchNew
+monitoring
+select <SloAlert url=URL/>
+where URL extends "xyleme://self/slo/" and new self and self contains "breached"
+report when immediate|});
+  ignore
+    (subscribe_exn t ~owner:"oncall"
+       ~text:
+         {|subscription SloWatchFlip
+monitoring
+select <SloAlert url=URL/>
+where URL extends "xyleme://self/slo/" and modified self\\status contains "breached"
+report when immediate|});
+  Xyleme.run t ~days:6. ~step:day_step ~fetch_limit:50;
+  (* The engine judged the objective breached... *)
+  (match Xyleme.slo_reports t with
+  | [ r ] ->
+      checkb "objective breached" true r.Slo.r_breached;
+      checkb "burning hard" true (r.Slo.r_fast_burn >= 1.)
+  | _ -> Alcotest.fail "expected one slo report");
+  (* ...and the ordinary subscription saw the injected document. *)
+  let fired =
+    List.filter
+      (fun d ->
+        d.Sink.subscription = "SloWatchNew"
+        || d.Sink.subscription = "SloWatchFlip")
+      !deliveries
+  in
+  checkb "a breach watcher reported" true (fired <> []);
+  List.iter
+    (fun d ->
+      match T.children_elements d.Sink.report with
+      | alert :: _ ->
+          checks "tag" "SloAlert" alert.T.tag;
+          (match T.attr alert "url" with
+          | Some url -> checks "url" "xyleme://self/slo/fresh.xml" url
+          | None -> Alcotest.fail "alert lacks url")
+      | [] -> Alcotest.fail "empty SloWatch report")
+    fired
+
+let rm_rf path =
+  let rec go p =
+    if Sys.is_directory p then (
+      Array.iter (fun e -> go (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p)
+    else Sys.remove p
+  in
+  if Sys.file_exists path then go path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "xy_system_obs" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_restore_carries_metrics () =
+  (* Warm restart must not zero the observability story: cumulative
+     metrics ride the checkpoint ("obs" section) and keep counting,
+     and the [system/restarts] counter records directory lifetime. *)
+  with_temp_dir @@ fun dir ->
+  let fresh_web () = Web.generate ~seed:7 ~sites:3 ~pages_per_site:4 () in
+  let sink, _ = Sink.memory () in
+  let obs1 = Obs.create () in
+  let x =
+    Xyleme.create ~seed:7 ~sink ~web:(fresh_web ()) ~obs:obs1 ~durable_dir:dir
+      ()
+  in
+  ignore
+    (subscribe_exn x ~owner:"alice"
+       ~text:
+         {|subscription D
+monitoring
+where modified self and URL extends "http://site"
+report when count > 2 atmost daily|});
+  Xyleme.run_resumable x ~days:2. ~step:day_step ~fetch_limit:50;
+  ignore (Xyleme.checkpoint x);
+  let fetched_before =
+    Obs.Snapshot.counter_value (Obs.snapshot obs1) ~stage:"crawler" "fetches"
+  in
+  checkb "counted some fetches" true (fetched_before > 0);
+  checki "fresh directory: no restarts" 0 (Xyleme.restarts x);
+  let sink2, _ = Sink.memory () in
+  let obs2 = Obs.create () in
+  match
+    Xyleme.restore ~seed:7 ~web:(fresh_web ()) ~sink:sink2 ~obs:obs2 ~dir ()
+  with
+  | Error e -> Alcotest.failf "restore failed: %s" e
+  | Ok (x', _info) ->
+      checki "restart counted" 1 (Xyleme.restarts x');
+      let carried =
+        Obs.Snapshot.counter_value (Obs.snapshot obs2) ~stage:"crawler" "fetches"
+      in
+      checkb "cumulative counter carried" true (carried >= fetched_before);
+      (* The carried metrics keep counting as the run resumes. *)
+      Xyleme.run_resumable x' ~days:3. ~step:day_step ~fetch_limit:50;
+      let after =
+        Obs.Snapshot.counter_value (Obs.snapshot obs2) ~stage:"crawler" "fetches"
+      in
+      checkb "still counting" true (after > carried)
+
+(* ------------------------------------------------------------------ *)
 (* Bus and the distributed pipeline *)
 
 module Bus = Xy_system.Bus
@@ -663,7 +851,7 @@ let make_distributed_workload () =
     Array.to_list
       (Array.mapi
          (fun i events ->
-           { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = ""; trace = None })
+           { Mqp.url = Printf.sprintf "http://doc%d/" i; events; payload = ""; trace = None; birth = None })
          (Workload.document_sets workload ~seed:9 ~count:200))
   in
   (subscriptions, alerts)
@@ -789,6 +977,13 @@ let () =
           tc "stats" test_stats_consistency;
           tc "trace covers pipeline" test_trace_covers_pipeline;
           tc "self-monitor subscription" test_self_monitor_subscription_fires;
+        ] );
+      ( "freshness",
+        [
+          tc "monotonic wall" test_monotonic_wall;
+          tc "staleness accounting" test_staleness_accounting;
+          tc "slo breach fires report" test_slo_breach_fires_report;
+          tc "restore carries metrics" test_restore_carries_metrics;
         ] );
       ( "bus",
         [
