@@ -156,13 +156,14 @@ type mqp_row = {
   docs_per_sec : float;
   memory_words : int;
   probes_per_doc : float option;
+  steals : int option;
 }
 
 let mqp_rows : mqp_row list ref = ref []
 
-let record_mqp ?probes_per_doc ~name ~docs_per_sec ~memory_words () =
+let record_mqp ?probes_per_doc ?steals ~name ~docs_per_sec ~memory_words () =
   mqp_rows :=
-    { row_name = name; docs_per_sec; memory_words; probes_per_doc }
+    { row_name = name; docs_per_sec; memory_words; probes_per_doc; steals }
     :: !mqp_rows
 
 let bench_json_path = ref "BENCH_mqp.json"
@@ -197,9 +198,13 @@ let write_mqp_json ~scale =
             "    {\"name\": \"%s\", \"docs_per_sec\": %.1f, \
              \"memory_words\": %d%s}%s\n"
             (json_escape r.row_name) r.docs_per_sec r.memory_words
-            (match r.probes_per_doc with
+            ((match r.probes_per_doc with
+             | None -> ""
+             | Some p -> Printf.sprintf ", \"probes_per_doc\": %.1f" p)
+            ^
+            match r.steals with
             | None -> ""
-            | Some p -> Printf.sprintf ", \"probes_per_doc\": %.1f" p)
+            | Some s -> Printf.sprintf ", \"steals\": %d" s)
             (if i = last then "" else ","))
         rows;
       Printf.fprintf oc "  ]\n}\n";

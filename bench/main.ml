@@ -20,6 +20,7 @@
      tbl-fault     crawl throughput under fetch failures
      tbl-durable   checkpoint cost & warm-restart time
      tbl-staleness staleness quantiles vs fetch budget
+     tbl-par-e2e   sharded pipeline scaling vs domains
 
    Usage:
      dune exec bench/main.exe                  (default scale, all)
@@ -34,7 +35,7 @@
 let experiments : (string * (Harness.scale -> unit)) list =
   Bench_mqp.all @ Bench_alerters.all @ Bench_reporter.all @ Bench_e2e.all
   @ Bench_ablation.all @ Bench_trace.all @ Bench_fault.all @ Bench_durable.all
-  @ Bench_staleness.all
+  @ Bench_staleness.all @ Bench_parallel.all
 
 let () =
   let scale = ref Harness.Default in

@@ -152,7 +152,7 @@ let validate_cmd =
 let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
     ?(report_clause = "report when count > 5 atmost daily") ?durable_dir
     ?(checkpoint_every = 0) ?kill_after ?(restore = false) ?sync_every
-    ?segment_bytes ?slos ?telemetry_port ?(linger = 0.) ~sites ~days
+    ?segment_bytes ?slos ?telemetry_port ?(linger = 0.) ?parallel ~sites ~days
     ~subscriptions ~seed () =
   let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
   let counting_sink, delivered = Xy_reporter.Sink.counting () in
@@ -174,7 +174,7 @@ let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
       in
       match
         Xy_system.Xyleme.restore ~seed ?algorithm ?fault_plan ~sink ~web
-          ?slos ?sync_every ?segment_bytes ~dir ()
+          ?slos ?parallel ?sync_every ?segment_bytes ~dir ()
       with
       | Error e ->
           Printf.eprintf "restore failed: %s\n" e;
@@ -198,7 +198,7 @@ let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
     end
     else
       Xy_system.Xyleme.create ~seed ?algorithm ?fault_plan ~sink ~web ?slos
-        ?durable_dir ?sync_every ?segment_bytes ()
+        ?parallel ?durable_dir ?sync_every ?segment_bytes ()
   in
   (* The live telemetry endpoint serves scrapes from a background
      thread while the simulation runs on this one; every route reads
@@ -517,20 +517,75 @@ let slo_arg =
            Evaluated every virtual step; a breach ingests an SLO document \
            at xyleme://self/slo/NAME.xml through the normal pipeline")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run each crawl step's fetches through $(docv) parallel loader \
+           domains (the sharded crawl → match → report pipeline); 1 keeps \
+           the historical serial loop.  Notifications and reports are \
+           identical either way")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"M"
+        ~doc:
+          "Number of Monitoring Query Processor shards in the parallel \
+           pipeline (defaults to $(b,--domains))")
+
+let axis_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("docs", Xy_system.Distributed.Split_documents);
+             ("subs", Xy_system.Distributed.Split_subscriptions);
+           ])
+        Xy_system.Distributed.Split_documents
+    & info [ "axis" ] ~docv:"AXIS"
+        ~doc:
+          "Distribution axis for the MQP shards (paper §4.2): $(b,docs) \
+           routes each alert to one shard holding all subscriptions, \
+           $(b,subs) spreads the subscriptions and broadcasts each alert")
+
+let no_steal_arg =
+  Arg.(
+    value & flag
+    & info [ "no-steal" ]
+        ~doc:"Disable work stealing between skewed MQP shards")
+
+let parallel_of ~domains ~shards ~axis ~no_steal =
+  if domains <= 1 then None
+  else
+    Some
+      {
+        Xy_system.Parallel.default_config with
+        Xy_system.Parallel.domains;
+        shards = Option.value ~default:domains shards;
+        axis;
+        steal = not no_steal;
+      }
+
 let simulate_cmd =
   let run sites days subscriptions seed algorithm fault_plan verbose
       stats_flag trace_every durable_dir checkpoint_every kill_after restore
-      sync_every segment_kib slos telemetry_port linger =
+      sync_every segment_kib slos telemetry_port linger domains shards axis
+      no_steal =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
     let trace_every = Option.value ~default:0 trace_every in
+    let parallel = parallel_of ~domains ~shards ~axis ~no_steal in
     let xyleme, accepted, delivered =
       run_simulation ~trace_every ~algorithm ?fault_plan ?durable_dir
         ~checkpoint_every ?kill_after ~restore ~sync_every
         ~segment_bytes:(segment_kib * 1024) ~slos ?telemetry_port ~linger
-        ~sites ~days ~subscriptions ~seed ()
+        ?parallel ~sites ~days ~subscriptions ~seed ()
     in
     let stats = Xy_system.Xyleme.stats xyleme in
     Printf.printf "simulated %.0f days over %d sites, %d subscriptions:\n" days
@@ -576,7 +631,7 @@ let simulate_cmd =
       $ algorithm_arg $ faults_arg $ verbose $ stats_flag $ trace_every
       $ durable_arg $ checkpoint_every_arg $ kill_after_arg $ restore_flag
       $ sync_every_arg $ segment_kib_arg $ slo_arg $ telemetry_arg
-      $ linger_arg)
+      $ linger_arg $ domains_arg $ shards_arg $ axis_arg $ no_steal_arg)
 
 let stats_cmd =
   let run sites days subscriptions seed algorithm xml =

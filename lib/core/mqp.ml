@@ -43,6 +43,9 @@ type t = {
   mutable batch_listeners : (alert -> int list -> unit) list;
   mutable alerts_processed : int;
   mutable notifications_emitted : int;
+  mutable mutations : int;
+      (** subscribe/unsubscribe count — a cheap epoch the parallel
+          pipeline uses to invalidate derived per-shard matchers *)
   metrics : metrics;
 }
 
@@ -68,6 +71,7 @@ let create ?(algorithm = Use_aes) ?(obs = Obs.default) () =
     batch_listeners = [];
     alerts_processed = 0;
     notifications_emitted = 0;
+    mutations = 0;
     metrics =
       {
         m_alerts = Obs.counter obs ~stage "alerts";
@@ -91,32 +95,41 @@ let compact_stats t = Option.map Aes_compact.compact_stats t.compact
 let subscribe t ~id events =
   let (Packed ((module M), m)) = t.matcher in
   M.add m ~id events;
+  t.mutations <- t.mutations + 1;
   Obs.Gauge.set_int t.metrics.m_complex (M.complex_count m)
 
 let unsubscribe t ~id =
   let (Packed ((module M), m)) = t.matcher in
   M.remove m ~id;
+  t.mutations <- t.mutations + 1;
   Obs.Gauge.set_int t.metrics.m_complex (M.complex_count m)
 
-let process t alert =
+let mutations t = t.mutations
+
+let iter_complex t f =
   let (Packed ((module M), m)) = t.matcher in
-  let span =
-    Option.map
-      (fun ctx -> Xy_trace.Trace.begin_span ctx ~stage:"mqp" ~name:"match")
-      alert.trace
-  in
-  let matched =
-    Obs.Histogram.time t.metrics.m_match_latency (fun () ->
-        M.match_set m alert.events)
-  in
-  Option.iter
-    (Xy_trace.Trace.end_span
-       ~attrs:
-         [
-           ("events", string_of_int (Xy_events.Event_set.cardinal alert.events));
-           ("matched", string_of_int (List.length matched));
-         ])
-    span;
+  M.iter m f
+
+(* Bare matching against the structure: no metrics, no stats, no
+   listeners.  This is the shard-side half of {!process} — safe to
+   call from several domains at once as long as no concurrent
+   subscribe/unsubscribe runs AND the algorithm's [match_set] is
+   read-only (aes, aes-compact, naive; NOT counting, whose scratch
+   counters are part of the structure — the parallel pipeline gives
+   counting shards full replicas instead).  The matchers' internal
+   probe counters are plain fields, so concurrent readers may
+   undercount probes; they never corrupt the structure. *)
+let match_readonly t events =
+  let (Packed ((module M), m)) = t.matcher in
+  M.match_set m events
+
+(* The dispatch half of {!process}: per-alert instruments, lifetime
+   stats, notification and batch listeners, for a match produced
+   elsewhere (inline just below, or on a shard domain with the latency
+   measured there).  Single-threaded: only the owning/drainer domain
+   may call this. *)
+let dispatch_matched t alert ~matched ~latency =
+  Obs.Histogram.observe t.metrics.m_match_latency latency;
   Obs.Counter.incr t.metrics.m_alerts;
   Obs.Histogram.observe t.metrics.m_events_per_alert
     (float_of_int (Xy_events.Event_set.cardinal alert.events));
@@ -134,6 +147,25 @@ let process t alert =
   if matched <> [] then
     List.iter (fun listener -> listener alert matched) t.batch_listeners;
   matched
+
+let process t alert =
+  let span =
+    Option.map
+      (fun ctx -> Xy_trace.Trace.begin_span ctx ~stage:"mqp" ~name:"match")
+      alert.trace
+  in
+  let t0 = Obs.now () in
+  let matched = match_readonly t alert.events in
+  let latency = Obs.now () -. t0 in
+  Option.iter
+    (Xy_trace.Trace.end_span
+       ~attrs:
+         [
+           ("events", string_of_int (Xy_events.Event_set.cardinal alert.events));
+           ("matched", string_of_int (List.length matched));
+         ])
+    span;
+  dispatch_matched t alert ~matched ~latency
 
 let on_notify t listener = t.listeners <- listener :: t.listeners
 let on_batch t listener = t.batch_listeners <- listener :: t.batch_listeners

@@ -71,6 +71,41 @@ val unsubscribe : t -> id:int -> unit
     {!on_notify} receive one notification per match. *)
 val process : t -> alert -> int list
 
+(** {2 Split matching — the parallel pipeline's surface}
+
+    {!process} = {!match_readonly} + {!dispatch_matched}.  The sharded
+    crawl pipeline matches on shard domains and dispatches at its
+    single drainer, so instruments, stats and listeners fire exactly
+    once per alert, in document order, on one domain — identical to
+    the serial totals. *)
+
+(** [match_readonly t events] is the bare sorted match list: no
+    metrics, no stats, no listeners.  Safe to call concurrently from
+    several domains provided no subscribe/unsubscribe runs meanwhile
+    and the algorithm's matcher is read-only under [match_set] (aes,
+    aes-compact and naive are; counting is not — its per-call scratch
+    counters live in the structure, so give each concurrent reader its
+    own replica). *)
+val match_readonly : t -> Xy_events.Event_set.t -> int list
+
+(** [dispatch_matched t alert ~matched ~latency] records the per-alert
+    instruments (with [latency] as the match-latency sample), updates
+    the lifetime stats and fires the notification/batch listeners for
+    an externally produced match — then returns [matched].
+    Single-threaded: owner/drainer domain only. *)
+val dispatch_matched :
+  t -> alert -> matched:int list -> latency:float -> int list
+
+(** [iter_complex t f] applies [f] to every registered complex event
+    (unspecified order) — bulk export for building derived per-shard
+    matchers. *)
+val iter_complex : t -> (id:int -> Xy_events.Event_set.t -> unit) -> unit
+
+(** [mutations t] counts subscribes + unsubscribes over the processor's
+    lifetime — a cheap epoch for invalidating matchers derived with
+    {!iter_complex}. *)
+val mutations : t -> int
+
 (** [on_notify t f] installs a notification listener (the Reporter
     and the Trigger Engine). *)
 val on_notify : t -> (notification -> unit) -> unit

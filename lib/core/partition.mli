@@ -19,6 +19,15 @@ type axis =
       (** subscriptions are spread over partitions; each alert is sent
           to all partitions and the matches are merged *)
 
+(** [slot_of_url ~partitions url] is the partition a document belongs
+    to on the document-flow axis (FNV-1a hash of the URL, folded into
+    [partitions]).  Pure: any domain re-derives the same placement. *)
+val slot_of_url : partitions:int -> string -> int
+
+(** [slot_of_subscription ~partitions id] is the partition a complex
+    event belongs to on the subscription axis ([id mod partitions]). *)
+val slot_of_subscription : partitions:int -> int -> int
+
 type t
 
 val create : ?algorithm:Mqp.algorithm -> axis -> partitions:int -> t

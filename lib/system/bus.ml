@@ -124,6 +124,63 @@ let pop t =
   in
   wait ()
 
+let try_pop t =
+  Mutex.lock t.mutex;
+  if Queue.is_empty t.queue then begin
+    Mutex.unlock t.mutex;
+    None
+  end
+  else begin
+    let message, enqueued_at = Queue.pop t.queue in
+    Obs.Counter.incr t.metrics.m_popped;
+    Obs.Gauge.set_int t.metrics.m_depth (Queue.length t.queue);
+    Condition.signal t.not_full;
+    Mutex.unlock t.mutex;
+    (match Option.bind t.trace_of (fun f -> f message) with
+    | Some ctx ->
+        Trace.record ctx ~stage ~name:"wait"
+          ~attrs:[ ("bus", t.name) ]
+          ~start_wall:enqueued_at
+          ~dur_wall:(Trace.now () -. enqueued_at)
+          ()
+    | None -> ());
+    Some message
+  end
+
+(* Work stealing: an idle shard takes the back half of a loaded
+   sibling's inbox in one locked sweep.  The front half stays with the
+   victim (preserving its local order); the stolen tail keeps its
+   relative order on the thief. *)
+let steal_half t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  if n < 2 then begin
+    Mutex.unlock t.mutex;
+    []
+  end
+  else begin
+    let keep = n / 2 in
+    let kept = Queue.create () in
+    for _ = 1 to keep do
+      Queue.push (Queue.pop t.queue) kept
+    done;
+    let stolen = ref [] in
+    Queue.iter (fun (message, _) -> stolen := message :: !stolen) t.queue;
+    Queue.clear t.queue;
+    Queue.transfer kept t.queue;
+    Obs.Counter.add t.metrics.m_popped (n - keep);
+    Obs.Gauge.set_int t.metrics.m_depth keep;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.mutex;
+    List.rev !stolen
+  end
+
+let drained t =
+  Mutex.lock t.mutex;
+  let d = t.closed && Queue.is_empty t.queue in
+  Mutex.unlock t.mutex;
+  d
+
 let close t =
   Mutex.lock t.mutex;
   t.closed <- true;

@@ -40,6 +40,22 @@ val push : 'a t -> 'a -> unit
     queue is closed *and* drained. *)
 val pop : 'a t -> 'a option
 
+(** [try_pop t] — a message if one is immediately available, [None]
+    otherwise (empty or closed); never blocks. *)
+val try_pop : 'a t -> 'a option
+
+(** [steal_half t] removes and returns the back half of the queue
+    (⌈n/2⌉ messages, in order) in one locked sweep — the work-stealing
+    primitive: the victim keeps the front half so its local order is
+    preserved.  Empty list when fewer than 2 messages are queued.
+    Stolen messages count as popped; their queue-wait trace spans are
+    not recorded (they re-queue on the thief conceptually, but we hand
+    them straight to its loop). *)
+val steal_half : 'a t -> 'a list
+
+(** [drained t] — closed and empty: no message will ever arrive. *)
+val drained : 'a t -> bool
+
 (** [close t] signals end-of-stream: producers may no longer push,
     consumers drain the remaining messages then receive [None].
     Idempotent. *)

@@ -23,8 +23,7 @@ type worker_exit = Finished | Died of Mqp.alert
 let run ?algorithm ?(obs = Obs.default) ?(faults = Fault.none)
     ?(capacity = 256) ~axis ~partitions ~subscriptions ~alerts () =
   if partitions <= 0 then invalid_arg "Distributed.run: partitions <= 0";
-  Obs.set_timer Unix.gettimeofday;
-  Xy_trace.Trace.set_timer Unix.gettimeofday;
+  Wall.install_timers ();
   let m_routed = Obs.counter obs ~stage "alerts_routed" in
   let m_notifications = Obs.counter obs ~stage "notifications" in
   let m_partitions = Obs.gauge obs ~stage "partitions" in
@@ -60,7 +59,9 @@ let run ?algorithm ?(obs = Obs.default) ?(faults = Fault.none)
   let outbox : (string * int list) Bus.t =
     Bus.create ~capacity:1024 ~obs ~name:"outbox" ()
   in
-  let processed = Array.make partitions 0 in
+  (* Padded: each worker bumps its own slot from its own domain; a
+     dense array put the slots on shared cache lines. *)
+  let processed = Pad.create partitions in
   let deaths = ref 0 in
   let respawns = ref 0 in
   let start = Unix.gettimeofday () in
@@ -72,7 +73,7 @@ let run ?algorithm ?(obs = Obs.default) ?(faults = Fault.none)
         Obs.Histogram.time m_worker_span @@ fun () ->
         let mqp = mqps.(slot) in
         let process alert =
-          processed.(slot) <- processed.(slot) + 1;
+          Pad.incr processed slot;
           match Mqp.process mqp alert with
           | [] -> ()
           | ids ->
@@ -116,12 +117,7 @@ let run ?algorithm ?(obs = Obs.default) ?(faults = Fault.none)
     Obs.Counter.incr m_routed;
     match axis with
     | Split_documents ->
-        let slot =
-          Int64.to_int
-            (Int64.rem
-               (Int64.logand (Xy_util.Hashing.fnv1a64 alert.Mqp.url) Int64.max_int)
-               (Int64.of_int partitions))
-        in
+        let slot = Xy_core.Partition.slot_of_url ~partitions alert.Mqp.url in
         Bus.push inboxes.(slot) alert
     | Split_subscriptions ->
         Array.iter (fun inbox -> Bus.push inbox alert) inboxes
@@ -145,7 +141,7 @@ let run ?algorithm ?(obs = Obs.default) ?(faults = Fault.none)
   Bus.close outbox;
   let notifications = Domain.join collector in
   let wall_seconds = Unix.gettimeofday () -. start in
-  let alerts_processed = Array.fold_left ( + ) 0 processed in
+  let alerts_processed = Pad.total processed in
   {
     notifications;
     alerts_processed;

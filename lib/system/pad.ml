@@ -1,0 +1,25 @@
+(* Per-worker counters bumped from different domains used to sit in
+   one dense [int array] — adjacent slots share a cache line, so every
+   increment invalidated the line for every other worker (false
+   sharing).  Spreading the slots a cache line apart keeps each
+   worker's hot word private.  64-byte lines / 8-byte words = stride
+   8. *)
+
+let stride = 8
+
+type t = { cells : int array; slots : int }
+
+let create slots =
+  if slots <= 0 then invalid_arg "Pad.create: slots <= 0";
+  { cells = Array.make (slots * stride) 0; slots }
+
+let add t slot n = t.cells.(slot * stride) <- t.cells.(slot * stride) + n
+let incr t slot = add t slot 1
+let get t slot = t.cells.(slot * stride)
+
+let total t =
+  let sum = ref 0 in
+  for slot = 0 to t.slots - 1 do
+    sum := !sum + t.cells.(slot * stride)
+  done;
+  !sum

@@ -1,0 +1,20 @@
+(** Cache-line-padded per-worker counters.
+
+    One logical [int array] whose slots are spread a cache line apart,
+    so worker domains incrementing their own slot never contend on a
+    shared line (false sharing).  Each slot is still a plain (not
+    atomic) word: exactly one domain may write a given slot; any
+    domain may read after the writers have been joined. *)
+
+type t
+
+val create : int -> t
+
+val incr : t -> int -> unit
+val add : t -> int -> int -> unit
+
+(** [get t slot] — racy against a live writer; exact once the writing
+    domain is joined. *)
+val get : t -> int -> int
+
+val total : t -> int

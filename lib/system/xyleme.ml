@@ -18,20 +18,10 @@ module Persist = Xy_submgr.Persist
 module Sink = Xy_reporter.Sink
 module Slo = Xy_slo.Slo
 
-(* [Unix.gettimeofday] can step backwards (NTP); latency math
-   subtracts timestamps, so the timer installed into [Obs]/[Trace] is
-   a CAS ratchet that never retreats.  (The libraries' own default,
-   [Sys.time], measures CPU seconds — time blocked in I/O was
-   invisible.) *)
-let monotonic_wall =
-  let last = Atomic.make neg_infinity in
-  let rec ratchet now =
-    let prev = Atomic.get last in
-    if now >= prev then
-      if Atomic.compare_and_set last prev now then now else ratchet now
-    else prev
-  in
-  fun () -> ratchet (Unix.gettimeofday ())
+(* The never-retreating wall timer now lives in {!Wall} (it is
+   process-global, shared with [Distributed] and [Parallel]); the
+   alias keeps this module's historical surface. *)
+let monotonic_wall = Wall.monotonic
 
 (* The background maintenance task in flight, advanced a bounded
    number of records per crawl step — log compaction used to run
@@ -39,6 +29,25 @@ let monotonic_wall =
 type maintenance_task =
   | Subscription_compaction of Persist.Compaction.task
   | Ledger_compaction of Sink.Ledger_compaction.task
+
+(* Per-loader-domain pipeline stage: a private Loader + alerter Chain
+   over the shared (internally locked) store and registry, plus a
+   private metrics registry — loader/alerter counters are folded into
+   the system registry after each batch, so totals stay exact (the
+   striped cells of a shared registry can drop increments when many
+   short-lived domains collide on a stripe). *)
+type worker_ctx = { wc_obs : Obs.t; wc_loader : Loader.t; wc_chain : Chain.t }
+
+(* Derived per-shard matchers (subscription-axis subsets, or full
+   replicas for the one algorithm whose matcher is not
+   concurrent-read-safe), cached across batches and invalidated by the
+   MQP's subscribe/unsubscribe epoch. *)
+type shard_cache = {
+  sc_axis : Distributed.axis;
+  sc_shards : int;
+  sc_epoch : int;
+  sc_mqps : Mqp.t array;
+}
 
 type t = {
   obs : Obs.t;
@@ -83,6 +92,10 @@ type t = {
   slo_breached : (string, bool) Hashtbl.t;
       (** last injected status per objective: an SLO document is
           (re-)ingested only when the status flips, not every tick *)
+  algorithm : Mqp.algorithm;
+  mutable parallel : Parallel.config;
+  mutable worker_ctxs : worker_ctx array;
+  mutable shard_cache : shard_cache option;
 }
 
 let default_domains () =
@@ -318,12 +331,11 @@ let attach_hooks t d =
 (* ------------------------------------------------------------------ *)
 
 let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ?slos ~durable () =
+    ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ~durable () =
   (* Wall-clock latencies: xy_obs itself is zero-dependency, so the
      high-resolution (and never-retreating) timer is installed here,
-     where unix is linked. *)
-  Obs.set_timer monotonic_wall;
-  Trace.set_timer monotonic_wall;
+     where unix is linked — once per process, whatever creates first. *)
+  Wall.install_timers ();
   let obs = match obs with Some o -> o | None -> Obs.create () in
   (* The failure schedule shares the system seed: one (seed, spec)
      pair pins the whole run, faults included.  A durable system
@@ -398,6 +410,10 @@ let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
         | None | Some [] -> None
         | Some objectives -> Some (Slo.create objectives));
       slo_breached = Hashtbl.create 8;
+      algorithm = Option.value ~default:Mqp.Use_aes algorithm;
+      parallel = Option.value ~default:Parallel.default_config parallel;
+      worker_ctxs = [||];
+      shard_cache = None;
     }
   in
   (* Durability timings (checkpoint pause, fsync batches, rotations)
@@ -431,16 +447,19 @@ let durable_config ?sync_every ?segment_bytes () =
   }
 
 let create ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ?slos ?durable_dir ?sync_every
-    ?segment_bytes () =
+    ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ?durable_dir
+    ?sync_every ?segment_bytes () =
   let config = durable_config ?sync_every ?segment_bytes () in
   let durable = Option.map (Durable.open_fresh ~config) durable_dir in
   let t =
     make ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-      ?self_monitor_period ?fault_plan ?retry ?slos ~durable ()
+      ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ~durable ()
   in
   Option.iter (attach_hooks t) durable;
   t
+
+let parallel_config t = t.parallel
+let set_parallel t config = t.parallel <- config
 
 let obs t = t.obs
 let tracer t = t.tracer
@@ -582,6 +601,321 @@ let ingest_missing ?trace t ~url =
                });
           journal_counters t)
 
+(* ------------------------------------------------------------------ *)
+(* Batch ingestion: the sharded crawl → match → report pipeline.
+
+   One crawl step's fetches are processed as a batch.  With
+   [parallel.domains <= 1] the batch runs through the historical
+   serial loop; otherwise it fans out over {!Parallel}: loader domains
+   parse/warehouse/diff/detect, MQP shards match, and this domain —
+   the single owner of journal, reporter and trigger state — drains
+   the results strictly in batch order, so both modes emit the same
+   notifications in the same order and journal the same ops. *)
+
+type batch_doc = {
+  bd_url : string;
+  bd_content : string option;  (** [None]: the page disappeared *)
+  bd_kind : Loader.content_kind;
+  bd_trace : Trace.ctx option;
+  bd_birth : float option;
+}
+
+(* What a loader domain hands to the drainer, alongside the alert the
+   engine routes to the shards. *)
+type batch_outcome =
+  | B_loaded of Loader.status * Mqp.alert option * float  (** load span *)
+  | B_quarantined of string
+  | B_missing of bool * Mqp.alert option  (** was warehoused? *)
+
+let worker_ctxs t ~domains =
+  if Array.length t.worker_ctxs <> domains then
+    (* Built on this domain: [Chain.create] registers registry
+       listeners, and the registry is not thread-safe.  Rebuilt only
+       when the domain count changes (stale ctx chains stay registered
+       as listeners — idle, they just track subscription changes). *)
+    t.worker_ctxs <-
+      Array.init domains (fun _ ->
+          let wc_obs = Obs.create () in
+          {
+            wc_obs;
+            wc_loader =
+              Loader.create ~domains:t.domains ~obs:wc_obs ~store:t.store
+                ~clock:t.clock ();
+            wc_chain = Chain.create ~obs:wc_obs t.registry;
+          });
+  t.worker_ctxs
+
+(* Derived per-shard matchers, cached until the subscription set
+   changes.  [Split_subscriptions]: each shard holds its id-modulo
+   subset.  [Split_documents] normally shares [t.mqp] read-only across
+   shard domains and needs nothing here; the counting algorithm is the
+   exception (its match scratch lives in the structure), so it gets a
+   full replica per shard — which also keeps work stealing valid,
+   replicas being interchangeable. *)
+let derived_shard_mqps t ~axis ~shards =
+  let epoch = Mqp.mutations t.mqp in
+  match t.shard_cache with
+  | Some c when c.sc_axis = axis && c.sc_shards = shards && c.sc_epoch = epoch
+    ->
+      c.sc_mqps
+  | _ ->
+      (* Scratch registry: shard-replica instruments must not shadow
+         the real processor's metrics. *)
+      let scratch = Obs.create () in
+      let mqps =
+        Array.init shards (fun slot ->
+            let m = Mqp.create ~algorithm:t.algorithm ~obs:scratch () in
+            Mqp.iter_complex t.mqp (fun ~id events ->
+                match axis with
+                | Distributed.Split_documents -> Mqp.subscribe m ~id events
+                | Distributed.Split_subscriptions ->
+                    if
+                      Xy_core.Partition.slot_of_subscription ~partitions:shards
+                        id
+                      = slot
+                    then Mqp.subscribe m ~id events);
+            Mqp.freeze m;
+            m)
+      in
+      t.shard_cache <-
+        Some { sc_axis = axis; sc_shards = shards; sc_epoch = epoch; sc_mqps = mqps };
+      mqps
+
+(* Fold a worker's private registry into the system one: counters add,
+   histograms add pointwise, then the worker registry resets so the
+   next batch folds only its delta.  Gauges are skipped — they are
+   last-value instruments owned by the serial pipeline. *)
+let absorb_worker_obs t ctxs =
+  Array.iter
+    (fun ctx ->
+      let s = Obs.snapshot ctx.wc_obs in
+      List.iter
+        (fun (e : Obs.Snapshot.entry) ->
+          match e.Obs.Snapshot.value with
+          | Obs.Snapshot.Counter 0 -> ()
+          | Obs.Snapshot.Counter n ->
+              Obs.Counter.add
+                (Obs.counter t.obs ~stage:e.Obs.Snapshot.stage
+                   e.Obs.Snapshot.name)
+                n
+          | Obs.Snapshot.Gauge _ -> ()
+          | Obs.Snapshot.Histogram h ->
+              if h.Obs.Snapshot.count > 0 then
+                Obs.Histogram.inject
+                  (Obs.histogram ~buckets:h.Obs.Snapshot.bounds t.obs
+                     ~stage:e.Obs.Snapshot.stage e.Obs.Snapshot.name)
+                  ~counts:h.Obs.Snapshot.counts ~sum:h.Obs.Snapshot.sum
+                  ~max_value:h.Obs.Snapshot.max_value)
+        s.Obs.Snapshot.entries;
+      Obs.reset ctx.wc_obs)
+    ctxs
+
+let mqp_alert_of (alert : Alert.t) ~trace ~birth =
+  {
+    Mqp.url = alert.Alert.url;
+    events = alert.Alert.events;
+    payload = Alert.payload_string alert;
+    trace;
+    birth;
+  }
+
+(* The serial member of the pair: byte-for-byte the historical
+   [crawl_step] per-document body. *)
+let process_one_serial t ~conclude d =
+  crash_point t ("ingest:" ^ d.bd_url);
+  (match d.bd_content with
+  | None -> ingest_missing ?trace:d.bd_trace t ~url:d.bd_url
+  | Some content ->
+      (* Unparseable documents are quarantined, not fatal: the
+         rejection is counted, logged and the crawl goes on, so a
+         corrupted page cannot take the pipeline down. *)
+      let outcome =
+        match
+          ingest ?trace:d.bd_trace ?birth:d.bd_birth t ~url:d.bd_url ~content
+            ~kind:d.bd_kind
+        with
+        | outcome -> Some outcome
+        | exception Loader.Rejected reason ->
+            Obs.Counter.incr t.m_quarantined;
+            Log.warn (fun m -> m "quarantined %s: %s" d.bd_url reason);
+            None
+      in
+      let changed =
+        match outcome with
+        | Some { status = Loader.Unchanged; _ } -> false
+        | Some _ | None -> true
+      in
+      if conclude then
+        Xy_crawler.Crawler.conclude t.crawler ~url:d.bd_url ~changed);
+  (* The document's synchronous journey ends here; reports held
+     back by buffering fire from [tick] without attribution. *)
+  Option.iter Trace.finish d.bd_trace;
+  commit_txn t
+
+let process_batch t ~conclude docs =
+  (* DOCID pre-pass, in batch order on this domain: numbering must not
+     depend on which loader domain finishes first (the id is embedded
+     in alert payloads), so fresh URLs allocate — and journal — before
+     anything fans out.  Both modes run it, so serial and parallel
+     runs of one batch number identically. *)
+  List.iter
+    (fun d ->
+      match d.bd_content with
+      | Some _ when not (Store.has_docid t.store ~url:d.bd_url) ->
+          ignore (Store.allocate_docid t.store ~url:d.bd_url);
+          journal_op t ~stage:"warehouse" (fun buf ->
+              Codec.string buf "D";
+              Codec.string buf d.bd_url)
+      | _ -> ())
+    docs;
+  commit_txn t;
+  let config = t.parallel in
+  if config.Parallel.domains <= 1 || docs = [] then
+    List.iter (process_one_serial t ~conclude) docs
+  else begin
+    let docs = Array.of_list docs in
+    (* Worker-death draws happen here, serially: [Fault.fire] counts
+       and journals at draw time and neither is multi-domain safe.
+       The kill flag rides the doc's shard message instead. *)
+    let kill = Array.map (fun _ -> Fault.fire t.faults "worker") docs in
+    let ctxs = worker_ctxs t ~domains:config.Parallel.domains in
+    let counting = t.algorithm = Mqp.Use_counting in
+    let shard_match, steal_ok =
+      match config.Parallel.axis with
+      | Distributed.Split_documents when not counting ->
+          (* one frozen structure, read-only from every shard domain *)
+          ( (fun ~slot:_ ~dest:_ (a : Mqp.alert) ->
+              Mqp.match_readonly t.mqp a.Mqp.events),
+            true )
+      | Distributed.Split_documents ->
+          let replicas =
+            derived_shard_mqps t ~axis:Distributed.Split_documents
+              ~shards:config.Parallel.shards
+          in
+          ( (fun ~slot ~dest:_ (a : Mqp.alert) ->
+              Mqp.match_readonly replicas.(slot) a.Mqp.events),
+            true )
+      | Distributed.Split_subscriptions ->
+          let subsets =
+            derived_shard_mqps t ~axis:Distributed.Split_subscriptions
+              ~shards:config.Parallel.shards
+          in
+          (* The subset identity travels with the message ([dest]), so
+             stolen work still matches the right subscriptions — but a
+             thief then reads the victim's structure concurrently,
+             which the counting matcher cannot tolerate. *)
+          ( (fun ~slot:_ ~dest (a : Mqp.alert) ->
+              Mqp.match_readonly subsets.(dest) a.Mqp.events),
+            not counting )
+    in
+    let config =
+      { config with Parallel.steal = config.Parallel.steal && steal_ok }
+    in
+    let worker ~slot d =
+      let ctx = ctxs.(slot) in
+      match d.bd_content with
+      | None -> (
+          let tree =
+            Option.bind (Store.find t.store d.bd_url) (fun e -> e.Store.tree)
+          in
+          match Loader.delete ctx.wc_loader ~url:d.bd_url with
+          | None -> (B_missing (false, None), None)
+          | Some meta ->
+              let alert =
+                Option.map
+                  (mqp_alert_of ~trace:d.bd_trace ~birth:None)
+                  (Chain.process_deleted ?trace:d.bd_trace ctx.wc_chain ~meta
+                     ~tree)
+              in
+              (B_missing (true, alert), alert))
+      | Some content -> (
+          let t0 = Obs.now () in
+          match
+            Trace.wrap d.bd_trace ~stage:"warehouse" ~name:"load" @@ fun () ->
+            Loader.load ctx.wc_loader ~url:d.bd_url ~content ~kind:d.bd_kind
+          with
+          | exception Loader.Rejected reason -> (B_quarantined reason, None)
+          | result ->
+              let alert =
+                Option.map
+                  (mqp_alert_of ~trace:d.bd_trace ~birth:d.bd_birth)
+                  (Chain.process ?trace:d.bd_trace ctx.wc_chain ~result
+                     ~content)
+              in
+              ( B_loaded (result.Loader.status, alert, Obs.now () -. t0),
+                alert ))
+    in
+    (* Drainer: mirrors [process_one_serial]'s per-document effects —
+       same journal ops, same counters, same listener dispatch — just
+       with the load and the match already done elsewhere. *)
+    let dispatch alert matched =
+      match (alert, matched) with
+      | Some alert, Some (ids, latency) ->
+          t.alerts_sent <- t.alerts_sent + 1;
+          ignore (Mqp.dispatch_matched t.mqp alert ~matched:ids ~latency);
+          journal_counters t
+      | _ -> ()
+    in
+    let drain idx outcome matched =
+      let d = docs.(idx) in
+      crash_point t ("ingest:" ^ d.bd_url);
+      (match outcome with
+      | B_missing (deleted, alert) ->
+          if deleted then begin
+            journal_op t ~stage:"warehouse" (fun buf ->
+                Codec.string buf "X";
+                Codec.string buf d.bd_url;
+                Codec.float buf (Xy_util.Clock.now t.clock));
+            dispatch alert matched
+          end
+      | B_quarantined reason ->
+          Obs.Counter.incr t.m_quarantined;
+          Log.warn (fun m -> m "quarantined %s: %s" d.bd_url reason);
+          if conclude then
+            Xy_crawler.Crawler.conclude t.crawler ~url:d.bd_url ~changed:true
+      | B_loaded (status, alert, span) ->
+          Obs.Counter.incr t.m_ingested;
+          Obs.Histogram.observe t.m_ingest_latency
+            (span
+            +. match matched with Some (_, latency) -> latency | None -> 0.);
+          journal_op t ~stage:"warehouse" (fun buf ->
+              Codec.string buf "L";
+              Codec.string buf d.bd_url;
+              Codec.int buf (kind_tag d.bd_kind);
+              Codec.string buf (Option.get d.bd_content);
+              Codec.float buf (Xy_util.Clock.now t.clock));
+          dispatch alert matched;
+          if conclude then
+            Xy_crawler.Crawler.conclude t.crawler ~url:d.bd_url
+              ~changed:(status <> Loader.Unchanged));
+      Option.iter Trace.finish d.bd_trace;
+      commit_txn t
+    in
+    let finish_batch () = absorb_worker_obs t ctxs in
+    match
+      Parallel.run config ~obs:t.obs ~docs ~kill
+        ~url_of:(fun d -> d.bd_url)
+        ~worker ~shard_match ~drain ()
+    with
+    | stats ->
+        finish_batch ();
+        if stats.Parallel.p_deaths > 0 || stats.Parallel.p_steals > 0 then
+          Log.debug (fun m ->
+              m "parallel batch: %d death(s), %d steal(s) moving %d item(s)"
+                stats.Parallel.p_deaths stats.Parallel.p_steals
+                stats.Parallel.p_stolen)
+    | exception e ->
+        (* a [crash_point] fired in the drainer: every domain has
+           still been joined — account the workers' metrics before
+           the crash propagates *)
+        finish_batch ();
+        raise e
+  end
+
+(* Public batch entry (bench, tests): the crawler is not involved, so
+   fetched-state bookkeeping ([conclude]) is skipped. *)
+let ingest_batch t docs = process_batch t ~conclude:false docs
+
 (* Xyleme monitors itself: render the current metrics snapshot and
    trace summary as XML and push them through the ordinary ingest
    path, as if fetched from [xyleme://self/].  Health subscriptions
@@ -716,45 +1050,23 @@ let crawl_step t ~limit =
         fetch)
       urls
   in
-  List.iter
-    (fun fetch ->
-      let url = fetch.Xy_crawler.Crawler.url in
-      let trace = fetch.Xy_crawler.Crawler.trace in
-      crash_point t ("ingest:" ^ url);
-      (match fetch.Xy_crawler.Crawler.content with
-      | None -> ingest_missing ?trace t ~url
-      | Some content ->
-          let kind =
-            match fetch.Xy_crawler.Crawler.kind with
+  let docs =
+    List.map
+      (fun fetch ->
+        {
+          bd_url = fetch.Xy_crawler.Crawler.url;
+          bd_content = fetch.Xy_crawler.Crawler.content;
+          bd_kind =
+            (match fetch.Xy_crawler.Crawler.kind with
             | Some Xy_crawler.Synthetic_web.Xml_page -> Loader.Xml
             | Some Xy_crawler.Synthetic_web.Html_page -> Loader.Html
-            | None -> Loader.Auto
-          in
-          (* Unparseable documents are quarantined, not fatal: the
-             rejection is counted, logged and the crawl goes on, so a
-             corrupted page cannot take the pipeline down. *)
-          let outcome =
-            match
-              ingest ?trace ?birth:fetch.Xy_crawler.Crawler.birth t ~url
-                ~content ~kind
-            with
-            | outcome -> Some outcome
-            | exception Loader.Rejected reason ->
-                Obs.Counter.incr t.m_quarantined;
-                Log.warn (fun m -> m "quarantined %s: %s" url reason);
-                None
-          in
-          let changed =
-            match outcome with
-            | Some { status = Loader.Unchanged; _ } -> false
-            | Some _ | None -> true
-          in
-          Xy_crawler.Crawler.conclude t.crawler ~url ~changed);
-      (* The document's synchronous journey ends here; reports held
-         back by buffering fire from [tick] without attribution. *)
-      Option.iter Trace.finish trace;
-      commit_txn t)
-    fetches;
+            | None -> Loader.Auto);
+          bd_trace = fetch.Xy_crawler.Crawler.trace;
+          bd_birth = fetch.Xy_crawler.Crawler.birth;
+        })
+      fetches
+  in
+  process_batch t ~conclude:true docs;
   crash_point t "step-end";
   (* the staleness watermark reflects what this step left undetected *)
   Xy_crawler.Crawler.update_watermark t.crawler;
@@ -899,6 +1211,11 @@ let apply_warehouse_op t payload =
       let at = Codec.read_float r in
       Xy_util.Clock.set t.clock at;
       ignore (Loader.delete t.loader ~url)
+  | "D" ->
+      (* batch DOCID pre-allocation: replay in journal order keeps the
+         numbering identical to the run that wrote it *)
+      let url = Codec.read_string r in
+      ignore (Store.allocate_docid t.store ~url)
   | tag -> raise (Codec.Malformed ("unknown warehouse op " ^ tag)));
   Codec.expect_end r
 
@@ -923,8 +1240,8 @@ type restore_info = {
 }
 
 let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ?slos ?sync_every ?segment_bytes
-    ~dir () =
+    ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ?sync_every
+    ?segment_bytes ~dir () =
   let config = durable_config ?sync_every ?segment_bytes () in
   match Durable.open_existing ~config dir with
   | None -> Error (Printf.sprintf "no durable run in %s (missing MANIFEST)" dir)
@@ -938,8 +1255,8 @@ let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
       | Ok (sections, txns, wal_tail) -> (
           let t =
             make ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
-              ?self_monitor_period ?fault_plan ?retry ?slos ~durable:(Some d)
-              ()
+              ?self_monitor_period ?fault_plan ?retry ?slos ?parallel
+              ~durable:(Some d) ()
           in
           (* 1. Structure: replay the subscription log.  This rebuilds
              specs, recipients, triggers, atomic/complex events — at

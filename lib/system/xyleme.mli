@@ -56,6 +56,15 @@ val monotonic_wall : unit -> float
     [xyleme://self/slo/<name>.xml] — subscriptions on that prefix do
     the actual alerting through the unmodified pipeline.
 
+    [parallel] selects the sharded crawl → match → report pipeline
+    ({!Parallel}): with [domains > 1], each crawl step's fetches fan
+    out over that many loader domains and [shards] MQP shards along
+    the chosen §4.2 [axis], with work stealing between skewed shards
+    ([steal]) and per-stage backpressure ([capacity]).  The default
+    ({!Parallel.default_config}) stays serial.  Either way the
+    observable behaviour is identical — notifications, reports and
+    journal ops come out in the serial order.
+
     [sync_every] sets the WAL group-commit batch size (transactions
     per fsync, default 32; [1] syncs every commit) and
     [segment_bytes] the WAL segment rotation threshold — both forwarded
@@ -73,11 +82,18 @@ val create :
   ?fault_plan:Xy_fault.Fault.spec ->
   ?retry:Xy_crawler.Crawler.retry_policy ->
   ?slos:Xy_slo.Slo.objective list ->
+  ?parallel:Parallel.config ->
   ?durable_dir:string ->
   ?sync_every:int ->
   ?segment_bytes:int ->
   unit ->
   t
+
+(** [parallel_config t] is the pipeline configuration in force;
+    [set_parallel] replaces it (takes effect at the next batch). *)
+val parallel_config : t -> Parallel.config
+
+val set_parallel : t -> Parallel.config -> unit
 
 (** {2 Component access} *)
 
@@ -171,6 +187,31 @@ val ingest :
 
 (** [ingest_missing t ~url] handles a page that disappeared. *)
 val ingest_missing : ?trace:Xy_trace.Trace.ctx -> t -> url:string -> unit
+
+(** {2 Batch ingestion — the sharded pipeline}
+
+    One crawl step's fetches form a batch.  With a [parallel]
+    configuration of [domains > 1], {!ingest_batch} (and {!crawl_step},
+    which routes through the same path) fans the batch out over the
+    {!Parallel} engine; otherwise it runs the documents through the
+    serial path one by one.  Both modes first pre-allocate (and, when
+    durable, journal) DOCIDs for fresh URLs in batch order, so document
+    numbering — which is embedded in alert payloads — never depends on
+    which loader domain finishes first. *)
+
+type batch_doc = {
+  bd_url : string;
+  bd_content : string option;  (** [None]: the page disappeared *)
+  bd_kind : Xy_warehouse.Loader.content_kind;
+  bd_trace : Xy_trace.Trace.ctx option;
+  bd_birth : float option;
+}
+
+(** [ingest_batch t docs] processes one batch end to end (loader →
+    alerters → MQP shards → reporter/trigger), honouring the system's
+    parallel configuration.  Notifications, reports and journal ops
+    are emitted in batch order regardless of the configuration. *)
+val ingest_batch : t -> batch_doc list -> unit
 
 (** [inject_self_monitor t] renders the current metrics snapshot and
     trace summary ({!Self_monitor}) and ingests them as documents
@@ -286,6 +327,7 @@ val restore :
   ?fault_plan:Xy_fault.Fault.spec ->
   ?retry:Xy_crawler.Crawler.retry_policy ->
   ?slos:Xy_slo.Slo.objective list ->
+  ?parallel:Parallel.config ->
   ?sync_every:int ->
   ?segment_bytes:int ->
   dir:string ->

@@ -16,6 +16,13 @@ type t = {
   dtdids : (string, int) Hashtbl.t;
   mutable next_docid : int;
   mutable next_dtdid : int;
+  lock : Mutex.t;
+      (* The parallel crawl pipeline loads disjoint URLs from several
+         domains at once; the lock keeps the shared tables (and the id
+         counters) coherent under that concurrency.  Per-URL update
+         sequences remain single-threaded by routing (same URL -> same
+         worker), so only table integrity needs protecting here, not
+         compound find-then-put atomicity. *)
 }
 
 let create ?(keep_versions = 10) () =
@@ -27,16 +34,30 @@ let create ?(keep_versions = 10) () =
     dtdids = Hashtbl.create 64;
     next_docid = 1;
     next_dtdid = 1;
+    lock = Mutex.create ();
   }
 
-let find t url =
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let find_unlocked t url =
   Option.map (fun r -> r.entry) (Hashtbl.find_opt t.by_url url)
 
-let find_by_docid t docid =
-  Option.bind (Hashtbl.find_opt t.by_docid docid) (find t)
+let find t url = locked t (fun () -> find_unlocked t url)
 
-let mem t url = Hashtbl.mem t.by_url url
-let document_count t = Hashtbl.length t.by_url
+let find_by_docid t docid =
+  locked t (fun () ->
+      Option.bind (Hashtbl.find_opt t.by_docid docid) (find_unlocked t))
+
+let mem t url = locked t (fun () -> Hashtbl.mem t.by_url url)
+let document_count t = locked t (fun () -> Hashtbl.length t.by_url)
 
 let record t url =
   match Hashtbl.find_opt t.by_url url with
@@ -68,9 +89,10 @@ let record t url =
       Hashtbl.replace t.by_url url r;
       r
 
-let gen t ~url = (record t url).gen
+let gen t ~url = locked t (fun () -> (record t url).gen)
 
 let put t entry ~delta =
+  locked t @@ fun () ->
   let url = entry.meta.Meta.url in
   let r = record t url in
   r.entry <- entry;
@@ -86,6 +108,7 @@ let put t entry ~delta =
   end
 
 let remove t ~url =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.by_url url with
   | None -> ()
   | Some r ->
@@ -93,6 +116,7 @@ let remove t ~url =
       Hashtbl.remove t.by_url url
 
 let allocate_docid t ~url =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.docids url with
   | Some id -> id
   | None ->
@@ -101,7 +125,10 @@ let allocate_docid t ~url =
       Hashtbl.replace t.docids url id;
       id
 
+let has_docid t ~url = locked t (fun () -> Hashtbl.mem t.docids url)
+
 let allocate_dtdid t ~dtd =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.dtdids dtd with
   | Some id -> id
   | None ->
@@ -111,6 +138,7 @@ let allocate_dtdid t ~dtd =
       id
 
 let reconstruct t ~url ~version =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.by_url url with
   | None -> None
   | Some r -> (
@@ -136,7 +164,9 @@ let reconstruct t ~url ~version =
             Option.map Xy_xml.Xid.strip (unwind current current_version r.history)
           end)
 
-let iter f t = Hashtbl.iter (fun _ r -> f r.entry) t.by_url
+(* Runs [f] under the store lock: callbacks must not re-enter the
+   store (every current caller only reads the entry it is handed). *)
+let iter f t = locked t (fun () -> Hashtbl.iter (fun _ r -> f r.entry) t.by_url)
 
 (* {2 Durable snapshot}
 
@@ -172,6 +202,7 @@ let sorted_bindings table =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
 
 let encode_snapshot t =
+  locked t @@ fun () ->
   let buf = Buffer.create 4096 in
   Codec.int buf t.next_docid;
   Codec.int buf t.next_dtdid;
@@ -207,6 +238,7 @@ let encode_snapshot t =
   Buffer.contents buf
 
 let decode_snapshot t payload =
+  locked t @@ fun () ->
   let r = Codec.reader payload in
   let next_docid = Codec.read_int r in
   let next_dtdid = Codec.read_int r in

@@ -16,7 +16,13 @@ type entry = {
 type t
 
 (** [create ~keep_versions ()] — [keep_versions] bounds the delta
-    chain per document (default 10). *)
+    chain per document (default 10).
+
+    Every operation is serialized behind an internal mutex, so the
+    parallel crawl pipeline's loader domains can warehouse disjoint
+    URLs concurrently.  Compound read-modify-write sequences on a
+    *single* URL (find, diff, put) are not made atomic here — callers
+    keep them race-free by routing each URL to one worker. *)
 val create : ?keep_versions:int -> unit -> t
 
 val find : t -> string -> entry option
@@ -39,6 +45,12 @@ val remove : t -> url:string -> unit
 (** [allocate_docid t ~url] returns the stable DOCID for [url],
     allocating on first sight. *)
 val allocate_docid : t -> url:string -> int
+
+(** [has_docid t ~url] — whether a DOCID is already allocated for
+    [url].  The parallel batch path pre-allocates ids serially (and
+    journals only the fresh ones) before fanning documents out, so
+    DOCID numbering never depends on load completion order. *)
+val has_docid : t -> url:string -> bool
 
 (** [allocate_dtdid t ~dtd] returns the stable DTDID for a DTD
     identifier. *)

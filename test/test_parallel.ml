@@ -1,0 +1,376 @@
+(* The sharded pipeline must be observationally identical to the
+   serial loop: same notification multiset, same stats, same
+   per-stage counter totals — on both distribution axes, with and
+   without work stealing and worker-death faults.  Plus unit tests
+   for the work-stealing bus primitives, the padded counters and the
+   idempotent wall-clock installation. *)
+
+module Xyleme = Xy_system.Xyleme
+module Parallel = Xy_system.Parallel
+module Distributed = Xy_system.Distributed
+module Bus = Xy_system.Bus
+module Pad = Xy_system.Pad
+module Wall = Xy_system.Wall
+module Web = Xy_crawler.Synthetic_web
+module Sink = Xy_reporter.Sink
+module Loader = Xy_warehouse.Loader
+module Mqp = Xy_core.Mqp
+module Partition = Xy_core.Partition
+module Obs = Xy_obs.Obs
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Bus primitives *)
+
+let test_bus_try_pop () =
+  let bus = Bus.create ~capacity:8 ~obs:(Obs.create ()) () in
+  checkb "empty" true (Bus.try_pop bus = None);
+  Bus.push bus 1;
+  Bus.push bus 2;
+  checkb "fifo" true (Bus.try_pop bus = Some 1);
+  checkb "fifo 2" true (Bus.try_pop bus = Some 2);
+  checkb "drained needs close" false (Bus.drained bus);
+  Bus.close bus;
+  checkb "drained" true (Bus.drained bus);
+  checkb "closed try_pop" true (Bus.try_pop bus = None)
+
+let test_bus_steal_half () =
+  let obs = Obs.create () in
+  let bus = Bus.create ~capacity:16 ~obs () in
+  List.iter (Bus.push bus) [ 1; 2; 3; 4; 5; 6; 7 ];
+  (* ceil(7/2) = 4 stolen from the back, in order; victim keeps the
+     front 3 so its local order is preserved. *)
+  Alcotest.(check (list int)) "stolen back half" [ 4; 5; 6; 7 ] (Bus.steal_half bus);
+  checki "victim keeps front" 3 (Bus.length bus);
+  Alcotest.(check (list int)) "front order intact" [ 1; 2; 3 ]
+    (List.filter_map (fun _ -> Bus.try_pop bus) [ (); (); () ]);
+  (* Under 2 queued: nothing to steal. *)
+  Bus.push bus 9;
+  Alcotest.(check (list int)) "single item not stolen" [] (Bus.steal_half bus);
+  checkb "item still there" true (Bus.try_pop bus = Some 9)
+
+(* ------------------------------------------------------------------ *)
+(* Padded counters *)
+
+let test_pad () =
+  let pad = Pad.create 4 in
+  Pad.incr pad 0;
+  Pad.incr pad 0;
+  Pad.add pad 3 40;
+  checki "slot 0" 2 (Pad.get pad 0);
+  checki "slot 1" 0 (Pad.get pad 1);
+  checki "slot 3" 40 (Pad.get pad 3);
+  checki "total" 42 (Pad.total pad)
+
+(* ------------------------------------------------------------------ *)
+(* Wall clock *)
+
+let test_wall_idempotent () =
+  Wall.install_timers ();
+  Wall.install_timers ();
+  (* second call is a no-op, not an error *)
+  let t1 = Wall.monotonic () in
+  let t2 = Wall.monotonic () in
+  checkb "never retreats" true (t2 >= t1)
+
+(* ------------------------------------------------------------------ *)
+(* Serial ≡ parallel equivalence *)
+
+let subscription_text i ~sites =
+  let site = i mod sites in
+  match i mod 3 with
+  | 0 ->
+      Printf.sprintf
+        {|subscription P%d
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://site%d.example.org/" and modified self
+report when immediate|}
+        i site
+  | 1 ->
+      Printf.sprintf
+        {|subscription N%d
+monitoring
+where new self\\product contains "%s" and URL extends "http://site%d.example.org/"
+report when count > 3 atmost weekly|}
+        i
+        [| "camera"; "television"; "laptop"; "speaker" |].(i mod 4)
+        site
+  | _ ->
+      Printf.sprintf
+        {|subscription W%d
+monitoring
+where self contains "%s" and URL extends "http://site%d.example.org/"
+report when count > 5 atmost weekly|}
+        i
+        [| "wireless"; "portable"; "digital"; "stereo" |].(i mod 4)
+        site
+
+(* One deterministic workload: a small synthetic web evolved over
+   [rounds] batches through [ingest_batch].  Returns the notification
+   multiset (sorted), the delivery count, the headline stats and the
+   metrics snapshot. *)
+let run_workload ?fault_plan ?parallel ?algorithm ~rounds () =
+  let sites = 6 in
+  let web = Web.generate ~seed:5 ~sites ~pages_per_site:4 () in
+  let sink, deliveries = Sink.memory () in
+  let obs = Obs.create () in
+  let t =
+    Xyleme.create ~seed:11 ?algorithm ~sink ~web ~obs ?fault_plan ?parallel ()
+  in
+  for i = 0 to 17 do
+    match Xyleme.subscribe t ~owner:(Printf.sprintf "u%d" i)
+            ~text:(subscription_text i ~sites)
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Xy_submgr.Manager.error_to_string e)
+  done;
+  let notifs = ref [] in
+  Mqp.on_notify (Xyleme.mqp t) (fun n ->
+      notifs :=
+        Printf.sprintf "%d|%s|%s" n.Mqp.complex_id n.Mqp.url n.Mqp.payload
+        :: !notifs);
+  for _round = 1 to rounds do
+    let docs =
+      List.filter_map
+        (fun url ->
+          match Web.fetch web ~url with
+          | Some content ->
+              let kind =
+                match Web.kind_of web ~url with
+                | Some Web.Xml_page -> Loader.Xml
+                | Some Web.Html_page -> Loader.Html
+                | None -> Loader.Auto
+              in
+              Some
+                { Xyleme.bd_url = url; bd_content = Some content;
+                  bd_kind = kind; bd_trace = None; bd_birth = None }
+          | None -> None)
+        (Web.urls web)
+    in
+    Xyleme.ingest_batch t docs;
+    Xy_util.Clock.advance (Xyleme.clock t) 3600.;
+    ignore (Web.evolve web ~elapsed:3600.)
+  done;
+  ( List.sort compare !notifs,
+    List.length !deliveries,
+    Xyleme.stats t,
+    Obs.snapshot obs )
+
+(* Counter totals per stage, excluding the stages that legitimately
+   differ between modes: [bus] (queues and steals exist only in
+   parallel runs) and [fault] (deaths/respawns likewise). *)
+let pipeline_counters (snap : Obs.Snapshot.t) =
+  List.filter_map
+    (fun e ->
+      match e.Obs.Snapshot.value with
+      | Obs.Snapshot.Counter n
+        when e.Obs.Snapshot.stage <> "bus" && e.Obs.Snapshot.stage <> "fault" ->
+          Some (e.Obs.Snapshot.stage, e.Obs.Snapshot.name, n)
+      | _ -> None)
+    snap.Obs.Snapshot.entries
+
+let check_equiv ~label (serial : _ * _ * Xyleme.stats * _) parallel_run =
+  let s_notifs, s_deliv, s_stats, s_snap = serial in
+  let p_notifs, p_deliv, p_stats, p_snap = parallel_run in
+  Alcotest.(check (list string))
+    (label ^ ": notification multiset") s_notifs p_notifs;
+  checki (label ^ ": deliveries") s_deliv p_deliv;
+  checki (label ^ ": notifications") s_stats.Xyleme.notifications
+    p_stats.Xyleme.notifications;
+  checki (label ^ ": alerts") s_stats.Xyleme.alerts_sent
+    p_stats.Xyleme.alerts_sent;
+  checki (label ^ ": stored") s_stats.Xyleme.documents_stored
+    p_stats.Xyleme.documents_stored;
+  checki (label ^ ": reports") s_stats.Xyleme.reports p_stats.Xyleme.reports;
+  List.iter2
+    (fun (st, n, sv) (pt, pn, pv) ->
+      Alcotest.(check string) (label ^ ": counter name") (st ^ "/" ^ n)
+        (pt ^ "/" ^ pn);
+      checki (label ^ ": counter " ^ st ^ "/" ^ n) sv pv)
+    (pipeline_counters s_snap)
+    (pipeline_counters p_snap)
+
+let parallel ?(steal = true) ~domains ~shards axis =
+  { Parallel.default_config with domains; shards; axis; steal }
+
+let serial_baseline = lazy (run_workload ~rounds:3 ())
+
+let test_equiv_docs_axis () =
+  let serial = Lazy.force serial_baseline in
+  check_equiv ~label:"docs/steal" serial
+    (run_workload ~rounds:3
+       ~parallel:(parallel ~domains:3 ~shards:2 Distributed.Split_documents)
+       ());
+  check_equiv ~label:"docs/no-steal" serial
+    (run_workload ~rounds:3
+       ~parallel:
+         (parallel ~steal:false ~domains:2 ~shards:3
+            Distributed.Split_documents)
+       ())
+
+let test_equiv_subs_axis () =
+  let serial = Lazy.force serial_baseline in
+  check_equiv ~label:"subs/steal" serial
+    (run_workload ~rounds:3
+       ~parallel:(parallel ~domains:2 ~shards:3 Distributed.Split_subscriptions)
+       ());
+  check_equiv ~label:"subs/no-steal" serial
+    (run_workload ~rounds:3
+       ~parallel:
+         (parallel ~steal:false ~domains:3 ~shards:2
+            Distributed.Split_subscriptions)
+       ())
+
+(* The counting matcher is not concurrent-read-safe: the document
+   axis runs per-shard replicas, the subscription axis owns disjoint
+   subsets (stealing internally disabled).  Both must still agree
+   with the serial counting run. *)
+let test_equiv_counting () =
+  let serial = run_workload ~algorithm:Mqp.Use_counting ~rounds:2 () in
+  check_equiv ~label:"counting/docs" serial
+    (run_workload ~algorithm:Mqp.Use_counting ~rounds:2
+       ~parallel:(parallel ~domains:2 ~shards:2 Distributed.Split_documents)
+       ());
+  check_equiv ~label:"counting/subs" serial
+    (run_workload ~algorithm:Mqp.Use_counting ~rounds:2
+       ~parallel:(parallel ~domains:2 ~shards:2 Distributed.Split_subscriptions)
+       ())
+
+(* Worker-death faults: shards die holding work, the supervisor
+   respawns them with that work carried over — the output must not
+   change.  The serial baseline runs without the fault plan (the
+   [worker] point only exists in the parallel engine). *)
+let test_equiv_worker_deaths () =
+  let serial = Lazy.force serial_baseline in
+  let deaths_of (_, _, _, snap) =
+    Obs.Snapshot.counter_value snap ~stage:"fault" "worker_deaths"
+  in
+  let docs =
+    run_workload ~rounds:3
+      ~fault_plan:[ ("worker", 0.5) ]
+      ~parallel:(parallel ~domains:3 ~shards:2 Distributed.Split_documents)
+      ()
+  in
+  checkb "docs axis: deaths occurred" true (deaths_of docs > 0);
+  check_equiv ~label:"docs/deaths" serial docs;
+  let subs =
+    run_workload ~rounds:3
+      ~fault_plan:[ ("worker", 0.5) ]
+      ~parallel:(parallel ~domains:2 ~shards:3 Distributed.Split_subscriptions)
+      ()
+  in
+  checkb "subs axis: deaths occurred" true (deaths_of subs > 0);
+  check_equiv ~label:"subs/deaths" serial subs
+
+(* Randomized sweep over the configuration space: any (domains,
+   shards, axis, steal, faults) must reproduce the serial multiset. *)
+let qcheck_equiv =
+  let gen =
+    QCheck.make
+      ~print:(fun (d, s, ax, steal, fault) ->
+        Printf.sprintf "domains=%d shards=%d axis=%s steal=%b fault=%b" d s
+          (match ax with
+          | Distributed.Split_documents -> "docs"
+          | Distributed.Split_subscriptions -> "subs")
+          steal fault)
+      QCheck.Gen.(
+        let* d = int_range 2 4 in
+        let* s = int_range 1 4 in
+        let* ax = oneofl [ Distributed.Split_documents; Distributed.Split_subscriptions ] in
+        let* steal = bool in
+        let* fault = bool in
+        return (d, s, ax, steal, fault))
+  in
+  QCheck.Test.make ~name:"parallel = serial for any configuration" ~count:8 gen
+    (fun (domains, shards, axis, steal, fault) ->
+      let s_notifs, s_deliv, _, _ = Lazy.force serial_baseline in
+      let p_notifs, p_deliv, _, _ =
+        run_workload ~rounds:3
+          ?fault_plan:(if fault then Some [ ("worker", 0.3) ] else None)
+          ~parallel:(parallel ~steal ~domains ~shards axis)
+          ()
+      in
+      s_notifs = p_notifs && s_deliv = p_deliv)
+
+(* ------------------------------------------------------------------ *)
+(* Work stealing under forced skew *)
+
+(* Every document is crafted to hash to shard 0 of 2, so shard 1 gets
+   work only by stealing; with hundreds of queued items the idle
+   shard's poll loop must rob the victim at least once. *)
+let test_steal_under_skew () =
+  let skewed_urls =
+    let rec collect i acc n =
+      if n = 0 then List.rev acc
+      else
+        let url = Printf.sprintf "http://skew.example.org/page-%d.xml" i in
+        if Partition.slot_of_url ~partitions:2 url = 0 then
+          collect (i + 1) (url :: acc) (n - 1)
+        else collect (i + 1) acc n
+    in
+    collect 0 [] 300
+  in
+  let attempt () =
+    let sink, _ = Sink.memory () in
+    let obs = Obs.create () in
+    let t =
+      Xyleme.create ~seed:3 ~sink ~obs
+        ~parallel:
+          (parallel ~domains:2 ~shards:2 Distributed.Split_documents)
+        ()
+    in
+    (match
+       Xyleme.subscribe t ~owner:"skew"
+         ~text:
+           {|subscription Skew
+monitoring
+where self contains "payload" and URL extends "http://skew.example.org/"
+report when count > 500 atmost weekly|}
+     with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Xy_submgr.Manager.error_to_string e));
+    let docs =
+      List.map
+        (fun url ->
+          { Xyleme.bd_url = url;
+            bd_content = Some "<page><p>payload one</p></page>";
+            bd_kind = Loader.Xml; bd_trace = None; bd_birth = None })
+        skewed_urls
+    in
+    Xyleme.ingest_batch t docs;
+    Obs.Counter.value (Obs.counter obs ~stage:"bus" "steals")
+  in
+  (* Stealing is real but scheduling-dependent; retry a couple of
+     times before calling it broken. *)
+  let rec try_n n =
+    let steals = attempt () in
+    if steals > 0 then steals else if n > 1 then try_n (n - 1) else steals
+  in
+  checkb "idle shard stole from the skewed one" true (try_n 3 > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "bus try_pop/drained" `Quick test_bus_try_pop;
+          Alcotest.test_case "bus steal_half" `Quick test_bus_steal_half;
+          Alcotest.test_case "padded counters" `Quick test_pad;
+          Alcotest.test_case "wall timers idempotent" `Quick test_wall_idempotent;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "document axis" `Quick test_equiv_docs_axis;
+          Alcotest.test_case "subscription axis" `Quick test_equiv_subs_axis;
+          Alcotest.test_case "counting matcher" `Quick test_equiv_counting;
+          Alcotest.test_case "worker deaths" `Quick test_equiv_worker_deaths;
+          QCheck_alcotest.to_alcotest qcheck_equiv;
+        ] );
+      ( "stealing",
+        [ Alcotest.test_case "forced skew" `Quick test_steal_under_skew ] );
+    ]
