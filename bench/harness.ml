@@ -157,13 +157,16 @@ type mqp_row = {
   memory_words : int;
   probes_per_doc : float option;
   steals : int option;
+  p99_lag_ms : float option;
 }
 
 let mqp_rows : mqp_row list ref = ref []
 
-let record_mqp ?probes_per_doc ?steals ~name ~docs_per_sec ~memory_words () =
+let record_mqp ?probes_per_doc ?steals ?p99_lag_ms ~name ~docs_per_sec
+    ~memory_words () =
   mqp_rows :=
-    { row_name = name; docs_per_sec; memory_words; probes_per_doc; steals }
+    { row_name = name; docs_per_sec; memory_words; probes_per_doc; steals;
+      p99_lag_ms }
     :: !mqp_rows
 
 let bench_json_path = ref "BENCH_mqp.json"
@@ -201,10 +204,13 @@ let write_mqp_json ~scale =
             ((match r.probes_per_doc with
              | None -> ""
              | Some p -> Printf.sprintf ", \"probes_per_doc\": %.1f" p)
+            ^ (match r.steals with
+              | None -> ""
+              | Some s -> Printf.sprintf ", \"steals\": %d" s)
             ^
-            match r.steals with
+            match r.p99_lag_ms with
             | None -> ""
-            | Some s -> Printf.sprintf ", \"steals\": %d" s)
+            | Some l -> Printf.sprintf ", \"p99_lag_ms\": %.3f" l)
             (if i = last then "" else ","))
         rows;
       Printf.fprintf oc "  ]\n}\n";

@@ -35,7 +35,7 @@
 let experiments : (string * (Harness.scale -> unit)) list =
   Bench_mqp.all @ Bench_alerters.all @ Bench_reporter.all @ Bench_e2e.all
   @ Bench_ablation.all @ Bench_trace.all @ Bench_fault.all @ Bench_durable.all
-  @ Bench_staleness.all @ Bench_parallel.all
+  @ Bench_staleness.all @ Bench_parallel.all @ Bench_serve.all
 
 let () =
   let scale = ref Harness.Default in

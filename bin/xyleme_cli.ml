@@ -149,11 +149,54 @@ let validate_cmd =
    (headline numbers, optional snapshot), [stats] (snapshot only) and
    [trace] (sampled per-document traces; immediate reports so the
    sampled documents' journeys reach the reporter synchronously). *)
+(* The live telemetry endpoint serves scrapes from a background thread
+   while the pipeline runs on this one; every route reads through
+   thread-safe snapshots. *)
+let start_telemetry xyleme port =
+  let server =
+    Xy_telemetry.Telemetry.start ~port
+      ~routes:
+        [
+          ( "/metrics",
+            fun () ->
+              Xy_telemetry.Telemetry.text
+                (Xy_telemetry.Telemetry.prometheus_of_snapshot
+                   (Xy_obs.Obs.snapshot (Xy_system.Xyleme.obs xyleme))) );
+          ( "/health",
+            fun () ->
+              let stats = Xy_system.Xyleme.stats xyleme in
+              Xy_telemetry.Telemetry.json
+                (Printf.sprintf
+                   {|{"status":"ok","steps_done":%d,"restarts":%d,"virtual_now":%g,"documents_fetched":%d,"documents_stored":%d,"notifications":%d,"reports":%d}|}
+                   (Xy_system.Xyleme.steps_done xyleme)
+                   (Xy_system.Xyleme.restarts xyleme)
+                   (Xy_util.Clock.now (Xy_system.Xyleme.clock xyleme))
+                   stats.Xy_system.Xyleme.documents_fetched
+                   stats.Xy_system.Xyleme.documents_stored
+                   stats.Xy_system.Xyleme.notifications
+                   stats.Xy_system.Xyleme.reports) );
+          ( "/slo",
+            fun () ->
+              Xy_telemetry.Telemetry.json
+                (Xy_slo.Slo.reports_to_json
+                   (Xy_system.Xyleme.slo_reports xyleme)) );
+          ( "/traces",
+            fun () ->
+              Xy_telemetry.Telemetry.jsonl
+                (Xy_trace.Trace.to_jsonl_string
+                   (Xy_system.Xyleme.tracer xyleme)) );
+        ]
+      ()
+  in
+  Printf.printf "telemetry: http://127.0.0.1:%d (/metrics /health /slo /traces)\n%!"
+    (Xy_telemetry.Telemetry.port server);
+  server
+
 let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
     ?(report_clause = "report when count > 5 atmost daily") ?durable_dir
     ?(checkpoint_every = 0) ?kill_after ?(restore = false) ?sync_every
-    ?segment_bytes ?slos ?telemetry_port ?(linger = 0.) ?parallel ~sites ~days
-    ~subscriptions ~seed () =
+    ?segment_bytes ?slos ?telemetry_port ?serve_port ?(linger = 0.) ?parallel
+    ~sites ~days ~subscriptions ~seed () =
   let web = Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 () in
   let counting_sink, delivered = Xy_reporter.Sink.counting () in
   (* A durable run also writes every delivery into the directory's
@@ -174,7 +217,7 @@ let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
       in
       match
         Xy_system.Xyleme.restore ~seed ?algorithm ?fault_plan ~sink ~web
-          ?slos ?parallel ?sync_every ?segment_bytes ~dir ()
+          ?slos ?parallel ?serve_port ?sync_every ?segment_bytes ~dir ()
       with
       | Error e ->
           Printf.eprintf "restore failed: %s\n" e;
@@ -198,55 +241,16 @@ let run_simulation ?(trace_every = 0) ?algorithm ?fault_plan
     end
     else
       Xy_system.Xyleme.create ~seed ?algorithm ?fault_plan ~sink ~web ?slos
-        ?parallel ?durable_dir ?sync_every ?segment_bytes ()
+        ?parallel ?serve_port ?durable_dir ?sync_every ?segment_bytes ()
   in
-  (* The live telemetry endpoint serves scrapes from a background
-     thread while the simulation runs on this one; every route reads
-     through thread-safe snapshots. *)
-  let telemetry =
-    Option.map
-      (fun port ->
-        let server =
-          Xy_telemetry.Telemetry.start ~port
-            ~routes:
-              [
-                ( "/metrics",
-                  fun () ->
-                    Xy_telemetry.Telemetry.text
-                      (Xy_telemetry.Telemetry.prometheus_of_snapshot
-                         (Xy_obs.Obs.snapshot (Xy_system.Xyleme.obs xyleme)))
-                );
-                ( "/health",
-                  fun () ->
-                    let stats = Xy_system.Xyleme.stats xyleme in
-                    Xy_telemetry.Telemetry.json
-                      (Printf.sprintf
-                         {|{"status":"ok","steps_done":%d,"restarts":%d,"virtual_now":%g,"documents_fetched":%d,"documents_stored":%d,"notifications":%d,"reports":%d}|}
-                         (Xy_system.Xyleme.steps_done xyleme)
-                         (Xy_system.Xyleme.restarts xyleme)
-                         (Xy_util.Clock.now (Xy_system.Xyleme.clock xyleme))
-                         stats.Xy_system.Xyleme.documents_fetched
-                         stats.Xy_system.Xyleme.documents_stored
-                         stats.Xy_system.Xyleme.notifications
-                         stats.Xy_system.Xyleme.reports) );
-                ( "/slo",
-                  fun () ->
-                    Xy_telemetry.Telemetry.json
-                      (Xy_slo.Slo.reports_to_json
-                         (Xy_system.Xyleme.slo_reports xyleme)) );
-                ( "/traces",
-                  fun () ->
-                    Xy_telemetry.Telemetry.jsonl
-                      (Xy_trace.Trace.to_jsonl_string
-                         (Xy_system.Xyleme.tracer xyleme)) );
-              ]
-            ()
-        in
-        Printf.printf "telemetry: http://127.0.0.1:%d (/metrics /health /slo /traces)\n%!"
-          (Xy_telemetry.Telemetry.port server);
-        server)
-      telemetry_port
-  in
+  (* Stderr, not stdout: convergence checks diff the stats lines of a
+     served run against a plain one. *)
+  Option.iter
+    (fun s ->
+      Printf.eprintf "serve: wire protocol on port %d\n%!"
+        (Xy_serve.Serve.port s))
+    (Xy_system.Xyleme.serve xyleme);
+  let telemetry = Option.map (start_telemetry xyleme) telemetry_port in
   if trace_every > 0 then
     Xy_trace.Trace.set_sampling (Xy_system.Xyleme.tracer xyleme)
       ~every:trace_every;
@@ -283,15 +287,26 @@ where URL extends "http://site%d.example.org/" and modified self
        "killed by injected crash at %s (step %d); restart with --restore\n"
        label
        (Xy_system.Xyleme.steps_done xyleme));
-  Option.iter
-    (fun server ->
-      if linger > 0. then begin
-        Printf.printf "telemetry: serving for another %.0fs (scrape now)\n%!"
-          linger;
-        Thread.delay linger
-      end;
-      Xy_telemetry.Telemetry.stop server)
-    telemetry;
+  if
+    linger > 0.
+    && (telemetry <> None || Option.is_some (Xy_system.Xyleme.serve xyleme))
+  then begin
+    if telemetry <> None then
+      Printf.printf "telemetry: serving for another %.0fs (scrape now)\n%!"
+        linger;
+    if Option.is_some (Xy_system.Xyleme.serve xyleme) then begin
+      (* keep draining wire mutations so late subscribers and acks are
+         honoured while the endpoints linger *)
+      let deadline = Unix.gettimeofday () +. linger in
+      while Unix.gettimeofday () < deadline do
+        ignore (Xy_system.Xyleme.serve_pump xyleme);
+        Thread.delay 0.05
+      done
+    end
+    else Thread.delay linger
+  end;
+  Option.iter Xy_telemetry.Telemetry.stop telemetry;
+  Xy_system.Xyleme.stop_serve xyleme;
   (xyleme, !accepted, !delivered)
 
 let print_snapshot ~xml xyleme =
@@ -487,14 +502,26 @@ let telemetry_arg =
            $(b,/slo) (JSON), $(b,/traces) (JSONL).  Port 0 picks an \
            ephemeral port (printed at startup)")
 
+let serve_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "Serve the wire protocol on TCP port $(docv) while the run \
+           executes: remote clients HELLO/SUBSCRIBE/UNSUBSCRIBE/STATUS over \
+           CRC-framed messages and receive streamed report frames they ACK \
+           by delivery seq.  Port 0 picks an ephemeral port (printed on \
+           stderr at startup)")
+
 let linger_arg =
   Arg.(
     value & opt float 0.
     & info [ "linger" ] ~docv:"SECONDS"
         ~doc:
-          "Keep the $(b,--telemetry) endpoint up for $(docv) wall-clock \
-           seconds after the run finishes, so the final state can be \
-           scraped")
+          "Keep the $(b,--telemetry) and $(b,--serve) endpoints up for \
+           $(docv) wall-clock seconds after the run finishes, so the final \
+           state can be scraped and late clients served")
 
 let slo_arg =
   let parse s =
@@ -573,8 +600,8 @@ let parallel_of ~domains ~shards ~axis ~no_steal =
 let simulate_cmd =
   let run sites days subscriptions seed algorithm fault_plan verbose
       stats_flag trace_every durable_dir checkpoint_every kill_after restore
-      sync_every segment_kib slos telemetry_port linger domains shards axis
-      no_steal =
+      sync_every segment_kib slos telemetry_port serve_port linger domains
+      shards axis no_steal =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -584,8 +611,8 @@ let simulate_cmd =
     let xyleme, accepted, delivered =
       run_simulation ~trace_every ~algorithm ?fault_plan ?durable_dir
         ~checkpoint_every ?kill_after ~restore ~sync_every
-        ~segment_bytes:(segment_kib * 1024) ~slos ?telemetry_port ~linger
-        ?parallel ~sites ~days ~subscriptions ~seed ()
+        ~segment_bytes:(segment_kib * 1024) ~slos ?telemetry_port ?serve_port
+        ~linger ?parallel ~sites ~days ~subscriptions ~seed ()
     in
     let stats = Xy_system.Xyleme.stats xyleme in
     Printf.printf "simulated %.0f days over %d sites, %d subscriptions:\n" days
@@ -631,7 +658,145 @@ let simulate_cmd =
       $ algorithm_arg $ faults_arg $ verbose $ stats_flag $ trace_every
       $ durable_arg $ checkpoint_every_arg $ kill_after_arg $ restore_flag
       $ sync_every_arg $ segment_kib_arg $ slo_arg $ telemetry_arg
-      $ linger_arg $ domains_arg $ shards_arg $ axis_arg $ no_steal_arg)
+      $ serve_port_arg $ linger_arg $ domains_arg $ shards_arg $ axis_arg
+      $ no_steal_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve — run the monitor as a long-lived wire-protocol server *)
+
+let serve_cmd =
+  let run port sites seed subscriptions algorithm fault_plan verbose
+      telemetry_port durable_dir restore days pace =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info)
+    end;
+    let web =
+      Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 ()
+    in
+    let xyleme =
+      if restore then begin
+        let dir =
+          match durable_dir with
+          | Some dir -> dir
+          | None ->
+              prerr_endline "--restore needs --durable DIR";
+              exit 2
+        in
+        match
+          Xy_system.Xyleme.restore ~seed ~algorithm ?fault_plan ~web
+            ~serve_port:port ~dir ()
+        with
+        | Error e ->
+            Printf.eprintf "restore failed: %s\n" e;
+            exit 1
+        | Ok (xyleme, info) ->
+            Printf.printf "restored %s: generation %d, %d subscription(s)\n%!"
+              dir info.Xy_system.Xyleme.generation
+              info.Xy_system.Xyleme.subscriptions_recovered;
+            xyleme
+      end
+      else
+        Xy_system.Xyleme.create ~seed ~algorithm ?fault_plan ~web
+          ~serve_port:port ?durable_dir ()
+    in
+    (match Xy_system.Xyleme.serve xyleme with
+    | Some s ->
+        Printf.printf "serve: wire protocol on port %d\n%!"
+          (Xy_serve.Serve.port s)
+    | None -> ());
+    (* optional in-process demo subscriptions; wire clients add theirs *)
+    for i = 0 to subscriptions - 1 do
+      let text =
+        Printf.sprintf
+          {|subscription S%d
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://site%d.example.org/" and modified self
+report when immediate|}
+          i (i mod sites)
+      in
+      ignore
+        (Xy_system.Xyleme.subscribe xyleme ~owner:(Printf.sprintf "u%d" i)
+           ~text)
+    done;
+    let telemetry = Option.map (start_telemetry xyleme) telemetry_port in
+    let stop_requested = ref false in
+    List.iter
+      (fun s ->
+        Sys.set_signal s (Sys.Signal_handle (fun _ -> stop_requested := true)))
+      [ Sys.sigint; Sys.sigterm ];
+    let step = 6. *. 3600. in
+    let steps =
+      if days <= 0. then max_int else int_of_float (ceil (days *. 86400. /. step))
+    in
+    Xy_system.Xyleme.discover xyleme;
+    (try
+       while
+         (not !stop_requested) && Xy_system.Xyleme.steps_done xyleme < steps
+       do
+         Xy_system.Xyleme.advance xyleme ~seconds:step;
+         ignore (Xy_system.Xyleme.crawl_step xyleme ~limit:500);
+         if pace > 0. then Thread.delay pace
+       done
+     with Xy_fault.Fault.Crash label ->
+       Printf.printf "killed by injected crash at %s (step %d)\n%!" label
+         (Xy_system.Xyleme.steps_done xyleme));
+    (* let in-flight acks land before tearing the endpoints down *)
+    ignore (Xy_system.Xyleme.serve_pump xyleme);
+    Option.iter Xy_telemetry.Telemetry.stop telemetry;
+    Xy_system.Xyleme.stop_serve xyleme;
+    let stats = Xy_system.Xyleme.stats xyleme in
+    Printf.printf
+      "served %d step(s): fetched %d, stored %d, notifications %d, reports %d\n"
+      (Xy_system.Xyleme.steps_done xyleme)
+      stats.Xy_system.Xyleme.documents_fetched
+      stats.Xy_system.Xyleme.documents_stored
+      stats.Xy_system.Xyleme.notifications stats.Xy_system.Xyleme.reports
+  in
+  let port =
+    Arg.(
+      value & opt int 9110
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port for the wire protocol (0 picks an ephemeral port)")
+  in
+  let days =
+    Arg.(
+      value & opt float 0.
+      & info [ "days" ] ~docv:"DAYS"
+          ~doc:
+            "Stop after this many virtual days; 0 (the default) runs until \
+             SIGINT/SIGTERM")
+  in
+  let pace =
+    Arg.(
+      value & opt float 0.05
+      & info [ "pace" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock sleep between virtual steps, so wire clients get \
+             scheduled; 0 free-runs")
+  in
+  let subscriptions =
+    Arg.(
+      value & opt int 0
+      & info [ "subscriptions" ] ~docv:"N"
+          ~doc:
+            "Seed $(docv) in-process demo subscriptions (wire clients \
+             normally register their own)")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log pipeline events")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the monitor as a long-lived server: the synthetic web evolves \
+          one step per $(b,--pace), and remote clients subscribe and \
+          receive report frames over the wire protocol")
+    Term.(
+      const run $ port $ sites_arg $ seed_arg $ subscriptions $ algorithm_arg
+      $ faults_arg $ verbose $ telemetry_arg $ durable_arg $ restore_flag
+      $ days $ pace)
 
 let stats_cmd =
   let run sites days subscriptions seed algorithm xml =
@@ -713,5 +878,5 @@ let () =
        (Cmd.group (Cmd.info "xyleme" ~doc)
           [
             check_cmd; query_cmd; diff_cmd; validate_cmd; simulate_cmd;
-            stats_cmd; trace_cmd;
+            serve_cmd; stats_cmd; trace_cmd;
           ]))

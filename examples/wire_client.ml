@@ -1,0 +1,159 @@
+(* wire_client — a tiny subscriber speaking the serving-surface
+   protocol, used by the CI smoke job and handy for poking a running
+   `xyleme serve` by hand.
+
+     wire_client --port 9110 --id u0 --site 0 --await-reports 1
+
+   connects (retrying until the server is up), binds its identity
+   with HELLO, registers a subscription on site N, then waits for the
+   requested number of REPORT frames, acknowledging each by seq.
+   Exits 0 once satisfied, 3 on timeout, 1 on a protocol error. *)
+
+module Frame = Xy_serve.Frame
+
+let port = ref 0
+let id = ref "u0"
+let site = ref 0
+let await_reports = ref 1
+let timeout = ref 60.
+let status = ref false
+let subscribe_file = ref ""
+let quiet = ref false
+
+let usage = "wire_client --port PORT [options]"
+
+let spec =
+  [
+    ("--port", Arg.Set_int port, "PORT server TCP port (required)");
+    ("--id", Arg.Set_string id, "ID recipient identity (default u0)");
+    ("--site", Arg.Set_int site, "N subscribe to synthetic site N (default 0)");
+    ( "--subscribe-file",
+      Arg.Set_string subscribe_file,
+      "FILE subscription text to register (overrides --site)" );
+    ( "--await-reports",
+      Arg.Set_int await_reports,
+      "N wait for N report frames (default 1; 0 skips waiting)" );
+    ("--timeout", Arg.Set_float timeout, "SECONDS overall deadline (default 60)");
+    ("--status", Arg.Set status, " request STATUS and print the health XML");
+    ("--quiet", Arg.Set quiet, " only print the final summary");
+  ]
+
+let say fmt =
+  Printf.ksprintf (fun s -> if not !quiet then print_endline s) fmt
+
+let connect ~deadline port =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception Unix.Unix_error _ ->
+        Unix.close fd;
+        if Unix.gettimeofday () > deadline then begin
+          prerr_endline "wire_client: connect timed out";
+          exit 3
+        end;
+        Unix.sleepf 0.2;
+        go ()
+  in
+  go ()
+
+let send fd frame =
+  let n = String.length frame in
+  let rec push off =
+    if off < n then push (off + Unix.write_substring fd frame off (n - off))
+  in
+  push 0
+
+(* Blocking reads with a receive timeout backing the overall deadline:
+   frames already buffered decode without touching the socket. *)
+let next_event fd dec ~deadline =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Frame.next dec with
+    | Error e ->
+        Printf.eprintf "wire_client: %s\n" (Frame.error_to_string e);
+        exit 1
+    | Ok (Some payload) -> (
+        match Frame.decode_event payload with
+        | Ok ev -> ev
+        | Error m ->
+            Printf.eprintf "wire_client: bad event: %s\n" m;
+            exit 1)
+    | Ok None ->
+        if Unix.gettimeofday () > deadline then begin
+          prerr_endline "wire_client: timed out waiting for the server";
+          exit 3
+        end;
+        (match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 ->
+            prerr_endline "wire_client: server closed the connection";
+            exit 1
+        | n -> Frame.feed dec (Bytes.sub_string buf 0 n)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ());
+        go ()
+  in
+  go ()
+
+let () =
+  Arg.parse spec (fun _ -> ()) usage;
+  if !port = 0 then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let deadline = Unix.gettimeofday () +. !timeout in
+  let fd = connect ~deadline !port in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
+  let dec = Frame.decoder () in
+  send fd (Frame.encode_request (Frame.Hello !id));
+  (match next_event fd dec ~deadline with
+  | Frame.Welcome pending -> say "connected as %s (%d pending)" !id pending
+  | ev ->
+      Printf.eprintf "wire_client: expected WELCOME, got %s\n"
+        (match ev with Frame.Err m -> "ERR " ^ m | _ -> "another event");
+      exit 1);
+  if !status then begin
+    send fd (Frame.encode_request Frame.Status);
+    match next_event fd dec ~deadline with
+    | Frame.Status_reply xml -> print_endline xml
+    | _ ->
+        prerr_endline "wire_client: expected STATUS reply";
+        exit 1
+  end;
+  let text =
+    if !subscribe_file <> "" then
+      In_channel.with_open_bin !subscribe_file In_channel.input_all
+    else
+      Printf.sprintf
+        {|subscription W%s
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://site%d.example.org/" and modified self
+report when immediate|}
+        !id !site
+  in
+  send fd (Frame.encode_request (Frame.Subscribe { owner = !id; text }));
+  (match next_event fd dec ~deadline with
+  | Frame.Okay name -> say "subscribed %s" name
+  | Frame.Err m ->
+      Printf.eprintf "wire_client: subscription rejected: %s\n" m;
+      exit 1
+  | _ ->
+      prerr_endline "wire_client: expected OK";
+      exit 1);
+  let received = ref 0 in
+  while !received < !await_reports do
+    match next_event fd dec ~deadline with
+    | Frame.Report { seq; subscription; at; body } ->
+        incr received;
+        say "report seq=%d subscription=%s at=%.0f (%d bytes)" seq subscription
+          at (String.length body);
+        send fd (Frame.encode_request (Frame.Ack seq))
+    | Frame.Err m ->
+        Printf.eprintf "wire_client: server error: %s\n" m;
+        exit 1
+    | _ -> ()
+  done;
+  Printf.printf "done: %d report(s) acknowledged\n" !received;
+  Unix.close fd

@@ -1,0 +1,180 @@
+module Codec = Xy_util.Codec
+module Parse = Xy_util.Parse
+
+let checksum = Xy_util.Hashing.signature
+let default_max_frame = 16 * 1024 * 1024
+
+(* "X " + decimal length + " " + 16 hex digits.  A header that grows
+   past this without a newline cannot become valid. *)
+let header_max = 2 + 19 + 1 + 16
+
+let encode payload =
+  Printf.sprintf "X %d %s\n%s\n" (String.length payload) (checksum payload)
+    payload
+
+type error = Bad_header of string | Oversize of int | Bad_crc
+
+let error_to_string = function
+  | Bad_header h -> Printf.sprintf "bad frame header %S" h
+  | Oversize n -> Printf.sprintf "frame length %d exceeds maximum" n
+  | Bad_crc -> "frame checksum mismatch"
+
+type decoder = {
+  mutable pending : string;
+  max_frame : int;
+  mutable poisoned : error option;
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  { pending = ""; max_frame; poisoned = None }
+
+let feed d chunk =
+  if chunk <> "" then
+    d.pending <- (if d.pending = "" then chunk else d.pending ^ chunk)
+
+let buffered d = String.length d.pending
+
+let fail d e =
+  d.poisoned <- Some e;
+  Error e
+
+let next d =
+  match d.poisoned with
+  | Some e -> Error e
+  | None -> (
+      match String.index_opt d.pending '\n' with
+      | None ->
+          if String.length d.pending > header_max then
+            fail d (Bad_header d.pending)
+          else Ok None
+      | Some nl -> (
+          let header = String.sub d.pending 0 nl in
+          match String.split_on_char ' ' header with
+          | [ "X"; len_s; crc ] when String.length crc = 16 -> (
+              match Parse.decimal_int len_s with
+              | None -> fail d (Bad_header header)
+              | Some len when len > d.max_frame -> fail d (Oversize len)
+              | Some len ->
+                  if String.length d.pending < nl + 1 + len + 1 then Ok None
+                  else if d.pending.[nl + 1 + len] <> '\n' then fail d Bad_crc
+                  else
+                    let payload = String.sub d.pending (nl + 1) len in
+                    if not (String.equal (checksum payload) crc) then
+                      fail d Bad_crc
+                    else begin
+                      let consumed = nl + 1 + len + 1 in
+                      d.pending <-
+                        String.sub d.pending consumed
+                          (String.length d.pending - consumed);
+                      Ok (Some payload)
+                    end)
+          | _ -> fail d (Bad_header header)))
+
+type request =
+  | Hello of string
+  | Subscribe of { owner : string; text : string }
+  | Unsubscribe of string
+  | Status
+  | Ack of int
+  | Ping of string
+
+type event =
+  | Welcome of int
+  | Okay of string
+  | Err of string
+  | Status_reply of string
+  | Pong of string
+  | Report of { seq : int; subscription : string; at : float; body : string }
+
+let payload_of fill =
+  let buf = Buffer.create 64 in
+  fill buf;
+  Buffer.contents buf
+
+let encode_request r =
+  encode
+  @@ payload_of (fun buf ->
+         match r with
+         | Hello id ->
+             Codec.string buf "HELLO";
+             Codec.string buf id
+         | Subscribe { owner; text } ->
+             Codec.string buf "SUBSCRIBE";
+             Codec.string buf owner;
+             Codec.string buf text
+         | Unsubscribe name ->
+             Codec.string buf "UNSUBSCRIBE";
+             Codec.string buf name
+         | Status -> Codec.string buf "STATUS"
+         | Ack seq ->
+             Codec.string buf "ACK";
+             Codec.int buf seq
+         | Ping token ->
+             Codec.string buf "PING";
+             Codec.string buf token)
+
+let encode_event e =
+  encode
+  @@ payload_of (fun buf ->
+         match e with
+         | Welcome pending ->
+             Codec.string buf "WELCOME";
+             Codec.int buf pending
+         | Okay info ->
+             Codec.string buf "OK";
+             Codec.string buf info
+         | Err msg ->
+             Codec.string buf "ERR";
+             Codec.string buf msg
+         | Status_reply xml ->
+             Codec.string buf "STATUS";
+             Codec.string buf xml
+         | Pong token ->
+             Codec.string buf "PONG";
+             Codec.string buf token
+         | Report { seq; subscription; at; body } ->
+             Codec.string buf "REPORT";
+             Codec.int buf seq;
+             Codec.string buf subscription;
+             Codec.float buf at;
+             Codec.string buf body)
+
+let decoding payload f =
+  match
+    let r = Codec.reader payload in
+    let v = f r in
+    Codec.expect_end r;
+    v
+  with
+  | v -> Ok v
+  | exception Codec.Malformed m -> Error m
+
+let decode_request payload =
+  decoding payload @@ fun r ->
+  match Codec.read_string r with
+  | "HELLO" -> Hello (Codec.read_string r)
+  | "SUBSCRIBE" ->
+      let owner = Codec.read_string r in
+      let text = Codec.read_string r in
+      Subscribe { owner; text }
+  | "UNSUBSCRIBE" -> Unsubscribe (Codec.read_string r)
+  | "STATUS" -> Status
+  | "ACK" -> Ack (Codec.read_int r)
+  | "PING" -> Ping (Codec.read_string r)
+  | verb -> raise (Codec.Malformed (Printf.sprintf "unknown verb %S" verb))
+
+let decode_event payload =
+  decoding payload @@ fun r ->
+  match Codec.read_string r with
+  | "WELCOME" -> Welcome (Codec.read_int r)
+  | "OK" -> Okay (Codec.read_string r)
+  | "ERR" -> Err (Codec.read_string r)
+  | "STATUS" -> Status_reply (Codec.read_string r)
+  | "PONG" -> Pong (Codec.read_string r)
+  | "REPORT" ->
+      let seq = Codec.read_int r in
+      let subscription = Codec.read_string r in
+      let at = Codec.read_float r in
+      let body = Codec.read_string r in
+      Report { seq; subscription; at; body }
+  | verb -> raise (Codec.Malformed (Printf.sprintf "unknown verb %S" verb))

@@ -1,0 +1,95 @@
+let log_src = Logs.Src.create "xy.serve.listener" ~doc:"Shared TCP accept loop"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  socket : Unix.file_descr;
+  port : int;
+  mutable thread : Thread.t option;
+  stopping : bool Atomic.t;
+  closed : bool Atomic.t;
+  alive : bool Atomic.t;
+}
+
+(* Every close of the listening socket goes through here; the CAS
+   makes it a close-once, so concurrent [stop] calls (or [stop]
+   racing the accept loop's own abnormal-exit cleanup) can never
+   double-close and hit a recycled descriptor. *)
+let close_socket t =
+  if Atomic.compare_and_set t.closed false true then begin
+    (try Unix.shutdown t.socket Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close t.socket with Unix.Unix_error _ -> ()
+  end
+
+let rec accept_loop t handle =
+  match Unix.accept ~cloexec:true t.socket with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t handle
+  | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+      (* listening socket closed under us: normal shutdown *)
+      ()
+  | exception e ->
+      if not (Atomic.get t.stopping) then
+        Log.warn (fun m -> m "accept loop exiting: %s" (Printexc.to_string e))
+  | client, addr ->
+      (try handle client addr
+       with e ->
+         Log.warn (fun m -> m "connection handler: %s" (Printexc.to_string e));
+         (try Unix.close client with Unix.Unix_error _ -> ()));
+      accept_loop t handle
+
+(* A peer that disconnects mid-write must surface as EPIPE on the
+   writing thread, not as a process-killing SIGPIPE. *)
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ | Sys_error _ -> ())
+
+let start ?(host = "127.0.0.1") ?(backlog = 128) ~port ~handle () =
+  Lazy.force ignore_sigpipe;
+  let socket = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt socket Unix.SO_REUSEADDR true;
+     Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen socket backlog
+   with e ->
+     (try Unix.close socket with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname socket with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      socket;
+      port;
+      thread = None;
+      stopping = Atomic.make false;
+      closed = Atomic.make false;
+      alive = Atomic.make true;
+    }
+  in
+  let run () =
+    (* [Fun.protect] is the leak fix: whichever path the loop exits
+       through — stop, handler bug, unexpected accept error — the
+       socket is released and [running] turns false. *)
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set t.alive false;
+        close_socket t)
+      (fun () -> accept_loop t handle)
+  in
+  t.thread <- Some (Thread.create run ());
+  Log.debug (fun m -> m "listening on %s:%d (backlog %d)" host t.port backlog);
+  t
+
+let port t = t.port
+let running t = Atomic.get t.alive
+
+let stop t =
+  if Atomic.compare_and_set t.stopping false true then begin
+    close_socket t;
+    Option.iter Thread.join t.thread;
+    t.thread <- None
+  end

@@ -1,0 +1,117 @@
+(** The serving surface: a stdlib-only TCP front end that streams
+    change reports to remote subscribers.
+
+    Connections speak the {!Frame} protocol.  A client binds an
+    identity with [HELLO id], registers monitoring queries with
+    [SUBSCRIBE owner text], and receives [REPORT] frames as the
+    pipeline commits deliveries for that recipient.  Acknowledgement
+    is cumulative by the reporter's global delivery sequence: [ACK n]
+    retires every report with [seq <= n].
+
+    {2 Threading and backpressure}
+
+    Each connection gets a blocking reader thread and a blocking
+    writer thread; shared state sits behind one server mutex with
+    per-session condition variables, so a stalled client only ever
+    blocks its own writer.  At most [outbox] unacknowledged reports
+    are in flight per client; everything beyond that stays in the
+    per-recipient pending store (a journaled "pending redelivery"
+    mark) until acks open the window — the pipeline thread never
+    touches a socket and can never be stalled by a slow client.
+
+    {2 Durability}
+
+    The pending store is a durable stage ("serve"): enqueues and acks
+    are journaled through the hook installed with {!set_journal}, the
+    whole store snapshots via {!encode_snapshot}, and
+    {!apply_op}/{!decode_snapshot} rebuild it on restore.  Combined
+    with the reporter's delivery intents this extends the existing
+    at-least-once guarantee across the wire: a report is retired only
+    by a client [ACK]; clients deduplicate by [seq].
+
+    {2 Mutation discipline}
+
+    [SUBSCRIBE]/[UNSUBSCRIBE]/[ACK] never run on connection threads —
+    they queue, and {!pump} (called from the pipeline thread between
+    steps) applies them through the {!callbacks}.  [STATUS] and
+    [PING] are answered immediately by the reader. *)
+
+type t
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port *)
+  backlog : int;  (** accept backlog *)
+  outbox : int;  (** max unacknowledged reports in flight per client *)
+  max_frame : int;  (** largest accepted request payload, bytes *)
+}
+
+val config :
+  ?host:string ->
+  ?backlog:int ->
+  ?outbox:int ->
+  ?max_frame:int ->
+  port:int ->
+  unit ->
+  config
+
+type callbacks = {
+  cb_subscribe : owner:string -> text:string -> (string, string) result;
+      (** register a subscription; [Ok name] on success *)
+  cb_unsubscribe : string -> (unit, string) result;
+  cb_status : unit -> string;  (** health XML for [STATUS]; thread-safe *)
+}
+
+(** [create ~obs ~config ()] builds the server state (pending store,
+    metrics under the [serve/*] stage) without opening the socket, so
+    a restore can replay journaled state into it first. *)
+val create : obs:Xy_obs.Obs.t -> config:config -> unit -> t
+
+(** [listen t ~callbacks] binds the socket and starts accepting. *)
+val listen : t -> callbacks:callbacks -> unit
+
+(** Bound port, once listening. *)
+val port : t -> int
+
+(** [stop t] closes the listener and every session, then joins all
+    connection threads.  Idempotent. *)
+val stop : t -> unit
+
+(** {2 Pipeline-thread interface} *)
+
+(** [deliver t ~seq ~recipient ~subscription ~at ~body] journals and
+    enqueues one report for a recipient that has connected at least
+    once (others are ignored — the in-process sink covers them).
+    Duplicate redeliveries of an already-pending or already-acked
+    [seq] are dropped.  Never blocks on a socket. *)
+val deliver :
+  t ->
+  seq:int ->
+  recipient:string ->
+  subscription:string ->
+  at:float ->
+  body:string ->
+  unit
+
+(** [pump t] applies every queued client mutation and returns how
+    many were processed.  [span] wraps each application (tracing). *)
+val pump : ?span:(string -> (unit -> unit) -> unit) -> t -> int
+
+(** {2 Durability hooks} *)
+
+val set_journal : t -> (string -> unit) option -> unit
+
+(** Crash-fault fuse; fired with ["frame"], ["frame_written"],
+    ["ack"], ["acked"] at the delivery fault boundaries. *)
+val set_fuse : t -> (string -> unit) option -> unit
+
+val encode_snapshot : t -> string
+val decode_snapshot : t -> string -> unit
+val apply_op : t -> string -> unit
+
+(** {2 Introspection} *)
+
+val connections : t -> int
+
+(** Total unacknowledged reports across all recipients. *)
+val pending_total : t -> int

@@ -17,6 +17,7 @@ module Codec = Xy_util.Codec
 module Persist = Xy_submgr.Persist
 module Sink = Xy_reporter.Sink
 module Slo = Xy_slo.Slo
+module Serve = Xy_serve.Serve
 
 (* The never-retreating wall timer now lives in {!Wall} (it is
    process-global, shared with [Distributed] and [Parallel]); the
@@ -96,6 +97,9 @@ type t = {
   mutable parallel : Parallel.config;
   mutable worker_ctxs : worker_ctx array;
   mutable shard_cache : shard_cache option;
+  serve_cell : Serve.t option ref;
+      (** a cell, not a plain field: the wire sink closes over it
+          before the system record exists *)
 }
 
 let default_domains () =
@@ -295,6 +299,10 @@ let snapshot_sections t =
     ("trigger", fun () -> Xy_trigger.Trigger_engine.encode_snapshot t.trigger);
     ("reporter", fun () -> Xy_reporter.Reporter.encode_snapshot t.reporter);
   ]
+  @
+  match !(t.serve_cell) with
+  | Some s -> [ ("serve", fun () -> Serve.encode_snapshot s) ]
+  | None -> []
 
 (* Stages whose every mutation is journaled as an op, so their state
    is exactly base-snapshot + WAL replay: these may checkpoint as
@@ -313,6 +321,14 @@ let attach_hooks t d =
   Xy_crawler.Crawler.set_journal t.crawler (j "crawler");
   Xy_trigger.Trigger_engine.set_journal t.trigger (j "trigger");
   Fault.set_journal t.faults (j "fault");
+  (* the wire pending store is a durable stage too: report enqueues
+     and client acks journal as ops, and its delivery boundaries are
+     crash windows the matrix tests can kill inside *)
+  (match !(t.serve_cell) with
+  | Some s ->
+      Serve.set_journal s (j "serve");
+      Serve.set_fuse s (Some (fun label -> crash_point t ("serve:" ^ label)))
+  | None -> ());
   (* every checkpoint/rotation boundary is a crash window the matrix
      tests can kill inside *)
   Durable.set_fuse d (fun label -> crash_point t ("durable:" ^ label));
@@ -331,7 +347,8 @@ let attach_hooks t d =
 (* ------------------------------------------------------------------ *)
 
 let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ~durable () =
+    ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ?serve_config
+    ~durable () =
   (* Wall-clock latencies: xy_obs itself is zero-dependency, so the
      high-resolution (and never-retreating) timer is installed here,
      where unix is linked — once per process, whatever creates first. *)
@@ -357,6 +374,28 @@ let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
   let registry = Xy_events.Registry.create () in
   let mqp = Mqp.create ?algorithm ~obs () in
   let sink = match sink with Some s -> s | None -> Xy_reporter.Sink.null () in
+  (* The wire path rides the normal sink slot: deliveries tee into the
+     serving surface, which journals them into its pending store and
+     streams them to whichever client has claimed the recipient.  A
+     cell, because the system record the server lives in does not
+     exist yet. *)
+  let serve_cell = ref (Option.map (fun c -> Serve.create ~obs ~config:c ()) serve_config) in
+  let sink =
+    match serve_config with
+    | None -> sink
+    | Some _ ->
+        Sink.tee sink
+          {
+            Sink.deliver =
+              (fun d ->
+                match !serve_cell with
+                | None -> ()
+                | Some s ->
+                    Serve.deliver s ~seq:d.Sink.seq ~recipient:d.Sink.recipient
+                      ~subscription:d.Sink.subscription ~at:d.Sink.at
+                      ~body:(Xy_xml.Printer.element_to_string d.Sink.report));
+          }
+  in
   let reporter = Xy_reporter.Reporter.create ~obs ~clock ~sink () in
   let trigger = Xy_trigger.Trigger_engine.create ~obs ~clock () in
   let store = Store.create () in
@@ -414,6 +453,7 @@ let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
       parallel = Option.value ~default:Parallel.default_config parallel;
       worker_ctxs = [||];
       shard_cache = None;
+      serve_cell;
     }
   in
   (* Durability timings (checkpoint pause, fsync batches, rotations)
@@ -445,18 +485,6 @@ let durable_config ?sync_every ?segment_bytes () =
     Durable.sync_every = Option.value ~default:d.Durable.sync_every sync_every;
     segment_bytes = Option.value ~default:d.Durable.segment_bytes segment_bytes;
   }
-
-let create ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ?durable_dir
-    ?sync_every ?segment_bytes () =
-  let config = durable_config ?sync_every ?segment_bytes () in
-  let durable = Option.map (Durable.open_fresh ~config) durable_dir in
-  let t =
-    make ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
-      ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ~durable ()
-  in
-  Option.iter (attach_hooks t) durable;
-  t
 
 let parallel_config t = t.parallel
 let set_parallel t config = t.parallel <- config
@@ -512,6 +540,76 @@ let unsubscribe t ~name =
       apply_refresh_statements t;
       commit_txn t;
       Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Serving surface.  The server state (pending store, metrics) is
+   built in [make] so restore can replay journaled deliveries into it;
+   the socket only opens here, once the manager exists to back the
+   protocol's mutations. *)
+
+let serve t = !(t.serve_cell)
+
+let serve_listen t =
+  match !(t.serve_cell) with
+  | None -> ()
+  | Some s ->
+      Serve.listen s
+        ~callbacks:
+          {
+            Serve.cb_subscribe =
+              (fun ~owner ~text ->
+                match subscribe t ~owner ~text with
+                | Ok name -> Ok name
+                | Error e -> Error (Manager.error_to_string e));
+            cb_unsubscribe =
+              (fun name ->
+                match unsubscribe t ~name with
+                | Ok () -> Ok ()
+                | Error e -> Error (Manager.error_to_string e));
+            cb_status =
+              (fun () ->
+                Self_monitor.health_content ~snapshot:(Obs.snapshot t.obs));
+          }
+
+(* Apply queued wire mutations (SUBSCRIBE/UNSUBSCRIBE/ACK) on the
+   pipeline thread — the manager, MQP and journal are not thread-safe,
+   so connection threads only ever enqueue.  Called between steps by
+   [advance]/[crawl_step]; exposed for driving a server outside a
+   run loop. *)
+let serve_pump t =
+  match !(t.serve_cell) with
+  | None -> 0
+  | Some s ->
+      let span name f =
+        let ctx = Trace.start t.tracer ~root:"serve" in
+        Trace.wrap ctx ~stage:"serve" ~name f;
+        Option.iter (fun c -> Trace.finish c) ctx
+      in
+      let n = Serve.pump ~span s in
+      if n > 0 then commit_txn t;
+      n
+
+let stop_serve t = Option.iter Serve.stop !(t.serve_cell)
+
+let create ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
+    ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ?serve_port
+    ?serve_config ?durable_dir ?sync_every ?segment_bytes () =
+  let serve_config =
+    match (serve_config, serve_port) with
+    | (Some _ as c), _ -> c
+    | None, Some port -> Some (Serve.config ~port ())
+    | None, None -> None
+  in
+  let config = durable_config ?sync_every ?segment_bytes () in
+  let durable = Option.map (Durable.open_fresh ~config) durable_dir in
+  let t =
+    make ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
+      ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ?serve_config
+      ~durable ()
+  in
+  Option.iter (attach_hooks t) durable;
+  serve_listen t;
+  t
 
 let update t ~name ~owner ~text =
   let result = Manager.update (manager t) ~name ~owner ~text in
@@ -1078,9 +1176,16 @@ let crawl_step t ~limit =
       Codec.float buf (Xy_util.Clock.now t.clock));
   commit_txn t;
   maintenance_step t;
+  (* drain client acks promptly so delivery windows reopen between
+     steps, not only at the next advance *)
+  ignore (serve_pump t);
   List.length fetches
 
 let advance t ~seconds =
+  (* wire mutations queued since the last step land before the clock
+     moves, so a SUBSCRIBE acknowledged over the wire is armed for the
+     very next tick *)
+  ignore (serve_pump t);
   crash_point t "advance";
   (* The [A] op leads the transaction: replay advances the clock and
      re-evolves the web (its PRNG stream position is part of the
@@ -1228,6 +1333,10 @@ let apply_replay_op t { Durable.stage; payload } =
   | "fault" -> Fault.apply_op t.faults payload
   | "warehouse" -> apply_warehouse_op t payload
   | "system" -> apply_system_op t payload
+  | "serve" -> (
+      match !(t.serve_cell) with
+      | Some s -> Serve.apply_op s payload
+      | None -> () (* restored without a serving surface: drop *))
   | other -> raise (Codec.Malformed ("unknown stage " ^ other))
 
 type restore_info = {
@@ -1240,8 +1349,14 @@ type restore_info = {
 }
 
 let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
-    ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ?sync_every
-    ?segment_bytes ~dir () =
+    ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ?serve_port
+    ?serve_config ?sync_every ?segment_bytes ~dir () =
+  let serve_config =
+    match (serve_config, serve_port) with
+    | (Some _ as c), _ -> c
+    | None, Some port -> Some (Serve.config ~port ())
+    | None, None -> None
+  in
   let config = durable_config ?sync_every ?segment_bytes () in
   match Durable.open_existing ~config dir with
   | None -> Error (Printf.sprintf "no durable run in %s (missing MANIFEST)" dir)
@@ -1256,7 +1371,7 @@ let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
           let t =
             make ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
               ?self_monitor_period ?fault_plan ?retry ?slos ?parallel
-              ~durable:(Some d) ()
+              ?serve_config ~durable:(Some d) ()
           in
           (* 1. Structure: replay the subscription log.  This rebuilds
              specs, recipients, triggers, atomic/complex events — at
@@ -1282,6 +1397,9 @@ let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
             apply "crawler" (Xy_crawler.Crawler.decode_snapshot t.crawler);
             apply "trigger" (Xy_trigger.Trigger_engine.decode_snapshot t.trigger);
             apply "reporter" (Xy_reporter.Reporter.decode_snapshot t.reporter);
+            (match !(t.serve_cell) with
+            | Some s -> apply "serve" (Serve.decode_snapshot s)
+            | None -> ());
             List.iter (List.iter (apply_replay_op t)) txns
           with
           | exception Codec.Malformed m ->
@@ -1311,9 +1429,15 @@ let restore ?seed ?algorithm ?policy ?sink ?web ?obs ?tracer
               attach_hooks t d;
               (* 6. At-least-once: re-send committed, unacked delivery
                  intents (consumers dedup by seq). *)
+              (* Committed wire deliveries are already back in the
+                 pending store (snapshot + replay); the reporter's
+                 redelivery below re-offers the rest through the tee,
+                 where the store dedups by seq.  Only then open the
+                 socket. *)
               let redelivered_reports =
                 Xy_reporter.Reporter.redeliver_pending t.reporter
               in
+              serve_listen t;
               Log.info (fun m ->
                   m
                     "restored %s: generation %d, %d subscription(s), %d \

@@ -68,7 +68,16 @@ val monotonic_wall : unit -> float
     [sync_every] sets the WAL group-commit batch size (transactions
     per fsync, default 32; [1] syncs every commit) and
     [segment_bytes] the WAL segment rotation threshold — both forwarded
-    into {!Xy_durable.Durable.config}. *)
+    into {!Xy_durable.Durable.config}.
+
+    [serve_port] opens the wire-protocol serving surface
+    ({!Xy_serve.Serve}) on that TCP port (0 picks an ephemeral one,
+    read it back via {!serve}): remote clients SUBSCRIBE/UNSUBSCRIBE,
+    poll STATUS, and receive streamed report frames they acknowledge
+    by delivery seq.  Deliveries tee into the wire path without
+    disturbing [sink].  [serve_config] gives full control (host,
+    backlog, per-client outbox window, frame-size cap) and wins over
+    [serve_port]. *)
 val create :
   ?seed:int ->
   ?algorithm:Xy_core.Mqp.algorithm ->
@@ -83,6 +92,8 @@ val create :
   ?retry:Xy_crawler.Crawler.retry_policy ->
   ?slos:Xy_slo.Slo.objective list ->
   ?parallel:Parallel.config ->
+  ?serve_port:int ->
+  ?serve_config:Xy_serve.Serve.config ->
   ?durable_dir:string ->
   ?sync_every:int ->
   ?segment_bytes:int ->
@@ -122,6 +133,24 @@ val domains : t -> Xy_warehouse.Domains.t
 val chain : t -> Xy_alerters.Chain.t
 val web : t -> Xy_crawler.Synthetic_web.t
 val queue : t -> Xy_crawler.Fetch_queue.t
+
+(** {2 Serving surface} *)
+
+(** [serve t] is the wire-protocol server when the system was created
+    with [serve_port]/[serve_config] ([None] otherwise); its
+    {!Xy_serve.Serve.port} is where clients connect. *)
+val serve : t -> Xy_serve.Serve.t option
+
+(** [serve_pump t] applies queued wire mutations (SUBSCRIBE /
+    UNSUBSCRIBE / ACK) on the caller's thread and commits the
+    resulting transaction, returning how many were applied.  The run
+    loops call it around every step; drive it directly when serving
+    without stepping. *)
+val serve_pump : t -> int
+
+(** [stop_serve t] closes the listener and every client connection.
+    Idempotent; a no-op for systems without a serving surface. *)
+val stop_serve : t -> unit
 
 (** [steps_done t] counts completed {!crawl_step}s (journaled, so a
     restored system knows where the schedule left off). *)
@@ -328,6 +357,8 @@ val restore :
   ?retry:Xy_crawler.Crawler.retry_policy ->
   ?slos:Xy_slo.Slo.objective list ->
   ?parallel:Parallel.config ->
+  ?serve_port:int ->
+  ?serve_config:Xy_serve.Serve.config ->
   ?sync_every:int ->
   ?segment_bytes:int ->
   dir:string ->

@@ -1,8 +1,10 @@
-(* A deliberately minimal HTTP/1.1 server on stdlib Unix + Thread: one
-   accept thread, connections served serially, every response closed.
-   It exists to expose read-only telemetry (scrapes are rare and tiny),
-   not to serve traffic — the accept thread spends its life blocked in
-   [accept], so an unscraped endpoint costs the simulation nothing. *)
+(* A deliberately minimal HTTP/1.1 server: connections served serially
+   on the accept thread, every response closed.  It exists to expose
+   read-only telemetry (scrapes are rare and tiny), not to serve
+   traffic.  The socket and accept loop live in
+   [Xy_serve.Listener] — shared with the wire-protocol server — so
+   both endpoints get the same SO_REUSEADDR, bounded-backlog and
+   close-once shutdown discipline instead of each growing its own. *)
 
 let log_src = Logs.Src.create "xy.telemetry" ~doc:"Telemetry endpoint"
 
@@ -19,13 +21,7 @@ let json ?(status = 200) body =
 let jsonl ?(status = 200) body =
   { status; content_type = "application/x-ndjson"; body }
 
-type t = {
-  socket : Unix.file_descr;
-  port : int;
-  routes : (string * (unit -> response)) list;
-  thread : Thread.t;
-  stopped : bool Atomic.t;
-}
+type t = { listener : Xy_serve.Listener.t }
 
 let status_text = function
   | 200 -> "OK"
@@ -98,16 +94,16 @@ let write_response fd { status; content_type; body } =
   in
   try push 0 with Unix.Unix_error _ -> ()
 
-let handle t fd =
+let handle routes fd =
   let response =
     match read_request_target fd with
     | None -> text ~status:500 "unreadable request\n"
     | Some (meth, _) when meth <> "GET" && meth <> "HEAD" ->
         text ~status:405 "only GET is served here\n"
     | Some (_, path) -> (
-        match List.assoc_opt path t.routes with
+        match List.assoc_opt path routes with
         | None ->
-            let known = String.concat " " (List.map fst t.routes) in
+            let known = String.concat " " (List.map fst routes) in
             text ~status:404 (Printf.sprintf "no route %s (try: %s)\n" path known)
         | Some produce -> (
             try produce ()
@@ -117,61 +113,23 @@ let handle t fd =
   in
   write_response fd response
 
-let accept_loop t =
-  let rec loop () =
-    match Unix.accept t.socket with
-    | client, _addr ->
-        (try handle t client
-         with _ -> ());
-        (try Unix.close client with Unix.Unix_error _ -> ());
-        loop ()
-    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
-        (* [stop] closed the listening socket *)
-        ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-    | exception Unix.Unix_error (e, _, _) ->
-        if not (Atomic.get t.stopped) then
-          Log.warn (fun m -> m "telemetry accept: %s" (Unix.error_message e))
-  in
-  loop ()
-
 let start ?(host = "127.0.0.1") ~port ~routes () =
-  let socket = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt socket Unix.SO_REUSEADDR true;
-  (try Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with e ->
-     (try Unix.close socket with Unix.Unix_error _ -> ());
-     raise e);
-  Unix.listen socket 16;
-  let port =
-    match Unix.getsockname socket with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> port
+  let listener =
+    Xy_serve.Listener.start ~host ~backlog:16 ~port
+      ~handle:(fun client _addr ->
+        (try handle routes client with _ -> ());
+        try Unix.close client with Unix.Unix_error _ -> ())
+      ()
   in
-  let stopped = Atomic.make false in
-  let rec t =
-    lazy
-      {
-        socket;
-        port;
-        routes;
-        thread = Thread.create (fun () -> accept_loop (Lazy.force t)) ();
-        stopped;
-      }
-  in
-  let t = Lazy.force t in
+  let t = { listener } in
   Log.info (fun m ->
-      m "telemetry endpoint on http://%s:%d (%s)" host t.port
+      m "telemetry endpoint on http://%s:%d (%s)" host
+        (Xy_serve.Listener.port t.listener)
         (String.concat " " (List.map fst routes)));
   t
 
-let port t = t.port
-
-let stop t =
-  Atomic.set t.stopped true;
-  (try Unix.shutdown t.socket Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  (try Unix.close t.socket with Unix.Unix_error _ -> ());
-  Thread.join t.thread
+let port t = Xy_serve.Listener.port t.listener
+let stop t = Xy_serve.Listener.stop t.listener
 
 (* ------------------------------------------------------------------ *)
 (* Prometheus text exposition of a metrics snapshot. *)
