@@ -1,0 +1,150 @@
+(* tbl-chaos: the serving surface under seeded network fault plans.
+
+   The fanout measurement of tbl-serve, repeated with the chaotic
+   transport armed and the load generator replaced by supervised
+   reconnecting clients ({!Xy_serve.Client}): N clients each receive
+   [reports_each] REPORT frames (delivered round-robin) while the
+   wire injector drops connections, stalls operations and mangles
+   bytes on its seeded schedule.  A scenario is done when the
+   journaled pending store drains — i.e. when every report has been
+   delivered AND acknowledged despite the faults — so the reported
+   rate prices in every reconnect, replay and redelivery.
+
+   Scenarios: clean (faults = none, the tbl-serve baseline shape),
+   conn_drop@0.05, net_delay@0.1, and the two mixed.  p99 send lag
+   comes from the serve stage's [send_lag_seconds] histogram
+   (deliver-to-socket-write); the acceptance bar is p99 under 5%
+   conn_drop within 3x the fault-free figure. *)
+
+open Harness
+module Serve = Xy_serve.Serve
+module Client = Xy_serve.Client
+module Fault = Xy_fault.Fault
+module Obs = Xy_obs.Obs
+
+let connections = function Quick -> 16 | Default -> 64 | Paper -> 128
+let reports_each = function Quick -> 8 | Default -> 16 | Paper -> 32
+
+let callbacks =
+  {
+    Serve.cb_subscribe = (fun ~owner ~text:_ -> Ok ("W" ^ owner));
+    cb_unsubscribe = (fun _ -> Ok ());
+    cb_status = (fun () -> "<health/>");
+  }
+
+let client_id i = Printf.sprintf "c%d" i
+
+let scenarios =
+  [
+    ("clean", []);
+    ("drop", [ ("conn_drop", 0.05) ]);
+    ("delay", [ ("net_delay", 0.1) ]);
+    ( "mixed",
+      [ ("conn_drop", 0.05); ("partial_write", 0.02); ("net_delay", 0.1);
+        ("net_mangle", 0.01) ] );
+  ]
+
+(* One scenario: N supervised clients, k reports each, run until the
+   pending store drains.  Returns (reports/sec, p99 lag ms,
+   reconnects, live words). *)
+let run_scenario ~n ~k ~spec =
+  let obs = Obs.create () in
+  let faults =
+    match spec with [] -> Fault.none | s -> Fault.create ~obs ~seed:11 s
+  in
+  let s =
+    Serve.create ~obs ~faults
+      ~config:
+        (Serve.config ~backlog:512 ~port:0 ~idle_deadline:30. ~read_deadline:10.
+           ())
+      ()
+  in
+  Serve.listen s ~callbacks;
+  let port = Serve.port s in
+  Fun.protect ~finally:(fun () -> Serve.stop ~drain:0. s) @@ fun () ->
+  let clients =
+    Array.init n (fun i ->
+        Client.connect
+          (Client.config ~port ~id:(client_id i) ~backoff_initial:0.005
+             ~backoff_max:0.1 ~ping_interval:1. ~pong_deadline:5. ~seed:(i + 1)
+             ()))
+  in
+  Fun.protect ~finally:(fun () -> Array.iter Client.close clients) @@ fun () ->
+  Array.iter
+    (fun c ->
+      if not (Client.wait_connected ~timeout:30. c) then
+        failwith "supervised client never connected")
+    clients;
+  let total = n * k in
+  let (), seconds =
+    time_once (fun () ->
+        for seq = 1 to k do
+          for i = 0 to n - 1 do
+            Serve.deliver s ~seq ~recipient:(client_id i) ~subscription:"W"
+              ~at:(float_of_int seq)
+              ~body:"<Report><UpdatedPage url=\"http://site0/p\"/></Report>"
+          done
+        done;
+        (* the supervised clients ack as they go; pump until every
+           report is delivered and retired, reconnects included *)
+        let deadline = Unix.gettimeofday () +. 300. in
+        while Serve.pending_total s > 0 do
+          if Unix.gettimeofday () > deadline then failwith "chaos never drained";
+          if Serve.pump s = 0 then Thread.delay 0.001
+        done)
+  in
+  let rate = float_of_int total /. seconds in
+  let p99_lag_ms =
+    match
+      Obs.Snapshot.find (Obs.snapshot obs) ~stage:"serve" "send_lag_seconds"
+    with
+    | Some (Obs.Snapshot.Histogram h) -> Obs.Snapshot.quantile h 0.99 *. 1e3
+    | _ -> nan
+  in
+  let reconnects =
+    Array.fold_left
+      (fun acc c -> acc + (Client.stats c).Client.reconnects)
+      0 clients
+  in
+  Gc.full_major ();
+  let memory_words = (Gc.stat ()).Gc.live_words in
+  (rate, p99_lag_ms, reconnects, memory_words)
+
+let run scale =
+  let n = connections scale in
+  let k = reports_each scale in
+  let rows =
+    List.map
+      (fun (label, spec) ->
+        let rate, p99, reconnects, words = run_scenario ~n ~k ~spec in
+        record_mqp ~p99_lag_ms:p99
+          ~name:(Printf.sprintf "tbl-chaos/%s@%d" label n)
+          ~docs_per_sec:rate ~memory_words:words ();
+        (label, spec, rate, p99, reconnects))
+      scenarios
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "tbl-chaos (%d supervised clients x %d reports)" n k)
+    ~header:[ "scenario"; "plan"; "reports/sec"; "p99 lag (ms)"; "reconnects" ]
+    (List.map
+       (fun (label, spec, rate, p99, reconnects) ->
+         [
+           label;
+           (if spec = [] then "-" else Fault.spec_to_string spec);
+           Printf.sprintf "%.0f" rate;
+           Printf.sprintf "%.3f" p99;
+           string_of_int reconnects;
+         ])
+       rows);
+  match
+    ( List.find_opt (fun (l, _, _, _, _) -> l = "clean") rows,
+      List.find_opt (fun (l, _, _, _, _) -> l = "drop") rows )
+  with
+  | Some (_, _, _, clean_p99, _), Some (_, _, _, drop_p99, _) ->
+      note "p99 under 5%% conn_drop: %.3fms vs %.3fms clean (%.1fx)" drop_p99
+        clean_p99
+        (if clean_p99 > 0. then drop_p99 /. clean_p99 else nan)
+  | _ -> ()
+
+let all = [ ("tbl-chaos", run) ]

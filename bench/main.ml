@@ -21,6 +21,8 @@
      tbl-durable   checkpoint cost & warm-restart time
      tbl-staleness staleness quantiles vs fetch budget
      tbl-par-e2e   sharded pipeline scaling vs domains
+     tbl-serve     serving surface register/fanout throughput
+     tbl-chaos     fanout under seeded network fault plans
 
    Usage:
      dune exec bench/main.exe                  (default scale, all)
@@ -36,6 +38,7 @@ let experiments : (string * (Harness.scale -> unit)) list =
   Bench_mqp.all @ Bench_alerters.all @ Bench_reporter.all @ Bench_e2e.all
   @ Bench_ablation.all @ Bench_trace.all @ Bench_fault.all @ Bench_durable.all
   @ Bench_staleness.all @ Bench_parallel.all @ Bench_serve.all
+  @ Bench_chaos.all
 
 let () =
   let scale = ref Harness.Default in

@@ -394,15 +394,23 @@ let faults_arg =
            point=RATE(,point=RATE)*, e.g. $(b,fetch=0.05,malformed=0.01). \
            The schedule is drawn from $(b,--seed), so the same seed and \
            spec reproduce the same failures.  Points: fetch, malformed, \
-           torn_write, short_write, bus_stall, bus_drop, worker")
+           torn_write, short_write, bus_stall, bus_drop, worker; wire \
+           (require $(b,--serve)): conn_drop, partial_write, net_delay, \
+           net_mangle")
 
 let print_fault_report xyleme =
   let faults = Xy_system.Xyleme.faults xyleme in
-  if Xy_fault.Fault.active faults then begin
+  let wire = Xy_system.Xyleme.wire_faults xyleme in
+  if Xy_fault.Fault.active faults || Xy_fault.Fault.active wire then begin
     Printf.printf "faults injected:";
     List.iter
       (fun (point, _) ->
-        let count = Xy_fault.Fault.injected faults point in
+        (* pipeline points draw from one injector, wire points from
+           the serving surface's; a point fires in exactly one *)
+        let count =
+          Xy_fault.Fault.injected faults point
+          + Xy_fault.Fault.injected wire point
+        in
         if count > 0 then Printf.printf " %s=%d" point count)
       Xy_fault.Fault.points;
     print_newline ();
@@ -666,13 +674,18 @@ let simulate_cmd =
 
 let serve_cmd =
   let run port sites seed subscriptions algorithm fault_plan verbose
-      telemetry_port durable_dir restore days pace =
+      telemetry_port durable_dir restore days pace idle_deadline read_deadline
+      max_connections drain =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
     let web =
       Xy_crawler.Synthetic_web.generate ~seed ~sites ~pages_per_site:8 ()
+    in
+    let serve_config =
+      Xy_serve.Serve.config ~port ~max_connections ~idle_deadline
+        ~read_deadline ~drain ()
     in
     let xyleme =
       if restore then begin
@@ -685,7 +698,7 @@ let serve_cmd =
         in
         match
           Xy_system.Xyleme.restore ~seed ~algorithm ?fault_plan ~web
-            ~serve_port:port ~dir ()
+            ~serve_config ~dir ()
         with
         | Error e ->
             Printf.eprintf "restore failed: %s\n" e;
@@ -698,7 +711,7 @@ let serve_cmd =
       end
       else
         Xy_system.Xyleme.create ~seed ~algorithm ?fault_plan ~web
-          ~serve_port:port ?durable_dir ()
+          ~serve_config ?durable_dir ()
     in
     (match Xy_system.Xyleme.serve xyleme with
     | Some s ->
@@ -746,6 +759,7 @@ report when immediate|}
     ignore (Xy_system.Xyleme.serve_pump xyleme);
     Option.iter Xy_telemetry.Telemetry.stop telemetry;
     Xy_system.Xyleme.stop_serve xyleme;
+    print_fault_report xyleme;
     let stats = Xy_system.Xyleme.stats xyleme in
     Printf.printf
       "served %d step(s): fetched %d, stored %d, notifications %d, reports %d\n"
@@ -787,6 +801,38 @@ report when immediate|}
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log pipeline events")
   in
+  let idle_deadline =
+    Arg.(
+      value & opt float 300.
+      & info [ "idle-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Evict a client that has sent no bytes (not even a PING) for \
+             $(docv); 0 disables eviction")
+  in
+  let read_deadline =
+    Arg.(
+      value & opt float 30.
+      & info [ "read-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Close a client that leaves a frame incomplete for $(docv) \
+             (slow-loris guard); 0 disables")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int 0
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Admission ceiling: shed connections beyond $(docv) with an \
+             $(b,ERR busy) retry hint; 0 (the default) is unlimited")
+  in
+  let drain =
+    Arg.(
+      value & opt float 0.5
+      & info [ "drain" ] ~docv:"SECONDS"
+          ~doc:
+            "Graceful-drain budget on shutdown: give writers up to $(docv) \
+             to flush queued report frames before closing sessions")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -796,7 +842,7 @@ report when immediate|}
     Term.(
       const run $ port $ sites_arg $ seed_arg $ subscriptions $ algorithm_arg
       $ faults_arg $ verbose $ telemetry_arg $ durable_arg $ restore_flag
-      $ days $ pace)
+      $ days $ pace $ idle_deadline $ read_deadline $ max_connections $ drain)
 
 let stats_cmd =
   let run sites days subscriptions seed algorithm xml =

@@ -1,15 +1,21 @@
-(* wire_client — a tiny subscriber speaking the serving-surface
-   protocol, used by the CI smoke job and handy for poking a running
+(* wire_client — a subscriber speaking the serving-surface protocol,
+   used by the CI smoke jobs and handy for poking a running
    `xyleme serve` by hand.
 
      wire_client --port 9110 --id u0 --site 0 --await-reports 1
 
-   connects (retrying until the server is up), binds its identity
-   with HELLO, registers a subscription on site N, then waits for the
-   requested number of REPORT frames, acknowledging each by seq.
-   Exits 0 once satisfied, 3 on timeout, 1 on a protocol error. *)
+   Built on the supervised client ({!Xy_serve.Client}): the
+   connection is dialed (and re-dialed) by a supervisor thread, the
+   identity re-binds with HELLO after every drop, reports are
+   acknowledged automatically and deduplicated by seq — so a
+   mid-stream disconnect (or injected network fault) is survived
+   transparently, and a report count short of the target at the
+   deadline is a *timeout* (exit 3), never a protocol error.
 
-module Frame = Xy_serve.Frame
+   Exits 0 once satisfied, 2 on usage errors, 3 on timeout, 1 only
+   when the server terminally rejects the subscription. *)
+
+module Client = Xy_serve.Client
 
 let port = ref 0
 let id = ref "u0"
@@ -19,6 +25,9 @@ let timeout = ref 60.
 let status = ref false
 let subscribe_file = ref ""
 let quiet = ref false
+let ping_interval = ref 5.
+let hold = ref 0.
+let no_subscribe = ref false
 
 let usage = "wire_client --port PORT [options]"
 
@@ -30,71 +39,28 @@ let spec =
     ( "--subscribe-file",
       Arg.Set_string subscribe_file,
       "FILE subscription text to register (overrides --site)" );
+    ( "--no-subscribe",
+      Arg.Set no_subscribe,
+      " register nothing: HELLO only (an existing identity resumes its \
+       pending stream; a fresh one just idles)" );
     ( "--await-reports",
       Arg.Set_int await_reports,
-      "N wait for N report frames (default 1; 0 skips waiting)" );
+      "N wait for N distinct report frames (default 1; 0 skips waiting)" );
     ("--timeout", Arg.Set_float timeout, "SECONDS overall deadline (default 60)");
     ("--status", Arg.Set status, " request STATUS and print the health XML");
+    ( "--ping-interval",
+      Arg.Set_float ping_interval,
+      "SECONDS keepalive PING period (default 5; 0 disables — the server \
+       may evict an idle client)" );
+    ( "--hold",
+      Arg.Set_float hold,
+      "SECONDS keep the connection open after the target is met (exercises \
+       keepalive/eviction; default 0)" );
     ("--quiet", Arg.Set quiet, " only print the final summary");
   ]
 
 let say fmt =
   Printf.ksprintf (fun s -> if not !quiet then print_endline s) fmt
-
-let connect ~deadline port =
-  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
-  let rec go () =
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    match Unix.connect fd addr with
-    | () -> fd
-    | exception Unix.Unix_error _ ->
-        Unix.close fd;
-        if Unix.gettimeofday () > deadline then begin
-          prerr_endline "wire_client: connect timed out";
-          exit 3
-        end;
-        Unix.sleepf 0.2;
-        go ()
-  in
-  go ()
-
-let send fd frame =
-  let n = String.length frame in
-  let rec push off =
-    if off < n then push (off + Unix.write_substring fd frame off (n - off))
-  in
-  push 0
-
-(* Blocking reads with a receive timeout backing the overall deadline:
-   frames already buffered decode without touching the socket. *)
-let next_event fd dec ~deadline =
-  let buf = Bytes.create 4096 in
-  let rec go () =
-    match Frame.next dec with
-    | Error e ->
-        Printf.eprintf "wire_client: %s\n" (Frame.error_to_string e);
-        exit 1
-    | Ok (Some payload) -> (
-        match Frame.decode_event payload with
-        | Ok ev -> ev
-        | Error m ->
-            Printf.eprintf "wire_client: bad event: %s\n" m;
-            exit 1)
-    | Ok None ->
-        if Unix.gettimeofday () > deadline then begin
-          prerr_endline "wire_client: timed out waiting for the server";
-          exit 3
-        end;
-        (match Unix.read fd buf 0 (Bytes.length buf) with
-        | 0 ->
-            prerr_endline "wire_client: server closed the connection";
-            exit 1
-        | n -> Frame.feed dec (Bytes.sub_string buf 0 n)
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-            ());
-        go ()
-  in
-  go ()
 
 let () =
   Arg.parse spec (fun _ -> ()) usage;
@@ -103,22 +69,36 @@ let () =
     exit 2
   end;
   let deadline = Unix.gettimeofday () +. !timeout in
-  let fd = connect ~deadline !port in
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
-  let dec = Frame.decoder () in
-  send fd (Frame.encode_request (Frame.Hello !id));
-  (match next_event fd dec ~deadline with
-  | Frame.Welcome pending -> say "connected as %s (%d pending)" !id pending
-  | ev ->
-      Printf.eprintf "wire_client: expected WELCOME, got %s\n"
-        (match ev with Frame.Err m -> "ERR " ^ m | _ -> "another event");
-      exit 1);
+  let remaining () = Float.max 0.01 (deadline -. Unix.gettimeofday ()) in
+  let received = ref 0 in
+  let mu = Mutex.create () in
+  let on_report (r : Client.report) =
+    Mutex.lock mu;
+    incr received;
+    Mutex.unlock mu;
+    say "report seq=%d subscription=%s at=%.0f (%d bytes)" r.Client.seq
+      r.Client.subscription r.Client.at
+      (String.length r.Client.body)
+  in
+  let client =
+    Client.connect ~on_report
+      (Client.config ~port:!port ~id:!id ~ping_interval:!ping_interval
+         ~pong_deadline:(2. *. Float.max 5. !ping_interval)
+         ())
+  in
+  if not (Client.wait_connected ~timeout:(remaining ()) client) then begin
+    prerr_endline "wire_client: connect timed out";
+    exit 3
+  end;
+  say "connected as %s" !id;
   if !status then begin
-    send fd (Frame.encode_request Frame.Status);
-    match next_event fd dec ~deadline with
-    | Frame.Status_reply xml -> print_endline xml
-    | _ ->
-        prerr_endline "wire_client: expected STATUS reply";
+    match Client.status ~timeout:(remaining ()) client with
+    | Ok xml -> print_endline xml
+    | Error "timeout" ->
+        prerr_endline "wire_client: timed out waiting for STATUS";
+        exit 3
+    | Error m ->
+        Printf.eprintf "wire_client: STATUS failed: %s\n" m;
         exit 1
   end;
   let text =
@@ -133,27 +113,39 @@ where URL extends "http://site%d.example.org/" and modified self
 report when immediate|}
         !id !site
   in
-  send fd (Frame.encode_request (Frame.Subscribe { owner = !id; text }));
-  (match next_event fd dec ~deadline with
-  | Frame.Okay name -> say "subscribed %s" name
-  | Frame.Err m ->
-      Printf.eprintf "wire_client: subscription rejected: %s\n" m;
-      exit 1
-  | _ ->
-      prerr_endline "wire_client: expected OK";
-      exit 1);
-  let received = ref 0 in
-  while !received < !await_reports do
-    match next_event fd dec ~deadline with
-    | Frame.Report { seq; subscription; at; body } ->
-        incr received;
-        say "report seq=%d subscription=%s at=%.0f (%d bytes)" seq subscription
-          at (String.length body);
-        send fd (Frame.encode_request (Frame.Ack seq))
-    | Frame.Err m ->
-        Printf.eprintf "wire_client: server error: %s\n" m;
-        exit 1
-    | _ -> ()
+  if not !no_subscribe then
+    (match Client.subscribe ~timeout:(remaining ()) client ~owner:!id ~text with
+    | Ok name -> say "subscribed %s" name
+    | Error "timeout" ->
+        prerr_endline "wire_client: timed out registering the subscription";
+        exit 3
+    | Error m ->
+        (* a terminal verdict from the server, not a link failure *)
+        Printf.eprintf "wire_client: subscription rejected: %s\n" m;
+        exit 1);
+  let target_met () =
+    Mutex.lock mu;
+    let n = !received in
+    Mutex.unlock mu;
+    n >= !await_reports
+  in
+  while not (target_met ()) do
+    if Unix.gettimeofday () > deadline then begin
+      Printf.eprintf
+        "wire_client: timed out with %d of %d report(s)\n"
+        !received !await_reports;
+      Client.close client;
+      exit 3
+    end;
+    Thread.delay 0.02
   done;
+  if !hold > 0. then begin
+    say "holding the connection for %gs" !hold;
+    Thread.delay !hold
+  end;
+  let stats = Client.stats client in
+  if stats.Client.reconnects > 0 || stats.Client.duplicates > 0 then
+    say "link: %d reconnect(s), %d duplicate(s) suppressed"
+      stats.Client.reconnects stats.Client.duplicates;
   Printf.printf "done: %d report(s) acknowledged\n" !received;
-  Unix.close fd
+  Client.close client

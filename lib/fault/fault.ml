@@ -10,7 +10,18 @@ let points =
     ("bus_drop", "bus: a push silently loses its message");
     ("worker", "distributed: a worker domain dies before processing an alert");
     ("crash", "system: the process dies at a stage boundary (durability testing)");
+    ("conn_drop", "wire: the connection is torn down abruptly mid-operation");
+    ("partial_write", "wire: a write delivers only a prefix before the connection dies");
+    ("net_delay", "wire: a socket operation stalls briefly before completing");
+    ("net_mangle", "wire: one byte is flipped in flight (caught by the frame CRC)");
   ]
+
+(* The wire-level subset, injected by [Xy_serve.Chaos] at the socket
+   boundary rather than inside the pipeline.  [Xy_system.Xyleme]
+   splits a fault plan on this list so wire faults get their own
+   injector and the pipeline's per-point schedules stay byte-identical
+   whether or not network chaos is armed. *)
+let wire_points = [ "conn_drop"; "partial_write"; "net_delay"; "net_mangle" ]
 
 exception Crash of string
 

@@ -19,6 +19,16 @@
 (** The known failure points, with one line on where each fires. *)
 val points : (string * string) list
 
+(** The wire-level subset of {!points} ([conn_drop], [partial_write],
+    [net_delay], [net_mangle]), injected by [Xy_serve.Chaos] at the
+    socket boundary instead of inside the pipeline.
+    [Xy_system.Xyleme] splits a fault plan on this list: wire points
+    feed a dedicated injector for the serving surface, so arming
+    network chaos never shifts the pipeline points' schedules.  Wire
+    draws are {e not} journaled — the network is external state, so a
+    restored run restarts its wire schedules from the seed. *)
+val wire_points : string list
+
 (** Raised by the system's stage-boundary crash sites when the
     [crash] point fires; the payload names the boundary (e.g.
     ["doc"], ["advance"], ["step"]).  Simulates a process kill: the

@@ -1,0 +1,74 @@
+(* Deterministic chaotic transport: every socket read and write the
+   serving surface performs goes through here, and an armed injector
+   turns the loopback into a hostile network.  The fault *schedule*
+   is the per-point PRNG stream ([Xy_fault.Fault]): same seed + spec
+   => the same sequence of fire/no-fire decisions and shape draws per
+   point, independent of wall clock.  Which I/O call a given draw
+   lands on depends on thread scheduling — the recovery machinery is
+   required to converge under any interleaving, and the test battery
+   asserts exactly that. *)
+
+module Fault = Xy_fault.Fault
+
+type t = { faults : Fault.t }
+
+let conn_drop = "conn_drop"
+let partial_write = "partial_write"
+let net_delay = "net_delay"
+let net_mangle = "net_mangle"
+
+(* Upper bound on one injected stall.  Small on purpose: a stalled
+   link is modelled as repeated short delays, not one long sleep, so
+   rates compose smoothly with the keepalive deadlines. *)
+let max_delay = 0.02
+
+let none = { faults = Fault.none }
+let wrap faults = { faults }
+let active t = Fault.active t.faults
+
+let shutdown_both fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let delay t =
+  if Fault.fire t.faults net_delay then
+    Thread.delay (0.001 +. (Fault.draw_float t.faults net_delay *. max_delay))
+
+let drop t fd op =
+  if Fault.fire t.faults conn_drop then begin
+    shutdown_both fd;
+    raise (Unix.Unix_error (Unix.ECONNRESET, op, "chaos: conn_drop"))
+  end
+
+(* Flipping one bit below 0x80 always changes the byte, so the frame
+   CRC (or the header grammar) is guaranteed to reject the result —
+   corruption surfaces as a protocol error, never as silent damage. *)
+let flip c = Char.chr (Char.code c lxor 0x20)
+
+let read t fd buf pos len =
+  delay t;
+  drop t fd "read";
+  let n = Unix.read fd buf pos len in
+  if n > 0 && Fault.fire t.faults net_mangle then begin
+    let i = pos + Fault.draw_int t.faults net_mangle ~bound:n in
+    Bytes.set buf i (flip (Bytes.get buf i))
+  end;
+  n
+
+let write_substring t fd s off len =
+  delay t;
+  drop t fd "write";
+  if len > 0 && Fault.fire t.faults partial_write then begin
+    (* deliver a prefix, then the connection dies under the writer *)
+    let k = 1 + Fault.draw_int t.faults partial_write ~bound:len in
+    (try ignore (Unix.write_substring fd s off (min k len))
+     with Unix.Unix_error _ -> ());
+    shutdown_both fd;
+    raise (Unix.Unix_error (Unix.EPIPE, "write", "chaos: partial_write"))
+  end;
+  if len > 0 && Fault.fire t.faults net_mangle then begin
+    let b = Bytes.of_string (String.sub s off len) in
+    let i = Fault.draw_int t.faults net_mangle ~bound:len in
+    Bytes.set b i (flip (Bytes.get b i));
+    Unix.write fd b 0 len
+  end
+  else Unix.write_substring fd s off len

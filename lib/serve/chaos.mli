@@ -1,0 +1,46 @@
+(** Deterministic chaotic transport for the serving surface.
+
+    Wraps the socket boundary — every read and write {!Serve}
+    performs — with the four wire-level failure points of
+    {!Xy_fault.Fault}:
+
+    - [conn_drop]: the operation tears the connection down abruptly
+      (shutdown + [ECONNRESET]/[EOF]), as a peer reset would;
+    - [partial_write]: a write delivers only a drawn prefix, then the
+      connection dies under the writer ([EPIPE]) — the peer sees a
+      torn frame;
+    - [net_delay]: the operation stalls for a drawn delay (up to
+      ~20 ms) before completing;
+    - [net_mangle]: one byte is flipped in flight.  The flip always
+      changes the byte, so the frame CRC (or header grammar) is
+      guaranteed to reject it — corruption surfaces as a protocol
+      error, never as silent damage.
+
+    Schedules are the injector's seeded per-point PRNG streams: the
+    same seed + spec produces the same sequence of decisions per
+    point.  Which I/O call a decision lands on depends on thread
+    scheduling, which is why the contract is stated over outcomes —
+    a supervised client's deduped report multiset must equal the
+    fault-free baseline under {e any} armed plan. *)
+
+type t
+
+(** Never fires; all operations reduce to plain [Unix] calls. *)
+val none : t
+
+(** [wrap faults] consults [faults] on every operation.  Arm it with
+    any subset of {!Xy_fault.Fault.wire_points}. *)
+val wrap : Xy_fault.Fault.t -> t
+
+(** [active t] is [false] only for {!none}-like injectors. *)
+val active : t -> bool
+
+(** [read t fd buf pos len] is [Unix.read] behind the fault points.
+    May raise [Unix.Unix_error (ECONNRESET, _, _)] (injected drop)
+    besides the usual errors. *)
+val read : t -> Unix.file_descr -> bytes -> int -> int -> int
+
+(** [write_substring t fd s off len] is [Unix.write_substring] behind
+    the fault points.  May raise [Unix.Unix_error] with [ECONNRESET]
+    (injected drop) or [EPIPE] (injected partial write). *)
+val write_substring : t -> Unix.file_descr -> string -> int -> int -> int

@@ -9,6 +9,11 @@ type t = {
   stopping : bool Atomic.t;
   closed : bool Atomic.t;
   alive : bool Atomic.t;
+  admit : (unit -> bool) option;
+  shed : (Unix.file_descr -> Unix.sockaddr -> unit) option;
+  on_accept_error : (exn -> unit) option;
+  sheds : int Atomic.t;
+  accept_errors : int Atomic.t;
 }
 
 (* Every close of the listening socket goes through here; the CAS
@@ -21,20 +26,49 @@ let close_socket t =
     try Unix.close t.socket with Unix.Unix_error _ -> ()
   end
 
+(* Descriptor/buffer exhaustion is transient: exiting the accept loop
+   on it would silence the server for good even after fds free up, so
+   back off briefly, count the error, and keep accepting. *)
+let accept_backoff = 0.05
+
 let rec accept_loop t handle =
   match Unix.accept ~cloexec:true t.socket with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t handle
   | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
       (* listening socket closed under us: normal shutdown *)
       ()
+  | exception
+      Unix.Unix_error
+        ((Unix.EMFILE | Unix.ENFILE | Unix.ENOMEM | Unix.ECONNABORTED) as err, _, _)
+    when not (Atomic.get t.stopping) ->
+      Atomic.incr t.accept_errors;
+      (match t.on_accept_error with
+      | Some f -> ( try f (Unix.Unix_error (err, "accept", "")) with _ -> ())
+      | None -> ());
+      Log.warn (fun m ->
+          m "accept failed (%s), retrying in %gs" (Unix.error_message err)
+            accept_backoff);
+      Thread.delay accept_backoff;
+      accept_loop t handle
   | exception e ->
       if not (Atomic.get t.stopping) then
         Log.warn (fun m -> m "accept loop exiting: %s" (Printexc.to_string e))
   | client, addr ->
-      (try handle client addr
-       with e ->
-         Log.warn (fun m -> m "connection handler: %s" (Printexc.to_string e));
-         (try Unix.close client with Unix.Unix_error _ -> ()));
+      let admitted = match t.admit with None -> true | Some f -> f () in
+      if not admitted then begin
+        (* counted load shedding: tell the peer it was deliberate,
+           then close — the handler never sees the connection *)
+        Atomic.incr t.sheds;
+        (match t.shed with
+        | Some f -> ( try f client addr with _ -> ())
+        | None -> ());
+        try Unix.close client with Unix.Unix_error _ -> ()
+      end
+      else
+        (try handle client addr
+         with e ->
+           Log.warn (fun m -> m "connection handler: %s" (Printexc.to_string e));
+           (try Unix.close client with Unix.Unix_error _ -> ()));
       accept_loop t handle
 
 (* A peer that disconnects mid-write must surface as EPIPE on the
@@ -45,7 +79,8 @@ let ignore_sigpipe =
        try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
        with Invalid_argument _ | Sys_error _ -> ())
 
-let start ?(host = "127.0.0.1") ?(backlog = 128) ~port ~handle () =
+let start ?(host = "127.0.0.1") ?(backlog = 128) ?admit ?shed ?on_accept_error
+    ~port ~handle () =
   Lazy.force ignore_sigpipe;
   let socket = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
@@ -68,6 +103,11 @@ let start ?(host = "127.0.0.1") ?(backlog = 128) ~port ~handle () =
       stopping = Atomic.make false;
       closed = Atomic.make false;
       alive = Atomic.make true;
+      admit;
+      shed;
+      on_accept_error;
+      sheds = Atomic.make 0;
+      accept_errors = Atomic.make 0;
     }
   in
   let run () =
@@ -86,6 +126,8 @@ let start ?(host = "127.0.0.1") ?(backlog = 128) ~port ~handle () =
 
 let port t = t.port
 let running t = Atomic.get t.alive
+let sheds t = Atomic.get t.sheds
+let accept_errors t = Atomic.get t.accept_errors
 
 let stop t =
   if Atomic.compare_and_set t.stopping false true then begin

@@ -11,11 +11,40 @@ type config = {
   backlog : int;
   outbox : int;
   max_frame : int;
+  max_connections : int;
+  retry_after : float;
+  idle_deadline : float;
+  read_deadline : float;
+  drain : float;
 }
 
 let config ?(host = "127.0.0.1") ?(backlog = 128) ?(outbox = 64)
-    ?(max_frame = Frame.default_max_frame) ~port () =
-  { host; port; backlog; outbox; max_frame }
+    ?(max_frame = Frame.default_max_frame) ?(max_connections = 0)
+    ?(retry_after = 1.) ?(idle_deadline = 300.) ?(read_deadline = 30.)
+    ?(drain = 0.5) ~port () =
+  {
+    host;
+    port;
+    backlog;
+    outbox;
+    max_frame;
+    max_connections;
+    retry_after;
+    idle_deadline;
+    read_deadline;
+    drain;
+  }
+
+(* Liveness deadlines are enforced from the reader thread, which
+   wakes on a receive timeout: often enough to be prompt, never so
+   often as to matter when idle. *)
+let reader_tick cfg =
+  let actives =
+    List.filter (fun d -> d > 0.) [ cfg.idle_deadline; cfg.read_deadline ]
+  in
+  match actives with
+  | [] -> None
+  | ds -> Some (Float.max 0.01 (Float.min 1.0 (List.fold_left Float.min infinity ds /. 4.)))
 
 type callbacks = {
   cb_subscribe : owner:string -> text:string -> (string, string) result;
@@ -41,6 +70,10 @@ type session = {
   mutable s_closed : bool;
   mutable s_poisoned : bool;  (* close once the response queue drains *)
   mutable s_refs : int;  (* reader + writer; last one closes the fd *)
+  mutable s_last_read : float;  (* wall clock of the last inbound bytes *)
+  mutable s_partial_since : float option;
+      (* wall clock since an incomplete frame has been buffered *)
+  mutable s_writing : bool;  (* writer is mid-frame (drain accounting) *)
   s_cond : Condition.t;
 }
 
@@ -57,6 +90,7 @@ type command =
 
 type t = {
   cfg : config;
+  chaos : Chaos.t;
   mu : Mutex.t;
   recipients : (string, recipient) Hashtbl.t;
   commands : command Queue.t;
@@ -78,11 +112,19 @@ type t = {
   m_overflow : Obs.Counter.t;
   m_pending : Obs.Gauge.t;
   m_send_lag : Obs.Histogram.t;
+  m_evictions : Obs.Counter.t;
+  m_read_timeouts : Obs.Counter.t;
+  m_reconnects : Obs.Counter.t;
+  m_sheds : Obs.Counter.t;
+  m_accept_errors : Obs.Counter.t;
+  m_drains : Obs.Counter.t;
+  m_drain_seconds : Obs.Gauge.t;
 }
 
-let create ~obs ~config:cfg () =
+let create ~obs ?(faults = Xy_fault.Fault.none) ~config:cfg () =
   {
     cfg;
+    chaos = Chaos.wrap faults;
     mu = Mutex.create ();
     recipients = Hashtbl.create 64;
     commands = Queue.create ();
@@ -104,6 +146,13 @@ let create ~obs ~config:cfg () =
     m_overflow = Obs.counter obs ~stage:"serve" "outbox_overflow";
     m_pending = Obs.gauge obs ~stage:"serve" "reports_pending";
     m_send_lag = Obs.histogram obs ~stage:"serve" "send_lag_seconds";
+    m_evictions = Obs.counter obs ~stage:"serve" "evictions";
+    m_read_timeouts = Obs.counter obs ~stage:"serve" "read_timeouts";
+    m_reconnects = Obs.counter obs ~stage:"serve" "reconnects";
+    m_sheds = Obs.counter obs ~stage:"serve" "sheds";
+    m_accept_errors = Obs.counter obs ~stage:"serve" "accept_errors";
+    m_drains = Obs.counter obs ~stage:"serve" "drains";
+    m_drain_seconds = Obs.gauge obs ~stage:"serve" "drain_seconds";
   }
 
 let set_journal t j = t.journal <- j
@@ -196,13 +245,16 @@ let writer_next t ss =
                            }),
                       e.e_wall )))
 
-let write_all fd data =
+(* All outbound bytes cross the chaotic transport: an armed injector
+   can stall, truncate, mangle or kill any write.  Injected failures
+   raise [Unix.Unix_error] like real ones and close the session the
+   same way. *)
+let write_all t fd data =
   let len = String.length data in
-  let bytes = Bytes.unsafe_of_string data in
   let rec go off =
     if off < len then begin
       let n =
-        try Unix.write fd bytes off (len - off)
+        try Chaos.write_substring t.chaos fd data off (len - off)
         with Unix.Unix_error (Unix.EINTR, _, _) -> 0
       in
       go (off + n)
@@ -226,23 +278,37 @@ let writer_loop t ss =
                     Condition.wait ss.s_cond t.mu;
                     wait ()
                   end
-              | out -> out
+              | out ->
+                  (* mid-frame marker: graceful drain must not cut a
+                     frame the writer has already dequeued *)
+                  ss.s_writing <- true;
+                  out
           in
           wait ())
     in
+    let finish_write () = locked t (fun () -> ss.s_writing <- false) in
     match next with
     | O_none -> ()
     | O_control data -> (
-        match write_all ss.s_fd data with
-        | () -> loop ()
-        | exception _ -> locked t (fun () -> close_session t ss))
+        match write_all t ss.s_fd data with
+        | () ->
+            finish_write ();
+            loop ()
+        | exception _ ->
+            locked t (fun () ->
+                ss.s_writing <- false;
+                close_session t ss))
     | O_report (data, wall) -> (
-        match write_all ss.s_fd data with
+        match write_all t ss.s_fd data with
         | () ->
             Obs.Counter.incr t.m_sent;
             Obs.Histogram.observe t.m_send_lag (Unix.gettimeofday () -. wall);
+            finish_write ();
             loop ()
-        | exception _ -> locked t (fun () -> close_session t ss))
+        | exception _ ->
+            locked t (fun () ->
+                ss.s_writing <- false;
+                close_session t ss))
   in
   loop ();
   release_session t ss
@@ -265,7 +331,11 @@ let handle_request t ss req =
       locked t (fun () ->
           let r =
             match Hashtbl.find_opt t.recipients id with
-            | Some r -> r
+            | Some r ->
+                (* the identity was seen before (an earlier session,
+                   or a restored pending store): this is a resume *)
+                Obs.Counter.incr t.m_reconnects;
+                r
             | None ->
                 let r =
                   { r_floor = 0; r_unacked = Imap.empty; r_session = None }
@@ -279,6 +349,13 @@ let handle_request t ss req =
           | _ -> ());
           ss.s_id <- Some id;
           ss.s_cursor <- r.r_floor;
+          (* Re-stamp the pending entries: the send-lag histogram
+             measures the server-side push latency (eligible-to-write),
+             and while no session existed the peer's absence is what
+             kept these queued — that window is accounted by the
+             [reconnects]/[evictions] counters, not as send lag. *)
+          let now = Unix.gettimeofday () in
+          r.r_unacked <- Imap.map (fun e -> { e with e_wall = now }) r.r_unacked;
           r.r_session <- Some ss;
           enqueue_resp ss
             (Frame.encode_event (Frame.Welcome (Imap.cardinal r.r_unacked))))
@@ -305,6 +382,14 @@ let handle_request t ss req =
 let reader_loop t ss =
   let buf = Bytes.create 8192 in
   let dec = Frame.decoder ~max_frame:t.cfg.max_frame () in
+  (* The liveness deadlines ride the receive timeout: the blocking
+     read returns EAGAIN every tick, and the tick handler decides
+     whether the peer is merely quiet or dead. *)
+  (match reader_tick t.cfg with
+  | Some tick -> (
+      try Unix.setsockopt_float ss.s_fd Unix.SO_RCVTIMEO tick
+      with Unix.Unix_error _ -> ())
+  | None -> ());
   let rec drain () =
     match Frame.next dec with
     | Ok None -> true
@@ -320,14 +405,41 @@ let reader_loop t ss =
         poison t ss (Frame.error_to_string e);
         false
   in
+  let overdue deadline since = deadline > 0. && Unix.gettimeofday () -. since > deadline in
   let rec loop () =
-    match Unix.read ss.s_fd buf 0 (Bytes.length buf) with
+    match Chaos.read t.chaos ss.s_fd buf 0 (Bytes.length buf) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        (* receive-timeout tick: enforce the liveness deadlines *)
+        match ss.s_partial_since with
+        | Some since when overdue t.cfg.read_deadline since ->
+            (* slow loris: a frame has been incomplete for too long *)
+            Obs.Counter.incr t.m_read_timeouts;
+            Log.info (fun m -> m "read deadline exceeded by %s" ss.s_peer);
+            locked t (fun () -> close_session t ss)
+        | _ ->
+            if overdue t.cfg.idle_deadline ss.s_last_read then begin
+              (* dead peer: no bytes (not even a PING) for a whole
+                 idle deadline *)
+              Obs.Counter.incr t.m_evictions;
+              Log.info (fun m -> m "evicting idle peer %s" ss.s_peer);
+              locked t (fun () -> close_session t ss)
+            end
+            else if ss.s_closed then locked t (fun () -> close_session t ss)
+            else loop ())
     | exception _ -> locked t (fun () -> close_session t ss)
     | 0 -> locked t (fun () -> close_session t ss)
     | n ->
+        ss.s_last_read <- Unix.gettimeofday ();
         Frame.feed dec (Bytes.sub_string buf 0 n);
-        if drain () then loop ()
+        if drain () then begin
+          (if Frame.buffered dec = 0 then ss.s_partial_since <- None
+           else
+             match ss.s_partial_since with
+             | None -> ss.s_partial_since <- Some ss.s_last_read
+             | Some _ -> ());
+          loop ()
+        end
   in
   loop ();
   release_session t ss
@@ -351,6 +463,9 @@ let on_accept t fd addr =
       s_closed = false;
       s_poisoned = false;
       s_refs = 2;
+      s_last_read = Unix.gettimeofday ();
+      s_partial_since = None;
+      s_writing = false;
       s_cond = Condition.create ();
     }
   in
@@ -372,10 +487,29 @@ let on_accept t fd addr =
     Log.debug (fun m -> m "connection from %s" ss.s_peer)
   end
 
+(* Admission control: consulted on the accept thread before the
+   session exists.  A shed peer gets a best-effort [ERR busy] with a
+   retry hint so a well-behaved client backs off instead of hammering
+   the accept queue. *)
+let admit t () =
+  t.cfg.max_connections <= 0
+  || locked t (fun () -> List.length t.sessions) < t.cfg.max_connections
+
+let shed t fd _addr =
+  Obs.Counter.incr t.m_sheds;
+  let frame =
+    Frame.encode_event
+      (Frame.Err (Printf.sprintf "busy retry-after=%g" t.cfg.retry_after))
+  in
+  try ignore (Unix.write_substring fd frame 0 (String.length frame))
+  with Unix.Unix_error _ -> ()
+
 let listen t ~callbacks =
   t.callbacks <- Some callbacks;
   let listener =
     Listener.start ~host:t.cfg.host ~backlog:t.cfg.backlog ~port:t.cfg.port
+      ~admit:(admit t) ~shed:(shed t)
+      ~on_accept_error:(fun _ -> Obs.Counter.incr t.m_accept_errors)
       ~handle:(on_accept t) ()
   in
   t.listener <- Some listener;
@@ -384,8 +518,50 @@ let listen t ~callbacks =
 let port t =
   match t.listener with Some l -> Listener.port l | None -> t.cfg.port
 
-let stop t =
+(* A session is flushed when the writer has nothing more it could
+   send right now: no queued control frames, not mid-frame, and no
+   unsent report it is allowed to push (either none above the cursor,
+   or the in-flight window is full and only an ACK — which drain does
+   not process — could open it). *)
+let session_flushed t ss =
+  Queue.is_empty ss.s_resp && (not ss.s_writing)
+  &&
+  match ss.s_id with
+  | None -> true
+  | Some id -> (
+      match Hashtbl.find_opt t.recipients id with
+      | None -> true
+      | Some r ->
+          in_flight r ss >= t.cfg.outbox
+          || Imap.find_first_opt (fun s -> s > ss.s_cursor) r.r_unacked = None)
+
+let stop ?drain t =
+  (* no new connections from here on *)
   Option.iter Listener.stop t.listener;
+  let budget = match drain with Some d -> d | None -> t.cfg.drain in
+  let live = locked t (fun () -> List.length t.sessions) in
+  if budget > 0. && live > 0 then begin
+    (* Graceful drain: give the writers a bounded window to flush
+       their outboxes before the sessions are cut.  Commands (ACKs
+       included) are deliberately not processed — anything unacked at
+       the deadline stays in the journaled pending store and is
+       redelivered on the next HELLO, exactly as a crash would leave
+       it. *)
+    Obs.Counter.incr t.m_drains;
+    let started = Unix.gettimeofday () in
+    let deadline = started +. budget in
+    let rec wait () =
+      let flushed =
+        locked t (fun () -> List.for_all (session_flushed t) t.sessions)
+      in
+      if (not flushed) && Unix.gettimeofday () < deadline then begin
+        Thread.delay 0.01;
+        wait ()
+      end
+    in
+    wait ();
+    Obs.Gauge.set t.m_drain_seconds (Unix.gettimeofday () -. started)
+  end;
   let threads =
     locked t (fun () ->
         t.stopped <- true;
@@ -449,9 +625,15 @@ let deliver t ~seq ~recipient ~subscription ~at ~body =
               refresh_pending_gauge t;
               (match r.r_session with
               | Some ss when not ss.s_closed ->
-                  if in_flight r ss >= t.cfg.outbox then
-                    (* window full: stays in the journaled pending
-                       store until acks open the window *)
+                  if Imap.cardinal r.r_unacked > t.cfg.outbox then
+                    (* beyond the window: stays in the journaled
+                       pending store until acks open the window.
+                       Judged by queue depth, not by the writer's
+                       cursor — the writer may lag arbitrarily behind
+                       a delivery burst, but an entry past the window
+                       can only ever leave via an ack (which signals
+                       the writer itself), so depth is the
+                       race-free criterion. *)
                     Obs.Counter.incr t.m_overflow
                   else Condition.signal ss.s_cond
               | _ -> ()))

@@ -34,7 +34,28 @@
     [SUBSCRIBE]/[UNSUBSCRIBE]/[ACK] never run on connection threads —
     they queue, and {!pump} (called from the pipeline thread between
     steps) applies them through the {!callbacks}.  [STATUS] and
-    [PING] are answered immediately by the reader. *)
+    [PING] are answered immediately by the reader.
+
+    {2 Liveness and admission}
+
+    Each reader enforces two deadlines from a receive-timeout tick:
+    [idle_deadline] evicts a peer that has sent no bytes at all (a
+    [PING] suffices to stay alive), and [read_deadline] cuts a
+    slow-loris peer that leaves a frame incomplete for too long.
+    When [max_connections] is positive, the accept loop sheds excess
+    connections with a best-effort [ERR busy retry-after=<s>] frame
+    before closing them — the handler never sees them.  {!stop}
+    performs a deadline-bounded graceful drain first: writers get up
+    to [drain] seconds to flush queued frames; whatever is still
+    unacked stays in the journaled pending store exactly as a crash
+    would leave it.
+
+    {2 Chaos}
+
+    All socket I/O crosses a deterministic chaotic transport
+    ({!Chaos}); arm the [faults] injector passed to {!create} with
+    any of {!Xy_fault.Fault.wire_points} to exercise connection
+    drops, torn writes, stalls and corruption on a seeded schedule. *)
 
 type t
 
@@ -44,6 +65,11 @@ type config = {
   backlog : int;  (** accept backlog *)
   outbox : int;  (** max unacknowledged reports in flight per client *)
   max_frame : int;  (** largest accepted request payload, bytes *)
+  max_connections : int;  (** admission ceiling; [0] = unlimited *)
+  retry_after : float;  (** hint (seconds) carried by [ERR busy] *)
+  idle_deadline : float;  (** evict after this long without bytes; [0.] off *)
+  read_deadline : float;  (** max age of an incomplete frame; [0.] off *)
+  drain : float;  (** default graceful-drain budget for {!stop}, seconds *)
 }
 
 val config :
@@ -51,6 +77,11 @@ val config :
   ?backlog:int ->
   ?outbox:int ->
   ?max_frame:int ->
+  ?max_connections:int ->
+  ?retry_after:float ->
+  ?idle_deadline:float ->
+  ?read_deadline:float ->
+  ?drain:float ->
   port:int ->
   unit ->
   config
@@ -62,20 +93,30 @@ type callbacks = {
   cb_status : unit -> string;  (** health XML for [STATUS]; thread-safe *)
 }
 
-(** [create ~obs ~config ()] builds the server state (pending store,
-    metrics under the [serve/*] stage) without opening the socket, so
-    a restore can replay journaled state into it first. *)
-val create : obs:Xy_obs.Obs.t -> config:config -> unit -> t
+(** [create ~obs ?faults ~config ()] builds the server state (pending
+    store, metrics under the [serve/*] stage) without opening the
+    socket, so a restore can replay journaled state into it first.
+    [faults] arms the chaotic transport on every session's socket
+    I/O; its draws are {e not} journaled (the network is external
+    state — a restore restarts wire schedules from the seed). *)
+val create :
+  obs:Xy_obs.Obs.t -> ?faults:Xy_fault.Fault.t -> config:config -> unit -> t
 
-(** [listen t ~callbacks] binds the socket and starts accepting. *)
+(** [listen t ~callbacks] binds the socket and starts accepting,
+    with admission control and shed accounting when
+    [config.max_connections] is positive. *)
 val listen : t -> callbacks:callbacks -> unit
 
 (** Bound port, once listening. *)
 val port : t -> int
 
-(** [stop t] closes the listener and every session, then joins all
-    connection threads.  Idempotent. *)
-val stop : t -> unit
+(** [stop ?drain t] stops accepting, gives writers up to [drain]
+    seconds (default [config.drain]) to flush queued frames to
+    connected clients, then closes every session and joins all
+    connection threads.  During the drain no commands are processed:
+    reports left unacked stay in the journaled pending store for
+    redelivery on the next [HELLO].  Idempotent. *)
+val stop : ?drain:float -> t -> unit
 
 (** {2 Pipeline-thread interface} *)
 

@@ -54,6 +54,9 @@ type t = {
   obs : Obs.t;
   tracer : Trace.t;
   faults : Fault.t;
+  wire_faults : Fault.t;
+      (** the wire-point slice of the fault plan, armed on the serving
+          surface's chaotic transport; never journaled *)
   clock : Xy_util.Clock.t;
   registry : Xy_events.Registry.t;
   mqp : Mqp.t;
@@ -359,12 +362,34 @@ let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
      always carries a real injector (even with an empty spec): the
      [crash] point and the restored fault streams must never live in
      the shared {!Fault.none}. *)
-  let faults =
+  (* The wire points live in their own injector: the serving surface
+     draws from it on connection threads, outside the pipeline's
+     journal discipline (the network is external state — a restore
+     restarts wire schedules from the seed).  Splitting the plan also
+     keeps the pipeline points' per-point streams byte-identical
+     whether or not network chaos is armed. *)
+  let wire_spec, pipeline_spec =
     match fault_plan with
-    | None | Some [] ->
-        if durable = None then Fault.none else Fault.create ~obs ~seed []
-    | Some spec -> Fault.create ~obs ~seed spec
+    | None -> ([], [])
+    | Some spec ->
+        List.partition (fun (p, _) -> List.mem p Fault.wire_points) spec
   in
+  let faults =
+    match pipeline_spec with
+    | [] -> if durable = None then Fault.none else Fault.create ~obs ~seed []
+    | spec -> Fault.create ~obs ~seed spec
+  in
+  let wire_faults =
+    match wire_spec with [] -> Fault.none | spec -> Fault.create ~obs ~seed spec
+  in
+  (match (wire_spec, serve_config) with
+  | _ :: _, None ->
+      Log.warn (fun m ->
+          m
+            "fault plan arms wire points (%s) but no serving surface is \
+             configured; they will never fire"
+            (String.concat ", " (List.map fst wire_spec)))
+  | _ -> ());
   let clock = Xy_util.Clock.create () in
   let tracer =
     match tracer with Some tr -> tr | None -> Trace.create ~seed ()
@@ -379,7 +404,12 @@ let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
      streams them to whichever client has claimed the recipient.  A
      cell, because the system record the server lives in does not
      exist yet. *)
-  let serve_cell = ref (Option.map (fun c -> Serve.create ~obs ~config:c ()) serve_config) in
+  let serve_cell =
+    ref
+      (Option.map
+         (fun c -> Serve.create ~obs ~faults:wire_faults ~config:c ())
+         serve_config)
+  in
   let sink =
     match serve_config with
     | None -> sink
@@ -416,6 +446,7 @@ let make ?(seed = 1) ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
       obs;
       tracer;
       faults;
+      wire_faults;
       clock;
       registry;
       mqp;
@@ -492,6 +523,7 @@ let set_parallel t config = t.parallel <- config
 let obs t = t.obs
 let tracer t = t.tracer
 let faults t = t.faults
+let wire_faults t = t.wire_faults
 let clock t = t.clock
 let registry t = t.registry
 let mqp t = t.mqp
@@ -589,7 +621,7 @@ let serve_pump t =
       if n > 0 then commit_txn t;
       n
 
-let stop_serve t = Option.iter Serve.stop !(t.serve_cell)
+let stop_serve ?drain t = Option.iter (Serve.stop ?drain) !(t.serve_cell)
 
 let create ?seed ?algorithm ?policy ?persist_path ?sink ?web ?obs ?tracer
     ?self_monitor_period ?fault_plan ?retry ?slos ?parallel ?serve_port

@@ -118,8 +118,17 @@ val tracer : t -> Xy_trace.Trace.t
 
 (** [faults t] is the armed fault-injection plan ({!Xy_fault.Fault.none}
     when [create] got no [fault_plan]); its {!Xy_fault.Fault.injected}
-    counts say which points actually fired. *)
+    counts say which points actually fired.  Wire-level points are
+    split out of the plan into {!wire_faults}. *)
 val faults : t -> Xy_fault.Fault.t
+
+(** [wire_faults t] is the {!Xy_fault.Fault.wire_points} slice of the
+    fault plan, armed on the serving surface's chaotic transport
+    ({!Xy_fault.Fault.none} when no wire point was in the plan).  Its
+    draws happen on connection threads and are never journaled: the
+    network is external state, so a restored run restarts its wire
+    schedules from the seed. *)
+val wire_faults : t -> Xy_fault.Fault.t
 
 val clock : t -> Xy_util.Clock.t
 val registry : t -> Xy_events.Registry.t
@@ -148,9 +157,14 @@ val serve : t -> Xy_serve.Serve.t option
     without stepping. *)
 val serve_pump : t -> int
 
-(** [stop_serve t] closes the listener and every client connection.
-    Idempotent; a no-op for systems without a serving surface. *)
-val stop_serve : t -> unit
+(** [stop_serve ?drain t] stops the serving surface: no new
+    connections, then a deadline-bounded graceful drain ([drain]
+    seconds, default the server config's [drain]) flushing queued
+    frames to connected clients before the sessions are closed.
+    Reports still unacked at the deadline stay in the journaled
+    pending store, exactly as a crash would leave them.  Idempotent;
+    a no-op for systems without a serving surface. *)
+val stop_serve : ?drain:float -> t -> unit
 
 (** [steps_done t] counts completed {!crawl_step}s (journaled, so a
     restored system knows where the schedule left off). *)
